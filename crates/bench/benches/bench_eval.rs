@@ -1,0 +1,52 @@
+//! Ablation: functional (topological) vs event-driven evaluation of
+//! space-time networks (DESIGN.md "two evaluators" decision). The
+//! functional pass touches every gate; the event-driven pass touches only
+//! firing gates, so sparse volleys favour it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use st_core::Time;
+use st_net::sorting::sorting_network;
+use st_net::EventSim;
+
+fn dense_inputs(n: usize) -> Vec<Time> {
+    (0..n).map(|i| Time::finite((i as u64 * 7) % 13)).collect()
+}
+
+fn sparse_inputs(n: usize) -> Vec<Time> {
+    (0..n)
+        .map(|i| {
+            if i % 8 == 0 {
+                Time::finite((i as u64 * 7) % 13)
+            } else {
+                Time::INFINITY
+            }
+        })
+        .collect()
+}
+
+fn bench_evaluators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval_topo_vs_event");
+    for &n in &[16usize, 64, 256] {
+        let net = sorting_network(n);
+        let dense = dense_inputs(n);
+        let sparse = sparse_inputs(n);
+        let sim = EventSim::new();
+        group.bench_with_input(BenchmarkId::new("functional_dense", n), &n, |b, _| {
+            b.iter(|| net.eval(black_box(&dense)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("event_dense", n), &n, |b, _| {
+            b.iter(|| sim.run(&net, black_box(&dense)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("functional_sparse", n), &n, |b, _| {
+            b.iter(|| net.eval(black_box(&sparse)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("event_sparse", n), &n, |b, _| {
+            b.iter(|| sim.run(&net, black_box(&sparse)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_evaluators);
+criterion_main!(benches);

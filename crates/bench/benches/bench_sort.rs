@@ -1,0 +1,48 @@
+//! E06 timing axis: bitonic sorting-network evaluation vs `slice::sort`,
+//! and network construction cost, across widths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+use st_core::Time;
+use st_net::sorting::sorting_network;
+
+fn random_volley(n: usize, seed: u64) -> Vec<Time> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            if rng.random_bool(0.15) {
+                Time::INFINITY
+            } else {
+                Time::finite(rng.random_range(0..100))
+            }
+        })
+        .collect()
+}
+
+fn bench_sorting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sorting");
+    for &n in &[8usize, 32, 128] {
+        let net = sorting_network(n);
+        let volley = random_volley(n, n as u64);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("network_eval", n), &n, |b, _| {
+            b.iter(|| net.eval(black_box(&volley)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("std_sort", n), &n, |b, _| {
+            b.iter(|| {
+                let mut v = black_box(&volley).clone();
+                v.sort();
+                v
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("construct_network", n), &n, |b, _| {
+            b.iter(|| sorting_network(black_box(n)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sorting);
+criterion_main!(benches);

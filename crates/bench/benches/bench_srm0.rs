@@ -1,0 +1,48 @@
+//! E08 timing axis: behavioral vs structural (Fig. 12) vs GRL-compiled
+//! SRM0 evaluation — the simulation cost of each abstraction level.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use st_core::Time;
+use st_grl::{compile_network, GrlSim};
+use st_neuron::structural::srm0_network;
+use st_neuron::{ResponseFn, Srm0Neuron, Synapse};
+
+fn neuron(inputs: usize) -> Srm0Neuron {
+    Srm0Neuron::new(
+        ResponseFn::fig11_biexponential(),
+        (0..inputs).map(|_| Synapse::excitatory(1)).collect(),
+        (2 * inputs) as u32,
+    )
+}
+
+fn volley(inputs: usize) -> Vec<Time> {
+    (0..inputs).map(|i| Time::finite(i as u64 % 4)).collect()
+}
+
+fn bench_srm0(c: &mut Criterion) {
+    let mut group = c.benchmark_group("srm0_levels");
+    for &n in &[2usize, 4, 8] {
+        let nr = neuron(n);
+        let net = srm0_network(&nr);
+        let netlist = compile_network(&net);
+        let v = volley(n);
+        let sim = GrlSim::new();
+        group.bench_with_input(BenchmarkId::new("behavioral", n), &n, |b, _| {
+            b.iter(|| nr.eval(black_box(&v)));
+        });
+        group.bench_with_input(BenchmarkId::new("structural", n), &n, |b, _| {
+            b.iter(|| net.eval(black_box(&v)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("grl_cycle_accurate", n), &n, |b, _| {
+            b.iter(|| sim.run(&netlist, black_box(&v)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("construct_structural", n), &n, |b, _| {
+            b.iter(|| srm0_network(black_box(&nr)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_srm0);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! E14/E15/E16 timing axis: STDP training and inference throughput across
+//! column sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use st_tnn::data::PatternDataset;
+use st_tnn::train::{fresh_column, train_column, TrainConfig};
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stdp_training");
+    for &(neurons, width) in &[(2usize, 16usize), (4, 32), (8, 64)] {
+        let mut ds = PatternDataset::new(neurons, width, 7, 1, 0.2, 5);
+        let stream = ds.stream(100, 0.8);
+        let config = TrainConfig::default();
+        group.throughput(Throughput::Elements(stream.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("train_100_presentations", format!("{neurons}x{width}")),
+            &neurons,
+            |b, _| {
+                b.iter(|| {
+                    let mut col = fresh_column(neurons, width, 0.25, &config);
+                    train_column(&mut col, black_box(&stream), &config)
+                });
+            },
+        );
+        let col = fresh_column(neurons, width, 0.25, &config);
+        group.bench_with_input(
+            BenchmarkId::new("inference_winner", format!("{neurons}x{width}")),
+            &neurons,
+            |b, _| {
+                b.iter(|| {
+                    for s in &stream {
+                        black_box(col.winner(&s.volley));
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

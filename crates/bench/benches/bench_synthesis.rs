@@ -1,0 +1,69 @@
+//! E05 timing axis: minterm canonical synthesis (Theorem 1) — synthesis
+//! time and synthesized-network evaluation vs direct table evaluation,
+//! across table sizes and both primitive bases.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+use st_core::{FunctionTable, Time};
+use st_net::synth::{synthesize, SynthesisOptions};
+
+fn random_table(arity: usize, rows: usize, window: u64, seed: u64) -> FunctionTable {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    while out.len() < rows {
+        let anchor = rng.random_range(0..arity);
+        let pattern: Vec<Time> = (0..arity)
+            .map(|i| {
+                if i == anchor {
+                    Time::ZERO
+                } else if rng.random_bool(0.25) {
+                    Time::INFINITY
+                } else {
+                    Time::finite(rng.random_range(0..=window))
+                }
+            })
+            .collect();
+        if !seen.insert(pattern.clone()) {
+            continue;
+        }
+        let max_finite = pattern.iter().filter_map(|x| x.value()).max().unwrap_or(0);
+        out.push((pattern, Time::finite(max_finite + rng.random_range(0..=2))));
+    }
+    FunctionTable::from_rows(arity, out).expect("normal form")
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minterm_synthesis");
+    for &rows in &[4usize, 16, 64] {
+        let table = random_table(4, rows, 6, rows as u64);
+        group.bench_with_input(BenchmarkId::new("synthesize_native", rows), &rows, |b, _| {
+            b.iter(|| synthesize(black_box(&table), SynthesisOptions::default()));
+        });
+        group.bench_with_input(BenchmarkId::new("synthesize_pure", rows), &rows, |b, _| {
+            b.iter(|| synthesize(black_box(&table), SynthesisOptions::pure()));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("table_vs_network_eval");
+    let table = random_table(4, 32, 6, 7);
+    let net = synthesize(&table, SynthesisOptions::default());
+    let pure = synthesize(&table, SynthesisOptions::pure());
+    let inputs = [Time::finite(1), Time::finite(3), Time::ZERO, Time::finite(6)];
+    group.bench_function("table_eval", |b| {
+        b.iter(|| table.eval(black_box(&inputs)).unwrap());
+    });
+    group.bench_function("network_eval_native", |b| {
+        b.iter(|| net.eval(black_box(&inputs)).unwrap());
+    });
+    group.bench_function("network_eval_pure", |b| {
+        b.iter(|| pure.eval(black_box(&inputs)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! E01 — Fig. 5 / § III.A: volley encoding, communication efficiency, and
+//! the exponential message-time cost of unary temporal coding.
+
+use st_bench::{banner, f3, print_table};
+use st_core::Volley;
+
+fn main() {
+    banner(
+        "E01 volley encoding",
+        "Fig. 5 and § III.A",
+        "≈1 spike per n bits of information (slightly less: the reference \
+         spike conveys none), at a message duration of 2^n unit times",
+    );
+
+    // The paper's example volley.
+    let fig5 = Volley::encode([Some(0), Some(3), None, Some(1)]);
+    println!("\nFig. 5 volley: {fig5}  (decoded {:?})", fig5.decode());
+    println!(
+        "spikes {}  sparsity {}  information at n=2 bits: {} bits",
+        fig5.spike_count(),
+        f3(fig5.sparsity()),
+        fig5.information_bits(2)
+    );
+
+    // Efficiency vs temporal resolution for a dense 32-line volley.
+    println!("\nDense 32-line volley, efficiency vs resolution n:");
+    let dense = Volley::encode((0u64..32).map(|i| Some(i % 13)));
+    let rows: Vec<Vec<String>> = (1u32..=8)
+        .map(|n| {
+            vec![
+                n.to_string(),
+                Volley::message_duration(n).to_string(),
+                dense.information_bits(n).to_string(),
+                f3(dense.spikes_per_bit(n)),
+                f3(1.0 / f64::from(n)),
+            ]
+        })
+        .collect();
+    print_table(
+        &["n (bits)", "duration 2^n", "info (bits)", "spikes/bit", "1/n bound"],
+        &rows,
+    );
+
+    // Sparse codings improve energy efficiency further (§ III.A).
+    println!("\nSparsity sweep at n = 4 bits (width 64):");
+    let rows: Vec<Vec<String>> = [64usize, 32, 16, 8, 4]
+        .iter()
+        .map(|&spikes| {
+            let v = Volley::encode(
+                (0..64usize).map(|i| if i < spikes { Some(i as u64 % 15) } else { None }),
+            );
+            vec![
+                spikes.to_string(),
+                f3(v.sparsity()),
+                v.information_bits(4).to_string(),
+                f3(v.spikes_per_bit(4)),
+            ]
+        })
+        .collect();
+    print_table(&["spikes", "sparsity", "info (bits)", "spikes/bit"], &rows);
+
+    println!(
+        "\nshape check: spikes/bit approaches 1/n from above as width grows; \
+         duration doubles per bit — matching the paper's trade-off."
+    );
+}

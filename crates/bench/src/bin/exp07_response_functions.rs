@@ -1,0 +1,70 @@
+//! E07 — Figs. 2 and 11: discretized response functions and their
+//! fanout/increment (up/down step) realization.
+
+use st_bench::{banner, print_table};
+use st_neuron::ResponseFn;
+
+fn profile_row(name: &str, r: &ResponseFn, t_max: u64) -> Vec<String> {
+    let profile: Vec<String> = (0..=t_max).map(|t| r.amplitude(t).to_string()).collect();
+    vec![name.to_string(), profile.join(" ")]
+}
+
+fn main() {
+    banner(
+        "E07 response functions",
+        "Fig. 2 and Fig. 11",
+        "any response settling at a fixed value within finite time is \
+         realizable as a fanout of inc gates — one per unit up/down step",
+    );
+
+    let fig11 = ResponseFn::fig11_biexponential();
+    println!("\nFig. 11 response (paper's step placement, verbatim):");
+    println!("  up steps   {:?}", fig11.up_steps());
+    println!("  down steps {:?}", fig11.down_steps());
+    println!(
+        "  t_max {}  c {}  r_min {}  r_max {}  (paper: 12, 0, 0, 5)",
+        fig11.t_max(),
+        fig11.final_value(),
+        fig11.min_amplitude(),
+        fig11.peak_amplitude()
+    );
+
+    println!("\namplitude timelines (t = 0..13):");
+    let rows = vec![
+        profile_row("fig11 biexponential", &fig11, 13),
+        profile_row(
+            "biexponential(5, τf=2, τs=8)",
+            &ResponseFn::biexponential(5, 2.0, 8.0, 13),
+            13,
+        ),
+        profile_row("piecewise linear (4, rise 2, fall 6)", &ResponseFn::piecewise_linear(4, 2, 6), 13),
+        profile_row("step(3) non-leaky", &ResponseFn::step(3), 13),
+        profile_row("inhibitory (fig11 negated)", &fig11.negated(), 13),
+    ];
+    print_table(&["response", "amplitude at t = 0, 1, 2, …"], &rows);
+
+    println!("\nfanout-network hardware cost (one inc gate per step):");
+    let rows: Vec<Vec<String>> = [
+        ("fig11", fig11.clone()),
+        ("fig11 × weight 3", fig11.scaled(3)),
+        ("piecewise linear(4,2,6)", ResponseFn::piecewise_linear(4, 2, 6)),
+        ("step(3)", ResponseFn::step(3)),
+    ]
+    .into_iter()
+    .map(|(name, r)| {
+        vec![
+            name.to_string(),
+            r.up_steps().len().to_string(),
+            r.down_steps().len().to_string(),
+            r.step_count().to_string(),
+        ]
+    })
+    .collect();
+    print_table(&["response", "ups", "downs", "inc gates"], &rows);
+
+    println!(
+        "\nshape check: weight scaling multiplies the step count (and thus \
+         the fanout cost) linearly — the basis of the Fig. 14 micro-weight \
+         scheme reproduced in E09."
+    );
+}

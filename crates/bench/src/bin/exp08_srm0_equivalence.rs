@@ -1,0 +1,105 @@
+//! E08 — Figs. 1 + 12 / § IV.A: the SRM0 neuron built from space-time
+//! primitives is extensionally equal to the behavioral model — and the
+//! same network, compiled to CMOS race logic, is cycle-exact too.
+
+use st_bench::{banner, print_table};
+use st_core::enumerate_inputs;
+use st_grl::{compile_network, GrlSim};
+use st_net::gate_counts;
+use st_neuron::structural::srm0_network;
+use st_neuron::{ResponseFn, Srm0Neuron, Synapse};
+
+fn main() {
+    banner(
+        "E08 SRM0 equivalence",
+        "Fig. 1 (model) vs Fig. 12 (construction), § IV.A",
+        "behavioral SRM0 == primitives-only network == compiled CMOS, for \
+         arbitrary response functions, weights, delays, thresholds",
+    );
+
+    let configs: Vec<(&str, Srm0Neuron, u64)> = vec![
+        (
+            "fig11, 1 input, θ=4",
+            Srm0Neuron::new(ResponseFn::fig11_biexponential(), vec![Synapse::excitatory(1)], 4),
+            8,
+        ),
+        (
+            "fig11, 2 inputs, θ=6 (coincidence)",
+            Srm0Neuron::new(
+                ResponseFn::fig11_biexponential(),
+                vec![Synapse::excitatory(1), Synapse::excitatory(1)],
+                6,
+            ),
+            5,
+        ),
+        (
+            "fig11, weights [2,1], θ=7",
+            Srm0Neuron::new(
+                ResponseFn::fig11_biexponential(),
+                vec![Synapse::new(0, 2), Synapse::new(0, 1)],
+                7,
+            ),
+            4,
+        ),
+        (
+            "fig11, excit+inhib [2,−1], θ=4",
+            Srm0Neuron::new(
+                ResponseFn::fig11_biexponential(),
+                vec![Synapse::new(0, 2), Synapse::new(0, -1)],
+                4,
+            ),
+            4,
+        ),
+        (
+            "piecewise linear, delays [2,0], θ=5",
+            Srm0Neuron::new(
+                ResponseFn::piecewise_linear(3, 2, 5),
+                vec![Synapse::new(2, 1), Synapse::new(0, 2)],
+                5,
+            ),
+            4,
+        ),
+        (
+            "non-leaky step, 3 inputs, θ=2",
+            Srm0Neuron::new(
+                ResponseFn::step(1),
+                vec![Synapse::excitatory(1), Synapse::excitatory(1), Synapse::excitatory(1)],
+                2,
+            ),
+            3,
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, neuron, window) in &configs {
+        let net = srm0_network(neuron);
+        let netlist = compile_network(&net);
+        let sim = GrlSim::new();
+        let mut cases = 0usize;
+        for inputs in enumerate_inputs(neuron.synapses().len(), *window) {
+            let behavioral = neuron.eval(&inputs);
+            let structural = net.eval(&inputs).unwrap()[0];
+            let cmos = sim.run(&netlist, &inputs).unwrap().outputs[0];
+            assert_eq!(structural, behavioral, "{name} at {inputs:?}");
+            assert_eq!(cmos, behavioral, "{name} (CMOS) at {inputs:?}");
+            cases += 1;
+        }
+        let c = gate_counts(&net);
+        let (and, or, lt, ff) = netlist.gate_census();
+        rows.push(vec![
+            (*name).to_string(),
+            cases.to_string(),
+            c.operators().to_string(),
+            format!("{and}/{or}/{lt}/{ff}"),
+        ]);
+    }
+    print_table(
+        &["neuron", "inputs checked", "algebraic ops", "CMOS and/or/lt/ff"],
+        &rows,
+    );
+    println!(
+        "\nall three realizations agree on every input — the paper's \
+         central construction (sorters + lt bank + min) is exact, and maps \
+         gate-for-gate onto off-the-shelf CMOS."
+    );
+}

@@ -1,0 +1,79 @@
+//! E15 — Fig. 4 (Bichler et al. workload): lane-trajectory extraction from
+//! AER-style event streams with an STDP-trained WTA column.
+
+use st_bench::{banner, f3, print_table};
+use st_tnn::data::TrajectoryDataset;
+use st_tnn::stdp::StdpParams;
+use st_tnn::train::{evaluate_column, fresh_column, train_column, TrainConfig};
+
+fn main() {
+    banner(
+        "E15 trajectory tracking",
+        "Fig. 4 (the Bichler et al. TNN)",
+        "an unsupervised STDP column over an AER pixel grid specializes one \
+         neuron per traffic lane, from event timing alone",
+    );
+
+    let lanes = 4;
+    let positions = 8;
+    println!(
+        "\nsensor: {lanes} lanes × {positions} positions = {} AER lines; \
+         events jittered ±1 tick, 10% dropped.",
+        lanes * positions
+    );
+
+    let mut rows = Vec::new();
+    for &traversals in &[0usize, 40, 100, 300, 600] {
+        let mut ds = TrajectoryDataset::new(lanes, positions, 1, 0.1, 31);
+        let config = TrainConfig {
+            stdp: StdpParams::default(),
+            seed: 17,
+            rescue: true,
+            adapt_threshold: false,
+        };
+        let mut col = fresh_column(lanes, lanes * positions, 0.15, &config);
+        let stream = ds.stream(traversals);
+        train_column(&mut col, &stream, &config);
+        let test = ds.stream(200);
+        let assignment = evaluate_column(&col, &test, lanes);
+        rows.push(vec![
+            traversals.to_string(),
+            f3(assignment.accuracy()),
+            f3(assignment.silence_rate()),
+            format!("{}/{}", assignment.coverage(), lanes),
+        ]);
+    }
+    print_table(&["traversals", "lane accuracy", "silence", "lanes covered"], &rows);
+
+    // Confusion matrix after full training.
+    let mut ds = TrajectoryDataset::new(lanes, positions, 1, 0.1, 31);
+    let config = TrainConfig {
+        stdp: StdpParams::default(),
+        seed: 17,
+        rescue: true,
+        adapt_threshold: false,
+    };
+    let mut col = fresh_column(lanes, lanes * positions, 0.15, &config);
+    let stream = ds.stream(600);
+    train_column(&mut col, &stream, &config);
+    let test = ds.stream(400);
+    let assignment = evaluate_column(&col, &test, lanes);
+    println!("\nconfusion (assigned class × true lane, last row = silent):");
+    let m = assignment.confusion();
+    let rows: Vec<Vec<String>> = m
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let mut cells = vec![if i < lanes { format!("class {i}") } else { "silent".to_string() }];
+            cells.extend(row.iter().map(ToString::to_string));
+            cells
+        })
+        .collect();
+    print_table(&["", "lane 0", "lane 1", "lane 2", "lane 3"], &rows);
+
+    println!(
+        "\nshape check: accuracy rises to ≈1.0 and every lane acquires a \
+         dedicated neuron — the qualitative Bichler result, from synthetic \
+         AER traffic in place of the (unavailable) DVS freeway recording."
+    );
+}

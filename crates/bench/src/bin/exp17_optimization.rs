@@ -1,0 +1,108 @@
+//! E17 (extension) — network optimization ablation: how much redundancy
+//! the paper's mechanical constructions carry, and how much a
+//! semantics-preserving optimizer (constant folding + CSE + dead-gate
+//! elimination) recovers — e.g. when micro-weights are pinned.
+
+use st_bench::{banner, f3, print_table};
+use st_core::{enumerate_inputs, FunctionTable, Time};
+use st_net::optimize::optimize;
+use st_net::synth::{synthesize, SynthesisOptions};
+use st_net::Network;
+use st_neuron::structural::srm0_network;
+use st_neuron::{ProgrammableSrm0, ResponseFn, Srm0Neuron, Synapse};
+
+fn t(v: u64) -> Time {
+    Time::finite(v)
+}
+
+fn check_equiv(a: &Network, b: &Network, window: u64) {
+    for inputs in enumerate_inputs(a.input_count(), window) {
+        assert_eq!(a.eval(&inputs).unwrap(), b.eval(&inputs).unwrap(), "at {inputs:?}");
+    }
+}
+
+fn main() {
+    banner(
+        "E17 network optimization (ablation)",
+        "design-choice ablation (DESIGN.md) on the §§ III–IV constructions",
+        "constant folding + CSE + dead-gate elimination shrinks mechanical \
+         constructions without changing a single output",
+    );
+
+    let mut rows = Vec::new();
+
+    // Theorem 1 synthesis, both bases.
+    let table = FunctionTable::from_rows(
+        3,
+        vec![
+            (vec![t(0), t(1), t(2)], t(3)),
+            (vec![t(1), t(0), Time::INFINITY], t(2)),
+            (vec![t(2), t(2), t(0)], t(2)),
+        ],
+    )
+    .unwrap();
+    for (name, options) in [
+        ("fig7 synthesis (native max)", SynthesisOptions::default()),
+        ("fig7 synthesis (pure basis)", SynthesisOptions::pure()),
+    ] {
+        let net = synthesize(&table, options);
+        let (opt, report) = optimize(&net);
+        check_equiv(&net, &opt, 4);
+        rows.push(vec![
+            name.to_string(),
+            report.gates_before.to_string(),
+            report.gates_after.to_string(),
+            f3(report.reduction()),
+        ]);
+    }
+
+    // A structural SRM0 neuron (Fig. 12).
+    let neuron = Srm0Neuron::new(
+        ResponseFn::fig11_biexponential(),
+        vec![Synapse::excitatory(1), Synapse::excitatory(1)],
+        6,
+    );
+    let net = srm0_network(&neuron);
+    let (opt, report) = optimize(&net);
+    check_equiv(&net, &opt, 3);
+    rows.push(vec![
+        "fig12 SRM0 (2 inputs, θ=6)".to_string(),
+        report.gates_before.to_string(),
+        report.gates_after.to_string(),
+        f3(report.reduction()),
+    ]);
+
+    // A programmable SRM0 with its weights pinned: the disabled
+    // micro-weight branches are entirely removable hardware.
+    let unit = ResponseFn::fig11_biexponential();
+    let mut prog = ProgrammableSrm0::new(&unit, 2, 2, 5);
+    prog.set_weights(&[1, 0]).unwrap();
+    let net = prog.network().clone();
+    let (opt, report) = optimize(&net);
+    check_equiv(&net, &opt, 3);
+    rows.push(vec![
+        "programmable SRM0 pinned to [1, 0]".to_string(),
+        report.gates_before.to_string(),
+        report.gates_after.to_string(),
+        f3(report.reduction()),
+    ]);
+
+    // A WTA stage (already tight — little to remove).
+    let net = st_net::wta::wta_network(4, 1);
+    let (opt, report) = optimize(&net);
+    check_equiv(&net, &opt, 3);
+    rows.push(vec![
+        "1-WTA over 4 lines".to_string(),
+        report.gates_before.to_string(),
+        report.gates_after.to_string(),
+        f3(report.reduction()),
+    ]);
+
+    print_table(&["network", "gates before", "gates after", "reduction"], &rows);
+    println!(
+        "\nshape check: synthesized and pinned-configuration networks carry \
+         large removable margins (specialization folds disabled branches \
+         away); hand-tight constructions like WTA barely change. All \
+         optimizations verified output-equivalent on every enumerated input."
+    );
+}

@@ -1,0 +1,91 @@
+//! E18 (extension) — § II.C compound synapses: Hopfield's multi-path
+//! delay encoding and Natschläger-Ruf delay-selection learning.
+
+use st_bench::{banner, print_table};
+use st_neuron::compound::{delay_learning_step, DelayLearningParams, RbfNeuron};
+use st_neuron::ResponseFn;
+use st_core::Time;
+
+fn t(v: u64) -> Time {
+    Time::finite(v)
+}
+
+fn main() {
+    banner(
+        "E18 compound synapses / temporal RBF",
+        "§ II.C (Hopfield 1995; Natschläger & Ruf)",
+        "multi-path delayed connections tune a neuron to a relative timing \
+         pattern; localized delay-selection learning finds the alignment",
+    );
+
+    // An untrained RBF unit: 3 inputs, candidate delays 0..=4 each.
+    let delays: Vec<u64> = (0..=4).collect();
+    let mut neuron =
+        RbfNeuron::with_uniform_delay_lines(ResponseFn::step(1), 3, &delays, 3, 15);
+    println!(
+        "\nuntrained unit: 3 inputs × {} candidate delays, θ = {}",
+        delays.len(),
+        neuron.threshold()
+    );
+
+    // The hidden pattern: input offsets [4, 0, 2].
+    let pattern = [t(4), t(0), t(2)];
+    let params = DelayLearningParams::default();
+    println!("\ndelay-selection learning on pattern [4, 0, 2]:");
+    let mut rows = Vec::new();
+    for round in 0..=24u32 {
+        if round % 4 == 0 {
+            let out = neuron.eval(&pattern);
+            rows.push(vec![
+                round.to_string(),
+                format!("{:?}", neuron.preferred_pattern()),
+                out.to_string(),
+            ]);
+        }
+        let out = neuron.eval(&pattern);
+        delay_learning_step(&mut neuron, &pattern, out, &params);
+    }
+    print_table(&["round", "preferred pattern", "fires at"], &rows);
+
+    // Selectivity after training. Relative latency is the readout: the
+    // trained pattern elicits the *earliest* spike (and shifts with the
+    // input — invariance); mismatched patterns fire later or never. A
+    // caveat of the non-leaky unit used here: a probe whose spikes all
+    // come *earlier* than the pattern's (e.g. uniform [0,0,0]) can tie,
+    // because non-leaky integration happily waits for the last dominant
+    // path — leaky responses would penalize it.
+    println!("\nselectivity after training (first-spike latency readout):");
+    let probes: Vec<(&str, [Time; 3])> = vec![
+        ("trained [4,0,2]", [t(4), t(0), t(2)]),
+        ("shifted  [6,2,4] (= trained + 2)", [t(6), t(2), t(4)]),
+        ("scrambled [0,4,2]", [t(0), t(4), t(2)]),
+        ("scrambled [2,4,0]", [t(2), t(4), t(0)]),
+        ("partial  [4,0,∞]", [t(4), t(0), Time::INFINITY]),
+        ("uniform  [0,0,0] (non-leaky tie)", [t(0), t(0), t(0)]),
+    ];
+    let rows: Vec<Vec<String>> = probes
+        .iter()
+        .map(|(name, v)| vec![(*name).to_string(), neuron.eval(v).to_string()])
+        .collect();
+    print_table(&["probe volley", "fires at"], &rows);
+
+    // The structural story: compound paths are just more inc fanout.
+    let net = neuron.to_network();
+    let c = st_net::gate_counts(&net);
+    println!(
+        "\nstructural realization: {c} — every candidate path is literally \
+         one more inc gate feeding the same Fig. 12 sorters."
+    );
+    // Equivalence spot check.
+    for inputs in st_core::enumerate_inputs(3, 3) {
+        assert_eq!(net.eval(&inputs).unwrap()[0], neuron.eval(&inputs));
+    }
+    println!("behavioral ≡ structural verified on 216 inputs.");
+
+    println!(
+        "\nshape check: learning sparsifies each delay line onto the \
+         alignment; the trained unit fires earliest on its pattern (shifting \
+         with it — invariance), later on scrambles, never on partial input; \
+         the uniform tie is the documented non-leaky-integration caveat."
+    );
+}

@@ -1,0 +1,91 @@
+//! E19 (extension) — § II.C tempotron: supervised spike-timing decisions
+//! (Gütig & Sompolinsky) in the discretized low-resolution weight regime.
+
+use st_bench::{banner, f3, print_table};
+use st_core::Volley;
+use st_tnn::data::PatternDataset;
+use st_tnn::tempotron::{Tempotron, TempotronParams, Trial};
+
+fn main() {
+    banner(
+        "E19 tempotron",
+        "§ II.C (Gütig & Sompolinsky 2006)",
+        "a single neuron learns supervised fire/no-fire decisions over \
+         spike-timing patterns, with signed low-resolution weights",
+    );
+
+    // Task: pattern 0 → fire, pattern 1 → stay silent, ±1 tick jitter.
+    let width = 16;
+    let mut ds = PatternDataset::new(2, width, 7, 1, 0.0, 77);
+    let make_set = |ds: &mut PatternDataset, n: usize| -> Vec<(Volley, bool)> {
+        let mut set = Vec::new();
+        for _ in 0..n {
+            set.push((ds.present(0).volley, true));
+            set.push((ds.present(1).volley, false));
+        }
+        set
+    };
+    let train_set = make_set(&mut ds, 40);
+    let test_set = make_set(&mut ds, 100);
+
+    println!("\ntraining curve (epoch errors on 80 jittered samples):");
+    let mut tp = Tempotron::new(width, 10, TempotronParams::default());
+    let mut rows = Vec::new();
+    let mut converged_at = None;
+    for epoch in 1..=60usize {
+        let mut errors = 0;
+        let mut misses = 0;
+        let mut alarms = 0;
+        for (v, label) in &train_set {
+            match tp.train_step(v, *label) {
+                Trial::Correct => {}
+                Trial::Miss => {
+                    errors += 1;
+                    misses += 1;
+                }
+                Trial::FalseAlarm => {
+                    errors += 1;
+                    alarms += 1;
+                }
+            }
+        }
+        if epoch <= 5 || epoch % 10 == 0 || (errors == 0 && converged_at.is_none()) {
+            rows.push(vec![
+                epoch.to_string(),
+                errors.to_string(),
+                misses.to_string(),
+                alarms.to_string(),
+                f3(tp.accuracy(&test_set)),
+            ]);
+        }
+        if errors == 0 {
+            converged_at.get_or_insert(epoch);
+            if epoch >= 20 {
+                break;
+            }
+        }
+    }
+    print_table(&["epoch", "errors", "misses", "false alarms", "test accuracy"], &rows);
+
+    println!(
+        "\nconverged at epoch {:?}; final test accuracy {} on 200 fresh \
+         jittered samples.",
+        converged_at,
+        f3(tp.accuracy(&test_set))
+    );
+
+    // The learned weights: signed, low resolution.
+    let weights: Vec<i32> = tp.neuron().synapses().iter().map(|s| s.weight).collect();
+    println!("\nlearned signed weights (3-bit range [-7, 7]):\n  {weights:?}");
+    let negatives = weights.iter().filter(|&&w| w < 0).count();
+    println!(
+        "  {negatives} of {width} synapses turned inhibitory — the tempotron's \
+         signature freedom vs the unsupervised STDP rule (E14)."
+    );
+
+    println!(
+        "\nshape check: error-driven convergence within tens of epochs, \
+         generalization to jittered samples, and emergent negative weights \
+         on lines that betray the negative class."
+    );
+}

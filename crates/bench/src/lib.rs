@@ -1,0 +1,61 @@
+//! # st-bench — experiment harness
+//!
+//! Regenerates every figure and quantitative claim of Smith's "Space-Time
+//! Algebra" (ISCA 2018). Each `exp NN` binary in `src/bin/` prints the
+//! rows/series recorded in the repository's `EXPERIMENTS.md`; the
+//! Criterion benches in `benches/` cover everything with a timing or
+//! scaling axis. See `DESIGN.md` for the experiment ↔ paper-artifact map.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+
+/// Prints a Markdown-style table: a header row, a separator, then rows.
+///
+/// # Panics
+///
+/// Panics if any row's width differs from the header's.
+pub fn print_table<S: Display>(header: &[&str], rows: &[Vec<S>]) {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    let rendered: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            assert_eq!(r.len(), header.len(), "row width mismatch");
+            r.iter().map(ToString::to_string).collect()
+        })
+        .collect();
+    for row in &rendered {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let fmt_row = |cells: Vec<String>| {
+        let body: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
+        println!("| {} |", body.join(" | "));
+    };
+    fmt_row(header.iter().map(ToString::to_string).collect());
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("|-{}-|", sep.join("-|-"));
+    for row in rendered {
+        fmt_row(row);
+    }
+}
+
+/// Prints an experiment banner with its id and paper artifact.
+pub fn banner(id: &str, artifact: &str, claim: &str) {
+    println!("==============================================================");
+    println!("{id} — reproduces {artifact}");
+    println!("claim: {claim}");
+    println!("==============================================================");
+}
+
+/// Formats a float with three significant decimals for table cells.
+#[must_use]
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}

@@ -1,0 +1,409 @@
+//! An expression AST over the space-time primitives.
+//!
+//! [`Expr`] represents a feedforward composition of the paper's primitive
+//! functions as a tree. It is the lightweight, purely algebraic counterpart
+//! to the gate-network representation in the `st-net` crate: expressions
+//! are convenient for stating and property-testing algebraic identities,
+//! and for *constructing* circuits that are later compiled into shared-node
+//! networks. By Lemma 1 of the paper, every expression denotes a space-time
+//! function.
+
+use crate::error::CoreError;
+use crate::function::SpaceTimeFunction;
+use crate::time::Time;
+use core::fmt;
+use core::ops::{BitAnd, BitOr};
+use std::sync::Arc;
+
+/// A feedforward composition of space-time primitives.
+///
+/// Subtrees are reference-counted so expressions can share structure —
+/// constructions like the Theorem 1 canonical form reuse each input many
+/// times without duplicating memory.
+///
+/// # Examples
+///
+/// ```
+/// use st_core::{Expr, SpaceTimeFunction, Time};
+///
+/// // The Fig. 6(b) example network: y = lt(min(a + 1, b), c).
+/// let (a, b, c) = (Expr::input(0), Expr::input(1), Expr::input(2));
+/// let y = (a.inc(1) & b).lt(c);
+/// let out = y.apply(&[Time::finite(0), Time::finite(3), Time::finite(2)])?;
+/// assert_eq!(out, Time::finite(1));
+/// # Ok::<(), st_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// The `i`-th primary input.
+    Input(usize),
+    /// A constant event time (used for configuration inputs such as
+    /// micro-weights; `Const(∞)` is the absent event).
+    Const(Time),
+    /// The earlier of two events (`∧`).
+    Min(Arc<Expr>, Arc<Expr>),
+    /// The later of two events (`∨`).
+    Max(Arc<Expr>, Arc<Expr>),
+    /// The first event if it strictly precedes the second (`≺`), else `∞`.
+    Lt(Arc<Expr>, Arc<Expr>),
+    /// The event delayed by a constant number of unit times.
+    Inc(Arc<Expr>, u64),
+}
+
+impl Expr {
+    /// The `i`-th primary input.
+    #[must_use]
+    pub fn input(i: usize) -> Expr {
+        Expr::Input(i)
+    }
+
+    /// A constant event time.
+    #[must_use]
+    pub fn constant(t: Time) -> Expr {
+        Expr::Const(t)
+    }
+
+    /// `min(self, other)` — also available as `self & other`.
+    #[must_use]
+    pub fn min(self, other: Expr) -> Expr {
+        Expr::Min(Arc::new(self), Arc::new(other))
+    }
+
+    /// `max(self, other)` — also available as `self | other`.
+    #[must_use]
+    pub fn max(self, other: Expr) -> Expr {
+        Expr::Max(Arc::new(self), Arc::new(other))
+    }
+
+    /// `lt(self, other)`: this event if it strictly precedes `other`.
+    #[must_use]
+    pub fn lt(self, other: Expr) -> Expr {
+        Expr::Lt(Arc::new(self), Arc::new(other))
+    }
+
+    /// Delays this event by `delta` unit times.
+    #[must_use]
+    pub fn inc(self, delta: u64) -> Expr {
+        Expr::Inc(Arc::new(self), delta)
+    }
+
+    /// `min` over any number of expressions (`Const(∞)` for none).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use st_core::{Expr, SpaceTimeFunction, Time};
+    /// let e = Expr::min_all([Expr::input(0), Expr::input(1), Expr::input(2)]);
+    /// let out = e.apply(&[Time::finite(5), Time::finite(2), Time::finite(9)])?;
+    /// assert_eq!(out, Time::finite(2));
+    /// # Ok::<(), st_core::CoreError>(())
+    /// ```
+    #[must_use]
+    pub fn min_all<I: IntoIterator<Item = Expr>>(exprs: I) -> Expr {
+        exprs
+            .into_iter()
+            .reduce(Expr::min)
+            .unwrap_or(Expr::Const(Time::INFINITY))
+    }
+
+    /// `max` over any number of expressions (`Const(0)` for none).
+    #[must_use]
+    pub fn max_all<I: IntoIterator<Item = Expr>>(exprs: I) -> Expr {
+        exprs
+            .into_iter()
+            .reduce(Expr::max)
+            .unwrap_or(Expr::Const(Time::ZERO))
+    }
+
+    /// `max` built from `min` and `lt` only, per Lemma 2 / Fig. 8:
+    /// `min( lt(b, lt(b, a)), lt(a, lt(a, b)) )`.
+    #[must_use]
+    pub fn max_via_lemma2(a: Expr, b: Expr) -> Expr {
+        let left = b.clone().lt(b.clone().lt(a.clone()));
+        let right = a.clone().lt(a.lt(b));
+        left.min(right)
+    }
+
+    /// Evaluates the expression on an input vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InputOutOfRange`] if the expression references
+    /// an input index `>= inputs.len()`.
+    pub fn eval(&self, inputs: &[Time]) -> Result<Time, CoreError> {
+        match self {
+            Expr::Input(i) => inputs.get(*i).copied().ok_or(CoreError::InputOutOfRange {
+                index: *i,
+                arity: inputs.len(),
+            }),
+            Expr::Const(t) => Ok(*t),
+            Expr::Min(a, b) => Ok(a.eval(inputs)?.meet(b.eval(inputs)?)),
+            Expr::Max(a, b) => Ok(a.eval(inputs)?.join(b.eval(inputs)?)),
+            Expr::Lt(a, b) => Ok(a.eval(inputs)?.lt_gate(b.eval(inputs)?)),
+            Expr::Inc(a, c) => Ok(a.eval(inputs)? + *c),
+        }
+    }
+
+    /// The smallest arity this expression can be applied at: one more than
+    /// the largest referenced input index (`0` if no inputs are referenced).
+    #[must_use]
+    pub fn min_arity(&self) -> usize {
+        match self {
+            Expr::Input(i) => i + 1,
+            Expr::Const(_) => 0,
+            Expr::Min(a, b) | Expr::Max(a, b) | Expr::Lt(a, b) => a.min_arity().max(b.min_arity()),
+            Expr::Inc(a, _) => a.min_arity(),
+        }
+    }
+
+    /// The number of operator nodes (inputs and constants count as 0).
+    #[must_use]
+    pub fn op_count(&self) -> usize {
+        match self {
+            Expr::Input(_) | Expr::Const(_) => 0,
+            Expr::Min(a, b) | Expr::Max(a, b) | Expr::Lt(a, b) => 1 + a.op_count() + b.op_count(),
+            Expr::Inc(a, _) => 1 + a.op_count(),
+        }
+    }
+
+    /// The longest operator path from the root to a leaf.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        match self {
+            Expr::Input(_) | Expr::Const(_) => 0,
+            Expr::Min(a, b) | Expr::Max(a, b) | Expr::Lt(a, b) => 1 + a.depth().max(b.depth()),
+            Expr::Inc(a, _) => 1 + a.depth(),
+        }
+    }
+
+    /// Whether the expression uses only the minimal complete primitive set
+    /// `{min, lt, inc}` (plus inputs/constants) — i.e. no `Max` node.
+    #[must_use]
+    pub fn uses_only_minimal_primitives(&self) -> bool {
+        match self {
+            Expr::Input(_) | Expr::Const(_) => true,
+            Expr::Max(_, _) => false,
+            Expr::Min(a, b) | Expr::Lt(a, b) => {
+                a.uses_only_minimal_primitives() && b.uses_only_minimal_primitives()
+            }
+            Expr::Inc(a, _) => a.uses_only_minimal_primitives(),
+        }
+    }
+
+    /// Rewrites every `Max` node via the Lemma 2 construction, yielding an
+    /// equivalent expression over the minimal primitive set.
+    #[must_use]
+    pub fn eliminate_max(&self) -> Expr {
+        match self {
+            Expr::Input(_) | Expr::Const(_) => self.clone(),
+            Expr::Min(a, b) => a.eliminate_max().min(b.eliminate_max()),
+            Expr::Lt(a, b) => a.eliminate_max().lt(b.eliminate_max()),
+            Expr::Inc(a, c) => a.eliminate_max().inc(*c),
+            Expr::Max(a, b) => Expr::max_via_lemma2(a.eliminate_max(), b.eliminate_max()),
+        }
+    }
+}
+
+/// Treats an expression as a [`SpaceTimeFunction`] of arity
+/// [`Expr::min_arity`].
+impl SpaceTimeFunction for Expr {
+    fn arity(&self) -> usize {
+        self.min_arity()
+    }
+
+    fn apply(&self, inputs: &[Time]) -> Result<Time, CoreError> {
+        if inputs.len() < self.min_arity() {
+            return Err(CoreError::ArityMismatch {
+                expected: self.min_arity(),
+                actual: inputs.len(),
+            });
+        }
+        self.eval(inputs)
+    }
+}
+
+impl BitAnd for Expr {
+    type Output = Expr;
+
+    /// `a & b` is `min(a, b)` (`∧`).
+    fn bitand(self, rhs: Expr) -> Expr {
+        self.min(rhs)
+    }
+}
+
+impl BitOr for Expr {
+    type Output = Expr;
+
+    /// `a | b` is `max(a, b)` (`∨`).
+    fn bitor(self, rhs: Expr) -> Expr {
+        self.max(rhs)
+    }
+}
+
+impl fmt::Display for Expr {
+    /// Renders the expression in s-expression form with the paper's
+    /// operator symbols, e.g. `(≺ (∧ (+1 x0) x1) x2)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Input(i) => write!(f, "x{i}"),
+            Expr::Const(t) => write!(f, "{t}"),
+            Expr::Min(a, b) => write!(f, "(∧ {a} {b})"),
+            Expr::Max(a, b) => write!(f, "(∨ {a} {b})"),
+            Expr::Lt(a, b) => write!(f, "(≺ {a} {b})"),
+            Expr::Inc(a, c) => write!(f, "(+{c} {a})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::{enumerate_inputs, verify_space_time};
+
+    fn t(v: u64) -> Time {
+        Time::finite(v)
+    }
+
+    #[test]
+    fn fig6_example_network() {
+        // Fig. 6(b): a small network of inc, min, lt blocks.
+        let y = (Expr::input(0).inc(1) & Expr::input(1)).lt(Expr::input(2));
+        assert_eq!(y.eval(&[t(0), t(3), t(2)]).unwrap(), t(1));
+        assert_eq!(y.eval(&[t(5), t(3), t(2)]).unwrap(), Time::INFINITY);
+        assert_eq!(y.eval(&[t(0), t(3), Time::INFINITY]).unwrap(), t(1));
+    }
+
+    #[test]
+    fn operators_match_methods() {
+        let a = Expr::input(0);
+        let b = Expr::input(1);
+        assert_eq!(a.clone() & b.clone(), a.clone().min(b.clone()));
+        assert_eq!(a.clone() | b.clone(), a.max(b));
+    }
+
+    #[test]
+    fn arity_size_depth() {
+        let e = (Expr::input(2).inc(3) & Expr::input(0)).lt(Expr::constant(t(7)));
+        assert_eq!(e.min_arity(), 3);
+        assert_eq!(e.op_count(), 3);
+        assert_eq!(e.depth(), 3);
+        assert_eq!(Expr::input(0).depth(), 0);
+        assert_eq!(Expr::constant(t(1)).min_arity(), 0);
+    }
+
+    #[test]
+    fn apply_enforces_arity() {
+        let e = Expr::input(1);
+        assert!(e.apply(&[t(0)]).is_err());
+        assert_eq!(e.apply(&[t(0), t(4)]).unwrap(), t(4));
+        // Extra inputs beyond min_arity are permitted by apply.
+        assert_eq!(e.apply(&[t(0), t(4), t(9)]).unwrap(), t(4));
+        assert_eq!(
+            e.eval(&[t(0)]),
+            Err(CoreError::InputOutOfRange { index: 1, arity: 1 })
+        );
+    }
+
+    #[test]
+    fn lemma2_expression_equals_max() {
+        let m = Expr::max_via_lemma2(Expr::input(0), Expr::input(1));
+        assert!(m.uses_only_minimal_primitives());
+        for inputs in enumerate_inputs(2, 5) {
+            assert_eq!(
+                m.eval(&inputs).unwrap(),
+                inputs[0].join(inputs[1]),
+                "at {inputs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn eliminate_max_preserves_semantics() {
+        let e = (Expr::input(0) | Expr::input(1).inc(1)) & (Expr::input(2) | Expr::input(0));
+        assert!(!e.uses_only_minimal_primitives());
+        let reduced = e.eliminate_max();
+        assert!(reduced.uses_only_minimal_primitives());
+        for inputs in enumerate_inputs(3, 3) {
+            assert_eq!(
+                e.eval(&inputs).unwrap(),
+                reduced.eval(&inputs).unwrap(),
+                "at {inputs:?}"
+            );
+        }
+        // Identity on max-free expressions.
+        let plain = Expr::input(0).inc(2).lt(Expr::input(1)) & Expr::constant(t(9));
+        assert_eq!(plain.eliminate_max(), plain);
+    }
+
+    #[test]
+    fn expressions_are_space_time_functions() {
+        let exprs = vec![
+            Expr::input(0) & Expr::input(1),
+            Expr::input(0) | Expr::input(1),
+            Expr::input(0).lt(Expr::input(1)),
+            Expr::input(0).inc(2),
+            Expr::max_via_lemma2(Expr::input(0), Expr::input(1)),
+            (Expr::input(0).inc(1) & Expr::input(1)).lt(Expr::input(2)),
+        ];
+        for e in exprs {
+            verify_space_time(&e, 3, 2, None)
+                .unwrap_or_else(|v| panic!("{e} violates: {v}"));
+        }
+    }
+
+    #[test]
+    fn constants_can_break_invariance_and_that_is_detected() {
+        // A finite constant models a configuration input held at an
+        // absolute time; as a closed function of the data inputs it is NOT
+        // shift-invariant, and the checker reports this.
+        let e = Expr::input(0) & Expr::constant(t(1));
+        let violation = verify_space_time(&e, 3, 2, None).unwrap_err();
+        assert!(matches!(
+            violation,
+            crate::PropertyViolation::NotInvariant { .. }
+        ));
+        // The ∞ constant (a disabled micro-weight) is invariant.
+        let disabled = Expr::input(0) & Expr::constant(Time::INFINITY);
+        verify_space_time(&disabled, 3, 2, None).unwrap();
+    }
+
+    #[test]
+    fn fold_constructors() {
+        assert_eq!(
+            Expr::min_all([]).eval(&[]).unwrap(),
+            Time::INFINITY
+        );
+        assert_eq!(Expr::max_all([]).eval(&[]).unwrap(), Time::ZERO);
+        let e = Expr::min_all((0..4).map(Expr::input));
+        assert_eq!(
+            e.eval(&[t(4), t(2), t(7), t(3)]).unwrap(),
+            t(2)
+        );
+        let e = Expr::max_all((0..4).map(Expr::input));
+        assert_eq!(
+            e.eval(&[t(4), t(2), t(7), t(3)]).unwrap(),
+            t(7)
+        );
+    }
+
+    #[test]
+    fn display_uses_paper_symbols() {
+        let e = (Expr::input(0).inc(1) & Expr::input(1)).lt(Expr::input(2));
+        assert_eq!(e.to_string(), "(≺ (∧ (+1 x0) x1) x2)");
+        assert_eq!(Expr::constant(Time::INFINITY).to_string(), "∞");
+        assert_eq!((Expr::input(0) | Expr::input(1)).to_string(), "(∨ x0 x1)");
+    }
+
+    #[test]
+    fn structural_sharing_is_cheap() {
+        // Build a deep chain reusing a shared subtree; op_count is linear
+        // in the tree view but memory is shared via Arc.
+        let shared = Expr::input(0) & Expr::input(1);
+        let mut e = shared.clone();
+        for _ in 0..10 {
+            e = e & shared.clone();
+        }
+        assert_eq!(e.op_count(), 1 + 10 * 2);
+        assert_eq!(e.eval(&[t(3), t(5)]).unwrap(), t(3));
+    }
+}

@@ -1,0 +1,166 @@
+//! Law checkers for the space-time algebra's lattice structure.
+//!
+//! Section III.D of the paper defines the s-t algebra as the bounded
+//! distributive lattice `S = (N0^∞, ∧, ∨, 0, ∞)`. The functions in this
+//! module verify, for concrete elements, each of the laws the paper
+//! asserts: idempotence, commutativity, associativity, absorption,
+//! distributivity, boundedness, and closure of the order under the
+//! primitives' monotonicity. They exist so tests (including property-based
+//! tests in downstream crates) can state the laws by name rather than
+//! re-deriving them inline, and so the laws are part of the documented,
+//! executable surface of the library.
+//!
+//! Every checker returns `true` when the law holds for the given elements;
+//! since the laws are theorems of the algebra, a `false` return indicates a
+//! bug in [`Time`]'s operations.
+
+use crate::time::Time;
+
+/// `a ∧ a = a` and `a ∨ a = a`.
+#[must_use]
+pub fn idempotent(a: Time) -> bool {
+    a.meet(a) == a && a.join(a) == a
+}
+
+/// `a ∧ b = b ∧ a` and `a ∨ b = b ∨ a`.
+#[must_use]
+pub fn commutative(a: Time, b: Time) -> bool {
+    a.meet(b) == b.meet(a) && a.join(b) == b.join(a)
+}
+
+/// `(a ∧ b) ∧ c = a ∧ (b ∧ c)` and dually for `∨`.
+#[must_use]
+pub fn associative(a: Time, b: Time, c: Time) -> bool {
+    a.meet(b).meet(c) == a.meet(b.meet(c)) && a.join(b).join(c) == a.join(b.join(c))
+}
+
+/// The absorption laws: `a ∧ (a ∨ b) = a` and `a ∨ (a ∧ b) = a`.
+#[must_use]
+pub fn absorptive(a: Time, b: Time) -> bool {
+    a.meet(a.join(b)) == a && a.join(a.meet(b)) == a
+}
+
+/// Distributivity in both directions:
+/// `a ∧ (b ∨ c) = (a ∧ b) ∨ (a ∧ c)` and
+/// `a ∨ (b ∧ c) = (a ∨ b) ∧ (a ∨ c)`.
+#[must_use]
+pub fn distributive(a: Time, b: Time, c: Time) -> bool {
+    a.meet(b.join(c)) == a.meet(b).join(a.meet(c))
+        && a.join(b.meet(c)) == a.join(b).meet(a.join(c))
+}
+
+/// Boundedness: `0` is the identity of `∨` and annihilator of `∧`; `∞` is
+/// the identity of `∧` and annihilator of `∨`.
+#[must_use]
+pub fn bounded(a: Time) -> bool {
+    a.join(Time::ZERO) == a
+        && a.meet(Time::ZERO) == Time::ZERO
+        && a.meet(Time::INFINITY) == a
+        && a.join(Time::INFINITY) == Time::INFINITY
+}
+
+/// The lattice order agrees with the total order on times:
+/// `a ≤ b ⟺ a ∧ b = a ⟺ a ∨ b = b`.
+#[must_use]
+pub fn order_consistent(a: Time, b: Time) -> bool {
+    (a <= b) == (a.meet(b) == a) && (a <= b) == (a.join(b) == b)
+}
+
+/// Monotonicity of the primitives in every argument, which underlies the
+/// proof that arbitrary feedforward compositions remain causal:
+/// if `a ≤ a'` then `a ∧ b ≤ a' ∧ b`, `a ∨ b ≤ a' ∨ b`, and `a + c ≤ a' + c`.
+///
+/// (`lt` is monotone in its first argument and *antitone* in the second in
+/// the sense that delaying the second argument can only move the output from
+/// `∞` to finite; both directions are covered by
+/// [`lt_monotone_first`] / [`lt_release_second`].)
+#[must_use]
+pub fn monotone(a: Time, a2: Time, b: Time, c: u64) -> bool {
+    if a > a2 {
+        return monotone(a2, a, b, c);
+    }
+    a.meet(b) <= a2.meet(b) && a.join(b) <= a2.join(b) && a.inc(c) <= a2.inc(c)
+}
+
+/// `lt` never produces an event earlier than its first input, and is
+/// monotone in that input: if `a ≤ a'` then `lt(a, b) ≤ lt(a', b)` fails in
+/// general (the output can jump to `∞`), but the *event-or-absent* shape is
+/// preserved: `lt(a, b) ∈ {a, ∞}`.
+#[must_use]
+pub fn lt_monotone_first(a: Time, b: Time) -> bool {
+    let out = a.lt_gate(b);
+    out == a || out == Time::INFINITY
+}
+
+/// Delaying the inhibiting input of `lt` can only *release* the output:
+/// if `b ≤ b'` then `lt(a, b) = a` implies `lt(a, b') = a`.
+#[must_use]
+pub fn lt_release_second(a: Time, b: Time, b2: Time) -> bool {
+    if b > b2 {
+        return lt_release_second(a, b2, b);
+    }
+    a.lt_gate(b).is_infinite() || a.lt_gate(b2) == a
+}
+
+/// The algebra is *not* complemented: exhibits that no complement exists
+/// for a strictly internal element. Returns `true` (the paper's claim
+/// holds) when no `x` in `candidates` satisfies `a ∧ x = 0` and `a ∨ x = ∞`
+/// for a finite, non-zero `a`.
+#[must_use]
+pub fn has_no_complement_among(a: Time, candidates: &[Time]) -> bool {
+    if a == Time::ZERO || a.is_infinite() {
+        // 0 and ∞ are each other's complements in any bounded lattice.
+        return true;
+    }
+    !candidates
+        .iter()
+        .any(|&x| a.meet(x) == Time::ZERO && a.join(x) == Time::INFINITY)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Time> {
+        let mut v: Vec<Time> = (0..=8).map(Time::finite).collect();
+        v.push(Time::finite(1_000));
+        v.push(Time::MAX_FINITE);
+        v.push(Time::INFINITY);
+        v
+    }
+
+    #[test]
+    fn all_laws_hold_exhaustively_over_samples() {
+        let s = samples();
+        for &a in &s {
+            assert!(idempotent(a), "idempotent failed at {a}");
+            assert!(bounded(a), "bounded failed at {a}");
+            for &b in &s {
+                assert!(commutative(a, b));
+                assert!(absorptive(a, b));
+                assert!(order_consistent(a, b));
+                assert!(lt_monotone_first(a, b));
+                for &c in &s {
+                    assert!(associative(a, b, c));
+                    assert!(distributive(a, b, c));
+                    assert!(lt_release_second(a, b, c));
+                    assert!(monotone(a, b, c, 3));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_internal_element_has_a_complement() {
+        let s = samples();
+        for &a in &s {
+            assert!(has_no_complement_among(a, &s), "unexpected complement for {a}");
+        }
+    }
+
+    #[test]
+    fn zero_and_infinity_are_mutual_complements() {
+        assert_eq!(Time::ZERO.meet(Time::INFINITY), Time::ZERO);
+        assert_eq!(Time::ZERO.join(Time::INFINITY), Time::INFINITY);
+    }
+}

@@ -1,0 +1,182 @@
+//! The primitive space-time operations as free functions.
+//!
+//! The paper (Section III.D) fixes four primitive functions over the
+//! space-time algebra: *min* (`∧`), *max* (`∨`), *lt* (`≺`) and *inc*
+//! (`+1`, generalized here to `+c`). The same operations exist as methods
+//! on [`Time`]; this module provides them in function form, which reads
+//! naturally when passing operations around or mirroring the paper's
+//! equations, together with a handful of *derived* operations whose
+//! constructions from the primitives are exercised in the test suite.
+
+use crate::time::Time;
+
+/// The `min` primitive `∧`: the time of the first-arriving input event.
+///
+/// # Examples
+///
+/// ```
+/// use st_core::{ops, Time};
+/// assert_eq!(ops::min(Time::finite(4), Time::finite(2)), Time::finite(2));
+/// ```
+#[must_use]
+pub fn min(a: Time, b: Time) -> Time {
+    a.meet(b)
+}
+
+/// The `max` function `∨`: the time of the last-arriving input event.
+///
+/// By Lemma 2 of the paper, `max` is expressible with `min` and `lt` alone
+/// (see [`max_via_lemma2`]); it is nevertheless treated as a basic operation
+/// for convenience.
+#[must_use]
+pub fn max(a: Time, b: Time) -> Time {
+    a.join(b)
+}
+
+/// The `lt` primitive `≺`: `a` if `a` strictly precedes `b`, otherwise `∞`.
+#[must_use]
+pub fn lt(a: Time, b: Time) -> Time {
+    a.lt_gate(b)
+}
+
+/// The `inc` primitive: delays event `a` by `c` unit time steps.
+#[must_use]
+pub fn inc(a: Time, c: u64) -> Time {
+    a.inc(c)
+}
+
+/// `max` computed using only `min` and `lt`, following the Lemma 2
+/// construction (Fig. 8 of the paper).
+///
+/// The construction evaluates
+/// `min( lt(b, lt(b, a)), lt(a, lt(a, b)) )`:
+///
+/// * `lt(b, lt(b, a))` equals `b` when `a ≤ b` and `∞` when `a > b`;
+/// * `lt(a, lt(a, b))` equals `a` when `a ≥ b` and `∞` when `a < b`;
+///
+/// so their `min` is exactly `max(a, b)` in all three cases `a < b`,
+/// `a = b`, `a > b`.
+///
+/// # Examples
+///
+/// ```
+/// use st_core::{ops, Time};
+/// let (a, b) = (Time::finite(3), Time::finite(5));
+/// assert_eq!(ops::max_via_lemma2(a, b), ops::max(a, b));
+/// ```
+#[must_use]
+pub fn max_via_lemma2(a: Time, b: Time) -> Time {
+    min(lt(b, lt(b, a)), lt(a, lt(a, b)))
+}
+
+/// Derived *less-than-or-equal* `⪯`: `a` if `a ≤ b`, otherwise `∞`.
+///
+/// Constructed from the primitives as `lt(a, inc(b, 1))`.
+#[must_use]
+pub fn le(a: Time, b: Time) -> Time {
+    lt(a, inc(b, 1))
+}
+
+/// Derived *equality in time*: `a` if `a = b` (both finite or both `∞`
+/// behaves as follows), otherwise `∞`.
+///
+/// Constructed from the primitives as `lt(a, min(lt(a, b), lt(b, a)))`:
+/// the inner `min` is `∞` exactly when neither input strictly precedes the
+/// other. Note that when both inputs are `∞` the output is `∞`, which is
+/// consistent with causality (no input spikes, no output spike).
+#[must_use]
+pub fn coincide(a: Time, b: Time) -> Time {
+    lt(a, min(lt(a, b), lt(b, a)))
+}
+
+/// Derived *inhibit*: `a` if `a` strictly precedes `b`, otherwise `∞` —
+/// i.e. `b` acts as an inhibitory signal that, once arrived, vetoes `a`.
+///
+/// This is just `lt` viewed from the inhibition angle (it is the gate used
+/// to build winner-take-all networks) and is provided under its
+/// neuroscience-flavoured name.
+#[must_use]
+pub fn inhibit(a: Time, veto: Time) -> Time {
+    lt(a, veto)
+}
+
+/// The earliest event among `times` (`∞` for an empty slice): n-ary `min`.
+#[must_use]
+pub fn min_all(times: &[Time]) -> Time {
+    Time::min_of(times.iter().copied())
+}
+
+/// The latest event among `times` (`0` for an empty slice): n-ary `max`.
+#[must_use]
+pub fn max_all(times: &[Time]) -> Time {
+    Time::max_of(times.iter().copied())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Time> {
+        let mut v: Vec<Time> = (0..=6).map(Time::finite).collect();
+        v.push(Time::INFINITY);
+        v
+    }
+
+    #[test]
+    fn primitives_match_methods() {
+        for &a in &samples() {
+            for &b in &samples() {
+                assert_eq!(min(a, b), a.meet(b));
+                assert_eq!(max(a, b), a.join(b));
+                assert_eq!(lt(a, b), a.lt_gate(b));
+            }
+            assert_eq!(inc(a, 3), a + 3);
+        }
+    }
+
+    #[test]
+    fn lemma2_matches_max_exhaustively() {
+        for &a in &samples() {
+            for &b in &samples() {
+                assert_eq!(max_via_lemma2(a, b), max(a, b), "a={a}, b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn le_is_nonstrict() {
+        let t = Time::finite;
+        assert_eq!(le(t(3), t(3)), t(3));
+        assert_eq!(le(t(3), t(4)), t(3));
+        assert_eq!(le(t(4), t(3)), Time::INFINITY);
+        assert_eq!(le(t(4), Time::INFINITY), t(4));
+        assert_eq!(le(Time::INFINITY, Time::INFINITY), Time::INFINITY);
+    }
+
+    #[test]
+    fn coincide_detects_equality() {
+        let t = Time::finite;
+        assert_eq!(coincide(t(3), t(3)), t(3));
+        assert_eq!(coincide(t(3), t(4)), Time::INFINITY);
+        assert_eq!(coincide(t(4), t(3)), Time::INFINITY);
+        // Two absent events: no output event (causality — no spontaneous spikes).
+        assert_eq!(coincide(Time::INFINITY, Time::INFINITY), Time::INFINITY);
+    }
+
+    #[test]
+    fn inhibit_vetoes_late_events() {
+        let t = Time::finite;
+        assert_eq!(inhibit(t(2), t(5)), t(2));
+        assert_eq!(inhibit(t(5), t(2)), Time::INFINITY);
+        assert_eq!(inhibit(t(5), Time::INFINITY), t(5));
+    }
+
+    #[test]
+    fn nary_folds() {
+        let t = Time::finite;
+        assert_eq!(min_all(&[t(5), t(2), Time::INFINITY]), t(2));
+        assert_eq!(max_all(&[t(5), t(2)]), t(5));
+        assert_eq!(min_all(&[]), Time::INFINITY);
+        assert_eq!(max_all(&[]), Time::ZERO);
+    }
+}

@@ -1,0 +1,290 @@
+//! Parsing space-time expressions from s-expression text.
+//!
+//! The grammar accepts exactly what [`Expr`]'s `Display` produces, plus
+//! ASCII spellings for convenience:
+//!
+//! ```text
+//! expr ::= 'x' NUM                  input reference
+//!        | NUM | '∞' | 'inf'        constant event time
+//!        | '(' op expr+ ')'         application
+//! op   ::= '∧' | 'min'              first event (n-ary, folded left)
+//!        | '∨' | 'max'              last event (n-ary, folded left)
+//!        | '≺' | 'lt'               strict precedence (binary)
+//!        | '+' NUM | 'inc' NUM      delay by a constant
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use st_core::{Expr, Time};
+//!
+//! let e: Expr = "(≺ (∧ (+1 x0) x1) x2)".parse()?;
+//! assert_eq!(e.to_string(), "(≺ (∧ (+1 x0) x1) x2)");
+//! let ascii: Expr = "(lt (min (+1 x0) x1) x2)".parse()?;
+//! assert_eq!(ascii, e);
+//! # Ok::<(), st_core::parse::ParseExprError>(())
+//! ```
+
+use core::fmt;
+
+use crate::expr::Expr;
+use crate::time::Time;
+
+/// Error produced when expression parsing fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseExprError {
+    message: String,
+}
+
+impl ParseExprError {
+    fn new(message: impl Into<String>) -> ParseExprError {
+        ParseExprError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid expression: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseExprError {}
+
+fn tokenize(text: &str) -> Vec<String> {
+    text.replace('(', " ( ")
+        .replace(')', " ) ")
+        .split_whitespace()
+        .map(ToOwned::to_owned)
+        .collect()
+}
+
+struct Parser {
+    tokens: Vec<String>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&str> {
+        self.tokens.get(self.pos).map(String::as_str)
+    }
+
+    fn next(&mut self) -> Option<String> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn atom(token: &str) -> Result<Expr, ParseExprError> {
+        if let Some(idx) = token.strip_prefix('x') {
+            if let Ok(i) = idx.parse::<usize>() {
+                return Ok(Expr::input(i));
+            }
+        }
+        token
+            .parse::<Time>()
+            .map(Expr::constant)
+            .map_err(|_| ParseExprError::new(format!("unrecognized atom {token:?}")))
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseExprError> {
+        match self.next() {
+            None => Err(ParseExprError::new("unexpected end of input")),
+            Some(t) if t == ")" => Err(ParseExprError::new("unexpected `)`")),
+            Some(t) if t != "(" => Parser::atom(&t),
+            Some(_) => {
+                let op = self
+                    .next()
+                    .ok_or_else(|| ParseExprError::new("missing operator after `(`"))?;
+                let mut args = Vec::new();
+                while self.peek() != Some(")") {
+                    if self.peek().is_none() {
+                        return Err(ParseExprError::new("missing `)`"));
+                    }
+                    args.push(self.expr()?);
+                }
+                self.next(); // consume ')'
+                Parser::apply(&op, args, self)
+            }
+        }
+    }
+
+    fn apply(op: &str, mut args: Vec<Expr>, _p: &mut Parser) -> Result<Expr, ParseExprError> {
+        let nary = |args: Vec<Expr>, f: fn(Expr, Expr) -> Expr, name: &str| {
+            if args.len() < 2 {
+                return Err(ParseExprError::new(format!(
+                    "{name} needs at least two operands, found {}",
+                    args.len()
+                )));
+            }
+            Ok(args.into_iter().reduce(f).expect("len >= 2"))
+        };
+        match op {
+            "∧" | "min" => nary(args, Expr::min, "min"),
+            "∨" | "max" => nary(args, Expr::max, "max"),
+            "≺" | "lt" => {
+                if args.len() != 2 {
+                    return Err(ParseExprError::new(format!(
+                        "lt needs exactly two operands, found {}",
+                        args.len()
+                    )));
+                }
+                let b = args.pop().expect("len 2");
+                let a = args.pop().expect("len 2");
+                Ok(a.lt(b))
+            }
+            "inc" => {
+                if args.len() != 2 {
+                    return Err(ParseExprError::new(
+                        "inc needs a delay constant and one operand",
+                    ));
+                }
+                let operand = args.pop().expect("len 2");
+                match args.pop().expect("len 2") {
+                    Expr::Const(t) => match t.value() {
+                        Some(c) => Ok(operand.inc(c)),
+                        None => Err(ParseExprError::new("inc delay must be finite")),
+                    },
+                    other => Err(ParseExprError::new(format!(
+                        "inc delay must be a constant, found {other}"
+                    ))),
+                }
+            }
+            plus if plus.starts_with('+') => {
+                let delta: u64 = plus[1..]
+                    .parse()
+                    .map_err(|_| ParseExprError::new(format!("bad delay {plus:?}")))?;
+                if args.len() != 1 {
+                    return Err(ParseExprError::new(format!(
+                        "{plus} needs exactly one operand, found {}",
+                        args.len()
+                    )));
+                }
+                Ok(args.pop().expect("len 1").inc(delta))
+            }
+            other => Err(ParseExprError::new(format!("unknown operator {other:?}"))),
+        }
+    }
+}
+
+/// Parses an expression; see the module docs for the grammar.
+///
+/// # Errors
+///
+/// Returns [`ParseExprError`] with a description of the first problem.
+pub fn parse_expr(text: &str) -> Result<Expr, ParseExprError> {
+    let mut parser = Parser {
+        tokens: tokenize(text),
+        pos: 0,
+    };
+    if parser.tokens.is_empty() {
+        return Err(ParseExprError::new("empty input"));
+    }
+    let e = parser.expr()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(ParseExprError::new(format!(
+            "trailing tokens starting at {:?}",
+            parser.tokens[parser.pos]
+        )));
+    }
+    Ok(e)
+}
+
+impl core::str::FromStr for Expr {
+    type Err = ParseExprError;
+
+    fn from_str(s: &str) -> Result<Expr, ParseExprError> {
+        parse_expr(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: u64) -> Time {
+        Time::finite(v)
+    }
+
+    #[test]
+    fn atoms() {
+        assert_eq!("x0".parse::<Expr>().unwrap(), Expr::input(0));
+        assert_eq!("x12".parse::<Expr>().unwrap(), Expr::input(12));
+        assert_eq!("7".parse::<Expr>().unwrap(), Expr::constant(t(7)));
+        assert_eq!("∞".parse::<Expr>().unwrap(), Expr::constant(Time::INFINITY));
+        assert_eq!("inf".parse::<Expr>().unwrap(), Expr::constant(Time::INFINITY));
+    }
+
+    #[test]
+    fn applications_in_both_spellings() {
+        let unicode: Expr = "(≺ (∧ (+1 x0) x1) x2)".parse().unwrap();
+        let ascii: Expr = "(lt (min (inc 1 x0) x1) x2)".parse().unwrap();
+        assert_eq!(unicode, ascii);
+        let expected = (Expr::input(0).inc(1) & Expr::input(1)).lt(Expr::input(2));
+        assert_eq!(unicode, expected);
+    }
+
+    #[test]
+    fn nary_min_max_fold_left() {
+        let e: Expr = "(min x0 x1 x2 x3)".parse().unwrap();
+        assert_eq!(
+            e,
+            Expr::input(0).min(Expr::input(1)).min(Expr::input(2)).min(Expr::input(3))
+        );
+        let e: Expr = "(∨ x0 x1 x2)".parse().unwrap();
+        assert_eq!(e, Expr::input(0).max(Expr::input(1)).max(Expr::input(2)));
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let fixtures = [
+            "(≺ (∧ (+1 x0) x1) x2)",
+            "(∨ x0 (∧ x1 ∞))",
+            "(+3 (+2 x0))",
+            "x5",
+            "∞",
+        ];
+        for text in fixtures {
+            let e: Expr = text.parse().unwrap();
+            let back: Expr = e.to_string().parse().unwrap();
+            assert_eq!(back, e, "{text}");
+        }
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        let cases = [
+            ("", "empty"),
+            ("(min x0)", "at least two"),
+            ("(lt x0)", "exactly two"),
+            ("(lt x0 x1 x2)", "exactly two"),
+            ("(frob x0 x1)", "unknown operator"),
+            ("(min x0 x1", "missing `)`"),
+            (")", "unexpected `)`"),
+            ("x0 x1", "trailing tokens"),
+            ("(+q x0)", "bad delay"),
+            ("(inc ∞ x0)", "must be finite"),
+            ("(inc x1 x0)", "must be a constant"),
+            ("banana", "unrecognized atom"),
+        ];
+        for (text, needle) in cases {
+            let err = text.parse::<Expr>().unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "{text:?}: {err} should mention {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parsed_expressions_evaluate() {
+        let e: Expr = "(lt (min (+1 x0) x1) x2)".parse().unwrap();
+        assert_eq!(
+            e.eval(&[t(0), t(3), t(2)]).unwrap(),
+            t(1)
+        );
+    }
+}

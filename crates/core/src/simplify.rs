@@ -1,0 +1,302 @@
+//! Algebraic simplification of space-time expressions.
+//!
+//! The lattice laws of § III.D (idempotence, absorption, boundedness) plus
+//! the defining identities of `lt` and `inc` induce a rewriting system on
+//! [`Expr`] trees. [`simplify`] applies them bottom-up to a fixed point per
+//! node. Simplification is semantics-preserving — the property suite
+//! checks `simplify(e) ≡ e` on random expressions — and is what makes
+//! mechanically generated circuits (minterm forms, Lemma 2 expansions over
+//! constants) collapse to their intuitive size.
+//!
+//! Rules applied (beyond full constant folding):
+//!
+//! | rule | law |
+//! |---|---|
+//! | `x ∧ x → x`, `x ∨ x → x` | idempotence |
+//! | `x ∧ ∞ → x`, `x ∨ 0 → x` | identity elements |
+//! | `x ∧ 0 → 0`, `x ∨ ∞ → ∞` | annihilators |
+//! | `x ∧ (x ∨ y) → x`, `x ∨ (x ∧ y) → x` | absorption |
+//! | `lt(x, ∞) → x` | nothing inhibits |
+//! | `lt(x, 0) → ∞`, `lt(∞, y) → ∞`, `lt(x, x) → ∞` | impossible races |
+//! | `inc(inc(x, a), b) → inc(x, a+b)` | delay fusion |
+//! | `inc(x, 0) → x` | null delay |
+//!
+//! The rewrite `lt(x, x) → ∞` uses *structural* equality, which is sound:
+//! identical subexpressions always produce identical (hence never strictly
+//! ordered) event times.
+
+use std::sync::Arc;
+
+use crate::expr::Expr;
+use crate::time::Time;
+
+/// Simplifies an expression using the lattice laws and operator
+/// identities; the result is semantically equal on every input.
+///
+/// # Examples
+///
+/// ```
+/// use st_core::{simplify, Expr, Time};
+///
+/// // lt(x, ∞) collapses to x; chained delays fuse.
+/// let e = Expr::input(0).inc(2).inc(3).lt(Expr::constant(Time::INFINITY));
+/// assert_eq!(simplify(&e), Expr::input(0).inc(5));
+///
+/// // Absorption: x ∧ (x ∨ y) = x.
+/// let x = Expr::input(0);
+/// let y = Expr::input(1);
+/// assert_eq!(simplify(&(x.clone() & (x.clone() | y))), x);
+/// ```
+#[must_use]
+pub fn simplify(expr: &Expr) -> Expr {
+    match expr {
+        Expr::Input(_) | Expr::Const(_) => expr.clone(),
+        Expr::Min(a, b) => simplify_min(simplify(a), simplify(b)),
+        Expr::Max(a, b) => simplify_max(simplify(a), simplify(b)),
+        Expr::Lt(a, b) => simplify_lt(simplify(a), simplify(b)),
+        Expr::Inc(a, c) => simplify_inc(simplify(a), *c),
+    }
+}
+
+fn as_const(e: &Expr) -> Option<Time> {
+    match e {
+        Expr::Const(t) => Some(*t),
+        _ => None,
+    }
+}
+
+/// Whether `inner` occurs as a direct operand of the lattice node `outer`
+/// (one level of absorption; deeper patterns are handled by fixpointing at
+/// each level during the bottom-up pass).
+fn absorbs(outer: &Expr, inner: &Expr) -> bool {
+    match outer {
+        Expr::Min(a, b) | Expr::Max(a, b) => a.as_ref() == inner || b.as_ref() == inner,
+        _ => false,
+    }
+}
+
+fn simplify_min(a: Expr, b: Expr) -> Expr {
+    if let (Some(x), Some(y)) = (as_const(&a), as_const(&b)) {
+        return Expr::constant(x.meet(y));
+    }
+    if a == b {
+        return a; // idempotence
+    }
+    match (as_const(&a), as_const(&b)) {
+        (Some(Time::INFINITY), _) => return b, // ∞ ∧ x = x
+        (_, Some(Time::INFINITY)) => return a,
+        (Some(Time::ZERO), _) | (_, Some(Time::ZERO)) => return Expr::constant(Time::ZERO),
+        _ => {}
+    }
+    // Absorption: x ∧ (x ∨ y) → x (either orientation).
+    if matches!(b, Expr::Max(_, _)) && absorbs(&b, &a) {
+        return a;
+    }
+    if matches!(a, Expr::Max(_, _)) && absorbs(&a, &b) {
+        return b;
+    }
+    Expr::Min(Arc::new(a), Arc::new(b))
+}
+
+fn simplify_max(a: Expr, b: Expr) -> Expr {
+    if let (Some(x), Some(y)) = (as_const(&a), as_const(&b)) {
+        return Expr::constant(x.join(y));
+    }
+    if a == b {
+        return a;
+    }
+    match (as_const(&a), as_const(&b)) {
+        (Some(Time::ZERO), _) => return b, // 0 ∨ x = x
+        (_, Some(Time::ZERO)) => return a,
+        (Some(Time::INFINITY), _) | (_, Some(Time::INFINITY)) => {
+            return Expr::constant(Time::INFINITY)
+        }
+        _ => {}
+    }
+    if matches!(b, Expr::Min(_, _)) && absorbs(&b, &a) {
+        return a;
+    }
+    if matches!(a, Expr::Min(_, _)) && absorbs(&a, &b) {
+        return b;
+    }
+    Expr::Max(Arc::new(a), Arc::new(b))
+}
+
+fn simplify_lt(a: Expr, b: Expr) -> Expr {
+    if let (Some(x), Some(y)) = (as_const(&a), as_const(&b)) {
+        return Expr::constant(x.lt_gate(y));
+    }
+    if as_const(&a) == Some(Time::INFINITY) {
+        return Expr::constant(Time::INFINITY); // no event to pass
+    }
+    match as_const(&b) {
+        Some(Time::INFINITY) => return a, // nothing ever inhibits
+        Some(Time::ZERO) => return Expr::constant(Time::INFINITY), // everything inhibited
+        _ => {}
+    }
+    if a == b {
+        return Expr::constant(Time::INFINITY); // a tie can never be strict
+    }
+    Expr::Lt(Arc::new(a), Arc::new(b))
+}
+
+fn simplify_inc(a: Expr, c: u64) -> Expr {
+    if c == 0 {
+        return a;
+    }
+    match a {
+        Expr::Const(t) => Expr::constant(t + c),
+        Expr::Inc(inner, c2) => Expr::Inc(inner, c2 + c),
+        other => Expr::Inc(Arc::new(other), c),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::enumerate_inputs;
+
+    fn x() -> Expr {
+        Expr::input(0)
+    }
+
+    fn y() -> Expr {
+        Expr::input(1)
+    }
+
+    fn inf() -> Expr {
+        Expr::constant(Time::INFINITY)
+    }
+
+    fn zero() -> Expr {
+        Expr::constant(Time::ZERO)
+    }
+
+    fn assert_equiv(original: &Expr, arity: usize, window: u64) {
+        let reduced = simplify(original);
+        for inputs in enumerate_inputs(arity, window) {
+            assert_eq!(
+                reduced.eval(&inputs).unwrap(),
+                original.eval(&inputs).unwrap(),
+                "{original} vs {reduced} at {inputs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_folding() {
+        let t = |v| Expr::constant(Time::finite(v));
+        assert_eq!(simplify(&(t(3) & t(5))), t(3));
+        assert_eq!(simplify(&(t(3) | t(5))), t(5));
+        assert_eq!(simplify(&t(3).lt(t(5))), t(3));
+        assert_eq!(simplify(&t(5).lt(t(3))), inf());
+        assert_eq!(simplify(&t(3).inc(4)), t(7));
+        assert_eq!(simplify(&inf().inc(4)), inf());
+    }
+
+    #[test]
+    fn idempotence_and_identities() {
+        assert_eq!(simplify(&(x() & x())), x());
+        assert_eq!(simplify(&(x() | x())), x());
+        assert_eq!(simplify(&(x() & inf())), x());
+        assert_eq!(simplify(&(inf() & x())), x());
+        assert_eq!(simplify(&(x() | zero())), x());
+        assert_eq!(simplify(&(x() & zero())), zero());
+        assert_eq!(simplify(&(x() | inf())), inf());
+    }
+
+    #[test]
+    fn absorption() {
+        assert_eq!(simplify(&(x() & (x() | y()))), x());
+        assert_eq!(simplify(&((x() | y()) & x())), x());
+        assert_eq!(simplify(&(x() | (x() & y()))), x());
+        assert_eq!(simplify(&((y() & x()) | x())), x());
+    }
+
+    #[test]
+    fn lt_identities() {
+        assert_eq!(simplify(&x().lt(inf())), x());
+        assert_eq!(simplify(&x().lt(zero())), inf());
+        assert_eq!(simplify(&inf().lt(x())), inf());
+        assert_eq!(simplify(&x().lt(x())), inf());
+        // Structural equality reaches through simplification first.
+        assert_eq!(simplify(&(x() & x()).lt(x())), inf());
+    }
+
+    #[test]
+    fn inc_fusion() {
+        assert_eq!(simplify(&x().inc(2).inc(3)), x().inc(5));
+        assert_eq!(simplify(&x().inc(0)), x());
+        assert_eq!(simplify(&x().inc(0).inc(0)), x());
+        // Fusion through a folded constant child.
+        let e = Expr::constant(Time::finite(1)).inc(2).inc(3);
+        assert_eq!(simplify(&e), Expr::constant(Time::finite(6)));
+    }
+
+    #[test]
+    fn micro_weight_patterns_collapse() {
+        // An enabled micro-weight is a wire; a disabled one is ∞.
+        let enabled = x().lt(inf());
+        assert_eq!(simplify(&enabled), x());
+        let disabled = x().lt(zero());
+        assert_eq!(simplify(&disabled), inf());
+        // A disabled branch feeding a min disappears entirely.
+        let branch = (x().lt(zero())) & y();
+        assert_eq!(simplify(&branch), y());
+    }
+
+    #[test]
+    fn nested_structures_reduce_and_stay_equivalent() {
+        let e = ((x() & x()) | (y() & inf())).lt(inf()).inc(0).inc(2);
+        let reduced = simplify(&e);
+        assert_eq!(reduced, (x() | y()).inc(2));
+        assert_equiv(&e, 2, 4);
+    }
+
+    #[test]
+    fn lemma2_over_disabled_inputs_folds_away() {
+        // max(x, ∞-const) via Lemma 2 should fold to the ∞ constant.
+        let e = Expr::max_via_lemma2(x(), inf());
+        assert_eq!(simplify(&e), inf());
+        assert_equiv(&e, 1, 4);
+    }
+
+    #[test]
+    fn simplification_preserves_semantics_on_fixtures() {
+        let fixtures = vec![
+            (x().inc(1) & y()).lt(Expr::input(2)),
+            Expr::max_via_lemma2(x(), y()),
+            (x() | y()).lt(x() & y()),
+            x().lt(y()).lt(y().lt(x())),
+            ((x() & inf()) | (y() & zero())).inc(3),
+        ];
+        for e in fixtures {
+            assert_equiv(&e, 3, 3);
+        }
+    }
+
+    #[test]
+    fn simplify_is_idempotent() {
+        let fixtures = vec![
+            (x().inc(1) & y()).lt(Expr::input(2)),
+            Expr::max_via_lemma2(x(), inf()),
+            ((x() & x()) | (y() & inf())).inc(0),
+        ];
+        for e in fixtures {
+            let once = simplify(&e);
+            assert_eq!(simplify(&once), once, "not idempotent for {e}");
+        }
+    }
+
+    #[test]
+    fn simplify_never_grows() {
+        let fixtures = vec![
+            (x().inc(1) & y()).lt(Expr::input(2)),
+            Expr::max_via_lemma2(x(), y()),
+            ((x() | y()) & x()).lt(zero()),
+        ];
+        for e in fixtures {
+            assert!(simplify(&e).op_count() <= e.op_count());
+        }
+    }
+}

@@ -1,0 +1,544 @@
+//! The temporal value domain `N0^∞`: the natural numbers with zero plus a
+//! top element `∞` that models "no event".
+//!
+//! A [`Time`] is the value carried by a single communication line in a
+//! space-time computing network. In the spiking-network interpretation it is
+//! the moment (in discrete unit time) at which a spike occurs on the line;
+//! [`Time::INFINITY`] means no spike ever occurs. In the race-logic
+//! interpretation it is the moment at which a logic level transitions.
+//!
+//! The domain is totally ordered and forms a bounded distributive lattice
+//! with `0` as bottom and `∞` as top (see [`crate::lattice`]). It is closed
+//! under addition, with `∞ + n = ∞` for all finite `n`.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, BitAnd, BitOr, Sub};
+use core::str::FromStr;
+
+/// A point in discretized time, or `∞` ("no event").
+///
+/// Internally `∞` is encoded as `u64::MAX`, which makes the derived total
+/// order coincide with the algebraic order of `N0^∞` (every finite time is
+/// less than `∞`).
+///
+/// # Examples
+///
+/// ```
+/// use st_core::Time;
+///
+/// let a = Time::from(3u32);
+/// let b = Time::from(5u32);
+/// assert_eq!(a.min(b), a);
+/// assert_eq!(a.max(b), b);
+/// assert!(a < Time::INFINITY);
+/// assert_eq!(Time::INFINITY + 7, Time::INFINITY);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+/// The raw encoding of `∞` inside a [`Time`].
+const INFINITY_BITS: u64 = u64::MAX;
+
+impl Time {
+    /// The earliest possible time, and the bottom element of the lattice.
+    pub const ZERO: Time = Time(0);
+
+    /// The top element of the lattice: "no event on this line".
+    pub const INFINITY: Time = Time(INFINITY_BITS);
+
+    /// The largest representable *finite* time.
+    pub const MAX_FINITE: Time = Time(INFINITY_BITS - 1);
+
+    /// Creates a finite time from a raw tick count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ticks == u64::MAX`, which is reserved for the `∞`
+    /// encoding. Use [`Time::try_finite`] for a non-panicking variant or
+    /// [`Time::INFINITY`] to construct the top element explicitly.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use st_core::Time;
+    /// assert_eq!(Time::finite(4).value(), Some(4));
+    /// ```
+    #[must_use]
+    pub fn finite(ticks: u64) -> Time {
+        match Time::try_finite(ticks) {
+            Some(t) => t,
+            None => panic!("Time::finite called with the reserved ∞ encoding (u64::MAX)"),
+        }
+    }
+
+    /// Creates a finite time, returning `None` if `ticks` is the reserved
+    /// `∞` encoding.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use st_core::Time;
+    /// assert_eq!(Time::try_finite(9), Some(Time::finite(9)));
+    /// assert_eq!(Time::try_finite(u64::MAX), None);
+    /// ```
+    #[must_use]
+    pub fn try_finite(ticks: u64) -> Option<Time> {
+        if ticks == INFINITY_BITS {
+            None
+        } else {
+            Some(Time(ticks))
+        }
+    }
+
+    /// Returns `true` if this value is a real event time (not `∞`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use st_core::Time;
+    /// assert!(Time::ZERO.is_finite());
+    /// assert!(!Time::INFINITY.is_finite());
+    /// ```
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.0 != INFINITY_BITS
+    }
+
+    /// Returns `true` if this value is `∞` (no event).
+    #[must_use]
+    pub fn is_infinite(self) -> bool {
+        self.0 == INFINITY_BITS
+    }
+
+    /// Returns the tick count for a finite time, or `None` for `∞`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use st_core::Time;
+    /// assert_eq!(Time::finite(12).value(), Some(12));
+    /// assert_eq!(Time::INFINITY.value(), None);
+    /// ```
+    #[must_use]
+    pub fn value(self) -> Option<u64> {
+        if self.is_finite() {
+            Some(self.0)
+        } else {
+            None
+        }
+    }
+
+    /// Returns the tick count for a finite time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is `∞`.
+    #[must_use]
+    pub fn expect_finite(self) -> u64 {
+        match self.value() {
+            Some(v) => v,
+            None => panic!("expected a finite time, found ∞"),
+        }
+    }
+
+    /// The lattice *meet* `∧`: the earlier of two event times.
+    ///
+    /// This is the paper's `min` primitive: a functional block that emits an
+    /// output event at the moment of its first-arriving input event.
+    ///
+    /// Identical to [`Ord::min`]; provided under its algebraic name so call
+    /// sites can mirror the paper's notation.
+    #[must_use]
+    pub fn meet(self, other: Time) -> Time {
+        self.min(other)
+    }
+
+    /// The lattice *join* `∨`: the later of two event times.
+    ///
+    /// This is the paper's `max` function (derivable from `min` and `lt` by
+    /// Lemma 2): a block that emits an output event at the moment of its
+    /// last-arriving input event.
+    #[must_use]
+    pub fn join(self, other: Time) -> Time {
+        self.max(other)
+    }
+
+    /// The *less-than* primitive `≺`: `self` if `self < other`, else `∞`.
+    ///
+    /// In the spiking interpretation the block emits an output spike
+    /// coincident with input `a` if and only if `a` arrives strictly earlier
+    /// than input `b`; otherwise it emits no spike.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use st_core::Time;
+    /// let (a, b) = (Time::finite(2), Time::finite(5));
+    /// assert_eq!(a.lt_gate(b), a);
+    /// assert_eq!(b.lt_gate(a), Time::INFINITY);
+    /// assert_eq!(a.lt_gate(a), Time::INFINITY);
+    /// ```
+    #[must_use]
+    pub fn lt_gate(self, other: Time) -> Time {
+        if self < other {
+            self
+        } else {
+            Time::INFINITY
+        }
+    }
+
+    /// The *increment* primitive `+c`: delays an event by `delta` time units.
+    ///
+    /// `∞` stays `∞`. A finite result that would exceed
+    /// [`Time::MAX_FINITE`] saturates to `∞`; practical space-time networks
+    /// operate on small windows, so saturation is unobservable in practice
+    /// but keeps the operation total.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use st_core::Time;
+    /// assert_eq!(Time::finite(3).inc(2), Time::finite(5));
+    /// assert_eq!(Time::INFINITY.inc(2), Time::INFINITY);
+    /// ```
+    #[must_use]
+    pub fn inc(self, delta: u64) -> Time {
+        if self.is_infinite() {
+            Time::INFINITY
+        } else {
+            Time(self.0.saturating_add(delta))
+        }
+    }
+
+    /// Shifts an event *earlier* by `delta` units, saturating at zero.
+    ///
+    /// This is not a space-time primitive (it would require time to flow
+    /// backwards); it exists for *normalization*, the frame-of-reference
+    /// change used by function tables (`x − x_min`). `∞` stays `∞`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use st_core::Time;
+    /// assert_eq!(Time::finite(7).saturating_sub(3), Time::finite(4));
+    /// assert_eq!(Time::finite(2).saturating_sub(9), Time::ZERO);
+    /// assert_eq!(Time::INFINITY.saturating_sub(9), Time::INFINITY);
+    /// ```
+    #[must_use]
+    pub fn saturating_sub(self, delta: u64) -> Time {
+        if self.is_infinite() {
+            Time::INFINITY
+        } else {
+            Time(self.0.saturating_sub(delta))
+        }
+    }
+
+    /// Subtracts, returning `None` when the subtrahend exceeds a finite
+    /// minuend. `∞ − delta = ∞`.
+    #[must_use]
+    pub fn checked_sub(self, delta: u64) -> Option<Time> {
+        if self.is_infinite() {
+            Some(Time::INFINITY)
+        } else {
+            self.0.checked_sub(delta).map(Time)
+        }
+    }
+
+    /// The earliest of a sequence of event times (`∞` for an empty one).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use st_core::Time;
+    /// let v = [Time::finite(4), Time::finite(1), Time::INFINITY];
+    /// assert_eq!(Time::min_of(v), Time::finite(1));
+    /// assert_eq!(Time::min_of([]), Time::INFINITY);
+    /// ```
+    #[must_use]
+    pub fn min_of<I: IntoIterator<Item = Time>>(times: I) -> Time {
+        times.into_iter().fold(Time::INFINITY, Time::min)
+    }
+
+    /// The latest of a sequence of event times (`0` for an empty one).
+    #[must_use]
+    pub fn max_of<I: IntoIterator<Item = Time>>(times: I) -> Time {
+        times.into_iter().fold(Time::ZERO, Time::max)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            write!(f, "Time(∞)")
+        } else {
+            write!(f, "Time({})", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinite() {
+            write!(f, "∞")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+/// Error produced when parsing a [`Time`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTimeError {
+    input: String,
+}
+
+impl fmt::Display for ParseTimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid time literal: {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParseTimeError {}
+
+impl FromStr for Time {
+    type Err = ParseTimeError;
+
+    /// Parses either a decimal tick count or one of the infinity spellings
+    /// `∞`, `inf`, `infinity` (case-insensitive).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let trimmed = s.trim();
+        if trimmed == "∞" || trimmed.eq_ignore_ascii_case("inf") || trimmed.eq_ignore_ascii_case("infinity") {
+            return Ok(Time::INFINITY);
+        }
+        trimmed
+            .parse::<u64>()
+            .ok()
+            .and_then(Time::try_finite)
+            .ok_or_else(|| ParseTimeError { input: s.to_owned() })
+    }
+}
+
+impl From<u32> for Time {
+    /// Every `u32` is a valid finite time, so this conversion is lossless.
+    fn from(ticks: u32) -> Time {
+        Time(u64::from(ticks))
+    }
+}
+
+impl From<u16> for Time {
+    fn from(ticks: u16) -> Time {
+        Time(u64::from(ticks))
+    }
+}
+
+impl From<u8> for Time {
+    fn from(ticks: u8) -> Time {
+        Time(u64::from(ticks))
+    }
+}
+
+impl TryFrom<u64> for Time {
+    type Error = ParseTimeError;
+
+    /// Fails only for `u64::MAX`, the reserved `∞` encoding.
+    fn try_from(ticks: u64) -> Result<Time, Self::Error> {
+        Time::try_finite(ticks).ok_or(ParseTimeError {
+            input: "u64::MAX".to_owned(),
+        })
+    }
+}
+
+impl Add<u64> for Time {
+    type Output = Time;
+
+    /// Alias for [`Time::inc`]: `t + c` delays the event by `c` units.
+    fn add(self, delta: u64) -> Time {
+        self.inc(delta)
+    }
+}
+
+impl AddAssign<u64> for Time {
+    fn add_assign(&mut self, delta: u64) {
+        *self = self.inc(delta);
+    }
+}
+
+impl Sub<u64> for Time {
+    type Output = Time;
+
+    /// Normalizing subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` exceeds a finite `self` (time cannot be negative).
+    /// `∞ − delta = ∞`.
+    fn sub(self, delta: u64) -> Time {
+        match self.checked_sub(delta) {
+            Some(t) => t,
+            None => panic!("attempted to shift {self} earlier by {delta}, which would be negative"),
+        }
+    }
+}
+
+impl BitAnd for Time {
+    type Output = Time;
+
+    /// The lattice meet `∧` (the paper's `min`), so expressions can be
+    /// written in the paper's notation: `a & b == a.meet(b)`.
+    fn bitand(self, rhs: Time) -> Time {
+        self.meet(rhs)
+    }
+}
+
+impl BitOr for Time {
+    type Output = Time;
+
+    /// The lattice join `∨` (the paper's `max`): `a | b == a.join(b)`.
+    fn bitor(self, rhs: Time) -> Time {
+        self.join(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: u64) -> Time {
+        Time::finite(v)
+    }
+
+    #[test]
+    fn constructors_and_accessors() {
+        assert_eq!(t(0), Time::ZERO);
+        assert_eq!(t(5).value(), Some(5));
+        assert_eq!(Time::INFINITY.value(), None);
+        assert!(t(5).is_finite());
+        assert!(Time::INFINITY.is_infinite());
+        assert_eq!(Time::try_finite(u64::MAX), None);
+        assert_eq!(Time::try_finite(0), Some(Time::ZERO));
+        assert_eq!(Time::default(), Time::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved ∞ encoding")]
+    fn finite_rejects_reserved_encoding() {
+        let _ = Time::finite(u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a finite time")]
+    fn expect_finite_panics_on_infinity() {
+        let _ = Time::INFINITY.expect_finite();
+    }
+
+    #[test]
+    fn ordering_places_infinity_on_top() {
+        assert!(t(0) < t(1));
+        assert!(t(1_000_000) < Time::INFINITY);
+        assert!(Time::MAX_FINITE < Time::INFINITY);
+        assert_eq!(Time::INFINITY, Time::INFINITY);
+    }
+
+    #[test]
+    fn meet_and_join_agree_with_ord() {
+        assert_eq!(t(3).meet(t(7)), t(3));
+        assert_eq!(t(3).join(t(7)), t(7));
+        assert_eq!(t(3).meet(Time::INFINITY), t(3));
+        assert_eq!(t(3).join(Time::INFINITY), Time::INFINITY);
+        assert_eq!(t(3) & t(7), t(3));
+        assert_eq!(t(3) | t(7), t(7));
+    }
+
+    #[test]
+    fn lt_gate_is_strict() {
+        assert_eq!(t(2).lt_gate(t(5)), t(2));
+        assert_eq!(t(5).lt_gate(t(2)), Time::INFINITY);
+        assert_eq!(t(4).lt_gate(t(4)), Time::INFINITY);
+        assert_eq!(t(4).lt_gate(Time::INFINITY), t(4));
+        assert_eq!(Time::INFINITY.lt_gate(t(4)), Time::INFINITY);
+        assert_eq!(Time::INFINITY.lt_gate(Time::INFINITY), Time::INFINITY);
+    }
+
+    #[test]
+    fn inc_delays_and_saturates() {
+        assert_eq!(t(3).inc(0), t(3));
+        assert_eq!(t(3).inc(4), t(7));
+        assert_eq!(Time::INFINITY.inc(1), Time::INFINITY);
+        // Saturation near the top of the finite range collapses to ∞.
+        assert_eq!(Time::MAX_FINITE.inc(1), Time::INFINITY);
+        assert_eq!(Time::MAX_FINITE.inc(u64::MAX), Time::INFINITY);
+    }
+
+    #[test]
+    fn infinity_absorbs_addition() {
+        for d in [0, 1, 17, u64::MAX] {
+            assert_eq!(Time::INFINITY + d, Time::INFINITY);
+        }
+    }
+
+    #[test]
+    fn subtraction_normalizes() {
+        assert_eq!(t(7) - 3, t(4));
+        assert_eq!(Time::INFINITY - 3, Time::INFINITY);
+        assert_eq!(t(7).saturating_sub(9), Time::ZERO);
+        assert_eq!(t(7).checked_sub(9), None);
+        assert_eq!(Time::INFINITY.checked_sub(9), Some(Time::INFINITY));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn sub_panics_when_negative() {
+        let _ = t(2) - 5;
+    }
+
+    #[test]
+    fn add_assign_updates_in_place() {
+        let mut x = t(1);
+        x += 4;
+        assert_eq!(x, t(5));
+    }
+
+    #[test]
+    fn min_of_and_max_of() {
+        assert_eq!(Time::min_of([t(4), t(1), Time::INFINITY]), t(1));
+        assert_eq!(Time::max_of([t(4), t(1)]), t(4));
+        assert_eq!(Time::min_of([]), Time::INFINITY);
+        assert_eq!(Time::max_of([]), Time::ZERO);
+        assert_eq!(Time::max_of([t(3), Time::INFINITY]), Time::INFINITY);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(t(42).to_string(), "42");
+        assert_eq!(Time::INFINITY.to_string(), "∞");
+        assert_eq!(format!("{:?}", t(42)), "Time(42)");
+        assert_eq!(format!("{:?}", Time::INFINITY), "Time(∞)");
+    }
+
+    #[test]
+    fn parsing_round_trips() {
+        assert_eq!("17".parse::<Time>(), Ok(t(17)));
+        assert_eq!("∞".parse::<Time>(), Ok(Time::INFINITY));
+        assert_eq!("inf".parse::<Time>(), Ok(Time::INFINITY));
+        assert_eq!("Infinity".parse::<Time>(), Ok(Time::INFINITY));
+        assert_eq!(" 8 ".parse::<Time>(), Ok(t(8)));
+        assert!("minus one".parse::<Time>().is_err());
+        assert!("-3".parse::<Time>().is_err());
+        assert!("18446744073709551615".parse::<Time>().is_err());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Time::from(9u32), t(9));
+        assert_eq!(Time::from(9u16), t(9));
+        assert_eq!(Time::from(9u8), t(9));
+        assert_eq!(Time::try_from(9u64), Ok(t(9)));
+        assert!(Time::try_from(u64::MAX).is_err());
+    }
+
+    #[test]
+    fn parse_error_displays_input() {
+        let err = "xyz".parse::<Time>().unwrap_err();
+        assert!(err.to_string().contains("xyz"));
+    }
+}

@@ -1,0 +1,420 @@
+//! Spike volleys: vectors of information encoded as event-time patterns.
+//!
+//! Section III.A of the paper (Fig. 5) encodes a value vector as a *volley*
+//! of discretely-timed spikes: the first spike marks value `0` and the
+//! remaining values are offsets from it; `∞` marks a line carrying no
+//! spike. A volley is therefore exactly a vector of [`Time`]s, plus the
+//! frame-of-reference conventions for encoding and decoding, and the
+//! communication-efficiency accounting the paper derives from them
+//! (slightly under one spike per `n` bits at temporal resolution `n`, at
+//! the cost of `2^n` unit times per message).
+
+use crate::time::Time;
+use core::fmt;
+use core::ops::Index;
+
+/// A volley of spikes: one event time per communication line.
+///
+/// # Examples
+///
+/// The paper's Fig. 5 volley, encoding the vector `[0, 3, ∞, 1]`:
+///
+/// ```
+/// use st_core::{Time, Volley};
+///
+/// let volley = Volley::encode([Some(0), Some(3), None, Some(1)]);
+/// assert_eq!(volley.first_spike(), Time::ZERO);
+/// assert_eq!(volley.decode(), vec![Some(0), Some(3), None, Some(1)]);
+/// assert_eq!(volley.spike_count(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Volley {
+    times: Vec<Time>,
+}
+
+impl Volley {
+    /// Creates a volley directly from spike times.
+    #[must_use]
+    pub fn new(times: Vec<Time>) -> Volley {
+        Volley { times }
+    }
+
+    /// Creates a volley with `width` lines, none of which carries a spike.
+    #[must_use]
+    pub fn silent(width: usize) -> Volley {
+        Volley {
+            times: vec![Time::INFINITY; width],
+        }
+    }
+
+    /// Encodes a value vector as spike times: value `v` spikes at time `v`;
+    /// `None` lines carry no spike.
+    ///
+    /// The encoding is the identity on values, which makes the volley
+    /// normalized whenever some value is `0` (the paper's convention that
+    /// the first spike encodes `0`).
+    #[must_use]
+    pub fn encode<I: IntoIterator<Item = Option<u64>>>(values: I) -> Volley {
+        Volley {
+            times: values
+                .into_iter()
+                .map(|v| v.map_or(Time::INFINITY, Time::finite))
+                .collect(),
+        }
+    }
+
+    /// Decodes the volley into values relative to the first spike
+    /// (`t − t_min`), the inverse of [`Volley::encode`] up to normalization.
+    ///
+    /// A completely silent volley decodes to all-`None`.
+    #[must_use]
+    pub fn decode(&self) -> Vec<Option<u64>> {
+        let t_min = self.first_spike();
+        match t_min.value() {
+            None => vec![None; self.times.len()],
+            Some(base) => self
+                .times
+                .iter()
+                .map(|t| t.value().map(|v| v - base))
+                .collect(),
+        }
+    }
+
+    /// The spike times, in line order.
+    #[must_use]
+    pub fn times(&self) -> &[Time] {
+        &self.times
+    }
+
+    /// The number of lines.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the volley has no lines.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The time of the first spike (`t_min`), or `∞` if silent.
+    #[must_use]
+    pub fn first_spike(&self) -> Time {
+        Time::min_of(self.times.iter().copied())
+    }
+
+    /// The time of the last spike, or `∞` if silent.
+    #[must_use]
+    pub fn last_spike(&self) -> Time {
+        self.times
+            .iter()
+            .copied()
+            .filter(|t| t.is_finite())
+            .max()
+            .unwrap_or(Time::INFINITY)
+    }
+
+    /// How many lines carry a spike.
+    #[must_use]
+    pub fn spike_count(&self) -> usize {
+        self.times.iter().filter(|t| t.is_finite()).count()
+    }
+
+    /// Fraction of lines carrying no spike, in `[0, 1]`; `0` for an empty
+    /// volley.
+    #[must_use]
+    pub fn sparsity(&self) -> f64 {
+        if self.times.is_empty() {
+            0.0
+        } else {
+            1.0 - self.spike_count() as f64 / self.times.len() as f64
+        }
+    }
+
+    /// Returns the normalized volley (first spike at time `0`) — the
+    /// frame-of-reference change used throughout the paper. A silent
+    /// volley is returned unchanged.
+    #[must_use]
+    pub fn normalize(&self) -> Volley {
+        match self.first_spike().value() {
+            None => self.clone(),
+            Some(base) => Volley {
+                times: self.times.iter().map(|&t| t - base).collect(),
+            },
+        }
+    }
+
+    /// Whether the first spike (if any) occurs at time `0`.
+    #[must_use]
+    pub fn is_normalized(&self) -> bool {
+        let first = self.first_spike();
+        first.is_infinite() || first == Time::ZERO
+    }
+
+    /// Returns the volley uniformly delayed by `delta` (temporal
+    /// invariance in action).
+    #[must_use]
+    pub fn shift(&self, delta: u64) -> Volley {
+        Volley {
+            times: self.times.iter().map(|&t| t + delta).collect(),
+        }
+    }
+
+    /// Whether every spike falls within `window` time units of the first
+    /// spike — i.e. the volley is legible at temporal resolution
+    /// `log2(window + 1)` bits.
+    #[must_use]
+    pub fn fits_window(&self, window: u64) -> bool {
+        match self.first_spike().value() {
+            None => true,
+            Some(base) => self
+                .times
+                .iter()
+                .filter_map(|t| t.value())
+                .all(|v| v - base <= window),
+        }
+    }
+
+    /// Information communicated by this volley at temporal resolution
+    /// `bits`, in bits: each spiking line conveys `bits` bits, except that
+    /// the earliest spike is the time reference and conveys none (the
+    /// paper: "slightly less than one spike per n bits ... because one of
+    /// the lines always carries a value of 0").
+    #[must_use]
+    pub fn information_bits(&self, bits: u32) -> u64 {
+        (self.spike_count().saturating_sub(1) as u64) * u64::from(bits)
+    }
+
+    /// Spikes expended per bit communicated, the paper's efficiency figure
+    /// of merit; `f64::INFINITY` when no information is conveyed.
+    #[must_use]
+    pub fn spikes_per_bit(&self, bits: u32) -> f64 {
+        let info = self.information_bits(bits);
+        if info == 0 {
+            f64::INFINITY
+        } else {
+            self.spike_count() as f64 / info as f64
+        }
+    }
+
+    /// Extracts the sub-volley on the given lines (receptive-field view),
+    /// in the order given; duplicate indices are allowed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[must_use]
+    pub fn select(&self, lines: &[usize]) -> Volley {
+        lines.iter().map(|&i| self.times[i]).collect()
+    }
+
+    /// Concatenates volleys line-wise into one wider volley.
+    #[must_use]
+    pub fn concat<'a, I: IntoIterator<Item = &'a Volley>>(volleys: I) -> Volley {
+        let mut times = Vec::new();
+        for v in volleys {
+            times.extend_from_slice(&v.times);
+        }
+        Volley { times }
+    }
+
+    /// The number of unit time intervals needed to transmit one volley at
+    /// temporal resolution `bits`: `2^bits` (the paper's exponential
+    /// message-time cost of unary time coding).
+    #[must_use]
+    pub fn message_duration(bits: u32) -> u64 {
+        1u64 << bits
+    }
+}
+
+impl Index<usize> for Volley {
+    type Output = Time;
+
+    fn index(&self, line: usize) -> &Time {
+        &self.times[line]
+    }
+}
+
+impl FromIterator<Time> for Volley {
+    fn from_iter<I: IntoIterator<Item = Time>>(iter: I) -> Volley {
+        Volley {
+            times: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Time> for Volley {
+    fn extend<I: IntoIterator<Item = Time>>(&mut self, iter: I) {
+        self.times.extend(iter);
+    }
+}
+
+impl From<Vec<Time>> for Volley {
+    fn from(times: Vec<Time>) -> Volley {
+        Volley { times }
+    }
+}
+
+impl From<Volley> for Vec<Time> {
+    fn from(volley: Volley) -> Vec<Time> {
+        volley.times
+    }
+}
+
+impl IntoIterator for Volley {
+    type Item = Time;
+    type IntoIter = std::vec::IntoIter<Time>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.times.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Volley {
+    type Item = &'a Time;
+    type IntoIter = core::slice::Iter<'a, Time>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.times.iter()
+    }
+}
+
+impl fmt::Display for Volley {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, t) in self.times.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig5() -> Volley {
+        Volley::encode([Some(0), Some(3), None, Some(1)])
+    }
+
+    #[test]
+    fn fig5_encoding_round_trips() {
+        let v = fig5();
+        assert_eq!(v.width(), 4);
+        assert_eq!(v.spike_count(), 3);
+        assert_eq!(v.first_spike(), Time::ZERO);
+        assert_eq!(v.last_spike(), Time::finite(3));
+        assert_eq!(v.decode(), vec![Some(0), Some(3), None, Some(1)]);
+        assert!(v.is_normalized());
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn decode_is_shift_independent() {
+        let v = fig5();
+        let shifted = v.shift(7);
+        assert_eq!(shifted.first_spike(), Time::finite(7));
+        assert_eq!(shifted.decode(), v.decode());
+        assert!(!shifted.is_normalized());
+        assert_eq!(shifted.normalize(), v);
+    }
+
+    #[test]
+    fn silent_volley_behaviour() {
+        let v = Volley::silent(3);
+        assert_eq!(v.spike_count(), 0);
+        assert_eq!(v.first_spike(), Time::INFINITY);
+        assert_eq!(v.last_spike(), Time::INFINITY);
+        assert_eq!(v.decode(), vec![None, None, None]);
+        assert!(v.is_normalized());
+        assert_eq!(v.normalize(), v);
+        assert_eq!(v.shift(4), v);
+        assert!((v.sparsity() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparsity_and_information() {
+        let v = fig5();
+        assert!((v.sparsity() - 0.25).abs() < 1e-12);
+        // Three spikes, reference spike conveys nothing: 2 × n bits.
+        assert_eq!(v.information_bits(3), 6);
+        assert!((v.spikes_per_bit(3) - 0.5).abs() < 1e-12);
+        // Approaches 1/n spikes per bit as width grows.
+        let wide = Volley::encode((0..100).map(Some));
+        let spb = wide.spikes_per_bit(4);
+        assert!(spb < 1.0 / 4.0 * 1.02, "spikes/bit = {spb}");
+    }
+
+    #[test]
+    fn message_duration_is_exponential() {
+        assert_eq!(Volley::message_duration(3), 8);
+        assert_eq!(Volley::message_duration(4), 16);
+        assert_eq!(Volley::message_duration(10), 1024);
+    }
+
+    #[test]
+    fn fits_window_uses_relative_times() {
+        let v = fig5();
+        assert!(v.fits_window(3));
+        assert!(!v.fits_window(2));
+        assert!(v.shift(100).fits_window(3));
+        assert!(Volley::silent(2).fits_window(0));
+    }
+
+    #[test]
+    fn zero_information_volleys() {
+        let lone = Volley::encode([Some(0)]);
+        assert_eq!(lone.information_bits(4), 0);
+        assert!(lone.spikes_per_bit(4).is_infinite());
+        assert_eq!(Volley::silent(0).sparsity(), 0.0);
+    }
+
+    #[test]
+    fn collection_traits() {
+        let v: Volley = vec![Time::ZERO, Time::finite(2)].into();
+        assert_eq!(v[0], Time::ZERO);
+        assert_eq!(v[1], Time::finite(2));
+        let collected: Volley = v.times().iter().copied().collect();
+        assert_eq!(collected, v);
+        let mut extended = collected.clone();
+        extended.extend([Time::INFINITY]);
+        assert_eq!(extended.width(), 3);
+        let back: Vec<Time> = extended.clone().into();
+        assert_eq!(back.len(), 3);
+        let by_ref: Vec<Time> = (&extended).into_iter().copied().collect();
+        let by_val: Vec<Time> = extended.into_iter().collect();
+        assert_eq!(by_ref, by_val);
+    }
+
+    #[test]
+    fn select_and_concat() {
+        let v = fig5();
+        assert_eq!(v.select(&[3, 0]).times(), &[Time::finite(1), Time::ZERO]);
+        assert_eq!(v.select(&[1, 1]).width(), 2);
+        let joined = Volley::concat([&v, &Volley::silent(2)]);
+        assert_eq!(joined.width(), 6);
+        assert_eq!(joined[5], Time::INFINITY);
+        assert_eq!(Volley::concat([] as [&Volley; 0]), Volley::default());
+    }
+
+    #[test]
+    #[should_panic]
+    fn select_bounds_checked() {
+        let _ = fig5().select(&[9]);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(fig5().to_string(), "[0, 3, ∞, 1]");
+        assert_eq!(Volley::silent(0).to_string(), "[]");
+    }
+
+    #[test]
+    fn default_is_empty() {
+        assert!(Volley::default().is_empty());
+    }
+}

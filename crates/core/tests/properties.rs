@@ -1,0 +1,196 @@
+//! Property-based tests for the space-time algebra core.
+//!
+//! These verify the paper's algebraic claims on randomized inputs:
+//! the lattice laws (§ III.D), the space-time properties of arbitrary
+//! feedforward compositions (Lemma 1), Lemma 2 `max` elimination, and the
+//! equivalence between sampled function tables and the functions they were
+//! sampled from (§ III.F).
+
+use proptest::prelude::*;
+use st_core::{
+    enumerate_inputs, lattice, ops, simplify, verify_space_time, with_arity, Expr, FunctionTable,
+    SpaceTimeFunction, Time, Volley,
+};
+
+/// A time in a small window, with `∞` appearing about 20% of the time.
+fn small_time() -> impl Strategy<Value = Time> {
+    prop_oneof![
+        4 => (0u64..12).prop_map(Time::finite),
+        1 => Just(Time::INFINITY),
+    ]
+}
+
+fn expr_over(leaf: BoxedStrategy<Expr>) -> impl Strategy<Value = Expr> {
+    leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.min(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.max(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.lt(b)),
+            (inner, 0u64..4).prop_map(|(a, c)| a.inc(c)),
+        ]
+    })
+}
+
+/// A random expression over `arity` inputs. Only the `∞` constant appears:
+/// a *finite* constant is an absolute-time event and breaks shift
+/// invariance, so this is the strategy for the Lemma-1-style properties.
+fn arb_expr(arity: usize) -> impl Strategy<Value = Expr> {
+    expr_over(
+        prop_oneof![
+            8 => (0..arity).prop_map(Expr::input),
+            1 => Just(Expr::constant(Time::INFINITY)),
+        ]
+        .boxed(),
+    )
+}
+
+/// A random expression that may also contain finite constants (legal, but
+/// not shift-invariant as a closed function) — used for the rewriting
+/// properties, which only require extensional equality.
+fn arb_expr_with_consts(arity: usize) -> impl Strategy<Value = Expr> {
+    expr_over(
+        prop_oneof![
+            8 => (0..arity).prop_map(Expr::input),
+            1 => Just(Expr::constant(Time::INFINITY)),
+            1 => Just(Expr::constant(Time::ZERO)),
+            1 => (1u64..5).prop_map(|c| Expr::constant(Time::finite(c))),
+        ]
+        .boxed(),
+    )
+}
+
+proptest! {
+    #[test]
+    fn lattice_laws(a in small_time(), b in small_time(), c in small_time()) {
+        prop_assert!(lattice::idempotent(a));
+        prop_assert!(lattice::commutative(a, b));
+        prop_assert!(lattice::associative(a, b, c));
+        prop_assert!(lattice::absorptive(a, b));
+        prop_assert!(lattice::distributive(a, b, c));
+        prop_assert!(lattice::bounded(a));
+        prop_assert!(lattice::order_consistent(a, b));
+        prop_assert!(lattice::monotone(a, b, c, 2));
+    }
+
+    #[test]
+    fn closure_under_addition(a in small_time(), c in 0u64..100) {
+        // ∞ + n = ∞ and finite stays finite (well within the window).
+        let d = a + c;
+        prop_assert_eq!(d.is_infinite(), a.is_infinite());
+        if let (Some(av), Some(dv)) = (a.value(), d.value()) {
+            prop_assert_eq!(dv, av + c);
+        }
+    }
+
+    #[test]
+    fn lemma2_on_random_pairs(a in small_time(), b in small_time()) {
+        prop_assert_eq!(ops::max_via_lemma2(a, b), ops::max(a, b));
+    }
+
+    /// Lemma 1: every feedforward composition of the primitives is a
+    /// space-time function (causal and invariant).
+    #[test]
+    fn random_compositions_are_space_time(e in arb_expr(3)) {
+        verify_space_time(&e, 3, 2, None)
+            .map_err(|v| TestCaseError::fail(format!("{e} violates: {v}")))?;
+    }
+
+    /// Lemma 2 as a rewrite: eliminating max preserves semantics and
+    /// leaves only the minimal complete primitive set.
+    #[test]
+    fn eliminate_max_equivalence(e in arb_expr(3)) {
+        let reduced = e.eliminate_max();
+        prop_assert!(reduced.uses_only_minimal_primitives());
+        for inputs in enumerate_inputs(3, 3) {
+            prop_assert_eq!(e.eval(&inputs).unwrap(), reduced.eval(&inputs).unwrap());
+        }
+    }
+
+    /// § III.F: sampling a (causal, invariant) function into a normalized
+    /// table and evaluating the table reproduces the function, within the
+    /// sampled window.
+    #[test]
+    fn table_round_trip(e in arb_expr(2)) {
+        let f = with_arity(e.clone(), 2);
+        let table = match FunctionTable::from_fn(&f, 4) {
+            Ok(t) => t,
+            Err(err) => {
+                return Err(TestCaseError::fail(format!(
+                    "sampling a composition must succeed, got {err} for {e}"
+                )))
+            }
+        };
+        // Agreement on every input within a window the table's invariance
+        // can reach (normalized patterns up to 4, shifts included).
+        for inputs in enumerate_inputs(2, 4) {
+            let expected = f.apply(&inputs).unwrap();
+            let got = table.eval(&inputs).unwrap();
+            prop_assert_eq!(
+                got, expected,
+                "table {} disagrees with {} at {:?}", table, e, inputs
+            );
+        }
+    }
+
+    /// Table evaluation is invariant by construction: shifted inputs give
+    /// shifted outputs even far outside the sampled window.
+    #[test]
+    fn table_eval_is_shift_invariant(e in arb_expr(2), shift in 0u64..1000) {
+        let table = FunctionTable::from_fn(&with_arity(e, 2), 3).unwrap();
+        for inputs in enumerate_inputs(2, 2) {
+            let base = table.eval(&inputs).unwrap();
+            let shifted: Vec<Time> = inputs.iter().map(|&t| t + shift).collect();
+            prop_assert_eq!(table.eval(&shifted).unwrap(), base + shift);
+        }
+    }
+
+    /// Simplification is semantics-preserving, idempotent, and never
+    /// enlarges the expression.
+    #[test]
+    fn simplify_preserves_semantics(e in arb_expr_with_consts(3)) {
+        let reduced = simplify(&e);
+        prop_assert!(reduced.op_count() <= e.op_count());
+        prop_assert_eq!(simplify(&reduced), reduced.clone(), "not idempotent: {}", e);
+        for inputs in enumerate_inputs(3, 3) {
+            prop_assert_eq!(
+                reduced.eval(&inputs).unwrap(),
+                e.eval(&inputs).unwrap(),
+                "{} vs {} at {:?}", e, reduced, inputs
+            );
+        }
+    }
+
+    /// Display → parse is the identity on arbitrary expressions.
+    #[test]
+    fn expr_display_parse_round_trip(e in arb_expr_with_consts(3)) {
+        let text = e.to_string();
+        let back: Expr = text.parse()
+            .map_err(|err| TestCaseError::fail(format!("{text:?}: {err}")))?;
+        prop_assert_eq!(back, e);
+    }
+
+    #[test]
+    fn volley_normalize_shift_round_trip(
+        values in prop::collection::vec(prop::option::weighted(0.8, 0u64..15), 1..8),
+        shift in 0u64..50,
+    ) {
+        let v = Volley::encode(values.clone());
+        let shifted = v.shift(shift);
+        // Decoding is frame-independent.
+        prop_assert_eq!(shifted.decode(), v.decode());
+        // Normalizing a shifted volley recovers the normalized original.
+        prop_assert_eq!(shifted.normalize(), v.normalize());
+        // Spike counts are preserved by shifting.
+        prop_assert_eq!(shifted.spike_count(), v.spike_count());
+    }
+
+    #[test]
+    fn volley_decode_encode_identity(
+        values in prop::collection::vec(prop::option::weighted(0.8, 0u64..15), 1..8),
+    ) {
+        let v = Volley::encode(values);
+        let decoded = v.decode();
+        let reencoded = Volley::encode(decoded);
+        prop_assert_eq!(reencoded, v.normalize());
+    }
+}

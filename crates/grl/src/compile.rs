@@ -1,0 +1,178 @@
+//! Compilation of algebraic space-time networks into GRL netlists.
+//!
+//! This is the paper's punchline made executable (§ V.C): a network
+//! designed in the spiking-neuron domain — any `st-net` [`Network`],
+//! including synthesized Theorem 1 forms, bitonic sorters, whole SRM0
+//! neurons, and WTA stages — maps gate-for-gate onto off-the-shelf CMOS:
+//!
+//! | algebraic gate | CMOS realization |
+//! |---|---|
+//! | `min` (n-ary) | AND chain (goes low with its first input) |
+//! | `max` (n-ary) | OR chain (goes low with its last input) |
+//! | `lt` | Fig. 16 latch gadget |
+//! | `inc c` | `c`-stage shift register |
+//! | `Const ∞` | wire tied high |
+//! | `Const t` | configuration wire falling at cycle `t` |
+//!
+//! The cycle-exact equivalence between the compiled netlist and the
+//! algebraic evaluator is checked in the tests and property suites.
+
+use st_net::{GateKind, Network};
+
+use crate::netlist::{GrlBuilder, GrlNetlist, WireId};
+
+/// Compiles an algebraic network into a gate-level GRL netlist.
+///
+/// # Examples
+///
+/// ```
+/// use st_core::Time;
+/// use st_net::NetworkBuilder;
+/// use st_grl::{compile_network, GrlSim};
+///
+/// // Fig. 6(b) as CMOS: y = lt(min(a + 1, b), c).
+/// let mut b = NetworkBuilder::new();
+/// let a = b.input();
+/// let x = b.input();
+/// let c = b.input();
+/// let a1 = b.inc(a, 1);
+/// let m = b.min([a1, x])?;
+/// let y = b.lt(m, c);
+/// let net = b.build([y]);
+///
+/// let netlist = compile_network(&net);
+/// let inputs = [Time::finite(0), Time::finite(3), Time::finite(2)];
+/// let report = GrlSim::new().run(&netlist, &inputs)?;
+/// assert_eq!(report.outputs, net.eval(&inputs)?);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn compile_network(network: &Network) -> GrlNetlist {
+    let mut b = GrlBuilder::new();
+    let mut wires: Vec<WireId> = Vec::with_capacity(network.gate_count());
+    for (id, kind) in network.iter_gates() {
+        let sources = network.sources(id).expect("id from iter_gates");
+        let srcs: Vec<WireId> = sources.iter().map(|s| wires[s.index()]).collect();
+        let wire = match kind {
+            GateKind::Input(_) => b.input(),
+            GateKind::Const(t) => match t.value() {
+                None => b.high(),
+                Some(c) => b.fall_at(c),
+            },
+            GateKind::Min => b.and_all(&srcs),
+            GateKind::Max => b.or_all(&srcs),
+            GateKind::Lt => b.lt(srcs[0], srcs[1]),
+            GateKind::Inc(c) => b.shift_register(srcs[0], c),
+            // GateKind is #[non_exhaustive]; any future algebraic gate
+            // needs an explicit CMOS mapping here.
+            other => unimplemented!("no GRL mapping for gate kind {other:?}"),
+        };
+        wires.push(wire);
+    }
+    let outputs = network.outputs().iter().map(|o| wires[o.index()]);
+    b.build(outputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::GrlSim;
+    use st_core::{enumerate_inputs, FunctionTable, Time};
+    use st_net::synth::{synthesize, SynthesisOptions};
+    use st_net::NetworkBuilder;
+
+    fn t(v: u64) -> Time {
+        Time::finite(v)
+    }
+
+    fn assert_cycle_exact(net: &Network, window: u64) {
+        let netlist = compile_network(net);
+        let sim = GrlSim::new();
+        for inputs in enumerate_inputs(net.input_count(), window) {
+            let algebraic = net.eval(&inputs).unwrap();
+            let cmos = sim.run(&netlist, &inputs).unwrap().outputs;
+            assert_eq!(cmos, algebraic, "at {inputs:?}");
+        }
+    }
+
+    #[test]
+    fn fig6_compiles_cycle_exactly() {
+        let mut b = NetworkBuilder::new();
+        let a = b.input();
+        let x = b.input();
+        let c = b.input();
+        let a1 = b.inc(a, 1);
+        let m = b.min([a1, x]).unwrap();
+        let y = b.lt(m, c);
+        assert_cycle_exact(&b.build([y]), 4);
+    }
+
+    #[test]
+    fn synthesized_table_compiles_cycle_exactly() {
+        let table = FunctionTable::from_rows(
+            2,
+            vec![
+                (vec![t(0), t(1)], t(2)),
+                (vec![t(1), t(0)], t(3)),
+                (vec![t(0), Time::INFINITY], t(1)),
+            ],
+        )
+        .unwrap();
+        let net = synthesize(&table, SynthesisOptions::default());
+        assert_cycle_exact(&net, 4);
+        let pure = synthesize(&table, SynthesisOptions::pure());
+        assert_cycle_exact(&pure, 4);
+    }
+
+    #[test]
+    fn sorter_compiles_cycle_exactly() {
+        let net = st_net::sorting::sorting_network(4);
+        assert_cycle_exact(&net, 3);
+    }
+
+    #[test]
+    fn wta_compiles_cycle_exactly() {
+        let net = st_net::wta::wta_network(3, 2);
+        assert_cycle_exact(&net, 3);
+    }
+
+    #[test]
+    fn srm0_style_network_compiles_cycle_exactly() {
+        // A miniature Fig. 12 neuron built from primitives: two inputs,
+        // unit step responses at +1, θ = 2 → fires one tick after the
+        // later input (sorted_ups[1] with no down steps).
+        use st_net::sorting::bitonic_sort_into;
+        let mut b = NetworkBuilder::new();
+        let xs = b.inputs(2);
+        let ups: Vec<_> = xs.iter().map(|&x| b.inc(x, 1)).collect();
+        let sorted = bitonic_sort_into(&mut b, &ups);
+        let never = b.constant(Time::INFINITY);
+        let fire = b.lt(sorted[1], never);
+        assert_cycle_exact(&b.build([fire]), 3);
+    }
+
+    #[test]
+    fn constants_compile_to_high_and_fall_wires() {
+        let mut b = NetworkBuilder::new();
+        let x = b.input();
+        let inf = b.constant(Time::INFINITY);
+        let k = b.constant(t(2));
+        let gated = b.lt(x, inf);
+        let capped = b.min([x, k]).unwrap();
+        let net = b.build([gated, capped]);
+        assert_cycle_exact(&net, 5);
+    }
+
+    #[test]
+    fn census_reflects_the_mapping() {
+        let mut b = NetworkBuilder::new();
+        let xs = b.inputs(3);
+        let mn = b.min(xs.clone()).unwrap(); // 3-ary → 2 AND gates
+        let mx = b.max(xs.clone()).unwrap(); // 3-ary → 2 OR gates
+        let less = b.lt(mn, mx);
+        let slow = b.inc(less, 3); // 3 flip-flops
+        let net = b.build([slow]);
+        let netlist = compile_network(&net);
+        assert_eq!(netlist.gate_census(), (2, 2, 1, 3));
+    }
+}

@@ -1,0 +1,288 @@
+//! Switching-activity energy accounting (§ VI conjecture 1).
+//!
+//! The paper conjectures that direct space-time implementations are
+//! intrinsically energy-efficient because "transistors undergo either a
+//! single switch or none at all", and sparse codings leave many wires
+//! untouched. At the architecture level, dynamic CMOS energy is
+//! proportional to switching activity, so transition counts are the
+//! standard proxy; this module aggregates the simulator's counts and
+//! provides the binary-datapath strawman the sparse/unary claim is
+//! compared against in the experiments (E13).
+
+use st_core::Time;
+
+use crate::netlist::GrlNetlist;
+use crate::sim::{GrlReport, GrlSim};
+
+/// Aggregated switching statistics over a batch of computations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyStats {
+    /// Computations measured.
+    pub runs: usize,
+    /// Mean `1→0` transitions during evaluation.
+    pub mean_eval_transitions: f64,
+    /// Mean total transitions including the reset phase.
+    pub mean_total_transitions: f64,
+    /// Mean fraction of wires that switched at all.
+    pub mean_activity_factor: f64,
+    /// Largest single-run evaluation transition count observed.
+    pub max_eval_transitions: usize,
+}
+
+/// Runs `inputs` through the netlist and aggregates switching statistics.
+///
+/// # Errors
+///
+/// Propagates arity errors from the simulator.
+pub fn measure_energy<'a, I>(netlist: &GrlNetlist, input_sets: I) -> Result<EnergyStats, st_core::CoreError>
+where
+    I: IntoIterator<Item = &'a [Time]>,
+{
+    let sim = GrlSim::new();
+    let mut runs = 0usize;
+    let mut eval_sum = 0usize;
+    let mut total_sum = 0usize;
+    let mut activity_sum = 0.0f64;
+    let mut max_eval = 0usize;
+    for inputs in input_sets {
+        let report: GrlReport = sim.run(netlist, inputs)?;
+        runs += 1;
+        eval_sum += report.eval_transitions;
+        total_sum += report.total_transitions();
+        activity_sum += report.activity_factor();
+        max_eval = max_eval.max(report.eval_transitions);
+    }
+    let denom = runs.max(1) as f64;
+    Ok(EnergyStats {
+        runs,
+        mean_eval_transitions: eval_sum as f64 / denom,
+        mean_total_transitions: total_sum as f64 / denom,
+        mean_activity_factor: activity_sum / denom,
+        max_eval_transitions: max_eval,
+    })
+}
+
+/// A deliberately simple binary-datapath strawman for comparison: the same
+/// algebraic operator count realized as `bits`-wide binary units
+/// (comparator-select for min/max/lt, an adder for inc), with the textbook
+/// expectation that about half of a unit's `2·bits` gate outputs toggle
+/// per operation. Returns the estimated transitions per evaluation.
+///
+/// This is a *model*, not a synthesized design; it exists to give the
+/// experiments a defensible order-of-magnitude baseline for the paper's
+/// claim that unary temporal encodings at low resolution switch less than
+/// binary ones when volleys are sparse.
+#[must_use]
+pub fn binary_baseline_transitions(operator_count: usize, bits: u32) -> f64 {
+    operator_count as f64 * f64::from(bits)
+}
+
+/// Relative per-event energy costs by gate type, in arbitrary units.
+///
+/// The paper's § V.B caveat is modeled explicitly: combinational gates and
+/// the `lt` latch only pay on *transitions*, but clocked flip-flops (the
+/// shift-register delay elements) also pay a small cost **every clock
+/// cycle**, whether or not data moves — "energy consumption may increase
+/// significantly due to the clocked shift registers. Further research is
+/// required to quantify ... this effect". [`estimate_energy`] quantifies
+/// it for a given run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Cost per transition on an AND/OR output.
+    pub gate_transition: f64,
+    /// Cost per transition on an `lt` latch output (the gadget is several
+    /// gates plus state).
+    pub latch_transition: f64,
+    /// Cost per transition on a flip-flop output.
+    pub ff_transition: f64,
+    /// Cost per flip-flop per *clock cycle* (clock tree + internal
+    /// toggling), paid regardless of data activity.
+    pub ff_clock: f64,
+}
+
+impl Default for EnergyModel {
+    /// Unit-ish relative costs: latches ≈ 3 gates, flip-flops ≈ 4 gates
+    /// per data transition, and a 5% per-cycle clocking overhead per
+    /// flip-flop — representative textbook ratios for activity modeling,
+    /// not a characterized process.
+    fn default() -> EnergyModel {
+        EnergyModel {
+            gate_transition: 1.0,
+            latch_transition: 3.0,
+            ff_transition: 4.0,
+            ff_clock: 0.05,
+        }
+    }
+}
+
+/// Energy estimate for one computation, split by mechanism.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Data-dependent switching energy (transitions × per-type cost).
+    pub switching: f64,
+    /// Data-independent clocking energy (flip-flops × cycles × `ff_clock`).
+    pub clocking: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total estimated energy.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.switching + self.clocking
+    }
+
+    /// Fraction of the total that is clock overhead — the quantity behind
+    /// the paper's shift-register caveat.
+    #[must_use]
+    pub fn clock_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.clocking / total
+        }
+    }
+}
+
+/// Estimates the energy of one simulated computation under a cost model.
+///
+/// # Panics
+///
+/// Panics if `report` does not belong to `netlist`.
+#[must_use]
+pub fn estimate_energy(
+    netlist: &GrlNetlist,
+    report: &GrlReport,
+    model: &EnergyModel,
+) -> EnergyBreakdown {
+    use crate::netlist::{GrlGate, WireId};
+    assert_eq!(
+        report.fall_times.len(),
+        netlist.wire_count(),
+        "report does not match this netlist"
+    );
+    let mut switching = 0.0;
+    let mut ff_count = 0usize;
+    for i in 0..netlist.wire_count() {
+        let gate = netlist.gate(WireId(i));
+        if let GrlGate::Delay(_) = gate {
+            ff_count += 1;
+        }
+        if report.fall_times[i].is_finite() {
+            switching += match gate {
+                GrlGate::And(_, _) | GrlGate::Or(_, _) => model.gate_transition,
+                GrlGate::LtLatch { .. } => model.latch_transition,
+                GrlGate::Delay(_) => model.ff_transition,
+                // Inputs and constants are driven externally.
+                _ => 0.0,
+            };
+        }
+    }
+    EnergyBreakdown {
+        switching,
+        clocking: ff_count as f64 * report.cycles as f64 * model.ff_clock,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::GrlBuilder;
+
+    fn t(v: u64) -> Time {
+        Time::finite(v)
+    }
+
+    fn small_netlist() -> GrlNetlist {
+        let mut b = GrlBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let m = b.and2(x, y);
+        let d = b.shift_register(m, 1);
+        b.build([d])
+    }
+
+    #[test]
+    fn aggregates_over_runs() {
+        let net = small_netlist();
+        let dense: Vec<Time> = vec![t(0), t(1)];
+        let sparse: Vec<Time> = vec![Time::INFINITY, t(1)];
+        let silent: Vec<Time> = vec![Time::INFINITY, Time::INFINITY];
+        let stats =
+            measure_energy(&net, [dense.as_slice(), sparse.as_slice(), silent.as_slice()]).unwrap();
+        assert_eq!(stats.runs, 3);
+        // dense: x, y, or, delay = 4; sparse: y, or, delay = 3; silent: 0.
+        assert!((stats.mean_eval_transitions - (4.0 + 3.0 + 0.0) / 3.0).abs() < 1e-12);
+        assert_eq!(stats.max_eval_transitions, 4);
+        assert!(stats.mean_total_transitions >= stats.mean_eval_transitions);
+        assert!(stats.mean_activity_factor > 0.0);
+    }
+
+    #[test]
+    fn sparser_volleys_switch_less() {
+        let net = small_netlist();
+        let dense: Vec<Time> = vec![t(0), t(1)];
+        let sparse: Vec<Time> = vec![Time::INFINITY, t(1)];
+        let d = measure_energy(&net, [dense.as_slice()]).unwrap();
+        let s = measure_energy(&net, [sparse.as_slice()]).unwrap();
+        assert!(s.mean_eval_transitions < d.mean_eval_transitions);
+    }
+
+    #[test]
+    fn empty_batch_is_well_defined() {
+        let net = small_netlist();
+        let stats = measure_energy(&net, std::iter::empty::<&[Time]>()).unwrap();
+        assert_eq!(stats.runs, 0);
+        assert_eq!(stats.mean_eval_transitions, 0.0);
+    }
+
+    #[test]
+    fn energy_breakdown_splits_switching_and_clocking() {
+        let net = small_netlist();
+        let model = EnergyModel::default();
+        let report = GrlSim::new().run(&net, &[t(0), t(1)]).unwrap();
+        let e = estimate_energy(&net, &report, &model);
+        // Falls: and (1.0) + delay (4.0); inputs are free.
+        assert!((e.switching - 5.0).abs() < 1e-9, "{e:?}");
+        // One flip-flop clocked for every simulated cycle.
+        assert!((e.clocking - report.cycles as f64 * 0.05).abs() < 1e-9);
+        assert!(e.total() > e.switching);
+        assert!(e.clock_fraction() > 0.0 && e.clock_fraction() < 1.0);
+    }
+
+    #[test]
+    fn clock_energy_persists_when_data_is_silent() {
+        // The paper's caveat: a silent computation still pays the clock.
+        let net = small_netlist();
+        let report = GrlSim::new()
+            .run(&net, &[Time::INFINITY, Time::INFINITY])
+            .unwrap();
+        let e = estimate_energy(&net, &report, &EnergyModel::default());
+        assert_eq!(e.switching, 0.0);
+        assert!(e.clocking > 0.0);
+        assert!((e.clock_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delay_heavy_designs_pay_more_clock() {
+        let mut b = GrlBuilder::new();
+        let x = b.input();
+        let shallow = b.shift_register(x, 1);
+        let light = b.build([shallow]);
+        let mut b = GrlBuilder::new();
+        let x = b.input();
+        let deep = b.shift_register(x, 20);
+        let heavy = b.build([deep]);
+        let model = EnergyModel::default();
+        let sim = GrlSim::new();
+        let el = estimate_energy(&light, &sim.run(&light, &[t(0)]).unwrap(), &model);
+        let eh = estimate_energy(&heavy, &sim.run(&heavy, &[t(0)]).unwrap(), &model);
+        assert!(eh.clocking > 10.0 * el.clocking, "{el:?} vs {eh:?}");
+    }
+
+    #[test]
+    fn binary_baseline_scales_with_width_and_ops() {
+        assert_eq!(binary_baseline_transitions(10, 4), 40.0);
+        assert!(binary_baseline_transitions(10, 32) > binary_baseline_transitions(10, 4));
+    }
+}

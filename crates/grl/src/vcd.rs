@@ -1,0 +1,189 @@
+//! VCD (Value Change Dump) waveform export for GRL simulations.
+//!
+//! A GRL computation is, physically, a set of digital waveforms — every
+//! wire starts high after reset and falls at most once. This module dumps
+//! a [`crate::GrlReport`] in the IEEE-1364 VCD text format so
+//! runs can be inspected in standard waveform viewers (GTKWave etc.),
+//! which is how one would debug a real race-logic chip.
+
+use std::fmt::Write as _;
+
+use crate::netlist::{GrlGate, GrlNetlist};
+use crate::sim::GrlReport;
+
+/// Renders a simulation report as a VCD document.
+///
+/// Wire names encode the gate kind (`in0`, `and12`, `lt7`, …); the
+/// timescale is one unit per clock cycle. Wires that never fall simply
+/// never change after the initial dump — exactly the `∞` semantics.
+///
+/// # Panics
+///
+/// Panics if `report` does not belong to `netlist` (wire counts differ).
+#[must_use]
+pub fn to_vcd(netlist: &GrlNetlist, report: &GrlReport) -> String {
+    assert_eq!(
+        report.fall_times.len(),
+        netlist.wire_count(),
+        "report does not match this netlist"
+    );
+    let mut out = String::new();
+    let _ = writeln!(out, "$date space-time algebra GRL run $end");
+    let _ = writeln!(out, "$version st-grl $end");
+    let _ = writeln!(out, "$timescale 1ns $end");
+    let _ = writeln!(out, "$scope module grl $end");
+    for i in 0..netlist.wire_count() {
+        let kind = match netlist.gate(crate::netlist::WireId(i)) {
+            GrlGate::Input(n) => format!("in{n}"),
+            GrlGate::High => format!("high{i}"),
+            GrlGate::FallAt(_) => format!("cfg{i}"),
+            GrlGate::And(_, _) => format!("and{i}"),
+            GrlGate::Or(_, _) => format!("or{i}"),
+            GrlGate::LtLatch { .. } => format!("lt{i}"),
+            GrlGate::Delay(_) => format!("ff{i}"),
+        };
+        let _ = writeln!(out, "$var wire 1 {} {} $end", ident(i), kind);
+    }
+    let _ = writeln!(out, "$upscope $end");
+    let _ = writeln!(out, "$enddefinitions $end");
+
+    // Initial state: everything high.
+    let _ = writeln!(out, "#0");
+    let _ = writeln!(out, "$dumpvars");
+    for i in 0..netlist.wire_count() {
+        let _ = writeln!(out, "1{}", ident(i));
+    }
+    let _ = writeln!(out, "$end");
+
+    // Falls, grouped by cycle.
+    let mut falls: Vec<(u64, usize)> = report
+        .fall_times
+        .iter()
+        .enumerate()
+        .filter_map(|(i, t)| t.value().map(|v| (v, i)))
+        .collect();
+    falls.sort_unstable();
+    let mut current: Option<u64> = None;
+    for (t, wire) in falls {
+        if current != Some(t) {
+            let _ = writeln!(out, "#{t}");
+            current = Some(t);
+        }
+        let _ = writeln!(out, "0{}", ident(wire));
+    }
+    let _ = writeln!(out, "#{}", report.cycles);
+    out
+}
+
+/// Compact printable VCD identifier for a wire index (base-94 over the
+/// printable ASCII range, per the VCD convention).
+fn ident(mut i: usize) -> String {
+    let mut s = String::new();
+    loop {
+        let digit = (i % 94) as u8 + 33; // '!'..='~'
+        s.push(digit as char);
+        i /= 94;
+        if i == 0 {
+            break;
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::GrlBuilder;
+    use crate::sim::GrlSim;
+    use st_core::Time;
+
+    fn t(v: u64) -> Time {
+        Time::finite(v)
+    }
+
+    fn fixture() -> (GrlNetlist, GrlReport) {
+        let mut b = GrlBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let mn = b.and2(x, y);
+        let d = b.shift_register(mn, 2);
+        let less = b.lt(d, y);
+        let net = b.build([less]);
+        let report = GrlSim::new().run(&net, &[t(1), t(9)]).unwrap();
+        (net, report)
+    }
+
+    #[test]
+    fn vcd_has_headers_vars_and_changes() {
+        let (net, report) = fixture();
+        let vcd = to_vcd(&net, &report);
+        assert!(vcd.contains("$timescale"));
+        assert!(vcd.contains("$enddefinitions $end"));
+        // One $var per wire.
+        assert_eq!(vcd.matches("$var wire 1 ").count(), net.wire_count());
+        // Named by kind.
+        assert!(vcd.contains(" in0 "));
+        assert!(vcd.contains(" and2 "));
+        assert!(vcd.contains(" ff"));
+        assert!(vcd.contains(" lt"));
+        // Initial dump: every wire high.
+        assert_eq!(vcd.matches("\n1").count(), net.wire_count());
+    }
+
+    #[test]
+    fn falls_appear_in_time_order() {
+        let (net, report) = fixture();
+        let vcd = to_vcd(&net, &report);
+        // Timestamps are monotone.
+        let stamps: Vec<u64> = vcd
+            .lines()
+            .filter_map(|l| l.strip_prefix('#'))
+            .map(|s| s.parse().unwrap())
+            .collect();
+        assert!(stamps.windows(2).all(|w| w[0] <= w[1]), "{stamps:?}");
+        // Number of 0-transitions equals eval transitions.
+        let zeros = vcd
+            .lines()
+            .filter(|l| l.starts_with('0') && l.len() >= 2)
+            .count();
+        assert_eq!(zeros, report.eval_transitions);
+    }
+
+    #[test]
+    fn silent_wires_never_change() {
+        let mut b = GrlBuilder::new();
+        let x = b.input();
+        let hi = b.high();
+        let g = b.lt(x, hi);
+        let net = b.build([g]);
+        let report = GrlSim::new().run(&net, &[Time::INFINITY]).unwrap();
+        let vcd = to_vcd(&net, &report);
+        // Nothing fell: no 0-lines at all.
+        assert_eq!(
+            vcd.lines().filter(|l| l.starts_with('0')).count(),
+            0,
+            "{vcd}"
+        );
+    }
+
+    #[test]
+    fn identifiers_are_printable_and_unique() {
+        let ids: Vec<String> = (0..500).map(ident).collect();
+        for id in &ids {
+            assert!(id.chars().all(|c| ('!'..='~').contains(&c)), "{id:?}");
+        }
+        let unique: std::collections::HashSet<&String> = ids.iter().collect();
+        assert_eq!(unique.len(), ids.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn mismatched_report_rejected() {
+        let (net, _) = fixture();
+        let mut b = GrlBuilder::new();
+        let x = b.input();
+        let other = b.build([x]);
+        let report = GrlSim::new().run(&other, &[t(0)]).unwrap();
+        let _ = to_vcd(&net, &report);
+    }
+}

@@ -1,0 +1,218 @@
+//! Compilation of [`st_core::Expr`] trees into gate networks.
+//!
+//! Expressions are the algebraic view; networks are the structural one. The
+//! compiler hash-conses structurally identical subexpressions into shared
+//! gates, so an expression that reuses a subtree many times (Lemma 2
+//! expansions, minterm forms) compiles into a DAG of the expected size
+//! rather than a tree.
+
+use std::collections::HashMap;
+
+use st_core::Expr;
+
+use crate::graph::{GateId, Network, NetworkBuilder};
+
+/// Compiles expressions into a multi-output network over `arity` primary
+/// inputs (one output line per expression, in order).
+///
+/// # Panics
+///
+/// Panics if an expression references an input index `>= arity`.
+///
+/// # Examples
+///
+/// ```
+/// use st_core::{Expr, Time};
+/// use st_net::compile::compile_exprs;
+///
+/// let e = (Expr::input(0).inc(1) & Expr::input(1)).lt(Expr::input(2));
+/// let net = compile_exprs(&[e], 3);
+/// let out = net.eval(&[Time::finite(0), Time::finite(3), Time::finite(2)])?;
+/// assert_eq!(out, vec![Time::finite(1)]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn compile_exprs(exprs: &[Expr], arity: usize) -> Network {
+    let mut builder = NetworkBuilder::new();
+    let inputs = builder.inputs(arity);
+    let mut memo: HashMap<Expr, GateId> = HashMap::new();
+    let outputs: Vec<GateId> = exprs
+        .iter()
+        .map(|e| compile_into(&mut builder, &inputs, e, &mut memo))
+        .collect();
+    builder.build(outputs)
+}
+
+/// Compiles one expression into an existing builder, mapping
+/// `Expr::Input(i)` to `inputs[i]`; returns the output gate.
+///
+/// `memo` carries hash-consing state and may be shared across calls to
+/// maximize reuse.
+///
+/// # Panics
+///
+/// Panics if the expression references an input index `>= inputs.len()`.
+pub fn compile_into(
+    builder: &mut NetworkBuilder,
+    inputs: &[GateId],
+    expr: &Expr,
+    memo: &mut HashMap<Expr, GateId>,
+) -> GateId {
+    if let Some(&id) = memo.get(expr) {
+        return id;
+    }
+    let id = match expr {
+        Expr::Input(i) => {
+            assert!(
+                *i < inputs.len(),
+                "expression references input {i} but only {} inputs exist",
+                inputs.len()
+            );
+            inputs[*i]
+        }
+        Expr::Const(t) => builder.constant(*t),
+        Expr::Min(a, b) => {
+            let ga = compile_into(builder, inputs, a, memo);
+            let gb = compile_into(builder, inputs, b, memo);
+            builder.min2(ga, gb)
+        }
+        Expr::Max(a, b) => {
+            let ga = compile_into(builder, inputs, a, memo);
+            let gb = compile_into(builder, inputs, b, memo);
+            builder.max2(ga, gb)
+        }
+        Expr::Lt(a, b) => {
+            let ga = compile_into(builder, inputs, a, memo);
+            let gb = compile_into(builder, inputs, b, memo);
+            builder.lt(ga, gb)
+        }
+        Expr::Inc(a, c) => {
+            let ga = compile_into(builder, inputs, a, memo);
+            builder.inc(ga, *c)
+        }
+    };
+    memo.insert(expr.clone(), id);
+    id
+}
+
+/// Decompiles one output line of a network back into an expression tree.
+///
+/// Shared gates become shared `Arc` subtrees, so the expression stays
+/// linear in network size in memory (its *tree* statistics such as
+/// [`Expr::op_count`] may still be exponential, reflecting the unfolding).
+///
+/// Constants are preserved as [`Expr::Const`]; n-ary gates unfold into
+/// binary chains.
+///
+/// # Panics
+///
+/// Panics if `output` is out of range.
+#[must_use]
+pub fn decompile(network: &Network, output: usize) -> Expr {
+    let out = network.outputs()[output];
+    let mut memo: HashMap<usize, Expr> = HashMap::new();
+    decompile_gate(network, out, &mut memo)
+}
+
+fn decompile_gate(network: &Network, id: GateId, memo: &mut HashMap<usize, Expr>) -> Expr {
+    if let Some(e) = memo.get(&id.index()) {
+        return e.clone();
+    }
+    use crate::graph::GateKind;
+    let kind = network.kind(id).expect("gate from network");
+    let sources = network.sources(id).expect("gate from network");
+    let expr = match kind {
+        GateKind::Input(i) => Expr::input(i),
+        GateKind::Const(t) => Expr::constant(t),
+        GateKind::Min => Expr::min_all(
+            sources
+                .iter()
+                .map(|&s| decompile_gate(network, s, memo))
+                .collect::<Vec<_>>(),
+        ),
+        GateKind::Max => Expr::max_all(
+            sources
+                .iter()
+                .map(|&s| decompile_gate(network, s, memo))
+                .collect::<Vec<_>>(),
+        ),
+        GateKind::Lt => {
+            let a = decompile_gate(network, sources[0], memo);
+            let b = decompile_gate(network, sources[1], memo);
+            a.lt(b)
+        }
+        GateKind::Inc(c) => decompile_gate(network, sources[0], memo).inc(c),
+    };
+    memo.insert(id.index(), expr.clone());
+    expr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::gate_counts;
+    use st_core::{enumerate_inputs, Time};
+
+    fn t(v: u64) -> Time {
+        Time::finite(v)
+    }
+
+    #[test]
+    fn compiles_fig6() {
+        let e = (Expr::input(0).inc(1) & Expr::input(1)).lt(Expr::input(2));
+        let net = compile_exprs(std::slice::from_ref(&e), 3);
+        for inputs in enumerate_inputs(3, 3) {
+            assert_eq!(net.eval(&inputs).unwrap()[0], e.eval(&inputs).unwrap());
+        }
+    }
+
+    #[test]
+    fn hash_consing_shares_subtrees() {
+        // lemma2 reuses lt(a,b) and lt(b,a); compiled size must be the
+        // 5-gate construction, not the 7-node tree.
+        let m = Expr::max_via_lemma2(Expr::input(0), Expr::input(1));
+        let net = compile_exprs(&[m], 2);
+        let c = gate_counts(&net);
+        assert_eq!(c.lt, 4);
+        assert_eq!(c.min, 1);
+        assert_eq!(c.operators(), 5);
+    }
+
+    #[test]
+    fn multi_output_compilation_shares_across_outputs() {
+        let shared = Expr::input(0) & Expr::input(1);
+        let a = shared.clone().inc(1);
+        let b = shared.clone().inc(2);
+        let net = compile_exprs(&[a, b], 2);
+        let c = gate_counts(&net);
+        assert_eq!(c.min, 1, "shared min must compile once");
+        assert_eq!(c.inc, 2);
+        assert_eq!(
+            net.eval(&[t(3), t(5)]).unwrap(),
+            vec![t(4), t(5)]
+        );
+    }
+
+    #[test]
+    fn constants_compile() {
+        let e = Expr::input(0).lt(Expr::constant(Time::INFINITY));
+        let net = compile_exprs(&[e], 1);
+        assert_eq!(net.eval(&[t(2)]).unwrap(), vec![t(2)]);
+    }
+
+    #[test]
+    fn decompile_round_trips_semantics() {
+        let e = (Expr::input(0) | Expr::input(1)).lt(Expr::input(2).inc(2));
+        let net = compile_exprs(std::slice::from_ref(&e), 3);
+        let back = decompile(&net, 0);
+        for inputs in enumerate_inputs(3, 3) {
+            assert_eq!(back.eval(&inputs).unwrap(), e.eval(&inputs).unwrap());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "references input")]
+    fn out_of_range_input_panics() {
+        let _ = compile_exprs(&[Expr::input(3)], 2);
+    }
+}

@@ -1,0 +1,56 @@
+//! Error types for network construction and reconfiguration.
+
+use core::fmt;
+
+use crate::graph::GateId;
+
+/// Errors produced while building or reconfiguring a network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// The referenced gate does not exist in this network.
+    UnknownGate {
+        /// The out-of-range id.
+        id: GateId,
+    },
+    /// `set_constant` was called on a gate that is not a constant.
+    NotAConstant {
+        /// The gate that was targeted.
+        id: GateId,
+    },
+    /// A `min`/`max` gate requires at least one source.
+    EmptyFanIn,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownGate { id } => write!(f, "gate {id:?} does not exist"),
+            NetError::NotAConstant { id } => {
+                write!(f, "gate {id:?} is not a constant and cannot be reconfigured")
+            }
+            NetError::EmptyFanIn => write!(f, "min/max gates require at least one source"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let id = GateId::from_index(3);
+        assert!(NetError::UnknownGate { id }.to_string().contains("does not exist"));
+        assert!(NetError::NotAConstant { id }.to_string().contains("not a constant"));
+        assert!(NetError::EmptyFanIn.to_string().contains("at least one source"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<NetError>();
+    }
+}

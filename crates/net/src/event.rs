@@ -1,0 +1,321 @@
+//! Discrete-event evaluation of space-time networks.
+//!
+//! Where [`crate::graph::Network::eval`] computes output times in one
+//! functional pass, [`EventSim`] *plays the computation out in time*: a
+//! single wave of spikes sweeps through the network (the paper's § III.B),
+//! each gate fires at most once, and the simulator observes every firing.
+//! This yields, in addition to the output times, the paper's key
+//! efficiency statistic — how many events (spikes / level transitions)
+//! each computation actually expends — which underpins the
+//! minimal-transition energy argument of § VI.
+//!
+//! The two evaluators are algebraically equivalent; the test suites
+//! cross-check them on hand-built and randomly generated networks.
+//!
+//! # Simultaneity
+//!
+//! Ties matter: `lt(a, b)` must not fire when `a` and `b` arrive at the
+//! same instant, even when one of them arrives through a zero-delay path.
+//! The simulator resolves this by processing pending evaluations in
+//! lexicographic `(time, gate)` order. Builders only ever wire a gate to
+//! earlier-created gates, so at equal times every source of a gate is
+//! evaluated before the gate itself — simultaneous arrivals are always
+//! visible to the firing decision.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use st_core::{CoreError, Time};
+
+use crate::graph::{GateKind, Network};
+
+/// Result of an event-driven run: per-output times plus activity counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventReport {
+    /// Event time on each output line (same as `Network::eval`).
+    pub outputs: Vec<Time>,
+    /// Firing time of every gate, indexed by [`crate::GateId::index`];
+    /// `∞` for gates that never fired.
+    pub firings: Vec<Time>,
+    /// Total number of gate firings (spikes) during the computation,
+    /// including input and constant events.
+    pub total_events: usize,
+    /// Firings on non-source gates only (excludes inputs and constants):
+    /// the work the network itself performed.
+    pub internal_events: usize,
+}
+
+impl EventReport {
+    /// Fraction of gates that fired at all — the activity factor that the
+    /// paper's sparse-coding energy argument (§ VI) aims to minimize.
+    #[must_use]
+    pub fn activity_factor(&self) -> f64 {
+        if self.firings.is_empty() {
+            0.0
+        } else {
+            self.total_events as f64 / self.firings.len() as f64
+        }
+    }
+}
+
+/// Event-driven simulator for [`Network`]s.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EventSim;
+
+impl EventSim {
+    /// Creates a simulator.
+    #[must_use]
+    pub fn new() -> EventSim {
+        EventSim
+    }
+
+    /// Plays the computation out in time and reports outputs + activity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ArityMismatch`] if `inputs.len()` differs from
+    /// the network's input count.
+    pub fn run(&self, network: &Network, inputs: &[Time]) -> Result<EventReport, CoreError> {
+        if inputs.len() != network.input_count() {
+            return Err(CoreError::ArityMismatch {
+                expected: network.input_count(),
+                actual: inputs.len(),
+            });
+        }
+        let n = network.gate_count();
+
+        let mut kinds: Vec<GateKind> = Vec::with_capacity(n);
+        let mut sources: Vec<&[crate::GateId]> = Vec::with_capacity(n);
+        let mut fanout: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (id, kind) in network.iter_gates() {
+            let srcs = network.sources(id).expect("id from iter_gates");
+            for &s in srcs {
+                fanout[s.index()].push(id.index());
+            }
+            kinds.push(kind);
+            sources.push(srcs);
+        }
+
+        let mut fired: Vec<Time> = vec![Time::INFINITY; n];
+        let mut total_events = 0usize;
+        let mut internal_events = 0usize;
+        // Pending "evaluate gate at time" tokens, popped in (time, gate)
+        // order. Duplicate tokens are harmless (re-evaluation is
+        // idempotent once a gate has fired).
+        let mut queue: BinaryHeap<Reverse<(Time, usize)>> = BinaryHeap::new();
+
+        // Seed: inputs and constants fire unconditionally at their times.
+        for (i, kind) in kinds.iter().enumerate() {
+            let at = match *kind {
+                GateKind::Input(p) => inputs[p],
+                GateKind::Const(t) => t,
+                _ => continue,
+            };
+            if at.is_finite() {
+                fired[i] = at;
+                total_events += 1;
+                for &consumer in &fanout[i] {
+                    let due = match kinds[consumer] {
+                        GateKind::Inc(c) => at + c,
+                        _ => at,
+                    };
+                    queue.push(Reverse((due, consumer)));
+                }
+            }
+        }
+
+        while let Some(Reverse((now, gate))) = queue.pop() {
+            if fired[gate].is_finite() {
+                continue;
+            }
+            let decision: Option<Time> = match kinds[gate] {
+                GateKind::Input(_) | GateKind::Const(_) => None,
+                GateKind::Inc(_) => Some(now),
+                GateKind::Min => Some(now),
+                GateKind::Max => {
+                    let times: Vec<Time> = sources[gate].iter().map(|s| fired[s.index()]).collect();
+                    if times.iter().all(|t| t.is_finite()) {
+                        Some(Time::max_of(times))
+                    } else {
+                        None
+                    }
+                }
+                GateKind::Lt => {
+                    let a = fired[sources[gate][0].index()];
+                    let b = fired[sources[gate][1].index()];
+                    (a.is_finite() && a < b).then_some(a)
+                }
+            };
+            if let Some(at) = decision {
+                debug_assert!(at >= now || matches!(kinds[gate], GateKind::Max));
+                fired[gate] = at;
+                total_events += 1;
+                internal_events += 1;
+                for &consumer in &fanout[gate] {
+                    let due = match kinds[consumer] {
+                        GateKind::Inc(c) => at + c,
+                        _ => at,
+                    };
+                    queue.push(Reverse((due, consumer)));
+                }
+            }
+        }
+
+        let outputs = network.outputs().iter().map(|&o| fired[o.index()]).collect();
+        Ok(EventReport {
+            outputs,
+            firings: fired,
+            total_events,
+            internal_events,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{Network, NetworkBuilder};
+
+    fn t(v: u64) -> Time {
+        Time::finite(v)
+    }
+
+    fn fig6() -> Network {
+        let mut b = NetworkBuilder::new();
+        let a = b.input();
+        let x = b.input();
+        let c = b.input();
+        let a1 = b.inc(a, 1);
+        let m = b.min([a1, x]).unwrap();
+        let y = b.lt(m, c);
+        b.build([y])
+    }
+
+    #[test]
+    fn matches_functional_eval_on_fig6() {
+        let net = fig6();
+        let sim = EventSim::new();
+        for inputs in st_core::enumerate_inputs(3, 4) {
+            let functional = net.eval(&inputs).unwrap();
+            let report = sim.run(&net, &inputs).unwrap();
+            assert_eq!(report.outputs, functional, "at {inputs:?}");
+        }
+    }
+
+    #[test]
+    fn activity_counts_firing_gates_only() {
+        let net = fig6();
+        let sim = EventSim::new();
+        // All three inputs spike; inc, min fire; lt fires (1 < 2).
+        let report = sim.run(&net, &[t(0), t(3), t(2)]).unwrap();
+        assert_eq!(report.total_events, 6);
+        assert_eq!(report.internal_events, 3);
+        assert!((report.activity_factor() - 1.0).abs() < 1e-12);
+        // A silent input volley produces zero events anywhere.
+        let report = sim.run(&net, &[Time::INFINITY; 3]).unwrap();
+        assert_eq!(report.total_events, 0);
+        assert_eq!(report.outputs, vec![Time::INFINITY]);
+        // Sparse volley: only input 1 spikes → min fires, lt uninhibited
+        // (c = ∞) so it fires too.
+        let report = sim.run(&net, &[Time::INFINITY, t(3), Time::INFINITY]).unwrap();
+        assert_eq!(report.outputs, vec![t(3)]);
+        assert_eq!(report.total_events, 3); // input1, min, lt
+    }
+
+    #[test]
+    fn lt_tie_does_not_fire() {
+        let mut b = NetworkBuilder::new();
+        let a = b.input();
+        let c = b.input();
+        let y = b.lt(a, c);
+        let net = b.build([y]);
+        let sim = EventSim::new();
+        assert_eq!(sim.run(&net, &[t(2), t(2)]).unwrap().outputs, vec![Time::INFINITY]);
+        assert_eq!(sim.run(&net, &[t(2), t(3)]).unwrap().outputs, vec![t(2)]);
+        assert_eq!(sim.run(&net, &[t(3), t(2)]).unwrap().outputs, vec![Time::INFINITY]);
+    }
+
+    #[test]
+    fn zero_delay_tie_is_resolved_correctly() {
+        // lt(x, inc0(x)) must not fire: both events are simultaneous even
+        // though one arrives through a gate.
+        let mut b = NetworkBuilder::new();
+        let x = b.input();
+        let same = b.inc(x, 0);
+        let y = b.lt(x, same);
+        let net = b.build([y]);
+        let report = EventSim::new().run(&net, &[t(3)]).unwrap();
+        assert_eq!(report.outputs, vec![Time::INFINITY]);
+        assert_eq!(report.outputs, net.eval(&[t(3)]).unwrap());
+    }
+
+    #[test]
+    fn max_waits_for_all_sources() {
+        let mut b = NetworkBuilder::new();
+        let ins = b.inputs(3);
+        let mx = b.max(ins).unwrap();
+        let net = b.build([mx]);
+        let sim = EventSim::new();
+        let report = sim.run(&net, &[t(1), t(5), t(3)]).unwrap();
+        assert_eq!(report.outputs, vec![t(5)]);
+        // If one source never fires, max never fires.
+        let report = sim.run(&net, &[t(1), Time::INFINITY, t(3)]).unwrap();
+        assert_eq!(report.outputs, vec![Time::INFINITY]);
+        assert_eq!(report.total_events, 2);
+    }
+
+    #[test]
+    fn firings_expose_waveform() {
+        let net = fig6();
+        let report = EventSim::new().run(&net, &[t(0), t(3), t(2)]).unwrap();
+        assert_eq!(report.firings, net.trace(&[t(0), t(3), t(2)]).unwrap());
+    }
+
+    #[test]
+    fn constants_seed_events() {
+        let mut b = NetworkBuilder::new();
+        let x = b.input();
+        let zero = b.constant(Time::ZERO);
+        let never = b.constant(Time::INFINITY);
+        let gated_off = b.lt(x, zero); // always ∞
+        let gated_on = b.lt(x, never); // passes x
+        let net = b.build([gated_off, gated_on]);
+        let report = EventSim::new().run(&net, &[t(4)]).unwrap();
+        assert_eq!(report.outputs, vec![Time::INFINITY, t(4)]);
+        // Events: input, const-zero, gated_on.
+        assert_eq!(report.total_events, 3);
+    }
+
+    #[test]
+    fn arity_is_checked() {
+        let net = fig6();
+        assert!(EventSim::new().run(&net, &[t(0)]).is_err());
+    }
+
+    #[test]
+    fn inc_chains_delay_events() {
+        let mut b = NetworkBuilder::new();
+        let x = b.input();
+        let d1 = b.inc(x, 2);
+        let d2 = b.inc(d1, 3);
+        let net = b.build([d2]);
+        let report = EventSim::new().run(&net, &[t(1)]).unwrap();
+        assert_eq!(report.outputs, vec![t(6)]);
+        assert_eq!(report.firings, vec![t(1), t(3), t(6)]);
+    }
+
+    #[test]
+    fn diamond_with_unequal_delays() {
+        // x splits into a fast and a slow path that reconverge at lt:
+        // fast = x+1, slow = x+4; lt(fast, slow) = x+1.
+        let mut b = NetworkBuilder::new();
+        let x = b.input();
+        let fast = b.inc(x, 1);
+        let slow = b.inc(x, 4);
+        let y = b.lt(fast, slow);
+        let net = b.build([y]);
+        let report = EventSim::new().run(&net, &[t(10)]).unwrap();
+        assert_eq!(report.outputs, vec![t(11)]);
+        assert_eq!(report.outputs, net.eval(&[t(10)]).unwrap());
+    }
+}

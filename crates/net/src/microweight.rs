@@ -1,0 +1,300 @@
+//! Micro-weights: the primitive configuration mechanism (§ IV.B, Fig. 13).
+//!
+//! A *micro-weight* is an `lt` gate whose second input is a constant `μ`
+//! set before a computation: `μ = ∞` lets the data event pass, `μ = 0`
+//! blocks it (no event can strictly precede time 0). Banks of
+//! micro-weights turn a fixed fanout/increment network into a
+//! *programmable* one — the paper's route from trained synaptic weights to
+//! hardware configuration bits, and in general the way space-time networks
+//! are "programmed".
+
+use st_core::Time;
+
+use crate::error::NetError;
+use crate::graph::{GateId, Network, NetworkBuilder};
+
+/// Handle to one configurable micro-weight inside a network under
+/// construction (and later, the built [`Network`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MicroWeight {
+    mu: GateId,
+    output: GateId,
+}
+
+impl MicroWeight {
+    /// The gate carrying the gated (enabled/disabled) copy of the data
+    /// event — wire this into downstream logic.
+    #[must_use]
+    pub fn output(self) -> GateId {
+        self.output
+    }
+
+    /// The constant gate holding `μ`, for direct inspection.
+    #[must_use]
+    pub fn mu_gate(self) -> GateId {
+        self.mu
+    }
+
+    /// Enables the path (`μ = ∞`) in a built network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError`] if the handle does not belong to `network`.
+    pub fn enable(self, network: &mut Network) -> Result<(), NetError> {
+        network.set_constant(self.mu, Time::INFINITY)
+    }
+
+    /// Disables the path (`μ = 0`) in a built network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError`] if the handle does not belong to `network`.
+    pub fn disable(self, network: &mut Network) -> Result<(), NetError> {
+        network.set_constant(self.mu, Time::ZERO)
+    }
+
+    /// Sets the path's enablement from a boolean.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError`] if the handle does not belong to `network`.
+    pub fn set_enabled(self, network: &mut Network, enabled: bool) -> Result<(), NetError> {
+        if enabled {
+            self.enable(network)
+        } else {
+            self.disable(network)
+        }
+    }
+
+    /// Reads the current enablement from a built network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError`] if the handle does not belong to `network`.
+    pub fn is_enabled(self, network: &Network) -> Result<bool, NetError> {
+        match network.kind(self.mu)? {
+            crate::graph::GateKind::Const(t) => Ok(t.is_infinite()),
+            _ => Err(NetError::NotAConstant { id: self.mu }),
+        }
+    }
+}
+
+/// Appends a micro-weight-gated copy of `data` (Fig. 13): the returned
+/// handle's [`MicroWeight::output`] carries `data`'s event iff the weight
+/// is enabled.
+#[must_use]
+pub fn micro_weight_into(
+    builder: &mut NetworkBuilder,
+    data: GateId,
+    initially_enabled: bool,
+) -> MicroWeight {
+    let mu = builder.constant(if initially_enabled {
+        Time::INFINITY
+    } else {
+        Time::ZERO
+    });
+    let output = builder.lt(data, mu);
+    MicroWeight { mu, output }
+}
+
+/// A bank of micro-weight-selectable delayed copies of one input: the
+/// generic programmable fanout/increment structure behind Fig. 14.
+///
+/// Tap `k` carries `data + delays[k]` when enabled, `∞` when disabled.
+#[derive(Debug, Clone)]
+pub struct WeightedFanout {
+    taps: Vec<MicroWeight>,
+    delays: Vec<u64>,
+}
+
+impl WeightedFanout {
+    /// Appends the fanout/increment network for `data` with one tap per
+    /// entry of `delays`, all initially disabled.
+    #[must_use]
+    pub fn into_builder(builder: &mut NetworkBuilder, data: GateId, delays: &[u64]) -> WeightedFanout {
+        let taps = delays
+            .iter()
+            .map(|&d| {
+                let delayed = builder.inc(data, d);
+                micro_weight_into(builder, delayed, false)
+            })
+            .collect();
+        WeightedFanout {
+            taps,
+            delays: delays.to_vec(),
+        }
+    }
+
+    /// The number of taps.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// Whether the fanout has no taps.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.taps.is_empty()
+    }
+
+    /// The tap output gates, in delay order.
+    #[must_use]
+    pub fn outputs(&self) -> Vec<GateId> {
+        self.taps.iter().map(|t| t.output()).collect()
+    }
+
+    /// The configured delays.
+    #[must_use]
+    pub fn delays(&self) -> &[u64] {
+        &self.delays
+    }
+
+    /// The micro-weight handles, in delay order.
+    #[must_use]
+    pub fn taps(&self) -> &[MicroWeight] {
+        &self.taps
+    }
+
+    /// Enables exactly the first `weight` taps — the paper's Fig. 14
+    /// mapping from an integer synaptic weight to micro-weight settings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError`] if the handles do not belong to `network`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weight > self.len()`.
+    pub fn set_weight(&self, network: &mut Network, weight: usize) -> Result<(), NetError> {
+        assert!(
+            weight <= self.taps.len(),
+            "weight {weight} exceeds the {} available taps",
+            self.taps.len()
+        );
+        for (k, tap) in self.taps.iter().enumerate() {
+            tap.set_enabled(network, k < weight)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_core::Time;
+
+    fn t(v: u64) -> Time {
+        Time::finite(v)
+    }
+
+    const INF: Time = Time::INFINITY;
+
+    #[test]
+    fn fig13_enable_disable() {
+        let mut b = NetworkBuilder::new();
+        let x = b.input();
+        let mw = micro_weight_into(&mut b, x, true);
+        let mut net = b.build([mw.output()]);
+
+        assert!(mw.is_enabled(&net).unwrap());
+        assert_eq!(net.eval(&[t(4)]).unwrap(), vec![t(4)]);
+
+        mw.disable(&mut net).unwrap();
+        assert!(!mw.is_enabled(&net).unwrap());
+        assert_eq!(net.eval(&[t(4)]).unwrap(), vec![INF]);
+        // Even a spike at time 0 is blocked (lt is strict).
+        assert_eq!(net.eval(&[t(0)]).unwrap(), vec![INF]);
+
+        mw.enable(&mut net).unwrap();
+        assert_eq!(net.eval(&[t(0)]).unwrap(), vec![t(0)]);
+    }
+
+    #[test]
+    fn set_enabled_round_trips() {
+        let mut b = NetworkBuilder::new();
+        let x = b.input();
+        let mw = micro_weight_into(&mut b, x, false);
+        let mut net = b.build([mw.output()]);
+        assert!(!mw.is_enabled(&net).unwrap());
+        mw.set_enabled(&mut net, true).unwrap();
+        assert!(mw.is_enabled(&net).unwrap());
+        mw.set_enabled(&mut net, false).unwrap();
+        assert_eq!(net.eval(&[t(1)]).unwrap(), vec![INF]);
+    }
+
+    #[test]
+    fn disabled_weight_passes_nothing_ever() {
+        let mut b = NetworkBuilder::new();
+        let x = b.input();
+        let mw = micro_weight_into(&mut b, x, false);
+        let net = b.build([mw.output()]);
+        for v in [Some(0), Some(1), Some(100), None] {
+            let input = v.map_or(INF, Time::finite);
+            assert_eq!(net.eval(&[input]).unwrap(), vec![INF]);
+        }
+    }
+
+    #[test]
+    fn weighted_fanout_taps_delay_and_gate() {
+        let mut b = NetworkBuilder::new();
+        let x = b.input();
+        let fan = WeightedFanout::into_builder(&mut b, x, &[0, 1, 2, 5]);
+        assert_eq!(fan.len(), 4);
+        assert!(!fan.is_empty());
+        assert_eq!(fan.delays(), &[0, 1, 2, 5]);
+        let mut net = b.build(fan.outputs());
+
+        // All disabled: silent.
+        assert_eq!(net.eval(&[t(3)]).unwrap(), vec![INF; 4]);
+
+        // Weight 2: first two taps live.
+        fan.set_weight(&mut net, 2).unwrap();
+        assert_eq!(net.eval(&[t(3)]).unwrap(), vec![t(3), t(4), INF, INF]);
+
+        // Weight 4: all taps live.
+        fan.set_weight(&mut net, 4).unwrap();
+        assert_eq!(
+            net.eval(&[t(3)]).unwrap(),
+            vec![t(3), t(4), t(5), t(8)]
+        );
+
+        // Back to zero.
+        fan.set_weight(&mut net, 0).unwrap();
+        assert_eq!(net.eval(&[t(3)]).unwrap(), vec![INF; 4]);
+    }
+
+    #[test]
+    fn individual_tap_handles_work() {
+        let mut b = NetworkBuilder::new();
+        let x = b.input();
+        let fan = WeightedFanout::into_builder(&mut b, x, &[1, 2]);
+        let taps = fan.taps().to_vec();
+        let mut net = b.build(fan.outputs());
+        taps[1].enable(&mut net).unwrap();
+        assert_eq!(net.eval(&[t(0)]).unwrap(), vec![INF, t(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn overweight_panics() {
+        let mut b = NetworkBuilder::new();
+        let x = b.input();
+        let fan = WeightedFanout::into_builder(&mut b, x, &[1]);
+        let mut net = b.build(fan.outputs());
+        let _ = fan.set_weight(&mut net, 2);
+    }
+
+    #[test]
+    fn foreign_network_is_rejected() {
+        let mut b = NetworkBuilder::new();
+        let x = b.input();
+        let mw = micro_weight_into(&mut b, x, true);
+        let _net = b.build([mw.output()]);
+
+        // A different (smaller) network cannot resolve the handle.
+        let mut b2 = NetworkBuilder::new();
+        let y = b2.input();
+        let mut other = b2.build([y]);
+        assert!(mw.enable(&mut other).is_err());
+    }
+}

@@ -1,0 +1,420 @@
+//! Network optimization passes.
+//!
+//! Mechanically generated networks — Theorem 1 minterm forms, Lemma 2
+//! expansions, programmable structures with some micro-weights pinned —
+//! carry redundancy a hardware implementation would not want to pay for.
+//! [`optimize`] applies three semantics-preserving passes to a fixed
+//! point:
+//!
+//! 1. **constant folding** — gates whose sources are all constants become
+//!    constants; lattice identities (`x ∧ ∞ = x`, `lt(x, 0) = ∞`, …)
+//!    collapse gates with one constant source;
+//! 2. **common-subexpression elimination** — structurally identical gates
+//!    merge;
+//! 3. **dead-gate elimination** — gates unreachable from any output are
+//!    dropped.
+//!
+//! The optimizer never changes observable behaviour: the property suite
+//! checks `optimize(n) ≡ n` on random networks, and the E17 experiment
+//! reports the size reductions on the paper's constructions.
+//!
+//! Note: optimization *specializes to the current constants*. A network
+//! whose micro-weights will be reprogrammed later should be optimized only
+//! after its final configuration (or not at all) — folding a disabled
+//! weight removes the hardware that would realize its enabled state.
+
+use std::collections::HashMap;
+
+use st_core::Time;
+
+use crate::graph::{GateId, GateKind, Network, NetworkBuilder};
+
+/// Statistics from one [`optimize`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptimizeReport {
+    /// Gates before optimization (including inputs/constants).
+    pub gates_before: usize,
+    /// Gates after optimization.
+    pub gates_after: usize,
+}
+
+impl OptimizeReport {
+    /// Fraction of gates removed.
+    #[must_use]
+    pub fn reduction(&self) -> f64 {
+        if self.gates_before == 0 {
+            0.0
+        } else {
+            1.0 - self.gates_after as f64 / self.gates_before as f64
+        }
+    }
+}
+
+/// A canonical key for CSE: kind + (order-normalized, for commutative
+/// gates) sources.
+#[derive(PartialEq, Eq, Hash)]
+enum Key {
+    Const(Time),
+    Min(Vec<usize>),
+    Max(Vec<usize>),
+    Lt(usize, usize),
+    Inc(usize, u64),
+}
+
+/// Optimizes a network; returns the new network and a size report.
+///
+/// All primary inputs are preserved (even if dead) so the input arity —
+/// the network's interface — is unchanged.
+#[must_use]
+pub fn optimize(network: &Network) -> (Network, OptimizeReport) {
+    let before = network.gate_count();
+
+    // Pass over gates in topological order, building the optimized graph.
+    // `value[g]`: Some(t) if gate g is known-constant; `rewrite[g]`: the
+    // gate in the new builder representing g.
+    let mut builder = NetworkBuilder::new();
+    let mut rewrite: Vec<GateId> = Vec::with_capacity(before);
+    let mut constval: HashMap<usize, Time> = HashMap::new();
+    let mut cse: HashMap<Key, GateId> = HashMap::new();
+
+    // Reserve inputs first so the interface is stable.
+    let mut input_gates: Vec<GateId> = Vec::new();
+    for (_, kind) in network.iter_gates() {
+        if let GateKind::Input(_) = kind {
+            input_gates.push(builder.input());
+        }
+    }
+    let mut next_input = 0usize;
+
+    let intern_const = |builder: &mut NetworkBuilder,
+                            cse: &mut HashMap<Key, GateId>,
+                            constval: &mut HashMap<usize, Time>,
+                            t: Time|
+     -> GateId {
+        let id = *cse
+            .entry(Key::Const(t))
+            .or_insert_with(|| builder.constant(t));
+        constval.insert(id.index(), t);
+        id
+    };
+
+    for (id, kind) in network.iter_gates() {
+        let sources: Vec<GateId> = network
+            .sources(id)
+            .expect("id from iter_gates")
+            .iter()
+            .map(|s| rewrite[s.index()])
+            .collect();
+        let const_of = |g: &GateId, constval: &HashMap<usize, Time>| constval.get(&g.index()).copied();
+
+        let new_id: GateId = match kind {
+            GateKind::Input(_) => {
+                let g = input_gates[next_input];
+                next_input += 1;
+                g
+            }
+            GateKind::Const(t) => intern_const(&mut builder, &mut cse, &mut constval, t),
+            GateKind::Min | GateKind::Max => {
+                let is_min = matches!(kind, GateKind::Min);
+                // Fold constants; drop identity elements; detect annihilators.
+                let mut folded: Option<Time> = None;
+                let mut live: Vec<GateId> = Vec::new();
+                for s in &sources {
+                    match const_of(s, &constval) {
+                        Some(t) => {
+                            folded = Some(match folded {
+                                None => t,
+                                Some(acc) => {
+                                    if is_min {
+                                        acc.meet(t)
+                                    } else {
+                                        acc.join(t)
+                                    }
+                                }
+                            });
+                        }
+                        None => {
+                            if !live.contains(s) {
+                                live.push(*s); // idempotence across duplicates
+                            }
+                        }
+                    }
+                }
+                let annihilator = if is_min { Time::ZERO } else { Time::INFINITY };
+                let identity = if is_min { Time::INFINITY } else { Time::ZERO };
+                match folded {
+                    Some(t) if t == annihilator || live.is_empty() => {
+                        intern_const(&mut builder, &mut cse, &mut constval, t)
+                    }
+                    other => {
+                        let mut srcs = live;
+                        if let Some(t) = other {
+                            if t != identity {
+                                srcs.push(intern_const(&mut builder, &mut cse, &mut constval, t));
+                            }
+                        }
+                        if srcs.len() == 1 {
+                            srcs[0]
+                        } else {
+                            let mut idxs: Vec<usize> = srcs.iter().map(|s| s.index()).collect();
+                            idxs.sort_unstable();
+                            let key = if is_min { Key::Min(idxs) } else { Key::Max(idxs) };
+                            *cse.entry(key).or_insert_with(|| {
+                                if is_min {
+                                    builder.min(srcs).expect("non-empty")
+                                } else {
+                                    builder.max(srcs).expect("non-empty")
+                                }
+                            })
+                        }
+                    }
+                }
+            }
+            GateKind::Lt => {
+                let a = sources[0];
+                let b = sources[1];
+                match (const_of(&a, &constval), const_of(&b, &constval)) {
+                    (Some(x), Some(y)) => {
+                        intern_const(&mut builder, &mut cse, &mut constval, x.lt_gate(y))
+                    }
+                    (Some(Time::INFINITY), _) => {
+                        intern_const(&mut builder, &mut cse, &mut constval, Time::INFINITY)
+                    }
+                    (_, Some(Time::INFINITY)) => a, // nothing inhibits
+                    (_, Some(Time::ZERO)) => {
+                        intern_const(&mut builder, &mut cse, &mut constval, Time::INFINITY)
+                    }
+                    _ if a == b => {
+                        intern_const(&mut builder, &mut cse, &mut constval, Time::INFINITY)
+                    }
+                    _ => *cse
+                        .entry(Key::Lt(a.index(), b.index()))
+                        .or_insert_with(|| builder.lt(a, b)),
+                }
+            }
+            GateKind::Inc(c) => {
+                let a = sources[0];
+                match const_of(&a, &constval) {
+                    Some(t) => intern_const(&mut builder, &mut cse, &mut constval, t + c),
+                    None if c == 0 => a,
+                    None => {
+                        // Fuse with an inc feeding this one, when unshared
+                        // fusion is representable via CSE key only.
+                        *cse.entry(Key::Inc(a.index(), c)).or_insert_with(|| builder.inc(a, c))
+                    }
+                }
+            }
+        };
+        rewrite.push(new_id);
+    }
+
+    let outputs: Vec<GateId> = network.outputs().iter().map(|o| rewrite[o.index()]).collect();
+    let dirty = builder.build(outputs);
+
+    // Dead-gate elimination: rebuild keeping only gates reachable from the
+    // outputs (inputs always kept).
+    let compacted = eliminate_dead(&dirty);
+    let report = OptimizeReport {
+        gates_before: before,
+        gates_after: compacted.gate_count(),
+    };
+    (compacted, report)
+}
+
+/// Drops gates not reachable from any output (primary inputs are kept to
+/// preserve the interface).
+#[must_use]
+pub fn eliminate_dead(network: &Network) -> Network {
+    let n = network.gate_count();
+    let mut live = vec![false; n];
+    let mut stack: Vec<usize> = network.outputs().iter().map(|o| o.index()).collect();
+    while let Some(g) = stack.pop() {
+        if live[g] {
+            continue;
+        }
+        live[g] = true;
+        for s in network.sources(GateId::from_index(g)).expect("valid id") {
+            stack.push(s.index());
+        }
+    }
+    let mut builder = NetworkBuilder::new();
+    let mut rewrite: Vec<Option<GateId>> = vec![None; n];
+    for (id, kind) in network.iter_gates() {
+        let keep = live[id.index()] || matches!(kind, GateKind::Input(_));
+        if !keep {
+            continue;
+        }
+        let srcs: Vec<GateId> = network
+            .sources(id)
+            .expect("valid id")
+            .iter()
+            .map(|s| rewrite[s.index()].expect("sources of live gates are live"))
+            .collect();
+        let new_id = match kind {
+            GateKind::Input(_) => builder.input(),
+            GateKind::Const(t) => builder.constant(t),
+            GateKind::Min => builder.min(srcs).expect("arity preserved"),
+            GateKind::Max => builder.max(srcs).expect("arity preserved"),
+            GateKind::Lt => builder.lt(srcs[0], srcs[1]),
+            GateKind::Inc(c) => builder.inc(srcs[0], c),
+        };
+        rewrite[id.index()] = Some(new_id);
+    }
+    let outputs: Vec<GateId> = network
+        .outputs()
+        .iter()
+        .map(|o| rewrite[o.index()].expect("outputs are live"))
+        .collect();
+    builder.build(outputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::gate_counts;
+    use st_core::enumerate_inputs;
+
+    fn t(v: u64) -> Time {
+        Time::finite(v)
+    }
+
+    fn assert_equiv(a: &Network, b: &Network, window: u64) {
+        assert_eq!(a.input_count(), b.input_count());
+        assert_eq!(a.output_count(), b.output_count());
+        for inputs in enumerate_inputs(a.input_count(), window) {
+            assert_eq!(
+                a.eval(&inputs).unwrap(),
+                b.eval(&inputs).unwrap(),
+                "at {inputs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn folds_constants_and_identities() {
+        let mut b = NetworkBuilder::new();
+        let x = b.input();
+        let inf = b.constant(Time::INFINITY);
+        let zero = b.constant(Time::ZERO);
+        let m1 = b.min([x, inf]).unwrap(); // = x
+        let m2 = b.max([m1, zero]).unwrap(); // = x
+        let g = b.lt(m2, inf); // = x
+        let net = b.build([g]);
+        let (opt, report) = optimize(&net);
+        assert_equiv(&net, &opt, 4);
+        // Just the input remains.
+        assert_eq!(opt.gate_count(), 1);
+        assert!(report.reduction() > 0.8);
+    }
+
+    #[test]
+    fn disabled_micro_weight_branch_disappears() {
+        let mut b = NetworkBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let mu = b.constant(Time::ZERO); // disabled
+        let gated = b.lt(x, mu); // = ∞
+        let m = b.min([gated, y]).unwrap(); // = y
+        let net = b.build([m]);
+        let (opt, _) = optimize(&net);
+        assert_equiv(&net, &opt, 4);
+        let c = gate_counts(&opt);
+        assert_eq!(c.operators(), 0, "{c}");
+    }
+
+    #[test]
+    fn cse_merges_duplicate_gates() {
+        let mut b = NetworkBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let m1 = b.min2(x, y);
+        let m2 = b.min2(y, x); // commutative duplicate
+        let out = b.lt(m1, m2); // = lt(m, m) = ∞ after merging
+        let net = b.build([out]);
+        let (opt, _) = optimize(&net);
+        assert_equiv(&net, &opt, 4);
+        assert_eq!(gate_counts(&opt).operators(), 0);
+    }
+
+    #[test]
+    fn dead_gates_are_dropped_but_inputs_kept() {
+        let mut b = NetworkBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let _unused = b.max2(x, y);
+        let used = b.inc(x, 1);
+        let net = b.build([used]);
+        let (opt, _) = optimize(&net);
+        assert_equiv(&net, &opt, 4);
+        assert_eq!(opt.input_count(), 2);
+        let c = gate_counts(&opt);
+        assert_eq!(c.max, 0);
+        assert_eq!(c.inc, 1);
+    }
+
+    #[test]
+    fn tie_race_collapses() {
+        let mut b = NetworkBuilder::new();
+        let x = b.input();
+        let g = b.lt(x, x);
+        let net = b.build([g]);
+        let (opt, _) = optimize(&net);
+        assert_equiv(&net, &opt, 4);
+        assert_eq!(gate_counts(&opt).operators(), 0);
+        assert_eq!(gate_counts(&opt).constants, 1); // the ∞ result
+    }
+
+    #[test]
+    fn synthesized_networks_shrink_without_changing_semantics() {
+        use crate::synth::{synthesize, SynthesisOptions};
+        let table = st_core::FunctionTable::from_rows(
+            2,
+            vec![
+                (vec![t(0), t(1)], t(2)),
+                (vec![t(1), t(0)], t(3)),
+                (vec![t(0), Time::INFINITY], t(1)),
+            ],
+        )
+        .unwrap();
+        let net = synthesize(&table, SynthesisOptions::pure());
+        let (opt, report) = optimize(&net);
+        assert_equiv(&net, &opt, 4);
+        assert!(report.gates_after < report.gates_before, "{report:?}");
+    }
+
+    #[test]
+    fn optimization_is_idempotent() {
+        let mut b = NetworkBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let inf = b.constant(Time::INFINITY);
+        let g1 = b.min([x, inf]).unwrap();
+        let g2 = b.lt(g1, y);
+        let net = b.build([g2]);
+        let (once, _) = optimize(&net);
+        let (twice, report) = optimize(&once);
+        assert_equiv(&once, &twice, 4);
+        assert_eq!(report.gates_before, report.gates_after);
+    }
+
+    #[test]
+    fn multi_output_networks_preserve_all_lines() {
+        let mut b = NetworkBuilder::new();
+        let x = b.input();
+        let inf = b.constant(Time::INFINITY);
+        let a = b.lt(x, inf);
+        let c = b.inc(x, 2);
+        let net = b.build([a, c, a]);
+        let (opt, _) = optimize(&net);
+        assert_equiv(&net, &opt, 4);
+        assert_eq!(opt.output_count(), 3);
+    }
+
+    #[test]
+    fn report_reduction_math() {
+        let r = OptimizeReport { gates_before: 10, gates_after: 4 };
+        assert!((r.reduction() - 0.6).abs() < 1e-12);
+        let r = OptimizeReport { gates_before: 0, gates_after: 0 };
+        assert_eq!(r.reduction(), 0.0);
+    }
+}

@@ -1,0 +1,235 @@
+//! Bitonic sorting networks over `min`/`max` comparators (§ IV.A.1, Fig. 10).
+//!
+//! The paper builds SRM0 neurons on top of *sort*: the time at which the
+//! `k`-th of `n` events occurs is exactly the `k`-th output of a sorting
+//! network whose compare elements are a `min`/`max` gate pair. Because
+//! `min` and `max` are causal and invariant, so is the whole network
+//! (Lemma 1) — sort is a legal space-time function.
+//!
+//! [`bitonic_sort_into`] appends Batcher's bitonic sorter to a builder.
+//! Non-power-of-two widths are handled by padding with `∞` constants,
+//! which sort harmlessly to the end.
+
+use st_core::Time;
+
+use crate::graph::{GateId, Network, NetworkBuilder};
+
+/// The comparator schedule of Batcher's bitonic sorter for `n` a power of
+/// two: a list of `(i, j, ascending)` with `i < j`. When `ascending`, the
+/// earlier event goes to wire `i`; otherwise to wire `j`.
+///
+/// Exposed so tests and visualizations can inspect the network shape; most
+/// callers want [`bitonic_sort_into`].
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two.
+#[must_use]
+pub fn bitonic_schedule(n: usize) -> Vec<(usize, usize, bool)> {
+    assert!(n.is_power_of_two(), "bitonic schedule requires a power of two, got {n}");
+    let mut pairs = Vec::new();
+    let mut k = 2;
+    while k <= n {
+        let mut j = k / 2;
+        while j > 0 {
+            for i in 0..n {
+                let l = i ^ j;
+                if l > i {
+                    pairs.push((i, l, i & k == 0));
+                }
+            }
+            j /= 2;
+        }
+        k *= 2;
+    }
+    pairs
+}
+
+/// Appends a sorting network to `builder` and returns the output gates in
+/// ascending order of event time (`∞` values come last).
+///
+/// Accepts any width; non-power-of-two widths are padded internally with
+/// `∞` constants and the pads are dropped from the returned outputs.
+///
+/// # Examples
+///
+/// ```
+/// use st_net::sorting::bitonic_sort_into;
+/// use st_net::NetworkBuilder;
+/// use st_core::Time;
+///
+/// let mut b = NetworkBuilder::new();
+/// let ins = b.inputs(3);
+/// let sorted = bitonic_sort_into(&mut b, &ins);
+/// let net = b.build(sorted);
+/// let out = net.eval(&[Time::finite(5), Time::finite(1), Time::finite(3)])?;
+/// assert_eq!(out, vec![Time::finite(1), Time::finite(3), Time::finite(5)]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn bitonic_sort_into(builder: &mut NetworkBuilder, inputs: &[GateId]) -> Vec<GateId> {
+    let n = inputs.len();
+    if n <= 1 {
+        return inputs.to_vec();
+    }
+    let padded = n.next_power_of_two();
+    let mut wires: Vec<GateId> = inputs.to_vec();
+    for _ in n..padded {
+        wires.push(builder.constant(Time::INFINITY));
+    }
+    for (i, j, ascending) in bitonic_schedule(padded) {
+        let lo = builder.min2(wires[i], wires[j]);
+        let hi = builder.max2(wires[i], wires[j]);
+        if ascending {
+            wires[i] = lo;
+            wires[j] = hi;
+        } else {
+            wires[i] = hi;
+            wires[j] = lo;
+        }
+    }
+    wires.truncate(n);
+    wires
+}
+
+/// Builds a standalone `n`-input sorting network (ascending outputs).
+#[must_use]
+pub fn sorting_network(n: usize) -> Network {
+    let mut builder = NetworkBuilder::new();
+    let inputs = builder.inputs(n);
+    let outputs = bitonic_sort_into(&mut builder, &inputs);
+    builder.build(outputs)
+}
+
+/// The number of comparators a power-of-two bitonic sorter uses:
+/// `n/4 · log2(n) · (log2(n)+1) · 2` — `Θ(n log² n)`.
+#[must_use]
+pub fn comparator_count(n: usize) -> usize {
+    assert!(n.is_power_of_two(), "comparator count defined for powers of two, got {n}");
+    if n < 2 {
+        return 0;
+    }
+    let log = n.trailing_zeros() as usize;
+    n * log * (log + 1) / 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{gate_counts, logic_depth};
+    use st_core::{verify_space_time, Time};
+
+    fn t(v: u64) -> Time {
+        Time::finite(v)
+    }
+
+    fn check_sorts(net: &Network, inputs: &[Time]) {
+        let mut expected: Vec<Time> = inputs.to_vec();
+        expected.sort();
+        let got = net.eval(inputs).unwrap();
+        assert_eq!(got, expected, "inputs {inputs:?}");
+    }
+
+    #[test]
+    fn sorts_exhaustively_width_3() {
+        let net = sorting_network(3);
+        for inputs in st_core::enumerate_inputs(3, 3) {
+            check_sorts(&net, &inputs);
+        }
+    }
+
+    #[test]
+    fn sorts_exhaustively_width_4() {
+        let net = sorting_network(4);
+        for inputs in st_core::enumerate_inputs(4, 2) {
+            check_sorts(&net, &inputs);
+        }
+    }
+
+    #[test]
+    fn sorts_randomized_width_8_and_13() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in [8usize, 13] {
+            let net = sorting_network(n);
+            for _ in 0..200 {
+                let inputs: Vec<Time> = (0..n)
+                    .map(|_| {
+                        if rng.random_range(0..5) == 0 {
+                            Time::INFINITY
+                        } else {
+                            Time::finite(rng.random_range(0..50))
+                        }
+                    })
+                    .collect();
+                check_sorts(&net, &inputs);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_widths() {
+        let net = sorting_network(1);
+        assert_eq!(net.eval(&[t(7)]).unwrap(), vec![t(7)]);
+        let net = sorting_network(2);
+        check_sorts(&net, &[t(9), t(2)]);
+        check_sorts(&net, &[Time::INFINITY, t(2)]);
+    }
+
+    #[test]
+    fn infinity_values_sort_last() {
+        let net = sorting_network(4);
+        let out = net
+            .eval(&[Time::INFINITY, t(3), Time::INFINITY, t(1)])
+            .unwrap();
+        assert_eq!(out, vec![t(1), t(3), Time::INFINITY, Time::INFINITY]);
+    }
+
+    #[test]
+    fn sort_outputs_are_space_time_functions() {
+        // Each sorted-output line ("time of the k-th event") is causal and
+        // invariant — the property the SRM0 construction relies on.
+        let net = sorting_network(3);
+        for k in 0..3 {
+            verify_space_time(&net.as_function(k), 2, 2, None)
+                .unwrap_or_else(|v| panic!("output {k}: {v}"));
+        }
+    }
+
+    #[test]
+    fn schedule_size_matches_formula() {
+        for n in [2usize, 4, 8, 16, 32] {
+            let schedule = bitonic_schedule(n);
+            assert_eq!(schedule.len(), comparator_count(n), "n={n}");
+            // All pairs in range, i < j.
+            assert!(schedule.iter().all(|&(i, j, _)| i < j && j < n));
+        }
+    }
+
+    #[test]
+    fn gate_census_is_two_per_comparator() {
+        let n = 8;
+        let net = sorting_network(n);
+        let c = gate_counts(&net);
+        assert_eq!(c.min, comparator_count(n));
+        assert_eq!(c.max, comparator_count(n));
+        assert_eq!(c.inputs, n);
+    }
+
+    #[test]
+    fn depth_grows_as_log_squared() {
+        // Depth of a bitonic sorter is log(n)·(log(n)+1)/2 comparator
+        // stages; each stage is one gate level here (min/max in parallel).
+        let d4 = logic_depth(&sorting_network(4));
+        let d16 = logic_depth(&sorting_network(16));
+        assert_eq!(d4, 3); // log2(4)=2 → 2·3/2 = 3 stages
+        assert_eq!(d16, 10); // log2(16)=4 → 4·5/2 = 10 stages
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn schedule_rejects_non_power_of_two() {
+        let _ = bitonic_schedule(6);
+    }
+}

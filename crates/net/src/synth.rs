@@ -1,0 +1,366 @@
+//! Synthesis of networks from function tables: the constructive content of
+//! the paper's completeness results.
+//!
+//! * [`max_from_min_lt`] is Lemma 2 / Fig. 8: `max` built from `min` and
+//!   `lt` alone.
+//! * [`synthesize`] is Theorem 1 / Fig. 9: the *minterm canonical form*.
+//!   Every row of a normalized function table becomes a minterm — a `max`
+//!   and a `min` of suitably incremented inputs combined by an `lt` — and a
+//!   final `min` merges all minterms. With
+//!   [`SynthesisOptions::pure_primitives`] the `max` gates are themselves
+//!   expanded via Lemma 2, so the resulting network uses only the minimal
+//!   complete basis `{min, lt, inc}`.
+//!
+//! The equivalence between a table and its synthesized network — on
+//! normalized inputs, shifted inputs, and causally reduced (`∞`) inputs —
+//! is exercised exhaustively in the tests and property suites; it is the
+//! workspace's executable proof of Theorem 1.
+
+use st_core::{FunctionTable, Time};
+
+use crate::graph::{GateId, Network, NetworkBuilder};
+
+/// Builds `max(a, b)` using only `min` and `lt` gates (Lemma 2, Fig. 8):
+/// `min( lt(b, lt(b, a)), lt(a, lt(a, b)) )`.
+///
+/// # Examples
+///
+/// ```
+/// use st_net::{synth, NetworkBuilder};
+/// use st_core::Time;
+///
+/// let mut b = NetworkBuilder::new();
+/// let x = b.input();
+/// let y = b.input();
+/// let m = synth::max_from_min_lt(&mut b, x, y);
+/// let net = b.build([m]);
+/// assert_eq!(net.eval(&[Time::finite(3), Time::finite(5)])?,
+///            vec![Time::finite(5)]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn max_from_min_lt(builder: &mut NetworkBuilder, a: GateId, b: GateId) -> GateId {
+    let b_before_a = builder.lt(b, a);
+    let left = builder.lt(b, b_before_a);
+    let a_before_b = builder.lt(a, b);
+    let right = builder.lt(a, a_before_b);
+    builder.min2(left, right)
+}
+
+/// Folds `max` over several sources using only the minimal basis.
+fn max_all_pure(builder: &mut NetworkBuilder, sources: &[GateId]) -> GateId {
+    assert!(!sources.is_empty(), "max over an empty source list");
+    sources
+        .iter()
+        .copied()
+        .reduce(|acc, s| max_from_min_lt(builder, acc, s))
+        .expect("non-empty")
+}
+
+/// Options controlling [`synthesize`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SynthesisOptions {
+    /// Expand every `max` via Lemma 2 so the network uses only
+    /// `{min, lt, inc}` — the literal statement of Theorem 1. Costs ~4
+    /// extra `lt` gates per eliminated 2-input `max`.
+    pub pure_primitives: bool,
+}
+
+impl SynthesisOptions {
+    /// Options selecting the literal minimal basis of Theorem 1.
+    #[must_use]
+    pub fn pure() -> SynthesisOptions {
+        SynthesisOptions { pure_primitives: true }
+    }
+}
+
+/// Synthesizes a single minterm (one table row) over existing input gates
+/// and returns its output gate. Exposed for construction-level tests and
+/// the Fig. 9 experiment.
+///
+/// # Panics
+///
+/// Panics if `inputs.len()` differs from the row width or if the row
+/// violates the normal form the [`FunctionTable`] constructor enforces
+/// (finite entries never exceed the output).
+pub fn minterm(
+    builder: &mut NetworkBuilder,
+    inputs: &[GateId],
+    row_inputs: &[Time],
+    row_output: Time,
+    options: SynthesisOptions,
+) -> GateId {
+    assert_eq!(inputs.len(), row_inputs.len(), "row width mismatch");
+    let y = row_output.expect_finite();
+    let mut up_side: Vec<GateId> = Vec::new(); // feeds max: exact-match detector
+    let mut down_side: Vec<GateId> = Vec::new(); // feeds min: mismatch/∞ guard
+    for (&x, &r) in inputs.iter().zip(row_inputs) {
+        match r.value() {
+            Some(rv) => {
+                let delta = y
+                    .checked_sub(rv)
+                    .expect("normal form: finite entries never exceed the output");
+                up_side.push(builder.inc(x, delta));
+                down_side.push(builder.inc(x, delta + 1));
+            }
+            None => down_side.push(x),
+        }
+    }
+    // Normal form guarantees at least one zero (hence finite) entry.
+    assert!(!up_side.is_empty(), "normal form: at least one finite entry per row");
+    let a = if options.pure_primitives {
+        max_all_pure(builder, &up_side)
+    } else {
+        builder.max(up_side).expect("non-empty")
+    };
+    let b = builder.min(down_side).expect("down side contains the finite entries");
+    builder.lt(a, b)
+}
+
+/// Synthesizes the minterm canonical network for a table, appending to an
+/// existing builder, and returns the output gate (Theorem 1, Fig. 9).
+///
+/// `inputs` are the gates carrying `x_1 … x_q`.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != table.arity()`.
+pub fn synthesize_into(
+    builder: &mut NetworkBuilder,
+    inputs: &[GateId],
+    table: &FunctionTable,
+    options: SynthesisOptions,
+) -> GateId {
+    assert_eq!(inputs.len(), table.arity(), "input count must match table arity");
+    let minterms: Vec<GateId> = table
+        .iter()
+        .map(|row| minterm(builder, inputs, row.inputs(), row.output(), options))
+        .collect();
+    if minterms.is_empty() {
+        builder.constant(Time::INFINITY)
+    } else {
+        builder.min(minterms).expect("non-empty")
+    }
+}
+
+/// Synthesizes a complete single-output network from a function table.
+///
+/// # Examples
+///
+/// The paper's worked example (Fig. 7 table, Fig. 9 network):
+///
+/// ```
+/// use st_core::{FunctionTable, Time};
+/// use st_net::synth::{synthesize, SynthesisOptions};
+///
+/// let t = Time::finite;
+/// let table = FunctionTable::from_rows(3, vec![
+///     (vec![t(0), t(1), t(2)], t(3)),
+///     (vec![t(1), t(0), Time::INFINITY], t(2)),
+///     (vec![t(2), t(2), t(0)], t(2)),
+/// ])?;
+/// let net = synthesize(&table, SynthesisOptions::default());
+/// // Applying minterm 1's pattern [0, 1, 2] yields 3 …
+/// assert_eq!(net.eval(&[t(0), t(1), t(2)])?, vec![t(3)]);
+/// // … and the shifted input [3, 4, 5] yields 6.
+/// assert_eq!(net.eval(&[t(3), t(4), t(5)])?, vec![t(6)]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn synthesize(table: &FunctionTable, options: SynthesisOptions) -> Network {
+    let mut builder = NetworkBuilder::new();
+    let inputs = builder.inputs(table.arity());
+    let out = synthesize_into(&mut builder, &inputs, table, options);
+    builder.build([out])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::gate_counts;
+    use st_core::{enumerate_inputs, verify_space_time, SpaceTimeFunction};
+
+    fn t(v: u64) -> Time {
+        Time::finite(v)
+    }
+
+    const INF: Time = Time::INFINITY;
+
+    fn fig7() -> FunctionTable {
+        FunctionTable::from_rows(
+            3,
+            vec![
+                (vec![t(0), t(1), t(2)], t(3)),
+                (vec![t(1), t(0), INF], t(2)),
+                (vec![t(2), t(2), t(0)], t(2)),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lemma2_network_equals_max_exhaustively() {
+        let mut b = NetworkBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let m = max_from_min_lt(&mut b, x, y);
+        let net = b.build([m]);
+        for inputs in enumerate_inputs(2, 6) {
+            assert_eq!(
+                net.eval(&inputs).unwrap()[0],
+                inputs[0].join(inputs[1]),
+                "at {inputs:?}"
+            );
+        }
+        // Exactly 4 lt gates and 1 min gate, no max.
+        let c = gate_counts(&net);
+        assert_eq!((c.lt, c.min, c.max), (4, 1, 0));
+    }
+
+    #[test]
+    fn fig9_synthesis_matches_table_exhaustively() {
+        let table = fig7();
+        for options in [SynthesisOptions::default(), SynthesisOptions::pure()] {
+            let net = synthesize(&table, options);
+            for inputs in enumerate_inputs(3, 5) {
+                assert_eq!(
+                    net.eval(&inputs).unwrap()[0],
+                    table.eval(&inputs).unwrap(),
+                    "options {options:?} at {inputs:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig9_worked_example_values() {
+        // With input [0, 1, 2] applied, minterm 1 passes 3 and the other
+        // minterms evaluate to ∞ (paper's Fig. 9 narration).
+        let table = fig7();
+        let mut builder = NetworkBuilder::new();
+        let inputs = builder.inputs(3);
+        let minterms: Vec<GateId> = table
+            .iter()
+            .map(|row| {
+                minterm(
+                    &mut builder,
+                    &inputs,
+                    row.inputs(),
+                    row.output(),
+                    SynthesisOptions::default(),
+                )
+            })
+            .collect();
+        let out = builder.min(minterms.clone()).unwrap();
+        let net = builder.build([out]);
+        let trace = net.trace(&[t(0), t(1), t(2)]).unwrap();
+        assert_eq!(trace[minterms[0].index()], t(3));
+        assert_eq!(trace[minterms[1].index()], INF);
+        assert_eq!(trace[minterms[2].index()], INF);
+        assert_eq!(trace[net.outputs()[0].index()], t(3));
+    }
+
+    #[test]
+    fn pure_synthesis_uses_minimal_basis() {
+        let net = synthesize(&fig7(), SynthesisOptions::pure());
+        let counts = gate_counts(&net);
+        assert!(counts.is_minimal_basis(), "{counts}");
+        let default_net = synthesize(&fig7(), SynthesisOptions::default());
+        assert!(gate_counts(&default_net).max > 0);
+        // Lemma 2 expansion costs extra gates.
+        assert!(counts.operators() > gate_counts(&default_net).operators());
+    }
+
+    #[test]
+    fn synthesized_networks_are_space_time_functions() {
+        let net = synthesize(&fig7(), SynthesisOptions::default());
+        verify_space_time(&net.as_function(0), 3, 2, None).unwrap();
+    }
+
+    #[test]
+    fn empty_table_synthesizes_to_constant_infinity() {
+        let table = FunctionTable::from_rows(2, vec![]).unwrap();
+        let net = synthesize(&table, SynthesisOptions::default());
+        for inputs in enumerate_inputs(2, 3) {
+            assert_eq!(net.eval(&inputs).unwrap()[0], INF);
+        }
+    }
+
+    #[test]
+    fn lt_canonical_table_resynthesizes_to_lt() {
+        // lt's canonical table is the single row [0, ∞] → 0; synthesis
+        // should reproduce lt exactly.
+        let table = FunctionTable::from_rows(2, vec![(vec![t(0), INF], t(0))]).unwrap();
+        let net = synthesize(&table, SynthesisOptions::default());
+        for inputs in enumerate_inputs(2, 5) {
+            assert_eq!(
+                net.eval(&inputs).unwrap()[0],
+                inputs[0].lt_gate(inputs[1]),
+                "at {inputs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn min_canonical_table_resynthesizes_to_min() {
+        let table = FunctionTable::from_rows(
+            2,
+            vec![
+                (vec![t(0), t(0)], t(0)),
+                (vec![t(0), INF], t(0)),
+                (vec![INF, t(0)], t(0)),
+            ],
+        )
+        .unwrap();
+        let net = synthesize(&table, SynthesisOptions::pure());
+        for inputs in enumerate_inputs(2, 5) {
+            assert_eq!(
+                net.eval(&inputs).unwrap()[0],
+                inputs[0].meet(inputs[1]),
+                "at {inputs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn synthesis_from_sampled_function_round_trips() {
+        // Sample a nontrivial function, synthesize, compare.
+        let f = st_core::FnSpaceTime::new(2, |x: &[Time]| {
+            // "fire at the first spike, delayed by 1, but only if the other
+            // line spikes within 2 units" — a coincidence-ish detector.
+            let m = x[0].meet(x[1]);
+            let mx = x[0].join(x[1]);
+            if mx <= m + 2 { m + 3 } else { Time::INFINITY }
+        });
+        verify_space_time(&f, 4, 2, None).unwrap();
+        let table = FunctionTable::from_fn(&f, 4).unwrap();
+        let net = synthesize(&table, SynthesisOptions::default());
+        for inputs in enumerate_inputs(2, 4) {
+            assert_eq!(
+                net.eval(&inputs).unwrap()[0],
+                f.apply(&inputs).unwrap(),
+                "at {inputs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn gate_cost_scales_with_rows_and_arity() {
+        let table = fig7();
+        let net = synthesize(&table, SynthesisOptions::default());
+        let c = gate_counts(&net);
+        // Per finite entry: one inc for the up side + one for the down
+        // side; fig7 has 8 finite entries → 16 inc gates.
+        assert_eq!(c.inc, 16);
+        // One lt per row plus the final min.
+        assert_eq!(c.lt, 3);
+        assert_eq!(c.min + c.max, 3 + 3 + 1); // per-row max & min + final min
+    }
+
+    #[test]
+    #[should_panic(expected = "input count must match")]
+    fn synthesize_into_checks_width() {
+        let mut b = NetworkBuilder::new();
+        let xs = b.inputs(2);
+        let _ = synthesize_into(&mut b, &xs, &fig7(), SynthesisOptions::default());
+    }
+}

@@ -1,0 +1,199 @@
+//! Winner-take-all lateral inhibition networks (§ IV.C, Fig. 15).
+//!
+//! Inhibitory neurons in TNN models act collectively, suppressing all but
+//! the earliest spikes of a volley. The paper's Fig. 15 realizes this with
+//! space-time primitives: a `min` gate finds the first spike time, a unit
+//! `inc` delays it, and per-line `lt` gates pass only spikes that precede
+//! the delayed inhibition signal.
+//!
+//! * [`wta_into`] — `τ`-WTA: spikes within `τ − 1` of the first spike
+//!   survive (`τ = 1` is the paper's 1-WTA, first spikes only).
+//! * [`k_wta_into`] — pass the `k` earliest spikes (ties included), built
+//!   on a sorting network.
+
+use crate::graph::{GateId, Network, NetworkBuilder};
+use crate::sorting::bitonic_sort_into;
+
+/// Appends a `τ`-WTA stage: output `i` carries input `i`'s spike iff it
+/// occurs strictly before `first_spike + τ`.
+///
+/// With `τ = 1` (Fig. 15), only spikes at the volley's first spike time
+/// survive. Larger `τ` widens the uninhibited window, as the paper
+/// describes for parameterized "first" semantics.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty or `tau` is zero (a zero window would
+/// inhibit everything, including the winner).
+#[must_use]
+pub fn wta_into(builder: &mut NetworkBuilder, inputs: &[GateId], tau: u64) -> Vec<GateId> {
+    assert!(!inputs.is_empty(), "WTA requires at least one line");
+    assert!(tau > 0, "a zero inhibition window would inhibit the winner too");
+    let first = builder
+        .min(inputs.iter().copied())
+        .expect("non-empty inputs");
+    let inhibit = builder.inc(first, tau);
+    inputs.iter().map(|&x| builder.lt(x, inhibit)).collect()
+}
+
+/// Builds a standalone `τ`-WTA network over `width` lines.
+#[must_use]
+pub fn wta_network(width: usize, tau: u64) -> Network {
+    let mut builder = NetworkBuilder::new();
+    let inputs = builder.inputs(width);
+    let outputs = wta_into(&mut builder, &inputs, tau);
+    builder.build(outputs)
+}
+
+/// Appends a `k`-WTA stage: output `i` carries input `i`'s spike iff it is
+/// no later than the `k`-th earliest spike in the volley.
+///
+/// Ties at the `k`-th spike time all survive (temporal coding cannot
+/// distinguish simultaneous events — the paper's "what is meant by first
+/// may be parameterized").
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty, `k` is zero, or `k > inputs.len()`.
+#[must_use]
+pub fn k_wta_into(builder: &mut NetworkBuilder, inputs: &[GateId], k: usize) -> Vec<GateId> {
+    assert!(!inputs.is_empty(), "WTA requires at least one line");
+    assert!(k > 0, "k must be positive");
+    assert!(k <= inputs.len(), "k may not exceed the line count");
+    let sorted = bitonic_sort_into(builder, inputs);
+    let kth = sorted[k - 1];
+    let inhibit = builder.inc(kth, 1);
+    inputs.iter().map(|&x| builder.lt(x, inhibit)).collect()
+}
+
+/// Builds a standalone `k`-WTA network over `width` lines.
+#[must_use]
+pub fn k_wta_network(width: usize, k: usize) -> Network {
+    let mut builder = NetworkBuilder::new();
+    let inputs = builder.inputs(width);
+    let outputs = k_wta_into(&mut builder, &inputs, k);
+    builder.build(outputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_core::{verify_space_time, Time, Volley};
+
+    fn t(v: u64) -> Time {
+        Time::finite(v)
+    }
+
+    const INF: Time = Time::INFINITY;
+
+    #[test]
+    fn fig15_one_wta_passes_only_first_spikes() {
+        let net = wta_network(4, 1);
+        let out = net.eval(&[t(2), t(5), t(2), t(7)]).unwrap();
+        assert_eq!(out, vec![t(2), INF, t(2), INF]);
+    }
+
+    #[test]
+    fn tau_widens_the_window() {
+        let inputs = [t(2), t(3), t(4), t(9)];
+        let out = wta_network(4, 1).eval(&inputs).unwrap();
+        assert_eq!(out, vec![t(2), INF, INF, INF]);
+        let out = wta_network(4, 2).eval(&inputs).unwrap();
+        assert_eq!(out, vec![t(2), t(3), INF, INF]);
+        let out = wta_network(4, 3).eval(&inputs).unwrap();
+        assert_eq!(out, vec![t(2), t(3), t(4), INF]);
+    }
+
+    #[test]
+    fn silent_volley_stays_silent() {
+        let net = wta_network(3, 1);
+        assert_eq!(net.eval(&[INF, INF, INF]).unwrap(), vec![INF, INF, INF]);
+    }
+
+    #[test]
+    fn single_line_always_wins() {
+        let net = wta_network(1, 1);
+        assert_eq!(net.eval(&[t(9)]).unwrap(), vec![t(9)]);
+    }
+
+    #[test]
+    fn wta_postconditions_exhaustively() {
+        let net = wta_network(3, 1);
+        for inputs in st_core::enumerate_inputs(3, 3) {
+            let out = net.eval(&inputs).unwrap();
+            let first = Time::min_of(inputs.iter().copied());
+            for (i, (&x, &y)) in inputs.iter().zip(&out).enumerate() {
+                if x == first && x.is_finite() {
+                    assert_eq!(y, x, "winner {i} must pass in {inputs:?}");
+                } else {
+                    assert_eq!(y, INF, "loser {i} must be inhibited in {inputs:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wta_preserves_winner_count_semantics() {
+        // The surviving volley has spikes exactly on winning lines.
+        let net = wta_network(5, 1);
+        let inputs = [t(4), t(4), t(6), INF, t(4)];
+        let out = Volley::new(net.eval(&inputs).unwrap());
+        assert_eq!(out.spike_count(), 3);
+        assert_eq!(out.first_spike(), t(4));
+    }
+
+    #[test]
+    fn k_wta_passes_k_earliest() {
+        let net = k_wta_network(5, 2);
+        let out = net.eval(&[t(5), t(1), t(3), t(9), INF]).unwrap();
+        assert_eq!(out, vec![INF, t(1), t(3), INF, INF]);
+    }
+
+    #[test]
+    fn k_wta_ties_all_survive() {
+        let net = k_wta_network(4, 2);
+        // Second-earliest time is 3, shared by two lines: both survive.
+        let out = net.eval(&[t(1), t(3), t(3), t(8)]).unwrap();
+        assert_eq!(out, vec![t(1), t(3), t(3), INF]);
+    }
+
+    #[test]
+    fn k_wta_with_fewer_spikes_than_k() {
+        let net = k_wta_network(4, 3);
+        let out = net.eval(&[t(2), INF, INF, INF]).unwrap();
+        assert_eq!(out, vec![t(2), INF, INF, INF]);
+    }
+
+    #[test]
+    fn k_equal_width_passes_everything() {
+        let net = k_wta_network(3, 3);
+        let inputs = [t(4), t(1), t(6)];
+        assert_eq!(net.eval(&inputs).unwrap(), inputs.to_vec());
+    }
+
+    #[test]
+    fn wta_is_a_space_time_function_per_line() {
+        let net = wta_network(3, 2);
+        for line in 0..3 {
+            verify_space_time(&net.as_function(line), 3, 2, None)
+                .unwrap_or_else(|v| panic!("line {line}: {v}"));
+        }
+        let net = k_wta_network(3, 2);
+        for line in 0..3 {
+            verify_space_time(&net.as_function(line), 2, 2, None)
+                .unwrap_or_else(|v| panic!("k-wta line {line}: {v}"));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero inhibition window")]
+    fn zero_tau_rejected() {
+        let _ = wta_network(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "may not exceed")]
+    fn oversized_k_rejected() {
+        let _ = k_wta_network(2, 3);
+    }
+}

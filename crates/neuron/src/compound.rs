@@ -1,0 +1,581 @@
+//! Compound synapses and RBF-like temporal pattern neurons (§ II.C).
+//!
+//! Hopfield's 1995 observation, adopted by the paper's survey: *multiple
+//! synaptic paths connecting the same two neurons* — each with its own
+//! delay and weight — are a powerful temporal encoding device. A compound
+//! synapse acts as a tapped delay line; if each input's strongest path has
+//! delay `dᵢ`, the neuron's potential peaks when the input volley satisfies
+//! `xᵢ + dᵢ ≈ const`, i.e. the neuron is tuned to a *relative timing
+//! pattern* — the temporal analogue of a radial basis function
+//! (Natschläger & Ruf; Bohte et al.).
+//!
+//! [`RbfNeuron`] generalizes [`Srm0Neuron`](crate::Srm0Neuron) to compound
+//! synapses. In the space-time construction the generalization is
+//! strikingly cheap: each extra path is just more `inc` fanout feeding the
+//! same Fig. 12 sorters ([`RbfNeuron::to_network`]).
+//! [`delay_learning_step`] implements the localized delay-*selection*
+//! learning of the Natschläger-Ruf line: the path whose arrival best
+//! explains the output spike is reinforced, its siblings decay.
+
+use st_core::{CoreError, SpaceTimeFunction, Time};
+use st_net::{Network, NetworkBuilder};
+
+use crate::response::ResponseFn;
+use crate::srm0::Synapse;
+use crate::structural::threshold_logic_into;
+
+/// A bundle of parallel paths (delay + weight each) from one input line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompoundSynapse {
+    paths: Vec<Synapse>,
+}
+
+impl CompoundSynapse {
+    /// A compound synapse with the given paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `paths` is empty.
+    #[must_use]
+    pub fn new(paths: Vec<Synapse>) -> CompoundSynapse {
+        assert!(!paths.is_empty(), "a compound synapse needs at least one path");
+        CompoundSynapse { paths }
+    }
+
+    /// A delay line: one excitatory path of weight `weight` per delay.
+    #[must_use]
+    pub fn delay_line(delays: &[u64], weight: i32) -> CompoundSynapse {
+        CompoundSynapse::new(delays.iter().map(|&d| Synapse::new(d, weight)).collect())
+    }
+
+    /// The paths.
+    #[must_use]
+    pub fn paths(&self) -> &[Synapse] {
+        &self.paths
+    }
+
+    /// Mutable access for learning rules.
+    pub fn paths_mut(&mut self) -> &mut [Synapse] {
+        &mut self.paths
+    }
+
+    /// The delay of the strongest path (earliest wins ties); the synapse's
+    /// "selected" delay once learning has sparsified the weights.
+    #[must_use]
+    pub fn dominant_delay(&self) -> u64 {
+        self.paths
+            .iter()
+            .max_by(|a, b| a.weight.cmp(&b.weight).then(b.delay.cmp(&a.delay)))
+            .expect("non-empty")
+            .delay
+    }
+}
+
+/// An SRM0-style neuron with compound synapses: the temporal RBF unit.
+///
+/// # Examples
+///
+/// A neuron tuned (via path delays) to the relative pattern `[2, 0, 1]`
+/// fires earlier on that pattern than on a scrambled one:
+///
+/// ```
+/// use st_core::Time;
+/// use st_neuron::compound::{CompoundSynapse, RbfNeuron};
+/// use st_neuron::{ResponseFn, Synapse};
+///
+/// let tuned = |d| CompoundSynapse::new(vec![Synapse::new(d, 1)]);
+/// let neuron = RbfNeuron::new(
+///     ResponseFn::piecewise_linear(2, 1, 2),
+///     vec![tuned(0), tuned(2), tuned(1)], // aligns x + d for [2, 0, 1]
+///     5,
+/// );
+/// let t = Time::finite;
+/// let on_pattern = neuron.eval(&[t(2), t(0), t(1)]);
+/// let scrambled = neuron.eval(&[t(0), t(2), t(1)]);
+/// assert!(on_pattern < scrambled);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RbfNeuron {
+    unit_response: ResponseFn,
+    synapses: Vec<CompoundSynapse>,
+    threshold: u32,
+}
+
+impl RbfNeuron {
+    /// Creates a neuron with one compound synapse per input line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold == 0` or `synapses` is empty.
+    #[must_use]
+    pub fn new(
+        unit_response: ResponseFn,
+        synapses: Vec<CompoundSynapse>,
+        threshold: u32,
+    ) -> RbfNeuron {
+        assert!(threshold > 0, "a zero threshold would fire spontaneously");
+        assert!(!synapses.is_empty(), "a neuron needs at least one synapse");
+        RbfNeuron {
+            unit_response,
+            synapses,
+            threshold,
+        }
+    }
+
+    /// A neuron whose every input carries the same candidate delay line —
+    /// the standard untrained RBF configuration.
+    #[must_use]
+    pub fn with_uniform_delay_lines(
+        unit_response: ResponseFn,
+        n_inputs: usize,
+        delays: &[u64],
+        weight: i32,
+        threshold: u32,
+    ) -> RbfNeuron {
+        RbfNeuron::new(
+            unit_response,
+            (0..n_inputs)
+                .map(|_| CompoundSynapse::delay_line(delays, weight))
+                .collect(),
+            threshold,
+        )
+    }
+
+    /// The compound synapses, in input order.
+    #[must_use]
+    pub fn synapses(&self) -> &[CompoundSynapse] {
+        &self.synapses
+    }
+
+    /// Mutable access for learning rules.
+    pub fn synapses_mut(&mut self) -> &mut [CompoundSynapse] {
+        &mut self.synapses
+    }
+
+    /// The firing threshold.
+    #[must_use]
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// The shared unit response.
+    #[must_use]
+    pub fn unit_response(&self) -> &ResponseFn {
+        &self.unit_response
+    }
+
+    /// The delay pattern the neuron is currently tuned to: each synapse's
+    /// dominant delay, negated into "expected input offset" form relative
+    /// to the largest delay.
+    #[must_use]
+    pub fn preferred_pattern(&self) -> Vec<u64> {
+        let delays: Vec<u64> = self.synapses.iter().map(CompoundSynapse::dominant_delay).collect();
+        let max = delays.iter().copied().max().unwrap_or(0);
+        delays.into_iter().map(|d| max - d).collect()
+    }
+
+    fn path_response(&self, path: Synapse) -> ResponseFn {
+        let scaled = self.unit_response.scaled(path.weight.unsigned_abs());
+        if path.weight < 0 {
+            scaled.negated()
+        } else {
+            scaled
+        }
+    }
+
+    /// The up/down step streams for an input volley (every path of every
+    /// synapse contributes).
+    #[must_use]
+    pub fn step_events(&self, inputs: &[Time]) -> (Vec<Time>, Vec<Time>) {
+        let mut ups = Vec::new();
+        let mut downs = Vec::new();
+        for (&x, synapse) in inputs.iter().zip(&self.synapses) {
+            if x.is_infinite() {
+                continue;
+            }
+            for &path in synapse.paths() {
+                if path.weight == 0 {
+                    continue;
+                }
+                let arrival = x + path.delay;
+                let response = self.path_response(path);
+                for &u in response.up_steps() {
+                    ups.push(arrival + u);
+                }
+                for &d in response.down_steps() {
+                    downs.push(arrival + d);
+                }
+            }
+        }
+        (ups, downs)
+    }
+
+    /// First threshold crossing, or `∞` (same tie semantics as
+    /// [`crate::Srm0Neuron::eval`]).
+    #[must_use]
+    pub fn eval(&self, inputs: &[Time]) -> Time {
+        let (mut ups, mut downs) = self.step_events(inputs);
+        ups.sort_unstable();
+        downs.sort_unstable();
+        let theta = i64::from(self.threshold);
+        let mut ui = 0usize;
+        let mut di = 0usize;
+        let mut potential = 0i64;
+        while ui < ups.len() {
+            let t = match downs.get(di) {
+                Some(&d) if d < ups[ui] => d,
+                _ => ups[ui],
+            };
+            while ups.get(ui) == Some(&t) {
+                potential += 1;
+                ui += 1;
+            }
+            while downs.get(di) == Some(&t) {
+                potential -= 1;
+                di += 1;
+            }
+            if potential >= theta {
+                return t;
+            }
+        }
+        Time::INFINITY
+    }
+
+    /// The peak potential the volley produces (for homeostatic rules).
+    #[must_use]
+    pub fn max_potential(&self, inputs: &[Time]) -> i64 {
+        let (mut ups, mut downs) = self.step_events(inputs);
+        ups.sort_unstable();
+        downs.sort_unstable();
+        let mut ui = 0usize;
+        let mut di = 0usize;
+        let mut potential = 0i64;
+        let mut peak = 0i64;
+        while ui < ups.len() || di < downs.len() {
+            let tu = ups.get(ui).copied().unwrap_or(Time::INFINITY);
+            let td = downs.get(di).copied().unwrap_or(Time::INFINITY);
+            let t = tu.min(td);
+            while ups.get(ui) == Some(&t) {
+                potential += 1;
+                ui += 1;
+            }
+            while downs.get(di) == Some(&t) {
+                potential -= 1;
+                di += 1;
+            }
+            peak = peak.max(potential);
+        }
+        peak
+    }
+
+    /// Builds the Fig. 12-style primitives-only network for this neuron:
+    /// compound synapses are *just more `inc` fanout* into the same two
+    /// sorters and `lt` threshold bank.
+    #[must_use]
+    pub fn to_network(&self) -> Network {
+        let mut builder = NetworkBuilder::new();
+        let inputs = builder.inputs(self.synapses.len());
+        let mut up_wires = Vec::new();
+        let mut down_wires = Vec::new();
+        for (&x, synapse) in inputs.iter().zip(&self.synapses) {
+            for &path in synapse.paths() {
+                if path.weight == 0 {
+                    continue;
+                }
+                let delayed = builder.inc(x, path.delay);
+                let response = self.path_response(path);
+                for &u in response.up_steps() {
+                    up_wires.push(builder.inc(delayed, u));
+                }
+                for &d in response.down_steps() {
+                    down_wires.push(builder.inc(delayed, d));
+                }
+            }
+        }
+        let out = threshold_logic_into(&mut builder, up_wires, down_wires, self.threshold);
+        builder.build([out])
+    }
+}
+
+impl SpaceTimeFunction for RbfNeuron {
+    fn arity(&self) -> usize {
+        self.synapses.len()
+    }
+
+    fn apply(&self, inputs: &[Time]) -> Result<Time, CoreError> {
+        if inputs.len() != self.synapses.len() {
+            return Err(CoreError::ArityMismatch {
+                expected: self.synapses.len(),
+                actual: inputs.len(),
+            });
+        }
+        Ok(self.eval(inputs))
+    }
+}
+
+/// Parameters for the delay-selection learning rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DelayLearningParams {
+    /// Reinforcement for the best-aligned path per synapse.
+    pub a_plus: i32,
+    /// Decay for the other paths.
+    pub a_minus: i32,
+    /// Weight clip range.
+    pub w_min: i32,
+    /// Upper weight clip.
+    pub w_max: i32,
+}
+
+impl Default for DelayLearningParams {
+    fn default() -> DelayLearningParams {
+        DelayLearningParams {
+            a_plus: 1,
+            a_minus: 1,
+            w_min: 0,
+            w_max: 7,
+        }
+    }
+}
+
+/// One delay-selection update (Natschläger-Ruf style, discretized): for
+/// each synapse whose input spiked, the path whose arrival lands closest
+/// to the output spike (in absolute time difference; earlier wins ties) is
+/// reinforced, and every other path of that synapse decays. Synapses whose
+/// input did not spike are left unchanged. No-op when the neuron did not
+/// fire.
+///
+/// Repeated on a recurring pattern, the rule sparsifies each delay line to
+/// the path that aligns its input with the rest of the volley — the
+/// temporal-RBF centre drifts onto the pattern.
+///
+/// Returns the number of path weights changed.
+pub fn delay_learning_step(
+    neuron: &mut RbfNeuron,
+    inputs: &[Time],
+    output: Time,
+    params: &DelayLearningParams,
+) -> usize {
+    if output.is_infinite() {
+        return 0;
+    }
+    assert_eq!(
+        inputs.len(),
+        neuron.synapses().len(),
+        "volley width must match the neuron's synapse count"
+    );
+    let out = output.expect_finite();
+    // A path influences the potential starting at arrival + the response's
+    // first up step; that *effect time* is what must line up with the
+    // output spike (comparing raw arrivals would systematically prefer
+    // paths one response-latency too late).
+    let latency = neuron
+        .unit_response()
+        .up_steps()
+        .first()
+        .copied()
+        .unwrap_or(0);
+    let mut changed = 0usize;
+    for (&x, synapse) in inputs.iter().zip(neuron.synapses_mut()) {
+        let Some(xv) = x.value() else { continue };
+        let best = synapse
+            .paths()
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, p)| ((xv + p.delay + latency).abs_diff(out), p.delay))
+            .map(|(i, _)| i);
+        for (i, path) in synapse.paths_mut().iter_mut().enumerate() {
+            let delta = if Some(i) == best {
+                params.a_plus
+            } else {
+                -params.a_minus
+            };
+            let new_w = (path.weight + delta).clamp(params.w_min, params.w_max);
+            if new_w != path.weight {
+                path.weight = new_w;
+                changed += 1;
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_core::{enumerate_inputs, verify_space_time};
+
+    fn t(v: u64) -> Time {
+        Time::finite(v)
+    }
+
+    const INF: Time = Time::INFINITY;
+
+    fn bump() -> ResponseFn {
+        ResponseFn::piecewise_linear(2, 1, 2)
+    }
+
+    fn tuned(delays: &[u64]) -> RbfNeuron {
+        RbfNeuron::new(
+            bump(),
+            delays
+                .iter()
+                .map(|&d| CompoundSynapse::new(vec![Synapse::new(d, 1)]))
+                .collect(),
+            5,
+        )
+    }
+
+    #[test]
+    fn rbf_prefers_its_tuned_pattern() {
+        // Delays [3, 0, 2] align inputs [0, 3, 1] (all arrive at 3).
+        let neuron = tuned(&[3, 0, 2]);
+        let aligned = neuron.eval(&[t(0), t(3), t(1)]);
+        assert!(aligned.is_finite());
+        // Scrambling the pattern misaligns arrivals: later or no spike.
+        let scrambled = neuron.eval(&[t(3), t(0), t(1)]);
+        assert!(scrambled > aligned, "{scrambled} vs {aligned}");
+        // A uniform volley is also worse.
+        let uniform = neuron.eval(&[t(0), t(0), t(0)]);
+        assert!(uniform > aligned);
+    }
+
+    #[test]
+    fn preferred_pattern_reads_back_the_tuning() {
+        let neuron = tuned(&[3, 0, 2]);
+        assert_eq!(neuron.preferred_pattern(), vec![0, 3, 1]);
+    }
+
+    #[test]
+    fn compound_synapse_accessors() {
+        let s = CompoundSynapse::delay_line(&[0, 2, 4], 3);
+        assert_eq!(s.paths().len(), 3);
+        assert!(s.paths().iter().all(|p| p.weight == 3));
+        assert_eq!(s.dominant_delay(), 0); // all equal: earliest wins
+        let mut s = s;
+        s.paths_mut()[2].weight = 5;
+        assert_eq!(s.dominant_delay(), 4);
+    }
+
+    #[test]
+    fn structural_network_matches_behavioral() {
+        let neuron = RbfNeuron::new(
+            bump(),
+            vec![
+                CompoundSynapse::delay_line(&[0, 2], 1),
+                CompoundSynapse::new(vec![Synapse::new(1, 2)]),
+            ],
+            4,
+        );
+        let net = neuron.to_network();
+        for inputs in enumerate_inputs(2, 4) {
+            assert_eq!(
+                net.eval(&inputs).unwrap()[0],
+                neuron.eval(&inputs),
+                "at {inputs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rbf_neurons_are_space_time_functions() {
+        let neuron = tuned(&[1, 0]);
+        verify_space_time(&neuron, 3, 2, None).unwrap();
+        let with_inhibition = RbfNeuron::new(
+            bump(),
+            vec![
+                CompoundSynapse::new(vec![Synapse::new(0, 2), Synapse::new(1, -1)]),
+                CompoundSynapse::new(vec![Synapse::new(0, 1)]),
+            ],
+            3,
+        );
+        verify_space_time(&with_inhibition, 3, 2, None).unwrap();
+    }
+
+    #[test]
+    fn single_path_rbf_equals_srm0() {
+        use crate::srm0::Srm0Neuron;
+        let srm0 = Srm0Neuron::new(bump(), vec![Synapse::new(1, 2), Synapse::new(0, 1)], 4);
+        let rbf = RbfNeuron::new(
+            bump(),
+            vec![
+                CompoundSynapse::new(vec![Synapse::new(1, 2)]),
+                CompoundSynapse::new(vec![Synapse::new(0, 1)]),
+            ],
+            4,
+        );
+        for inputs in enumerate_inputs(2, 4) {
+            assert_eq!(rbf.eval(&inputs), srm0.eval(&inputs));
+        }
+    }
+
+    #[test]
+    fn delay_learning_selects_aligned_paths() {
+        // Candidate delays {0..=3} on both inputs; the repeating pattern
+        // has input 1 leading input 0 by 3, so learning should align the
+        // arrivals: 3 + d0 ≈ 0 + d1. The threshold (10) exceeds what one
+        // fully-trained path (weight 7) can deliver, so recognition
+        // genuinely requires the aligned pair.
+        let mut neuron =
+            RbfNeuron::with_uniform_delay_lines(ResponseFn::step(1), 2, &[0, 1, 2, 3], 3, 10);
+        let pattern = [t(3), t(0)];
+        let params = DelayLearningParams::default();
+        for _ in 0..30 {
+            let out = neuron.eval(&pattern);
+            assert!(out.is_finite(), "neuron must keep firing during learning");
+            delay_learning_step(&mut neuron, &pattern, out, &params);
+        }
+        let d0 = neuron.synapses()[0].dominant_delay();
+        let d1 = neuron.synapses()[1].dominant_delay();
+        // Aligned arrivals: 3 + d0 ≈ 0 + d1 (within one tick of drift).
+        let misalignment = (3 + d0).abs_diff(d1);
+        assert!(misalignment <= 1, "d0={d0}, d1={d1}, neuron={neuron:?}");
+        // And the trained neuron now prefers the trained pattern.
+        let on = neuron.eval(&pattern);
+        let off = neuron.eval(&[t(0), t(3)]);
+        assert!(on < off, "on={on} off={off}");
+    }
+
+    #[test]
+    fn delay_learning_ignores_silent_inputs_and_silent_outputs() {
+        let mut neuron = RbfNeuron::with_uniform_delay_lines(bump(), 2, &[0, 1], 2, 3);
+        let before = neuron.synapses().to_vec();
+        // No output spike → no change.
+        let changed = delay_learning_step(
+            &mut neuron,
+            &[t(0), t(0)],
+            INF,
+            &DelayLearningParams::default(),
+        );
+        assert_eq!(changed, 0);
+        assert_eq!(neuron.synapses(), &before[..]);
+        // Output spike but input 1 silent → only synapse 0 updates.
+        let changed = delay_learning_step(
+            &mut neuron,
+            &[t(0), INF],
+            t(2),
+            &DelayLearningParams::default(),
+        );
+        assert!(changed > 0);
+        assert_eq!(neuron.synapses()[1], before[1]);
+    }
+
+    #[test]
+    fn arity_is_enforced() {
+        let neuron = tuned(&[0, 1]);
+        assert!(neuron.apply(&[t(0)]).is_err());
+        assert_eq!(neuron.apply(&[t(0), t(1)]).unwrap(), neuron.eval(&[t(0), t(1)]));
+        assert_eq!(neuron.arity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one path")]
+    fn empty_compound_synapse_rejected() {
+        let _ = CompoundSynapse::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero threshold")]
+    fn zero_threshold_rejected() {
+        let _ = RbfNeuron::new(bump(), vec![CompoundSynapse::delay_line(&[0], 1)], 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Latency encoding between analog feature values and spike volleys.
+//!
+//! TNNs receive information as spike *times*: a stronger stimulus produces
+//! an earlier spike (Thorpe's rank-order / latency coding, which the paper
+//! adopts for its communication model in § III.A). [`LatencyEncoder`] maps
+//! values in `[0, 1]` onto the low-resolution discrete time grid the paper
+//! argues for (3–4 bits, § II.A), and back.
+
+use st_core::{Time, Volley};
+
+/// Maps feature intensities in `[0, 1]` to spike latencies on a
+/// `2^bits`-step grid: intensity `1.0` spikes at time 0, intensity `0.0`
+/// (or below the cutoff) does not spike at all.
+///
+/// # Examples
+///
+/// ```
+/// use st_neuron::LatencyEncoder;
+/// use st_core::Time;
+///
+/// let enc = LatencyEncoder::new(3); // 3-bit time: 8 steps
+/// assert_eq!(enc.encode(1.0), Time::ZERO);
+/// assert_eq!(enc.encode(0.0), Time::INFINITY);
+/// assert_eq!(enc.encode(0.5), Time::finite(4));
+/// assert_eq!(enc.max_latency(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyEncoder {
+    bits: u32,
+}
+
+impl LatencyEncoder {
+    /// An encoder with `bits` of temporal resolution (`2^bits` time steps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 32.
+    #[must_use]
+    pub fn new(bits: u32) -> LatencyEncoder {
+        assert!((1..=32).contains(&bits), "temporal resolution must be 1..=32 bits");
+        LatencyEncoder { bits }
+    }
+
+    /// The temporal resolution in bits.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The number of representable time steps, `2^bits`.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        1u64 << self.bits
+    }
+
+    /// The largest finite latency, `2^bits − 1`.
+    #[must_use]
+    pub fn max_latency(&self) -> u64 {
+        self.steps() - 1
+    }
+
+    /// Encodes one intensity. Values are clamped to `[0, 1]`; intensities
+    /// that would round to a latency beyond the grid produce no spike.
+    #[must_use]
+    pub fn encode(&self, intensity: f64) -> Time {
+        let x = intensity.clamp(0.0, 1.0);
+        if x <= 0.0 {
+            return Time::INFINITY;
+        }
+        let latency = ((1.0 - x) * self.steps() as f64).floor() as u64;
+        if latency > self.max_latency() {
+            Time::INFINITY
+        } else {
+            Time::finite(latency)
+        }
+    }
+
+    /// Encodes a feature vector into a volley.
+    #[must_use]
+    pub fn encode_volley(&self, intensities: &[f64]) -> Volley {
+        intensities.iter().map(|&x| self.encode(x)).collect()
+    }
+
+    /// Decodes a latency back to the center of its intensity bin
+    /// (`None` for no spike).
+    #[must_use]
+    pub fn decode(&self, time: Time) -> Option<f64> {
+        let latency = time.value()?;
+        if latency > self.max_latency() {
+            return None;
+        }
+        Some(1.0 - (latency as f64 + 0.5) / self.steps() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extremes_and_midpoint() {
+        let enc = LatencyEncoder::new(3);
+        assert_eq!(enc.encode(1.0), Time::ZERO);
+        assert_eq!(enc.encode(0.0), Time::INFINITY);
+        assert_eq!(enc.encode(-3.0), Time::INFINITY);
+        assert_eq!(enc.encode(2.0), Time::ZERO);
+        assert_eq!(enc.encode(0.5), Time::finite(4));
+        assert_eq!(enc.steps(), 8);
+        assert_eq!(enc.bits(), 3);
+    }
+
+    #[test]
+    fn stronger_is_never_later() {
+        let enc = LatencyEncoder::new(4);
+        let mut prev = enc.encode(0.01);
+        for i in 1..=100 {
+            let cur = enc.encode(f64::from(i) / 100.0);
+            assert!(cur <= prev, "intensity {} encoded later than weaker", i);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn faint_intensities_spike_last() {
+        let enc = LatencyEncoder::new(2); // latencies 0..=3
+        // 0.1 → floor(0.9·4) = 3: the faintest representable stimulus
+        // spikes at the last grid slot; only exactly-zero goes silent.
+        assert_eq!(enc.encode(0.1), Time::finite(3));
+        assert_eq!(enc.encode(0.26), Time::finite(2));
+        assert_eq!(enc.max_latency(), 3);
+    }
+
+    #[test]
+    fn encode_decode_round_trip_within_one_bin() {
+        let enc = LatencyEncoder::new(4);
+        for i in 1..=16 {
+            let x = f64::from(i) / 16.0;
+            let t = enc.encode(x);
+            if let Some(back) = enc.decode(t) {
+                assert!((back - x).abs() <= 1.0 / 16.0, "x={x} back={back}");
+            }
+        }
+        assert_eq!(enc.decode(Time::INFINITY), None);
+        assert_eq!(enc.decode(Time::finite(999)), None);
+    }
+
+    #[test]
+    fn volley_encoding() {
+        let enc = LatencyEncoder::new(3);
+        let v = enc.encode_volley(&[1.0, 0.5, 0.0]);
+        assert_eq!(v.times(), &[Time::ZERO, Time::finite(4), Time::INFINITY]);
+        assert_eq!(v.spike_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=32")]
+    fn zero_bits_rejected() {
+        let _ = LatencyEncoder::new(0);
+    }
+}

@@ -1,0 +1,52 @@
+//! # st-neuron — SRM0 spiking neurons in the space-time algebra
+//!
+//! Implements § II.A and § IV of Smith's "Space-Time Algebra" (ISCA 2018):
+//! the SRM0 neuron model (Fig. 1), discretized response functions
+//! (Figs. 2 and 11), the behavioral reference semantics, and the paper's
+//! central construction — an SRM0 neuron built *entirely from space-time
+//! primitives* via fanout/increment networks, bitonic sorters, and an `lt`
+//! threshold bank (Fig. 12), with micro-weight-programmable synaptic
+//! weights (Figs. 13–14).
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`response`] | discretized response functions and their step form |
+//! | [`srm0`] | the behavioral SRM0 neuron (reference semantics) |
+//! | [`structural`] | Fig. 12 construction + programmable variant |
+//! | [`encode`] | latency encoding between intensities and volleys |
+//! | [`compound`] | compound (multi-path) synapses and temporal RBF units |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use st_core::Time;
+//! use st_neuron::{structural::srm0_network, ResponseFn, Srm0Neuron, Synapse};
+//!
+//! // A coincidence-detecting neuron…
+//! let neuron = Srm0Neuron::new(
+//!     ResponseFn::fig11_biexponential(),
+//!     vec![Synapse::excitatory(1), Synapse::excitatory(1)],
+//!     6,
+//! );
+//! // …its behavioral output…
+//! let behavioral = neuron.eval(&[Time::finite(0), Time::finite(1)]);
+//! // …equals the output of the primitives-only Fig. 12 network.
+//! let net = srm0_network(&neuron);
+//! assert_eq!(net.eval(&[Time::finite(0), Time::finite(1)])?[0], behavioral);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod compound;
+pub mod encode;
+pub mod response;
+pub mod srm0;
+pub mod structural;
+
+pub use compound::{delay_learning_step, CompoundSynapse, DelayLearningParams, RbfNeuron};
+pub use encode::LatencyEncoder;
+pub use response::ResponseFn;
+pub use srm0::{Srm0Neuron, Synapse};
+pub use structural::{srm0_network, ProgrammableSrm0};

@@ -1,0 +1,384 @@
+//! Discretized synaptic response functions (§ II.A Fig. 2, § IV.A.2 Fig. 11).
+//!
+//! A response function `R(t)` models the change in a neuron's body
+//! potential caused by one input spike. The paper's only constraints
+//! (§ IV.A.2): after a finite `t_max` the response settles at a fixed value
+//! `c`, and it ranges between finite extrema. Discretized, a response is a
+//! sequence of unit *up steps* and *down steps* at integer offsets from the
+//! input spike — exactly the form the Fig. 11 fanout/increment network and
+//! the Fig. 12 sorter-based SRM0 construction consume.
+//!
+//! [`ResponseFn`] stores those step times (with multiplicity). Included
+//! constructors cover the paper's examples: the biologically based
+//! biexponential (Fig. 2a / Fig. 11), Maass's piecewise-linear
+//! approximation (Fig. 2b), and the non-leaky step response used by the
+//! simple integrate-and-fire models the TNN literature favours.
+
+use core::fmt;
+
+/// A discretized response function, represented by its up/down unit steps.
+///
+/// Amplitude convention: at a tick where both up and down steps occur, the
+/// ups are applied first (the paper's Fig. 11 reaches `r_max = 5`
+/// transiently at `t = 5`, where an up and a down coincide).
+///
+/// # Examples
+///
+/// ```
+/// use st_neuron::ResponseFn;
+///
+/// let r = ResponseFn::fig11_biexponential();
+/// assert_eq!(r.peak_amplitude(), 5);
+/// assert_eq!(r.t_max(), 12);
+/// assert_eq!(r.final_value(), 0);
+/// assert_eq!(r.amplitude(3), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ResponseFn {
+    /// Times of unit up steps, sorted, with multiplicity.
+    ups: Vec<u64>,
+    /// Times of unit down steps, sorted, with multiplicity.
+    downs: Vec<u64>,
+}
+
+impl ResponseFn {
+    /// Builds a response from explicit up/down step times (any order;
+    /// multiplicity allowed).
+    #[must_use]
+    pub fn from_steps(mut ups: Vec<u64>, mut downs: Vec<u64>) -> ResponseFn {
+        ups.sort_unstable();
+        downs.sort_unstable();
+        ResponseFn { ups, downs }
+    }
+
+    /// Builds a response from an amplitude profile: `profile[t]` is the
+    /// amplitude at tick `t` (amplitude before the spike is 0; after the
+    /// profile ends it stays at the last value).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use st_neuron::ResponseFn;
+    /// let r = ResponseFn::from_profile(&[0, 2, 4, 4, 3, 0]);
+    /// assert_eq!(r.amplitude(2), 4);
+    /// assert_eq!(r.amplitude(9), 0);
+    /// assert_eq!(r.up_steps(), &[1, 1, 2, 2]);
+    /// assert_eq!(r.down_steps(), &[4, 5, 5, 5]);
+    /// ```
+    #[must_use]
+    pub fn from_profile(profile: &[i64]) -> ResponseFn {
+        let mut ups = Vec::new();
+        let mut downs = Vec::new();
+        let mut prev = 0i64;
+        for (t, &amp) in profile.iter().enumerate() {
+            let delta = amp - prev;
+            for _ in 0..delta.abs() {
+                if delta > 0 {
+                    ups.push(t as u64);
+                } else {
+                    downs.push(t as u64);
+                }
+            }
+            prev = amp;
+        }
+        ResponseFn { ups, downs }
+    }
+
+    /// The paper's Fig. 11 discretized biexponential response, verbatim:
+    /// "two up steps at t = 1, two more up steps at t = 2, a single up step
+    /// at t = 5, then a series of down steps at t = 5, 7, 8, 10, 12."
+    #[must_use]
+    pub fn fig11_biexponential() -> ResponseFn {
+        ResponseFn::from_steps(vec![1, 1, 2, 2, 5], vec![5, 7, 8, 10, 12])
+    }
+
+    /// Discretizes the biologically based biexponential
+    /// `R(t) ∝ e^(−t/τ_slow) − e^(−t/τ_fast)` (Fig. 2a) to integer
+    /// amplitudes with the given peak, over `0..=t_max`. The tail is
+    /// clamped to settle at 0 by `t_max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < tau_fast < tau_slow` and `peak > 0`.
+    #[must_use]
+    pub fn biexponential(peak: u32, tau_fast: f64, tau_slow: f64, t_max: u64) -> ResponseFn {
+        assert!(peak > 0, "peak amplitude must be positive");
+        assert!(
+            tau_fast > 0.0 && tau_slow > tau_fast,
+            "time constants must satisfy 0 < tau_fast < tau_slow"
+        );
+        let raw = |t: f64| (-t / tau_slow).exp() - (-t / tau_fast).exp();
+        // Find the analytic peak to scale against.
+        let t_peak = (tau_slow * tau_fast / (tau_slow - tau_fast)) * (tau_slow / tau_fast).ln();
+        let r_peak = raw(t_peak);
+        let mut profile: Vec<i64> = (0..=t_max)
+            .map(|t| ((raw(t as f64) / r_peak) * f64::from(peak)).round() as i64)
+            .collect();
+        if let Some(last) = profile.last_mut() {
+            *last = 0;
+        }
+        ResponseFn::from_profile(&profile)
+    }
+
+    /// Maass's piecewise-linear approximation (Fig. 2b): rise linearly to
+    /// `peak` over `rise` ticks, then fall linearly back to 0 over `fall`
+    /// ticks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rise == 0` or `fall == 0`.
+    #[must_use]
+    pub fn piecewise_linear(peak: u32, rise: u64, fall: u64) -> ResponseFn {
+        assert!(rise > 0 && fall > 0, "rise and fall must be positive");
+        let peak = i64::from(peak);
+        let mut profile = Vec::with_capacity((rise + fall + 1) as usize);
+        for t in 0..=rise {
+            profile.push(peak * t as i64 / rise as i64);
+        }
+        for t in 1..=fall {
+            profile.push(peak * (fall - t) as i64 / fall as i64);
+        }
+        ResponseFn::from_profile(&profile)
+    }
+
+    /// The non-leaky step response of a simple integrate-and-fire neuron:
+    /// jumps to `height` one tick after the spike and stays there
+    /// (`c = height ≠ 0` — the paper's definition explicitly allows a
+    /// nonzero settle value).
+    #[must_use]
+    pub fn step(height: u32) -> ResponseFn {
+        ResponseFn::from_steps(vec![1; height as usize], Vec::new())
+    }
+
+    /// Up-step times, sorted, with multiplicity.
+    #[must_use]
+    pub fn up_steps(&self) -> &[u64] {
+        &self.ups
+    }
+
+    /// Down-step times, sorted, with multiplicity.
+    #[must_use]
+    pub fn down_steps(&self) -> &[u64] {
+        &self.downs
+    }
+
+    /// Amplitude at tick `t` (ups and downs at `t` both applied).
+    #[must_use]
+    pub fn amplitude(&self, t: u64) -> i64 {
+        let ups = self.ups.iter().filter(|&&u| u <= t).count() as i64;
+        let downs = self.downs.iter().filter(|&&d| d <= t).count() as i64;
+        ups - downs
+    }
+
+    /// The transient peak amplitude, applying ups before downs within a
+    /// tick (Fig. 11's `r_max`).
+    #[must_use]
+    pub fn peak_amplitude(&self) -> i64 {
+        let mut peak = 0i64;
+        let mut level = 0i64;
+        let mut ui = 0usize;
+        let mut di = 0usize;
+        while ui < self.ups.len() || di < self.downs.len() {
+            let tu = self.ups.get(ui).copied().unwrap_or(u64::MAX);
+            let td = self.downs.get(di).copied().unwrap_or(u64::MAX);
+            let t = tu.min(td);
+            while self.ups.get(ui) == Some(&t) {
+                level += 1;
+                ui += 1;
+            }
+            peak = peak.max(level);
+            while self.downs.get(di) == Some(&t) {
+                level -= 1;
+                di += 1;
+            }
+            peak = peak.max(level);
+        }
+        peak
+    }
+
+    /// The minimum transient amplitude (negative for inhibitory
+    /// responses), applying downs before ups within a tick — the mirror of
+    /// [`ResponseFn::peak_amplitude`], so `r.negated().min_amplitude() ==
+    /// -r.peak_amplitude()`.
+    #[must_use]
+    pub fn min_amplitude(&self) -> i64 {
+        -self.negated().peak_amplitude()
+    }
+
+    /// The last tick at which anything changes (0 for an empty response).
+    #[must_use]
+    pub fn t_max(&self) -> u64 {
+        self.ups
+            .last()
+            .copied()
+            .unwrap_or(0)
+            .max(self.downs.last().copied().unwrap_or(0))
+    }
+
+    /// The settled value `c = Σups − Σdowns` (0 for leaky responses,
+    /// nonzero for the non-leaky step).
+    #[must_use]
+    pub fn final_value(&self) -> i64 {
+        self.ups.len() as i64 - self.downs.len() as i64
+    }
+
+    /// The number of unit steps (ups + downs) — the hardware cost of the
+    /// fanout/increment network realizing this response (Fig. 11 right).
+    #[must_use]
+    pub fn step_count(&self) -> usize {
+        self.ups.len() + self.downs.len()
+    }
+
+    /// This response scaled by an integer factor (each step repeated
+    /// `factor` times) — the amplitude-scaling weight model of Fig. 14.
+    #[must_use]
+    pub fn scaled(&self, factor: u32) -> ResponseFn {
+        let repeat = |steps: &[u64]| -> Vec<u64> {
+            steps
+                .iter()
+                .flat_map(|&t| std::iter::repeat_n(t, factor as usize))
+                .collect()
+        };
+        ResponseFn {
+            ups: repeat(&self.ups),
+            downs: repeat(&self.downs),
+        }
+    }
+
+    /// The inhibitory mirror of this response (ups and downs swapped).
+    #[must_use]
+    pub fn negated(&self) -> ResponseFn {
+        ResponseFn {
+            ups: self.downs.clone(),
+            downs: self.ups.clone(),
+        }
+    }
+
+    /// Whether the response is excitatory-shaped: nonnegative everywhere.
+    #[must_use]
+    pub fn is_excitatory(&self) -> bool {
+        self.min_amplitude() >= 0
+    }
+}
+
+impl fmt::Display for ResponseFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ups {:?} downs {:?}", self.ups, self.downs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig11_statistics_match_paper() {
+        let r = ResponseFn::fig11_biexponential();
+        assert_eq!(r.t_max(), 12);
+        assert_eq!(r.final_value(), 0); // c = 0
+        assert_eq!(r.peak_amplitude(), 5); // r_max = 5
+        assert_eq!(r.min_amplitude(), 0); // r_min = 0
+        assert_eq!(r.step_count(), 10);
+        assert!(r.is_excitatory());
+    }
+
+    #[test]
+    fn fig11_amplitude_profile() {
+        let r = ResponseFn::fig11_biexponential();
+        let profile: Vec<i64> = (0..=13).map(|t| r.amplitude(t)).collect();
+        assert_eq!(profile, vec![0, 2, 4, 4, 4, 4, 4, 3, 2, 2, 1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn profile_round_trip() {
+        let profile = [0i64, 2, 4, 4, 3, 0];
+        let r = ResponseFn::from_profile(&profile);
+        for (t, &amp) in profile.iter().enumerate() {
+            assert_eq!(r.amplitude(t as u64), amp, "t={t}");
+        }
+        assert_eq!(r.amplitude(100), 0);
+    }
+
+    #[test]
+    fn from_steps_sorts() {
+        let r = ResponseFn::from_steps(vec![5, 1, 1], vec![9, 2]);
+        assert_eq!(r.up_steps(), &[1, 1, 5]);
+        assert_eq!(r.down_steps(), &[2, 9]);
+    }
+
+    #[test]
+    fn biexponential_shape() {
+        let r = ResponseFn::biexponential(5, 2.0, 8.0, 20);
+        assert_eq!(r.peak_amplitude(), 5);
+        assert_eq!(r.final_value(), 0);
+        assert!(r.is_excitatory());
+        assert!(r.t_max() <= 20);
+        // Rises then decays: amplitude at the analytic peak region exceeds
+        // both the start and the tail.
+        assert!(r.amplitude(4) > r.amplitude(0));
+        assert!(r.amplitude(4) > r.amplitude(18));
+    }
+
+    #[test]
+    fn piecewise_linear_shape() {
+        let r = ResponseFn::piecewise_linear(4, 2, 4);
+        assert_eq!(r.amplitude(0), 0);
+        assert_eq!(r.amplitude(2), 4);
+        assert_eq!(r.amplitude(6), 0);
+        assert_eq!(r.peak_amplitude(), 4);
+        assert_eq!(r.final_value(), 0);
+    }
+
+    #[test]
+    fn step_response_is_non_leaky() {
+        let r = ResponseFn::step(3);
+        assert_eq!(r.amplitude(0), 0);
+        assert_eq!(r.amplitude(1), 3);
+        assert_eq!(r.amplitude(1000), 3);
+        assert_eq!(r.final_value(), 3);
+        assert_eq!(r.down_steps(), &[] as &[u64]);
+    }
+
+    #[test]
+    fn scaling_multiplies_amplitude() {
+        let r = ResponseFn::fig11_biexponential();
+        let r3 = r.scaled(3);
+        for t in 0..=13 {
+            assert_eq!(r3.amplitude(t), 3 * r.amplitude(t), "t={t}");
+        }
+        assert_eq!(r3.peak_amplitude(), 15);
+        assert_eq!(r.scaled(0).step_count(), 0);
+    }
+
+    #[test]
+    fn negation_is_inhibitory() {
+        let r = ResponseFn::fig11_biexponential().negated();
+        assert!(!r.is_excitatory());
+        assert_eq!(r.min_amplitude(), -5);
+        assert_eq!(r.peak_amplitude(), 0);
+        assert_eq!(r.amplitude(3), -4);
+        assert_eq!(r.negated(), ResponseFn::fig11_biexponential());
+    }
+
+    #[test]
+    fn empty_response_is_trivial() {
+        let r = ResponseFn::from_steps(vec![], vec![]);
+        assert_eq!(r.amplitude(5), 0);
+        assert_eq!(r.peak_amplitude(), 0);
+        assert_eq!(r.t_max(), 0);
+        assert_eq!(r.final_value(), 0);
+        assert_eq!(r.step_count(), 0);
+    }
+
+    #[test]
+    fn display_mentions_steps() {
+        let r = ResponseFn::from_steps(vec![1], vec![2]);
+        assert_eq!(r.to_string(), "ups [1] downs [2]");
+    }
+
+    #[test]
+    #[should_panic(expected = "time constants")]
+    fn biexponential_validates_taus() {
+        let _ = ResponseFn::biexponential(5, 8.0, 2.0, 20);
+    }
+}

@@ -1,0 +1,427 @@
+//! Structural SRM0 construction from space-time primitives (§ IV.A.3, Fig. 12).
+//!
+//! The paper's central constructive claim: an SRM0 neuron with arbitrary
+//! discretized response functions is itself a space-time network. The
+//! construction:
+//!
+//! 1. each input spike is fanned out through `inc` gates, one per up/down
+//!    step of its (weighted) response function (Fig. 11 right);
+//! 2. all up-step wires enter one bitonic sorting network, all down-step
+//!    wires another;
+//! 3. a bank of `lt` gates checks whether the `θ+i`-th up step occurs
+//!    strictly before the `i+1`-th down step;
+//! 4. a final `min` picks the earliest such time — the first moment the
+//!    potential reaches the threshold — or `∞` if it never does.
+//!
+//! [`srm0_network`] realizes a fixed-weight neuron;
+//! [`ProgrammableSrm0`] additionally routes every response step through a
+//! micro-weight (Figs. 13–14), so synaptic weights can be re-programmed on
+//! the *built* network. Both are verified equivalent to the behavioral
+//! [`Srm0Neuron`] in the test and property suites.
+
+use st_core::Time;
+use st_net::microweight::{micro_weight_into, MicroWeight};
+use st_net::sorting::bitonic_sort_into;
+use st_net::{GateId, NetError, Network, NetworkBuilder};
+
+use crate::srm0::Srm0Neuron;
+
+/// Appends the Fig. 12 SRM0 network for `neuron` over existing input
+/// gates; returns the output spike gate.
+///
+/// # Panics
+///
+/// Panics if `inputs.len()` differs from the neuron's arity.
+#[must_use]
+pub fn srm0_into(
+    builder: &mut NetworkBuilder,
+    inputs: &[GateId],
+    neuron: &Srm0Neuron,
+) -> GateId {
+    assert_eq!(
+        inputs.len(),
+        neuron.synapses().len(),
+        "input count must match the neuron's synapse count"
+    );
+    let mut up_wires: Vec<GateId> = Vec::new();
+    let mut down_wires: Vec<GateId> = Vec::new();
+    for (i, (&x, syn)) in inputs.iter().zip(neuron.synapses()).enumerate() {
+        if syn.weight == 0 {
+            continue;
+        }
+        let delayed = builder.inc(x, syn.delay);
+        let response = neuron.synapse_response(i);
+        for &u in response.up_steps() {
+            up_wires.push(builder.inc(delayed, u));
+        }
+        for &d in response.down_steps() {
+            down_wires.push(builder.inc(delayed, d));
+        }
+    }
+    threshold_logic_into(builder, up_wires, down_wires, neuron.threshold())
+}
+
+/// The sorter + `lt`-bank + `min` threshold stage shared by the fixed and
+/// programmable constructions: fires at the first time the number of up
+/// events exceeds the number of down events by `theta`.
+pub(crate) fn threshold_logic_into(
+    builder: &mut NetworkBuilder,
+    up_wires: Vec<GateId>,
+    down_wires: Vec<GateId>,
+    theta: u32,
+) -> GateId {
+    let theta = theta as usize;
+    if up_wires.len() < theta {
+        // The potential can never reach θ.
+        return builder.constant(Time::INFINITY);
+    }
+    let sorted_ups = bitonic_sort_into(builder, &up_wires);
+    let sorted_downs = bitonic_sort_into(builder, &down_wires);
+    let mut candidates: Vec<GateId> = Vec::new();
+    let mut never: Option<GateId> = None;
+    for i in 0..=(sorted_ups.len() - theta) {
+        let up = sorted_ups[theta - 1 + i];
+        let down = match sorted_downs.get(i) {
+            Some(&d) => d,
+            None => *never.get_or_insert_with(|| builder.constant(Time::INFINITY)),
+        };
+        candidates.push(builder.lt(up, down));
+    }
+    builder.min(candidates).expect("theta ≥ 1 guarantees at least one candidate")
+}
+
+/// Builds a standalone network computing `neuron`'s output spike time from
+/// its input volley, using only space-time primitives.
+///
+/// # Examples
+///
+/// ```
+/// use st_core::{SpaceTimeFunction, Time};
+/// use st_neuron::{structural::srm0_network, ResponseFn, Srm0Neuron, Synapse};
+///
+/// let neuron = Srm0Neuron::new(
+///     ResponseFn::fig11_biexponential(),
+///     vec![Synapse::excitatory(1), Synapse::excitatory(1)],
+///     6,
+/// );
+/// let net = srm0_network(&neuron);
+/// let inputs = [Time::finite(0), Time::finite(0)];
+/// assert_eq!(net.eval(&inputs)?[0], neuron.eval(&inputs));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn srm0_network(neuron: &Srm0Neuron) -> Network {
+    let mut builder = NetworkBuilder::new();
+    let inputs = builder.inputs(neuron.synapses().len());
+    let out = srm0_into(&mut builder, &inputs, neuron);
+    builder.build([out])
+}
+
+/// A structural SRM0 whose synaptic weights are micro-weight-programmable
+/// on the built network (Figs. 12 + 13 + 14 combined).
+///
+/// Construction-time parameters fix the *capacity*: every synapse carries
+/// `max_weight` copies of the unit response, each copy's step wires gated
+/// by one micro-weight bank. Programming weight `w` on a synapse enables
+/// its first `w` banks. The sorting networks are sized for the worst case,
+/// so any weight vector in `0..=max_weight` is reachable without
+/// rebuilding — the hardware-configuration story of § IV.B.
+#[derive(Debug)]
+pub struct ProgrammableSrm0 {
+    network: Network,
+    /// `banks[synapse][copy]` = micro-weights gating that copy's steps.
+    banks: Vec<Vec<Vec<MicroWeight>>>,
+    max_weight: u32,
+    threshold: u32,
+}
+
+impl ProgrammableSrm0 {
+    /// Builds a programmable SRM0 with `n_inputs` synapses, all weights
+    /// initially 0 (silent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold == 0`, `n_inputs == 0`, or `max_weight == 0`.
+    #[must_use]
+    pub fn new(
+        unit_response: &crate::response::ResponseFn,
+        n_inputs: usize,
+        max_weight: u32,
+        threshold: u32,
+    ) -> ProgrammableSrm0 {
+        assert!(threshold > 0, "a zero threshold would fire spontaneously");
+        assert!(n_inputs > 0, "a neuron needs at least one input");
+        assert!(max_weight > 0, "max_weight must be positive");
+        let mut builder = NetworkBuilder::new();
+        let inputs = builder.inputs(n_inputs);
+        let mut banks: Vec<Vec<Vec<MicroWeight>>> = Vec::with_capacity(n_inputs);
+        let mut up_wires: Vec<GateId> = Vec::new();
+        let mut down_wires: Vec<GateId> = Vec::new();
+        for &x in &inputs {
+            let mut synapse_banks = Vec::with_capacity(max_weight as usize);
+            for _ in 0..max_weight {
+                let mut copy_weights = Vec::new();
+                for &u in unit_response.up_steps() {
+                    let delayed = builder.inc(x, u);
+                    let mw = micro_weight_into(&mut builder, delayed, false);
+                    copy_weights.push(mw);
+                    up_wires.push(mw.output());
+                }
+                for &d in unit_response.down_steps() {
+                    let delayed = builder.inc(x, d);
+                    let mw = micro_weight_into(&mut builder, delayed, false);
+                    copy_weights.push(mw);
+                    down_wires.push(mw.output());
+                }
+                synapse_banks.push(copy_weights);
+            }
+            banks.push(synapse_banks);
+        }
+        let out = threshold_logic_into(&mut builder, up_wires, down_wires, threshold);
+        let network = builder.build([out]);
+        ProgrammableSrm0 {
+            network,
+            banks,
+            max_weight,
+            threshold,
+        }
+    }
+
+    /// The underlying network (single output line).
+    #[must_use]
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// The configured weight capacity.
+    #[must_use]
+    pub fn max_weight(&self) -> u32 {
+        self.max_weight
+    }
+
+    /// The firing threshold.
+    #[must_use]
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// Programs synapse `index` to `weight` by enabling its first `weight`
+    /// micro-weight banks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetError`] if reconfiguration fails (cannot happen for
+    /// handles created by this constructor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or `weight > max_weight`.
+    pub fn set_weight(&mut self, index: usize, weight: u32) -> Result<(), NetError> {
+        assert!(
+            weight <= self.max_weight,
+            "weight {weight} exceeds capacity {}",
+            self.max_weight
+        );
+        let synapse_banks = &self.banks[index];
+        for (copy, bank) in synapse_banks.iter().enumerate() {
+            let enabled = (copy as u32) < weight;
+            for mw in bank {
+                mw.set_enabled(&mut self.network, enabled)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Programs all synapses at once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetError`] from [`ProgrammableSrm0::set_weight`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len()` differs from the synapse count.
+    pub fn set_weights(&mut self, weights: &[u32]) -> Result<(), NetError> {
+        assert_eq!(weights.len(), self.banks.len(), "one weight per synapse");
+        for (i, &w) in weights.iter().enumerate() {
+            self.set_weight(i, w)?;
+        }
+        Ok(())
+    }
+
+    /// Evaluates the programmed neuron on an input volley.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`st_core::CoreError::ArityMismatch`] on a wrong-width volley.
+    pub fn eval(&self, inputs: &[Time]) -> Result<Time, st_core::CoreError> {
+        Ok(self.network.eval(inputs)?[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::response::ResponseFn;
+    use crate::srm0::Synapse;
+    use st_core::{enumerate_inputs, verify_space_time};
+    use st_net::gate_counts;
+
+    fn t(v: u64) -> Time {
+        Time::finite(v)
+    }
+
+    fn fig11_neuron(weights: &[i32], threshold: u32) -> Srm0Neuron {
+        Srm0Neuron::new(
+            ResponseFn::fig11_biexponential(),
+            weights.iter().map(|&w| Synapse::new(0, w)).collect(),
+            threshold,
+        )
+    }
+
+    fn assert_equivalent(neuron: &Srm0Neuron, window: u64) {
+        let net = srm0_network(neuron);
+        for inputs in enumerate_inputs(neuron.synapses().len(), window) {
+            assert_eq!(
+                net.eval(&inputs).unwrap()[0],
+                neuron.eval(&inputs),
+                "neuron {neuron:?} at {inputs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig12_single_input_equivalence() {
+        for theta in [1, 2, 4, 5, 6] {
+            assert_equivalent(&fig11_neuron(&[1], theta), 8);
+        }
+    }
+
+    #[test]
+    fn fig12_two_input_equivalence() {
+        for theta in [2, 4, 6, 8] {
+            assert_equivalent(&fig11_neuron(&[1, 1], theta), 5);
+        }
+    }
+
+    #[test]
+    fn fig12_weighted_equivalence() {
+        assert_equivalent(&fig11_neuron(&[2, 1], 7), 4);
+        assert_equivalent(&fig11_neuron(&[3], 11), 6);
+    }
+
+    #[test]
+    fn fig12_with_inhibition_equivalence() {
+        assert_equivalent(&fig11_neuron(&[2, -1], 4), 4);
+    }
+
+    #[test]
+    fn fig12_with_delays_equivalence() {
+        let neuron = Srm0Neuron::new(
+            ResponseFn::fig11_biexponential(),
+            vec![Synapse::new(2, 1), Synapse::new(0, 1)],
+            5,
+        );
+        assert_equivalent(&neuron, 4);
+    }
+
+    #[test]
+    fn fig12_piecewise_linear_equivalence() {
+        let neuron = Srm0Neuron::new(
+            ResponseFn::piecewise_linear(3, 2, 5),
+            vec![Synapse::excitatory(1), Synapse::excitatory(2)],
+            5,
+        );
+        assert_equivalent(&neuron, 4);
+    }
+
+    #[test]
+    fn fig12_non_leaky_equivalence() {
+        let neuron = Srm0Neuron::new(
+            ResponseFn::step(1),
+            vec![Synapse::excitatory(1), Synapse::excitatory(1), Synapse::excitatory(1)],
+            2,
+        );
+        assert_equivalent(&neuron, 3);
+    }
+
+    #[test]
+    fn unreachable_threshold_synthesizes_constant_infinity() {
+        // One input of weight 1 has 5 up steps; θ = 7 is unreachable.
+        let neuron = fig11_neuron(&[1], 7);
+        let net = srm0_network(&neuron);
+        for inputs in enumerate_inputs(1, 6) {
+            assert_eq!(net.eval(&inputs).unwrap()[0], Time::INFINITY);
+        }
+    }
+
+    #[test]
+    fn structural_network_is_a_space_time_function() {
+        let net = srm0_network(&fig11_neuron(&[1, 1], 4));
+        verify_space_time(&net.as_function(0), 3, 2, None).unwrap();
+    }
+
+    #[test]
+    fn structural_network_uses_only_primitives() {
+        let net = srm0_network(&fig11_neuron(&[1, 1], 4));
+        let c = gate_counts(&net);
+        // min/max (sorters + final min), lt (threshold bank), inc (fanout).
+        assert!(c.min > 0 && c.max > 0 && c.lt > 0 && c.inc > 0);
+        assert_eq!(c.operators() + c.inputs + c.constants, net.gate_count());
+    }
+
+    #[test]
+    fn programmable_matches_behavioral_across_weight_settings() {
+        let unit = ResponseFn::fig11_biexponential();
+        let mut prog = ProgrammableSrm0::new(&unit, 2, 2, 5);
+        for w0 in 0..=2u32 {
+            for w1 in 0..=2u32 {
+                prog.set_weights(&[w0, w1]).unwrap();
+                let behavioral = Srm0Neuron::new(
+                    unit.clone(),
+                    vec![Synapse::new(0, w0 as i32), Synapse::new(0, w1 as i32)],
+                    5,
+                );
+                for inputs in enumerate_inputs(2, 3) {
+                    assert_eq!(
+                        prog.eval(&inputs).unwrap(),
+                        behavioral.eval(&inputs),
+                        "weights ({w0},{w1}) at {inputs:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn programmable_reprogramming_is_idempotent() {
+        let unit = ResponseFn::piecewise_linear(2, 1, 3);
+        let mut prog = ProgrammableSrm0::new(&unit, 1, 3, 2);
+        prog.set_weight(0, 3).unwrap();
+        let full = prog.eval(&[t(0)]).unwrap();
+        prog.set_weight(0, 0).unwrap();
+        assert_eq!(prog.eval(&[t(0)]).unwrap(), Time::INFINITY);
+        prog.set_weight(0, 3).unwrap();
+        assert_eq!(prog.eval(&[t(0)]).unwrap(), full);
+        assert_eq!(prog.max_weight(), 3);
+        assert_eq!(prog.threshold(), 2);
+        assert!(prog.network().gate_count() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn programmable_rejects_overweight() {
+        let unit = ResponseFn::step(1);
+        let mut prog = ProgrammableSrm0::new(&unit, 1, 1, 1);
+        let _ = prog.set_weight(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn srm0_into_checks_width() {
+        let neuron = fig11_neuron(&[1, 1], 2);
+        let mut b = NetworkBuilder::new();
+        let xs = b.inputs(1);
+        let _ = srm0_into(&mut b, &xs, &neuron);
+    }
+}

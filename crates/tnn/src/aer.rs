@@ -1,0 +1,353 @@
+//! Address-Event Representation (AER) streams.
+//!
+//! AER is the interchange format the paper's Fig. 4 system front-ends use
+//! (§ II.C, after Deiss et al.): instead of sampling every line every
+//! tick, a sensor transmits one `(address, time)` record per spike — "an
+//! efficient way of transmitting sparse spike timing information". This
+//! module converts between AER streams and [`Volley`]s, including the
+//! windowed chunking that turns a continuous event stream into the
+//! one-wave-per-computation volleys a feedforward TNN consumes.
+
+use core::fmt;
+use core::str::FromStr;
+
+use st_core::{Time, Volley};
+
+/// One address-event record: line `address` spiked at `time`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AerEvent {
+    /// Event timestamp (finite by construction; AER never transmits the
+    /// absence of a spike).
+    pub time: u64,
+    /// The spiking line.
+    pub address: usize,
+}
+
+impl fmt::Display for AerEvent {
+    /// The conventional `address@time` spelling.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.address, self.time)
+    }
+}
+
+/// Error parsing an [`AerEvent`] from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAerError {
+    input: String,
+}
+
+impl fmt::Display for ParseAerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid AER event literal: {:?}", self.input)
+    }
+}
+
+impl std::error::Error for ParseAerError {}
+
+impl FromStr for AerEvent {
+    type Err = ParseAerError;
+
+    fn from_str(s: &str) -> Result<AerEvent, ParseAerError> {
+        let err = || ParseAerError { input: s.to_owned() };
+        let (addr, time) = s.trim().split_once('@').ok_or_else(err)?;
+        Ok(AerEvent {
+            address: addr.trim().parse().map_err(|_| err())?,
+            time: time.trim().parse().map_err(|_| err())?,
+        })
+    }
+}
+
+/// A time-ordered stream of address events over a fixed number of lines.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AerStream {
+    width: usize,
+    events: Vec<AerEvent>,
+}
+
+impl AerStream {
+    /// An empty stream over `width` lines.
+    #[must_use]
+    pub fn new(width: usize) -> AerStream {
+        AerStream {
+            width,
+            events: Vec::new(),
+        }
+    }
+
+    /// Builds a stream from records, sorting them by time (then address).
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending event if its address is out of range.
+    pub fn from_events(width: usize, mut events: Vec<AerEvent>) -> Result<AerStream, AerEvent> {
+        if let Some(&bad) = events.iter().find(|e| e.address >= width) {
+            return Err(bad);
+        }
+        events.sort_unstable();
+        Ok(AerStream { width, events })
+    }
+
+    /// Encodes one volley as an event stream — the sparse wire format:
+    /// only spiking lines produce records.
+    #[must_use]
+    pub fn from_volley(volley: &Volley) -> AerStream {
+        let mut events: Vec<AerEvent> = volley
+            .times()
+            .iter()
+            .enumerate()
+            .filter_map(|(address, t)| t.value().map(|time| AerEvent { time, address }))
+            .collect();
+        events.sort_unstable();
+        AerStream {
+            width: volley.width(),
+            events,
+        }
+    }
+
+    /// The number of lines.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The records, in time order.
+    #[must_use]
+    pub fn events(&self) -> &[AerEvent] {
+        &self.events
+    }
+
+    /// The number of records — the stream's transmission cost, which is
+    /// the paper's sparsity argument in I/O form.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the stream carries no events.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The time span `[first, last]` of the stream, if nonempty.
+    #[must_use]
+    pub fn span(&self) -> Option<(u64, u64)> {
+        match (self.events.first(), self.events.last()) {
+            (Some(a), Some(b)) => Some((a.time, b.time)),
+            _ => None,
+        }
+    }
+
+    /// Appends a record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is out of range.
+    pub fn push(&mut self, event: AerEvent) {
+        assert!(
+            event.address < self.width,
+            "address {} out of range (width {})",
+            event.address,
+            self.width
+        );
+        let pos = self.events.partition_point(|e| *e <= event);
+        self.events.insert(pos, event);
+    }
+
+    /// Collapses the stream into one volley: each line spikes at its
+    /// *earliest* event (later duplicates on a line are dropped, matching
+    /// the TNN convention of at most one spike per line per wave).
+    #[must_use]
+    pub fn to_volley(&self) -> Volley {
+        let mut times = vec![Time::INFINITY; self.width];
+        for e in &self.events {
+            let t = Time::finite(e.time);
+            if t < times[e.address] {
+                times[e.address] = t;
+            }
+        }
+        Volley::new(times)
+    }
+
+    /// Splits a continuous stream into consecutive `window`-tick volleys:
+    /// chunk `k` covers times `[k·window, (k+1)·window)` with chunk-local
+    /// times. Trailing silence produces no chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    #[must_use]
+    pub fn chunk(&self, window: u64) -> Vec<Volley> {
+        assert!(window > 0, "window must be positive");
+        let Some((_, last)) = self.span() else {
+            return Vec::new();
+        };
+        let chunks = (last / window + 1) as usize;
+        let mut volleys = vec![vec![Time::INFINITY; self.width]; chunks];
+        for e in &self.events {
+            let k = (e.time / window) as usize;
+            let local = Time::finite(e.time % window);
+            if local < volleys[k][e.address] {
+                volleys[k][e.address] = local;
+            }
+        }
+        volleys.into_iter().map(Volley::new).collect()
+    }
+
+    /// The stream shifted later by `delta` ticks.
+    #[must_use]
+    pub fn shift(&self, delta: u64) -> AerStream {
+        AerStream {
+            width: self.width,
+            events: self
+                .events
+                .iter()
+                .map(|e| AerEvent {
+                    time: e.time + delta,
+                    address: e.address,
+                })
+                .collect(),
+        }
+    }
+
+    /// Merges two streams over the same lines into one time-ordered
+    /// stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    #[must_use]
+    pub fn merge(&self, other: &AerStream) -> AerStream {
+        assert_eq!(self.width, other.width, "streams must share their width");
+        let mut events = self.events.clone();
+        events.extend_from_slice(&other.events);
+        events.sort_unstable();
+        AerStream {
+            width: self.width,
+            events,
+        }
+    }
+}
+
+impl fmt::Display for AerStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "aer[{}]:", self.width)?;
+        for e in &self.events {
+            write!(f, " {e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(address: usize, time: u64) -> AerEvent {
+        AerEvent { address, time }
+    }
+
+    #[test]
+    fn volley_round_trip() {
+        let v = Volley::encode([Some(0), Some(3), None, Some(1)]);
+        let stream = AerStream::from_volley(&v);
+        assert_eq!(stream.len(), 3); // sparse: one record per spike
+        assert_eq!(stream.width(), 4);
+        assert_eq!(stream.to_volley(), v);
+        assert_eq!(stream.span(), Some((0, 3)));
+    }
+
+    #[test]
+    fn events_are_time_ordered() {
+        let stream =
+            AerStream::from_events(3, vec![ev(2, 5), ev(0, 1), ev(1, 3)]).unwrap();
+        let times: Vec<u64> = stream.events().iter().map(|e| e.time).collect();
+        assert_eq!(times, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn out_of_range_address_rejected() {
+        assert_eq!(
+            AerStream::from_events(2, vec![ev(2, 0)]),
+            Err(ev(2, 0))
+        );
+    }
+
+    #[test]
+    fn duplicate_line_events_keep_the_earliest() {
+        let stream =
+            AerStream::from_events(2, vec![ev(0, 4), ev(0, 1), ev(1, 2)]).unwrap();
+        let v = stream.to_volley();
+        assert_eq!(v[0], Time::finite(1));
+        assert_eq!(v[1], Time::finite(2));
+    }
+
+    #[test]
+    fn push_keeps_order() {
+        let mut stream = AerStream::new(3);
+        assert!(stream.is_empty());
+        stream.push(ev(1, 5));
+        stream.push(ev(0, 2));
+        stream.push(ev(2, 5));
+        let order: Vec<AerEvent> = stream.events().to_vec();
+        assert_eq!(order, vec![ev(0, 2), ev(1, 5), ev(2, 5)]);
+    }
+
+    #[test]
+    fn chunking_windows_a_long_stream() {
+        // Two traversal bursts 8 ticks apart.
+        let stream = AerStream::from_events(
+            2,
+            vec![ev(0, 0), ev(1, 2), ev(0, 8), ev(1, 11)],
+        )
+        .unwrap();
+        let chunks = stream.chunk(8);
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[0][0], Time::ZERO);
+        assert_eq!(chunks[0][1], Time::finite(2));
+        assert_eq!(chunks[1][0], Time::ZERO);
+        assert_eq!(chunks[1][1], Time::finite(3));
+    }
+
+    #[test]
+    fn empty_stream_chunks_to_nothing() {
+        assert!(AerStream::new(4).chunk(8).is_empty());
+        assert_eq!(AerStream::new(4).span(), None);
+        assert_eq!(AerStream::new(4).to_volley(), Volley::silent(4));
+    }
+
+    #[test]
+    fn shift_and_merge() {
+        let a = AerStream::from_events(2, vec![ev(0, 0)]).unwrap();
+        let b = AerStream::from_events(2, vec![ev(1, 1)]).unwrap();
+        let merged = a.merge(&b.shift(4));
+        let times: Vec<(usize, u64)> =
+            merged.events().iter().map(|e| (e.address, e.time)).collect();
+        assert_eq!(times, vec![(0, 0), (1, 5)]);
+    }
+
+    #[test]
+    fn text_format_round_trips() {
+        let e = ev(7, 42);
+        assert_eq!(e.to_string(), "7@42");
+        assert_eq!("7@42".parse::<AerEvent>(), Ok(e));
+        assert_eq!(" 7 @ 42 ".parse::<AerEvent>(), Ok(e));
+        assert!("7:42".parse::<AerEvent>().is_err());
+        assert!("x@42".parse::<AerEvent>().is_err());
+        let err = "bogus".parse::<AerEvent>().unwrap_err();
+        assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn display_lists_events() {
+        let stream = AerStream::from_events(2, vec![ev(0, 1), ev(1, 3)]).unwrap();
+        assert_eq!(stream.to_string(), "aer[2]: 0@1 1@3");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn push_validates_address() {
+        let mut stream = AerStream::new(1);
+        stream.push(ev(3, 0));
+    }
+}

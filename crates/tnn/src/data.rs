@@ -1,0 +1,527 @@
+//! Synthetic spike-pattern workloads.
+//!
+//! The TNN literature the paper builds on evaluates on sensory streams —
+//! natural images (Masquelier-Thorpe), DVS freeway recordings (Bichler,
+//! Fig. 4). Those recordings are not redistributable, so this module
+//! generates synthetic equivalents with the same statistical structure the
+//! learning results depend on:
+//!
+//! * [`PatternDataset`] — repeating spatiotemporal spike patterns embedded
+//!   among noise volleys, with optional jitter (the Guyonneau/Masquelier
+//!   setting behind experiment E14);
+//! * [`ClusterDataset`] — latency-encoded feature clusters for
+//!   classification sweeps (E16);
+//! * [`TrajectoryDataset`] — an AER-style event stream of objects moving
+//!   along lanes, chunked into volleys (the Bichler Fig. 4 setting, E15).
+//!
+//! All generators are deterministic given a seed.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use st_core::{Time, Volley};
+use st_neuron::LatencyEncoder;
+
+/// A labelled volley: the sample plus the identity of its source pattern
+/// (`None` for background noise).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelledVolley {
+    /// The input volley.
+    pub volley: Volley,
+    /// Which pattern (class) generated it, if any.
+    pub label: Option<usize>,
+}
+
+/// Generator of noisy volleys containing embedded repeating patterns.
+#[derive(Debug)]
+pub struct PatternDataset {
+    patterns: Vec<Volley>,
+    width: usize,
+    window: u64,
+    jitter: u64,
+    noise_density: f64,
+    rng: StdRng,
+}
+
+impl PatternDataset {
+    /// Creates a dataset of `n_patterns` random patterns over `width`
+    /// lines and a `window`-tick volley span.
+    ///
+    /// Each pattern spikes on roughly half its lines at uniform times in
+    /// `0..=window`. `jitter` is the per-presentation timing noise (± up
+    /// to `jitter` ticks); `noise_density` is the per-line spike
+    /// probability of background (non-pattern) volleys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_patterns == 0`, `width == 0`, or
+    /// `noise_density ∉ [0, 1]`.
+    #[must_use]
+    pub fn new(
+        n_patterns: usize,
+        width: usize,
+        window: u64,
+        jitter: u64,
+        noise_density: f64,
+        seed: u64,
+    ) -> PatternDataset {
+        assert!(n_patterns > 0, "need at least one pattern");
+        assert!(width > 0, "need at least one line");
+        assert!(
+            (0.0..=1.0).contains(&noise_density),
+            "noise density must be a probability"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let patterns = (0..n_patterns)
+            .map(|_| {
+                // Guarantee a normalized pattern: one line spikes at 0.
+                let anchor = rng.random_range(0..width);
+                (0..width)
+                    .map(|i| {
+                        if i == anchor {
+                            Time::ZERO
+                        } else if rng.random_bool(0.5) {
+                            Time::finite(rng.random_range(0..=window))
+                        } else {
+                            Time::INFINITY
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        PatternDataset {
+            patterns,
+            width,
+            window,
+            jitter,
+            noise_density,
+            rng,
+        }
+    }
+
+    /// Creates a dataset whose patterns occupy *disjoint* line blocks:
+    /// pattern `k` spikes on lines `k·block .. (k+1)·block` (at uniform
+    /// times in `0..=window`, earliest normalized to 0) and nowhere else.
+    /// Width is `n_patterns × block`.
+    ///
+    /// Disjoint support makes class structure unambiguous — useful for
+    /// layered-training tests and as the easy end of difficulty sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_patterns == 0`, `block == 0`, or
+    /// `noise_density ∉ [0, 1]`.
+    #[must_use]
+    pub fn disjoint(
+        n_patterns: usize,
+        block: usize,
+        window: u64,
+        jitter: u64,
+        noise_density: f64,
+        seed: u64,
+    ) -> PatternDataset {
+        assert!(n_patterns > 0, "need at least one pattern");
+        assert!(block > 0, "need at least one line per pattern");
+        assert!(
+            (0.0..=1.0).contains(&noise_density),
+            "noise density must be a probability"
+        );
+        let width = n_patterns * block;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let patterns = (0..n_patterns)
+            .map(|k| {
+                let mut times = vec![Time::INFINITY; width];
+                for i in 0..block {
+                    times[k * block + i] = Time::finite(rng.random_range(0..=window));
+                }
+                Volley::new(times).normalize()
+            })
+            .collect();
+        PatternDataset {
+            patterns,
+            width,
+            window,
+            jitter,
+            noise_density,
+            rng,
+        }
+    }
+
+    /// The embedded (noise-free) patterns.
+    #[must_use]
+    pub fn patterns(&self) -> &[Volley] {
+        &self.patterns
+    }
+
+    /// The number of lines per volley.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The volley time window.
+    #[must_use]
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// One presentation of pattern `label`, with fresh jitter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is out of range.
+    pub fn present(&mut self, label: usize) -> LabelledVolley {
+        let jitter = self.jitter;
+        let pattern = self.patterns[label].clone();
+        let volley = pattern
+            .times()
+            .iter()
+            .map(|&t| match t.value() {
+                None => Time::INFINITY,
+                Some(v) => {
+                    let lo = v.saturating_sub(jitter);
+                    let hi = v + jitter;
+                    Time::finite(self.rng.random_range(lo..=hi))
+                }
+            })
+            .collect();
+        LabelledVolley {
+            volley,
+            label: Some(label),
+        }
+    }
+
+    /// One background-noise volley (no embedded pattern).
+    pub fn noise(&mut self) -> LabelledVolley {
+        let volley = (0..self.width)
+            .map(|_| {
+                if self.rng.random_bool(self.noise_density) {
+                    Time::finite(self.rng.random_range(0..=self.window))
+                } else {
+                    Time::INFINITY
+                }
+            })
+            .collect();
+        LabelledVolley { volley, label: None }
+    }
+
+    /// A training stream: each item is a uniformly chosen pattern with
+    /// probability `pattern_prob`, otherwise noise.
+    pub fn stream(&mut self, len: usize, pattern_prob: f64) -> Vec<LabelledVolley> {
+        (0..len)
+            .map(|_| {
+                if self.rng.random_bool(pattern_prob) {
+                    let label = self.rng.random_range(0..self.patterns.len());
+                    self.present(label)
+                } else {
+                    self.noise()
+                }
+            })
+            .collect()
+    }
+}
+
+/// Latency-encoded feature clusters: `k` random centers in `[0,1]^d` with
+/// uniform perturbation, encoded at a configurable temporal resolution.
+#[derive(Debug)]
+pub struct ClusterDataset {
+    centers: Vec<Vec<f64>>,
+    spread: f64,
+    encoder: LatencyEncoder,
+    rng: StdRng,
+}
+
+impl ClusterDataset {
+    /// Creates `k` cluster centers in `[0,1]^dim`; samples perturb each
+    /// coordinate by up to `±spread` before latency encoding at
+    /// `bits` of temporal resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `dim == 0`.
+    #[must_use]
+    pub fn new(k: usize, dim: usize, spread: f64, bits: u32, seed: u64) -> ClusterDataset {
+        assert!(k > 0 && dim > 0, "need at least one center and one dimension");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers = (0..k)
+            .map(|_| (0..dim).map(|_| rng.random_range(0.0..1.0)).collect())
+            .collect();
+        ClusterDataset {
+            centers,
+            spread,
+            encoder: LatencyEncoder::new(bits),
+            rng,
+        }
+    }
+
+    /// The number of clusters.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// The feature dimensionality (= volley width).
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.centers[0].len()
+    }
+
+    /// The encoder in use.
+    #[must_use]
+    pub fn encoder(&self) -> LatencyEncoder {
+        self.encoder
+    }
+
+    /// One sample from cluster `label`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is out of range.
+    pub fn sample(&mut self, label: usize) -> LabelledVolley {
+        let center = self.centers[label].clone();
+        let features: Vec<f64> = center
+            .iter()
+            .map(|&c| {
+                let delta = self.rng.random_range(-self.spread..=self.spread);
+                (c + delta).clamp(0.0, 1.0)
+            })
+            .collect();
+        LabelledVolley {
+            volley: self.encoder.encode_volley(&features),
+            label: Some(label),
+        }
+    }
+
+    /// A stream of uniformly chosen cluster samples.
+    pub fn stream(&mut self, len: usize) -> Vec<LabelledVolley> {
+        (0..len)
+            .map(|_| {
+                let label = self.rng.random_range(0..self.centers.len());
+                self.sample(label)
+            })
+            .collect()
+    }
+}
+
+/// AER-style trajectory workload (the Bichler Fig. 4 setting): a sensor
+/// grid of `lanes × positions` pixels; an object traverses one lane,
+/// emitting one event per position as it passes. Each traversal is one
+/// volley over the flattened grid, labelled by lane.
+#[derive(Debug)]
+pub struct TrajectoryDataset {
+    lanes: usize,
+    positions: usize,
+    jitter: u64,
+    drop_prob: f64,
+    rng: StdRng,
+}
+
+impl TrajectoryDataset {
+    /// Creates a grid with the given shape. `jitter` perturbs event times;
+    /// `drop_prob` is the chance a pixel event is lost (sensor noise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes == 0` or `positions == 0`.
+    #[must_use]
+    pub fn new(
+        lanes: usize,
+        positions: usize,
+        jitter: u64,
+        drop_prob: f64,
+        seed: u64,
+    ) -> TrajectoryDataset {
+        assert!(lanes > 0 && positions > 0, "grid must be non-empty");
+        TrajectoryDataset {
+            lanes,
+            positions,
+            jitter,
+            drop_prob,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The volley width: one line per pixel, `lanes × positions`.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.lanes * self.positions
+    }
+
+    /// The number of lanes (classes).
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// One traversal of `lane`: pixel `(lane, p)` spikes near time `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane` is out of range.
+    pub fn traverse(&mut self, lane: usize) -> LabelledVolley {
+        assert!(lane < self.lanes, "lane {lane} out of range");
+        let mut times = vec![Time::INFINITY; self.width()];
+        for p in 0..self.positions {
+            if self.rng.random_bool(self.drop_prob) {
+                continue;
+            }
+            let base = p as u64;
+            let lo = base.saturating_sub(self.jitter);
+            let hi = base + self.jitter;
+            times[lane * self.positions + p] = Time::finite(self.rng.random_range(lo..=hi));
+        }
+        LabelledVolley {
+            volley: Volley::new(times),
+            label: Some(lane),
+        }
+    }
+
+    /// A stream of traversals on uniformly chosen lanes.
+    pub fn stream(&mut self, len: usize) -> Vec<LabelledVolley> {
+        (0..len)
+            .map(|_| {
+                let lane = self.rng.random_range(0..self.lanes);
+                self.traverse(lane)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patterns_are_deterministic_per_seed() {
+        let a = PatternDataset::new(3, 8, 7, 1, 0.2, 11);
+        let b = PatternDataset::new(3, 8, 7, 1, 0.2, 11);
+        assert_eq!(a.patterns(), b.patterns());
+        let c = PatternDataset::new(3, 8, 7, 1, 0.2, 12);
+        assert_ne!(a.patterns(), c.patterns());
+    }
+
+    #[test]
+    fn patterns_are_normalized_and_sized() {
+        let ds = PatternDataset::new(4, 10, 7, 0, 0.2, 5);
+        assert_eq!(ds.width(), 10);
+        assert_eq!(ds.window(), 7);
+        for p in ds.patterns() {
+            assert_eq!(p.width(), 10);
+            assert_eq!(p.first_spike(), Time::ZERO);
+            assert!(p.fits_window(7));
+        }
+    }
+
+    #[test]
+    fn zero_jitter_presentations_reproduce_the_pattern() {
+        let mut ds = PatternDataset::new(2, 6, 5, 0, 0.2, 7);
+        let expected = ds.patterns()[1].clone();
+        let got = ds.present(1);
+        assert_eq!(got.volley, expected);
+        assert_eq!(got.label, Some(1));
+    }
+
+    #[test]
+    fn jitter_stays_within_bound() {
+        let mut ds = PatternDataset::new(1, 12, 6, 2, 0.2, 9);
+        let pattern = ds.patterns()[0].clone();
+        for _ in 0..50 {
+            let p = ds.present(0);
+            for (a, b) in pattern.times().iter().zip(p.volley.times()) {
+                match (a.value(), b.value()) {
+                    (None, None) => {}
+                    (Some(x), Some(y)) => {
+                        assert!(y.abs_diff(x) <= 2, "jitter exceeded: {x} vs {y}")
+                    }
+                    other => panic!("spike presence changed: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn noise_volleys_have_no_label() {
+        let mut ds = PatternDataset::new(1, 20, 7, 0, 0.5, 3);
+        let n = ds.noise();
+        assert_eq!(n.label, None);
+        assert_eq!(n.volley.width(), 20);
+        // Density 0 noise is silent, density 1 is all-spikes.
+        let mut quiet = PatternDataset::new(1, 20, 7, 0, 0.0, 3);
+        assert_eq!(quiet.noise().volley.spike_count(), 0);
+        let mut loud = PatternDataset::new(1, 20, 7, 0, 1.0, 3);
+        assert_eq!(loud.noise().volley.spike_count(), 20);
+    }
+
+    #[test]
+    fn stream_mixes_patterns_and_noise() {
+        let mut ds = PatternDataset::new(2, 8, 7, 0, 0.3, 21);
+        let s = ds.stream(200, 0.5);
+        assert_eq!(s.len(), 200);
+        let labelled = s.iter().filter(|v| v.label.is_some()).count();
+        assert!((50..150).contains(&labelled), "labelled {labelled}");
+    }
+
+    #[test]
+    fn cluster_samples_encode_near_their_center() {
+        let mut ds = ClusterDataset::new(3, 6, 0.0, 4, 13);
+        assert_eq!(ds.k(), 3);
+        assert_eq!(ds.dim(), 6);
+        // Zero spread: identical samples per label.
+        let a = ds.sample(1);
+        let b = ds.sample(1);
+        assert_eq!(a.volley, b.volley);
+        assert_eq!(a.label, Some(1));
+        // Different labels give (almost surely) different volleys.
+        let c = ds.sample(2);
+        assert_ne!(a.volley, c.volley);
+    }
+
+    #[test]
+    fn cluster_stream_covers_labels() {
+        let mut ds = ClusterDataset::new(3, 4, 0.05, 3, 17);
+        let s = ds.stream(120);
+        for k in 0..3 {
+            assert!(s.iter().any(|v| v.label == Some(k)), "label {k} missing");
+        }
+    }
+
+    #[test]
+    fn trajectory_events_follow_the_lane() {
+        let mut ds = TrajectoryDataset::new(3, 5, 0, 0.0, 19);
+        assert_eq!(ds.width(), 15);
+        assert_eq!(ds.lanes(), 3);
+        let t1 = ds.traverse(1);
+        assert_eq!(t1.label, Some(1));
+        // Exactly the 5 pixels of lane 1 spike, in position order.
+        assert_eq!(t1.volley.spike_count(), 5);
+        for p in 0..5 {
+            assert_eq!(t1.volley[5 + p], Time::finite(p as u64));
+        }
+        for i in 0..5 {
+            assert!(t1.volley[i].is_infinite());
+            assert!(t1.volley[10 + i].is_infinite());
+        }
+    }
+
+    #[test]
+    fn trajectory_drops_events() {
+        let mut ds = TrajectoryDataset::new(2, 50, 0, 0.5, 23);
+        let t = ds.traverse(0);
+        let spikes = t.volley.spike_count();
+        assert!((10..45).contains(&spikes), "spikes {spikes}");
+    }
+
+    #[test]
+    fn trajectory_stream_is_labelled() {
+        let mut ds = TrajectoryDataset::new(4, 6, 1, 0.1, 29);
+        let s = ds.stream(40);
+        assert_eq!(s.len(), 40);
+        assert!(s.iter().all(|v| v.label.is_some()));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn trajectory_lane_bounds_checked() {
+        let mut ds = TrajectoryDataset::new(2, 3, 0, 0.0, 1);
+        let _ = ds.traverse(2);
+    }
+}

@@ -1,0 +1,271 @@
+//! Synthetic oriented-bar images, latency-encoded — the visual workload
+//! family of the state-of-the-art TNNs the paper cites (§ II.C,
+//! Kheradpisheh et al.; Masquelier-Thorpe), whose first cortical layer
+//! learns oriented edge detectors.
+//!
+//! An [`OrientedBarDataset`] generates square binary images containing one
+//! bar at one of four orientations (the class), with optional positional
+//! shift and pixel noise, and latency-encodes them (bright = early) into
+//! volleys for TNN training.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use st_core::Volley;
+use st_neuron::LatencyEncoder;
+
+use crate::data::LabelledVolley;
+
+/// The four bar orientations (= classes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Orientation {
+    /// `—` a horizontal bar.
+    Horizontal,
+    /// `|` a vertical bar.
+    Vertical,
+    /// `\` the main diagonal.
+    Diagonal,
+    /// `/` the anti-diagonal.
+    AntiDiagonal,
+}
+
+impl Orientation {
+    /// All four orientations, index-aligned with class labels.
+    pub const ALL: [Orientation; 4] = [
+        Orientation::Horizontal,
+        Orientation::Vertical,
+        Orientation::Diagonal,
+        Orientation::AntiDiagonal,
+    ];
+}
+
+/// Generator of latency-encoded oriented-bar images.
+#[derive(Debug)]
+pub struct OrientedBarDataset {
+    size: usize,
+    shift: usize,
+    noise: f64,
+    encoder: LatencyEncoder,
+    rng: StdRng,
+}
+
+impl OrientedBarDataset {
+    /// Creates a generator of `size × size` images. Bars shift by up to
+    /// `±shift` pixels per sample; each background pixel lights up with
+    /// probability `noise`; encoding uses `bits` of temporal resolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size < 3`, `shift` doesn't leave the bar in frame, or
+    /// `noise ∉ [0, 1]`.
+    #[must_use]
+    pub fn new(size: usize, shift: usize, noise: f64, bits: u32, seed: u64) -> OrientedBarDataset {
+        assert!(size >= 3, "images must be at least 3×3");
+        assert!(shift < size / 2, "shift must keep the bar in frame");
+        assert!((0.0..=1.0).contains(&noise), "noise must be a probability");
+        OrientedBarDataset {
+            size,
+            shift,
+            noise,
+            encoder: LatencyEncoder::new(bits),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Image side length.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The volley width (`size²`).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.size * self.size
+    }
+
+    /// The number of classes (4 orientations).
+    #[must_use]
+    pub fn n_classes(&self) -> usize {
+        Orientation::ALL.len()
+    }
+
+    /// Renders one noiseless, centered prototype image of an orientation
+    /// as pixel intensities.
+    #[must_use]
+    pub fn prototype(&self, orientation: Orientation) -> Vec<f64> {
+        self.render(orientation, 0, 0.0, None)
+    }
+
+    fn render(
+        &self,
+        orientation: Orientation,
+        offset: i64,
+        noise: f64,
+        rng: Option<&mut StdRng>,
+    ) -> Vec<f64> {
+        let n = self.size as i64;
+        let mid = n / 2;
+        let mut pixels = vec![0.0f64; self.size * self.size];
+        for k in 0..n {
+            let (r, c) = match orientation {
+                Orientation::Horizontal => (mid + offset, k),
+                Orientation::Vertical => (k, mid + offset),
+                Orientation::Diagonal => (k, (k + offset).rem_euclid(n)),
+                Orientation::AntiDiagonal => (k, (n - 1 - k + offset).rem_euclid(n)),
+            };
+            if (0..n).contains(&r) && (0..n).contains(&c) {
+                pixels[(r * n + c) as usize] = 1.0;
+            }
+        }
+        if let Some(rng) = rng {
+            for p in &mut pixels {
+                if *p == 0.0 && rng.random_bool(noise) {
+                    *p = rng.random_range(0.3..0.8);
+                }
+            }
+        }
+        pixels
+    }
+
+    /// One labelled sample of the given orientation.
+    pub fn sample_of(&mut self, orientation: Orientation) -> LabelledVolley {
+        let offset = if self.shift == 0 {
+            0
+        } else {
+            self.rng.random_range(-(self.shift as i64)..=(self.shift as i64))
+        };
+        let noise = self.noise;
+        // Split borrows: render needs &self plus the rng.
+        let mut rng = StdRng::seed_from_u64(self.rng.random_range(0..u64::MAX));
+        let pixels = self.render(orientation, offset, noise, Some(&mut rng));
+        let label = Orientation::ALL.iter().position(|&o| o == orientation);
+        LabelledVolley {
+            volley: self.encode(&pixels),
+            label,
+        }
+    }
+
+    /// Encodes raw pixel intensities into a volley.
+    #[must_use]
+    pub fn encode(&self, pixels: &[f64]) -> Volley {
+        self.encoder.encode_volley(pixels)
+    }
+
+    /// A stream of uniformly chosen orientations.
+    pub fn stream(&mut self, len: usize) -> Vec<LabelledVolley> {
+        (0..len)
+            .map(|_| {
+                let o = Orientation::ALL[self.rng.random_range(0..Orientation::ALL.len())];
+                self.sample_of(o)
+            })
+            .collect()
+    }
+
+    /// Renders an ASCII view of a volley (earliest spikes brightest) —
+    /// handy in example binaries.
+    #[must_use]
+    pub fn ascii(&self, volley: &Volley) -> String {
+        let mut out = String::new();
+        for r in 0..self.size {
+            for c in 0..self.size {
+                let t = volley[r * self.size + c];
+                out.push(match t.value() {
+                    None => '·',
+                    Some(v) if v < 2 => '█',
+                    Some(v) if v < 5 => '▒',
+                    Some(_) => '░',
+                });
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototypes_have_one_bar_of_size_pixels() {
+        let ds = OrientedBarDataset::new(8, 0, 0.0, 3, 1);
+        for &o in &Orientation::ALL {
+            let img = ds.prototype(o);
+            let lit = img.iter().filter(|&&p| p > 0.0).count();
+            assert_eq!(lit, 8, "{o:?}");
+        }
+    }
+
+    #[test]
+    fn orientations_are_distinct() {
+        let ds = OrientedBarDataset::new(8, 0, 0.0, 3, 1);
+        let imgs: Vec<Vec<f64>> = Orientation::ALL.iter().map(|&o| ds.prototype(o)).collect();
+        for i in 0..imgs.len() {
+            for j in (i + 1)..imgs.len() {
+                assert_ne!(imgs[i], imgs[j], "{i} vs {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn horizontal_prototype_occupies_one_row() {
+        let ds = OrientedBarDataset::new(5, 0, 0.0, 3, 1);
+        let img = ds.prototype(Orientation::Horizontal);
+        for r in 0..5 {
+            let row_lit = (0..5).filter(|&c| img[r * 5 + c] > 0.0).count();
+            assert_eq!(row_lit, if r == 2 { 5 } else { 0 });
+        }
+    }
+
+    #[test]
+    fn samples_encode_bar_pixels_early() {
+        let mut ds = OrientedBarDataset::new(8, 1, 0.05, 3, 7);
+        let s = ds.sample_of(Orientation::Vertical);
+        assert_eq!(s.label, Some(1));
+        assert_eq!(s.volley.width(), 64);
+        // Bar pixels (intensity 1.0) spike at t=0; noise spikes later.
+        assert_eq!(s.volley.first_spike(), st_core::Time::ZERO);
+        let earliest = s
+            .volley
+            .times()
+            .iter()
+            .filter(|t| t.value() == Some(0))
+            .count();
+        assert_eq!(earliest, 8, "exactly the bar spikes at 0");
+    }
+
+    #[test]
+    fn noise_adds_late_spikes_only() {
+        let mut quiet = OrientedBarDataset::new(8, 0, 0.0, 3, 5);
+        let mut noisy = OrientedBarDataset::new(8, 0, 0.5, 3, 5);
+        let a = quiet.sample_of(Orientation::Diagonal);
+        let b = noisy.sample_of(Orientation::Diagonal);
+        assert_eq!(a.volley.spike_count(), 8);
+        assert!(b.volley.spike_count() > 8);
+    }
+
+    #[test]
+    fn stream_covers_all_orientations() {
+        let mut ds = OrientedBarDataset::new(6, 0, 0.0, 3, 11);
+        let s = ds.stream(100);
+        for k in 0..4 {
+            assert!(s.iter().any(|v| v.label == Some(k)), "class {k} missing");
+        }
+    }
+
+    #[test]
+    fn ascii_rendering_shows_the_bar() {
+        let mut ds = OrientedBarDataset::new(5, 0, 0.0, 3, 3);
+        let s = ds.sample_of(Orientation::Horizontal);
+        let art = ds.ascii(&s.volley);
+        assert_eq!(art.lines().count(), 5);
+        assert!(art.contains('█'));
+        assert!(art.contains('·'));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3×3")]
+    fn tiny_images_rejected() {
+        let _ = OrientedBarDataset::new(2, 0, 0.0, 3, 1);
+    }
+}

@@ -1,0 +1,328 @@
+//! Evaluation metrics for trained TNNs.
+//!
+//! Training in this workspace is unsupervised (WTA + STDP); classification
+//! quality is scored the way the TNN literature does: assign each neuron
+//! to the class it wins most often, then measure how often the winning
+//! neuron's assigned class matches the sample label.
+
+use core::fmt;
+
+/// Winner-vs-label co-occurrence counts and the induced neuron → class
+/// assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    /// `counts[neuron][class]` = times `neuron` won on a sample of `class`.
+    counts: Vec<Vec<usize>>,
+    /// Samples on which no neuron fired, per class.
+    silent: Vec<usize>,
+}
+
+impl Assignment {
+    /// An empty tally for `n_neurons` neurons and `n_classes` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(n_neurons: usize, n_classes: usize) -> Assignment {
+        assert!(n_neurons > 0 && n_classes > 0, "dimensions must be positive");
+        Assignment {
+            counts: vec![vec![0; n_classes]; n_neurons],
+            silent: vec![0; n_classes],
+        }
+    }
+
+    /// Records one labelled presentation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `winner` or `label` is out of range.
+    pub fn record(&mut self, winner: Option<usize>, label: usize) {
+        match winner {
+            Some(n) => self.counts[n][label] += 1,
+            None => self.silent[label] += 1,
+        }
+    }
+
+    /// Total recorded samples (including silent ones).
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.counts.iter().flatten().sum::<usize>() + self.silent.iter().sum::<usize>()
+    }
+
+    /// The class each neuron is assigned to (majority vote); `None` for a
+    /// neuron that never won.
+    #[must_use]
+    pub fn neuron_classes(&self) -> Vec<Option<usize>> {
+        self.counts
+            .iter()
+            .map(|row| {
+                let (best, &count) = row
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(_, &c)| c)
+                    .expect("n_classes > 0");
+                (count > 0).then_some(best)
+            })
+            .collect()
+    }
+
+    /// Fraction of samples on which the winner's assigned class equals the
+    /// sample label. Silent samples count as errors.
+    #[must_use]
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let classes = self.neuron_classes();
+        let correct: usize = self
+            .counts
+            .iter()
+            .zip(&classes)
+            .map(|(row, class)| class.map_or(0, |c| row[c]))
+            .sum();
+        correct as f64 / total as f64
+    }
+
+    /// Fraction of samples on which no neuron fired.
+    #[must_use]
+    pub fn silence_rate(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        self.silent.iter().sum::<usize>() as f64 / total as f64
+    }
+
+    /// The confusion matrix `assigned-class × true-class`, with an extra
+    /// final row for silent samples.
+    #[must_use]
+    pub fn confusion(&self) -> Vec<Vec<usize>> {
+        let n_classes = self.silent.len();
+        let mut m = vec![vec![0usize; n_classes]; n_classes + 1];
+        let classes = self.neuron_classes();
+        for (row, class) in self.counts.iter().zip(&classes) {
+            if let Some(c) = class {
+                for (label, &count) in row.iter().enumerate() {
+                    m[*c][label] += count;
+                }
+            }
+        }
+        m[n_classes] = self.silent.clone();
+        m
+    }
+
+    /// Mutual information between the column's decision (winning neuron,
+    /// with "silent" as its own symbol) and the true class, in bits — an
+    /// assignment-free alternative to accuracy that also credits
+    /// consistent-but-mislabeled codes.
+    #[must_use]
+    pub fn mutual_information(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let n = total as f64;
+        let n_classes = self.silent.len();
+        // Joint counts: rows = neurons plus the silent symbol.
+        let mut joint: Vec<&[usize]> = self.counts.iter().map(Vec::as_slice).collect();
+        joint.push(&self.silent);
+        let mut mi = 0.0;
+        for row in &joint {
+            let row_sum: usize = row.iter().sum();
+            if row_sum == 0 {
+                continue;
+            }
+            for class in 0..n_classes {
+                let c = row[class];
+                if c == 0 {
+                    continue;
+                }
+                let class_sum: usize = joint.iter().map(|r| r[class]).sum();
+                let p_joint = c as f64 / n;
+                let p_row = row_sum as f64 / n;
+                let p_class = class_sum as f64 / n;
+                mi += p_joint * (p_joint / (p_row * p_class)).log2();
+            }
+        }
+        mi.max(0.0)
+    }
+
+    /// The label entropy `H(class)` in bits for the recorded samples.
+    #[must_use]
+    pub fn label_entropy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let n = total as f64;
+        let n_classes = self.silent.len();
+        let mut h = 0.0;
+        for class in 0..n_classes {
+            let c: usize =
+                self.counts.iter().map(|r| r[class]).sum::<usize>() + self.silent[class];
+            if c > 0 {
+                let p = c as f64 / n;
+                h -= p * p.log2();
+            }
+        }
+        h
+    }
+
+    /// Mutual information normalized by label entropy, in `[0, 1]`:
+    /// `1` means the decisions determine the class exactly.
+    #[must_use]
+    pub fn normalized_mutual_information(&self) -> f64 {
+        let h = self.label_entropy();
+        if h == 0.0 {
+            0.0
+        } else {
+            (self.mutual_information() / h).clamp(0.0, 1.0)
+        }
+    }
+
+    /// How many distinct classes have at least one assigned neuron —
+    /// `n_classes` means the column covers the whole label set.
+    #[must_use]
+    pub fn coverage(&self) -> usize {
+        let mut seen = vec![false; self.silent.len()];
+        for c in self.neuron_classes().into_iter().flatten() {
+            seen[c] = true;
+        }
+        seen.iter().filter(|&&s| s).count()
+    }
+}
+
+impl fmt::Display for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "accuracy {:.3}, silence {:.3}, coverage {}/{}",
+            self.accuracy(),
+            self.silence_rate(),
+            self.coverage(),
+            self.silent.len()
+        )?;
+        for (n, row) in self.counts.iter().enumerate() {
+            writeln!(f, "  neuron {n}: {row:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_assignment() {
+        let mut a = Assignment::new(2, 2);
+        for _ in 0..10 {
+            a.record(Some(0), 0);
+            a.record(Some(1), 1);
+        }
+        assert_eq!(a.total(), 20);
+        assert_eq!(a.neuron_classes(), vec![Some(0), Some(1)]);
+        assert!((a.accuracy() - 1.0).abs() < 1e-12);
+        assert_eq!(a.silence_rate(), 0.0);
+        assert_eq!(a.coverage(), 2);
+    }
+
+    #[test]
+    fn confused_assignment() {
+        let mut a = Assignment::new(2, 2);
+        // Neuron 0 wins class 0 seven times, class 1 three times.
+        for _ in 0..7 {
+            a.record(Some(0), 0);
+        }
+        for _ in 0..3 {
+            a.record(Some(0), 1);
+        }
+        // Neuron 1 never fires; class-1 samples otherwise go silent.
+        for _ in 0..5 {
+            a.record(None, 1);
+        }
+        assert_eq!(a.neuron_classes(), vec![Some(0), None]);
+        assert!((a.accuracy() - 7.0 / 15.0).abs() < 1e-12);
+        assert!((a.silence_rate() - 5.0 / 15.0).abs() < 1e-12);
+        assert_eq!(a.coverage(), 1);
+    }
+
+    #[test]
+    fn confusion_matrix_layout() {
+        let mut a = Assignment::new(2, 3);
+        a.record(Some(0), 1);
+        a.record(Some(1), 2);
+        a.record(None, 0);
+        let m = a.confusion();
+        assert_eq!(m.len(), 4); // 3 classes + silent row
+        assert_eq!(m[1][1], 1); // neuron 0 assigned to class 1
+        assert_eq!(m[2][2], 1);
+        assert_eq!(m[3][0], 1); // silent row
+    }
+
+    #[test]
+    fn empty_assignment_scores_zero() {
+        let a = Assignment::new(1, 1);
+        assert_eq!(a.total(), 0);
+        assert_eq!(a.accuracy(), 0.0);
+        assert_eq!(a.silence_rate(), 0.0);
+        assert_eq!(a.neuron_classes(), vec![None]);
+        assert_eq!(a.coverage(), 0);
+    }
+
+    #[test]
+    fn mutual_information_extremes() {
+        // Perfect code: decisions determine the class exactly → NMI 1.
+        let mut a = Assignment::new(2, 2);
+        for _ in 0..25 {
+            a.record(Some(0), 0);
+            a.record(Some(1), 1);
+        }
+        assert!((a.label_entropy() - 1.0).abs() < 1e-9);
+        assert!((a.mutual_information() - 1.0).abs() < 1e-9);
+        assert!((a.normalized_mutual_information() - 1.0).abs() < 1e-9);
+
+        // A *consistently mislabeled* code carries the same information.
+        let mut swapped = Assignment::new(2, 2);
+        for _ in 0..25 {
+            swapped.record(Some(1), 0);
+            swapped.record(Some(0), 1);
+        }
+        assert!((swapped.normalized_mutual_information() - 1.0).abs() < 1e-9);
+
+        // A constant decision carries none.
+        let mut constant = Assignment::new(2, 2);
+        for _ in 0..25 {
+            constant.record(Some(0), 0);
+            constant.record(Some(0), 1);
+        }
+        assert!(constant.mutual_information().abs() < 1e-9);
+
+        // Silence that correlates with a class DOES carry information.
+        let mut silent_code = Assignment::new(1, 2);
+        for _ in 0..25 {
+            silent_code.record(Some(0), 0);
+            silent_code.record(None, 1);
+        }
+        assert!((silent_code.normalized_mutual_information() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mutual_information_is_zero_for_empty() {
+        let a = Assignment::new(2, 2);
+        assert_eq!(a.mutual_information(), 0.0);
+        assert_eq!(a.label_entropy(), 0.0);
+        assert_eq!(a.normalized_mutual_information(), 0.0);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let mut a = Assignment::new(1, 2);
+        a.record(Some(0), 0);
+        let s = a.to_string();
+        assert!(s.contains("accuracy 1.000"));
+        assert!(s.contains("neuron 0"));
+    }
+}

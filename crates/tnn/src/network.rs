@@ -1,0 +1,301 @@
+//! Multi-layer temporal neural networks.
+//!
+//! The hierarchical architectures of § II.C (Masquelier-Thorpe,
+//! Kheradpisheh, Bichler's Fig. 4 two-layer tracker): a feedforward stack
+//! of [`Column`]s, each consuming the previous column's output volley.
+//! Spike waves sweep the stack exactly once per input (every line carries
+//! at most one spike — the paper's informal TNN test), and training is
+//! greedy layer-by-layer, as in the surveyed architectures.
+
+use st_core::Volley;
+
+use crate::column::Column;
+use crate::data::LabelledVolley;
+use crate::train::{train_column, TrainConfig, TrainReport};
+
+/// A feedforward stack of columns.
+#[derive(Debug, Clone)]
+pub struct TnnNetwork {
+    layers: Vec<Column>,
+}
+
+impl TnnNetwork {
+    /// Creates a network from a non-empty stack of width-compatible
+    /// columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty or adjacent layers disagree on width.
+    #[must_use]
+    pub fn new(layers: Vec<Column>) -> TnnNetwork {
+        assert!(!layers.is_empty(), "a network needs at least one layer");
+        for (i, pair) in layers.windows(2).enumerate() {
+            assert_eq!(
+                pair[0].output_width(),
+                pair[1].input_width(),
+                "layer {i} outputs {} lines but layer {} expects {}",
+                pair[0].output_width(),
+                i + 1,
+                pair[1].input_width()
+            );
+        }
+        TnnNetwork { layers }
+    }
+
+    /// The layers, input-side first.
+    #[must_use]
+    pub fn layers(&self) -> &[Column] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers (training).
+    pub fn layers_mut(&mut self) -> &mut [Column] {
+        &mut self.layers
+    }
+
+    /// The input volley width.
+    #[must_use]
+    pub fn input_width(&self) -> usize {
+        self.layers[0].input_width()
+    }
+
+    /// The output volley width.
+    #[must_use]
+    pub fn output_width(&self) -> usize {
+        self.layers.last().expect("non-empty").output_width()
+    }
+
+    /// Propagates one volley through the stack.
+    #[must_use]
+    pub fn eval(&self, input: &Volley) -> Volley {
+        let mut v = input.clone();
+        for layer in &self.layers {
+            v = layer.eval(&v);
+        }
+        v
+    }
+
+    /// The volley emitted after `depth` layers (0 = the input itself).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth > self.layers().len()`.
+    #[must_use]
+    pub fn eval_to_depth(&self, input: &Volley, depth: usize) -> Volley {
+        assert!(depth <= self.layers.len(), "depth out of range");
+        let mut v = input.clone();
+        for layer in &self.layers[..depth] {
+            v = layer.eval(&v);
+        }
+        v
+    }
+
+    /// The final layer's winner for one input — the network's decision.
+    #[must_use]
+    pub fn winner(&self, input: &Volley) -> Option<usize> {
+        let depth = self.layers.len();
+        let penultimate = self.eval_to_depth(input, depth - 1);
+        self.layers[depth - 1].winner(&penultimate)
+    }
+
+    /// Compiles the entire stack into one primitives-only network: each
+    /// column's Fig. 12 neurons plus its WTA stage, wired in sequence.
+    /// Composed with `st_grl::compile_network`, this turns a *trained*
+    /// multi-layer TNN into a single CMOS netlist — the paper's § V.C
+    /// "direct implementation" of a whole network.
+    #[must_use]
+    pub fn to_network(&self) -> st_net::Network {
+        use st_net::wta::{k_wta_into, wta_into};
+        use st_neuron::structural::srm0_into;
+
+        let mut builder = st_net::NetworkBuilder::new();
+        let mut wave: Vec<st_net::GateId> = builder.inputs(self.input_width());
+        for layer in &self.layers {
+            let raw: Vec<st_net::GateId> = layer
+                .neurons()
+                .iter()
+                .map(|n| srm0_into(&mut builder, &wave, n))
+                .collect();
+            wave = match layer.inhibition() {
+                crate::column::Inhibition::None => raw,
+                crate::column::Inhibition::Wta { tau } => wta_into(&mut builder, &raw, tau),
+                crate::column::Inhibition::KWta { k } => k_wta_into(&mut builder, &raw, k),
+            };
+        }
+        builder.build(wave)
+    }
+
+    /// Greedy layer-wise unsupervised training: layer `k` is trained on
+    /// the stream as transformed by the already-trained layers `0..k`.
+    ///
+    /// Returns one [`TrainReport`] per layer.
+    pub fn train_layerwise(
+        &mut self,
+        stream: &[LabelledVolley],
+        config: &TrainConfig,
+        epochs_per_layer: usize,
+    ) -> Vec<TrainReport> {
+        let mut reports = Vec::with_capacity(self.layers.len());
+        for k in 0..self.layers.len() {
+            // Transform the stream through the frozen prefix.
+            let transformed: Vec<LabelledVolley> = stream
+                .iter()
+                .map(|s| LabelledVolley {
+                    volley: self.eval_to_depth(&s.volley, k),
+                    label: s.label,
+                })
+                .collect();
+            let mut last = None;
+            for _ in 0..epochs_per_layer.max(1) {
+                last = Some(train_column(&mut self.layers[k], &transformed, config));
+            }
+            reports.push(last.expect("at least one epoch"));
+        }
+        reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Inhibition;
+    use crate::data::PatternDataset;
+    use crate::stdp::StdpParams;
+    use crate::train::{evaluate_column, fresh_column, TrainConfig};
+    use st_core::Time;
+    use st_neuron::{ResponseFn, Srm0Neuron, Synapse};
+
+    fn step_neuron(weights: &[i32], theta: u32) -> Srm0Neuron {
+        Srm0Neuron::new(
+            ResponseFn::step(1),
+            weights.iter().map(|&w| Synapse::new(0, w)).collect(),
+            theta,
+        )
+    }
+
+    fn two_layer() -> TnnNetwork {
+        let l1 = Column::new(
+            vec![
+                step_neuron(&[3, 3, 0, 0], 5),
+                step_neuron(&[0, 0, 3, 3], 5),
+            ],
+            Inhibition::None,
+        );
+        let l2 = Column::new(
+            vec![step_neuron(&[2, 0], 2), step_neuron(&[0, 2], 2)],
+            Inhibition::one_wta(),
+        );
+        TnnNetwork::new(vec![l1, l2])
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let net = two_layer();
+        assert_eq!(net.input_width(), 4);
+        assert_eq!(net.output_width(), 2);
+        assert_eq!(net.layers().len(), 2);
+    }
+
+    #[test]
+    fn eval_propagates_spike_wave() {
+        let net = two_layer();
+        let input = Volley::encode([Some(0), Some(0), None, None]);
+        let out = net.eval(&input);
+        assert!(out[0].is_finite());
+        assert_eq!(out[1], Time::INFINITY);
+        assert_eq!(net.winner(&input), Some(0));
+        let input = Volley::encode([None, None, Some(0), Some(0)]);
+        assert_eq!(net.winner(&input), Some(1));
+    }
+
+    #[test]
+    fn eval_to_depth_interpolates() {
+        let net = two_layer();
+        let input = Volley::encode([Some(0), Some(0), None, None]);
+        assert_eq!(net.eval_to_depth(&input, 0), input);
+        let mid = net.eval_to_depth(&input, 1);
+        assert_eq!(mid.width(), 2);
+        assert_eq!(net.eval_to_depth(&input, 2), net.eval(&input));
+    }
+
+    #[test]
+    fn every_line_carries_at_most_one_spike() {
+        // The informal TNN test from § II.B holds by construction: outputs
+        // are Times, one per line per wave. This test documents it.
+        let net = two_layer();
+        let input = Volley::encode([Some(0), Some(1), Some(2), None]);
+        let out = net.eval(&input);
+        assert_eq!(out.width(), 2); // one value (≤ 1 spike) per line
+    }
+
+    #[test]
+    fn layerwise_training_specializes_both_layers() {
+        let mut ds = PatternDataset::disjoint(2, 6, 7, 0, 0.0, 99);
+        let config = TrainConfig {
+            stdp: StdpParams::default(),
+            seed: 5,
+            rescue: true,
+            adapt_threshold: false,
+        };
+        let l1 = fresh_column(4, 12, 0.25, &config);
+        let config2 = TrainConfig {
+            stdp: StdpParams::default(),
+            seed: 6,
+            rescue: true,
+            adapt_threshold: false,
+        };
+        let l2 = fresh_column(2, 4, 0.25, &config2);
+        let mut net = TnnNetwork::new(vec![l1, l2]);
+        let stream = ds.stream(300, 1.0);
+        let reports = net.train_layerwise(&stream, &config, 2);
+        assert_eq!(reports.len(), 2);
+        assert!(reports[0].updates > 0);
+
+        // The trained network's *last layer* decisions should separate the
+        // two patterns well above chance.
+        let test = ds.stream(100, 1.0);
+        let transformed: Vec<LabelledVolley> = test
+            .iter()
+            .map(|s| LabelledVolley {
+                volley: net.eval_to_depth(&s.volley, 1),
+                label: s.label,
+            })
+            .collect();
+        let assignment = evaluate_column(&net.layers()[1], &transformed, 2);
+        assert!(
+            assignment.accuracy() > 0.7,
+            "two-layer accuracy {}",
+            assignment.accuracy()
+        );
+    }
+
+    #[test]
+    fn whole_stack_compiles_to_primitives() {
+        let net = two_layer();
+        let structural = net.to_network();
+        assert_eq!(structural.input_count(), 4);
+        assert_eq!(structural.output_count(), 2);
+        for inputs in st_core::enumerate_inputs(4, 2) {
+            let behavioral = net.eval(&Volley::new(inputs.clone()));
+            assert_eq!(
+                structural.eval(&inputs).unwrap(),
+                behavioral.times(),
+                "at {inputs:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expects")]
+    fn width_mismatch_rejected() {
+        let l1 = Column::new(vec![step_neuron(&[1, 1], 1)], Inhibition::None);
+        let l2 = Column::new(vec![step_neuron(&[1, 1], 1)], Inhibition::None);
+        let _ = TnnNetwork::new(vec![l1, l2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_network_rejected() {
+        let _ = TnnNetwork::new(vec![]);
+    }
+}

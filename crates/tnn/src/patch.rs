@@ -1,0 +1,285 @@
+//! Patch (receptive-field) layers: local columns over sub-volleys.
+//!
+//! The deeper TNN architectures the paper cites (§ II.C, Kheradpisheh;
+//! Masquelier-Thorpe) are convolutional in spirit: first-layer neurons see
+//! local *receptive fields* of the input, and their winners form the next
+//! layer's volley. [`PatchLayer`] implements that structure: a set of
+//! index patches over the input volley, one [`Column`] per patch, outputs
+//! concatenated in patch order. Training remains purely local — each
+//! patch column trains on its own sub-volleys.
+
+use st_core::Volley;
+
+use crate::column::Column;
+use crate::data::LabelledVolley;
+use crate::train::{fresh_column, train_column, TrainConfig, TrainReport};
+
+/// A layer of local columns over index patches of the input volley.
+#[derive(Debug, Clone)]
+pub struct PatchLayer {
+    input_width: usize,
+    patches: Vec<Vec<usize>>,
+    columns: Vec<Column>,
+}
+
+impl PatchLayer {
+    /// Creates a layer from explicit patches and matching columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lists are empty or mismatched, a patch index is out
+    /// of range, or a column's input width differs from its patch size.
+    #[must_use]
+    pub fn new(input_width: usize, patches: Vec<Vec<usize>>, columns: Vec<Column>) -> PatchLayer {
+        assert!(!patches.is_empty(), "a patch layer needs at least one patch");
+        assert_eq!(patches.len(), columns.len(), "one column per patch");
+        for (patch, column) in patches.iter().zip(&columns) {
+            assert!(
+                patch.iter().all(|&i| i < input_width),
+                "patch index out of range"
+            );
+            assert_eq!(
+                column.input_width(),
+                patch.len(),
+                "column width must match its patch"
+            );
+        }
+        PatchLayer {
+            input_width,
+            patches,
+            columns,
+        }
+    }
+
+    /// Tiles a `rows × cols` image into non-overlapping `patch × patch`
+    /// squares, with a fresh `neurons_per_patch`-neuron WTA column on each
+    /// (seeded per patch from `config.seed`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `patch` divides both dimensions.
+    #[must_use]
+    pub fn tiled_image(
+        rows: usize,
+        cols: usize,
+        patch: usize,
+        neurons_per_patch: usize,
+        threshold_fraction: f64,
+        config: &TrainConfig,
+    ) -> PatchLayer {
+        assert!(
+            patch > 0 && rows.is_multiple_of(patch) && cols.is_multiple_of(patch),
+            "patch size must tile the image exactly"
+        );
+        let mut patches = Vec::new();
+        let mut columns = Vec::new();
+        for pr in (0..rows).step_by(patch) {
+            for pc in (0..cols).step_by(patch) {
+                let mut idx = Vec::with_capacity(patch * patch);
+                for r in 0..patch {
+                    for c in 0..patch {
+                        idx.push((pr + r) * cols + (pc + c));
+                    }
+                }
+                let seed_offset = patches.len() as u64;
+                let col_config = TrainConfig {
+                    seed: config.seed.wrapping_add(seed_offset),
+                    ..*config
+                };
+                columns.push(fresh_column(
+                    neurons_per_patch,
+                    patch * patch,
+                    threshold_fraction,
+                    &col_config,
+                ));
+                patches.push(idx);
+            }
+        }
+        PatchLayer {
+            input_width: rows * cols,
+            patches,
+            columns,
+        }
+    }
+
+    /// The expected input volley width.
+    #[must_use]
+    pub fn input_width(&self) -> usize {
+        self.input_width
+    }
+
+    /// The output volley width (sum of the columns' neuron counts).
+    #[must_use]
+    pub fn output_width(&self) -> usize {
+        self.columns.iter().map(Column::output_width).sum()
+    }
+
+    /// The patches.
+    #[must_use]
+    pub fn patches(&self) -> &[Vec<usize>] {
+        &self.patches
+    }
+
+    /// The per-patch columns.
+    #[must_use]
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Propagates one volley: each column sees its patch; outputs
+    /// concatenate in patch order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the volley width differs from [`PatchLayer::input_width`].
+    #[must_use]
+    pub fn eval(&self, input: &Volley) -> Volley {
+        assert_eq!(input.width(), self.input_width, "volley width mismatch");
+        let outs: Vec<Volley> = self
+            .patches
+            .iter()
+            .zip(&self.columns)
+            .map(|(patch, column)| column.eval(&input.select(patch)))
+            .collect();
+        Volley::concat(outs.iter())
+    }
+
+    /// Trains every patch column on its sub-volleys of the stream;
+    /// returns one report per patch.
+    pub fn train(&mut self, stream: &[LabelledVolley], config: &TrainConfig) -> Vec<TrainReport> {
+        let mut reports = Vec::with_capacity(self.columns.len());
+        for (patch, column) in self.patches.iter().zip(&mut self.columns) {
+            let local: Vec<LabelledVolley> = stream
+                .iter()
+                .map(|s| LabelledVolley {
+                    volley: s.volley.select(patch),
+                    label: s.label,
+                })
+                .collect();
+            reports.push(train_column(column, &local, config));
+        }
+        reports
+    }
+
+    /// Transforms a labelled stream through the layer (labels preserved).
+    #[must_use]
+    pub fn transform(&self, stream: &[LabelledVolley]) -> Vec<LabelledVolley> {
+        stream
+            .iter()
+            .map(|s| LabelledVolley {
+                volley: self.eval(&s.volley),
+                label: s.label,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Inhibition;
+    use crate::stdp::StdpParams;
+    use st_core::Time;
+    use st_neuron::{ResponseFn, Srm0Neuron, Synapse};
+
+    fn step_neuron(weights: &[i32], theta: u32) -> Srm0Neuron {
+        Srm0Neuron::new(
+            ResponseFn::step(1),
+            weights.iter().map(|&w| Synapse::new(0, w)).collect(),
+            theta,
+        )
+    }
+
+    fn config() -> TrainConfig {
+        TrainConfig {
+            stdp: StdpParams::default(),
+            seed: 3,
+            rescue: true,
+            adapt_threshold: false,
+        }
+    }
+
+    #[test]
+    fn tiling_shapes() {
+        let layer = PatchLayer::tiled_image(8, 8, 4, 3, 0.25, &config());
+        assert_eq!(layer.patches().len(), 4); // 2×2 tiles
+        assert_eq!(layer.input_width(), 64);
+        assert_eq!(layer.output_width(), 12);
+        assert!(layer.patches().iter().all(|p| p.len() == 16));
+        // Patches partition the input: every index exactly once.
+        let mut all: Vec<usize> = layer.patches().iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn eval_routes_each_patch_to_its_column() {
+        // 1×2 image of 1×1 patches; each column has one pass-through-ish
+        // neuron with distinguishable weights.
+        let c0 = Column::new(vec![step_neuron(&[1], 1)], Inhibition::None);
+        let c1 = Column::new(vec![step_neuron(&[2], 2)], Inhibition::None);
+        let layer = PatchLayer::new(2, vec![vec![0], vec![1]], vec![c0, c1]);
+        let out = layer.eval(&Volley::encode([Some(0), None]));
+        assert!(out[0].is_finite());
+        assert_eq!(out[1], Time::INFINITY);
+        let out = layer.eval(&Volley::encode([None, Some(3)]));
+        assert_eq!(out[0], Time::INFINITY);
+        assert!(out[1].is_finite());
+    }
+
+    #[test]
+    fn training_specializes_each_patch_independently() {
+        use crate::data::PatternDataset;
+        // Disjoint 2-pattern dataset over 8 lines = 2 patches of 4.
+        let mut ds = PatternDataset::disjoint(2, 4, 5, 0, 0.0, 13);
+        let mut layer = PatchLayer::new(
+            8,
+            vec![(0..4).collect(), (4..8).collect()],
+            vec![
+                fresh_column(2, 4, 0.25, &config()),
+                fresh_column(2, 4, 0.25, &config()),
+            ],
+        );
+        let stream = ds.stream(200, 1.0);
+        let reports = layer.train(&stream, &config());
+        assert_eq!(reports.len(), 2);
+        // After training, pattern 0 (lines 0..4) excites patch-0 neurons
+        // and leaves patch 1 silent; pattern 1 the reverse.
+        let p0 = ds.present(0);
+        let out = layer.eval(&p0.volley);
+        assert!(out.times()[..2].iter().any(|t| t.is_finite()));
+        assert!(out.times()[2..].iter().all(|t| t.is_infinite()));
+    }
+
+    #[test]
+    fn transform_preserves_labels() {
+        let layer = PatchLayer::tiled_image(4, 4, 2, 2, 0.25, &config());
+        let stream = vec![LabelledVolley {
+            volley: Volley::silent(16),
+            label: Some(3),
+        }];
+        let out = layer.transform(&stream);
+        assert_eq!(out[0].label, Some(3));
+        assert_eq!(out[0].volley.width(), layer.output_width());
+    }
+
+    #[test]
+    #[should_panic(expected = "tile the image exactly")]
+    fn non_dividing_patch_rejected() {
+        let _ = PatchLayer::tiled_image(8, 8, 3, 2, 0.25, &config());
+    }
+
+    #[test]
+    #[should_panic(expected = "width must match")]
+    fn mismatched_column_rejected() {
+        let c = Column::new(vec![step_neuron(&[1, 1], 1)], Inhibition::None);
+        let _ = PatchLayer::new(4, vec![vec![0]], vec![c]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_patch_rejected() {
+        let c = Column::new(vec![step_neuron(&[1], 1)], Inhibition::None);
+        let _ = PatchLayer::new(2, vec![vec![5]], vec![c]);
+    }
+}

@@ -1,0 +1,261 @@
+//! Spike-timing-dependent plasticity (§ II.A).
+//!
+//! The paper's training story (after Guyonneau et al. and
+//! Masquelier & Thorpe): when a neuron fires, synapses whose input spikes
+//! *preceded or coincided with* the output spike contributed to it and are
+//! potentiated; synapses whose inputs came later — or not at all — are
+//! depressed. Weights live on a small integer grid, reflecting the paper's
+//! low-resolution argument (§ II.A cites Pfeil et al.: 4 bits suffice).
+//!
+//! The rule is local (per synapse, using only its own spike time and the
+//! neuron's output time) and unsupervised; combined with winner-take-all
+//! inhibition it yields the emergent pattern selectivity reproduced in the
+//! experiment suite (E14).
+
+use st_core::{Time, Volley};
+use st_neuron::Srm0Neuron;
+
+/// Parameters of the additive, clipped STDP rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StdpParams {
+    /// Potentiation step for causally contributing synapses.
+    pub a_plus: i32,
+    /// Depression step for non-contributing synapses.
+    pub a_minus: i32,
+    /// Lower weight clip (0 keeps all synapses excitatory-or-silent).
+    pub w_min: i32,
+    /// Upper weight clip; `w_max = 2^bits − 1` models `bits`-bit weights.
+    pub w_max: i32,
+    /// Whether synapses whose input never spiked are depressed too
+    /// (Masquelier-style; `false` restricts depression to late spikes).
+    pub depress_silent: bool,
+}
+
+impl Default for StdpParams {
+    /// 3-bit weights (`0..=7`), unit steps, silent-synapse depression on.
+    fn default() -> StdpParams {
+        StdpParams {
+            a_plus: 1,
+            a_minus: 1,
+            w_min: 0,
+            w_max: 7,
+            depress_silent: true,
+        }
+    }
+}
+
+impl StdpParams {
+    /// Parameters with `bits`-bit weights (`0..=2^bits − 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 16.
+    #[must_use]
+    pub fn with_resolution(bits: u32) -> StdpParams {
+        assert!((1..=16).contains(&bits), "weight resolution must be 1..=16 bits");
+        StdpParams {
+            w_max: (1i32 << bits) - 1,
+            ..StdpParams::default()
+        }
+    }
+
+    /// The weight resolution in bits (`ceil(log2(w_max − w_min + 1))`).
+    #[must_use]
+    pub fn resolution_bits(&self) -> u32 {
+        let levels = (self.w_max - self.w_min + 1).max(1) as u32;
+        32 - (levels - 1).leading_zeros()
+    }
+
+    /// Clips a weight to the representable grid.
+    #[must_use]
+    pub fn clip(&self, w: i32) -> i32 {
+        w.clamp(self.w_min, self.w_max)
+    }
+}
+
+/// The verdict STDP passes on one synapse for one firing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SynapseUpdate {
+    /// The input spike arrived no later than the output spike: potentiate.
+    Potentiate,
+    /// The input spike arrived after the output spike: depress.
+    DepressLate,
+    /// The input never spiked: depress if `depress_silent`.
+    DepressSilent,
+    /// No change (silent input with `depress_silent` off).
+    Unchanged,
+}
+
+/// Classifies one synapse given its (delayed) input arrival and the
+/// neuron's output spike time.
+#[must_use]
+pub fn classify(arrival: Time, output: Time, params: &StdpParams) -> SynapseUpdate {
+    debug_assert!(output.is_finite(), "STDP only applies on an output spike");
+    if arrival.is_infinite() {
+        if params.depress_silent {
+            SynapseUpdate::DepressSilent
+        } else {
+            SynapseUpdate::Unchanged
+        }
+    } else if arrival <= output {
+        SynapseUpdate::Potentiate
+    } else {
+        SynapseUpdate::DepressLate
+    }
+}
+
+/// Applies one STDP update to a neuron that fired at `output` for the
+/// given input volley. A non-firing neuron (`output = ∞`) is left
+/// untouched, matching the biological rule's dependence on a postsynaptic
+/// spike.
+///
+/// Returns the number of synapses whose weight actually changed.
+pub fn apply_stdp(
+    neuron: &mut Srm0Neuron,
+    inputs: &Volley,
+    output: Time,
+    params: &StdpParams,
+) -> usize {
+    if output.is_infinite() {
+        return 0;
+    }
+    assert_eq!(
+        inputs.width(),
+        neuron.synapses().len(),
+        "volley width must match the neuron's synapse count"
+    );
+    let mut changed = 0;
+    for i in 0..neuron.synapses().len() {
+        let syn = neuron.synapses()[i];
+        let arrival = inputs[i] + syn.delay;
+        let delta = match classify(arrival, output, params) {
+            SynapseUpdate::Potentiate => params.a_plus,
+            SynapseUpdate::DepressLate | SynapseUpdate::DepressSilent => -params.a_minus,
+            SynapseUpdate::Unchanged => 0,
+        };
+        let new_w = params.clip(syn.weight + delta);
+        if new_w != syn.weight {
+            neuron.set_weight(i, new_w);
+            changed += 1;
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_neuron::{ResponseFn, Synapse};
+
+    fn t(v: u64) -> Time {
+        Time::finite(v)
+    }
+
+    fn neuron(weights: &[i32]) -> Srm0Neuron {
+        Srm0Neuron::new(
+            ResponseFn::step(1),
+            weights.iter().map(|&w| Synapse::new(0, w)).collect(),
+            1,
+        )
+    }
+
+    #[test]
+    fn default_params_are_three_bit() {
+        let p = StdpParams::default();
+        assert_eq!(p.w_max, 7);
+        assert_eq!(p.resolution_bits(), 3);
+        let p4 = StdpParams::with_resolution(4);
+        assert_eq!(p4.w_max, 15);
+        assert_eq!(p4.resolution_bits(), 4);
+    }
+
+    #[test]
+    fn classify_cases() {
+        let p = StdpParams::default();
+        assert_eq!(classify(t(1), t(3), &p), SynapseUpdate::Potentiate);
+        assert_eq!(classify(t(3), t(3), &p), SynapseUpdate::Potentiate);
+        assert_eq!(classify(t(4), t(3), &p), SynapseUpdate::DepressLate);
+        assert_eq!(classify(Time::INFINITY, t(3), &p), SynapseUpdate::DepressSilent);
+        let lenient = StdpParams {
+            depress_silent: false,
+            ..p
+        };
+        assert_eq!(
+            classify(Time::INFINITY, t(3), &lenient),
+            SynapseUpdate::Unchanged
+        );
+    }
+
+    #[test]
+    fn early_inputs_potentiate_late_ones_depress() {
+        let mut n = neuron(&[3, 3, 3]);
+        let inputs = Volley::new(vec![t(0), t(9), Time::INFINITY]);
+        let changed = apply_stdp(&mut n, &inputs, t(2), &StdpParams::default());
+        assert_eq!(changed, 3);
+        let weights: Vec<i32> = n.synapses().iter().map(|s| s.weight).collect();
+        assert_eq!(weights, vec![4, 2, 2]);
+    }
+
+    #[test]
+    fn weights_clip_at_bounds() {
+        let p = StdpParams::default();
+        let mut n = neuron(&[7, 0]);
+        let inputs = Volley::new(vec![t(0), Time::INFINITY]);
+        let changed = apply_stdp(&mut n, &inputs, t(1), &p);
+        // Both already at their clips: nothing changes.
+        assert_eq!(changed, 0);
+        assert_eq!(n.synapses()[0].weight, 7);
+        assert_eq!(n.synapses()[1].weight, 0);
+    }
+
+    #[test]
+    fn no_output_spike_no_update() {
+        let mut n = neuron(&[3, 3]);
+        let inputs = Volley::new(vec![t(0), t(1)]);
+        let changed = apply_stdp(&mut n, &inputs, Time::INFINITY, &StdpParams::default());
+        assert_eq!(changed, 0);
+        assert!(n.synapses().iter().all(|s| s.weight == 3));
+    }
+
+    #[test]
+    fn delays_shift_the_arrival_used_for_classification() {
+        let mut n = Srm0Neuron::new(
+            ResponseFn::step(1),
+            vec![Synapse::new(5, 3)],
+            1,
+        );
+        // Input at 0, delay 5 → arrival 5 > output 2 → depressed.
+        let inputs = Volley::new(vec![t(0)]);
+        apply_stdp(&mut n, &inputs, t(2), &StdpParams::default());
+        assert_eq!(n.synapses()[0].weight, 2);
+    }
+
+    #[test]
+    fn repeated_presentations_converge_to_pattern() {
+        // The classic Guyonneau result: weights converge so that exactly
+        // the pattern's early inputs stay strong.
+        let p = StdpParams::default();
+        let mut n = neuron(&[4, 4, 4, 4]);
+        let pattern = Volley::new(vec![t(0), t(1), Time::INFINITY, t(9)]);
+        for _ in 0..20 {
+            let out = n.eval(pattern.times());
+            apply_stdp(&mut n, &pattern, out, &p);
+        }
+        let weights: Vec<i32> = n.synapses().iter().map(|s| s.weight).collect();
+        assert_eq!(weights, vec![7, 7, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must match")]
+    fn width_mismatch_panics() {
+        let mut n = neuron(&[1]);
+        let inputs = Volley::new(vec![t(0), t(1)]);
+        let _ = apply_stdp(&mut n, &inputs, t(1), &StdpParams::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=16")]
+    fn resolution_validated() {
+        let _ = StdpParams::with_resolution(0);
+    }
+}

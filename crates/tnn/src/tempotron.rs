@@ -1,0 +1,347 @@
+//! The tempotron: supervised spike-timing classification (§ II.C, after
+//! Gütig & Sompolinsky 2006).
+//!
+//! A tempotron is an SRM0 neuron trained as a *binary classifier over
+//! spike timing*: it should fire on volleys of the positive class and stay
+//! silent on the negative class. The learning rule is supervised but still
+//! local and error-driven, in the discretized integer form that fits the
+//! paper's low-resolution weight regime:
+//!
+//! * **miss** (positive sample, no output spike): potentiate every synapse
+//!   whose spike arrived no later than the moment of maximum potential —
+//!   the instant the neuron came closest to firing;
+//! * **false alarm** (negative sample, spurious spike): depress every
+//!   synapse whose spike arrived no later than the output spike;
+//! * correct decisions leave the weights untouched.
+//!
+//! Unlike the unsupervised STDP rule, tempotron weights may go *negative*
+//! (the original model's key freedom), so the clip range is symmetric.
+
+use st_core::{Time, Volley};
+use st_neuron::{ResponseFn, Srm0Neuron, Synapse};
+
+/// Parameters of the discretized tempotron rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TempotronParams {
+    /// Weight step applied on an erroneous trial.
+    pub step: i32,
+    /// Symmetric weight clip: weights live in `[-w_max, w_max]`.
+    pub w_max: i32,
+}
+
+impl Default for TempotronParams {
+    /// 3-bit signed weights (`[-7, 7]`), unit steps.
+    fn default() -> TempotronParams {
+        TempotronParams { step: 1, w_max: 7 }
+    }
+}
+
+/// The outcome of one training trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trial {
+    /// Decision matched the label; no update.
+    Correct,
+    /// Positive sample missed; contributing synapses potentiated.
+    Miss,
+    /// Negative sample triggered a spike; contributing synapses depressed.
+    FalseAlarm,
+}
+
+/// A tempotron: an SRM0 neuron plus the supervised rule.
+///
+/// # Examples
+///
+/// ```
+/// use st_core::Volley;
+/// use st_tnn::tempotron::{Tempotron, TempotronParams};
+///
+/// let mut tp = Tempotron::new(4, 6, TempotronParams::default());
+/// let positive = Volley::encode([Some(0), Some(1), None, None]);
+/// let negative = Volley::encode([None, None, Some(0), Some(1)]);
+/// for _ in 0..20 {
+///     tp.train_step(&positive, true);
+///     tp.train_step(&negative, false);
+/// }
+/// assert!(tp.classify(&positive));
+/// assert!(!tp.classify(&negative));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tempotron {
+    neuron: Srm0Neuron,
+    params: TempotronParams,
+}
+
+impl Tempotron {
+    /// A fresh tempotron over `width` input lines with all weights at
+    /// `+1`, biexponential unit responses, and threshold `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or `theta == 0`.
+    #[must_use]
+    pub fn new(width: usize, theta: u32, params: TempotronParams) -> Tempotron {
+        let synapses = (0..width).map(|_| Synapse::new(0, 1)).collect();
+        Tempotron {
+            neuron: Srm0Neuron::new(ResponseFn::fig11_biexponential(), synapses, theta),
+            params,
+        }
+    }
+
+    /// Wraps an existing neuron (custom responses, delays, thresholds).
+    #[must_use]
+    pub fn from_neuron(neuron: Srm0Neuron, params: TempotronParams) -> Tempotron {
+        Tempotron { neuron, params }
+    }
+
+    /// The underlying neuron.
+    #[must_use]
+    pub fn neuron(&self) -> &Srm0Neuron {
+        &self.neuron
+    }
+
+    /// The rule parameters.
+    #[must_use]
+    pub fn params(&self) -> TempotronParams {
+        self.params
+    }
+
+    /// The binary decision: does the neuron fire on this volley?
+    #[must_use]
+    pub fn classify(&self, volley: &Volley) -> bool {
+        self.neuron.eval(volley.times()).is_finite()
+    }
+
+    /// The moment the potential peaks (earliest such tick), used as the
+    /// update locus on misses; `None` when no step event occurs at all.
+    #[must_use]
+    pub fn peak_time(&self, volley: &Volley) -> Option<Time> {
+        let (mut ups, mut downs) = self.neuron.step_events(volley.times());
+        ups.sort_unstable();
+        downs.sort_unstable();
+        let mut ui = 0usize;
+        let mut di = 0usize;
+        let mut potential = 0i64;
+        let mut peak = i64::MIN;
+        let mut peak_at = None;
+        while ui < ups.len() || di < downs.len() {
+            let tu = ups.get(ui).copied().unwrap_or(Time::INFINITY);
+            let td = downs.get(di).copied().unwrap_or(Time::INFINITY);
+            let t = tu.min(td);
+            while ups.get(ui) == Some(&t) {
+                potential += 1;
+                ui += 1;
+            }
+            while downs.get(di) == Some(&t) {
+                potential -= 1;
+                di += 1;
+            }
+            if potential > peak {
+                peak = potential;
+                peak_at = Some(t);
+            }
+        }
+        peak_at
+    }
+
+    /// One supervised trial; applies the update on errors and reports the
+    /// outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the volley width differs from the neuron's input count.
+    pub fn train_step(&mut self, volley: &Volley, label: bool) -> Trial {
+        assert_eq!(
+            volley.width(),
+            self.neuron.synapses().len(),
+            "volley width must match the tempotron's input count"
+        );
+        let output = self.neuron.eval(volley.times());
+        match (label, output.is_finite()) {
+            (true, true) | (false, false) => Trial::Correct,
+            (true, false) => {
+                // Update locus: the potential's peak; if the neuron is so
+                // depressed that no step event occurs at all (all weights
+                // zero), fall back to the last input spike so every
+                // observed synapse can recover.
+                let t_star = self.peak_time(volley).unwrap_or_else(|| volley.last_spike());
+                if t_star.is_finite() {
+                    self.update_contributors(volley, t_star, self.params.step);
+                }
+                Trial::Miss
+            }
+            (false, true) => {
+                self.update_contributors(volley, output, -self.params.step);
+                Trial::FalseAlarm
+            }
+        }
+    }
+
+    fn update_contributors(&mut self, volley: &Volley, cutoff: Time, delta: i32) {
+        let w_max = self.params.w_max;
+        for i in 0..self.neuron.synapses().len() {
+            let syn = self.neuron.synapses()[i];
+            let arrival = volley[i] + syn.delay;
+            if arrival <= cutoff {
+                let new_w = (syn.weight + delta).clamp(-w_max, w_max);
+                self.neuron.set_weight(i, new_w);
+            }
+        }
+    }
+
+    /// Trains over a labelled set until error-free or `max_epochs`
+    /// elapse; returns `(epochs_used, final_errors)`.
+    pub fn train(
+        &mut self,
+        samples: &[(Volley, bool)],
+        max_epochs: usize,
+    ) -> (usize, usize) {
+        let mut errors = usize::MAX;
+        for epoch in 1..=max_epochs {
+            errors = 0;
+            for (volley, label) in samples {
+                if self.train_step(volley, *label) != Trial::Correct {
+                    errors += 1;
+                }
+            }
+            if errors == 0 {
+                return (epoch, 0);
+            }
+        }
+        (max_epochs, errors)
+    }
+
+    /// Classification accuracy over a labelled set.
+    #[must_use]
+    pub fn accuracy(&self, samples: &[(Volley, bool)]) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let correct = samples
+            .iter()
+            .filter(|(v, label)| self.classify(v) == *label)
+            .count();
+        correct as f64 / samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::PatternDataset;
+
+    fn volley(values: &[Option<u64>]) -> Volley {
+        Volley::encode(values.iter().copied())
+    }
+
+    #[test]
+    fn learns_a_linearly_separable_pair() {
+        let mut tp = Tempotron::new(4, 6, TempotronParams::default());
+        let pos = volley(&[Some(0), Some(1), None, None]);
+        let neg = volley(&[None, None, Some(0), Some(1)]);
+        let samples = vec![(pos.clone(), true), (neg.clone(), false)];
+        let (epochs, errors) = tp.train(&samples, 50);
+        assert_eq!(errors, 0, "did not converge in {epochs} epochs: {tp:?}");
+        assert!(tp.classify(&pos));
+        assert!(!tp.classify(&neg));
+        assert!((tp.accuracy(&samples) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_weights_emerge_to_suppress_false_alarms() {
+        let mut tp = Tempotron::new(3, 4, TempotronParams::default());
+        // The negative class is a superset of the positive one (extra
+        // spike on line 2): the only way to fire on pos but not on neg is
+        // an inhibitory (negative) weight on line 2.
+        let pos = volley(&[Some(0), Some(0), None]);
+        let neg = volley(&[Some(0), Some(0), Some(0)]);
+        let samples = vec![(pos.clone(), true), (neg.clone(), false)];
+        let (_, errors) = tp.train(&samples, 100);
+        assert_eq!(errors, 0);
+        assert!(tp.neuron().synapses()[2].weight < 0, "{:?}", tp.neuron().synapses());
+    }
+
+    #[test]
+    fn correct_trials_leave_weights_unchanged() {
+        let mut tp = Tempotron::new(2, 2, TempotronParams::default());
+        let pos = volley(&[Some(0), Some(0)]);
+        // Make it fire first.
+        while tp.train_step(&pos, true) != Trial::Correct {}
+        let weights: Vec<i32> = tp.neuron().synapses().iter().map(|s| s.weight).collect();
+        assert_eq!(tp.train_step(&pos, true), Trial::Correct);
+        let after: Vec<i32> = tp.neuron().synapses().iter().map(|s| s.weight).collect();
+        assert_eq!(weights, after);
+    }
+
+    #[test]
+    fn trial_outcomes_are_reported() {
+        let mut tp = Tempotron::new(2, 20, TempotronParams::default());
+        let pos = volley(&[Some(0), Some(1)]);
+        // Threshold 20 unreachable at weight 1: first trial is a miss.
+        assert_eq!(tp.train_step(&pos, true), Trial::Miss);
+        // A firing configuration labelled negative is a false alarm.
+        let mut tp = Tempotron::new(2, 2, TempotronParams::default());
+        let mut outcome = tp.train_step(&pos, true);
+        while outcome == Trial::Miss {
+            outcome = tp.train_step(&pos, true);
+        }
+        assert_eq!(tp.train_step(&pos, false), Trial::FalseAlarm);
+    }
+
+    #[test]
+    fn weights_respect_the_symmetric_clip() {
+        let params = TempotronParams { step: 3, w_max: 4 };
+        let mut tp = Tempotron::new(2, 50, params);
+        let pos = volley(&[Some(0), Some(1)]);
+        for _ in 0..10 {
+            let _ = tp.train_step(&pos, true); // unreachable θ: misses forever
+        }
+        assert!(tp.neuron().synapses().iter().all(|s| s.weight <= 4));
+        let neg = volley(&[Some(0), Some(1)]);
+        let mut tp = Tempotron::new(2, 1, params);
+        for _ in 0..10 {
+            let _ = tp.train_step(&neg, false);
+        }
+        assert!(tp.neuron().synapses().iter().all(|s| s.weight >= -4));
+    }
+
+    #[test]
+    fn separates_jittered_pattern_classes() {
+        // Class separation on noisy data: pattern 0 = positive, pattern 1
+        // = negative, ±1 tick jitter.
+        let mut ds = PatternDataset::new(2, 12, 7, 1, 0.0, 55);
+        let mut train: Vec<(Volley, bool)> = Vec::new();
+        for _ in 0..40 {
+            train.push((ds.present(0).volley, true));
+            train.push((ds.present(1).volley, false));
+        }
+        let mut tp = Tempotron::new(12, 10, TempotronParams::default());
+        let (_, errors) = tp.train(&train, 200);
+        assert_eq!(errors, 0, "training did not converge");
+
+        let mut test: Vec<(Volley, bool)> = Vec::new();
+        for _ in 0..50 {
+            test.push((ds.present(0).volley, true));
+            test.push((ds.present(1).volley, false));
+        }
+        let acc = tp.accuracy(&test);
+        assert!(acc > 0.9, "test accuracy {acc}");
+    }
+
+    #[test]
+    fn silent_volley_has_no_peak_and_classifies_negative() {
+        let tp = Tempotron::new(3, 2, TempotronParams::default());
+        let silent = Volley::silent(3);
+        assert_eq!(tp.peak_time(&silent), None);
+        assert!(!tp.classify(&silent));
+        // Training a silent positive sample is a miss but cannot update.
+        let mut tp = tp;
+        assert_eq!(tp.train_step(&silent, true), Trial::Miss);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must match")]
+    fn width_mismatch_panics() {
+        let mut tp = Tempotron::new(3, 2, TempotronParams::default());
+        let _ = tp.train_step(&Volley::silent(2), true);
+    }
+}

@@ -1,0 +1,61 @@
+//! Unsupervised pattern learning with STDP + winner-take-all.
+//!
+//! Reproduces the emergent behaviour the paper's TNN survey centres on
+//! (Guyonneau / Masquelier-Thorpe): repeating spatiotemporal spike
+//! patterns, embedded in noise and timing jitter, are discovered by a
+//! column of spiking neurons trained with a purely local rule — no labels,
+//! no global coordination, just the shared flow of time.
+//!
+//! Run with: `cargo run --example pattern_learning`
+
+use spacetime::tnn::data::PatternDataset;
+use spacetime::tnn::stdp::StdpParams;
+use spacetime::tnn::train::{evaluate_column, fresh_column, train_column, TrainConfig};
+
+fn main() {
+    let n_patterns = 3;
+    let width = 20;
+    println!("dataset: {n_patterns} hidden patterns over {width} lines, ±1 tick jitter, 25% noise volleys\n");
+    let mut data = PatternDataset::new(n_patterns, width, 7, 1, 0.2, 42);
+    for (k, p) in data.patterns().iter().enumerate() {
+        println!("  pattern {k}: {p}");
+    }
+
+    let config = TrainConfig {
+        stdp: StdpParams::with_resolution(3), // 3-bit weights, per § II.A
+        seed: 9,
+        rescue: true,
+        adapt_threshold: false,
+    };
+    let mut column = fresh_column(n_patterns, width, 0.25, &config);
+
+    println!("\ntraining (unsupervised, winner-take-all + STDP):");
+    for round in 1..=5 {
+        let stream = data.stream(150, 0.75);
+        let report = train_column(&mut column, &stream, &config);
+        let test = data.stream(120, 1.0);
+        let assignment = evaluate_column(&column, &test, n_patterns);
+        println!(
+            "  round {round}: {:3} updates, accuracy {:.2}, coverage {}/{}",
+            report.updates,
+            assignment.accuracy(),
+            assignment.coverage(),
+            n_patterns
+        );
+    }
+
+    println!("\nlearned weights (one neuron per row, 3-bit):");
+    for (i, neuron) in column.neurons().iter().enumerate() {
+        let ws: Vec<String> = neuron.synapses().iter().map(|s| s.weight.to_string()).collect();
+        println!("  neuron {i}: [{}]", ws.join(" "));
+    }
+
+    println!("\nresponses to clean patterns (early spike = recognition):");
+    for k in 0..n_patterns {
+        let sample = data.present(k);
+        let out = column.eval_raw(&sample.volley);
+        println!("  pattern {k} → outputs {out} (winner: {:?})", column.winner(&sample.volley));
+    }
+    let noise = data.noise();
+    println!("  noise     → outputs {}", column.eval_raw(&noise.volley));
+}

@@ -1,0 +1,86 @@
+//! Tooling tour: AER event streams in, VCD waveforms out.
+//!
+//! Shows the I/O ends of the stack: sensor events arrive as sparse
+//! Address-Event Representation records (§ II.C), get chunked into
+//! volleys, flow through a CMOS-compiled neuron, and the resulting
+//! digital waveforms are dumped in IEEE-1364 VCD for a standard waveform
+//! viewer (GTKWave etc.).
+//!
+//! Run with: `cargo run --example waveforms_and_aer` (writes
+//! `target/neuron_run.vcd`).
+
+use spacetime::core::Time;
+use spacetime::grl::{compile_network, to_vcd, GrlSim};
+use spacetime::neuron::structural::srm0_network;
+use spacetime::neuron::{ResponseFn, Srm0Neuron, Synapse};
+use spacetime::tnn::aer::{AerEvent, AerStream};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A sensor with 4 lines emits a sparse event stream: two bursts.
+    let mut stream = AerStream::new(4);
+    for &(addr, t) in &[(0usize, 1u64), (1, 2), (3, 3), (0, 9), (2, 10), (1, 11)] {
+        stream.push(AerEvent { time: t, address: addr });
+    }
+    println!("sensor stream: {stream}");
+    println!("({} records for {} line-ticks of potential traffic)\n", stream.len(), 4 * 12);
+
+    // Chunk the continuous stream into per-computation volleys.
+    let volleys = stream.chunk(8);
+    for (k, v) in volleys.iter().enumerate() {
+        println!("chunk {k}: {v}");
+    }
+
+    // A coincidence-detecting neuron, compiled to CMOS.
+    let neuron = Srm0Neuron::new(
+        ResponseFn::fig11_biexponential(),
+        vec![
+            Synapse::excitatory(1),
+            Synapse::excitatory(1),
+            Synapse::excitatory(1),
+            Synapse::excitatory(1),
+        ],
+        6,
+    );
+    let network = srm0_network(&neuron);
+    let netlist = compile_network(&network);
+    let (and, or, lt, ff) = netlist.gate_census();
+    println!("\nCMOS neuron: {and} AND, {or} OR, {lt} latches, {ff} flip-flops");
+
+    // Run each chunk and report; dump the first run's waveforms as VCD.
+    let sim = GrlSim::new();
+    let mut vcd_written = false;
+    for (k, v) in volleys.iter().enumerate() {
+        let report = sim.run(&netlist, v.times())?;
+        println!(
+            "chunk {k}: output {}  ({} transitions, activity {:.2})",
+            report.outputs[0],
+            report.eval_transitions,
+            report.activity_factor()
+        );
+        if !vcd_written {
+            let vcd = to_vcd(&netlist, &report);
+            let path = "target/neuron_run.vcd";
+            std::fs::write(path, &vcd)?;
+            println!(
+                "  → wrote {path} ({} bytes, {} signals) — open it in any VCD viewer",
+                vcd.len(),
+                netlist.wire_count()
+            );
+            vcd_written = true;
+        }
+    }
+
+    // Round-trip sanity: a volley re-encodes to the same sparse stream.
+    let back = AerStream::from_volley(&volleys[0]);
+    assert_eq!(back.to_volley(), volleys[0].clone());
+    println!("\nAER ↔ volley round trip verified; event at {}",
+        back.events()[0]);
+
+    // And the ∞ story in I/O terms: silent lines simply never appear.
+    let silent = AerStream::from_volley(&spacetime::core::Volley::silent(4));
+    assert!(silent.is_empty());
+    println!("a silent volley costs zero AER records — {} transmitted", silent.len());
+
+    let _ = Time::INFINITY; // the value that never needs a wire or a record
+    Ok(())
+}

@@ -1,0 +1,449 @@
+//! `spacetime` — a command-line front end to the space-time algebra stack.
+//!
+//! Subcommands cover the pipeline a user would actually drive by hand:
+//! evaluate a function table, synthesize it into a `{min, lt, inc}`
+//! network (Theorem 1), simulate it as CMOS race logic with transition
+//! accounting and optional VCD waveforms, and run the classic race-logic
+//! applications. Run `spacetime help` for usage.
+
+use std::process::ExitCode;
+
+use spacetime::core::{FunctionTable, Time, Volley};
+use spacetime::grl::{compile_network, to_vcd, GrlSim};
+use spacetime::net::synth::{synthesize, SynthesisOptions};
+use spacetime::net::{analysis, gate_counts, optimize, Network};
+
+const USAGE: &str = "\
+spacetime — the space-time algebra toolbox
+
+USAGE:
+  spacetime eval <table-file> <t1> <t2> …       evaluate a function table
+  spacetime synth <table-file> [--pure] [--optimize] [--dot] [--save <f>]
+                                                synthesize a table (Theorem 1)
+  spacetime simulate <table-file> <t1> <t2> … [--vcd <out.vcd>]
+                                                run the synthesized network as
+                                                CMOS race logic
+  spacetime expr <expression> [<t1> <t2> …]     evaluate / inspect an
+                                                s-expression over the
+                                                primitives (simplifies it,
+                                                samples its table)
+  spacetime net <netlist-file> <t1> <t2> …      evaluate a saved netlist
+                                                (see st-net::text format)
+  spacetime sort <t1> <t2> …                    sort a volley with a bitonic
+                                                network
+  spacetime wta [--tau N] <t1> <t2> …           winner-take-all inhibition
+  spacetime edit-distance <a> <b>               race-logic edit distance
+  spacetime gen-patterns [--patterns K] [--width W] [--count N] [--seed S]
+                                                emit a labelled volley stream
+                                                with hidden repeating patterns
+  spacetime train <stream-file> [--neurons K] [--epochs E] [--seed S]
+                  [--save <column-file>]        unsupervised WTA+STDP training
+  spacetime classify <column-file> <t1> <t2> …  run a trained column on one
+                                                volley
+  spacetime help                                this text
+
+Times are decimal ticks or `inf`/`∞` for \"no event\". Table files contain
+one `x1 x2 … -> y` row per line (`#` comments allowed); see docs/THEORY.md.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("eval") => cmd_eval(&args[1..]),
+        Some("synth") => cmd_synth(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
+        Some("expr") => cmd_expr(&args[1..]),
+        Some("net") => cmd_net(&args[1..]),
+        Some("sort") => cmd_sort(&args[1..]),
+        Some("wta") => cmd_wta(&args[1..]),
+        Some("edit-distance") => cmd_edit_distance(&args[1..]),
+        Some("gen-patterns") => cmd_gen_patterns(&args[1..]),
+        Some("train") => cmd_train(&args[1..]),
+        Some("classify") => cmd_classify(&args[1..]),
+        Some("help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}; try `spacetime help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_times(args: &[String]) -> Result<Vec<Time>, String> {
+    args.iter()
+        .map(|a| a.parse::<Time>().map_err(|e| e.to_string()))
+        .collect()
+}
+
+fn load_table(path: &str) -> Result<FunctionTable, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    FunctionTable::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_eval(args: &[String]) -> Result<(), String> {
+    let [path, rest @ ..] = args else {
+        return Err("usage: spacetime eval <table-file> <t1> <t2> …".into());
+    };
+    let table = load_table(path)?;
+    let inputs = parse_times(rest)?;
+    let out = table.eval(&inputs).map_err(|e| e.to_string())?;
+    println!("{out}");
+    Ok(())
+}
+
+fn cmd_synth(args: &[String]) -> Result<(), String> {
+    let mut path = None;
+    let mut pure = false;
+    let mut opt = false;
+    let mut dot = false;
+    let mut save: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--pure" => pure = true,
+            "--optimize" => opt = true,
+            "--dot" => dot = true,
+            "--save" => {
+                save = Some(iter.next().ok_or("--save needs a file path")?.to_owned());
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_owned()),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let path = path
+        .ok_or("usage: spacetime synth <table-file> [--pure] [--optimize] [--dot] [--save <f>]")?;
+    let table = load_table(&path)?;
+    let options = if pure {
+        SynthesisOptions::pure()
+    } else {
+        SynthesisOptions::default()
+    };
+    let mut network = synthesize(&table, options);
+    if opt {
+        let (optimized, report) = optimize(&network);
+        eprintln!(
+            "optimized: {} → {} gates ({:.0}% removed)",
+            report.gates_before,
+            report.gates_after,
+            report.reduction() * 100.0
+        );
+        network = optimized;
+    }
+    if let Some(save) = save {
+        std::fs::write(&save, spacetime::net::network_to_text(&network))
+            .map_err(|e| format!("cannot write {save}: {e}"))?;
+        eprintln!("saved netlist to {save}");
+    }
+    if dot {
+        print!("{}", analysis::to_dot(&network));
+    } else {
+        println!("rows: {}  arity: {}", table.len(), table.arity());
+        println!("gates: {}", gate_counts(&network));
+        println!(
+            "logic depth: {}  critical delay: {}",
+            analysis::logic_depth(&network),
+            analysis::critical_delay(&network)
+        );
+    }
+    Ok(())
+}
+
+fn simulate_network(network: &Network, inputs: &[Time], vcd_path: Option<&str>) -> Result<(), String> {
+    let netlist = compile_network(network);
+    let report = GrlSim::new()
+        .run(&netlist, inputs)
+        .map_err(|e| e.to_string())?;
+    let (and, or, lt, ff) = netlist.gate_census();
+    println!(
+        "outputs: {}",
+        Volley::new(report.outputs.clone())
+    );
+    println!("cmos: {and} AND, {or} OR, {lt} latches, {ff} flip-flops");
+    println!(
+        "transitions: {} eval + {} reset (activity {:.3})",
+        report.eval_transitions,
+        report.reset_transitions,
+        report.activity_factor()
+    );
+    if let Some(path) = vcd_path {
+        let vcd = to_vcd(&netlist, &report);
+        std::fs::write(path, &vcd).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path} ({} signals)", netlist.wire_count());
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &[String]) -> Result<(), String> {
+    let mut path = None;
+    let mut times = Vec::new();
+    let mut vcd_path = None;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--vcd" => {
+                vcd_path = Some(
+                    iter.next()
+                        .ok_or("--vcd needs a file path")?
+                        .to_owned(),
+                );
+            }
+            other if path.is_none() => path = Some(other.to_owned()),
+            other => times.push(other.to_owned()),
+        }
+    }
+    let path =
+        path.ok_or("usage: spacetime simulate <table-file> <t1> <t2> … [--vcd <out.vcd>]")?;
+    let table = load_table(&path)?;
+    let inputs = parse_times(&times)?;
+    let network = synthesize(&table, SynthesisOptions::default());
+    simulate_network(&network, &inputs, vcd_path.as_deref())
+}
+
+fn cmd_net(args: &[String]) -> Result<(), String> {
+    let [path, rest @ ..] = args else {
+        return Err("usage: spacetime net <netlist-file> <t1> <t2> …".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let network = spacetime::net::parse_network(&text).map_err(|e| e.to_string())?;
+    if rest.is_empty() {
+        println!("inputs: {}  outputs: {}", network.input_count(), network.output_count());
+        println!("gates: {}", gate_counts(&network));
+        return Ok(());
+    }
+    let inputs = parse_times(rest)?;
+    let out = network.eval(&inputs).map_err(|e| e.to_string())?;
+    println!("{}", Volley::new(out));
+    Ok(())
+}
+
+fn cmd_expr(args: &[String]) -> Result<(), String> {
+    let [text, rest @ ..] = args else {
+        return Err("usage: spacetime expr <expression> [<t1> <t2> …]".into());
+    };
+    let e: spacetime::core::Expr = text.parse().map_err(|e| format!("{e}"))?;
+    println!("expression: {e}");
+    let reduced = spacetime::core::simplify(&e);
+    if reduced != e {
+        println!("simplified: {reduced}");
+    }
+    println!(
+        "arity: {}  ops: {}  depth: {}  minimal basis: {}",
+        {
+            use spacetime::core::SpaceTimeFunction as _;
+            e.arity()
+        },
+        e.op_count(),
+        e.depth(),
+        e.uses_only_minimal_primitives()
+    );
+    if rest.is_empty() {
+        use spacetime::core::SpaceTimeFunction as _;
+        let f = spacetime::core::with_arity(e.clone(), e.arity());
+        match FunctionTable::from_fn(&f, 3) {
+            Ok(table) => println!("canonical table (window 3):\n{table}"),
+            Err(err) => println!("not samplable as a causal table: {err}"),
+        }
+    } else {
+        let inputs = parse_times(rest)?;
+        use spacetime::core::SpaceTimeFunction as _;
+        let out = e.apply(&inputs).map_err(|e| e.to_string())?;
+        println!("value at {}: {out}", Volley::new(inputs));
+    }
+    Ok(())
+}
+
+fn cmd_sort(args: &[String]) -> Result<(), String> {
+    let inputs = parse_times(args)?;
+    if inputs.is_empty() {
+        return Err("usage: spacetime sort <t1> <t2> …".into());
+    }
+    let network = spacetime::net::sorting::sorting_network(inputs.len());
+    let out = network.eval(&inputs).map_err(|e| e.to_string())?;
+    println!("{}", Volley::new(out));
+    eprintln!(
+        "({} comparators, depth {})",
+        gate_counts(&network).min,
+        analysis::logic_depth(&network)
+    );
+    Ok(())
+}
+
+fn cmd_wta(args: &[String]) -> Result<(), String> {
+    let mut tau = 1u64;
+    let mut times = Vec::new();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--tau" => {
+                tau = iter
+                    .next()
+                    .ok_or("--tau needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad τ: {e}"))?;
+            }
+            other => times.push(other.to_owned()),
+        }
+    }
+    let inputs = parse_times(&times)?;
+    if inputs.is_empty() {
+        return Err("usage: spacetime wta [--tau N] <t1> <t2> …".into());
+    }
+    let network = spacetime::net::wta::wta_network(inputs.len(), tau);
+    let out = network.eval(&inputs).map_err(|e| e.to_string())?;
+    println!("{}", Volley::new(out));
+    Ok(())
+}
+
+fn cmd_edit_distance(args: &[String]) -> Result<(), String> {
+    let [a, b] = args else {
+        return Err("usage: spacetime edit-distance <a> <b>".into());
+    };
+    let (d, report) = spacetime::grl::edit_distance_race(a.as_bytes(), b.as_bytes());
+    let reference = spacetime::grl::edit_distance_reference(a.as_bytes(), b.as_bytes());
+    assert_eq!(d, reference, "race logic disagreed with the DP baseline");
+    println!("{d}");
+    eprintln!(
+        "(race logic: answer wire fell at cycle {d}; {} transitions; matches the DP baseline)",
+        report.eval_transitions
+    );
+    Ok(())
+}
+
+fn flag_value(iter: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, String> {
+    iter.next()
+        .map(ToOwned::to_owned)
+        .ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn cmd_gen_patterns(args: &[String]) -> Result<(), String> {
+    let mut patterns = 3usize;
+    let mut width = 16usize;
+    let mut count = 200usize;
+    let mut seed = 1u64;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--patterns" => patterns = flag_value(&mut iter, a)?.parse().map_err(|e| format!("{e}"))?,
+            "--width" => width = flag_value(&mut iter, a)?.parse().map_err(|e| format!("{e}"))?,
+            "--count" => count = flag_value(&mut iter, a)?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => seed = flag_value(&mut iter, a)?.parse().map_err(|e| format!("{e}"))?,
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let mut ds = spacetime::tnn::data::PatternDataset::new(patterns, width, 7, 1, 0.15, seed);
+    let stream = ds.stream(count, 0.85);
+    print!("{}", spacetime::tnn::stream_to_text(&stream));
+    Ok(())
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let mut path = None;
+    let mut neurons = 0usize; // 0 = infer from labels
+    let mut epochs = 3usize;
+    let mut seed = 0u64;
+    let mut save: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--neurons" => neurons = flag_value(&mut iter, a)?.parse().map_err(|e| format!("{e}"))?,
+            "--epochs" => epochs = flag_value(&mut iter, a)?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => seed = flag_value(&mut iter, a)?.parse().map_err(|e| format!("{e}"))?,
+            "--save" => save = Some(flag_value(&mut iter, a)?),
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_owned()),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let path = path.ok_or("usage: spacetime train <stream-file> [--neurons K] [--epochs E] [--seed S] [--save <f>]")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let stream = spacetime::tnn::parse_stream(&text).map_err(|e| format!("{path}: {e}"))?;
+    let width = stream[0].volley.width();
+    let n_classes = stream
+        .iter()
+        .filter_map(|s| s.label)
+        .max()
+        .map_or(0, |m| m + 1);
+    if neurons == 0 {
+        neurons = n_classes.max(2);
+    }
+    use spacetime::tnn::train::{evaluate_column, fresh_column, train_column, TrainConfig};
+    let config = TrainConfig {
+        seed,
+        ..TrainConfig::default()
+    };
+    let mut column = fresh_column(neurons, width, 0.25, &config);
+    for epoch in 1..=epochs.max(1) {
+        let report = train_column(&mut column, &stream, &config);
+        eprintln!(
+            "epoch {epoch}: {} updates, wins {:?}",
+            report.updates, report.wins
+        );
+    }
+    if n_classes > 0 {
+        let assignment = evaluate_column(&column, &stream, n_classes);
+        eprintln!(
+            "training-set accuracy {:.3}  NMI {:.3}  coverage {}/{}",
+            assignment.accuracy(),
+            assignment.normalized_mutual_information(),
+            assignment.coverage(),
+            n_classes
+        );
+    }
+    let rendered = spacetime::tnn::column_to_text(&column);
+    match save {
+        Some(f) => {
+            std::fs::write(&f, rendered).map_err(|e| format!("cannot write {f}: {e}"))?;
+            eprintln!("saved column to {f}");
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(())
+}
+
+fn cmd_classify(args: &[String]) -> Result<(), String> {
+    let [path, rest @ ..] = args else {
+        return Err("usage: spacetime classify <column-file> <t1> <t2> …".into());
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let column = spacetime::tnn::parse_column(&text).map_err(|e| format!("{path}: {e}"))?;
+    let inputs = parse_times(rest)?;
+    if inputs.len() != column.input_width() {
+        return Err(format!(
+            "column expects {} lines, got {}",
+            column.input_width(),
+            inputs.len()
+        ));
+    }
+    let volley = Volley::new(inputs);
+    let out = column.eval(&volley);
+    match column.winner(&volley) {
+        Some(w) => println!("{w}"),
+        None => println!("-"),
+    }
+    eprintln!("(outputs {out})");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_times_accepts_inf() {
+        let ts = parse_times(&["3".into(), "inf".into(), "∞".into()]).unwrap();
+        assert_eq!(ts, vec![Time::finite(3), Time::INFINITY, Time::INFINITY]);
+        assert!(parse_times(&["x".into()]).is_err());
+    }
+
+    #[test]
+    fn simulate_roundtrip_smoke() {
+        let table = FunctionTable::parse("0 1 -> 2\n1 0 -> 3\n").unwrap();
+        let network = synthesize(&table, SynthesisOptions::default());
+        simulate_network(&network, &[Time::ZERO, Time::finite(1)], None).unwrap();
+    }
+}

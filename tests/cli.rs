@@ -1,0 +1,208 @@
+//! End-to-end tests of the `spacetime` CLI binary.
+
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_spacetime"))
+}
+
+/// A throwaway file under the target temp dir, deleted on drop.
+struct TempFile(std::path::PathBuf);
+
+impl TempFile {
+    fn with_content(tag: &str, content: &str) -> TempFile {
+        let path = std::env::temp_dir().join(format!(
+            "spacetime-cli-{}-{}-{tag}",
+            std::process::id(),
+            std::thread::current().name().unwrap_or("t").replace("::", "-"),
+        ));
+        std::fs::write(&path, content).expect("write temp file");
+        TempFile(path)
+    }
+
+    fn to_str(&self) -> &str {
+        self.0.to_str().expect("utf-8 path")
+    }
+}
+
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn fig7_file() -> TempFile {
+    TempFile::with_content("fig7.table", "# fig7\n0 1 2 -> 3\n1 0 inf -> 2\n2 2 0 -> 2\n")
+}
+
+#[test]
+fn eval_reproduces_the_papers_worked_example() {
+    let table = fig7_file();
+    let out = bin()
+        .args(["eval", table.to_str(), "3", "4", "5"])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "{out:?}");
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "6");
+}
+
+#[test]
+fn synth_reports_gate_statistics() {
+    let table = fig7_file();
+    let out = bin()
+        .args(["synth", table.to_str(), "--pure"])
+        .output()
+        .expect("run");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("rows: 3"));
+    assert!(stdout.contains("max=0"), "pure basis must have no max gates: {stdout}");
+}
+
+#[test]
+fn synth_dot_is_graphviz() {
+    let table = fig7_file();
+    let out = bin()
+        .args(["synth", table.to_str(), "--dot"])
+        .output()
+        .expect("run");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("digraph"));
+}
+
+#[test]
+fn simulate_writes_vcd() {
+    let table = fig7_file();
+    let vcd = TempFile::with_content("run.vcd", "");
+    let out = bin()
+        .args(["simulate", table.to_str(), "0", "1", "2", "--vcd", vcd.to_str()])
+        .output()
+        .expect("run");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("outputs: [3]"), "{stdout}");
+    let dumped = std::fs::read_to_string(&vcd.0).unwrap();
+    assert!(dumped.starts_with("$date"));
+}
+
+#[test]
+fn sort_and_wta_and_edit_distance() {
+    let out = bin().args(["sort", "5", "2", "inf", "3"]).output().unwrap();
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "[2, 3, 5, ∞]");
+
+    let out = bin()
+        .args(["wta", "--tau", "2", "2", "3", "9", "2"])
+        .output()
+        .unwrap();
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "[2, 3, ∞, 2]");
+
+    let out = bin()
+        .args(["edit-distance", "kitten", "sitting"])
+        .output()
+        .unwrap();
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "3");
+}
+
+#[test]
+fn expr_evaluates_simplifies_and_samples() {
+    let out = bin()
+        .args(["expr", "(lt (min (+1 x0) x1) x2)", "0", "3", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("value at [0, 3, 2]: 1"), "{stdout}");
+
+    let out = bin()
+        .args(["expr", "(min x0 (max x0 x1))"])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("simplified: x0"), "{stdout}");
+    assert!(stdout.contains("canonical table"), "{stdout}");
+
+    let out = bin().args(["expr", "(frob x0)"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn synth_save_and_net_round_trip() {
+    let table = fig7_file();
+    let saved = TempFile::with_content("saved.net", "");
+    let out = bin()
+        .args(["synth", table.to_str(), "--pure", "--save", saved.to_str()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    // The saved netlist evaluates the paper's worked example.
+    let out = bin()
+        .args(["net", saved.to_str(), "3", "4", "5"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "[6]");
+    // And summarizes without inputs.
+    let out = bin().args(["net", saved.to_str()]).output().unwrap();
+    assert!(String::from_utf8_lossy(&out.stdout).contains("inputs: 3"));
+}
+
+#[test]
+fn generate_train_classify_workflow() {
+    // gen-patterns → train → classify, end to end through files.
+    let out = bin()
+        .args(["gen-patterns", "--patterns", "2", "--width", "10", "--count", "150", "--seed", "4"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stream_text = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(stream_text.lines().count() >= 100);
+    let stream = TempFile::with_content("stream.txt", &stream_text);
+    let column = TempFile::with_content("col.txt", "");
+
+    let out = bin()
+        .args(["train", stream.to_str(), "--save", column.to_str(), "--seed", "1"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let log = String::from_utf8_lossy(&out.stderr);
+    assert!(log.contains("accuracy"), "{log}");
+
+    // Classify the first labelled sample; some neuron must fire.
+    let sample = stream_text
+        .lines()
+        .find(|l| l.starts_with('0'))
+        .unwrap()
+        .split_once('|')
+        .unwrap()
+        .1
+        .split_whitespace()
+        .map(ToOwned::to_owned)
+        .collect::<Vec<_>>();
+    let mut args = vec!["classify".to_owned(), column.to_str().to_owned()];
+    args.extend(sample);
+    let out = bin().args(&args).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let decision = String::from_utf8_lossy(&out.stdout).trim().to_string();
+    assert!(decision.parse::<usize>().is_ok(), "decision {decision:?}");
+}
+
+#[test]
+fn errors_are_reported_with_nonzero_exit() {
+    let out = bin().args(["bogus"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+
+    let out = bin().args(["eval", "/nonexistent.table", "0"]).output().unwrap();
+    assert!(!out.status.success());
+
+    let out = bin().args(["sort", "banana"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = bin().args(["help"]).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
+}

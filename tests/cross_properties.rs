@@ -1,0 +1,106 @@
+//! Cross-crate property tests: randomized neurons and random volleys flow
+//! through every representation — behavioral, structural, event-driven,
+//! and CMOS — and all agree; Lemma 1 holds for the composed systems.
+
+use proptest::prelude::*;
+use spacetime::core::{verify_space_time, Time, Volley};
+use spacetime::grl::{compile_network, GrlSim};
+use spacetime::net::EventSim;
+use spacetime::neuron::structural::srm0_network;
+use spacetime::neuron::{ResponseFn, Srm0Neuron, Synapse};
+use spacetime::tnn::{Column, Inhibition};
+
+fn arb_response() -> impl Strategy<Value = ResponseFn> {
+    prop_oneof![
+        Just(ResponseFn::fig11_biexponential()),
+        (1u32..3, 1u64..3, 1u64..4)
+            .prop_map(|(p, r, f)| ResponseFn::piecewise_linear(p, r, f)),
+        (1u32..3).prop_map(ResponseFn::step),
+    ]
+}
+
+fn arb_neuron() -> impl Strategy<Value = Srm0Neuron> {
+    (
+        arb_response(),
+        prop::collection::vec((0u64..3, 0i32..3), 1..=3),
+        1u32..5,
+    )
+        .prop_map(|(r, syn, theta)| {
+            Srm0Neuron::new(
+                r,
+                syn.into_iter().map(|(d, w)| Synapse::new(d, w)).collect(),
+                theta,
+            )
+        })
+}
+
+fn arb_volley(width: usize) -> impl Strategy<Value = Vec<Time>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => (0u64..6).prop_map(Time::finite),
+            1 => Just(Time::INFINITY),
+        ],
+        width,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Four-way agreement on random neurons and inputs.
+    #[test]
+    fn four_representations_agree(neuron in arb_neuron()) {
+        let width = neuron.synapses().len();
+        let network = srm0_network(&neuron);
+        let netlist = compile_network(&network);
+        let event = EventSim::new();
+        let cmos = GrlSim::new();
+        for inputs in spacetime::core::enumerate_inputs(width, 3) {
+            let behavioral = neuron.eval(&inputs);
+            prop_assert_eq!(network.eval(&inputs).unwrap()[0], behavioral);
+            prop_assert_eq!(event.run(&network, &inputs).unwrap().outputs[0], behavioral);
+            prop_assert_eq!(cmos.run(&netlist, &inputs).unwrap().outputs[0], behavioral);
+        }
+    }
+
+    /// A WTA column of random neurons is still a space-time function per
+    /// output line (Lemma 1 applied to the composed system).
+    #[test]
+    fn columns_are_space_time_functions(
+        neurons in prop::collection::vec(arb_neuron(), 2..4),
+    ) {
+        // Make widths agree by truncating to the narrowest.
+        let width = neurons.iter().map(|n| n.synapses().len()).min().unwrap();
+        let neurons: Vec<Srm0Neuron> = neurons
+            .into_iter()
+            .map(|n| {
+                Srm0Neuron::new(
+                    n.unit_response().clone(),
+                    n.synapses()[..width].to_vec(),
+                    n.threshold(),
+                )
+            })
+            .collect();
+        let column = Column::new(neurons, Inhibition::one_wta());
+        let network = column.to_network();
+        for line in 0..column.output_width() {
+            verify_space_time(&network.as_function(line), 2, 2, None)
+                .map_err(|v| TestCaseError::fail(format!("line {line}: {v}")))?;
+        }
+    }
+
+    /// Column behavioral evaluation matches its compiled network on random
+    /// volleys (not just enumerated windows).
+    #[test]
+    fn column_matches_network_on_random_volleys(
+        neuron_a in arb_neuron(),
+        inputs in arb_volley(3),
+    ) {
+        let width = neuron_a.synapses().len();
+        let inputs = &inputs[..width];
+        let column = Column::new(vec![neuron_a], Inhibition::one_wta());
+        let network = column.to_network();
+        let behavioral = column.eval(&Volley::new(inputs.to_vec()));
+        prop_assert_eq!(network.eval(inputs).unwrap(), behavioral.times());
+    }
+}

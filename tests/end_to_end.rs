@@ -1,0 +1,160 @@
+//! Cross-crate integration tests: the full pipeline the paper promises,
+//! exercised through the umbrella API — specify a temporal function, build
+//! it from primitives, train it biologically, and realize it in CMOS.
+
+use spacetime::core::{enumerate_inputs, FunctionTable, Time, Volley};
+use spacetime::grl::{compile_network, GrlSim};
+use spacetime::net::synth::{synthesize, SynthesisOptions};
+use spacetime::neuron::structural::srm0_network;
+use spacetime::neuron::{LatencyEncoder, ResponseFn, Srm0Neuron, Synapse};
+use spacetime::tnn::data::PatternDataset;
+use spacetime::tnn::stdp::StdpParams;
+use spacetime::tnn::train::{evaluate_column, fresh_column, train_column, TrainConfig};
+use spacetime::tnn::{Column, Inhibition};
+
+fn t(v: u64) -> Time {
+    Time::finite(v)
+}
+
+/// Table → Theorem-1 network → CMOS: all three agree everywhere.
+#[test]
+fn specification_to_silicon() {
+    let table = FunctionTable::from_rows(
+        3,
+        vec![
+            (vec![t(0), t(1), t(2)], t(3)),
+            (vec![t(1), t(0), Time::INFINITY], t(2)),
+            (vec![t(2), t(2), t(0)], t(2)),
+        ],
+    )
+    .unwrap();
+    let network = synthesize(&table, SynthesisOptions::pure());
+    let netlist = compile_network(&network);
+    let sim = GrlSim::new();
+    for inputs in enumerate_inputs(3, 4) {
+        let spec = table.eval(&inputs).unwrap();
+        let net_out = network.eval(&inputs).unwrap()[0];
+        let cmos_out = sim.run(&netlist, &inputs).unwrap().outputs[0];
+        assert_eq!(net_out, spec, "network vs table at {inputs:?}");
+        assert_eq!(cmos_out, spec, "CMOS vs table at {inputs:?}");
+    }
+}
+
+/// A neuron defined behaviorally, realized structurally, compiled to CMOS,
+/// then *re-specified* by sampling the CMOS back into a table: the loop
+/// closes.
+#[test]
+fn neuron_round_trips_through_every_representation() {
+    let neuron = Srm0Neuron::new(
+        ResponseFn::piecewise_linear(2, 1, 3),
+        vec![Synapse::excitatory(1), Synapse::excitatory(1)],
+        3,
+    );
+    let network = srm0_network(&neuron);
+    let netlist = compile_network(&network);
+    let sim = GrlSim::new();
+
+    // Sample the CMOS implementation as a space-time function.
+    let cmos_fn = spacetime::core::FnSpaceTime::new(2, |x: &[Time]| {
+        sim.run(&netlist, x).unwrap().outputs[0]
+    });
+    let table = FunctionTable::from_fn(&cmos_fn, 5).unwrap();
+
+    // The recovered table matches the original behavioral neuron.
+    for inputs in enumerate_inputs(2, 5) {
+        assert_eq!(
+            table.eval(&inputs).unwrap(),
+            neuron.eval(&inputs),
+            "at {inputs:?}"
+        );
+    }
+}
+
+/// Train a column biologically, then compile the *trained* column to a
+/// primitives-only network with WTA, and check the hardware classifies
+/// exactly like the behavioral model.
+#[test]
+fn trained_column_compiles_to_hardware() {
+    let mut data = PatternDataset::disjoint(2, 5, 6, 0, 0.0, 77);
+    let config = TrainConfig {
+        stdp: StdpParams::default(),
+        seed: 4,
+        rescue: true,
+        adapt_threshold: false,
+    };
+    let mut column = fresh_column(2, 10, 0.25, &config);
+    let stream = data.stream(300, 1.0);
+    train_column(&mut column, &stream, &config);
+
+    let assignment = evaluate_column(&column, &data.stream(100, 1.0), 2);
+    assert!(assignment.accuracy() > 0.9, "accuracy {}", assignment.accuracy());
+
+    // Behavioral column == structural network == CMOS netlist.
+    let network = column.to_network();
+    let netlist = compile_network(&network);
+    let sim = GrlSim::new();
+    for sample in data.stream(40, 1.0) {
+        let behavioral = column.eval(&sample.volley);
+        let structural = network.eval(sample.volley.times()).unwrap();
+        let cmos = sim.run(&netlist, sample.volley.times()).unwrap().outputs;
+        assert_eq!(structural, behavioral.times());
+        assert_eq!(cmos, behavioral.times());
+    }
+}
+
+/// Latency-encoded analog features flow through a hand-built two-column
+/// TNN and produce a sensible decision, end to end.
+#[test]
+fn analog_features_to_decision() {
+    let encoder = LatencyEncoder::new(3);
+    // Feature vector: bright on the left, dark on the right.
+    let volley = encoder.encode_volley(&[0.9, 0.8, 0.1, 0.0]);
+    assert_eq!(volley.width(), 4);
+
+    let detector = |w: &[i32]| {
+        Srm0Neuron::new(
+            ResponseFn::step(1),
+            w.iter().map(|&w| Synapse::new(0, w)).collect(),
+            5,
+        )
+    };
+    let column = Column::new(
+        vec![detector(&[3, 3, 0, 0]), detector(&[0, 0, 3, 3])],
+        Inhibition::one_wta(),
+    );
+    let out = column.eval(&volley);
+    assert!(out[0].is_finite(), "left detector should fire: {out}");
+    assert!(out[1].is_infinite(), "right detector should stay silent: {out}");
+    assert_eq!(column.winner(&volley), Some(0));
+}
+
+/// The informal TNN test from § II.B: during one feedforward computation,
+/// every line in the system carries at most one spike — by construction,
+/// at every level (volley, column, network, CMOS).
+#[test]
+fn single_spike_per_line_invariant() {
+    let neuron = Srm0Neuron::new(
+        ResponseFn::fig11_biexponential(),
+        vec![Synapse::excitatory(1), Synapse::excitatory(1)],
+        4,
+    );
+    let network = srm0_network(&neuron);
+    let netlist = compile_network(&network);
+    let inputs = [t(0), t(2)];
+    // CMOS: each wire falls at most once per computation.
+    let report = GrlSim::new().run(&netlist, &inputs).unwrap();
+    assert!(report.eval_transitions <= netlist.wire_count());
+    // Volley semantics: one Time per line, by type.
+    let out = Volley::new(network.eval(&inputs).unwrap());
+    assert_eq!(out.width(), 1);
+}
+
+/// Umbrella re-exports expose every crate.
+#[test]
+fn umbrella_surface() {
+    let _ = spacetime::core::Time::INFINITY;
+    let _ = spacetime::net::NetworkBuilder::new();
+    let _ = spacetime::neuron::ResponseFn::step(1);
+    let _ = spacetime::tnn::StdpParams::default();
+    let _ = spacetime::grl::GrlBuilder::new();
+}

@@ -1,0 +1,134 @@
+//! Failure-injection integration tests: malformed specifications, foreign
+//! handles, and arity violations produce typed errors (or documented
+//! panics) at every layer — never silent wrong answers.
+
+use spacetime::core::{CoreError, FunctionTable, Time};
+use spacetime::grl::GrlSim;
+use spacetime::net::{GateId, NetError, NetworkBuilder};
+use spacetime::neuron::{ResponseFn, Srm0Neuron, Synapse};
+
+fn t(v: u64) -> Time {
+    Time::finite(v)
+}
+
+#[test]
+fn malformed_tables_are_rejected_with_precise_errors() {
+    // No zero entry.
+    assert!(matches!(
+        FunctionTable::from_rows(2, vec![(vec![t(1), t(2)], t(3))]),
+        Err(CoreError::RowNotNormalized { row: 0 })
+    ));
+    // Infinite output.
+    assert!(matches!(
+        FunctionTable::from_rows(2, vec![(vec![t(0), t(1)], Time::INFINITY)]),
+        Err(CoreError::RowOutputInfinite { row: 0 })
+    ));
+    // Input after output (acausal row).
+    assert!(matches!(
+        FunctionTable::from_rows(2, vec![(vec![t(0), t(9)], t(3))]),
+        Err(CoreError::RowViolatesCausality { row: 0, input: 1, .. })
+    ));
+    // Duplicate pattern.
+    assert!(matches!(
+        FunctionTable::from_rows(
+            1,
+            vec![(vec![t(0)], t(1)), (vec![t(0)], t(2))]
+        ),
+        Err(CoreError::DuplicateRow { first: 0, second: 1 })
+    ));
+    // Zero arity.
+    assert!(matches!(
+        FunctionTable::from_rows(0, vec![]),
+        Err(CoreError::EmptyArity)
+    ));
+}
+
+#[test]
+fn arity_mismatches_surface_at_every_layer() {
+    let mut b = NetworkBuilder::new();
+    let x = b.input();
+    let y = b.input();
+    let m = b.min2(x, y);
+    let net = b.build([m]);
+    assert!(matches!(
+        net.eval(&[t(0)]),
+        Err(CoreError::ArityMismatch { expected: 2, actual: 1 })
+    ));
+    let netlist = spacetime::grl::compile_network(&net);
+    assert!(matches!(
+        GrlSim::new().run(&netlist, &[t(0), t(1), t(2)]),
+        Err(CoreError::ArityMismatch { expected: 2, actual: 3 })
+    ));
+    let neuron = Srm0Neuron::new(ResponseFn::step(1), vec![Synapse::excitatory(1)], 1);
+    use spacetime::core::SpaceTimeFunction;
+    assert!(neuron.apply(&[t(0), t(1)]).is_err());
+}
+
+#[test]
+fn foreign_gate_handles_are_rejected() {
+    let mut b = NetworkBuilder::new();
+    let x = b.input();
+    let mut net = b.build([x]);
+    let bogus = GateId::from_index(42);
+    assert_eq!(
+        net.set_constant(bogus, Time::ZERO),
+        Err(NetError::UnknownGate { id: bogus })
+    );
+    // Reconfiguring a non-constant gate is refused too.
+    assert_eq!(
+        net.set_constant(x, Time::ZERO),
+        Err(NetError::NotAConstant { id: x })
+    );
+}
+
+#[test]
+fn empty_fan_in_is_an_error_not_a_panic() {
+    let mut b = NetworkBuilder::new();
+    assert_eq!(b.min(Vec::new()), Err(NetError::EmptyFanIn));
+    assert_eq!(b.max(Vec::new()), Err(NetError::EmptyFanIn));
+}
+
+#[test]
+fn graph_validation_rejects_malformed_dags() {
+    use spacetime::grl::WeightedDag;
+    assert!(WeightedDag::new(3, vec![(2, 1, 4)]).is_err()); // backward
+    assert!(WeightedDag::new(3, vec![(0, 3, 4)]).is_err()); // out of range
+    assert!(WeightedDag::new(3, vec![(1, 1, 4)]).is_err()); // self-loop
+}
+
+#[test]
+fn documented_panics_fire() {
+    use std::panic::catch_unwind;
+    // Zero threshold would violate causality (spontaneous spikes).
+    assert!(catch_unwind(|| {
+        Srm0Neuron::new(ResponseFn::step(1), vec![Synapse::excitatory(1)], 0)
+    })
+    .is_err());
+    // Reserved ∞ encoding.
+    assert!(catch_unwind(|| Time::finite(u64::MAX)).is_err());
+    // Foreign builder id.
+    assert!(catch_unwind(|| {
+        let mut b = NetworkBuilder::new();
+        b.inc(GateId::from_index(9), 1)
+    })
+    .is_err());
+}
+
+#[test]
+fn inconsistent_tables_are_detectable_and_still_deterministic() {
+    // Overlapping rows with different outputs: detectable by the checker,
+    // and eval deterministically picks the earliest (network semantics).
+    let table = FunctionTable::from_rows(
+        2,
+        vec![
+            (vec![t(0), Time::INFINITY], t(0)),
+            (vec![t(0), t(2)], t(2)),
+        ],
+    )
+    .unwrap();
+    assert!(matches!(
+        table.check_consistency(3),
+        Err(CoreError::InconsistentRows { .. })
+    ));
+    assert_eq!(table.eval(&[t(0), t(2)]).unwrap(), t(0));
+}
