@@ -1,0 +1,239 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so this workspace vendors
+//! a minimal wall-clock benchmark harness exposing the call surface its
+//! benches use: [`Criterion::benchmark_group`], `bench_function` /
+//! `bench_with_input` with [`BenchmarkId`], [`Throughput`], the
+//! [`Bencher::iter`] loop, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Reporting is deliberately simple: each benchmark warms up briefly,
+//! times a fixed-duration measurement loop, and prints the median
+//! per-iteration time (plus elements/second when a throughput was set).
+//! There is no statistical analysis, HTML output, or baseline comparison.
+//! Set `BENCH_QUICK=1` to shrink measurement time for smoke runs.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver handed to each `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\ngroup {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Benches a single function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        run_benchmark(name, None, &mut f);
+    }
+}
+
+/// A named benchmark within a group: `BenchmarkId::new("case", param)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id labelled `name/parameter`.
+    pub fn new<P: Display>(name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+/// Work-per-iteration hint used to report rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// A group of related benchmarks sharing a throughput setting.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the work-per-iteration for subsequent benches in the group.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Benches `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.into().0, self.throughput, &mut f);
+    }
+
+    /// Benches `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&id.label, self.throughput, &mut |b| f(b, input));
+    }
+
+    /// Ends the group (kept for API compatibility; prints nothing extra).
+    pub fn finish(self) {}
+}
+
+/// Either a `&str` or a [`BenchmarkId`] (both accepted by
+/// `bench_function`).
+#[derive(Debug, Clone)]
+pub struct BenchId(String);
+
+impl From<&str> for BenchId {
+    fn from(s: &str) -> BenchId {
+        BenchId(s.to_owned())
+    }
+}
+
+impl From<BenchmarkId> for BenchId {
+    fn from(id: BenchmarkId) -> BenchId {
+        BenchId(id.label)
+    }
+}
+
+/// Timing loop handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over this sample's iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn measurement_budget() -> Duration {
+    if std::env::var_os("BENCH_QUICK").is_some() {
+        Duration::from_millis(50)
+    } else {
+        Duration::from_millis(400)
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, f: &mut F) {
+    // Calibration: grow the iteration count until one sample takes ≥ ~2 ms.
+    let mut iters = 1u64;
+    let per_iter = loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(2) || iters >= 1 << 30 {
+            break b.elapsed.as_secs_f64() / iters as f64;
+        }
+        iters *= 4;
+    };
+
+    // Measurement: fixed wall-clock budget, median of the samples.
+    let budget = measurement_budget();
+    let samples = 11usize;
+    let sample_iters = ((budget.as_secs_f64() / samples as f64 / per_iter).ceil() as u64).max(1);
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let mut b = Bencher {
+                iters: sample_iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_secs_f64() / sample_iters as f64
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    let median = times[samples / 2];
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  ({:.3e} elem/s)", n as f64 / median),
+        Throughput::Bytes(n) => format!("  ({:.3e} B/s)", n as f64 / median),
+    });
+    println!(
+        "  {label:<44} {:>12}/iter{}",
+        format_duration(median),
+        rate.unwrap_or_default()
+    );
+}
+
+fn format_duration(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_and_reporting_run() {
+        std::env::set_var("BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(10));
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(1u64 + 1)));
+        group.finish();
+        c.bench_function("top_level", |b| b.iter(|| black_box(2u64 * 2)));
+    }
+}

@@ -1,0 +1,167 @@
+//! The `proptest!`, `prop_oneof!`, and `prop_assert*` macros.
+
+/// Defines property tests: each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` that runs the body over many generated cases.
+///
+/// The body runs inside a closure returning
+/// `Result<(), TestCaseError>`, so `prop_assert*` macros and `?` on
+/// `TestCaseError` results work as in upstream proptest. An optional
+/// leading `#![proptest_config(expr)]` sets the per-test [`Config`].
+///
+/// [`Config`]: crate::test_runner::Config
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $config:expr;) => {};
+    (config = $config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::Config = $config;
+            let __name = concat!(module_path!(), "::", stringify!($name));
+            let __seed = $crate::test_runner::TestRng::seed_for_test(__name);
+            let mut __rng = $crate::test_runner::TestRng::seed_from_u64(__seed);
+            for __case in 0..__config.effective_cases() {
+                $(
+                    let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                )*
+                let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body Ok(()) })();
+                match __outcome {
+                    Ok(()) => {}
+                    Err($crate::test_runner::TestCaseError::Reject(__why)) => {
+                        panic!("{__name}: case {__case} rejected: {__why} (seed {__seed:#x})");
+                    }
+                    Err($crate::test_runner::TestCaseError::Fail(__why)) => {
+                        panic!("{__name}: case {__case} of {} failed: {__why} (seed {__seed:#x})",
+                               __config.effective_cases());
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns! { config = $config; $($rest)* }
+    };
+}
+
+/// A weighted (`w => strategy`) or uniform choice among strategies with a
+/// common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// the whole process) so the runner can report which case broke.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "{}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "{} == {} (`{:?}` vs `{:?}`)",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "{} (`{:?}` vs `{:?}`)",
+            format!($($fmt)*), __l, __r
+        );
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "{} != {} (both `{:?}`)",
+            stringify!($left), stringify!($right), __l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l != *__r, "{} (both `{:?}`)", format!($($fmt)*), __l);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// The macro machinery end to end: strategies, assertions, `?`.
+        #[test]
+        fn runner_generates_and_checks(
+            a in 0u64..10,
+            pair in (0u64..5, prop_oneof![2 => 0i32..(1i32 + 2), 1 => Just(-1i32)]),
+            v in prop::collection::vec(0u8..4, 1..6),
+        ) {
+            prop_assert!(a < 10);
+            prop_assert!((0..5).contains(&pair.0), "pair.0 = {}", pair.0);
+            prop_assert!((-1..3).contains(&pair.1));
+            prop_assert_eq!(v.len(), v.iter().map(|_| 1usize).sum::<usize>());
+            prop_assert_ne!(v.len(), 0);
+            Err(TestCaseError::fail("nope")).or(Ok::<(), TestCaseError>(()))?;
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_case_info() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #[allow(unused)]
+                fn inner(x in 0u64..4) {
+                    prop_assert!(x < 3, "saw {}", x);
+                }
+            }
+            inner();
+        });
+        let message = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(message.contains("failed: saw 3"), "{message}");
+        assert!(message.contains("seed"), "{message}");
+    }
+}

@@ -1,0 +1,50 @@
+//! `Option` strategies (`prop::option::weighted`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generates `Some(value)` with probability `prob`, `None` otherwise.
+pub fn weighted<S: Strategy>(prob: f64, inner: S) -> Weighted<S> {
+    assert!(
+        (0.0..=1.0).contains(&prob),
+        "probability out of range: {prob}"
+    );
+    Weighted { prob, inner }
+}
+
+/// See [`weighted`].
+#[derive(Debug, Clone)]
+pub struct Weighted<S> {
+    prob: f64,
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for Weighted<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.unit_f64() < self.prob {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_probability_extremes() {
+        let mut rng = TestRng::seed_from_u64(6);
+        let always = weighted(1.0, 0u64..3);
+        assert!((0..100).all(|_| always.generate(&mut rng).is_some()));
+        let never = weighted(0.0, 0u64..3);
+        assert!((0..100).all(|_| never.generate(&mut rng).is_none()));
+        let mixed = weighted(0.8, 0u64..3);
+        let somes = (0..10_000)
+            .filter(|_| mixed.generate(&mut rng).is_some())
+            .count();
+        assert!((7_500..8_500).contains(&somes), "somes = {somes}");
+    }
+}

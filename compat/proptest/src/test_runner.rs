@@ -1,0 +1,142 @@
+//! The test runner: configuration, failure type, and the deterministic RNG
+//! that drives value generation.
+
+use core::fmt;
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Maximum rejected candidates (e.g. from `prop_filter`) tolerated per
+    /// accepted case before the test aborts.
+    pub max_global_rejects: u32,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl Config {
+    /// A config running `cases` random cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Config {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+
+    /// The effective case count: `PROPTEST_CASES` overrides the configured
+    /// value when set, mirroring upstream's environment handling.
+    #[must_use]
+    pub fn effective_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases)
+    }
+}
+
+/// Why a single test case failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// An assertion inside the property failed.
+    Fail(String),
+    /// The case was rejected (filtered out) rather than failed.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// An assertion failure with the given message.
+    pub fn fail<S: Into<String>>(reason: S) -> TestCaseError {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejected (filtered) case with the given message.
+    pub fn reject<S: Into<String>>(reason: S) -> TestCaseError {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "assertion failed: {r}"),
+            TestCaseError::Reject(r) => write!(f, "case rejected: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic RNG driving generation: xoshiro256\*\* seeded via
+/// SplitMix64 (independent of the workspace's `rand` stand-in so the two
+/// crates stay decoupled).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Creates a generator from a 64-bit seed.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> TestRng {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Derives the deterministic per-test seed from a test's name (FNV-1a).
+    #[must_use]
+    pub fn seed_for_test(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        self.next_u64() % bound
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}

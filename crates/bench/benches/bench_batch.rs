@@ -1,0 +1,88 @@
+//! Sequential per-volley loops vs the compile-once batched engine
+//! (`spacetime::batch`), across the table and event-driven network
+//! evaluators at 1/2/4 worker threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use spacetime::batch::{BatchEvaluator, CompiledArtifact};
+use st_core::{FunctionTable, Time, Volley};
+use st_net::synth::{synthesize, SynthesisOptions};
+use st_net::EventSim;
+use std::hint::black_box;
+
+const WINDOW: u64 = 7;
+const BATCH: usize = 256;
+
+fn window_table() -> FunctionTable {
+    let f = st_core::FnSpaceTime::new(3, move |x: &[Time]| {
+        let m = x[0].meet(x[1]).meet(x[2]);
+        if m.is_finite() {
+            m + WINDOW
+        } else {
+            Time::INFINITY
+        }
+    });
+    FunctionTable::from_fn(&f, WINDOW).expect("causal and invariant")
+}
+
+fn random_volleys(n: usize) -> Vec<Volley> {
+    let mut rng = StdRng::seed_from_u64(24);
+    (0..n)
+        .map(|_| {
+            Volley::new(
+                (0..3)
+                    .map(|_| {
+                        if rng.random_bool(0.1) {
+                            Time::INFINITY
+                        } else {
+                            Time::finite(rng.random_range(0..=WINDOW))
+                        }
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let table = window_table();
+    let network = synthesize(&table, SynthesisOptions::default());
+    let volleys = random_volleys(BATCH);
+
+    let mut group = c.benchmark_group("batch_throughput");
+    group.throughput(Throughput::Elements(BATCH as u64));
+
+    group.bench_function("table_sequential", |b| {
+        b.iter(|| {
+            for v in &volleys {
+                black_box(table.eval(black_box(v.times())).unwrap());
+            }
+        });
+    });
+    group.bench_function("net_sequential", |b| {
+        let sim = EventSim::new();
+        b.iter(|| {
+            for v in &volleys {
+                black_box(sim.run(&network, black_box(v.times())).unwrap());
+            }
+        });
+    });
+
+    let artifacts = [
+        ("table_batch", CompiledArtifact::from_table(&table)),
+        ("net_batch", CompiledArtifact::from_network(&network)),
+    ];
+    for (name, artifact) in &artifacts {
+        for threads in [1usize, 2, 4] {
+            let evaluator = BatchEvaluator::with_threads(threads);
+            group.bench_with_input(BenchmarkId::new(name, threads), &threads, |b, _| {
+                b.iter(|| black_box(evaluator.eval(artifact, black_box(&volleys)).unwrap()));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

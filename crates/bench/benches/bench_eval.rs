@@ -4,10 +4,10 @@
 //! firing gates, so sparse volleys favour it.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use st_core::Time;
 use st_net::sorting::sorting_network;
 use st_net::EventSim;
+use std::hint::black_box;
 
 fn dense_inputs(n: usize) -> Vec<Time> {
     (0..n).map(|i| Time::finite((i as u64 * 7) % 13)).collect()

@@ -5,11 +5,11 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use std::hint::black_box;
 use st_core::Time;
 use st_grl::alignment::{edit_distance_race, edit_distance_reference};
 use st_grl::shortest_path::{shortest_paths_reference, WeightedDag};
 use st_grl::{compile_network, GrlSim};
+use std::hint::black_box;
 
 fn bench_shortest_path(c: &mut Criterion) {
     let mut group = c.benchmark_group("shortest_path");
@@ -39,8 +39,12 @@ fn bench_alignment(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(5);
     let bases = [b'A', b'C', b'G', b'T'];
     for &len in &[8usize, 16, 32] {
-        let a: Vec<u8> = (0..len).map(|_| bases[rng.random_range(0..4)]).collect();
-        let b: Vec<u8> = (0..len).map(|_| bases[rng.random_range(0..4)]).collect();
+        let a: Vec<u8> = (0..len)
+            .map(|_| bases[rng.random_range(0..4usize)])
+            .collect();
+        let b: Vec<u8> = (0..len)
+            .map(|_| bases[rng.random_range(0..4usize)])
+            .collect();
         group.bench_with_input(BenchmarkId::new("race_logic", len), &len, |bch, _| {
             bch.iter(|| edit_distance_race(black_box(&a), black_box(&b)).0);
         });

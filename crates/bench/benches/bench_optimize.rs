@@ -4,10 +4,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use std::hint::black_box;
 use st_core::{simplify, Expr, FunctionTable, Time};
 use st_net::optimize::optimize;
 use st_net::synth::{synthesize, SynthesisOptions};
+use std::hint::black_box;
 
 fn random_table(arity: usize, rows: usize, window: u64, seed: u64) -> FunctionTable {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -30,7 +30,10 @@ fn random_table(arity: usize, rows: usize, window: u64, seed: u64) -> FunctionTa
             continue;
         }
         let max_finite = pattern.iter().filter_map(|x| x.value()).max().unwrap_or(0);
-        out.push((pattern, Time::finite(max_finite + rng.random_range(0..=2))));
+        out.push((
+            pattern,
+            Time::finite(max_finite + rng.random_range(0..=2u64)),
+        ));
     }
     FunctionTable::from_rows(arity, out).expect("normal form")
 }

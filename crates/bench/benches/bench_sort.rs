@@ -4,9 +4,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use std::hint::black_box;
 use st_core::Time;
 use st_net::sorting::sorting_network;
+use std::hint::black_box;
 
 fn random_volley(n: usize, seed: u64) -> Vec<Time> {
     let mut rng = StdRng::seed_from_u64(seed);

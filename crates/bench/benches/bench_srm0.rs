@@ -2,11 +2,11 @@
 //! SRM0 evaluation — the simulation cost of each abstraction level.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use st_core::Time;
 use st_grl::{compile_network, GrlSim};
 use st_neuron::structural::srm0_network;
 use st_neuron::{ResponseFn, Srm0Neuron, Synapse};
+use std::hint::black_box;
 
 fn neuron(inputs: usize) -> Srm0Neuron {
     Srm0Neuron::new(

@@ -2,9 +2,9 @@
 //! column sizes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
 use st_tnn::data::PatternDataset;
 use st_tnn::train::{fresh_column, train_column, TrainConfig};
+use std::hint::black_box;
 
 fn bench_training(c: &mut Criterion) {
     let mut group = c.benchmark_group("stdp_training");

@@ -5,9 +5,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use std::hint::black_box;
 use st_core::{FunctionTable, Time};
 use st_net::synth::{synthesize, SynthesisOptions};
+use std::hint::black_box;
 
 fn random_table(arity: usize, rows: usize, window: u64, seed: u64) -> FunctionTable {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -30,7 +30,10 @@ fn random_table(arity: usize, rows: usize, window: u64, seed: u64) -> FunctionTa
             continue;
         }
         let max_finite = pattern.iter().filter_map(|x| x.value()).max().unwrap_or(0);
-        out.push((pattern, Time::finite(max_finite + rng.random_range(0..=2))));
+        out.push((
+            pattern,
+            Time::finite(max_finite + rng.random_range(0..=2u64)),
+        ));
     }
     FunctionTable::from_rows(arity, out).expect("normal form")
 }
@@ -39,9 +42,13 @@ fn bench_synthesis(c: &mut Criterion) {
     let mut group = c.benchmark_group("minterm_synthesis");
     for &rows in &[4usize, 16, 64] {
         let table = random_table(4, rows, 6, rows as u64);
-        group.bench_with_input(BenchmarkId::new("synthesize_native", rows), &rows, |b, _| {
-            b.iter(|| synthesize(black_box(&table), SynthesisOptions::default()));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("synthesize_native", rows),
+            &rows,
+            |b, _| {
+                b.iter(|| synthesize(black_box(&table), SynthesisOptions::default()));
+            },
+        );
         group.bench_with_input(BenchmarkId::new("synthesize_pure", rows), &rows, |b, _| {
             b.iter(|| synthesize(black_box(&table), SynthesisOptions::pure()));
         });
@@ -52,7 +59,12 @@ fn bench_synthesis(c: &mut Criterion) {
     let table = random_table(4, 32, 6, 7);
     let net = synthesize(&table, SynthesisOptions::default());
     let pure = synthesize(&table, SynthesisOptions::pure());
-    let inputs = [Time::finite(1), Time::finite(3), Time::ZERO, Time::finite(6)];
+    let inputs = [
+        Time::finite(1),
+        Time::finite(3),
+        Time::ZERO,
+        Time::finite(6),
+    ];
     group.bench_function("table_eval", |b| {
         b.iter(|| table.eval(black_box(&inputs)).unwrap());
     });

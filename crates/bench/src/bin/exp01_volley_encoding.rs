@@ -37,7 +37,13 @@ fn main() {
         })
         .collect();
     print_table(
-        &["n (bits)", "duration 2^n", "info (bits)", "spikes/bit", "1/n bound"],
+        &[
+            "n (bits)",
+            "duration 2^n",
+            "info (bits)",
+            "spikes/bit",
+            "1/n bound",
+        ],
         &rows,
     );
 
@@ -46,9 +52,13 @@ fn main() {
     let rows: Vec<Vec<String>> = [64usize, 32, 16, 8, 4]
         .iter()
         .map(|&spikes| {
-            let v = Volley::encode(
-                (0..64usize).map(|i| if i < spikes { Some(i as u64 % 15) } else { None }),
-            );
+            let v = Volley::encode((0..64usize).map(|i| {
+                if i < spikes {
+                    Some(i as u64 % 15)
+                } else {
+                    None
+                }
+            }));
             vec![
                 spikes.to_string(),
                 f3(v.sparsity()),

@@ -19,11 +19,36 @@ fn main() {
 
     println!("\nFig. 6(a) primitive behaviours:");
     let rows = vec![
-        vec!["inc (+1)".to_string(), "3".to_string(), "-".to_string(), ops::inc(t(3), 1).to_string()],
-        vec!["min (∧)".to_string(), "3".to_string(), "5".to_string(), ops::min(t(3), t(5)).to_string()],
-        vec!["lt (≺)".to_string(), "3".to_string(), "5".to_string(), ops::lt(t(3), t(5)).to_string()],
-        vec!["lt (≺)".to_string(), "5".to_string(), "3".to_string(), ops::lt(t(5), t(3)).to_string()],
-        vec!["lt (≺)".to_string(), "4".to_string(), "4".to_string(), ops::lt(t(4), t(4)).to_string()],
+        vec![
+            "inc (+1)".to_string(),
+            "3".to_string(),
+            "-".to_string(),
+            ops::inc(t(3), 1).to_string(),
+        ],
+        vec![
+            "min (∧)".to_string(),
+            "3".to_string(),
+            "5".to_string(),
+            ops::min(t(3), t(5)).to_string(),
+        ],
+        vec![
+            "lt (≺)".to_string(),
+            "3".to_string(),
+            "5".to_string(),
+            ops::lt(t(3), t(5)).to_string(),
+        ],
+        vec![
+            "lt (≺)".to_string(),
+            "5".to_string(),
+            "3".to_string(),
+            ops::lt(t(5), t(3)).to_string(),
+        ],
+        vec![
+            "lt (≺)".to_string(),
+            "4".to_string(),
+            "4".to_string(),
+            ops::lt(t(4), t(4)).to_string(),
+        ],
     ];
     print_table(&["block", "a", "b", "out"], &rows);
 
@@ -59,7 +84,10 @@ fn main() {
     // Both evaluators agree; the network is a space-time function.
     let sim = EventSim::new();
     for inputs in st_core::enumerate_inputs(3, 5) {
-        assert_eq!(sim.run(&net, &inputs).unwrap().outputs, net.eval(&inputs).unwrap());
+        assert_eq!(
+            sim.run(&net, &inputs).unwrap().outputs,
+            net.eval(&inputs).unwrap()
+        );
     }
     verify_space_time(&net.as_function(0), 4, 3, None).unwrap();
     println!("\nverified: causality + invariance over window 4, shifts 1..=3;");

@@ -34,12 +34,12 @@ fn main() {
 
     println!("Worked example and further evaluations:");
     let cases: Vec<Vec<Time>> = vec![
-        vec![t(3), t(4), t(5)],   // the paper's example: → 6
-        vec![t(0), t(1), t(2)],   // row 1 directly
-        vec![t(1), t(0), t(7)],   // row 2 with a late (finite) x3
-        vec![t(1), t(0), t(2)],   // x3 too early: no match
-        vec![t(5), t(5), t(3)],   // row 3 shifted by 3
-        vec![t(0), t(0), t(0)],   // no row matches
+        vec![t(3), t(4), t(5)], // the paper's example: → 6
+        vec![t(0), t(1), t(2)], // row 1 directly
+        vec![t(1), t(0), t(7)], // row 2 with a late (finite) x3
+        vec![t(1), t(0), t(2)], // x3 too early: no match
+        vec![t(5), t(5), t(3)], // row 3 shifted by 3
+        vec![t(0), t(0), t(0)], // no row matches
     ];
     let rows: Vec<Vec<String>> = cases
         .iter()
@@ -51,7 +51,10 @@ fn main() {
             ]
         })
         .collect();
-    print_table(&["input", "eval (Thm-1 semantics)", "literal lookup"], &rows);
+    print_table(
+        &["input", "eval (Thm-1 semantics)", "literal lookup"],
+        &rows,
+    );
 
     println!(
         "\nnote: on input [1, 0, 7] the causal semantics matches row 2 \

@@ -15,12 +15,19 @@ fn main() {
 
     let expr = Expr::max_via_lemma2(Expr::input(0), Expr::input(1));
     println!("\nconstruction: {expr}");
-    println!("uses only the minimal basis: {}", expr.uses_only_minimal_primitives());
+    println!(
+        "uses only the minimal basis: {}",
+        expr.uses_only_minimal_primitives()
+    );
 
     // The paper's three cases.
     println!("\nthe three cases of the proof:");
     let t = Time::finite;
-    let cases = [(t(2), t(6), "a < b"), (t(4), t(4), "a = b"), (t(7), t(3), "a > b")];
+    let cases = [
+        (t(2), t(6), "a < b"),
+        (t(4), t(4), "a = b"),
+        (t(7), t(3), "a > b"),
+    ];
     let rows: Vec<Vec<String>> = cases
         .iter()
         .map(|&(a, b, label)| {

@@ -48,7 +48,7 @@ fn random_table(arity: usize, rows: usize, window: u64, seed: u64) -> FunctionTa
             continue;
         }
         let max_finite = pattern.iter().filter_map(|x| x.value()).max().unwrap_or(0);
-        let output = Time::finite(max_finite + rng.random_range(0..=2));
+        let output = Time::finite(max_finite + rng.random_range(0..=2u64));
         out.push((pattern, output));
     }
     FunctionTable::from_rows(arity, out).expect("constructed in normal form")
@@ -110,7 +110,13 @@ fn main() {
         }
     }
     print_table(
-        &["arity", "rows", "ops (native max)", "ops (pure basis)", "depth"],
+        &[
+            "arity",
+            "rows",
+            "ops (native max)",
+            "ops (pure basis)",
+            "depth",
+        ],
         &rows_out,
     );
     println!(

@@ -33,7 +33,13 @@ fn main() {
         })
         .collect();
     print_table(
-        &["n", "comparators", "min+max gates", "depth", "stages formula"],
+        &[
+            "n",
+            "comparators",
+            "min+max gates",
+            "depth",
+            "stages formula",
+        ],
         &rows,
     );
 

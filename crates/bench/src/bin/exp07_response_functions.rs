@@ -37,7 +37,11 @@ fn main() {
             &ResponseFn::biexponential(5, 2.0, 8.0, 13),
             13,
         ),
-        profile_row("piecewise linear (4, rise 2, fall 6)", &ResponseFn::piecewise_linear(4, 2, 6), 13),
+        profile_row(
+            "piecewise linear (4, rise 2, fall 6)",
+            &ResponseFn::piecewise_linear(4, 2, 6),
+            13,
+        ),
         profile_row("step(3) non-leaky", &ResponseFn::step(3), 13),
         profile_row("inhibitory (fig11 negated)", &fig11.negated(), 13),
     ];
@@ -47,7 +51,10 @@ fn main() {
     let rows: Vec<Vec<String>> = [
         ("fig11", fig11.clone()),
         ("fig11 × weight 3", fig11.scaled(3)),
-        ("piecewise linear(4,2,6)", ResponseFn::piecewise_linear(4, 2, 6)),
+        (
+            "piecewise linear(4,2,6)",
+            ResponseFn::piecewise_linear(4, 2, 6),
+        ),
         ("step(3)", ResponseFn::step(3)),
     ]
     .into_iter()

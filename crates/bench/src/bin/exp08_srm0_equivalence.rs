@@ -20,7 +20,11 @@ fn main() {
     let configs: Vec<(&str, Srm0Neuron, u64)> = vec![
         (
             "fig11, 1 input, θ=4",
-            Srm0Neuron::new(ResponseFn::fig11_biexponential(), vec![Synapse::excitatory(1)], 4),
+            Srm0Neuron::new(
+                ResponseFn::fig11_biexponential(),
+                vec![Synapse::excitatory(1)],
+                4,
+            ),
             8,
         ),
         (
@@ -63,7 +67,11 @@ fn main() {
             "non-leaky step, 3 inputs, θ=2",
             Srm0Neuron::new(
                 ResponseFn::step(1),
-                vec![Synapse::excitatory(1), Synapse::excitatory(1), Synapse::excitatory(1)],
+                vec![
+                    Synapse::excitatory(1),
+                    Synapse::excitatory(1),
+                    Synapse::excitatory(1),
+                ],
                 2,
             ),
             3,
@@ -94,7 +102,12 @@ fn main() {
         ]);
     }
     print_table(
-        &["neuron", "inputs checked", "algebraic ops", "CMOS and/or/lt/ff"],
+        &[
+            "neuron",
+            "inputs checked",
+            "algebraic ops",
+            "CMOS and/or/lt/ff",
+        ],
         &rows,
     );
     println!(

@@ -31,7 +31,12 @@ fn main() {
         mw.set_enabled(&mut net, enabled).unwrap();
         for input in [t(0), t(4), Time::INFINITY] {
             rows.push(vec![
-                if enabled { "∞ (enabled)" } else { "0 (disabled)" }.to_string(),
+                if enabled {
+                    "∞ (enabled)"
+                } else {
+                    "0 (disabled)"
+                }
+                .to_string(),
                 input.to_string(),
                 net.eval(&[input]).unwrap()[0].to_string(),
             ]);
@@ -51,7 +56,13 @@ fn main() {
         let out = net.eval(&[t(2)]).unwrap();
         rows.push(vec![
             w.to_string(),
-            format!("[{}]", out.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")),
+            format!(
+                "[{}]",
+                out.iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
         ]);
     }
     print_table(&["weight", "tap outputs for x = 2"], &rows);

@@ -18,17 +18,18 @@ fn main() {
     );
 
     let volley = [t(2), t(5), t(2), t(7), Time::INFINITY];
-    println!(
-        "\ninput volley: {}",
-        Volley::new(volley.to_vec())
-    );
+    println!("\ninput volley: {}", Volley::new(volley.to_vec()));
 
     println!("\nτ sweep (Fig. 15 is τ = 1):");
     let mut rows = Vec::new();
     for tau in 1..=4u64 {
         let net = wta_network(5, tau);
         let out = Volley::new(net.eval(&volley).unwrap());
-        rows.push(vec![tau.to_string(), out.to_string(), out.spike_count().to_string()]);
+        rows.push(vec![
+            tau.to_string(),
+            out.to_string(),
+            out.spike_count().to_string(),
+        ]);
     }
     print_table(&["τ", "surviving volley", "spikes"], &rows);
 
@@ -37,7 +38,11 @@ fn main() {
     for k in 1..=4usize {
         let net = k_wta_network(5, k);
         let out = Volley::new(net.eval(&volley).unwrap());
-        rows.push(vec![k.to_string(), out.to_string(), out.spike_count().to_string()]);
+        rows.push(vec![
+            k.to_string(),
+            out.to_string(),
+            out.spike_count().to_string(),
+        ]);
     }
     print_table(&["k", "surviving volley", "spikes"], &rows);
 

@@ -45,7 +45,16 @@ fn main() {
             report.outputs[3].to_string(),
         ]);
     }
-    print_table(&["[a, b]", "AND (min)", "OR (max)", "latch (lt a,b)", "SR×2 (a+2)"], &rows);
+    print_table(
+        &[
+            "[a, b]",
+            "AND (min)",
+            "OR (max)",
+            "latch (lt a,b)",
+            "SR×2 (a+2)",
+        ],
+        &rows,
+    );
 
     // Exhaustive equivalence against the algebraic primitives.
     let mut checked = 0usize;

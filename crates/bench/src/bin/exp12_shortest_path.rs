@@ -2,8 +2,8 @@
 //! weighted DAGs, vs the classical relaxation baseline.
 
 use st_bench::{banner, f3, print_table};
-use st_grl::shortest_path::{shortest_paths_race, shortest_paths_reference, WeightedDag};
 use st_grl::compile_network;
+use st_grl::shortest_path::{shortest_paths_race, shortest_paths_reference, WeightedDag};
 use st_net::gate_counts;
 
 fn main() {
@@ -39,7 +39,17 @@ fn main() {
         ]);
     }
     print_table(
-        &["nodes", "edges", "reached", "max dist", "cycles", "alg ops", "flip-flops", "transitions", "activity"],
+        &[
+            "nodes",
+            "edges",
+            "reached",
+            "max dist",
+            "cycles",
+            "alg ops",
+            "flip-flops",
+            "transitions",
+            "activity",
+        ],
         &rows,
     );
 

@@ -80,7 +80,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["density", "eval transitions", "with reset", "activity", "max"],
+        &[
+            "density",
+            "eval transitions",
+            "with reset",
+            "activity",
+            "max",
+        ],
         &rows,
     );
 
@@ -90,8 +96,19 @@ fn main() {
     let model = EnergyModel::default();
     let mut rows = Vec::new();
     for (name, inputs) in [
-        ("dense volley", vec![Time::ZERO, Time::finite(1), Time::finite(2), Time::ZERO]),
-        ("sparse volley", vec![Time::INFINITY, Time::finite(1), Time::INFINITY, Time::INFINITY]),
+        (
+            "dense volley",
+            vec![Time::ZERO, Time::finite(1), Time::finite(2), Time::ZERO],
+        ),
+        (
+            "sparse volley",
+            vec![
+                Time::INFINITY,
+                Time::finite(1),
+                Time::INFINITY,
+                Time::INFINITY,
+            ],
+        ),
         ("silent volley", vec![Time::INFINITY; 4]),
     ] {
         let report = sim.run(&netlist, &inputs).unwrap();
@@ -116,7 +133,10 @@ fn main() {
             f3(e.clock_fraction()),
         ]);
     }
-    print_table(&["workload", "switching", "clocking", "clock fraction"], &rows);
+    print_table(
+        &["workload", "switching", "clocking", "clock fraction"],
+        &rows,
+    );
     println!(
         "\nthe sparser the data, the more the clocked delay elements \
          dominate — the effect the paper flags as needing quantification."
@@ -127,12 +147,7 @@ fn main() {
     println!("\nbinary-datapath strawman (same operator count, per § VI's framing):");
     let rows: Vec<Vec<String>> = [3u32, 4, 8, 16, 32]
         .iter()
-        .map(|&bits| {
-            vec![
-                bits.to_string(),
-                f3(binary_baseline_transitions(ops, bits)),
-            ]
-        })
+        .map(|&bits| vec![bits.to_string(), f3(binary_baseline_transitions(ops, bits))])
         .collect();
     print_table(&["binary width (bits)", "est. transitions/eval"], &rows);
     println!(

@@ -42,7 +42,14 @@ fn main() {
         ]);
     }
     print_table(
-        &["presentations", "updates", "accuracy", "NMI", "silence", "classes covered"],
+        &[
+            "presentations",
+            "updates",
+            "accuracy",
+            "NMI",
+            "silence",
+            "classes covered",
+        ],
         &rows,
     );
 
@@ -75,7 +82,8 @@ fn main() {
         rows.push(vec![
             format!("noise {i}"),
             out.to_string(),
-            col.winner(&noise.volley).map_or("-".to_string(), |w| w.to_string()),
+            col.winner(&noise.volley)
+                .map_or("-".to_string(), |w| w.to_string()),
         ]);
     }
     print_table(&["input", "raw outputs", "winner"], &rows);

@@ -43,7 +43,10 @@ fn main() {
             format!("{}/{}", assignment.coverage(), lanes),
         ]);
     }
-    print_table(&["traversals", "lane accuracy", "silence", "lanes covered"], &rows);
+    print_table(
+        &["traversals", "lane accuracy", "silence", "lanes covered"],
+        &rows,
+    );
 
     // Confusion matrix after full training.
     let mut ds = TrajectoryDataset::new(lanes, positions, 1, 0.1, 31);
@@ -64,7 +67,11 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(i, row)| {
-            let mut cells = vec![if i < lanes { format!("class {i}") } else { "silent".to_string() }];
+            let mut cells = vec![if i < lanes {
+                format!("class {i}")
+            } else {
+                "silent".to_string()
+            }];
             cells.extend(row.iter().map(ToString::to_string));
             cells
         })

@@ -17,7 +17,11 @@ fn t(v: u64) -> Time {
 
 fn check_equiv(a: &Network, b: &Network, window: u64) {
     for inputs in enumerate_inputs(a.input_count(), window) {
-        assert_eq!(a.eval(&inputs).unwrap(), b.eval(&inputs).unwrap(), "at {inputs:?}");
+        assert_eq!(
+            a.eval(&inputs).unwrap(),
+            b.eval(&inputs).unwrap(),
+            "at {inputs:?}"
+        );
     }
 }
 
@@ -98,7 +102,10 @@ fn main() {
         f3(report.reduction()),
     ]);
 
-    print_table(&["network", "gates before", "gates after", "reduction"], &rows);
+    print_table(
+        &["network", "gates before", "gates after", "reduction"],
+        &rows,
+    );
     println!(
         "\nshape check: synthesized and pinned-configuration networks carry \
          large removable margins (specialization folds disabled branches \

@@ -2,9 +2,9 @@
 //! delay encoding and Natschläger-Ruf delay-selection learning.
 
 use st_bench::{banner, print_table};
+use st_core::Time;
 use st_neuron::compound::{delay_learning_step, DelayLearningParams, RbfNeuron};
 use st_neuron::ResponseFn;
-use st_core::Time;
 
 fn t(v: u64) -> Time {
     Time::finite(v)
@@ -20,8 +20,7 @@ fn main() {
 
     // An untrained RBF unit: 3 inputs, candidate delays 0..=4 each.
     let delays: Vec<u64> = (0..=4).collect();
-    let mut neuron =
-        RbfNeuron::with_uniform_delay_lines(ResponseFn::step(1), 3, &delays, 3, 15);
+    let mut neuron = RbfNeuron::with_uniform_delay_lines(ResponseFn::step(1), 3, &delays, 3, 15);
     println!(
         "\nuntrained unit: 3 inputs × {} candidate delays, θ = {}",
         delays.len(),

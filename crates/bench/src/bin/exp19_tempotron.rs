@@ -65,7 +65,10 @@ fn main() {
             }
         }
     }
-    print_table(&["epoch", "errors", "misses", "false alarms", "test accuracy"], &rows);
+    print_table(
+        &["epoch", "errors", "misses", "false alarms", "test accuracy"],
+        &rows,
+    );
 
     println!(
         "\nconverged at epoch {:?}; final test accuracy {} on 200 fresh \

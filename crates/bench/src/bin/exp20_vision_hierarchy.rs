@@ -3,7 +3,7 @@
 //! trained purely by local STDP on latency-encoded oriented-bar images.
 
 use st_bench::{banner, f3, print_table};
-use st_tnn::images::{OrientedBarDataset, Orientation};
+use st_tnn::images::{Orientation, OrientedBarDataset};
 use st_tnn::metrics::Assignment;
 use st_tnn::patch::PatchLayer;
 use st_tnn::stdp::StdpParams;
@@ -25,7 +25,10 @@ fn main() {
          5% pixel noise (plus a ±1 px translation-stress variant)."
     );
     let sample = demo.sample_of(Orientation::Diagonal);
-    println!("example ‘\\’ sample (█ = early spike):\n{}", demo.ascii(&sample.volley));
+    println!(
+        "example ‘\\’ sample (█ = early spike):\n{}",
+        demo.ascii(&sample.volley)
+    );
 
     let config = TrainConfig {
         stdp: StdpParams::default(),
@@ -72,7 +75,10 @@ fn main() {
             format!("{}/4", a.coverage()),
         ]);
     }
-    print_table(&["training samples", "accuracy", "silence", "classes covered"], &rows);
+    print_table(
+        &["training samples", "accuracy", "silence", "classes covered"],
+        &rows,
+    );
 
     println!("\ntranslation stress: same pipeline, bars shifted ±1 px per sample:");
     let mut rows = Vec::new();
@@ -86,7 +92,10 @@ fn main() {
             format!("{}/4", a.coverage()),
         ]);
     }
-    print_table(&["training samples", "accuracy", "silence", "classes covered"], &rows);
+    print_table(
+        &["training samples", "accuracy", "silence", "classes covered"],
+        &rows,
+    );
 
     println!(
         "\nshape check: the untrained hierarchy is at chance; a few hundred \

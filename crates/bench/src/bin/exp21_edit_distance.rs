@@ -4,12 +4,16 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use st_bench::{banner, f3, print_table};
-use st_grl::alignment::{alignment_dag, alignment_table_race, edit_distance_race, edit_distance_reference};
+use st_grl::alignment::{
+    alignment_dag, alignment_table_race, edit_distance_race, edit_distance_reference,
+};
 use st_grl::compile_network;
 
 fn random_dna(len: usize, rng: &mut StdRng) -> Vec<u8> {
     let bases = [b'A', b'C', b'G', b'T'];
-    (0..len).map(|_| bases[rng.random_range(0..4)]).collect()
+    (0..len)
+        .map(|_| bases[rng.random_range(0..4usize)])
+        .collect()
 }
 
 fn main() {
@@ -61,7 +65,16 @@ fn main() {
         ]);
     }
     print_table(
-        &["|a| = |b|", "distance", "last fall", "grid nodes", "AND gates", "flip-flops", "transitions", "activity"],
+        &[
+            "|a| = |b|",
+            "distance",
+            "last fall",
+            "grid nodes",
+            "AND gates",
+            "flip-flops",
+            "transitions",
+            "activity",
+        ],
         &rows,
     );
 

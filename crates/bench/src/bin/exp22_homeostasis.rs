@@ -68,7 +68,13 @@ fn main() {
         ]);
     }
     print_table(
-        &["homeostasis", "accuracy", "NMI", "silence", "classes covered"],
+        &[
+            "homeostasis",
+            "accuracy",
+            "NMI",
+            "silence",
+            "classes covered",
+        ],
         &rows,
     );
 

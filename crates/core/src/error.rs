@@ -129,11 +129,18 @@ mod tests {
     fn display_messages_are_informative() {
         let cases: Vec<(CoreError, &str)> = vec![
             (
-                CoreError::ArityMismatch { expected: 3, actual: 2 },
+                CoreError::ArityMismatch {
+                    expected: 3,
+                    actual: 2,
+                },
                 "expected 3 inputs",
             ),
             (
-                CoreError::RowArityMismatch { row: 1, expected: 3, actual: 4 },
+                CoreError::RowArityMismatch {
+                    row: 1,
+                    expected: 3,
+                    actual: 4,
+                },
                 "row 1 has 4 entries",
             ),
             (CoreError::RowNotNormalized { row: 2 }, "no zero entry"),
@@ -147,7 +154,13 @@ mod tests {
                 },
                 "after the row output",
             ),
-            (CoreError::DuplicateRow { first: 0, second: 3 }, "identical input patterns"),
+            (
+                CoreError::DuplicateRow {
+                    first: 0,
+                    second: 3,
+                },
+                "identical input patterns",
+            ),
             (
                 CoreError::InconsistentRows {
                     row_a: 0,

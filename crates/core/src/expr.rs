@@ -346,8 +346,7 @@ mod tests {
             (Expr::input(0).inc(1) & Expr::input(1)).lt(Expr::input(2)),
         ];
         for e in exprs {
-            verify_space_time(&e, 3, 2, None)
-                .unwrap_or_else(|v| panic!("{e} violates: {v}"));
+            verify_space_time(&e, 3, 2, None).unwrap_or_else(|v| panic!("{e} violates: {v}"));
         }
     }
 
@@ -369,21 +368,12 @@ mod tests {
 
     #[test]
     fn fold_constructors() {
-        assert_eq!(
-            Expr::min_all([]).eval(&[]).unwrap(),
-            Time::INFINITY
-        );
+        assert_eq!(Expr::min_all([]).eval(&[]).unwrap(), Time::INFINITY);
         assert_eq!(Expr::max_all([]).eval(&[]).unwrap(), Time::ZERO);
         let e = Expr::min_all((0..4).map(Expr::input));
-        assert_eq!(
-            e.eval(&[t(4), t(2), t(7), t(3)]).unwrap(),
-            t(2)
-        );
+        assert_eq!(e.eval(&[t(4), t(2), t(7), t(3)]).unwrap(), t(2));
         let e = Expr::max_all((0..4).map(Expr::input));
-        assert_eq!(
-            e.eval(&[t(4), t(2), t(7), t(3)]).unwrap(),
-            t(7)
-        );
+        assert_eq!(e.eval(&[t(4), t(2), t(7), t(3)]).unwrap(), t(7));
     }
 
     #[test]

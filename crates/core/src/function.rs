@@ -99,7 +99,9 @@ impl<F: Fn(&[Time]) -> Time> FnSpaceTime<F> {
 
 impl<F> fmt::Debug for FnSpaceTime<F> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("FnSpaceTime").field("arity", &self.arity).finish()
+        f.debug_struct("FnSpaceTime")
+            .field("arity", &self.arity)
+            .finish()
     }
 }
 
@@ -294,10 +296,11 @@ fn apply_or_violation<F: SpaceTimeFunction + ?Sized>(
     f: &F,
     inputs: &[Time],
 ) -> Result<Time, PropertyViolation> {
-    f.apply(inputs).map_err(|error| PropertyViolation::NotTotal {
-        inputs: inputs.to_vec(),
-        error,
-    })
+    f.apply(inputs)
+        .map_err(|error| PropertyViolation::NotTotal {
+            inputs: inputs.to_vec(),
+            error,
+        })
 }
 
 /// Checks the causality property at one input vector.
@@ -429,7 +432,9 @@ pub fn enumerate_inputs(arity: usize, window: u64) -> EnumerateInputs {
         arity,
         window,
         next_index: 0,
-        total: (window + 2).checked_pow(arity as u32).expect("domain too large to enumerate"),
+        total: (window + 2)
+            .checked_pow(arity as u32)
+            .expect("domain too large to enumerate"),
     }
 }
 
@@ -528,10 +533,16 @@ mod tests {
     fn fn_adapter_applies_and_checks_arity() {
         let f = min_fn();
         assert_eq!(f.arity(), 2);
-        assert_eq!(f.apply(&[Time::finite(4), Time::finite(2)]), Ok(Time::finite(2)));
+        assert_eq!(
+            f.apply(&[Time::finite(4), Time::finite(2)]),
+            Ok(Time::finite(2))
+        );
         assert_eq!(
             f.apply(&[Time::finite(4)]),
-            Err(CoreError::ArityMismatch { expected: 2, actual: 1 })
+            Err(CoreError::ArityMismatch {
+                expected: 2,
+                actual: 1
+            })
         );
         assert!(format!("{f:?}").contains("arity"));
     }
@@ -541,8 +552,7 @@ mod tests {
         let f = min_fn();
         let r = &f;
         assert_eq!(r.arity(), 2);
-        let b: Box<dyn SpaceTimeFunction> =
-            Box::new(FnSpaceTime::new(1, |x: &[Time]| x[0] + 1));
+        let b: Box<dyn SpaceTimeFunction> = Box::new(FnSpaceTime::new(1, |x: &[Time]| x[0] + 1));
         assert_eq!(b.arity(), 1);
         assert_eq!(b.apply(&[Time::ZERO]), Ok(Time::finite(1)));
     }
@@ -550,12 +560,30 @@ mod tests {
     #[test]
     fn primitives_are_space_time_functions() {
         let prims: Vec<(&str, Box<dyn SpaceTimeFunction>)> = vec![
-            ("min", Box::new(FnSpaceTime::new(2, |x: &[Time]| ops::min(x[0], x[1])))),
-            ("max", Box::new(FnSpaceTime::new(2, |x: &[Time]| ops::max(x[0], x[1])))),
-            ("lt", Box::new(FnSpaceTime::new(2, |x: &[Time]| ops::lt(x[0], x[1])))),
-            ("inc3", Box::new(FnSpaceTime::new(1, |x: &[Time]| ops::inc(x[0], 3)))),
-            ("le", Box::new(FnSpaceTime::new(2, |x: &[Time]| ops::le(x[0], x[1])))),
-            ("coincide", Box::new(FnSpaceTime::new(2, |x: &[Time]| ops::coincide(x[0], x[1])))),
+            (
+                "min",
+                Box::new(FnSpaceTime::new(2, |x: &[Time]| ops::min(x[0], x[1]))),
+            ),
+            (
+                "max",
+                Box::new(FnSpaceTime::new(2, |x: &[Time]| ops::max(x[0], x[1]))),
+            ),
+            (
+                "lt",
+                Box::new(FnSpaceTime::new(2, |x: &[Time]| ops::lt(x[0], x[1]))),
+            ),
+            (
+                "inc3",
+                Box::new(FnSpaceTime::new(1, |x: &[Time]| ops::inc(x[0], 3))),
+            ),
+            (
+                "le",
+                Box::new(FnSpaceTime::new(2, |x: &[Time]| ops::le(x[0], x[1]))),
+            ),
+            (
+                "coincide",
+                Box::new(FnSpaceTime::new(2, |x: &[Time]| ops::coincide(x[0], x[1]))),
+            ),
         ];
         for (name, f) in prims {
             verify_space_time(f.as_ref(), 4, 3, None)
@@ -612,8 +640,7 @@ mod tests {
                 Time::INFINITY
             }
         });
-        let violation =
-            check_causality_at(&f, &[Time::ZERO, Time::finite(1)]).unwrap_err();
+        let violation = check_causality_at(&f, &[Time::ZERO, Time::finite(1)]).unwrap_err();
         assert!(matches!(
             violation,
             PropertyViolation::DependsOnLateInput { index: 1, .. }

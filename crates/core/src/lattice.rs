@@ -45,8 +45,7 @@ pub fn absorptive(a: Time, b: Time) -> bool {
 /// `a ∨ (b ∧ c) = (a ∨ b) ∧ (a ∨ c)`.
 #[must_use]
 pub fn distributive(a: Time, b: Time, c: Time) -> bool {
-    a.meet(b.join(c)) == a.meet(b).join(a.meet(c))
-        && a.join(b.meet(c)) == a.join(b).meet(a.join(c))
+    a.meet(b.join(c)) == a.meet(b).join(a.meet(c)) && a.join(b.meet(c)) == a.join(b).meet(a.join(c))
 }
 
 /// Boundedness: `0` is the identity of `∨` and annihilator of `∧`; `∞` is
@@ -154,7 +153,10 @@ mod tests {
     fn no_internal_element_has_a_complement() {
         let s = samples();
         for &a in &s {
-            assert!(has_no_complement_among(a, &s), "unexpected complement for {a}");
+            assert!(
+                has_no_complement_among(a, &s),
+                "unexpected complement for {a}"
+            );
         }
     }
 

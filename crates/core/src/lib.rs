@@ -62,6 +62,7 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod compiled;
 pub mod error;
 pub mod expr;
 pub mod function;
@@ -73,11 +74,12 @@ pub mod table;
 pub mod time;
 pub mod volley;
 
+pub use compiled::CompiledTable;
 pub use error::CoreError;
 pub use expr::Expr;
 pub use function::{
-    check_bounded_at, check_causality_at, check_invariance_at, enumerate_inputs,
-    verify_space_time, with_arity, FnSpaceTime, PropertyViolation, SpaceTimeFunction, WithArity,
+    check_bounded_at, check_causality_at, check_invariance_at, enumerate_inputs, verify_space_time,
+    with_arity, FnSpaceTime, PropertyViolation, SpaceTimeFunction, WithArity,
 };
 pub use parse::{parse_expr, ParseExprError};
 pub use simplify::simplify;

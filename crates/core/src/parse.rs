@@ -215,7 +215,10 @@ mod tests {
         assert_eq!("x12".parse::<Expr>().unwrap(), Expr::input(12));
         assert_eq!("7".parse::<Expr>().unwrap(), Expr::constant(t(7)));
         assert_eq!("∞".parse::<Expr>().unwrap(), Expr::constant(Time::INFINITY));
-        assert_eq!("inf".parse::<Expr>().unwrap(), Expr::constant(Time::INFINITY));
+        assert_eq!(
+            "inf".parse::<Expr>().unwrap(),
+            Expr::constant(Time::INFINITY)
+        );
     }
 
     #[test]
@@ -232,7 +235,10 @@ mod tests {
         let e: Expr = "(min x0 x1 x2 x3)".parse().unwrap();
         assert_eq!(
             e,
-            Expr::input(0).min(Expr::input(1)).min(Expr::input(2)).min(Expr::input(3))
+            Expr::input(0)
+                .min(Expr::input(1))
+                .min(Expr::input(2))
+                .min(Expr::input(3))
         );
         let e: Expr = "(∨ x0 x1 x2)".parse().unwrap();
         assert_eq!(e, Expr::input(0).max(Expr::input(1)).max(Expr::input(2)));
@@ -282,9 +288,6 @@ mod tests {
     #[test]
     fn parsed_expressions_evaluate() {
         let e: Expr = "(lt (min (+1 x0) x1) x2)".parse().unwrap();
-        assert_eq!(
-            e.eval(&[t(0), t(3), t(2)]).unwrap(),
-            t(1)
-        );
+        assert_eq!(e.eval(&[t(0), t(3), t(2)]).unwrap(), t(1));
     }
 }

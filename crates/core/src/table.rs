@@ -174,7 +174,10 @@ impl FunctionTable {
                 }
             }
             if let Some(&first) = seen.get(&inputs) {
-                return Err(CoreError::DuplicateRow { first, second: index });
+                return Err(CoreError::DuplicateRow {
+                    first,
+                    second: index,
+                });
             }
             seen.insert(inputs.clone(), index);
             validated.push(TableRow { inputs, output });
@@ -282,6 +285,21 @@ impl FunctionTable {
         Ok(Time::min_of(
             self.rows.iter().filter_map(|row| row.match_against(inputs)),
         ))
+    }
+
+    /// Builds the indexed, evaluate-many form of this table.
+    ///
+    /// The result evaluates bit-identically to [`FunctionTable::eval`] but
+    /// probes one hash map per distinct finite-support mask instead of
+    /// scanning every row — the compile-once half of the batched engine's
+    /// compile-once/evaluate-many contract. See [`crate::compiled`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity exceeds 64.
+    #[must_use]
+    pub fn compile(&self) -> crate::compiled::CompiledTable {
+        crate::compiled::CompiledTable::build(self)
     }
 
     /// Evaluates the table by the paper's literal procedure: normalize the
@@ -589,10 +607,7 @@ mod tests {
     fn eval_respects_invariance_by_construction() {
         let table = fig7();
         for s in 0..5u64 {
-            assert_eq!(
-                table.eval(&[t(s), t(1 + s), t(2 + s)]).unwrap(),
-                t(3 + s)
-            );
+            assert_eq!(table.eval(&[t(s), t(1 + s), t(2 + s)]).unwrap(), t(3 + s));
         }
     }
 
@@ -609,11 +624,17 @@ mod tests {
         let table = fig7();
         assert_eq!(
             table.eval(&[t(0)]),
-            Err(CoreError::ArityMismatch { expected: 3, actual: 1 })
+            Err(CoreError::ArityMismatch {
+                expected: 3,
+                actual: 1
+            })
         );
         assert_eq!(
             table.eval_lookup(&[t(0); 4]),
-            Err(CoreError::ArityMismatch { expected: 3, actual: 4 })
+            Err(CoreError::ArityMismatch {
+                expected: 3,
+                actual: 4
+            })
         );
     }
 
@@ -625,7 +646,11 @@ mod tests {
         );
         assert_eq!(
             FunctionTable::from_rows(2, vec![(vec![t(0)], t(1))]),
-            Err(CoreError::RowArityMismatch { row: 0, expected: 2, actual: 1 })
+            Err(CoreError::RowArityMismatch {
+                row: 0,
+                expected: 2,
+                actual: 1
+            })
         );
         assert_eq!(
             FunctionTable::from_rows(2, vec![(vec![t(1), t(2)], t(3))]),
@@ -645,14 +670,11 @@ mod tests {
             })
         );
         assert_eq!(
-            FunctionTable::from_rows(
-                2,
-                vec![
-                    (vec![t(0), t(1)], t(1)),
-                    (vec![t(0), t(1)], t(1)),
-                ]
-            ),
-            Err(CoreError::DuplicateRow { first: 0, second: 1 })
+            FunctionTable::from_rows(2, vec![(vec![t(0), t(1)], t(1)), (vec![t(0), t(1)], t(1)),]),
+            Err(CoreError::DuplicateRow {
+                first: 0,
+                second: 1
+            })
         );
     }
 
@@ -728,14 +750,9 @@ mod tests {
         // so build a conflict with equal-output-bound entries instead:
         // Row 1: [0,2]→2 also matches [0,2]; row 0 matches [0,2]? 2 > 0 is
         // true, so both match with different outputs (0 vs 2).
-        let table = FunctionTable::from_rows(
-            2,
-            vec![
-                (vec![t(0), INF], t(0)),
-                (vec![t(0), t(2)], t(2)),
-            ],
-        )
-        .unwrap();
+        let table =
+            FunctionTable::from_rows(2, vec![(vec![t(0), INF], t(0)), (vec![t(0), t(2)], t(2))])
+                .unwrap();
         let err = table.check_consistency(3).unwrap_err();
         assert!(matches!(err, CoreError::InconsistentRows { .. }));
         // The network/minimum semantics still picks the earliest output.

@@ -307,14 +307,19 @@ impl FromStr for Time {
     /// `∞`, `inf`, `infinity` (case-insensitive).
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let trimmed = s.trim();
-        if trimmed == "∞" || trimmed.eq_ignore_ascii_case("inf") || trimmed.eq_ignore_ascii_case("infinity") {
+        if trimmed == "∞"
+            || trimmed.eq_ignore_ascii_case("inf")
+            || trimmed.eq_ignore_ascii_case("infinity")
+        {
             return Ok(Time::INFINITY);
         }
         trimmed
             .parse::<u64>()
             .ok()
             .and_then(Time::try_finite)
-            .ok_or_else(|| ParseTimeError { input: s.to_owned() })
+            .ok_or_else(|| ParseTimeError {
+                input: s.to_owned(),
+            })
     }
 }
 

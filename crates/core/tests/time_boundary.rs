@@ -1,0 +1,182 @@
+//! Exhaustive small-domain boundary tests for the `Time` lattice.
+//!
+//! The § III algebra lives on `N0^∞ = {0, 1, …} ∪ {∞}`; every identity the
+//! rest of the workspace leans on (lattice axioms, strict-`lt` gating,
+//! `inc` shift-invariance) is checked here over the *complete* grid
+//! `{0..=K} ∪ {∞}` — no sampling — plus the saturation boundary at
+//! [`Time::MAX_FINITE`], where the `u64` encoding meets the `∞` sentinel.
+
+use st_core::Time;
+
+/// Grid radius: every 1-, 2-, and 3-tuple over `{0..=K} ∪ {∞}` is checked.
+const K: u64 = 6;
+
+/// The full small domain, `∞` included.
+fn grid() -> Vec<Time> {
+    (0..=K).map(Time::finite).chain([Time::INFINITY]).collect()
+}
+
+const INF: Time = Time::INFINITY;
+
+#[test]
+fn meet_join_lattice_axioms_hold_on_the_full_grid() {
+    let d = grid();
+    for &a in &d {
+        // Idempotence and identities: ∞ is the meet identity (top), 0 the
+        // join identity (bottom).
+        assert_eq!(a.meet(a), a);
+        assert_eq!(a.join(a), a);
+        assert_eq!(a.meet(INF), a);
+        assert_eq!(a.join(Time::ZERO), a);
+        assert_eq!(a.meet(Time::ZERO), Time::ZERO);
+        assert_eq!(a.join(INF), INF);
+        for &b in &d {
+            // Commutativity.
+            assert_eq!(a.meet(b), b.meet(a));
+            assert_eq!(a.join(b), b.join(a));
+            // Absorption ties the two operations into one lattice.
+            assert_eq!(a.meet(a.join(b)), a);
+            assert_eq!(a.join(a.meet(b)), a);
+            // The meet/join are the earlier/later of the pair…
+            assert!(a.meet(b) == a || a.meet(b) == b);
+            assert!(a.join(b) == a || a.join(b) == b);
+            // …and bracket both operands.
+            assert!(a.meet(b) <= a && a <= a.join(b));
+            for &c in &d {
+                // Associativity.
+                assert_eq!(a.meet(b).meet(c), a.meet(b.meet(c)));
+                assert_eq!(a.join(b).join(c), a.join(b.join(c)));
+                // Distributivity (the time lattice is a chain, hence
+                // distributive both ways).
+                assert_eq!(a.meet(b.join(c)), a.meet(b).join(a.meet(c)));
+                assert_eq!(a.join(b.meet(c)), a.join(b).meet(a.join(c)));
+            }
+        }
+    }
+}
+
+#[test]
+fn lt_gate_is_strict_everywhere_including_ties_and_infinity() {
+    let d = grid();
+    for &a in &d {
+        // A tie never fires — at every grid point, ∞ included.
+        assert_eq!(a.lt_gate(a), INF);
+        // ∞ is never strictly earlier than anything; everything finite is
+        // strictly earlier than ∞.
+        assert_eq!(INF.lt_gate(a), INF);
+        if a.is_finite() {
+            assert_eq!(a.lt_gate(INF), a);
+        }
+        for &b in &d {
+            let expected = if a < b { a } else { INF };
+            assert_eq!(a.lt_gate(b), expected, "lt_gate({a}, {b})");
+        }
+    }
+}
+
+#[test]
+fn inc_is_a_lattice_homomorphism_on_the_grid() {
+    let d = grid();
+    for delta in 0..=K {
+        for &a in &d {
+            // inc(0) is the identity; increments compose additively.
+            assert_eq!(a.inc(0), a);
+            assert_eq!(a.inc(delta).inc(1), a.inc(delta + 1));
+            // ∞ absorbs any delay.
+            assert_eq!(INF.inc(delta), INF);
+            for &b in &d {
+                // Delaying commutes with meet, join, and the strict gate —
+                // the shift-invariance that makes tables normalizable.
+                assert_eq!(a.meet(b).inc(delta), a.inc(delta).meet(b.inc(delta)));
+                assert_eq!(a.join(b).inc(delta), a.inc(delta).join(b.inc(delta)));
+                assert_eq!(
+                    a.lt_gate(b).inc(delta),
+                    a.inc(delta).lt_gate(b.inc(delta)),
+                    "lt_gate shift at ({a}, {b}) + {delta}"
+                );
+                // Monotonicity.
+                if a <= b {
+                    assert!(a.inc(delta) <= b.inc(delta));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn inc_saturates_exactly_at_the_infinity_boundary() {
+    let max = Time::MAX_FINITE;
+    // The largest finite time is still finite and one step below ∞…
+    assert!(max.is_finite());
+    assert_eq!(max.value(), Some(u64::MAX - 1));
+    assert!(max < INF);
+    // …and any positive delay pushes it into (exactly) the ∞ encoding.
+    assert_eq!(max.inc(0), max);
+    assert_eq!(max.inc(1), INF);
+    assert_eq!(max.inc(u64::MAX), INF);
+    // Saturation from further back: the delay that lands exactly on
+    // MAX_FINITE stays finite, one more saturates.
+    for start in 0..=K {
+        let t = Time::finite(start);
+        assert_eq!(t.inc(u64::MAX - 1 - start), max);
+        assert_eq!(t.inc(u64::MAX - start), INF);
+        assert_eq!(t.inc(u64::MAX), INF);
+        // The `+` operator is an alias for `inc` at the boundary too.
+        assert_eq!(t + (u64::MAX - start), INF);
+    }
+    // The reserved encoding is not constructible as a finite value.
+    assert_eq!(Time::try_finite(u64::MAX), None);
+    assert_eq!(Time::try_finite(u64::MAX - 1), Some(max));
+}
+
+#[test]
+fn subtraction_boundaries_mirror_inc() {
+    let d = grid();
+    for &a in &d {
+        for delta in 0..=K + 1 {
+            match a.value() {
+                Some(v) => {
+                    // checked_sub is exact; saturating_sub floors at zero.
+                    assert_eq!(
+                        a.checked_sub(delta),
+                        v.checked_sub(delta).map(Time::finite),
+                        "checked_sub({a}, {delta})"
+                    );
+                    assert_eq!(
+                        a.saturating_sub(delta),
+                        Time::finite(v.saturating_sub(delta))
+                    );
+                    // Round-trip through a delay (no saturation on the grid).
+                    assert_eq!(a.inc(delta).checked_sub(delta), Some(a));
+                }
+                None => {
+                    // ∞ is a fixed point of both flavours.
+                    assert_eq!(a.checked_sub(delta), Some(INF));
+                    assert_eq!(a.saturating_sub(delta), INF);
+                }
+            }
+        }
+    }
+    // At the top: ∞ never un-saturates, even by u64::MAX.
+    assert_eq!(INF.checked_sub(u64::MAX), Some(INF));
+    assert_eq!(Time::MAX_FINITE.checked_sub(u64::MAX - 1), Some(Time::ZERO));
+    assert_eq!(Time::MAX_FINITE.checked_sub(u64::MAX), None);
+}
+
+#[test]
+fn min_of_and_max_of_fold_from_the_correct_identities() {
+    let d = grid();
+    // Empty folds land on the identity elements.
+    assert_eq!(Time::min_of([]), INF);
+    assert_eq!(Time::max_of([]), Time::ZERO);
+    // Singleton and full-grid folds.
+    for &a in &d {
+        assert_eq!(Time::min_of([a]), a);
+        assert_eq!(Time::max_of([a]), a);
+    }
+    assert_eq!(Time::min_of(d.iter().copied()), Time::ZERO);
+    assert_eq!(Time::max_of(d.iter().copied()), INF);
+    // An all-∞ volley has no first spike; an all-zero one peaks at 0.
+    assert_eq!(Time::min_of([INF, INF, INF]), INF);
+    assert_eq!(Time::max_of([Time::ZERO, Time::ZERO]), Time::ZERO);
+}

@@ -123,8 +123,12 @@ mod tests {
         for _ in 0..25 {
             let len_a = rng.random_range(0..10);
             let len_b = rng.random_range(0..10);
-            let a: Vec<u8> = (0..len_a).map(|_| bases[rng.random_range(0..4)]).collect();
-            let b: Vec<u8> = (0..len_b).map(|_| bases[rng.random_range(0..4)]).collect();
+            let a: Vec<u8> = (0..len_a)
+                .map(|_| bases[rng.random_range(0..4usize)])
+                .collect();
+            let b: Vec<u8> = (0..len_b)
+                .map(|_| bases[rng.random_range(0..4usize)])
+                .collect();
             assert_eq!(
                 edit_distance_race(&a, &b).0,
                 edit_distance_reference(&a, &b),

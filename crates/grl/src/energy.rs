@@ -34,7 +34,10 @@ pub struct EnergyStats {
 /// # Errors
 ///
 /// Propagates arity errors from the simulator.
-pub fn measure_energy<'a, I>(netlist: &GrlNetlist, input_sets: I) -> Result<EnergyStats, st_core::CoreError>
+pub fn measure_energy<'a, I>(
+    netlist: &GrlNetlist,
+    input_sets: I,
+) -> Result<EnergyStats, st_core::CoreError>
 where
     I: IntoIterator<Item = &'a [Time]>,
 {
@@ -208,8 +211,11 @@ mod tests {
         let dense: Vec<Time> = vec![t(0), t(1)];
         let sparse: Vec<Time> = vec![Time::INFINITY, t(1)];
         let silent: Vec<Time> = vec![Time::INFINITY, Time::INFINITY];
-        let stats =
-            measure_energy(&net, [dense.as_slice(), sparse.as_slice(), silent.as_slice()]).unwrap();
+        let stats = measure_energy(
+            &net,
+            [dense.as_slice(), sparse.as_slice(), silent.as_slice()],
+        )
+        .unwrap();
         assert_eq!(stats.runs, 3);
         // dense: x, y, or, delay = 4; sparse: y, or, delay = 3; silent: 0.
         assert!((stats.mean_eval_transitions - (4.0 + 3.0 + 0.0) / 3.0).abs() < 1e-12);

@@ -51,7 +51,10 @@ pub mod vcd;
 
 pub use alignment::{edit_distance_race, edit_distance_reference};
 pub use compile::compile_network;
-pub use energy::{binary_baseline_transitions, estimate_energy, measure_energy, EnergyBreakdown, EnergyModel, EnergyStats};
+pub use energy::{
+    binary_baseline_transitions, estimate_energy, measure_energy, EnergyBreakdown, EnergyModel,
+    EnergyStats,
+};
 pub use netlist::{GrlBuilder, GrlGate, GrlNetlist, WireId};
 pub use physical::{divergence_rate, run_physical, PhysicalReport, PhysicalTiming};
 pub use shortest_path::WeightedDag;

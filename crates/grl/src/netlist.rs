@@ -128,11 +128,7 @@ impl GrlNetlist {
     /// run.
     #[must_use]
     pub fn settle_bound(&self, inputs: &[Time]) -> u64 {
-        let max_input = inputs
-            .iter()
-            .filter_map(|t| t.value())
-            .max()
-            .unwrap_or(0);
+        let max_input = inputs.iter().filter_map(|t| t.value()).max().unwrap_or(0);
         let mut delay_total = 0u64;
         let mut max_const = 0u64;
         for g in &self.gates {

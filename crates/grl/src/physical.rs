@@ -309,7 +309,10 @@ mod tests {
         assert_eq!(PhysicalReport::decode(t(0), &timing), t(0));
         assert_eq!(PhysicalReport::decode(t(14), &timing), t(1));
         assert_eq!(PhysicalReport::decode(t(15), &timing), t(2));
-        assert_eq!(PhysicalReport::decode(Time::INFINITY, &timing), Time::INFINITY);
+        assert_eq!(
+            PhysicalReport::decode(Time::INFINITY, &timing),
+            Time::INFINITY
+        );
     }
 
     #[test]

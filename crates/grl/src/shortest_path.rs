@@ -70,9 +70,21 @@ impl WeightedDag {
     /// Panics if `nodes == 0`, `span == 0`, `max_weight == 0`, or
     /// `edge_prob ∉ [0, 1]`.
     #[must_use]
-    pub fn random(nodes: usize, span: usize, edge_prob: f64, max_weight: u64, seed: u64) -> WeightedDag {
-        assert!(nodes > 0 && span > 0 && max_weight > 0, "degenerate parameters");
-        assert!((0.0..=1.0).contains(&edge_prob), "edge_prob must be a probability");
+    pub fn random(
+        nodes: usize,
+        span: usize,
+        edge_prob: f64,
+        max_weight: u64,
+        seed: u64,
+    ) -> WeightedDag {
+        assert!(
+            nodes > 0 && span > 0 && max_weight > 0,
+            "degenerate parameters"
+        );
+        assert!(
+            (0.0..=1.0).contains(&edge_prob),
+            "edge_prob must be a probability"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut edges = Vec::new();
         for u in 0..nodes {
@@ -179,7 +191,11 @@ mod tests {
 
     fn diamond() -> WeightedDag {
         // 0 → 1 (2), 0 → 2 (5), 1 → 3 (2), 2 → 3 (1), 1 → 2 (1)
-        WeightedDag::new(4, vec![(0, 1, 2), (0, 2, 5), (1, 3, 2), (2, 3, 1), (1, 2, 1)]).unwrap()
+        WeightedDag::new(
+            4,
+            vec![(0, 1, 2), (0, 2, 5), (1, 3, 2), (2, 3, 1), (1, 2, 1)],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -219,7 +235,15 @@ mod tests {
         let (race, report) = shortest_paths_race(&dag, 0);
         let longest = race.iter().filter_map(|d| d.value()).max().unwrap();
         // fall times of node wires are exactly the distances.
-        assert!(report.fall_times.iter().filter_map(|f| f.value()).max().unwrap() >= longest);
+        assert!(
+            report
+                .fall_times
+                .iter()
+                .filter_map(|f| f.value())
+                .max()
+                .unwrap()
+                >= longest
+        );
         assert_eq!(longest, 4);
     }
 
@@ -253,7 +277,10 @@ mod tests {
         let a = WeightedDag::random(10, 3, 0.5, 4, 7);
         let b = WeightedDag::random(10, 3, 0.5, 4, 7);
         assert_eq!(a, b);
-        assert!(a.edges().iter().all(|&(u, v, w)| v - u <= 3 && (1..=4).contains(&w)));
+        assert!(a
+            .edges()
+            .iter()
+            .all(|&(u, v, w)| v - u <= 3 && (1..=4).contains(&w)));
         assert_eq!(a.node_count(), 10);
     }
 }

@@ -13,7 +13,7 @@
 //! property of § VI conjecture 1); the test suites check both this and the
 //! cycle-exact equivalence with the algebraic evaluator in `st-net`.
 
-use st_core::{CoreError, Time};
+use st_core::{CoreError, Time, Volley};
 
 use crate::netlist::{GrlGate, GrlNetlist};
 
@@ -54,6 +54,27 @@ impl GrlReport {
     }
 }
 
+/// Reusable per-run wire state, so batched runs allocate once.
+#[derive(Debug, Default)]
+struct GrlScratch {
+    level: Vec<bool>,
+    prev_level: Vec<bool>,
+    blocked: Vec<bool>,
+}
+
+impl GrlScratch {
+    /// Restores the reset state (all wires high, latches clear) for a
+    /// netlist of `n` wires, growing the buffers if needed.
+    fn reset(&mut self, n: usize) {
+        self.level.clear();
+        self.level.resize(n, true);
+        self.prev_level.clear();
+        self.prev_level.resize(n, true);
+        self.blocked.clear();
+        self.blocked.resize(n, false);
+    }
+}
+
 /// Cycle-accurate GRL simulator.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct GrlSim;
@@ -74,6 +95,35 @@ impl GrlSim {
     /// Returns [`CoreError::ArityMismatch`] if `inputs.len()` differs from
     /// the netlist's input count.
     pub fn run(&self, netlist: &GrlNetlist, inputs: &[Time]) -> Result<GrlReport, CoreError> {
+        self.run_with_scratch(netlist, inputs, &mut GrlScratch::default())
+    }
+
+    /// Simulates one computation per entry of `volleys`, reusing the
+    /// per-run scratch state (wire levels, latch flags) across the batch so
+    /// only the fall-time vector is allocated per volley.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ArityMismatch`] for the first (lowest-index)
+    /// volley whose width differs from the netlist's input count.
+    pub fn run_batch(
+        &self,
+        netlist: &GrlNetlist,
+        volleys: &[Volley],
+    ) -> Result<Vec<GrlReport>, CoreError> {
+        let mut scratch = GrlScratch::default();
+        volleys
+            .iter()
+            .map(|v| self.run_with_scratch(netlist, v.times(), &mut scratch))
+            .collect()
+    }
+
+    fn run_with_scratch(
+        &self,
+        netlist: &GrlNetlist,
+        inputs: &[Time],
+        scratch: &mut GrlScratch,
+    ) -> Result<GrlReport, CoreError> {
         if inputs.len() != netlist.input_count() {
             return Err(CoreError::ArityMismatch {
                 expected: netlist.input_count(),
@@ -84,9 +134,10 @@ impl GrlSim {
         let horizon = netlist.settle_bound(inputs);
 
         // Reset state: every wire high, latches unblocked, flip-flops high.
-        let mut level: Vec<bool> = vec![true; n]; // current-cycle level
-        let mut prev_level: Vec<bool> = vec![true; n]; // previous cycle
-        let mut blocked: Vec<bool> = vec![false; n]; // latch state per wire
+        scratch.reset(n);
+        let level = &mut scratch.level; // current-cycle level
+        let prev_level = &mut scratch.prev_level; // previous cycle
+        let blocked = &mut scratch.blocked; // latch state per wire
         let mut fall: Vec<Time> = vec![Time::INFINITY; n];
         let mut lt_latched = 0usize; // latches that captured a "blocked" state
 
@@ -115,7 +166,7 @@ impl GrlSim {
                 }
                 level[i] = new_level;
             }
-            prev_level.copy_from_slice(&level);
+            prev_level.copy_from_slice(level);
         }
 
         let eval_transitions = fall.iter().filter(|f| f.is_finite()).count();
@@ -202,7 +253,10 @@ mod tests {
         let report = GrlSim::new().run(&net, &[t(1), t(4)]).unwrap();
         assert_eq!(report.outputs, vec![t(1)]);
         // The wire fell exactly once.
-        assert_eq!(report.fall_times.iter().filter(|f| f.is_finite()).count(), 3);
+        assert_eq!(
+            report.fall_times.iter().filter(|f| f.is_finite()).count(),
+            3
+        );
     }
 
     #[test]
@@ -284,5 +338,27 @@ mod tests {
         let x = b.input();
         let net = b.build([x]);
         assert!(GrlSim::new().run(&net, &[t(0)]).is_err());
+    }
+
+    #[test]
+    fn run_batch_matches_per_volley_runs() {
+        use st_core::Volley;
+        let mut b = GrlBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let z = b.input();
+        let d = b.shift_register(x, 2);
+        let mn = b.and2(d, y);
+        let out = b.lt(mn, z);
+        let net = b.build([out]);
+        let sim = GrlSim::new();
+        let volleys: Vec<Volley> = st_core::enumerate_inputs(3, 3).map(Volley::new).collect();
+        let reports = sim.run_batch(&net, &volleys).unwrap();
+        assert_eq!(reports.len(), volleys.len());
+        for (v, report) in volleys.iter().zip(&reports) {
+            assert_eq!(*report, sim.run(&net, v.times()).unwrap(), "at {v:?}");
+        }
+        // A bad volley anywhere fails the whole batch.
+        assert!(sim.run_batch(&net, &[Volley::new(vec![t(0)])]).is_err());
     }
 }

@@ -54,7 +54,12 @@ impl fmt::Display for GateCounts {
         write!(
             f,
             "inputs={} consts={} min={} max={} lt={} inc={} (operators={})",
-            self.inputs, self.constants, self.min, self.max, self.lt, self.inc,
+            self.inputs,
+            self.constants,
+            self.min,
+            self.max,
+            self.lt,
+            self.inc,
             self.operators()
         )
     }

@@ -187,10 +187,7 @@ mod tests {
         let c = gate_counts(&net);
         assert_eq!(c.min, 1, "shared min must compile once");
         assert_eq!(c.inc, 2);
-        assert_eq!(
-            net.eval(&[t(3), t(5)]).unwrap(),
-            vec![t(4), t(5)]
-        );
+        assert_eq!(net.eval(&[t(3), t(5)]).unwrap(), vec![t(4), t(5)]);
     }
 
     #[test]

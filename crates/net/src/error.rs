@@ -27,7 +27,10 @@ impl fmt::Display for NetError {
         match self {
             NetError::UnknownGate { id } => write!(f, "gate {id:?} does not exist"),
             NetError::NotAConstant { id } => {
-                write!(f, "gate {id:?} is not a constant and cannot be reconfigured")
+                write!(
+                    f,
+                    "gate {id:?} is not a constant and cannot be reconfigured"
+                )
             }
             NetError::EmptyFanIn => write!(f, "min/max gates require at least one source"),
         }
@@ -43,9 +46,15 @@ mod tests {
     #[test]
     fn display_is_informative() {
         let id = GateId::from_index(3);
-        assert!(NetError::UnknownGate { id }.to_string().contains("does not exist"));
-        assert!(NetError::NotAConstant { id }.to_string().contains("not a constant"));
-        assert!(NetError::EmptyFanIn.to_string().contains("at least one source"));
+        assert!(NetError::UnknownGate { id }
+            .to_string()
+            .contains("does not exist"));
+        assert!(NetError::NotAConstant { id }
+            .to_string()
+            .contains("not a constant"));
+        assert!(NetError::EmptyFanIn
+            .to_string()
+            .contains("at least one source"));
     }
 
     #[test]

@@ -25,7 +25,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use st_core::{CoreError, Time};
+use st_core::{CoreError, Time, Volley};
 
 use crate::graph::{GateKind, Network};
 
@@ -76,16 +76,17 @@ impl EventSim {
     /// Returns [`CoreError::ArityMismatch`] if `inputs.len()` differs from
     /// the network's input count.
     pub fn run(&self, network: &Network, inputs: &[Time]) -> Result<EventReport, CoreError> {
-        if inputs.len() != network.input_count() {
-            return Err(CoreError::ArityMismatch {
-                expected: network.input_count(),
-                actual: inputs.len(),
-            });
-        }
-        let n = network.gate_count();
+        self.compile(network).run(inputs)
+    }
 
+    /// Extracts the network's topology into a [`CompiledNetwork`] so that
+    /// repeated runs skip the per-run gate walk — the compile-once half of
+    /// the batched engine's compile-once/evaluate-many contract.
+    #[must_use]
+    pub fn compile(&self, network: &Network) -> CompiledNetwork {
+        let n = network.gate_count();
         let mut kinds: Vec<GateKind> = Vec::with_capacity(n);
-        let mut sources: Vec<&[crate::GateId]> = Vec::with_capacity(n);
+        let mut sources: Vec<Vec<usize>> = Vec::with_capacity(n);
         let mut fanout: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (id, kind) in network.iter_gates() {
             let srcs = network.sources(id).expect("id from iter_gates");
@@ -93,8 +94,85 @@ impl EventSim {
                 fanout[s.index()].push(id.index());
             }
             kinds.push(kind);
-            sources.push(srcs);
+            sources.push(srcs.iter().map(|s| s.index()).collect());
         }
+        CompiledNetwork {
+            input_count: network.input_count(),
+            outputs: network.outputs().iter().map(|o| o.index()).collect(),
+            kinds,
+            sources,
+            fanout,
+        }
+    }
+
+    /// Runs one input volley per entry of `volleys`, compiling the network
+    /// once up front.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ArityMismatch`] for the first (lowest-index)
+    /// volley whose width differs from the network's input count.
+    pub fn run_batch(
+        &self,
+        network: &Network,
+        volleys: &[Volley],
+    ) -> Result<Vec<EventReport>, CoreError> {
+        let compiled = self.compile(network);
+        volleys.iter().map(|v| compiled.run(v.times())).collect()
+    }
+}
+
+/// A [`Network`] with its topology (kinds, sources, fanout) extracted for
+/// evaluate-many workloads. Immutable and cheap to share across threads.
+///
+/// Built with [`EventSim::compile`]; [`CompiledNetwork::run`] produces the
+/// same [`EventReport`] as [`EventSim::run`] on the source network.
+#[derive(Debug, Clone)]
+pub struct CompiledNetwork {
+    input_count: usize,
+    outputs: Vec<usize>,
+    kinds: Vec<GateKind>,
+    sources: Vec<Vec<usize>>,
+    fanout: Vec<Vec<usize>>,
+}
+
+impl CompiledNetwork {
+    /// The number of input lines.
+    #[must_use]
+    pub fn input_count(&self) -> usize {
+        self.input_count
+    }
+
+    /// The number of output lines.
+    #[must_use]
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// The number of gates in the source network.
+    #[must_use]
+    pub fn gate_count(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Plays one computation out in time, bit-identically to
+    /// [`EventSim::run`] on the source network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ArityMismatch`] if `inputs.len()` differs from
+    /// the network's input count.
+    pub fn run(&self, inputs: &[Time]) -> Result<EventReport, CoreError> {
+        if inputs.len() != self.input_count {
+            return Err(CoreError::ArityMismatch {
+                expected: self.input_count,
+                actual: inputs.len(),
+            });
+        }
+        let n = self.kinds.len();
+        let kinds = &self.kinds;
+        let sources = &self.sources;
+        let fanout = &self.fanout;
 
         let mut fired: Vec<Time> = vec![Time::INFINITY; n];
         let mut total_events = 0usize;
@@ -133,7 +211,7 @@ impl EventSim {
                 GateKind::Inc(_) => Some(now),
                 GateKind::Min => Some(now),
                 GateKind::Max => {
-                    let times: Vec<Time> = sources[gate].iter().map(|s| fired[s.index()]).collect();
+                    let times: Vec<Time> = sources[gate].iter().map(|&s| fired[s]).collect();
                     if times.iter().all(|t| t.is_finite()) {
                         Some(Time::max_of(times))
                     } else {
@@ -141,8 +219,8 @@ impl EventSim {
                     }
                 }
                 GateKind::Lt => {
-                    let a = fired[sources[gate][0].index()];
-                    let b = fired[sources[gate][1].index()];
+                    let a = fired[sources[gate][0]];
+                    let b = fired[sources[gate][1]];
                     (a.is_finite() && a < b).then_some(a)
                 }
             };
@@ -161,7 +239,7 @@ impl EventSim {
             }
         }
 
-        let outputs = network.outputs().iter().map(|&o| fired[o.index()]).collect();
+        let outputs = self.outputs.iter().map(|&o| fired[o]).collect();
         Ok(EventReport {
             outputs,
             firings: fired,
@@ -217,7 +295,9 @@ mod tests {
         assert_eq!(report.outputs, vec![Time::INFINITY]);
         // Sparse volley: only input 1 spikes → min fires, lt uninhibited
         // (c = ∞) so it fires too.
-        let report = sim.run(&net, &[Time::INFINITY, t(3), Time::INFINITY]).unwrap();
+        let report = sim
+            .run(&net, &[Time::INFINITY, t(3), Time::INFINITY])
+            .unwrap();
         assert_eq!(report.outputs, vec![t(3)]);
         assert_eq!(report.total_events, 3); // input1, min, lt
     }
@@ -230,9 +310,15 @@ mod tests {
         let y = b.lt(a, c);
         let net = b.build([y]);
         let sim = EventSim::new();
-        assert_eq!(sim.run(&net, &[t(2), t(2)]).unwrap().outputs, vec![Time::INFINITY]);
+        assert_eq!(
+            sim.run(&net, &[t(2), t(2)]).unwrap().outputs,
+            vec![Time::INFINITY]
+        );
         assert_eq!(sim.run(&net, &[t(2), t(3)]).unwrap().outputs, vec![t(2)]);
-        assert_eq!(sim.run(&net, &[t(3), t(2)]).unwrap().outputs, vec![Time::INFINITY]);
+        assert_eq!(
+            sim.run(&net, &[t(3), t(2)]).unwrap().outputs,
+            vec![Time::INFINITY]
+        );
     }
 
     #[test]
@@ -290,6 +376,40 @@ mod tests {
     fn arity_is_checked() {
         let net = fig6();
         assert!(EventSim::new().run(&net, &[t(0)]).is_err());
+    }
+
+    #[test]
+    fn compiled_network_matches_run() {
+        let net = fig6();
+        let compiled = EventSim::new().compile(&net);
+        assert_eq!(compiled.input_count(), 3);
+        assert_eq!(compiled.output_count(), 1);
+        assert_eq!(compiled.gate_count(), net.gate_count());
+        for inputs in st_core::enumerate_inputs(3, 3) {
+            assert_eq!(
+                compiled.run(&inputs).unwrap(),
+                EventSim::new().run(&net, &inputs).unwrap(),
+                "at {inputs:?}"
+            );
+        }
+        assert!(compiled.run(&[t(0)]).is_err());
+    }
+
+    #[test]
+    fn run_batch_matches_per_volley_runs() {
+        let net = fig6();
+        let sim = EventSim::new();
+        let volleys: Vec<st_core::Volley> = st_core::enumerate_inputs(3, 2)
+            .map(st_core::Volley::new)
+            .collect();
+        let reports = sim.run_batch(&net, &volleys).unwrap();
+        assert_eq!(reports.len(), volleys.len());
+        for (v, report) in volleys.iter().zip(&reports) {
+            assert_eq!(*report, sim.run(&net, v.times()).unwrap());
+        }
+        // A bad volley anywhere fails the whole batch.
+        let bad = vec![st_core::Volley::new(vec![t(0), t(1)])];
+        assert!(sim.run_batch(&net, &bad).is_err());
     }
 
     #[test]

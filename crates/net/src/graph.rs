@@ -147,7 +147,10 @@ impl Network {
 
     /// Iterates over `(id, kind)` pairs in topological order.
     pub fn iter_gates(&self) -> impl Iterator<Item = (GateId, GateKind)> + '_ {
-        self.gates.iter().enumerate().map(|(i, g)| (GateId(i), g.kind))
+        self.gates
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (GateId(i), g.kind))
     }
 
     /// Reconfigures a constant gate — the micro-weight programming
@@ -158,7 +161,10 @@ impl Network {
     /// Returns [`NetError::UnknownGate`] for a foreign id and
     /// [`NetError::NotAConstant`] if the gate is not a [`GateKind::Const`].
     pub fn set_constant(&mut self, id: GateId, value: Time) -> Result<(), NetError> {
-        let gate = self.gates.get_mut(id.0).ok_or(NetError::UnknownGate { id })?;
+        let gate = self
+            .gates
+            .get_mut(id.0)
+            .ok_or(NetError::UnknownGate { id })?;
         match gate.kind {
             GateKind::Const(_) => {
                 gate.kind = GateKind::Const(value);
@@ -231,7 +237,10 @@ impl Network {
             "output {output} out of range ({} outputs)",
             self.outputs.len()
         );
-        NetworkFunction { network: self, output }
+        NetworkFunction {
+            network: self,
+            output,
+        }
     }
 }
 
@@ -433,10 +442,7 @@ mod tests {
         assert_eq!(net.output_count(), 1);
         assert_eq!(net.eval(&[t(0), t(3), t(2)]).unwrap(), vec![t(1)]);
         assert_eq!(net.eval(&[t(5), t(3), t(2)]).unwrap(), vec![Time::INFINITY]);
-        assert_eq!(
-            net.eval(&[t(0), t(3), Time::INFINITY]).unwrap(),
-            vec![t(1)]
-        );
+        assert_eq!(net.eval(&[t(0), t(3), Time::INFINITY]).unwrap(), vec![t(1)]);
     }
 
     #[test]
@@ -458,7 +464,10 @@ mod tests {
         let net = fig6();
         assert_eq!(
             net.eval(&[t(0)]),
-            Err(CoreError::ArityMismatch { expected: 3, actual: 1 })
+            Err(CoreError::ArityMismatch {
+                expected: 3,
+                actual: 1
+            })
         );
     }
 
@@ -520,7 +529,9 @@ mod tests {
         );
         assert_eq!(
             net.set_constant(GateId::from_index(99), Time::ZERO),
-            Err(NetError::UnknownGate { id: GateId::from_index(99) })
+            Err(NetError::UnknownGate {
+                id: GateId::from_index(99)
+            })
         );
     }
 
@@ -530,7 +541,10 @@ mod tests {
         assert_eq!(net.gate_count(), 6);
         assert_eq!(net.kind(GateId::from_index(0)).unwrap(), GateKind::Input(0));
         assert_eq!(net.kind(net.outputs()[0]).unwrap(), GateKind::Lt);
-        assert_eq!(net.sources(GateId::from_index(3)).unwrap(), &[GateId::from_index(0)]);
+        assert_eq!(
+            net.sources(GateId::from_index(3)).unwrap(),
+            &[GateId::from_index(0)]
+        );
         assert!(net.kind(GateId::from_index(99)).is_err());
         assert!(net.sources(GateId::from_index(99)).is_err());
         let kinds: Vec<GateKind> = net.iter_gates().map(|(_, k)| k).collect();

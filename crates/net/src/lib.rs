@@ -53,7 +53,7 @@ pub mod wta;
 
 pub use analysis::{gate_counts, logic_depth, GateCounts};
 pub use error::NetError;
-pub use event::{EventReport, EventSim};
+pub use event::{CompiledNetwork, EventReport, EventSim};
 pub use graph::{GateId, GateKind, Network, NetworkBuilder, NetworkFunction};
 pub use microweight::{micro_weight_into, MicroWeight, WeightedFanout};
 pub use optimize::{optimize, OptimizeReport};

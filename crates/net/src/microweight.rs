@@ -111,7 +111,11 @@ impl WeightedFanout {
     /// Appends the fanout/increment network for `data` with one tap per
     /// entry of `delays`, all initially disabled.
     #[must_use]
-    pub fn into_builder(builder: &mut NetworkBuilder, data: GateId, delays: &[u64]) -> WeightedFanout {
+    pub fn into_builder(
+        builder: &mut NetworkBuilder,
+        data: GateId,
+        delays: &[u64],
+    ) -> WeightedFanout {
         let taps = delays
             .iter()
             .map(|&d| {
@@ -253,10 +257,7 @@ mod tests {
 
         // Weight 4: all taps live.
         fan.set_weight(&mut net, 4).unwrap();
-        assert_eq!(
-            net.eval(&[t(3)]).unwrap(),
-            vec![t(3), t(4), t(5), t(8)]
-        );
+        assert_eq!(net.eval(&[t(3)]).unwrap(), vec![t(3), t(4), t(5), t(8)]);
 
         // Back to zero.
         fan.set_weight(&mut net, 0).unwrap();

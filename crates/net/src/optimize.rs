@@ -87,9 +87,9 @@ pub fn optimize(network: &Network) -> (Network, OptimizeReport) {
     let mut next_input = 0usize;
 
     let intern_const = |builder: &mut NetworkBuilder,
-                            cse: &mut HashMap<Key, GateId>,
-                            constval: &mut HashMap<usize, Time>,
-                            t: Time|
+                        cse: &mut HashMap<Key, GateId>,
+                        constval: &mut HashMap<usize, Time>,
+                        t: Time|
      -> GateId {
         let id = *cse
             .entry(Key::Const(t))
@@ -105,7 +105,8 @@ pub fn optimize(network: &Network) -> (Network, OptimizeReport) {
             .iter()
             .map(|s| rewrite[s.index()])
             .collect();
-        let const_of = |g: &GateId, constval: &HashMap<usize, Time>| constval.get(&g.index()).copied();
+        let const_of =
+            |g: &GateId, constval: &HashMap<usize, Time>| constval.get(&g.index()).copied();
 
         let new_id: GateId = match kind {
             GateKind::Input(_) => {
@@ -158,7 +159,11 @@ pub fn optimize(network: &Network) -> (Network, OptimizeReport) {
                         } else {
                             let mut idxs: Vec<usize> = srcs.iter().map(|s| s.index()).collect();
                             idxs.sort_unstable();
-                            let key = if is_min { Key::Min(idxs) } else { Key::Max(idxs) };
+                            let key = if is_min {
+                                Key::Min(idxs)
+                            } else {
+                                Key::Max(idxs)
+                            };
                             *cse.entry(key).or_insert_with(|| {
                                 if is_min {
                                     builder.min(srcs).expect("non-empty")
@@ -200,7 +205,8 @@ pub fn optimize(network: &Network) -> (Network, OptimizeReport) {
                     None => {
                         // Fuse with an inc feeding this one, when unshared
                         // fusion is representable via CSE key only.
-                        *cse.entry(Key::Inc(a.index(), c)).or_insert_with(|| builder.inc(a, c))
+                        *cse.entry(Key::Inc(a.index(), c))
+                            .or_insert_with(|| builder.inc(a, c))
                     }
                 }
             }
@@ -208,7 +214,11 @@ pub fn optimize(network: &Network) -> (Network, OptimizeReport) {
         rewrite.push(new_id);
     }
 
-    let outputs: Vec<GateId> = network.outputs().iter().map(|o| rewrite[o.index()]).collect();
+    let outputs: Vec<GateId> = network
+        .outputs()
+        .iter()
+        .map(|o| rewrite[o.index()])
+        .collect();
     let dirty = builder.build(outputs);
 
     // Dead-gate elimination: rebuild keeping only gates reachable from the
@@ -412,9 +422,15 @@ mod tests {
 
     #[test]
     fn report_reduction_math() {
-        let r = OptimizeReport { gates_before: 10, gates_after: 4 };
+        let r = OptimizeReport {
+            gates_before: 10,
+            gates_after: 4,
+        };
         assert!((r.reduction() - 0.6).abs() < 1e-12);
-        let r = OptimizeReport { gates_before: 0, gates_after: 0 };
+        let r = OptimizeReport {
+            gates_before: 0,
+            gates_after: 0,
+        };
         assert_eq!(r.reduction(), 0.0);
     }
 }

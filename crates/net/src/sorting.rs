@@ -26,7 +26,10 @@ use crate::graph::{GateId, Network, NetworkBuilder};
 /// Panics if `n` is not a power of two.
 #[must_use]
 pub fn bitonic_schedule(n: usize) -> Vec<(usize, usize, bool)> {
-    assert!(n.is_power_of_two(), "bitonic schedule requires a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "bitonic schedule requires a power of two, got {n}"
+    );
     let mut pairs = Vec::new();
     let mut k = 2;
     while k <= n {
@@ -105,7 +108,10 @@ pub fn sorting_network(n: usize) -> Network {
 /// `n/4 · log2(n) · (log2(n)+1) · 2` — `Θ(n log² n)`.
 #[must_use]
 pub fn comparator_count(n: usize) -> usize {
-    assert!(n.is_power_of_two(), "comparator count defined for powers of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "comparator count defined for powers of two, got {n}"
+    );
     if n < 2 {
         return 0;
     }

@@ -69,7 +69,9 @@ impl SynthesisOptions {
     /// Options selecting the literal minimal basis of Theorem 1.
     #[must_use]
     pub fn pure() -> SynthesisOptions {
-        SynthesisOptions { pure_primitives: true }
+        SynthesisOptions {
+            pure_primitives: true,
+        }
     }
 }
 
@@ -106,13 +108,18 @@ pub fn minterm(
         }
     }
     // Normal form guarantees at least one zero (hence finite) entry.
-    assert!(!up_side.is_empty(), "normal form: at least one finite entry per row");
+    assert!(
+        !up_side.is_empty(),
+        "normal form: at least one finite entry per row"
+    );
     let a = if options.pure_primitives {
         max_all_pure(builder, &up_side)
     } else {
         builder.max(up_side).expect("non-empty")
     };
-    let b = builder.min(down_side).expect("down side contains the finite entries");
+    let b = builder
+        .min(down_side)
+        .expect("down side contains the finite entries");
     builder.lt(a, b)
 }
 
@@ -130,7 +137,11 @@ pub fn synthesize_into(
     table: &FunctionTable,
     options: SynthesisOptions,
 ) -> GateId {
-    assert_eq!(inputs.len(), table.arity(), "input count must match table arity");
+    assert_eq!(
+        inputs.len(),
+        table.arity(),
+        "input count must match table arity"
+    );
     let minterms: Vec<GateId> = table
         .iter()
         .map(|row| minterm(builder, inputs, row.inputs(), row.output(), options))
@@ -329,7 +340,11 @@ mod tests {
             // line spikes within 2 units" — a coincidence-ish detector.
             let m = x[0].meet(x[1]);
             let mx = x[0].join(x[1]);
-            if mx <= m + 2 { m + 3 } else { Time::INFINITY }
+            if mx <= m + 2 {
+                m + 3
+            } else {
+                Time::INFINITY
+            }
         });
         verify_space_time(&f, 4, 2, None).unwrap();
         let table = FunctionTable::from_fn(&f, 4).unwrap();

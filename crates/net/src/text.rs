@@ -267,13 +267,21 @@ mod tests {
     fn errors_locate_the_line() {
         let cases = [
             ("a = input\nb = frob a\noutputs b\n", 2, "unknown gate kind"),
-            ("a = input\nb = lt a zzz\noutputs b\n", 2, "unknown gate \"zzz\""),
+            (
+                "a = input\nb = lt a zzz\noutputs b\n",
+                2,
+                "unknown gate \"zzz\"",
+            ),
             ("a = input\na = input\noutputs a\n", 2, "defined twice"),
             ("a = input\n", 0, "missing `outputs`"),
             ("a = input\noutputs a\noutputs a\n", 3, "duplicate"),
             ("a = input\nb = min\noutputs b\n", 2, "at least one source"),
             ("a = input\nb = inc q a\noutputs b\n", 2, "bad delay"),
-            ("a = input\nb = inc 1 a extra\noutputs b\n", 2, "trailing token"),
+            (
+                "a = input\nb = inc 1 a extra\noutputs b\n",
+                2,
+                "trailing token",
+            ),
             ("justnonsense\n", 1, "expected"),
             ("a = input\noutputs a b\n", 2, "unknown gate \"b\""),
         ];

@@ -28,7 +28,10 @@ use crate::sorting::bitonic_sort_into;
 #[must_use]
 pub fn wta_into(builder: &mut NetworkBuilder, inputs: &[GateId], tau: u64) -> Vec<GateId> {
     assert!(!inputs.is_empty(), "WTA requires at least one line");
-    assert!(tau > 0, "a zero inhibition window would inhibit the winner too");
+    assert!(
+        tau > 0,
+        "a zero inhibition window would inhibit the winner too"
+    );
     let first = builder
         .min(inputs.iter().copied())
         .expect("non-empty inputs");

@@ -38,7 +38,10 @@ impl CompoundSynapse {
     /// Panics if `paths` is empty.
     #[must_use]
     pub fn new(paths: Vec<Synapse>) -> CompoundSynapse {
-        assert!(!paths.is_empty(), "a compound synapse needs at least one path");
+        assert!(
+            !paths.is_empty(),
+            "a compound synapse needs at least one path"
+        );
         CompoundSynapse { paths }
     }
 
@@ -169,7 +172,11 @@ impl RbfNeuron {
     /// to the largest delay.
     #[must_use]
     pub fn preferred_pattern(&self) -> Vec<u64> {
-        let delays: Vec<u64> = self.synapses.iter().map(CompoundSynapse::dominant_delay).collect();
+        let delays: Vec<u64> = self
+            .synapses
+            .iter()
+            .map(CompoundSynapse::dominant_delay)
+            .collect();
         let max = delays.iter().copied().max().unwrap_or(0);
         delays.into_iter().map(|d| max - d).collect()
     }
@@ -563,7 +570,10 @@ mod tests {
     fn arity_is_enforced() {
         let neuron = tuned(&[0, 1]);
         assert!(neuron.apply(&[t(0)]).is_err());
-        assert_eq!(neuron.apply(&[t(0), t(1)]).unwrap(), neuron.eval(&[t(0), t(1)]));
+        assert_eq!(
+            neuron.apply(&[t(0), t(1)]).unwrap(),
+            neuron.eval(&[t(0), t(1)])
+        );
         assert_eq!(neuron.arity(), 2);
     }
 

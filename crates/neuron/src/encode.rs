@@ -37,7 +37,10 @@ impl LatencyEncoder {
     /// Panics if `bits` is 0 or greater than 32.
     #[must_use]
     pub fn new(bits: u32) -> LatencyEncoder {
-        assert!((1..=32).contains(&bits), "temporal resolution must be 1..=32 bits");
+        assert!(
+            (1..=32).contains(&bits),
+            "temporal resolution must be 1..=32 bits"
+        );
         LatencyEncoder { bits }
     }
 
@@ -123,8 +126,8 @@ mod tests {
     #[test]
     fn faint_intensities_spike_last() {
         let enc = LatencyEncoder::new(2); // latencies 0..=3
-        // 0.1 → floor(0.9·4) = 3: the faintest representable stimulus
-        // spikes at the last grid slot; only exactly-zero goes silent.
+                                          // 0.1 → floor(0.9·4) = 3: the faintest representable stimulus
+                                          // spikes at the last grid slot; only exactly-zero goes silent.
         assert_eq!(enc.encode(0.1), Time::finite(3));
         assert_eq!(enc.encode(0.26), Time::finite(2));
         assert_eq!(enc.max_latency(), 3);

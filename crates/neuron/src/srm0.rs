@@ -14,7 +14,7 @@
 //! counted, matching the strict-`lt` threshold logic of the structural
 //! network ("the `θ+i`-th up step occurs *before* the `i`-th down step").
 
-use st_core::{CoreError, SpaceTimeFunction, Time};
+use st_core::{CoreError, SpaceTimeFunction, Time, Volley};
 
 use crate::response::ResponseFn;
 
@@ -242,6 +242,32 @@ impl Srm0Neuron {
         Time::INFINITY
     }
 
+    /// Evaluates one input volley per entry of `volleys`.
+    ///
+    /// Unlike [`Srm0Neuron::eval`] (which zips inputs with synapses and so
+    /// silently truncates), the batched form checks each volley's width —
+    /// the batch engine's contract is that a malformed volley is reported,
+    /// not absorbed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ArityMismatch`] for the first (lowest-index)
+    /// volley whose width differs from the synapse count.
+    pub fn eval_batch(&self, volleys: &[Volley]) -> Result<Vec<Time>, CoreError> {
+        volleys
+            .iter()
+            .map(|v| {
+                if v.width() != self.synapses.len() {
+                    return Err(CoreError::ArityMismatch {
+                        expected: self.synapses.len(),
+                        actual: v.width(),
+                    });
+                }
+                Ok(self.eval(v.times()))
+            })
+            .collect()
+    }
+
     /// The width of the sorting networks a Fig. 12 structural realization
     /// of this neuron needs: total up steps (and down steps) across all
     /// synapses at their current weights.
@@ -291,6 +317,29 @@ mod tests {
             weights.iter().map(|&w| Synapse::new(0, w)).collect(),
             threshold,
         )
+    }
+
+    #[test]
+    fn eval_batch_matches_per_volley_eval() {
+        let n = fig11_neuron(&[2, 1], 4);
+        let volleys = vec![
+            Volley::new(vec![t(0), t(0)]),
+            Volley::new(vec![t(3), INF]),
+            Volley::silent(2),
+        ];
+        let outs = n.eval_batch(&volleys).unwrap();
+        assert_eq!(outs.len(), 3);
+        for (v, &out) in volleys.iter().zip(&outs) {
+            assert_eq!(out, n.eval(v.times()));
+        }
+        // Width mismatches are reported instead of silently truncated.
+        assert!(matches!(
+            n.eval_batch(&[Volley::silent(1)]),
+            Err(CoreError::ArityMismatch {
+                expected: 2,
+                actual: 1
+            })
+        ));
     }
 
     #[test]

@@ -33,11 +33,7 @@ use crate::srm0::Srm0Neuron;
 ///
 /// Panics if `inputs.len()` differs from the neuron's arity.
 #[must_use]
-pub fn srm0_into(
-    builder: &mut NetworkBuilder,
-    inputs: &[GateId],
-    neuron: &Srm0Neuron,
-) -> GateId {
+pub fn srm0_into(builder: &mut NetworkBuilder, inputs: &[GateId], neuron: &Srm0Neuron) -> GateId {
     assert_eq!(
         inputs.len(),
         neuron.synapses().len(),
@@ -87,7 +83,9 @@ pub(crate) fn threshold_logic_into(
         };
         candidates.push(builder.lt(up, down));
     }
-    builder.min(candidates).expect("theta ≥ 1 guarantees at least one candidate")
+    builder
+        .min(candidates)
+        .expect("theta ≥ 1 guarantees at least one candidate")
 }
 
 /// Builds a standalone network computing `neuron`'s output spike time from
@@ -339,7 +337,11 @@ mod tests {
     fn fig12_non_leaky_equivalence() {
         let neuron = Srm0Neuron::new(
             ResponseFn::step(1),
-            vec![Synapse::excitatory(1), Synapse::excitatory(1), Synapse::excitatory(1)],
+            vec![
+                Synapse::excitatory(1),
+                Synapse::excitatory(1),
+                Synapse::excitatory(1),
+            ],
             2,
         );
         assert_equivalent(&neuron, 3);

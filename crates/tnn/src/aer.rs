@@ -48,7 +48,9 @@ impl FromStr for AerEvent {
     type Err = ParseAerError;
 
     fn from_str(s: &str) -> Result<AerEvent, ParseAerError> {
-        let err = || ParseAerError { input: s.to_owned() };
+        let err = || ParseAerError {
+            input: s.to_owned(),
+        };
         let (addr, time) = s.trim().split_once('@').ok_or_else(err)?;
         Ok(AerEvent {
             address: addr.trim().parse().map_err(|_| err())?,
@@ -259,24 +261,19 @@ mod tests {
 
     #[test]
     fn events_are_time_ordered() {
-        let stream =
-            AerStream::from_events(3, vec![ev(2, 5), ev(0, 1), ev(1, 3)]).unwrap();
+        let stream = AerStream::from_events(3, vec![ev(2, 5), ev(0, 1), ev(1, 3)]).unwrap();
         let times: Vec<u64> = stream.events().iter().map(|e| e.time).collect();
         assert_eq!(times, vec![1, 3, 5]);
     }
 
     #[test]
     fn out_of_range_address_rejected() {
-        assert_eq!(
-            AerStream::from_events(2, vec![ev(2, 0)]),
-            Err(ev(2, 0))
-        );
+        assert_eq!(AerStream::from_events(2, vec![ev(2, 0)]), Err(ev(2, 0)));
     }
 
     #[test]
     fn duplicate_line_events_keep_the_earliest() {
-        let stream =
-            AerStream::from_events(2, vec![ev(0, 4), ev(0, 1), ev(1, 2)]).unwrap();
+        let stream = AerStream::from_events(2, vec![ev(0, 4), ev(0, 1), ev(1, 2)]).unwrap();
         let v = stream.to_volley();
         assert_eq!(v[0], Time::finite(1));
         assert_eq!(v[1], Time::finite(2));
@@ -296,11 +293,8 @@ mod tests {
     #[test]
     fn chunking_windows_a_long_stream() {
         // Two traversal bursts 8 ticks apart.
-        let stream = AerStream::from_events(
-            2,
-            vec![ev(0, 0), ev(1, 2), ev(0, 8), ev(1, 11)],
-        )
-        .unwrap();
+        let stream =
+            AerStream::from_events(2, vec![ev(0, 0), ev(1, 2), ev(0, 8), ev(1, 11)]).unwrap();
         let chunks = stream.chunk(8);
         assert_eq!(chunks.len(), 2);
         assert_eq!(chunks[0][0], Time::ZERO);
@@ -321,8 +315,11 @@ mod tests {
         let a = AerStream::from_events(2, vec![ev(0, 0)]).unwrap();
         let b = AerStream::from_events(2, vec![ev(1, 1)]).unwrap();
         let merged = a.merge(&b.shift(4));
-        let times: Vec<(usize, u64)> =
-            merged.events().iter().map(|e| (e.address, e.time)).collect();
+        let times: Vec<(usize, u64)> = merged
+            .events()
+            .iter()
+            .map(|e| (e.address, e.time))
+            .collect();
         assert_eq!(times, vec![(0, 0), (1, 5)]);
     }
 

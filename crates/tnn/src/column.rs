@@ -11,10 +11,10 @@
 //! is available via [`Column::to_network`] and cross-checked in tests.
 
 use st_core::Volley;
-use st_neuron::structural::srm0_into;
-use st_neuron::Srm0Neuron;
 use st_net::wta::{k_wta_into, wta_into};
 use st_net::{Network, NetworkBuilder};
+use st_neuron::structural::srm0_into;
+use st_neuron::Srm0Neuron;
 
 /// The lateral-inhibition policy applied across a column's outputs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,7 +85,10 @@ impl Column {
             neurons.iter().all(|n| n.synapses().len() == width),
             "all neurons in a column must share the input width"
         );
-        Column { neurons, inhibition }
+        Column {
+            neurons,
+            inhibition,
+        }
     }
 
     /// The neurons, in output-line order.
@@ -147,10 +150,7 @@ impl Column {
             Inhibition::None => raw,
             Inhibition::Wta { tau } => {
                 let cutoff = raw.first_spike() + tau;
-                raw.times()
-                    .iter()
-                    .map(|&t| t.lt_gate(cutoff))
-                    .collect()
+                raw.times().iter().map(|&t| t.lt_gate(cutoff)).collect()
             }
             Inhibition::KWta { k } => {
                 let mut sorted: Vec<st_core::Time> = raw.times().to_vec();
@@ -160,12 +160,32 @@ impl Column {
                     .copied()
                     .unwrap_or(st_core::Time::INFINITY);
                 let cutoff = kth + 1;
-                raw.times()
-                    .iter()
-                    .map(|&t| t.lt_gate(cutoff))
-                    .collect()
+                raw.times().iter().map(|&t| t.lt_gate(cutoff)).collect()
             }
         }
+    }
+
+    /// Evaluates one input volley per entry of `volleys` (inhibition
+    /// included), checking widths instead of panicking — the batch engine's
+    /// contract is that a malformed volley is reported, not absorbed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ArityMismatch`] for the first (lowest-index)
+    /// volley whose width differs from [`Column::input_width`].
+    pub fn eval_batch(&self, volleys: &[Volley]) -> Result<Vec<Volley>, st_core::CoreError> {
+        volleys
+            .iter()
+            .map(|v| {
+                if v.width() != self.input_width() {
+                    return Err(st_core::CoreError::ArityMismatch {
+                        expected: self.input_width(),
+                        actual: v.width(),
+                    });
+                }
+                Ok(self.eval(v))
+            })
+            .collect()
     }
 
     /// The index of the earliest-spiking neuron (lowest index on ties), or
@@ -247,12 +267,32 @@ mod tests {
 
     fn two_detector_column(inhibition: Inhibition) -> Column {
         Column::new(
-            vec![
-                step_neuron(&[3, 3, 0, 0], 5),
-                step_neuron(&[0, 0, 3, 3], 5),
-            ],
+            vec![step_neuron(&[3, 3, 0, 0], 5), step_neuron(&[0, 0, 3, 3], 5)],
             inhibition,
         )
+    }
+
+    #[test]
+    fn eval_batch_matches_per_volley_eval() {
+        let col = two_detector_column(Inhibition::one_wta());
+        let volleys = vec![
+            Volley::encode([Some(0), Some(0), None, None]),
+            Volley::encode([None, None, Some(1), Some(2)]),
+            Volley::silent(4),
+        ];
+        let outs = col.eval_batch(&volleys).unwrap();
+        assert_eq!(outs.len(), 3);
+        for (v, out) in volleys.iter().zip(&outs) {
+            assert_eq!(*out, col.eval(v));
+        }
+        // Width mismatches are reported, not panicked on.
+        assert!(matches!(
+            col.eval_batch(&[Volley::silent(3)]),
+            Err(st_core::CoreError::ArityMismatch {
+                expected: 4,
+                actual: 3
+            })
+        ));
     }
 
     #[test]
@@ -269,10 +309,7 @@ mod tests {
     #[test]
     fn wta_silences_the_later_neuron() {
         let col = Column::new(
-            vec![
-                step_neuron(&[3, 3, 1, 0], 5),
-                step_neuron(&[1, 0, 3, 3], 5),
-            ],
+            vec![step_neuron(&[3, 3, 1, 0], 5), step_neuron(&[1, 0, 3, 3], 5)],
             Inhibition::one_wta(),
         );
         // Both fire, but neuron 0 fires earlier: WTA silences neuron 1.
@@ -362,9 +399,9 @@ mod tests {
     fn k_wta_column_passes_k_earliest() {
         let col = Column::new(
             vec![
-                step_neuron(&[3], 3),  // fires at 1 on spike at 0
-                step_neuron(&[3], 3),  // ties with neuron 0
-                step_neuron(&[1], 3),  // needs 3 spikes' worth: silent
+                step_neuron(&[3], 3), // fires at 1 on spike at 0
+                step_neuron(&[3], 3), // ties with neuron 0
+                step_neuron(&[1], 3), // needs 3 spikes' worth: silent
             ],
             Inhibition::KWta { k: 2 },
         );
@@ -387,7 +424,11 @@ mod tests {
         let net = col.to_network();
         for inputs in st_core::enumerate_inputs(3, 3) {
             let behavioral = col.eval(&Volley::new(inputs.clone()));
-            assert_eq!(net.eval(&inputs).unwrap(), behavioral.times(), "at {inputs:?}");
+            assert_eq!(
+                net.eval(&inputs).unwrap(),
+                behavioral.times(),
+                "at {inputs:?}"
+            );
         }
     }
 

@@ -201,7 +201,10 @@ impl PatternDataset {
                 }
             })
             .collect();
-        LabelledVolley { volley, label: None }
+        LabelledVolley {
+            volley,
+            label: None,
+        }
     }
 
     /// A training stream: each item is a uniformly chosen pattern with
@@ -240,7 +243,10 @@ impl ClusterDataset {
     /// Panics if `k == 0` or `dim == 0`.
     #[must_use]
     pub fn new(k: usize, dim: usize, spread: f64, bits: u32, seed: u64) -> ClusterDataset {
-        assert!(k > 0 && dim > 0, "need at least one center and one dimension");
+        assert!(
+            k > 0 && dim > 0,
+            "need at least one center and one dimension"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let centers = (0..k)
             .map(|_| (0..dim).map(|_| rng.random_range(0.0..1.0)).collect())

@@ -132,7 +132,8 @@ impl OrientedBarDataset {
         let offset = if self.shift == 0 {
             0
         } else {
-            self.rng.random_range(-(self.shift as i64)..=(self.shift as i64))
+            self.rng
+                .random_range(-(self.shift as i64)..=(self.shift as i64))
         };
         let noise = self.noise;
         // Split borrows: render needs &self plus the rng.

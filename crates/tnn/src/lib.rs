@@ -60,11 +60,11 @@ pub mod train;
 pub use aer::{AerEvent, AerStream};
 pub use column::{Column, Inhibition};
 pub use data::{ClusterDataset, LabelledVolley, PatternDataset, TrajectoryDataset};
-pub use images::{OrientedBarDataset, Orientation};
+pub use images::{Orientation, OrientedBarDataset};
 pub use io::{column_to_text, parse_column, parse_stream, stream_to_text, ParseIoError};
 pub use metrics::Assignment;
-pub use patch::PatchLayer;
 pub use network::TnnNetwork;
+pub use patch::PatchLayer;
 pub use stdp::{apply_stdp, StdpParams};
 pub use tempotron::{Tempotron, TempotronParams};
 pub use train::{evaluate_column, fresh_column, train_column, TrainConfig, TrainReport};

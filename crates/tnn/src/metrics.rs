@@ -25,7 +25,10 @@ impl Assignment {
     /// Panics if either dimension is zero.
     #[must_use]
     pub fn new(n_neurons: usize, n_classes: usize) -> Assignment {
-        assert!(n_neurons > 0 && n_classes > 0, "dimensions must be positive");
+        assert!(
+            n_neurons > 0 && n_classes > 0,
+            "dimensions must be positive"
+        );
         Assignment {
             counts: vec![vec![0; n_classes]; n_neurons],
             silent: vec![0; n_classes],
@@ -160,8 +163,7 @@ impl Assignment {
         let n_classes = self.silent.len();
         let mut h = 0.0;
         for class in 0..n_classes {
-            let c: usize =
-                self.counts.iter().map(|r| r[class]).sum::<usize>() + self.silent[class];
+            let c: usize = self.counts.iter().map(|r| r[class]).sum::<usize>() + self.silent[class];
             if c > 0 {
                 let p = c as f64 / n;
                 h -= p * p.log2();

@@ -175,10 +175,7 @@ mod tests {
 
     fn two_layer() -> TnnNetwork {
         let l1 = Column::new(
-            vec![
-                step_neuron(&[3, 3, 0, 0], 5),
-                step_neuron(&[0, 0, 3, 3], 5),
-            ],
+            vec![step_neuron(&[3, 3, 0, 0], 5), step_neuron(&[0, 0, 3, 3], 5)],
             Inhibition::None,
         );
         let l2 = Column::new(

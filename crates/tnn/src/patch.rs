@@ -31,7 +31,10 @@ impl PatchLayer {
     /// of range, or a column's input width differs from its patch size.
     #[must_use]
     pub fn new(input_width: usize, patches: Vec<Vec<usize>>, columns: Vec<Column>) -> PatchLayer {
-        assert!(!patches.is_empty(), "a patch layer needs at least one patch");
+        assert!(
+            !patches.is_empty(),
+            "a patch layer needs at least one patch"
+        );
         assert_eq!(patches.len(), columns.len(), "one column per patch");
         for (patch, column) in patches.iter().zip(&columns) {
             assert!(

@@ -52,7 +52,10 @@ impl StdpParams {
     /// Panics if `bits` is 0 or greater than 16.
     #[must_use]
     pub fn with_resolution(bits: u32) -> StdpParams {
-        assert!((1..=16).contains(&bits), "weight resolution must be 1..=16 bits");
+        assert!(
+            (1..=16).contains(&bits),
+            "weight resolution must be 1..=16 bits"
+        );
         StdpParams {
             w_max: (1i32 << bits) - 1,
             ..StdpParams::default()
@@ -175,7 +178,10 @@ mod tests {
         assert_eq!(classify(t(1), t(3), &p), SynapseUpdate::Potentiate);
         assert_eq!(classify(t(3), t(3), &p), SynapseUpdate::Potentiate);
         assert_eq!(classify(t(4), t(3), &p), SynapseUpdate::DepressLate);
-        assert_eq!(classify(Time::INFINITY, t(3), &p), SynapseUpdate::DepressSilent);
+        assert_eq!(
+            classify(Time::INFINITY, t(3), &p),
+            SynapseUpdate::DepressSilent
+        );
         let lenient = StdpParams {
             depress_silent: false,
             ..p
@@ -219,11 +225,7 @@ mod tests {
 
     #[test]
     fn delays_shift_the_arrival_used_for_classification() {
-        let mut n = Srm0Neuron::new(
-            ResponseFn::step(1),
-            vec![Synapse::new(5, 3)],
-            1,
-        );
+        let mut n = Srm0Neuron::new(ResponseFn::step(1), vec![Synapse::new(5, 3)], 1);
         // Input at 0, delay 5 → arrival 5 > output 2 → depressed.
         let inputs = Volley::new(vec![t(0)]);
         apply_stdp(&mut n, &inputs, t(2), &StdpParams::default());

@@ -163,7 +163,9 @@ impl Tempotron {
                 // depressed that no step event occurs at all (all weights
                 // zero), fall back to the last input spike so every
                 // observed synapse can recover.
-                let t_star = self.peak_time(volley).unwrap_or_else(|| volley.last_spike());
+                let t_star = self
+                    .peak_time(volley)
+                    .unwrap_or_else(|| volley.last_spike());
                 if t_star.is_finite() {
                     self.update_contributors(volley, t_star, self.params.step);
                 }
@@ -190,11 +192,7 @@ impl Tempotron {
 
     /// Trains over a labelled set until error-free or `max_epochs`
     /// elapse; returns `(epochs_used, final_errors)`.
-    pub fn train(
-        &mut self,
-        samples: &[(Volley, bool)],
-        max_epochs: usize,
-    ) -> (usize, usize) {
+    pub fn train(&mut self, samples: &[(Volley, bool)], max_epochs: usize) -> (usize, usize) {
         let mut errors = usize::MAX;
         for epoch in 1..=max_epochs {
             errors = 0;
@@ -257,7 +255,11 @@ mod tests {
         let samples = vec![(pos.clone(), true), (neg.clone(), false)];
         let (_, errors) = tp.train(&samples, 100);
         assert_eq!(errors, 0);
-        assert!(tp.neuron().synapses()[2].weight < 0, "{:?}", tp.neuron().synapses());
+        assert!(
+            tp.neuron().synapses()[2].weight < 0,
+            "{:?}",
+            tp.neuron().synapses()
+        );
     }
 
     #[test]

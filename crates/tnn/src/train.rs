@@ -280,7 +280,11 @@ mod tests {
         let mut col = fresh_column(2, 8, 0.25, &config);
         let stream = ds.stream(120, 1.0);
         let report = train_column(&mut col, &stream, &config);
-        assert!(report.wins[0] > 0 && report.wins[1] > 0, "{:?}", report.wins);
+        assert!(
+            report.wins[0] > 0 && report.wins[1] > 0,
+            "{:?}",
+            report.wins
+        );
         // Thresholds moved off their initial value.
         assert_ne!(
             col.neurons()[0].threshold() + col.neurons()[1].threshold(),
@@ -297,10 +301,18 @@ mod tests {
             volley: Volley::silent(4),
             label: None,
         }];
-        let before: Vec<Vec<Synapse>> = col.neurons().iter().map(|n| n.synapses().to_vec()).collect();
+        let before: Vec<Vec<Synapse>> = col
+            .neurons()
+            .iter()
+            .map(|n| n.synapses().to_vec())
+            .collect();
         let report = train_column(&mut col, &stream, &config);
         assert_eq!(report.updates, 0);
-        let after: Vec<Vec<Synapse>> = col.neurons().iter().map(|n| n.synapses().to_vec()).collect();
+        let after: Vec<Vec<Synapse>> = col
+            .neurons()
+            .iter()
+            .map(|n| n.synapses().to_vec())
+            .collect();
         assert_eq!(before, after);
     }
 }

@@ -27,7 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for tick in 0..=13 {
         print!("{} ", response.amplitude(tick));
     }
-    println!("(peak {}, settles at {})", response.peak_amplitude(), response.final_value());
+    println!(
+        "(peak {}, settles at {})",
+        response.peak_amplitude(),
+        response.final_value()
+    );
 
     // Fig. 1: a 2-input coincidence detector.
     let neuron = Srm0Neuron::new(
@@ -66,7 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nprogrammable SRM0 (capacity 2 per synapse):");
     for weights in [[1u32, 1], [2, 0], [0, 2], [2, 2]] {
         prog.set_weights(&weights)?;
-        println!("  weights {weights:?} → output for [0, 1]: {}", prog.eval(&inputs)?);
+        println!(
+            "  weights {weights:?} → output for [0, 1]: {}",
+            prog.eval(&inputs)?
+        );
     }
 
     // Sweep the input offset: temporal selectivity in action.

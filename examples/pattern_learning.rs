@@ -46,7 +46,11 @@ fn main() {
 
     println!("\nlearned weights (one neuron per row, 3-bit):");
     for (i, neuron) in column.neurons().iter().enumerate() {
-        let ws: Vec<String> = neuron.synapses().iter().map(|s| s.weight.to_string()).collect();
+        let ws: Vec<String> = neuron
+            .synapses()
+            .iter()
+            .map(|s| s.weight.to_string())
+            .collect();
         println!("  neuron {i}: [{}]", ws.join(" "));
     }
 
@@ -54,7 +58,10 @@ fn main() {
     for k in 0..n_patterns {
         let sample = data.present(k);
         let out = column.eval_raw(&sample.volley);
-        println!("  pattern {k} → outputs {out} (winner: {:?})", column.winner(&sample.volley));
+        println!(
+            "  pattern {k} → outputs {out} (winner: {:?})",
+            column.winner(&sample.volley)
+        );
     }
     let noise = data.noise();
     println!("  noise     → outputs {}", column.eval_raw(&noise.volley));

@@ -14,8 +14,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The domain: times with ∞, forming a lattice.
     let early = Time::finite(2);
     let late = Time::finite(5);
-    println!("min(2, 5) = {}   max = {}   lt = {}", early.meet(late), early.join(late), early.lt_gate(late));
-    println!("∞ absorbs delay: {} + 3 = {}", Time::INFINITY, Time::INFINITY + 3);
+    println!(
+        "min(2, 5) = {}   max = {}   lt = {}",
+        early.meet(late),
+        early.join(late),
+        early.lt_gate(late)
+    );
+    println!(
+        "∞ absorbs delay: {} + 3 = {}",
+        Time::INFINITY,
+        Time::INFINITY + 3
+    );
 
     // 2. Values travel as spike volleys (Fig. 5).
     let volley = Volley::encode([Some(0), Some(3), None, Some(1)]);

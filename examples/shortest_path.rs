@@ -8,10 +8,8 @@
 //!
 //! Run with: `cargo run --example shortest_path`
 
-use spacetime::grl::shortest_path::{
-    shortest_paths_race, shortest_paths_reference, WeightedDag,
-};
 use spacetime::grl::compile_network;
+use spacetime::grl::shortest_path::{shortest_paths_race, shortest_paths_reference, WeightedDag};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A small road network (node 0 = origin).
@@ -33,9 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let network = dag.to_network(0);
     let netlist = compile_network(&network);
     let (and, or, lt, ff) = netlist.gate_census();
-    println!(
-        "compiled race-logic circuit: {and} AND, {or} OR, {lt} latches, {ff} flip-flops\n"
-    );
+    println!("compiled race-logic circuit: {and} AND, {or} OR, {lt} latches, {ff} flip-flops\n");
 
     let (race, report) = shortest_paths_race(&dag, 0);
     let reference = shortest_paths_reference(&dag, 0);

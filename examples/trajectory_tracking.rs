@@ -15,9 +15,7 @@ fn main() {
     let lanes = 4;
     let positions = 8;
     let mut sensor = TrajectoryDataset::new(lanes, positions, 1, 0.1, 2024);
-    println!(
-        "AER sensor: {lanes} lanes × {positions} positions, ±1 tick jitter, 10% event drop\n"
-    );
+    println!("AER sensor: {lanes} lanes × {positions} positions, ±1 tick jitter, 10% event drop\n");
 
     // Show one traversal's event volley per lane.
     for lane in 0..lanes {
@@ -51,10 +49,17 @@ fn main() {
     // Which neuron owns which lane?
     let test = sensor.stream(200);
     let assignment = evaluate_column(&column, &test, lanes);
-    println!("\nneuron → lane assignment: {:?}", assignment.neuron_classes());
+    println!(
+        "\nneuron → lane assignment: {:?}",
+        assignment.neuron_classes()
+    );
     println!("\nconfusion matrix (assigned × true, last row silent):");
     for (i, row) in assignment.confusion().iter().enumerate() {
-        let label = if i < lanes { format!("class {i}") } else { "silent ".to_string() };
+        let label = if i < lanes {
+            format!("class {i}")
+        } else {
+            "silent ".to_string()
+        };
         println!("  {label}: {row:?}");
     }
 }

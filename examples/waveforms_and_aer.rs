@@ -19,10 +19,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A sensor with 4 lines emits a sparse event stream: two bursts.
     let mut stream = AerStream::new(4);
     for &(addr, t) in &[(0usize, 1u64), (1, 2), (3, 3), (0, 9), (2, 10), (1, 11)] {
-        stream.push(AerEvent { time: t, address: addr });
+        stream.push(AerEvent {
+            time: t,
+            address: addr,
+        });
     }
     println!("sensor stream: {stream}");
-    println!("({} records for {} line-ticks of potential traffic)\n", stream.len(), 4 * 12);
+    println!(
+        "({} records for {} line-ticks of potential traffic)\n",
+        stream.len(),
+        4 * 12
+    );
 
     // Chunk the continuous stream into per-computation volleys.
     let volleys = stream.chunk(8);
@@ -73,13 +80,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Round-trip sanity: a volley re-encodes to the same sparse stream.
     let back = AerStream::from_volley(&volleys[0]);
     assert_eq!(back.to_volley(), volleys[0].clone());
-    println!("\nAER ↔ volley round trip verified; event at {}",
-        back.events()[0]);
+    println!(
+        "\nAER ↔ volley round trip verified; event at {}",
+        back.events()[0]
+    );
 
     // And the ∞ story in I/O terms: silent lines simply never appear.
     let silent = AerStream::from_volley(&spacetime::core::Volley::silent(4));
     assert!(silent.is_empty());
-    println!("a silent volley costs zero AER records — {} transmitted", silent.len());
+    println!(
+        "a silent volley costs zero AER records — {} transmitted",
+        silent.len()
+    );
 
     let _ = Time::INFINITY; // the value that never needs a wire or a record
     Ok(())

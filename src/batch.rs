@@ -1,0 +1,367 @@
+//! Parallel batched volley evaluation across the workspace's engines.
+//!
+//! Every engine in the workspace follows the same shape: *compile* a
+//! specification once (normalize a table, extract a network's topology,
+//! lower to a race-logic netlist), then *evaluate* it against many input
+//! volleys. The per-volley loops scattered through the experiment binaries
+//! redo the compile step each iteration and run on one core; this module
+//! hoists compilation out of the hot path and fans evaluation out across
+//! worker threads.
+//!
+//! [`CompiledArtifact`] is the compile-once half: one enum over the four
+//! evaluable forms (normalized function table, gate network, SRM0/WTA
+//! column, GRL netlist), each stored in its pre-indexed representation.
+//! [`BatchEvaluator`] is the evaluate-many half: it splits a volley batch
+//! into contiguous chunks, one per worker thread (`std::thread::scope`, no
+//! dependencies), and evaluates each chunk against the shared artifact.
+//!
+//! Results are **bit-identical to the sequential engines** regardless of
+//! thread count — each output is a pure function of one input volley, so
+//! parallelism never reorders anything observable. The cross-engine
+//! property suite (`tests/cross_properties.rs`) pins this down at 1, 2,
+//! and N threads.
+//!
+//! ```
+//! use spacetime::batch::{BatchEvaluator, CompiledArtifact};
+//! use spacetime::core::{FunctionTable, Time, Volley};
+//!
+//! let table = FunctionTable::parse("0 1 2 -> 3\n1 0 ∞ -> 2\n2 2 0 -> 2\n")?;
+//! let artifact = CompiledArtifact::from(table.compile());
+//! let t = Time::finite;
+//! let volleys = vec![
+//!     Volley::new(vec![t(3), t(4), t(5)]),
+//!     Volley::new(vec![t(1), t(0), Time::INFINITY]),
+//! ];
+//! let outputs = BatchEvaluator::with_threads(2).eval(&artifact, &volleys)?;
+//! assert_eq!(outputs[0].times(), &[t(6)]);
+//! assert_eq!(outputs[1].times(), &[t(2)]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::fmt;
+
+use st_core::{CompiledTable, CoreError, FunctionTable, Volley};
+use st_grl::{compile_network, GrlNetlist, GrlSim};
+use st_net::{CompiledNetwork, EventSim, Network};
+use st_tnn::Column;
+
+/// A specification compiled into its evaluate-many form.
+///
+/// Construct via the `From` impls (when you already hold the compiled
+/// representation) or the `from_*` helpers (which run the compile step for
+/// you). The artifact is immutable, so one instance can back any number of
+/// concurrent [`BatchEvaluator::eval`] calls.
+#[derive(Debug, Clone)]
+pub enum CompiledArtifact {
+    /// A normalized function table, indexed by finite-support mask
+    /// ([`FunctionTable::compile`]). Outputs are width-1 volleys.
+    Table(CompiledTable),
+    /// A gate network with its topology extracted ([`EventSim::compile`]).
+    Network(CompiledNetwork),
+    /// An SRM0 column with lateral inhibition ([`Column::eval`]).
+    Column(Column),
+    /// A race-logic netlist, cycle-accurately simulated ([`GrlSim`]).
+    Grl(GrlNetlist),
+}
+
+impl CompiledArtifact {
+    /// Compiles a function table (see [`FunctionTable::compile`]).
+    #[must_use]
+    pub fn from_table(table: &FunctionTable) -> CompiledArtifact {
+        CompiledArtifact::Table(table.compile())
+    }
+
+    /// Extracts a network's topology (see [`EventSim::compile`]).
+    #[must_use]
+    pub fn from_network(network: &Network) -> CompiledArtifact {
+        CompiledArtifact::Network(EventSim::new().compile(network))
+    }
+
+    /// Lowers a network to a GRL netlist (see
+    /// [`compile_network`](st_grl::compile_network)).
+    #[must_use]
+    pub fn from_grl_network(network: &Network) -> CompiledArtifact {
+        CompiledArtifact::Grl(compile_network(network))
+    }
+
+    /// The input width every volley must have.
+    #[must_use]
+    pub fn input_width(&self) -> usize {
+        match self {
+            CompiledArtifact::Table(t) => t.arity(),
+            CompiledArtifact::Network(n) => n.input_count(),
+            CompiledArtifact::Column(c) => c.input_width(),
+            CompiledArtifact::Grl(g) => g.input_count(),
+        }
+    }
+
+    /// The width of each output volley.
+    #[must_use]
+    pub fn output_width(&self) -> usize {
+        match self {
+            CompiledArtifact::Table(_) => 1,
+            CompiledArtifact::Network(n) => n.output_count(),
+            CompiledArtifact::Column(c) => c.output_width(),
+            CompiledArtifact::Grl(g) => g.outputs().len(),
+        }
+    }
+
+    /// Evaluates one volley sequentially — the unit of work the batch
+    /// engine distributes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ArityMismatch`] if the volley's width differs
+    /// from [`CompiledArtifact::input_width`].
+    pub fn eval_one(&self, volley: &Volley) -> Result<Volley, CoreError> {
+        match self {
+            CompiledArtifact::Table(t) => t.eval(volley.times()).map(|out| Volley::new(vec![out])),
+            CompiledArtifact::Network(n) => n.run(volley.times()).map(|r| Volley::new(r.outputs)),
+            CompiledArtifact::Column(c) => {
+                if volley.width() != c.input_width() {
+                    return Err(CoreError::ArityMismatch {
+                        expected: c.input_width(),
+                        actual: volley.width(),
+                    });
+                }
+                Ok(c.eval(volley))
+            }
+            CompiledArtifact::Grl(g) => GrlSim::new()
+                .run(g, volley.times())
+                .map(|r| Volley::new(r.outputs)),
+        }
+    }
+}
+
+impl From<CompiledTable> for CompiledArtifact {
+    fn from(table: CompiledTable) -> CompiledArtifact {
+        CompiledArtifact::Table(table)
+    }
+}
+
+impl From<CompiledNetwork> for CompiledArtifact {
+    fn from(network: CompiledNetwork) -> CompiledArtifact {
+        CompiledArtifact::Network(network)
+    }
+}
+
+impl From<Column> for CompiledArtifact {
+    fn from(column: Column) -> CompiledArtifact {
+        CompiledArtifact::Column(column)
+    }
+}
+
+impl From<GrlNetlist> for CompiledArtifact {
+    fn from(netlist: GrlNetlist) -> CompiledArtifact {
+        CompiledArtifact::Grl(netlist)
+    }
+}
+
+/// A failed volley within a batch.
+///
+/// Workers race through the batch in parallel and several volleys may be
+/// malformed; the engine deterministically reports the **lowest-index**
+/// failure, so the error is reproducible across thread counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchError {
+    /// Index of the offending volley within the input batch.
+    pub index: usize,
+    /// What went wrong with it.
+    pub source: CoreError,
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "volley {} failed: {:?}", self.index, self.source)
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// Multi-threaded evaluate-many engine over a [`CompiledArtifact`].
+///
+/// The batch is split into contiguous chunks, one per worker; workers
+/// write into disjoint slices of the output vector, so no locks or
+/// channels are involved and the output order equals the input order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchEvaluator {
+    threads: usize,
+}
+
+impl Default for BatchEvaluator {
+    fn default() -> BatchEvaluator {
+        BatchEvaluator::new()
+    }
+}
+
+impl BatchEvaluator {
+    /// An evaluator using all available cores
+    /// ([`std::thread::available_parallelism`]; 1 if unknown).
+    #[must_use]
+    pub fn new() -> BatchEvaluator {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        BatchEvaluator { threads }
+    }
+
+    /// An evaluator with an explicit worker count (clamped to ≥ 1).
+    #[must_use]
+    pub fn with_threads(threads: usize) -> BatchEvaluator {
+        BatchEvaluator {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Evaluates every volley against the artifact, preserving order.
+    ///
+    /// Spawns at most `min(threads, volleys.len())` scoped workers; a
+    /// single-thread evaluator (or a single-volley batch) runs inline
+    /// without spawning.
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-index [`BatchError`] if any volley fails
+    /// (in practice: a width mismatch against
+    /// [`CompiledArtifact::input_width`]). The error is identical for
+    /// every thread count.
+    pub fn eval(
+        &self,
+        artifact: &CompiledArtifact,
+        volleys: &[Volley],
+    ) -> Result<Vec<Volley>, BatchError> {
+        let workers = self.threads.min(volleys.len()).max(1);
+        let mut outputs: Vec<Volley> = Vec::with_capacity(volleys.len());
+        outputs.resize_with(volleys.len(), || Volley::new(Vec::new()));
+
+        if workers == 1 {
+            for (index, (volley, slot)) in volleys.iter().zip(&mut outputs).enumerate() {
+                *slot = artifact
+                    .eval_one(volley)
+                    .map_err(|source| BatchError { index, source })?;
+            }
+            return Ok(outputs);
+        }
+
+        let chunk_len = volleys.len().div_ceil(workers);
+        let first_failure = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for (w, (in_chunk, out_chunk)) in volleys
+                .chunks(chunk_len)
+                .zip(outputs.chunks_mut(chunk_len))
+                .enumerate()
+            {
+                let base = w * chunk_len;
+                handles.push(scope.spawn(move || -> Option<BatchError> {
+                    for (offset, (volley, slot)) in in_chunk.iter().zip(out_chunk).enumerate() {
+                        match artifact.eval_one(volley) {
+                            Ok(out) => *slot = out,
+                            Err(source) => {
+                                // Stop this chunk at its first failure; the
+                                // lowest index across chunks wins below.
+                                return Some(BatchError {
+                                    index: base + offset,
+                                    source,
+                                });
+                            }
+                        }
+                    }
+                    None
+                }));
+            }
+            handles
+                .into_iter()
+                .filter_map(|h| h.join().expect("batch worker panicked"))
+                .min_by_key(|e| e.index)
+        });
+
+        match first_failure {
+            Some(error) => Err(error),
+            None => Ok(outputs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_table() -> FunctionTable {
+        FunctionTable::parse("0 1 2 -> 3\n1 0 ∞ -> 2\n2 2 0 -> 2\n").unwrap()
+    }
+
+    fn volleys3(window: u64) -> Vec<Volley> {
+        st_core::enumerate_inputs(3, window)
+            .map(Volley::new)
+            .collect()
+    }
+
+    #[test]
+    fn table_artifact_matches_sequential_eval_at_any_thread_count() {
+        let table = paper_table();
+        let artifact = CompiledArtifact::from_table(&table);
+        assert_eq!(artifact.input_width(), 3);
+        assert_eq!(artifact.output_width(), 1);
+        let volleys = volleys3(2);
+        let expected: Vec<Volley> = volleys
+            .iter()
+            .map(|v| Volley::new(vec![table.eval(v.times()).unwrap()]))
+            .collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = BatchEvaluator::with_threads(threads)
+                .eval(&artifact, &volleys)
+                .unwrap();
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn error_reports_lowest_index_regardless_of_threads() {
+        let artifact = CompiledArtifact::from_table(&paper_table());
+        let mut volleys = volleys3(1);
+        volleys[5] = Volley::silent(2); // wrong width
+        volleys[9] = Volley::silent(7); // also wrong, later
+        for threads in [1, 2, 3, 8] {
+            let err = BatchEvaluator::with_threads(threads)
+                .eval(&artifact, &volleys)
+                .unwrap_err();
+            assert_eq!(err.index, 5, "threads = {threads}");
+            assert!(matches!(
+                err.source,
+                CoreError::ArityMismatch {
+                    expected: 3,
+                    actual: 2
+                }
+            ));
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let artifact = CompiledArtifact::from_table(&paper_table());
+        assert_eq!(BatchEvaluator::new().eval(&artifact, &[]).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(BatchEvaluator::with_threads(0).threads(), 1);
+    }
+
+    #[test]
+    fn network_and_grl_artifacts_agree_with_each_other() {
+        use st_net::synth::{synthesize, SynthesisOptions};
+        let table = paper_table();
+        let network = synthesize(&table, SynthesisOptions::pure());
+        let net_artifact = CompiledArtifact::from_network(&network);
+        let grl_artifact = CompiledArtifact::from_grl_network(&network);
+        let volleys = volleys3(2);
+        let evaluator = BatchEvaluator::with_threads(4);
+        let via_net = evaluator.eval(&net_artifact, &volleys).unwrap();
+        let via_grl = evaluator.eval(&grl_artifact, &volleys).unwrap();
+        assert_eq!(via_net, via_grl);
+    }
+}

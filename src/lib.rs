@@ -12,6 +12,7 @@
 //! | [`neuron`] | `st-neuron` | SRM0 neurons, responses, RBF units |
 //! | [`tnn`] | `st-tnn` | columns, STDP, tempotron, workloads, metrics |
 //! | [`grl`] | `st-grl` | race logic: CMOS netlists, simulation, energy |
+//! | [`batch`] | (this crate) | compile-once / evaluate-many parallel engine |
 //!
 //! The package also ships the `spacetime` CLI (`src/main.rs`); run
 //! `spacetime help` for its subcommands.
@@ -35,6 +36,8 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod batch;
 
 pub use st_core as core;
 pub use st_grl as grl;

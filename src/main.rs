@@ -40,6 +40,11 @@ USAGE:
                   [--save <column-file>]        unsupervised WTA+STDP training
   spacetime classify <column-file> <t1> <t2> …  run a trained column on one
                                                 volley
+  spacetime batch <spec-file> <volleys-file> [--engine table|net|grl|column]
+                  [--threads N]                 evaluate a whole volley file
+                                                (compile once, fan out over
+                                                worker threads; one output
+                                                volley per line)
   spacetime help                                this text
 
 Times are decimal ticks or `inf`/`∞` for \"no event\". Table files contain
@@ -60,11 +65,14 @@ fn main() -> ExitCode {
         Some("gen-patterns") => cmd_gen_patterns(&args[1..]),
         Some("train") => cmd_train(&args[1..]),
         Some("classify") => cmd_classify(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
         Some("help") | None => {
             print!("{USAGE}");
             Ok(())
         }
-        Some(other) => Err(format!("unknown subcommand {other:?}; try `spacetime help`")),
+        Some(other) => Err(format!(
+            "unknown subcommand {other:?}; try `spacetime help`"
+        )),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -154,16 +162,17 @@ fn cmd_synth(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn simulate_network(network: &Network, inputs: &[Time], vcd_path: Option<&str>) -> Result<(), String> {
+fn simulate_network(
+    network: &Network,
+    inputs: &[Time],
+    vcd_path: Option<&str>,
+) -> Result<(), String> {
     let netlist = compile_network(network);
     let report = GrlSim::new()
         .run(&netlist, inputs)
         .map_err(|e| e.to_string())?;
     let (and, or, lt, ff) = netlist.gate_census();
-    println!(
-        "outputs: {}",
-        Volley::new(report.outputs.clone())
-    );
+    println!("outputs: {}", Volley::new(report.outputs.clone()));
     println!("cmos: {and} AND, {or} OR, {lt} latches, {ff} flip-flops");
     println!(
         "transitions: {} eval + {} reset (activity {:.3})",
@@ -187,11 +196,7 @@ fn cmd_simulate(args: &[String]) -> Result<(), String> {
     while let Some(a) = iter.next() {
         match a.as_str() {
             "--vcd" => {
-                vcd_path = Some(
-                    iter.next()
-                        .ok_or("--vcd needs a file path")?
-                        .to_owned(),
-                );
+                vcd_path = Some(iter.next().ok_or("--vcd needs a file path")?.to_owned());
             }
             other if path.is_none() => path = Some(other.to_owned()),
             other => times.push(other.to_owned()),
@@ -212,7 +217,11 @@ fn cmd_net(args: &[String]) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let network = spacetime::net::parse_network(&text).map_err(|e| e.to_string())?;
     if rest.is_empty() {
-        println!("inputs: {}  outputs: {}", network.input_count(), network.output_count());
+        println!(
+            "inputs: {}  outputs: {}",
+            network.input_count(),
+            network.output_count()
+        );
         println!("gates: {}", gate_counts(&network));
         return Ok(());
     }
@@ -329,10 +338,26 @@ fn cmd_gen_patterns(args: &[String]) -> Result<(), String> {
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
-            "--patterns" => patterns = flag_value(&mut iter, a)?.parse().map_err(|e| format!("{e}"))?,
-            "--width" => width = flag_value(&mut iter, a)?.parse().map_err(|e| format!("{e}"))?,
-            "--count" => count = flag_value(&mut iter, a)?.parse().map_err(|e| format!("{e}"))?,
-            "--seed" => seed = flag_value(&mut iter, a)?.parse().map_err(|e| format!("{e}"))?,
+            "--patterns" => {
+                patterns = flag_value(&mut iter, a)?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--width" => {
+                width = flag_value(&mut iter, a)?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--count" => {
+                count = flag_value(&mut iter, a)?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--seed" => {
+                seed = flag_value(&mut iter, a)?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
             other => return Err(format!("unexpected argument {other:?}")),
         }
     }
@@ -351,15 +376,29 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
-            "--neurons" => neurons = flag_value(&mut iter, a)?.parse().map_err(|e| format!("{e}"))?,
-            "--epochs" => epochs = flag_value(&mut iter, a)?.parse().map_err(|e| format!("{e}"))?,
-            "--seed" => seed = flag_value(&mut iter, a)?.parse().map_err(|e| format!("{e}"))?,
+            "--neurons" => {
+                neurons = flag_value(&mut iter, a)?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--epochs" => {
+                epochs = flag_value(&mut iter, a)?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--seed" => {
+                seed = flag_value(&mut iter, a)?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
             "--save" => save = Some(flag_value(&mut iter, a)?),
             other if path.is_none() && !other.starts_with('-') => path = Some(other.to_owned()),
             other => return Err(format!("unexpected argument {other:?}")),
         }
     }
-    let path = path.ok_or("usage: spacetime train <stream-file> [--neurons K] [--epochs E] [--seed S] [--save <f>]")?;
+    let path = path.ok_or(
+        "usage: spacetime train <stream-file> [--neurons K] [--epochs E] [--seed S] [--save <f>]",
+    )?;
     let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let stream = spacetime::tnn::parse_stream(&text).map_err(|e| format!("{path}: {e}"))?;
     let width = stream[0].volley.width();
@@ -429,6 +468,113 @@ fn cmd_classify(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn parse_volleys(text: &str, path: &str) -> Result<Vec<Volley>, String> {
+    let mut volleys = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let times: Result<Vec<Time>, String> = line
+            .split_whitespace()
+            .map(|tok| {
+                tok.parse::<Time>()
+                    .map_err(|e| format!("{path}:{}: {e}", lineno + 1))
+            })
+            .collect();
+        volleys.push(Volley::new(times?));
+    }
+    Ok(volleys)
+}
+
+fn cmd_batch(args: &[String]) -> Result<(), String> {
+    use spacetime::batch::{BatchEvaluator, CompiledArtifact};
+
+    let mut spec = None;
+    let mut volleys_path = None;
+    let mut engine = "table".to_owned();
+    let mut threads = None;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--engine" => engine = flag_value(&mut iter, a)?,
+            "--threads" => {
+                threads = Some(
+                    flag_value(&mut iter, a)?
+                        .parse::<usize>()
+                        .map_err(|e| format!("bad thread count: {e}"))?,
+                );
+            }
+            other if spec.is_none() && !other.starts_with('-') => spec = Some(other.to_owned()),
+            other if volleys_path.is_none() && !other.starts_with('-') => {
+                volleys_path = Some(other.to_owned());
+            }
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let usage =
+        "usage: spacetime batch <spec-file> <volleys-file> [--engine table|net|grl|column] [--threads N]";
+    let spec = spec.ok_or(usage)?;
+    let volleys_path = volleys_path.ok_or(usage)?;
+
+    let artifact = match engine.as_str() {
+        "table" => CompiledArtifact::from_table(&load_table(&spec)?),
+        "net" => {
+            let network = synthesize(&load_table(&spec)?, SynthesisOptions::default());
+            CompiledArtifact::from_network(&network)
+        }
+        "grl" => {
+            let network = synthesize(&load_table(&spec)?, SynthesisOptions::default());
+            CompiledArtifact::from_grl_network(&network)
+        }
+        "column" => {
+            let text =
+                std::fs::read_to_string(&spec).map_err(|e| format!("cannot read {spec}: {e}"))?;
+            let column = spacetime::tnn::parse_column(&text).map_err(|e| format!("{spec}: {e}"))?;
+            CompiledArtifact::from(column)
+        }
+        other => {
+            return Err(format!(
+                "unknown engine {other:?}; expected table|net|grl|column"
+            ))
+        }
+    };
+
+    let text = std::fs::read_to_string(&volleys_path)
+        .map_err(|e| format!("cannot read {volleys_path}: {e}"))?;
+    let volleys = parse_volleys(&text, &volleys_path)?;
+
+    let evaluator = match threads {
+        Some(n) => BatchEvaluator::with_threads(n),
+        None => BatchEvaluator::new(),
+    };
+    let started = std::time::Instant::now();
+    let outputs = evaluator
+        .eval(&artifact, &volleys)
+        .map_err(|e| format!("{volleys_path}: {e}"))?;
+    let elapsed = started.elapsed();
+
+    let mut stdout = String::new();
+    for out in &outputs {
+        stdout.push_str(&out.to_string());
+        stdout.push('\n');
+    }
+    print!("{stdout}");
+    let rate = if elapsed.as_secs_f64() > 0.0 {
+        outputs.len() as f64 / elapsed.as_secs_f64()
+    } else {
+        f64::INFINITY
+    };
+    eprintln!(
+        "({} volleys through the {engine} engine on {} threads in {:.1} ms; {:.0} volleys/s)",
+        outputs.len(),
+        evaluator.threads(),
+        elapsed.as_secs_f64() * 1e3,
+        rate
+    );
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -438,6 +584,23 @@ mod tests {
         let ts = parse_times(&["3".into(), "inf".into(), "∞".into()]).unwrap();
         assert_eq!(ts, vec![Time::finite(3), Time::INFINITY, Time::INFINITY]);
         assert!(parse_times(&["x".into()]).is_err());
+    }
+
+    #[test]
+    fn parse_volleys_handles_comments_and_inf() {
+        let text = "# header\n0 1 2\n\n3 inf ∞  # trailing comment\n";
+        let volleys = parse_volleys(text, "test").unwrap();
+        assert_eq!(volleys.len(), 2);
+        assert_eq!(
+            volleys[0].times(),
+            &[Time::ZERO, Time::finite(1), Time::finite(2)]
+        );
+        assert_eq!(
+            volleys[1].times(),
+            &[Time::finite(3), Time::INFINITY, Time::INFINITY]
+        );
+        let err = parse_volleys("0 oops\n", "vf").unwrap_err();
+        assert!(err.starts_with("vf:1:"), "{err}");
     }
 
     #[test]

@@ -14,7 +14,10 @@ impl TempFile {
         let path = std::env::temp_dir().join(format!(
             "spacetime-cli-{}-{}-{tag}",
             std::process::id(),
-            std::thread::current().name().unwrap_or("t").replace("::", "-"),
+            std::thread::current()
+                .name()
+                .unwrap_or("t")
+                .replace("::", "-"),
         ));
         std::fs::write(&path, content).expect("write temp file");
         TempFile(path)
@@ -32,7 +35,10 @@ impl Drop for TempFile {
 }
 
 fn fig7_file() -> TempFile {
-    TempFile::with_content("fig7.table", "# fig7\n0 1 2 -> 3\n1 0 inf -> 2\n2 2 0 -> 2\n")
+    TempFile::with_content(
+        "fig7.table",
+        "# fig7\n0 1 2 -> 3\n1 0 inf -> 2\n2 2 0 -> 2\n",
+    )
 }
 
 #[test]
@@ -56,7 +62,10 @@ fn synth_reports_gate_statistics() {
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("rows: 3"));
-    assert!(stdout.contains("max=0"), "pure basis must have no max gates: {stdout}");
+    assert!(
+        stdout.contains("max=0"),
+        "pure basis must have no max gates: {stdout}"
+    );
 }
 
 #[test]
@@ -76,7 +85,15 @@ fn simulate_writes_vcd() {
     let table = fig7_file();
     let vcd = TempFile::with_content("run.vcd", "");
     let out = bin()
-        .args(["simulate", table.to_str(), "0", "1", "2", "--vcd", vcd.to_str()])
+        .args([
+            "simulate",
+            table.to_str(),
+            "0",
+            "1",
+            "2",
+            "--vcd",
+            vcd.to_str(),
+        ])
         .output()
         .expect("run");
     assert!(out.status.success(), "{out:?}");
@@ -151,7 +168,17 @@ fn synth_save_and_net_round_trip() {
 fn generate_train_classify_workflow() {
     // gen-patterns → train → classify, end to end through files.
     let out = bin()
-        .args(["gen-patterns", "--patterns", "2", "--width", "10", "--count", "150", "--seed", "4"])
+        .args([
+            "gen-patterns",
+            "--patterns",
+            "2",
+            "--width",
+            "10",
+            "--count",
+            "150",
+            "--seed",
+            "4",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -161,7 +188,14 @@ fn generate_train_classify_workflow() {
     let column = TempFile::with_content("col.txt", "");
 
     let out = bin()
-        .args(["train", stream.to_str(), "--save", column.to_str(), "--seed", "1"])
+        .args([
+            "train",
+            stream.to_str(),
+            "--save",
+            column.to_str(),
+            "--seed",
+            "1",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success(), "{out:?}");
@@ -193,7 +227,10 @@ fn errors_are_reported_with_nonzero_exit() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
 
-    let out = bin().args(["eval", "/nonexistent.table", "0"]).output().unwrap();
+    let out = bin()
+        .args(["eval", "/nonexistent.table", "0"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
 
     let out = bin().args(["sort", "banana"]).output().unwrap();

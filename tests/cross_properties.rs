@@ -3,7 +3,8 @@
 //! and CMOS — and all agree; Lemma 1 holds for the composed systems.
 
 use proptest::prelude::*;
-use spacetime::core::{verify_space_time, Time, Volley};
+use spacetime::batch::{BatchEvaluator, CompiledArtifact};
+use spacetime::core::{verify_space_time, FunctionTable, Time, Volley};
 use spacetime::grl::{compile_network, GrlSim};
 use spacetime::net::EventSim;
 use spacetime::neuron::structural::srm0_network;
@@ -13,8 +14,7 @@ use spacetime::tnn::{Column, Inhibition};
 fn arb_response() -> impl Strategy<Value = ResponseFn> {
     prop_oneof![
         Just(ResponseFn::fig11_biexponential()),
-        (1u32..3, 1u64..3, 1u64..4)
-            .prop_map(|(p, r, f)| ResponseFn::piecewise_linear(p, r, f)),
+        (1u32..3, 1u64..3, 1u64..4).prop_map(|(p, r, f)| ResponseFn::piecewise_linear(p, r, f)),
         (1u32..3).prop_map(ResponseFn::step),
     ]
 }
@@ -102,5 +102,138 @@ proptest! {
         let network = column.to_network();
         let behavioral = column.eval(&Volley::new(inputs.to_vec()));
         prop_assert_eq!(network.eval(inputs).unwrap(), behavioral.times());
+    }
+
+    /// The batched engine is bit-identical to sequential `EventSim` /
+    /// `GrlSim` / `Srm0Neuron` loops at 1, 2, and N worker threads — the
+    /// thread count is never observable in the outputs.
+    #[test]
+    fn batch_network_and_grl_match_sequential_loops(
+        neuron in arb_neuron(),
+        raw_volleys in prop::collection::vec(arb_volley(3), 1..24),
+    ) {
+        let width = neuron.synapses().len();
+        let volleys: Vec<Volley> = raw_volleys
+            .iter()
+            .map(|v| Volley::new(v[..width].to_vec()))
+            .collect();
+        let network = srm0_network(&neuron);
+        let netlist = compile_network(&network);
+
+        // The sequential reference loops the batch engine must reproduce.
+        let event = EventSim::new();
+        let cmos = GrlSim::new();
+        let seq_neuron: Vec<Time> = volleys.iter().map(|v| neuron.eval(v.times())).collect();
+        let seq_net: Vec<Volley> = volleys
+            .iter()
+            .map(|v| Volley::new(event.run(&network, v.times()).unwrap().outputs))
+            .collect();
+        let seq_grl: Vec<Volley> = volleys
+            .iter()
+            .map(|v| Volley::new(cmos.run(&netlist, v.times()).unwrap().outputs))
+            .collect();
+        // The network realizes the neuron, so all references agree.
+        for (v, &t) in seq_net.iter().zip(&seq_neuron) {
+            prop_assert_eq!(v.times(), &[t]);
+        }
+
+        let net_artifact = CompiledArtifact::from_network(&network);
+        let grl_artifact = CompiledArtifact::Grl(netlist.clone());
+        for threads in [1usize, 2, 7] {
+            let evaluator = BatchEvaluator::with_threads(threads);
+            prop_assert_eq!(
+                &evaluator.eval(&net_artifact, &volleys).unwrap(),
+                &seq_net,
+                "net engine, {} threads", threads
+            );
+            prop_assert_eq!(
+                &evaluator.eval(&grl_artifact, &volleys).unwrap(),
+                &seq_grl,
+                "grl engine, {} threads", threads
+            );
+        }
+
+        // The per-crate hooks run the same loops.
+        prop_assert_eq!(neuron.eval_batch(&volleys).unwrap(), seq_neuron);
+        let hook_net: Vec<Volley> = event
+            .run_batch(&network, &volleys)
+            .unwrap()
+            .into_iter()
+            .map(|r| Volley::new(r.outputs))
+            .collect();
+        prop_assert_eq!(hook_net, seq_net);
+        let hook_grl: Vec<Volley> = cmos
+            .run_batch(&netlist, &volleys)
+            .unwrap()
+            .into_iter()
+            .map(|r| Volley::new(r.outputs))
+            .collect();
+        prop_assert_eq!(hook_grl, seq_grl);
+    }
+
+    /// A compiled table artifact reproduces sequential `FunctionTable::eval`
+    /// bit-for-bit at every thread count.
+    #[test]
+    fn batch_table_matches_sequential_table_eval(
+        neuron in arb_neuron(),
+        raw_volleys in prop::collection::vec(arb_volley(3), 1..24),
+    ) {
+        let width = neuron.synapses().len();
+        // Sample the neuron into a normalized table; SRM0 neurons are
+        // space-time functions, so this always succeeds.
+        let table = FunctionTable::from_fn(&neuron, 3).unwrap();
+        let volleys: Vec<Volley> = raw_volleys
+            .iter()
+            .map(|v| Volley::new(v[..width].to_vec()))
+            .collect();
+        let seq: Vec<Volley> = volleys
+            .iter()
+            .map(|v| Volley::new(vec![table.eval(v.times()).unwrap()]))
+            .collect();
+        let artifact = CompiledArtifact::from_table(&table);
+        for threads in [1usize, 2, 7] {
+            let evaluator = BatchEvaluator::with_threads(threads);
+            prop_assert_eq!(
+                &evaluator.eval(&artifact, &volleys).unwrap(),
+                &seq,
+                "{} threads", threads
+            );
+        }
+    }
+
+    /// A WTA column artifact reproduces the sequential `Column::eval` loop
+    /// at every thread count, as does the `Column::eval_batch` hook.
+    #[test]
+    fn batch_column_matches_sequential_column(
+        neurons in prop::collection::vec(arb_neuron(), 2..4),
+        raw_volleys in prop::collection::vec(arb_volley(3), 1..24),
+    ) {
+        let width = neurons.iter().map(|n| n.synapses().len()).min().unwrap();
+        let neurons: Vec<Srm0Neuron> = neurons
+            .into_iter()
+            .map(|n| {
+                Srm0Neuron::new(
+                    n.unit_response().clone(),
+                    n.synapses()[..width].to_vec(),
+                    n.threshold(),
+                )
+            })
+            .collect();
+        let column = Column::new(neurons, Inhibition::one_wta());
+        let volleys: Vec<Volley> = raw_volleys
+            .iter()
+            .map(|v| Volley::new(v[..width].to_vec()))
+            .collect();
+        let seq: Vec<Volley> = volleys.iter().map(|v| column.eval(v)).collect();
+        prop_assert_eq!(&column.eval_batch(&volleys).unwrap(), &seq);
+        let artifact = CompiledArtifact::from(column);
+        for threads in [1usize, 2, 7] {
+            let evaluator = BatchEvaluator::with_threads(threads);
+            prop_assert_eq!(
+                &evaluator.eval(&artifact, &volleys).unwrap(),
+                &seq,
+                "{} threads", threads
+            );
+        }
     }
 }

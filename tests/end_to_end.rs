@@ -55,9 +55,8 @@ fn neuron_round_trips_through_every_representation() {
     let sim = GrlSim::new();
 
     // Sample the CMOS implementation as a space-time function.
-    let cmos_fn = spacetime::core::FnSpaceTime::new(2, |x: &[Time]| {
-        sim.run(&netlist, x).unwrap().outputs[0]
-    });
+    let cmos_fn =
+        spacetime::core::FnSpaceTime::new(2, |x: &[Time]| sim.run(&netlist, x).unwrap().outputs[0]);
     let table = FunctionTable::from_fn(&cmos_fn, 5).unwrap();
 
     // The recovered table matches the original behavioral neuron.
@@ -87,7 +86,11 @@ fn trained_column_compiles_to_hardware() {
     train_column(&mut column, &stream, &config);
 
     let assignment = evaluate_column(&column, &data.stream(100, 1.0), 2);
-    assert!(assignment.accuracy() > 0.9, "accuracy {}", assignment.accuracy());
+    assert!(
+        assignment.accuracy() > 0.9,
+        "accuracy {}",
+        assignment.accuracy()
+    );
 
     // Behavioral column == structural network == CMOS netlist.
     let network = column.to_network();
@@ -124,7 +127,10 @@ fn analog_features_to_decision() {
     );
     let out = column.eval(&volley);
     assert!(out[0].is_finite(), "left detector should fire: {out}");
-    assert!(out[1].is_infinite(), "right detector should stay silent: {out}");
+    assert!(
+        out[1].is_infinite(),
+        "right detector should stay silent: {out}"
+    );
     assert_eq!(column.winner(&volley), Some(0));
 }
 

@@ -26,15 +26,19 @@ fn malformed_tables_are_rejected_with_precise_errors() {
     // Input after output (acausal row).
     assert!(matches!(
         FunctionTable::from_rows(2, vec![(vec![t(0), t(9)], t(3))]),
-        Err(CoreError::RowViolatesCausality { row: 0, input: 1, .. })
+        Err(CoreError::RowViolatesCausality {
+            row: 0,
+            input: 1,
+            ..
+        })
     ));
     // Duplicate pattern.
     assert!(matches!(
-        FunctionTable::from_rows(
-            1,
-            vec![(vec![t(0)], t(1)), (vec![t(0)], t(2))]
-        ),
-        Err(CoreError::DuplicateRow { first: 0, second: 1 })
+        FunctionTable::from_rows(1, vec![(vec![t(0)], t(1)), (vec![t(0)], t(2))]),
+        Err(CoreError::DuplicateRow {
+            first: 0,
+            second: 1
+        })
     ));
     // Zero arity.
     assert!(matches!(
@@ -52,12 +56,18 @@ fn arity_mismatches_surface_at_every_layer() {
     let net = b.build([m]);
     assert!(matches!(
         net.eval(&[t(0)]),
-        Err(CoreError::ArityMismatch { expected: 2, actual: 1 })
+        Err(CoreError::ArityMismatch {
+            expected: 2,
+            actual: 1
+        })
     ));
     let netlist = spacetime::grl::compile_network(&net);
     assert!(matches!(
         GrlSim::new().run(&netlist, &[t(0), t(1), t(2)]),
-        Err(CoreError::ArityMismatch { expected: 2, actual: 3 })
+        Err(CoreError::ArityMismatch {
+            expected: 2,
+            actual: 3
+        })
     ));
     let neuron = Srm0Neuron::new(ResponseFn::step(1), vec![Synapse::excitatory(1)], 1);
     use spacetime::core::SpaceTimeFunction;
@@ -120,10 +130,7 @@ fn inconsistent_tables_are_detectable_and_still_deterministic() {
     // and eval deterministically picks the earliest (network semantics).
     let table = FunctionTable::from_rows(
         2,
-        vec![
-            (vec![t(0), Time::INFINITY], t(0)),
-            (vec![t(0), t(2)], t(2)),
-        ],
+        vec![(vec![t(0), Time::INFINITY], t(0)), (vec![t(0), t(2)], t(2))],
     )
     .unwrap();
     assert!(matches!(

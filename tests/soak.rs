@@ -72,7 +72,9 @@ fn big_neuron_four_way_agreement() {
 #[test]
 #[ignore = "soak: ~minutes in release"]
 fn large_race_logic_instances() {
-    use spacetime::grl::shortest_path::{shortest_paths_race, shortest_paths_reference, WeightedDag};
+    use spacetime::grl::shortest_path::{
+        shortest_paths_race, shortest_paths_reference, WeightedDag,
+    };
     for seed in 0..5 {
         let dag = WeightedDag::random(512, 6, 0.4, 8, seed);
         let (race, _) = shortest_paths_race(&dag, 0);
@@ -81,7 +83,14 @@ fn large_race_logic_instances() {
     use spacetime::grl::{edit_distance_race, edit_distance_reference};
     let mut rng = StdRng::seed_from_u64(9);
     let bases = [b'A', b'C', b'G', b'T'];
-    let a: Vec<u8> = (0..64).map(|_| bases[rng.random_range(0..4)]).collect();
-    let b: Vec<u8> = (0..64).map(|_| bases[rng.random_range(0..4)]).collect();
-    assert_eq!(edit_distance_race(&a, &b).0, edit_distance_reference(&a, &b));
+    let a: Vec<u8> = (0..64)
+        .map(|_| bases[rng.random_range(0..4usize)])
+        .collect();
+    let b: Vec<u8> = (0..64)
+        .map(|_| bases[rng.random_range(0..4usize)])
+        .collect();
+    assert_eq!(
+        edit_distance_race(&a, &b).0,
+        edit_distance_reference(&a, &b)
+    );
 }
