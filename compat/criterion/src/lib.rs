@@ -13,9 +13,6 @@
 //! There is no statistical analysis, HTML output, or baseline comparison.
 //! Set `BENCH_QUICK=1` to shrink measurement time for smoke runs.
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

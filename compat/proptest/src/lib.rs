@@ -17,9 +17,6 @@
 //! * case count comes from [`test_runner::Config`] (default 256) and can
 //!   be scaled globally with the `PROPTEST_CASES` environment variable.
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
 pub mod collection;
 mod macros;
 pub mod option;

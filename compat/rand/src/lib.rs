@@ -12,9 +12,6 @@
 //! differ from upstream `StdRng` (ChaCha12), so seeded outputs are stable
 //! *within* this repository but not across the two implementations.
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
 use core::ops::{Range, RangeInclusive};
 
 /// A low-level source of random 64-bit words.

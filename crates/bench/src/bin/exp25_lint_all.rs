@@ -1,0 +1,193 @@
+//! E25 (extension) — the static verifier run across every construction
+//! the repository ships: Theorem 1 synthesis in both bases, bitonic
+//! sorters, WTA and k-WTA stages, structural SRM0 neurons, micro-weight
+//! banks, compiled GRL netlists, TNN columns, and the on-disk example
+//! files. Exits nonzero if any construction produces an error-severity
+//! diagnostic — the CI lint gate runs this binary.
+
+use st_bench::{banner, print_table};
+use st_core::{FunctionTable, Time};
+use st_lint::Report;
+use st_net::synth::{synthesize, SynthesisOptions};
+use st_net::{sorting, wta, NetworkBuilder};
+use st_neuron::{srm0_network, ProgrammableSrm0, ResponseFn, Srm0Neuron, Synapse};
+use st_tnn::{Column, Inhibition};
+
+fn fig7() -> FunctionTable {
+    let t = Time::finite;
+    FunctionTable::from_rows(
+        3,
+        vec![
+            (vec![t(0), t(1), t(2)], t(3)),
+            (vec![t(1), t(0), Time::INFINITY], t(2)),
+            (vec![t(2), t(2), t(0)], t(2)),
+        ],
+    )
+    .expect("the paper's Fig. 7 table is normalized")
+}
+
+fn fig6_network() -> st_net::Network {
+    let mut b = NetworkBuilder::new();
+    let a = b.input();
+    let x = b.input();
+    let c = b.input();
+    let a1 = b.inc(a, 1);
+    let m = b.min([a1, x]).expect("non-empty");
+    let y = b.lt(m, c);
+    b.build([y])
+}
+
+fn demo_column() -> Column {
+    let unit = ResponseFn::from_steps(vec![0, 1], vec![3, 5]);
+    let neurons = vec![
+        Srm0Neuron::new(
+            unit.clone(),
+            vec![Synapse::new(0, 2), Synapse::new(1, 1)],
+            3,
+        ),
+        Srm0Neuron::new(unit, vec![Synapse::new(1, 1), Synapse::new(0, 2)], 3),
+    ];
+    Column::new(neurons, Inhibition::Wta { tau: 1 })
+}
+
+/// Lints the shipped `examples/data/` files through the same text
+/// parsers the CLI uses.
+fn lint_example_files() -> Vec<(String, Report)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/data");
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .expect("examples/data ships with the repository")
+        .map(|e| e.expect("readable dir entry").path())
+        .collect();
+    entries.sort();
+    entries
+        .into_iter()
+        .map(|path| {
+            let name = format!(
+                "examples/data/{}",
+                path.file_name().expect("file").to_string_lossy()
+            );
+            let text = std::fs::read_to_string(&path).expect("readable example");
+            let report = match path.extension().and_then(|e| e.to_str()) {
+                Some("table") => st_lint::lint_table(
+                    &FunctionTable::parse(&text).expect("shipped table parses"),
+                    &st_lint::LintOptions::default(),
+                ),
+                Some("tnn") => st_tnn::lint::lint_column(
+                    &st_tnn::parse_column(&text).expect("shipped column parses"),
+                ),
+                _ => st_net::lint::lint_network(
+                    &st_net::parse_network(&text).expect("shipped netlist parses"),
+                ),
+            };
+            (name, report)
+        })
+        .collect()
+}
+
+fn main() {
+    banner(
+        "E25 static verification of every shipped construction",
+        "the invariants of §§ III-B, IV, V (docs/lint.md)",
+        "every construction the repo generates satisfies the paper's \
+         static invariants — causality, acyclicity, boundedness, WTA \
+         shape — with zero error-severity findings",
+    );
+
+    let table = fig7();
+    let unit = ResponseFn::fig11_biexponential();
+    let srm0 = Srm0Neuron::new(
+        unit.clone(),
+        vec![Synapse::excitatory(1), Synapse::excitatory(1)],
+        6,
+    );
+    let programmable = ProgrammableSrm0::new(&unit, 2, 2, 6);
+
+    let mut results: Vec<(String, Report)> = vec![
+        (
+            "fig6 network".into(),
+            st_net::lint::lint_network(&fig6_network()),
+        ),
+        (
+            "fig7 synthesis (default)".into(),
+            st_net::lint::lint_network(&synthesize(&table, SynthesisOptions::default())),
+        ),
+        (
+            "fig7 synthesis (pure)".into(),
+            st_net::lint::lint_network(&synthesize(&table, SynthesisOptions::pure())),
+        ),
+        ("fig7 table".into(), {
+            st_lint::lint_table(&table, &st_lint::LintOptions::default())
+        }),
+        (
+            "bitonic sorter n=4".into(),
+            st_net::lint::lint_network(&sorting::sorting_network(4)),
+        ),
+        (
+            "bitonic sorter n=16".into(),
+            st_net::lint::lint_network(&sorting::sorting_network(16)),
+        ),
+        (
+            "WTA n=4 τ=2".into(),
+            st_net::lint::lint_network(&wta::wta_network(4, 2)),
+        ),
+        (
+            "k-WTA n=4 k=2".into(),
+            st_net::lint::lint_network(&wta::k_wta_network(4, 2)),
+        ),
+        (
+            "SRM0 structural neuron".into(),
+            st_net::lint::lint_network(&srm0_network(&srm0)),
+        ),
+        (
+            "micro-weight SRM0 bank".into(),
+            st_net::lint::lint_network(programmable.network()),
+        ),
+        (
+            "GRL netlist (fig7 compiled)".into(),
+            st_grl::lint::lint_netlist(&st_grl::compile_network(&synthesize(
+                &table,
+                SynthesisOptions::default(),
+            ))),
+        ),
+        ("TNN column (2 neurons)".into(), {
+            st_tnn::lint::lint_column(&demo_column())
+        }),
+    ];
+    results.extend(lint_example_files());
+
+    println!();
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(name, r)| {
+            vec![
+                name.clone(),
+                r.error_count().to_string(),
+                r.count(st_lint::Severity::Warning).to_string(),
+                r.count(st_lint::Severity::Info).to_string(),
+                if r.is_clean() { "ok" } else { "FAIL" }.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &["construction", "errors", "warnings", "infos", "gate"],
+        &rows,
+    );
+
+    let failing: Vec<&str> = results
+        .iter()
+        .filter(|(_, r)| !r.is_clean())
+        .map(|(n, _)| n.as_str())
+        .collect();
+    if failing.is_empty() {
+        println!(
+            "\nall {} constructions lint clean (no errors)",
+            results.len()
+        );
+    } else {
+        for (name, report) in results.iter().filter(|(_, r)| !r.is_clean()) {
+            println!("\n--- {name} ---\n{}", report.render());
+        }
+        eprintln!("lint gate FAILED for: {}", failing.join(", "));
+        std::process::exit(1);
+    }
+}

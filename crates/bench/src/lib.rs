@@ -6,9 +6,6 @@
 //! Criterion benches in `benches/` cover everything with a timing or
 //! scaling axis. See `DESIGN.md` for the experiment ↔ paper-artifact map.
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
 use std::fmt::Display;
 
 /// Prints a Markdown-style table: a header row, a separator, then rows.

@@ -102,7 +102,7 @@ impl CompiledTable {
             table.arity()
         );
         let mut groups: Vec<MaskGroup> = Vec::new();
-        for row in table.iter() {
+        for row in table {
             let mut mask = 0u64;
             let mut values = Vec::new();
             for (i, x) in row.inputs().iter().enumerate() {

@@ -386,9 +386,8 @@ pub fn check_bounded_at<F: SpaceTimeFunction + ?Sized>(
     let Some(x_max) = finite_max.value() else {
         return Ok(());
     };
-    let cutoff = match x_max.checked_sub(window) {
-        Some(c) => c,
-        None => return Ok(()),
+    let Some(cutoff) = x_max.checked_sub(window) else {
+        return Ok(());
     };
     let output = apply_or_violation(f, inputs)?;
     let mut scratch = inputs.to_vec();

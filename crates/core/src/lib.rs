@@ -58,10 +58,6 @@
 //! assert_eq!(volley.to_string(), "[0, 3, ∞, 1]");
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-#![forbid(unsafe_code)]
-
 pub mod compiled;
 pub mod error;
 pub mod expr;

@@ -70,7 +70,19 @@ pub fn compile_network(network: &Network) -> GrlNetlist {
         wires.push(wire);
     }
     let outputs = network.outputs().iter().map(|o| wires[o.index()]);
-    b.build(outputs)
+    let netlist = b.build(outputs);
+    // Static pre-pass (debug builds only): whatever the source network
+    // computes, the netlist must be structurally well-formed CMOS.
+    #[cfg(debug_assertions)]
+    {
+        let report = crate::lint::lint_netlist(&netlist);
+        assert!(
+            !report.has_structural_errors(),
+            "compile_network produced a structurally invalid netlist:\n{}",
+            report.render()
+        );
+    }
+    netlist
 }
 
 #[cfg(test)]

@@ -36,13 +36,10 @@
 //! assert!(report.eval_transitions <= report.fall_times.len());
 //! # Ok::<(), String>(())
 //! ```
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-#![forbid(unsafe_code)]
-
 pub mod alignment;
 pub mod compile;
 pub mod energy;
+pub mod lint;
 pub mod netlist;
 pub mod physical;
 pub mod shortest_path;

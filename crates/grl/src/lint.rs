@@ -1,0 +1,113 @@
+//! Static lint frontend for [`GrlNetlist`]s.
+//!
+//! Under the Fig. 16 level-transition encoding the CMOS gates *are* the
+//! algebraic primitives — AND is `min`, OR is `max`, the latch gadget is
+//! `lt`, a flip-flop stage is a one-tick `inc`, a tied-high wire is `∞`,
+//! and a `FallAt(c)` configuration wire is the finite constant `c` — so a
+//! netlist lowers losslessly into the [`st_lint::LintGraph`] IR and every
+//! graph pass applies unchanged.
+//!
+//! One deliberate difference from the network frontend: the minimal-basis
+//! check (STA008) is disabled. OR gates are first-class CMOS citizens;
+//! Theorem 1 is a statement about the algebra, not about silicon.
+
+use st_lint::{lint_graph, LintGraph, LintOp, LintOptions, Report};
+
+use crate::netlist::{GrlGate, GrlNetlist};
+
+/// Lowers a netlist into the lint IR, one node per wire in topological
+/// order (indices coincide with [`WireId::index`](crate::netlist::WireId)).
+#[must_use]
+pub fn to_lint_graph(netlist: &GrlNetlist) -> LintGraph {
+    let mut graph = LintGraph::new(netlist.input_count());
+    for id in 0..netlist.wire_count() {
+        let (op, sources) = match netlist.gates[id] {
+            GrlGate::Input(n) => (LintOp::Input(n), vec![]),
+            GrlGate::High => (LintOp::Const(st_core::Time::INFINITY), vec![]),
+            GrlGate::FallAt(c) => (LintOp::Const(st_core::Time::finite(c)), vec![]),
+            GrlGate::And(a, b) => (LintOp::Min, vec![a.index(), b.index()]),
+            GrlGate::Or(a, b) => (LintOp::Max, vec![a.index(), b.index()]),
+            GrlGate::LtLatch { a, b } => (LintOp::Lt, vec![a.index(), b.index()]),
+            GrlGate::Delay(a) => (LintOp::Inc(1), vec![a.index()]),
+        };
+        graph.push(op, sources);
+    }
+    graph.set_outputs(netlist.outputs().iter().map(|o| o.index()).collect());
+    graph
+}
+
+/// Lints a netlist with default options (basis checking off, see the
+/// module docs).
+#[must_use]
+pub fn lint_netlist(netlist: &GrlNetlist) -> Report {
+    let options = LintOptions {
+        check_basis: false,
+        ..LintOptions::default()
+    };
+    lint_graph(&to_lint_graph(netlist), &options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile_network;
+    use st_core::Time;
+    use st_lint::Code;
+    use st_net::graph::NetworkBuilder;
+
+    fn t(v: u64) -> Time {
+        Time::finite(v)
+    }
+
+    fn fig6_netlist() -> GrlNetlist {
+        let mut b = NetworkBuilder::new();
+        let a = b.input();
+        let x = b.input();
+        let c = b.input();
+        let a1 = b.inc(a, 1);
+        let m = b.min([a1, x]).unwrap();
+        let y = b.lt(m, c);
+        compile_network(&b.build([y]))
+    }
+
+    #[test]
+    fn compiled_netlists_lint_clean_even_with_or_gates() {
+        let report = lint_netlist(&fig6_netlist());
+        assert!(report.diagnostics().is_empty(), "{}", report.render());
+
+        // max compiles to OR, which must NOT be flagged at the CMOS level.
+        let mut b = NetworkBuilder::new();
+        let p = b.input();
+        let q = b.input();
+        let m = b.max([p, q]).unwrap();
+        let report = lint_netlist(&compile_network(&b.build([m])));
+        assert!(report.diagnostics().is_empty(), "{}", report.render());
+    }
+
+    #[test]
+    fn finite_fall_at_on_a_timing_path_is_caught() {
+        let mut b = NetworkBuilder::new();
+        let x = b.input();
+        let k = b.constant(t(2));
+        let m = b.min([x, k]).unwrap();
+        let report = lint_netlist(&compile_network(&b.build([m])));
+        assert_eq!(report.error_count(), 1);
+        assert_eq!(report.diagnostics()[0].code, Code::Causality);
+    }
+
+    #[test]
+    fn lowering_counts_match_the_census() {
+        let netlist = fig6_netlist();
+        let graph = to_lint_graph(&netlist);
+        assert_eq!(graph.len(), netlist.wire_count());
+        let (and, or, lt, ff) = netlist.gate_census();
+        let ops: Vec<_> = graph.nodes().iter().map(|n| n.op).collect();
+        assert_eq!(ops.iter().filter(|o| **o == LintOp::Min).count(), and);
+        assert_eq!(ops.iter().filter(|o| **o == LintOp::Max).count(), or);
+        assert_eq!(ops.iter().filter(|o| **o == LintOp::Lt).count(), lt);
+        assert_eq!(
+            ops.iter().filter(|o| matches!(o, LintOp::Inc(_))).count(),
+            ff
+        );
+    }
+}

@@ -1,0 +1,478 @@
+//! The diagnostics framework: codes, severities, locations, and reports.
+//!
+//! Every static pass reports findings as [`Diagnostic`]s collected into a
+//! [`Report`]. Codes are stable (`STA001`..) so that build scripts, CI
+//! gates, and editors can match on them; severities encode whether a
+//! finding refutes a paper invariant outright (`Error`), weakens it in a
+//! configuration-dependent way (`Warning`), or merely informs (`Info`).
+
+use core::fmt;
+
+/// How serious a diagnostic is.
+///
+/// Ordered: `Info < Warning < Error`, so `max()` over a report yields the
+/// overall outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory only: the construction is valid but worth knowing about.
+    Info,
+    /// The invariant holds only conditionally (e.g. for specific
+    /// configuration-constant values) or the construction is wasteful.
+    Warning,
+    /// A paper invariant is statically refuted; the artifact should not be
+    /// trusted as a space-time function.
+    Error,
+}
+
+impl Severity {
+    /// The lowercase name used in human and JSON rendering.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+
+    /// Parses the lowercase name back into a severity.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Severity> {
+        match s {
+            "info" => Some(Severity::Info),
+            "warning" => Some(Severity::Warning),
+            "error" => Some(Severity::Error),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Stable identifiers for every static check.
+///
+/// The numbering is append-only: codes are never renumbered or reused, so
+/// downstream tooling can pin on them. `docs/lint.md` catalogues each code
+/// with the paper section it enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// STA001: the gate graph contains a combinational cycle.
+    Cycle,
+    /// STA002: a gate or output references an undefined gate.
+    Dangling,
+    /// STA003: a gate has the wrong fan-in, or an input gate reads a line
+    /// outside the declared input width.
+    ArityMismatch,
+    /// STA004: a finite constant lies on a timing path to an output, so
+    /// the output can fire before any input arrives (refutes causality).
+    Causality,
+    /// STA005: a finite non-zero constant inhibits an `lt`, so shifting
+    /// all inputs by one tick does not shift the output (refutes temporal
+    /// invariance for this configuration).
+    Invariance,
+    /// STA006: a gate (or output line) is saturated at `∞` and can never
+    /// fire.
+    DeadGate,
+    /// STA007: a gate or input line has no path to any output.
+    Unreachable,
+    /// STA008: the network uses `max`, which Theorem 1 proves redundant
+    /// given `{min, lt, inc}`.
+    NonMinimalBasis,
+    /// STA009: a WTA inhibition structure is mis-wired (zero window, or a
+    /// competing line missing from the shared first-spike `min`).
+    WtaShape,
+    /// STA010: a table row needs a history window longer than the
+    /// configured bound (§ IV plausibility limit).
+    WindowExceeded,
+    /// STA011: a table row is shadowed by another row that matches every
+    /// input it matches with an earlier-or-equal output.
+    ShadowedRow,
+    /// STA012: a TNN column's inhibition parameters are out of range
+    /// (τ = 0, k = 0, or k exceeding the neuron count).
+    ColumnParams,
+    /// STA013: a neuron's threshold exceeds its maximum achievable
+    /// membrane potential, so it can never spike.
+    DeadNeuron,
+}
+
+/// All codes, in numbering order.
+pub const ALL_CODES: [Code; 13] = [
+    Code::Cycle,
+    Code::Dangling,
+    Code::ArityMismatch,
+    Code::Causality,
+    Code::Invariance,
+    Code::DeadGate,
+    Code::Unreachable,
+    Code::NonMinimalBasis,
+    Code::WtaShape,
+    Code::WindowExceeded,
+    Code::ShadowedRow,
+    Code::ColumnParams,
+    Code::DeadNeuron,
+];
+
+impl Code {
+    /// The stable `STAnnn` identifier.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::Cycle => "STA001",
+            Code::Dangling => "STA002",
+            Code::ArityMismatch => "STA003",
+            Code::Causality => "STA004",
+            Code::Invariance => "STA005",
+            Code::DeadGate => "STA006",
+            Code::Unreachable => "STA007",
+            Code::NonMinimalBasis => "STA008",
+            Code::WtaShape => "STA009",
+            Code::WindowExceeded => "STA010",
+            Code::ShadowedRow => "STA011",
+            Code::ColumnParams => "STA012",
+            Code::DeadNeuron => "STA013",
+        }
+    }
+
+    /// Parses an `STAnnn` identifier back into a code.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Code> {
+        ALL_CODES.iter().copied().find(|c| c.as_str() == s)
+    }
+
+    /// A one-line summary of what the check enforces.
+    #[must_use]
+    pub fn summary(self) -> &'static str {
+        match self {
+            Code::Cycle => "feedforward discipline: no combinational cycles",
+            Code::Dangling => "every referenced gate is defined",
+            Code::ArityMismatch => "gate fan-in and input width agree",
+            Code::Causality => "outputs cannot fire before the inputs they depend on",
+            Code::Invariance => "shifting all inputs shifts the output",
+            Code::DeadGate => "no gate is saturated at ∞",
+            Code::Unreachable => "every gate and input line can influence an output",
+            Code::NonMinimalBasis => "{min, lt, inc} suffices (Theorem 1)",
+            Code::WtaShape => "WTA inhibition is mutually exclusive",
+            Code::WindowExceeded => "bounded history window (§ IV)",
+            Code::ShadowedRow => "no table row is shadowed by another",
+            Code::ColumnParams => "column inhibition parameters are in range",
+            Code::DeadNeuron => "every neuron's threshold is reachable",
+        }
+    }
+
+    /// Whether the code describes a structural defect (malformed graph)
+    /// rather than a semantic property of a well-formed one.
+    ///
+    /// The builder APIs make structural defects unrepresentable, so the
+    /// compile/synthesis debug pre-passes assert their absence.
+    #[must_use]
+    pub fn is_structural(self) -> bool {
+        matches!(self, Code::Cycle | Code::Dangling | Code::ArityMismatch)
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Where in an artifact a diagnostic points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Location {
+    /// The artifact as a whole.
+    Module,
+    /// A gate, by topological index.
+    Gate(usize),
+    /// An output line, by position.
+    Output(usize),
+    /// A primary input line, by position.
+    Input(usize),
+    /// A function-table row, by position.
+    Row(usize),
+    /// A neuron within a column, by position.
+    Neuron(usize),
+}
+
+impl Location {
+    /// The lowercase kind tag used in JSON rendering.
+    #[must_use]
+    pub fn kind(self) -> &'static str {
+        match self {
+            Location::Module => "module",
+            Location::Gate(_) => "gate",
+            Location::Output(_) => "output",
+            Location::Input(_) => "input",
+            Location::Row(_) => "row",
+            Location::Neuron(_) => "neuron",
+        }
+    }
+
+    /// The positional index, if the location has one.
+    #[must_use]
+    pub fn index(self) -> Option<usize> {
+        match self {
+            Location::Module => None,
+            Location::Gate(i)
+            | Location::Output(i)
+            | Location::Input(i)
+            | Location::Row(i)
+            | Location::Neuron(i) => Some(i),
+        }
+    }
+
+    /// Rebuilds a location from its kind tag and optional index.
+    #[must_use]
+    pub fn from_parts(kind: &str, index: Option<usize>) -> Option<Location> {
+        match (kind, index) {
+            ("module", None) => Some(Location::Module),
+            ("gate", Some(i)) => Some(Location::Gate(i)),
+            ("output", Some(i)) => Some(Location::Output(i)),
+            ("input", Some(i)) => Some(Location::Input(i)),
+            ("row", Some(i)) => Some(Location::Row(i)),
+            ("neuron", Some(i)) => Some(Location::Neuron(i)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Location::Module => write!(f, "module"),
+            Location::Gate(i) => write!(f, "gate g{i}"),
+            Location::Output(i) => write!(f, "output {i}"),
+            Location::Input(i) => write!(f, "input {i}"),
+            Location::Row(i) => write!(f, "row {i}"),
+            Location::Neuron(i) => write!(f, "neuron {i}"),
+        }
+    }
+}
+
+/// One finding from a static pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The stable check identifier.
+    pub code: Code,
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// Where the finding points.
+    pub location: Location,
+    /// What was found, in one sentence.
+    pub message: String,
+    /// How to fix it, when a concrete suggestion exists.
+    pub hint: Option<String>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic without a hint.
+    #[must_use]
+    pub fn new(
+        code: Code,
+        severity: Severity,
+        location: Location,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity,
+            location,
+            message: message.into(),
+            hint: None,
+        }
+    }
+
+    /// Attaches a fix hint.
+    #[must_use]
+    pub fn with_hint(mut self, hint: impl Into<String>) -> Diagnostic {
+        self.hint = Some(hint.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.code, self.location, self.message
+        )?;
+        if let Some(hint) = &self.hint {
+            write!(f, "\n  hint: {hint}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A collection of diagnostics from one lint run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    #[must_use]
+    pub fn new() -> Report {
+        Report::default()
+    }
+
+    /// Adds a diagnostic.
+    pub fn push(&mut self, diagnostic: Diagnostic) {
+        self.diagnostics.push(diagnostic);
+    }
+
+    /// Appends every diagnostic from another report.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// All diagnostics, in emission order.
+    #[must_use]
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// The diagnostics carrying a specific code.
+    pub fn with_code(&self, code: Code) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.code == code)
+    }
+
+    /// The number of findings at a given severity.
+    #[must_use]
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// The number of error-severity findings.
+    #[must_use]
+    pub fn error_count(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Whether the artifact is free of error-severity findings.
+    ///
+    /// Warnings and infos do not make an artifact unclean: shipped
+    /// constructions legitimately carry disabled micro-weights (dead
+    /// gates) and bitonic padding (unreachable gates).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// Whether any *structural* error (cycle, dangling reference, arity
+    /// mismatch) was found. The builder APIs make these unrepresentable,
+    /// so compiled artifacts assert their absence in debug builds.
+    #[must_use]
+    pub fn has_structural_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error && d.code.is_structural())
+    }
+
+    /// Renders every diagnostic human-readably, one per line (hints
+    /// indented below their diagnostic). Empty reports render as nothing.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "{d}");
+        }
+        out
+    }
+
+    /// A one-line `errors/warnings/infos` summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{} error(s), {} warning(s), {} info(s)",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info)
+        )
+    }
+}
+
+impl FromIterator<Diagnostic> for Report {
+    fn from_iter<I: IntoIterator<Item = Diagnostic>>(iter: I) -> Report {
+        Report {
+            diagnostics: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_round_trip() {
+        for (i, code) in ALL_CODES.iter().enumerate() {
+            assert_eq!(code.as_str(), format!("STA{:03}", i + 1));
+            assert_eq!(Code::parse(code.as_str()), Some(*code));
+        }
+        assert_eq!(Code::parse("STA999"), None);
+    }
+
+    #[test]
+    fn severity_orders_and_round_trips() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        for s in [Severity::Info, Severity::Warning, Severity::Error] {
+            assert_eq!(Severity::parse(s.as_str()), Some(s));
+        }
+    }
+
+    #[test]
+    fn locations_round_trip_through_parts() {
+        let all = [
+            Location::Module,
+            Location::Gate(3),
+            Location::Output(0),
+            Location::Input(2),
+            Location::Row(7),
+            Location::Neuron(1),
+        ];
+        for loc in all {
+            assert_eq!(Location::from_parts(loc.kind(), loc.index()), Some(loc));
+        }
+        assert_eq!(Location::from_parts("gate", None), None);
+        assert_eq!(Location::from_parts("module", Some(1)), None);
+    }
+
+    #[test]
+    fn report_counts_and_rendering() {
+        let mut r = Report::new();
+        r.push(Diagnostic::new(
+            Code::Cycle,
+            Severity::Error,
+            Location::Gate(4),
+            "combinational cycle",
+        ));
+        r.push(
+            Diagnostic::new(
+                Code::DeadGate,
+                Severity::Warning,
+                Location::Gate(2),
+                "gate can never fire",
+            )
+            .with_hint("set μ to ∞"),
+        );
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.count(Severity::Warning), 1);
+        assert!(!r.is_clean());
+        assert!(r.has_structural_errors());
+        let text = r.render();
+        assert!(text.contains("error[STA001] gate g4: combinational cycle"));
+        assert!(text.contains("warning[STA006] gate g2: gate can never fire"));
+        assert!(text.contains("  hint: set μ to ∞"));
+        assert_eq!(r.summary(), "1 error(s), 1 warning(s), 0 info(s)");
+    }
+}

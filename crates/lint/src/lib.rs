@@ -1,0 +1,75 @@
+//! `st-lint` — a static verifier for space-time algebra invariants.
+//!
+//! Section III of the paper defines space-time functions by three
+//! properties — computability, causality, and temporal invariance — and
+//! the rest of the workspace checks them *dynamically*, by enumerating
+//! inputs through [`st_core::verify_space_time`]. This crate proves or
+//! refutes the same properties (plus the feedforward discipline, the
+//! Theorem 1 minimal basis, § IV boundedness, and the Fig. 15 WTA
+//! wiring shape) from *structure alone*, with no simulation.
+//!
+//! # Architecture
+//!
+//! Every builder in the workspace enforces well-formedness by
+//! construction, so none of their representations can even express the
+//! defects a linter exists to catch. The crate therefore sits at the
+//! bottom of the dependency stack and defines its own deliberately
+//! unchecked IR, [`LintGraph`]: richer representations lower *into* it
+//! (`st-net` lowers `Network`, `st-grl` lowers `GrlNetlist`, `st-tnn`
+//! lowers columns; [`LintGraph::from_exprs`] lowers expression DAGs
+//! here), and tests seed violations directly in the IR.
+//!
+//! Findings are [`Diagnostic`]s with a stable code (`STA001`..), a
+//! severity, a location, and a fix hint, collected into a [`Report`]
+//! that renders human-readably ([`Report::render`]) or as JSON
+//! ([`Report::to_json`], round-trippable via [`Report::from_json`]).
+//! `docs/lint.md` catalogues every code with the paper section it
+//! enforces; the `spacetime lint` CLI subcommand runs the passes over
+//! table, netlist, and column files.
+
+mod diag;
+mod graph;
+mod json;
+mod passes;
+mod table;
+
+pub use diag::{Code, Diagnostic, Location, Report, Severity, ALL_CODES};
+pub use graph::{LintGraph, LintNode, LintOp};
+pub use passes::{lint_graph, LintOptions};
+pub use table::lint_table;
+
+use st_core::Expr;
+
+/// Lints a slice of expressions (one per output line) against a declared
+/// input arity.
+#[must_use]
+pub fn lint_exprs(exprs: &[Expr], arity: usize, options: &LintOptions) -> Report {
+    lint_graph(&LintGraph::from_exprs(exprs, arity), options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_core::Time;
+
+    #[test]
+    fn expr_lint_accepts_paper_expressions_and_flags_bad_arity() {
+        let fig6 = (Expr::input(0).inc(1) & Expr::input(1)).lt(Expr::input(2));
+        let report = lint_exprs(std::slice::from_ref(&fig6), 3, &LintOptions::default());
+        assert!(report.diagnostics().is_empty(), "{}", report.render());
+
+        // The same expression against a declared width of 2 reads past
+        // the end.
+        let report = lint_exprs(&[fig6], 2, &LintOptions::default());
+        assert_eq!(report.diagnostics().len(), 1);
+        assert_eq!(report.diagnostics()[0].code, Code::ArityMismatch);
+    }
+
+    #[test]
+    fn expr_lint_flags_non_causal_constants() {
+        let e = Expr::input(0) & Expr::constant(Time::finite(4));
+        let report = lint_exprs(&[e], 1, &LintOptions::default());
+        assert_eq!(report.error_count(), 1);
+        assert_eq!(report.diagnostics()[0].code, Code::Causality);
+    }
+}

@@ -1,0 +1,817 @@
+//! Static passes over [`LintGraph`]s.
+//!
+//! The passes run in two phases. Phase one checks *structure*: dangling
+//! references (STA002), fan-in arity (STA003), and feedforward
+//! acyclicity (STA001). If any structural defect is found the report
+//! stops there — the semantic analyses below are only meaningful on a
+//! well-formed DAG.
+//!
+//! Phase two proves or refutes the paper's invariants from structure
+//! alone, with a single abstract-interpretation sweep in topological
+//! order. Each node gets three facts:
+//!
+//! * `inf` — provably saturated at `∞` (never fires), the algebraic
+//!   bottom that `lt` produces when its inhibitor statically wins;
+//! * `lo` — a lower bound on the node's firing time given that all
+//!   primary inputs fire at `t ≥ 0`;
+//! * `val` — the exact value, when the node is input-independent.
+//!
+//! Causality (§ III-B) is then a reachability property: a *finite
+//! constant* with a timing path to an output lets the output fire at a
+//! fixed clock time regardless of the inputs — the static witness of an
+//! output "preceding its inputs". Timing paths follow `min`/`max`
+//! sources, `inc`'s source, and only the *first* (data) input of `lt`:
+//! the inhibitor side can suppress an output but never schedule one,
+//! which is exactly why the micro-weight idiom (`lt(x, μ)` with
+//! `μ ∈ {0, ∞}`, Figs. 13–14) is causal. Temporal invariance (§ III-C)
+//! fails only for finite non-zero constants — `∞` shifts to `∞` and a
+//! dead gate is constantly `∞` — so those earn STA005 on inhibitor-only
+//! paths (on timing paths STA004 already fires, strictly stronger).
+
+use st_core::Time;
+
+use crate::diag::{Code, Diagnostic, Location, Report, Severity};
+use crate::graph::{LintGraph, LintOp};
+
+/// Tunable thresholds for the passes.
+#[derive(Debug, Clone)]
+pub struct LintOptions {
+    /// The largest plausible history window for bounded functions; § IV
+    /// argues biological plausibility for roughly 8–16 ticks. Table rows
+    /// needing more earn STA010.
+    pub max_window: u64,
+    /// Whether the graph passes should emit STA008 when `max` gates are
+    /// present. Representation-specific frontends that compute basis
+    /// conformance themselves (e.g. via `GateCounts::is_minimal_basis`)
+    /// disable this to avoid duplicate findings.
+    pub check_basis: bool,
+}
+
+impl Default for LintOptions {
+    fn default() -> LintOptions {
+        LintOptions {
+            max_window: 16,
+            check_basis: true,
+        }
+    }
+}
+
+/// Runs every graph pass and returns the combined report.
+#[must_use]
+pub fn lint_graph(graph: &LintGraph, options: &LintOptions) -> Report {
+    let mut report = Report::new();
+    check_structure(graph, &mut report);
+    if report.has_structural_errors() {
+        return report;
+    }
+    let order = topological_order(graph);
+    let facts = compute_facts(graph, &order);
+    let reachable = reachable_set(graph);
+    check_dead_gates(graph, &facts, &reachable, &mut report);
+    check_unreachable(graph, &reachable, &mut report);
+    check_constants(graph, &reachable, &mut report);
+    if options.check_basis {
+        check_basis(graph, &reachable, &mut report);
+    }
+    check_wta_shape(graph, &mut report);
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Phase one: structure (STA001, STA002, STA003)
+// ---------------------------------------------------------------------------
+
+fn check_structure(graph: &LintGraph, report: &mut Report) {
+    let n = graph.len();
+    for (id, node) in graph.nodes().iter().enumerate() {
+        for &s in &node.sources {
+            if s >= n {
+                report.push(
+                    Diagnostic::new(
+                        Code::Dangling,
+                        Severity::Error,
+                        Location::Gate(id),
+                        format!("{} gate references undefined gate g{s}", node.op.name()),
+                    )
+                    .with_hint(format!("only g0..g{} exist", n.saturating_sub(1))),
+                );
+            }
+        }
+        let fan_in = node.sources.len();
+        let expected: Option<&str> = match node.op {
+            LintOp::Input(_) | LintOp::Const(_) if fan_in != 0 => Some("no sources"),
+            LintOp::Min | LintOp::Max if fan_in == 0 => Some("at least one source"),
+            LintOp::Lt if fan_in != 2 => Some("exactly two sources"),
+            LintOp::Inc(_) if fan_in != 1 => Some("exactly one source"),
+            _ => None,
+        };
+        if let Some(expected) = expected {
+            report.push(Diagnostic::new(
+                Code::ArityMismatch,
+                Severity::Error,
+                Location::Gate(id),
+                format!(
+                    "{} gate has {fan_in} source(s) but needs {expected}",
+                    node.op.name()
+                ),
+            ));
+        }
+        if let LintOp::Input(line) = node.op {
+            if line >= graph.input_count() {
+                report.push(
+                    Diagnostic::new(
+                        Code::ArityMismatch,
+                        Severity::Error,
+                        Location::Gate(id),
+                        format!(
+                            "input gate reads line {line} but only {} line(s) are declared",
+                            graph.input_count()
+                        ),
+                    )
+                    .with_hint("widen the declared input count or renumber the line"),
+                );
+            }
+        }
+    }
+    for (line, &o) in graph.outputs().iter().enumerate() {
+        if o >= n {
+            report.push(Diagnostic::new(
+                Code::Dangling,
+                Severity::Error,
+                Location::Output(line),
+                format!("output line references undefined gate g{o}"),
+            ));
+        }
+    }
+    check_cycles(graph, report);
+}
+
+/// Depth-first cycle detection with an explicit stack (graphs can be deep).
+fn check_cycles(graph: &LintGraph, report: &mut Report) {
+    const WHITE: u8 = 0; // unvisited
+    const GRAY: u8 = 1; // on the current DFS path
+    const BLACK: u8 = 2; // finished
+    let n = graph.len();
+    let mut color = vec![WHITE; n];
+    let mut reported = vec![false; n];
+    for root in 0..n {
+        if color[root] != WHITE {
+            continue;
+        }
+        // Stack of (node, next-source-index); GRAY nodes form the path.
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        color[root] = GRAY;
+        while let Some(&(node, next)) = stack.last() {
+            let sources = &graph.nodes()[node].sources;
+            if next >= sources.len() {
+                color[node] = BLACK;
+                stack.pop();
+                continue;
+            }
+            stack.last_mut().expect("just peeked").1 += 1;
+            let s = sources[next];
+            if s >= n {
+                continue; // dangling: reported by check_structure
+            }
+            match color[s] {
+                WHITE => {
+                    color[s] = GRAY;
+                    stack.push((s, 0));
+                }
+                GRAY if !reported[s] => {
+                    reported[s] = true;
+                    let cycle: Vec<String> = stack
+                        .iter()
+                        .map(|&(id, _)| id)
+                        .skip_while(|&id| id != s)
+                        .map(|id| format!("g{id}"))
+                        .collect();
+                    report.push(
+                        Diagnostic::new(
+                            Code::Cycle,
+                            Severity::Error,
+                            Location::Gate(s),
+                            format!("combinational cycle: {} → g{s}", cycle.join(" → ")),
+                        )
+                        .with_hint(
+                            "space-time networks are feedforward (§ III); break the \
+                                 loop or insert state",
+                        ),
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Phase two helpers
+// ---------------------------------------------------------------------------
+
+/// Topological order of an (already verified) acyclic graph. Nodes are not
+/// required to be defined before use in the IR, so definition order is not
+/// good enough.
+fn topological_order(graph: &LintGraph) -> Vec<usize> {
+    let n = graph.len();
+    let mut order = Vec::with_capacity(n);
+    let mut state = vec![0u8; n]; // 0 unvisited, 1 in progress, 2 done
+    for root in 0..n {
+        if state[root] != 0 {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        state[root] = 1;
+        while let Some(&(node, next)) = stack.last() {
+            let sources = &graph.nodes()[node].sources;
+            if next >= sources.len() {
+                state[node] = 2;
+                order.push(node);
+                stack.pop();
+                continue;
+            }
+            stack.last_mut().expect("just peeked").1 += 1;
+            let s = sources[next];
+            if state[s] == 0 {
+                state[s] = 1;
+                stack.push((s, 0));
+            }
+        }
+    }
+    order
+}
+
+/// Per-node abstract facts (see the module docs).
+struct Facts {
+    /// Provably never fires.
+    inf: Vec<bool>,
+    /// Exact value when input-independent.
+    val: Vec<Option<Time>>,
+}
+
+fn compute_facts(graph: &LintGraph, order: &[usize]) -> Facts {
+    let n = graph.len();
+    const NEVER: u64 = u64::MAX;
+    let mut inf = vec![false; n];
+    let mut lo = vec![0u64; n];
+    let mut val: Vec<Option<Time>> = vec![None; n];
+    for &id in order {
+        let node = &graph.nodes()[id];
+        let srcs = &node.sources;
+        match node.op {
+            LintOp::Input(_) => {}
+            LintOp::Const(t) => {
+                val[id] = Some(t);
+                inf[id] = t.is_infinite();
+                lo[id] = t.value().unwrap_or(NEVER);
+            }
+            LintOp::Min => {
+                inf[id] = srcs.iter().all(|&s| inf[s]);
+                lo[id] = srcs.iter().map(|&s| lo[s]).min().unwrap_or(NEVER);
+                val[id] = srcs
+                    .iter()
+                    .map(|&s| val[s])
+                    .collect::<Option<Vec<_>>>()
+                    .map(Time::min_of);
+            }
+            LintOp::Max => {
+                inf[id] = srcs.iter().any(|&s| inf[s]);
+                lo[id] = srcs.iter().map(|&s| lo[s]).max().unwrap_or(0);
+                val[id] = srcs
+                    .iter()
+                    .map(|&s| val[s])
+                    .collect::<Option<Vec<_>>>()
+                    .map(Time::max_of);
+            }
+            LintOp::Lt => {
+                let (a, b) = (srcs[0], srcs[1]);
+                // Fires only when a fires: a's saturation propagates, and
+                // an inhibitor that provably arrives no later than a's
+                // earliest possible event suppresses everything.
+                inf[id] = inf[a] || val[b].and_then(Time::value).is_some_and(|vb| lo[a] >= vb);
+                if let (Some(va), Some(vb)) = (val[a], val[b]) {
+                    let v = va.lt_gate(vb);
+                    val[id] = Some(v);
+                    inf[id] = v.is_infinite();
+                }
+                lo[id] = if inf[id] { NEVER } else { lo[a] };
+            }
+            LintOp::Inc(c) => {
+                let a = srcs[0];
+                inf[id] = inf[a];
+                lo[id] = lo[a].saturating_add(c);
+                val[id] = val[a].map(|v| v.inc(c));
+            }
+        }
+    }
+    Facts { inf, val }
+}
+
+/// Nodes with a path to at least one output (following every source edge).
+fn reachable_set(graph: &LintGraph) -> Vec<bool> {
+    let mut reachable = vec![false; graph.len()];
+    let mut stack: Vec<usize> = graph.outputs().to_vec();
+    while let Some(id) = stack.pop() {
+        if reachable[id] {
+            continue;
+        }
+        reachable[id] = true;
+        stack.extend(graph.nodes()[id].sources.iter().copied());
+    }
+    reachable
+}
+
+/// Nodes with a *timing* path to at least one output: the edges along
+/// which an event can be scheduled (everything except `lt`'s inhibitor).
+fn timing_set(graph: &LintGraph) -> Vec<bool> {
+    let mut timing = vec![false; graph.len()];
+    let mut stack: Vec<usize> = graph.outputs().to_vec();
+    while let Some(id) = stack.pop() {
+        if timing[id] {
+            continue;
+        }
+        timing[id] = true;
+        let node = &graph.nodes()[id];
+        match node.op {
+            LintOp::Lt => stack.push(node.sources[0]),
+            _ => stack.extend(node.sources.iter().copied()),
+        }
+    }
+    timing
+}
+
+// ---------------------------------------------------------------------------
+// STA006: dead gates and dead output lines
+// ---------------------------------------------------------------------------
+
+fn check_dead_gates(graph: &LintGraph, facts: &Facts, reachable: &[bool], report: &mut Report) {
+    for (id, node) in graph.nodes().iter().enumerate() {
+        if !reachable[id] || !node.op.is_operator() || !facts.inf[id] {
+            continue;
+        }
+        let mut diag = Diagnostic::new(
+            Code::DeadGate,
+            Severity::Warning,
+            Location::Gate(id),
+            format!(
+                "{} gate is saturated at ∞ and can never fire",
+                node.op.name()
+            ),
+        );
+        if node.op == LintOp::Lt && facts.val[node.sources[1]].is_some_and(|v| v == Time::ZERO) {
+            diag = diag.with_hint(
+                "this is the disabled micro-weight configuration (μ=0, Fig. 13); set μ=∞ to \
+                 enable the tap",
+            );
+        }
+        report.push(diag);
+    }
+    for (line, &o) in graph.outputs().iter().enumerate() {
+        if facts.inf[o] {
+            report.push(Diagnostic::new(
+                Code::DeadGate,
+                Severity::Warning,
+                Location::Output(line),
+                "output line is constantly ∞ (it never fires)".to_owned(),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// STA007: unreachable gates and ignored input lines
+// ---------------------------------------------------------------------------
+
+fn check_unreachable(graph: &LintGraph, reachable: &[bool], report: &mut Report) {
+    let mut line_used = vec![false; graph.input_count()];
+    for (id, node) in graph.nodes().iter().enumerate() {
+        if let LintOp::Input(line) = node.op {
+            if reachable[id] {
+                if let Some(used) = line_used.get_mut(line) {
+                    *used = true;
+                }
+                continue;
+            }
+        }
+        if !reachable[id] && !matches!(node.op, LintOp::Input(_)) {
+            report.push(
+                Diagnostic::new(
+                    Code::Unreachable,
+                    Severity::Info,
+                    Location::Gate(id),
+                    format!("{} gate has no path to any output", node.op.name()),
+                )
+                .with_hint("delete it, or wire it to an output"),
+            );
+        }
+    }
+    for (line, used) in line_used.iter().enumerate() {
+        if !used {
+            report.push(Diagnostic::new(
+                Code::Unreachable,
+                Severity::Info,
+                Location::Input(line),
+                "input line never influences any output".to_owned(),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// STA004 / STA005: constants versus causality and temporal invariance
+// ---------------------------------------------------------------------------
+
+fn check_constants(graph: &LintGraph, reachable: &[bool], report: &mut Report) {
+    if graph.input_count() == 0 {
+        // A closed network computes a constant; causality and invariance
+        // are relative to inputs it does not have.
+        return;
+    }
+    let timing = timing_set(graph);
+    for (id, node) in graph.nodes().iter().enumerate() {
+        let LintOp::Const(t) = node.op else { continue };
+        let Some(v) = t.value() else { continue }; // ∞ is always fine
+        if timing[id] {
+            report.push(
+                Diagnostic::new(
+                    Code::Causality,
+                    Severity::Error,
+                    Location::Gate(id),
+                    format!(
+                        "finite constant {v} lies on a timing path to an output: the output \
+                         can fire at a fixed time regardless of the inputs (§ III-B)"
+                    ),
+                )
+                .with_hint(
+                    "use ∞ for an absent event, or route the constant into an lt inhibitor \
+                     (the micro-weight idiom, Fig. 13)",
+                ),
+            );
+        } else if reachable[id] && v > 0 {
+            report.push(
+                Diagnostic::new(
+                    Code::Invariance,
+                    Severity::Warning,
+                    Location::Gate(id),
+                    format!(
+                        "finite constant {v} inhibits an lt: shifting every input by one tick \
+                         does not shift this threshold, so the network is temporally \
+                         invariant only for μ ∈ {{0, ∞}} (§ III-C)"
+                    ),
+                )
+                .with_hint("treat the artifact as configuration-dependent, or use 0 / ∞"),
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// STA008: minimal-basis conformance (Theorem 1)
+// ---------------------------------------------------------------------------
+
+fn check_basis(graph: &LintGraph, reachable: &[bool], report: &mut Report) {
+    let max_gates = graph
+        .nodes()
+        .iter()
+        .enumerate()
+        .filter(|&(id, node)| reachable[id] && node.op == LintOp::Max)
+        .count();
+    if max_gates > 0 {
+        report.push(
+            Diagnostic::new(
+                Code::NonMinimalBasis,
+                Severity::Info,
+                Location::Module,
+                format!(
+                    "network uses {max_gates} max gate(s); {{min, lt, inc}} is already \
+                     complete (Theorem 1)"
+                ),
+            )
+            .with_hint("rewrite max via Lemma 2 if a minimal-basis implementation is wanted"),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// STA009: WTA mutual-exclusion wiring shape (Fig. 15)
+// ---------------------------------------------------------------------------
+
+/// Recognizes the Fig. 15 1-WTA idiom — every output is `lt(xᵢ, d)` with a
+/// shared inhibitor `d = inc(m, τ)` where `m` is a `min` over the
+/// competing lines — and checks it for mutual-exclusion soundness.
+fn check_wta_shape(graph: &LintGraph, report: &mut Report) {
+    let outputs = graph.outputs();
+    if outputs.len() < 2 {
+        return;
+    }
+    let node = |id: usize| &graph.nodes()[id];
+    // Every output must be an lt sharing one inhibitor.
+    let mut lines: Vec<usize> = Vec::with_capacity(outputs.len()); // data inputs xᵢ
+    let mut shared: Option<usize> = None;
+    for &o in outputs {
+        let n = node(o);
+        if n.op != LintOp::Lt {
+            return;
+        }
+        match shared {
+            None => shared = Some(n.sources[1]),
+            Some(d) if d == n.sources[1] => {}
+            Some(_) => return,
+        }
+        lines.push(n.sources[0]);
+    }
+    let d = shared.expect("at least two outputs");
+    let LintOp::Inc(tau) = node(d).op else { return };
+    let m = node(d).sources[0];
+    if node(m).op != LintOp::Min {
+        return;
+    }
+    // Candidate confirmed only if the min really is a first-spike
+    // detector over the competing lines (k-WTA's sorter outputs are
+    // internal gates, which correctly escapes this recognizer).
+    if !node(m).sources.iter().all(|s| lines.contains(s)) {
+        return;
+    }
+    if tau == 0 {
+        report.push(
+            Diagnostic::new(
+                Code::WtaShape,
+                Severity::Error,
+                Location::Gate(d),
+                "WTA inhibition window τ=0 suppresses every line, including the winner: \
+                 no output can ever fire"
+                    .to_owned(),
+            )
+            .with_hint("use τ ≥ 1 so the first spike escapes before inhibition lands (Fig. 15)"),
+        );
+    }
+    for (line, &x) in lines.iter().enumerate() {
+        if !node(m).sources.contains(&x) {
+            report.push(
+                Diagnostic::new(
+                    Code::WtaShape,
+                    Severity::Warning,
+                    Location::Output(line),
+                    "competing line is missing from the shared first-spike min: when it \
+                     spikes first it cannot suppress the other lines"
+                        .to_owned(),
+                )
+                .with_hint("feed every competing line into the min (Fig. 15)"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: u64) -> Time {
+        Time::finite(v)
+    }
+
+    fn codes(report: &Report) -> Vec<Code> {
+        report.diagnostics().iter().map(|d| d.code).collect()
+    }
+
+    /// The Fig. 6 network: y = min(x0+1, x1) ≺ x2.
+    fn fig6() -> LintGraph {
+        let mut g = LintGraph::new(3);
+        let a = g.push(LintOp::Input(0), vec![]);
+        let x = g.push(LintOp::Input(1), vec![]);
+        let c = g.push(LintOp::Input(2), vec![]);
+        let a1 = g.push(LintOp::Inc(1), vec![a]);
+        let m = g.push(LintOp::Min, vec![a1, x]);
+        let y = g.push(LintOp::Lt, vec![m, c]);
+        g.set_outputs(vec![y]);
+        g
+    }
+
+    #[test]
+    fn fig6_lints_clean_with_no_findings_at_all() {
+        let report = lint_graph(&fig6(), &LintOptions::default());
+        assert!(report.diagnostics().is_empty(), "{}", report.render());
+    }
+
+    #[test]
+    fn self_loop_and_two_cycle_are_reported() {
+        let mut g = fig6();
+        g.set_sources(4, vec![4, 1]); // min feeding itself
+        let report = lint_graph(&g, &LintOptions::default());
+        assert_eq!(codes(&report), vec![Code::Cycle]);
+        assert_eq!(report.diagnostics()[0].location, Location::Gate(4));
+
+        let mut g = fig6();
+        g.set_sources(3, vec![4]); // inc → min → inc
+        g.set_sources(4, vec![3, 1]);
+        let report = lint_graph(&g, &LintOptions::default());
+        assert_eq!(codes(&report), vec![Code::Cycle]);
+        assert!(report.diagnostics()[0].message.contains("→"));
+    }
+
+    #[test]
+    fn dangling_references_are_reported() {
+        let mut g = fig6();
+        g.set_sources(5, vec![4, 99]);
+        let report = lint_graph(&g, &LintOptions::default());
+        assert_eq!(codes(&report), vec![Code::Dangling]);
+        assert_eq!(report.diagnostics()[0].location, Location::Gate(5));
+
+        let mut g = fig6();
+        g.set_outputs(vec![42]);
+        let report = lint_graph(&g, &LintOptions::default());
+        assert_eq!(codes(&report), vec![Code::Dangling]);
+        assert_eq!(report.diagnostics()[0].location, Location::Output(0));
+    }
+
+    #[test]
+    fn arity_mismatches_are_reported() {
+        let mut g = fig6();
+        g.set_sources(5, vec![4, 2, 1]); // lt with three sources
+        let report = lint_graph(&g, &LintOptions::default());
+        assert_eq!(codes(&report), vec![Code::ArityMismatch]);
+
+        let mut g = fig6();
+        g.set_op(0, LintOp::Input(7)); // beyond the declared width
+        let report = lint_graph(&g, &LintOptions::default());
+        assert_eq!(codes(&report), vec![Code::ArityMismatch]);
+
+        let mut g = fig6();
+        g.set_sources(4, vec![]); // min with no sources
+        let report = lint_graph(&g, &LintOptions::default());
+        assert_eq!(codes(&report), vec![Code::ArityMismatch]);
+    }
+
+    #[test]
+    fn finite_constant_on_timing_path_refutes_causality() {
+        let mut g = LintGraph::new(1);
+        let x = g.push(LintOp::Input(0), vec![]);
+        let k = g.push(LintOp::Const(t(5)), vec![]);
+        let m = g.push(LintOp::Min, vec![x, k]);
+        g.set_outputs(vec![m]);
+        let report = lint_graph(&g, &LintOptions::default());
+        assert_eq!(codes(&report), vec![Code::Causality]);
+        assert_eq!(report.diagnostics()[0].location, Location::Gate(k));
+        assert_eq!(report.diagnostics()[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn infinite_constants_are_always_fine() {
+        let mut g = LintGraph::new(1);
+        let x = g.push(LintOp::Input(0), vec![]);
+        let k = g.push(LintOp::Const(Time::INFINITY), vec![]);
+        let m = g.push(LintOp::Min, vec![x, k]);
+        g.set_outputs(vec![m]);
+        let report = lint_graph(&g, &LintOptions::default());
+        assert!(report.diagnostics().is_empty(), "{}", report.render());
+    }
+
+    #[test]
+    fn finite_inhibitor_breaks_invariance_but_not_causality() {
+        // lt(x, 3): an intermediate micro-weight value.
+        let mut g = LintGraph::new(1);
+        let x = g.push(LintOp::Input(0), vec![]);
+        let mu = g.push(LintOp::Const(t(3)), vec![]);
+        let y = g.push(LintOp::Lt, vec![x, mu]);
+        g.set_outputs(vec![y]);
+        let report = lint_graph(&g, &LintOptions::default());
+        assert_eq!(codes(&report), vec![Code::Invariance]);
+        assert_eq!(report.diagnostics()[0].severity, Severity::Warning);
+        assert_eq!(report.diagnostics()[0].location, Location::Gate(mu));
+    }
+
+    #[test]
+    fn enabled_micro_weight_is_silent_and_disabled_is_dead() {
+        for (mu_value, expect_dead) in [(Time::INFINITY, false), (Time::ZERO, true)] {
+            let mut g = LintGraph::new(1);
+            let x = g.push(LintOp::Input(0), vec![]);
+            let mu = g.push(LintOp::Const(mu_value), vec![]);
+            let y = g.push(LintOp::Lt, vec![x, mu]);
+            g.set_outputs(vec![y]);
+            let report = lint_graph(&g, &LintOptions::default());
+            if expect_dead {
+                // The gate and the output line it drives are both dead.
+                assert_eq!(codes(&report), vec![Code::DeadGate, Code::DeadGate]);
+                assert!(report.diagnostics()[0]
+                    .hint
+                    .as_deref()
+                    .unwrap()
+                    .contains("micro-weight"));
+                assert!(
+                    report.is_clean(),
+                    "dead taps are a configuration, not an error"
+                );
+            } else {
+                assert!(report.diagnostics().is_empty(), "{}", report.render());
+            }
+        }
+    }
+
+    #[test]
+    fn saturation_propagates_through_min_max_and_inc() {
+        // max(x, ∞) is dead; min(x, ∞) is not; inc propagates.
+        let mut g = LintGraph::new(1);
+        let x = g.push(LintOp::Input(0), vec![]);
+        let inf = g.push(LintOp::Const(Time::INFINITY), vec![]);
+        let mx = g.push(LintOp::Max, vec![x, inf]);
+        let mn = g.push(LintOp::Min, vec![x, inf]);
+        let d = g.push(LintOp::Inc(2), vec![mx]);
+        g.set_outputs(vec![d, mn]);
+        let report = lint_graph(&g, &LintOptions::default());
+        let dead: Vec<Location> = report
+            .with_code(Code::DeadGate)
+            .map(|d| d.location)
+            .collect();
+        assert!(dead.contains(&Location::Gate(mx)));
+        assert!(dead.contains(&Location::Gate(d)));
+        assert!(dead.contains(&Location::Output(0)));
+        assert!(!dead.contains(&Location::Gate(mn)));
+    }
+
+    #[test]
+    fn unreachable_gates_and_ignored_inputs_are_informational() {
+        let mut g = fig6();
+        let orphan = g.push(LintOp::Inc(1), vec![0]);
+        let report = lint_graph(&g, &LintOptions::default());
+        assert_eq!(codes(&report), vec![Code::Unreachable]);
+        assert_eq!(report.diagnostics()[0].location, Location::Gate(orphan));
+        assert_eq!(report.diagnostics()[0].severity, Severity::Info);
+
+        // An input line that exists but never reaches an output.
+        let mut g = LintGraph::new(2);
+        let x = g.push(LintOp::Input(0), vec![]);
+        let _ignored = g.push(LintOp::Input(1), vec![]);
+        let y = g.push(LintOp::Inc(1), vec![x]);
+        g.set_outputs(vec![y]);
+        let report = lint_graph(&g, &LintOptions::default());
+        assert_eq!(codes(&report), vec![Code::Unreachable]);
+        assert_eq!(report.diagnostics()[0].location, Location::Input(1));
+    }
+
+    #[test]
+    fn max_gates_are_flagged_unless_basis_checking_is_off() {
+        let mut g = LintGraph::new(2);
+        let a = g.push(LintOp::Input(0), vec![]);
+        let b = g.push(LintOp::Input(1), vec![]);
+        let m = g.push(LintOp::Max, vec![a, b]);
+        g.set_outputs(vec![m]);
+        let report = lint_graph(&g, &LintOptions::default());
+        assert_eq!(codes(&report), vec![Code::NonMinimalBasis]);
+        assert_eq!(report.diagnostics()[0].severity, Severity::Info);
+
+        let opts = LintOptions {
+            check_basis: false,
+            ..LintOptions::default()
+        };
+        assert!(lint_graph(&g, &opts).diagnostics().is_empty());
+    }
+
+    /// Builds the Fig. 15 WTA shape directly in the IR.
+    fn wta(width: usize, tau: u64) -> LintGraph {
+        let mut g = LintGraph::new(width);
+        let xs: Vec<usize> = (0..width)
+            .map(|i| g.push(LintOp::Input(i), vec![]))
+            .collect();
+        let m = g.push(LintOp::Min, xs.clone());
+        let d = g.push(LintOp::Inc(tau), vec![m]);
+        let outs = xs.iter().map(|&x| g.push(LintOp::Lt, vec![x, d])).collect();
+        g.set_outputs(outs);
+        g
+    }
+
+    #[test]
+    fn well_formed_wta_is_clean() {
+        let report = lint_graph(&wta(4, 2), &LintOptions::default());
+        assert!(report.diagnostics().is_empty(), "{}", report.render());
+    }
+
+    #[test]
+    fn zero_window_wta_is_an_error() {
+        let report = lint_graph(&wta(4, 0), &LintOptions::default());
+        assert_eq!(codes(&report), vec![Code::WtaShape]);
+        assert_eq!(report.diagnostics()[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn line_missing_from_the_min_is_flagged() {
+        let mut g = LintGraph::new(3);
+        let xs: Vec<usize> = (0..3).map(|i| g.push(LintOp::Input(i), vec![])).collect();
+        let m = g.push(LintOp::Min, vec![xs[0], xs[1]]); // x2 left out
+        let d = g.push(LintOp::Inc(1), vec![m]);
+        let outs = xs.iter().map(|&x| g.push(LintOp::Lt, vec![x, d])).collect();
+        g.set_outputs(outs);
+        let report = lint_graph(&g, &LintOptions::default());
+        assert_eq!(codes(&report), vec![Code::WtaShape]);
+        assert_eq!(report.diagnostics()[0].severity, Severity::Warning);
+        assert_eq!(report.diagnostics()[0].location, Location::Output(2));
+    }
+
+    #[test]
+    fn structural_errors_suppress_semantic_passes() {
+        let mut g = fig6();
+        g.set_sources(4, vec![4, 99]); // a cycle and a dangling ref
+        let report = lint_graph(&g, &LintOptions::default());
+        assert!(report.has_structural_errors());
+        assert!(report.diagnostics().iter().all(|d| d.code.is_structural()));
+    }
+}

@@ -1,0 +1,163 @@
+//! Static passes over [`FunctionTable`]s (STA010, STA011).
+//!
+//! Normal-form tables are already heavily validated at construction
+//! (`FunctionTable::from_rows` rejects non-normalized, non-causal,
+//! infinite-output, and duplicate rows), so the linter checks the two
+//! properties construction cannot: that each row fits a biologically
+//! plausible history window (§ IV argues for roughly 8–16 ticks), and
+//! that no row is *shadowed* — matched-and-beaten on every input it
+//! covers — by another row under the Theorem 1 minterm (earliest match
+//! wins) semantics.
+
+use st_core::FunctionTable;
+
+use crate::diag::{Code, Diagnostic, Location, Report, Severity};
+use crate::passes::LintOptions;
+
+/// Runs the table passes and returns the combined report.
+#[must_use]
+pub fn lint_table(table: &FunctionTable, options: &LintOptions) -> Report {
+    let mut report = Report::new();
+    check_window(table, options, &mut report);
+    check_shadowing(table, &mut report);
+    report
+}
+
+/// STA010: rows must fit the configured history window.
+///
+/// A row's window requirement is its output time — normal form pins the
+/// earliest finite entry at 0 and causality bounds every finite entry by
+/// the output, so the output is exactly how much history the implementing
+/// neuron must retain.
+fn check_window(table: &FunctionTable, options: &LintOptions, report: &mut Report) {
+    for (i, row) in table.iter().enumerate() {
+        let needed = row.output().value().expect("row outputs are finite");
+        if needed > options.max_window {
+            report.push(
+                Diagnostic::new(
+                    Code::WindowExceeded,
+                    Severity::Warning,
+                    Location::Row(i),
+                    format!(
+                        "row needs a {needed}-tick history window; the configured bound is \
+                         {} (§ IV argues 8–16 is biologically plausible)",
+                        options.max_window
+                    ),
+                )
+                .with_hint("decompose the function or raise --max-window if intentional"),
+            );
+        }
+    }
+}
+
+/// STA011: no row may be shadowed by another.
+///
+/// If row *a* matches row *b*'s own pattern with an output ≤ *b*'s, then
+/// *a* matches every input *b* matches, always at an earlier-or-equal
+/// time (the shift argument: *a*'s finite entries land on *b*'s, and its
+/// `∞` entries demand strictly-later inputs than *b*'s output, which
+/// *b*'s own matches already provide). Under earliest-match-wins, *b*
+/// can never determine the output — it is dead configuration.
+fn check_shadowing(table: &FunctionTable, report: &mut Report) {
+    let rows: Vec<_> = table.iter().collect();
+    for (b_index, b) in rows.iter().enumerate() {
+        for (a_index, a) in rows.iter().enumerate() {
+            if a_index == b_index {
+                continue;
+            }
+            if let Some(out) = a.match_against(b.inputs()) {
+                if out <= b.output() {
+                    report.push(
+                        Diagnostic::new(
+                            Code::ShadowedRow,
+                            Severity::Warning,
+                            Location::Row(b_index),
+                            format!(
+                                "row is shadowed by row {a_index}, which matches every input \
+                                 this row matches with an earlier-or-equal output"
+                            ),
+                        )
+                        .with_hint("delete the shadowed row; it never wins the minterm race"),
+                    );
+                    break; // one witness per shadowed row is enough
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_core::Time;
+
+    fn t(v: u64) -> Time {
+        Time::finite(v)
+    }
+
+    fn fig7() -> FunctionTable {
+        FunctionTable::parse("0 1 2 -> 3\n1 0 ∞ -> 2\n2 2 0 -> 2\n").unwrap()
+    }
+
+    #[test]
+    fn fig7_lints_clean() {
+        let report = lint_table(&fig7(), &LintOptions::default());
+        assert!(report.diagnostics().is_empty(), "{}", report.render());
+    }
+
+    #[test]
+    fn oversized_windows_are_flagged_per_row() {
+        let table = FunctionTable::from_rows(
+            2,
+            vec![
+                (vec![t(0), t(1)], t(2)),
+                (vec![t(20), t(0)], t(25)), // needs 25 ticks of history
+            ],
+        )
+        .unwrap();
+        let report = lint_table(&table, &LintOptions::default());
+        let codes: Vec<_> = report.diagnostics().iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![Code::WindowExceeded]);
+        assert_eq!(report.diagnostics()[0].location, Location::Row(1));
+        assert!(
+            report.is_clean(),
+            "window excess is a warning, not an error"
+        );
+
+        // A generous bound silences it.
+        let opts = LintOptions {
+            max_window: 32,
+            ..LintOptions::default()
+        };
+        assert!(lint_table(&table, &opts).diagnostics().is_empty());
+    }
+
+    #[test]
+    fn shadowed_rows_are_detected() {
+        // Row 0 matches [0, 1] at shift 0 (its ∞ entry only needs x1 > 0)
+        // and outputs 0 ≤ 1, so row 1 can never win.
+        let table = FunctionTable::from_rows(
+            2,
+            vec![(vec![t(0), Time::INFINITY], t(0)), (vec![t(0), t(1)], t(1))],
+        )
+        .unwrap();
+        let report = lint_table(&table, &LintOptions::default());
+        let codes: Vec<_> = report.diagnostics().iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![Code::ShadowedRow]);
+        assert_eq!(report.diagnostics()[0].location, Location::Row(1));
+        assert!(report.diagnostics()[0].message.contains("row 0"));
+    }
+
+    #[test]
+    fn distinct_rows_do_not_shadow() {
+        // Same patterns but row 1 answers *earlier* than row 0's match
+        // would — both rows are live.
+        let table = FunctionTable::from_rows(
+            2,
+            vec![(vec![t(0), Time::INFINITY], t(2)), (vec![t(0), t(1)], t(1))],
+        )
+        .unwrap();
+        let report = lint_table(&table, &LintOptions::default());
+        assert!(report.diagnostics().is_empty(), "{}", report.render());
+    }
+}

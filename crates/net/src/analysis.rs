@@ -128,7 +128,27 @@ pub fn critical_delay(network: &Network) -> u64 {
         .unwrap_or(0)
 }
 
+/// Escapes a string for use inside a double-quoted DOT attribute.
+///
+/// Today's gate labels are drawn from a fixed alphabet that needs no
+/// escaping, but the format must stay valid if a future gate kind (or a
+/// changed `Time` rendering) ever produces `"` or `\`.
+fn escape_dot(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    for c in label.chars() {
+        if matches!(c, '"' | '\\') {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out
+}
+
 /// Renders the network in Graphviz DOT format for visualization.
+///
+/// The output is deterministic: gates appear in index order, followed by
+/// edges in (source, gate) order, followed by output markers in line
+/// order, so the same network always renders byte-for-byte identically.
 #[must_use]
 pub fn to_dot(network: &Network) -> String {
     let mut out = String::from("digraph spacetime {\n  rankdir=LR;\n");
@@ -149,7 +169,7 @@ pub fn to_dot(network: &Network) -> String {
             out,
             "  g{} [label=\"{}\", shape={}];",
             id.index(),
-            label,
+            escape_dot(&label),
             shape
         );
     }
@@ -254,5 +274,37 @@ mod tests {
         assert!(dot.contains('≺'));
         assert!(dot.contains("g2 -> y0"));
         assert_eq!(dot.matches("->").count(), 3); // two sources + output
+    }
+
+    #[test]
+    fn dot_escaping_quotes_and_backslashes() {
+        assert_eq!(escape_dot("plain ∧ +3"), "plain ∧ +3");
+        assert_eq!(escape_dot(r#"a"b\c"#), r#"a\"b\\c"#);
+    }
+
+    #[test]
+    fn dot_export_is_deterministic_and_matches_the_golden_form() {
+        // Fig. 6(b): y = lt(min(inc(a, 1), x), c). The exact rendering is
+        // pinned so downstream tooling can diff exports byte-for-byte.
+        let golden = "\
+digraph spacetime {
+  rankdir=LR;
+  g0 [label=\"x0\", shape=circle];
+  g1 [label=\"x1\", shape=circle];
+  g2 [label=\"x2\", shape=circle];
+  g3 [label=\"+1\", shape=box];
+  g4 [label=\"∧\", shape=box];
+  g5 [label=\"≺\", shape=box];
+  g0 -> g3;
+  g3 -> g4;
+  g1 -> g4;
+  g4 -> g5;
+  g2 -> g5;
+  y0 [shape=plaintext];
+  g5 -> y0;
+}
+";
+        assert_eq!(to_dot(&fig6()), golden);
+        assert_eq!(to_dot(&fig6()), to_dot(&fig6()));
     }
 }

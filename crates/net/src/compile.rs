@@ -40,7 +40,21 @@ pub fn compile_exprs(exprs: &[Expr], arity: usize) -> Network {
         .iter()
         .map(|e| compile_into(&mut builder, &inputs, e, &mut memo))
         .collect();
-    builder.build(outputs)
+    let net = builder.build(outputs);
+    // Static pre-pass (debug builds only): the algebra is closed over
+    // non-causal expressions like `x ∧ 5`, so only *structural*
+    // well-formedness is asserted here; semantic findings are the
+    // linter's to report, not the compiler's to panic on.
+    #[cfg(debug_assertions)]
+    {
+        let report = crate::lint::lint_network(&net);
+        assert!(
+            !report.has_structural_errors(),
+            "compile_exprs produced a structurally invalid network:\n{}",
+            report.render()
+        );
+    }
+    net
 }
 
 /// Compiles one expression into an existing builder, mapping

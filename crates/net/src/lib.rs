@@ -35,15 +35,12 @@
 //! assert_eq!(net.eval(&[t(5), t(6)])?, vec![t(7)]);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-#![forbid(unsafe_code)]
-
 pub mod analysis;
 pub mod compile;
 pub mod error;
 pub mod event;
 pub mod graph;
+pub mod lint;
 pub mod microweight;
 pub mod optimize;
 pub mod sorting;

@@ -1,0 +1,152 @@
+//! Static lint frontend for [`Network`]s.
+//!
+//! Lowers a gate graph into the [`st_lint::LintGraph`] IR and runs every
+//! structural and semantic pass. The minimal-basis check (STA008) is
+//! answered here rather than in the IR, reusing
+//! [`GateCounts::is_minimal_basis`](crate::analysis::GateCounts::is_minimal_basis)
+//! so the linter and the analysis report can never disagree about what
+//! "minimal basis" means.
+//!
+//! [`crate::synth::synthesize`] and [`crate::compile::compile_exprs`] run
+//! these passes as a debug-assertion pre-pass on their results: synthesis
+//! must produce fully clean networks (tables are causality-checked at
+//! construction), while compilation of arbitrary expressions asserts only
+//! structural well-formedness — the algebra is closed over non-causal
+//! expressions like `x ∧ 5`, and flagging them is the linter's job, not a
+//! compiler panic.
+
+use st_lint::{
+    lint_graph, Code, Diagnostic, LintGraph, LintOp, LintOptions, Location, Report, Severity,
+};
+
+use crate::analysis::gate_counts;
+use crate::graph::{GateKind, Network};
+
+/// Lowers a network into the lint IR, one node per gate in topological
+/// order (indices coincide with [`GateId::index`](crate::graph::GateId)).
+#[must_use]
+pub fn to_lint_graph(network: &Network) -> LintGraph {
+    let mut graph = LintGraph::new(network.input_count());
+    for (id, kind) in network.iter_gates() {
+        let sources = network
+            .sources(id)
+            .expect("id from iter_gates")
+            .iter()
+            .map(|s| s.index())
+            .collect();
+        let op = match kind {
+            GateKind::Input(n) => LintOp::Input(n),
+            GateKind::Const(t) => LintOp::Const(t),
+            GateKind::Min => LintOp::Min,
+            GateKind::Max => LintOp::Max,
+            GateKind::Lt => LintOp::Lt,
+            GateKind::Inc(c) => LintOp::Inc(c),
+        };
+        graph.push(op, sources);
+    }
+    graph.set_outputs(network.outputs().iter().map(|o| o.index()).collect());
+    graph
+}
+
+/// Lints a network with default options.
+#[must_use]
+pub fn lint_network(network: &Network) -> Report {
+    lint_network_with(network, &LintOptions::default())
+}
+
+/// Lints a network with explicit options.
+#[must_use]
+pub fn lint_network_with(network: &Network, options: &LintOptions) -> Report {
+    // The IR's own basis check is disabled in favor of the shared
+    // `GateCounts` answer below.
+    let ir_options = LintOptions {
+        check_basis: false,
+        ..options.clone()
+    };
+    let mut report = lint_graph(&to_lint_graph(network), &ir_options);
+    if options.check_basis {
+        let counts = gate_counts(network);
+        if !counts.is_minimal_basis() {
+            report.push(
+                Diagnostic::new(
+                    Code::NonMinimalBasis,
+                    Severity::Info,
+                    Location::Module,
+                    format!(
+                        "network uses {} max gate(s); {{min, lt, inc}} is already complete \
+                         (Theorem 1)",
+                        counts.max
+                    ),
+                )
+                .with_hint(
+                    "use SynthesisOptions::pure() or rewrite max via Lemma 2 \
+                     (max_from_min_lt)",
+                ),
+            );
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NetworkBuilder;
+    use crate::synth::{synthesize, SynthesisOptions};
+    use st_core::{FunctionTable, Time};
+
+    fn t(v: u64) -> Time {
+        Time::finite(v)
+    }
+
+    fn fig7() -> FunctionTable {
+        FunctionTable::from_rows(
+            3,
+            vec![
+                (vec![t(0), t(1), t(2)], t(3)),
+                (vec![t(1), t(0), Time::INFINITY], t(2)),
+                (vec![t(2), t(2), t(0)], t(2)),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lowering_preserves_shape() {
+        let net = synthesize(&fig7(), SynthesisOptions::default());
+        let graph = to_lint_graph(&net);
+        assert_eq!(graph.len(), net.gate_count());
+        assert_eq!(graph.input_count(), net.input_count());
+        assert_eq!(graph.outputs().len(), net.output_count());
+    }
+
+    #[test]
+    fn default_synthesis_reports_max_usage_via_gate_counts() {
+        let net = synthesize(&fig7(), SynthesisOptions::default());
+        let report = lint_network(&net);
+        assert!(report.is_clean(), "{}", report.render());
+        let basis: Vec<_> = report.with_code(Code::NonMinimalBasis).collect();
+        assert_eq!(basis.len(), 1);
+        assert_eq!(basis[0].severity, Severity::Info);
+    }
+
+    #[test]
+    fn pure_synthesis_is_fully_silent() {
+        let net = synthesize(&fig7(), SynthesisOptions::pure());
+        let report = lint_network(&net);
+        assert!(report.diagnostics().is_empty(), "{}", report.render());
+    }
+
+    #[test]
+    fn finite_constant_on_a_timing_path_is_caught_in_a_real_network() {
+        let mut b = NetworkBuilder::new();
+        let x = b.input();
+        let k = b.constant(t(5));
+        let m = b.min([x, k]).unwrap();
+        let net = b.build([m]);
+        let report = lint_network(&net);
+        assert_eq!(report.error_count(), 1);
+        assert_eq!(report.diagnostics()[0].code, Code::Causality);
+        assert_eq!(report.diagnostics()[0].location, Location::Gate(k.index()));
+    }
+}

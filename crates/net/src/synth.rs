@@ -181,7 +181,20 @@ pub fn synthesize(table: &FunctionTable, options: SynthesisOptions) -> Network {
     let mut builder = NetworkBuilder::new();
     let inputs = builder.inputs(table.arity());
     let out = synthesize_into(&mut builder, &inputs, table, options);
-    builder.build([out])
+    let net = builder.build([out]);
+    // Static pre-pass (debug builds only): tables are causality-checked
+    // at construction, so synthesis must yield a fully clean network —
+    // any error-severity finding is a synthesizer bug.
+    #[cfg(debug_assertions)]
+    {
+        let report = crate::lint::lint_network(&net);
+        assert!(
+            report.is_clean(),
+            "synthesize produced an unclean network:\n{}",
+            report.render()
+        );
+    }
+    net
 }
 
 #[cfg(test)]

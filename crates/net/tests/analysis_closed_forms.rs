@@ -1,0 +1,170 @@
+//! Pins the closed forms of [`st_net::analysis::logic_depth`] and
+//! [`st_net::analysis::critical_delay`] for the two structured
+//! construction families the paper costs out:
+//!
+//! * **Bitonic sorters** (§ V.B): on `n = 2^k` lines the comparator
+//!   network has depth `k(k+1)/2` — the classic `O(log² n)` — and
+//!   `n·k(k+1)/4` comparators. Other widths pad up to the next power of
+//!   two and inherit its costs.
+//! * **Theorem 1 synthesis** (Fig. 9): with the native `max` the minterm
+//!   canonical form has constant depth — `inc → max/min → lt → merge-min`
+//!   — independent of arity and row count. The pure `{min, lt, inc}`
+//!   variant pays Lemma 2's three levels per folded `max` input, and the
+//!   worst-case modeled delay is set by the largest `y − x + 1` gap in
+//!   the table.
+//!
+//! These are regression tests in the strictest sense: any synthesizer or
+//! sorter change that alters a cost curve must update the formulas here.
+
+use st_core::{FunctionTable, Time};
+use st_net::analysis::{critical_delay, logic_depth};
+use st_net::gate_counts;
+use st_net::sorting::sorting_network;
+use st_net::synth::{synthesize, SynthesisOptions};
+
+fn t(v: u64) -> Time {
+    Time::finite(v)
+}
+
+#[test]
+fn bitonic_depth_is_k_times_k_plus_1_over_2() {
+    for k in 1..=5u32 {
+        let n = 1usize << k;
+        let k = k as usize;
+        assert_eq!(
+            logic_depth(&sorting_network(n)),
+            k * (k + 1) / 2,
+            "depth(2^{k})"
+        );
+    }
+}
+
+#[test]
+fn bitonic_comparator_count_is_n_log_log_plus_1_over_4() {
+    for k in 1..=5u32 {
+        let n = 1usize << k;
+        let counts = gate_counts(&sorting_network(n));
+        let k = k as usize;
+        // One min and one max per comparator.
+        assert_eq!(counts.min, n * k * (k + 1) / 4, "comparators({n})");
+        assert_eq!(counts.max, counts.min, "comparator symmetry({n})");
+    }
+}
+
+#[test]
+fn bitonic_pads_other_widths_to_the_next_power_of_two() {
+    for n in 2..=32usize {
+        let padded = n.next_power_of_two();
+        assert_eq!(
+            logic_depth(&sorting_network(n)),
+            logic_depth(&sorting_network(padded)),
+            "depth({n}) vs depth({padded})"
+        );
+        assert_eq!(
+            gate_counts(&sorting_network(n)).min,
+            gate_counts(&sorting_network(padded)).min,
+            "comparators({n}) vs comparators({padded})"
+        );
+    }
+}
+
+#[test]
+fn sorters_add_no_modeled_delay() {
+    for n in [2usize, 4, 7, 16] {
+        assert_eq!(critical_delay(&sorting_network(n)), 0, "delay({n})");
+    }
+}
+
+/// A small zoo of normalized tables with varied arity, row count, finite
+/// entry count, and `y − x` gaps.
+fn table_zoo() -> Vec<FunctionTable> {
+    let inf = Time::INFINITY;
+    vec![
+        // The paper's Fig. 7 example.
+        FunctionTable::from_rows(
+            3,
+            vec![
+                (vec![t(0), t(1), t(2)], t(3)),
+                (vec![t(1), t(0), inf], t(2)),
+                (vec![t(2), t(2), t(0)], t(2)),
+            ],
+        )
+        .unwrap(),
+        // Single row, all finite.
+        FunctionTable::from_rows(2, vec![(vec![t(0), t(1)], t(2))]).unwrap(),
+        // Single row with an ∞ entry and a wide gap.
+        FunctionTable::from_rows(2, vec![(vec![t(0), inf], t(7))]).unwrap(),
+        // Two rows of arity 4.
+        FunctionTable::from_rows(
+            4,
+            vec![
+                (vec![t(0), t(2), inf, t(1)], t(4)),
+                (vec![t(3), t(0), t(1), inf], t(3)),
+            ],
+        )
+        .unwrap(),
+    ]
+}
+
+/// Finite entries per row (the number of `max` inputs in its minterm).
+fn finite_counts(table: &FunctionTable) -> Vec<usize> {
+    table
+        .iter()
+        .map(|row| row.inputs().iter().filter(|x| x.is_finite()).count())
+        .collect()
+}
+
+#[test]
+fn default_synthesis_depth_is_constant() {
+    // inc (1) → max / min (2) → lt (3) → merge-min (4); the merge level
+    // is skipped when there is a single minterm.
+    for table in table_zoo() {
+        let expected = if table.len() == 1 { 3 } else { 4 };
+        let net = synthesize(&table, SynthesisOptions::default());
+        assert_eq!(logic_depth(&net), expected, "table {table}");
+    }
+}
+
+#[test]
+fn pure_synthesis_depth_pays_three_levels_per_lemma2_fold() {
+    // Lemma 2 expands each fold step of `max` into lt → lt → min, so a
+    // minterm with `m` finite entries reaches depth 1 + 3(m − 1) on its
+    // up side; the down-side min sits at depth 2. One more level for the
+    // minterm's lt, one for the merge-min when there are several rows.
+    for table in table_zoo() {
+        let lt_depth = finite_counts(&table)
+            .iter()
+            .map(|&m| (1 + 3 * (m - 1)).max(2) + 1)
+            .max()
+            .unwrap();
+        let expected = lt_depth + usize::from(table.len() > 1);
+        let net = synthesize(&table, SynthesisOptions::pure());
+        assert_eq!(logic_depth(&net), expected, "table {table}");
+    }
+}
+
+#[test]
+fn synthesis_critical_delay_is_the_largest_row_gap_plus_one() {
+    // Row j's down side delays input i by y_j − x_ij + 1 ticks; nothing
+    // else in the minterm adds modeled time. Both bases share the form.
+    for table in table_zoo() {
+        let expected = table
+            .iter()
+            .map(|row| {
+                let y = row.output().value().unwrap();
+                let x_min = row
+                    .inputs()
+                    .iter()
+                    .filter_map(|x| x.value())
+                    .min()
+                    .expect("normal form: a finite entry per row");
+                y - x_min + 1
+            })
+            .max()
+            .unwrap();
+        for options in [SynthesisOptions::default(), SynthesisOptions::pure()] {
+            let net = synthesize(&table, options);
+            assert_eq!(critical_delay(&net), expected, "table {table}");
+        }
+    }
+}

@@ -118,7 +118,7 @@ mod tests {
         let mut prev = enc.encode(0.01);
         for i in 1..=100 {
             let cur = enc.encode(f64::from(i) / 100.0);
-            assert!(cur <= prev, "intensity {} encoded later than weaker", i);
+            assert!(cur <= prev, "intensity {i} encoded later than weaker");
             prev = cur;
         }
     }

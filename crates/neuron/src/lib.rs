@@ -35,10 +35,6 @@
 //! assert_eq!(net.eval(&[Time::finite(0), Time::finite(1)])?[0], behavioral);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-#![forbid(unsafe_code)]
-
 pub mod compound;
 pub mod encode;
 pub mod response;

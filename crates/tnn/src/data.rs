@@ -436,7 +436,7 @@ mod tests {
                 match (a.value(), b.value()) {
                     (None, None) => {}
                     (Some(x), Some(y)) => {
-                        assert!(y.abs_diff(x) <= 2, "jitter exceeded: {x} vs {y}")
+                        assert!(y.abs_diff(x) <= 2, "jitter exceeded: {x} vs {y}");
                     }
                     other => panic!("spike presence changed: {other:?}"),
                 }

@@ -41,15 +41,12 @@
 //! let assignment = evaluate_column(&column, &test, 2);
 //! assert!(assignment.accuracy() > 0.9);
 //! ```
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-#![forbid(unsafe_code)]
-
 pub mod aer;
 pub mod column;
 pub mod data;
 pub mod images;
 pub mod io;
+pub mod lint;
 pub mod metrics;
 pub mod network;
 pub mod patch;

@@ -59,8 +59,12 @@ fn training_is_bit_identical_for_a_fixed_seed() {
     let a = trained_column(7);
     let b = trained_column(7);
     assert_eq!(weights(&a), weights(&b));
-    let thresholds =
-        |c: &Column| -> Vec<u32> { c.neurons().iter().map(|n| n.threshold()).collect() };
+    let thresholds = |c: &Column| -> Vec<u32> {
+        c.neurons()
+            .iter()
+            .map(st_neuron::srm0::Srm0Neuron::threshold)
+            .collect()
+    };
     assert_eq!(thresholds(&a), thresholds(&b));
     // And a different seed diverges (same data, different init/tie-breaks).
     assert_ne!(weights(&a), weights(&trained_column(8)));

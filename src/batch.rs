@@ -199,7 +199,7 @@ impl BatchEvaluator {
     /// ([`std::thread::available_parallelism`]; 1 if unknown).
     #[must_use]
     pub fn new() -> BatchEvaluator {
-        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
         BatchEvaluator { threads }
     }
 

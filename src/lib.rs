@@ -12,6 +12,7 @@
 //! | [`neuron`] | `st-neuron` | SRM0 neurons, responses, RBF units |
 //! | [`tnn`] | `st-tnn` | columns, STDP, tempotron, workloads, metrics |
 //! | [`grl`] | `st-grl` | race logic: CMOS netlists, simulation, energy |
+//! | [`lint`] | `st-lint` | static diagnostics over all representations |
 //! | [`batch`] | (this crate) | compile-once / evaluate-many parallel engine |
 //!
 //! The package also ships the `spacetime` CLI (`src/main.rs`); run
@@ -34,13 +35,11 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-#![warn(missing_docs)]
-#![forbid(unsafe_code)]
-
 pub mod batch;
 
 pub use st_core as core;
 pub use st_grl as grl;
+pub use st_lint as lint;
 pub use st_net as net;
 pub use st_neuron as neuron;
 pub use st_tnn as tnn;

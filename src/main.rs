@@ -45,6 +45,12 @@ USAGE:
                                                 (compile once, fan out over
                                                 worker threads; one output
                                                 volley per line)
+  spacetime lint <file> [--kind table|net|column] [--json] [--max-window N]
+                                                statically check a table,
+                                                netlist, or column against
+                                                the space-time invariants
+                                                (docs/lint.md); exits 1 on
+                                                error-severity findings
   spacetime help                                this text
 
 Times are decimal ticks or `inf`/`∞` for \"no event\". Table files contain
@@ -66,6 +72,7 @@ fn main() -> ExitCode {
         Some("train") => cmd_train(&args[1..]),
         Some("classify") => cmd_classify(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
+        Some("lint") => cmd_lint(&args[1..]),
         Some("help") | None => {
             print!("{USAGE}");
             Ok(())
@@ -341,22 +348,22 @@ fn cmd_gen_patterns(args: &[String]) -> Result<(), String> {
             "--patterns" => {
                 patterns = flag_value(&mut iter, a)?
                     .parse()
-                    .map_err(|e| format!("{e}"))?
+                    .map_err(|e| format!("{e}"))?;
             }
             "--width" => {
                 width = flag_value(&mut iter, a)?
                     .parse()
-                    .map_err(|e| format!("{e}"))?
+                    .map_err(|e| format!("{e}"))?;
             }
             "--count" => {
                 count = flag_value(&mut iter, a)?
                     .parse()
-                    .map_err(|e| format!("{e}"))?
+                    .map_err(|e| format!("{e}"))?;
             }
             "--seed" => {
                 seed = flag_value(&mut iter, a)?
                     .parse()
-                    .map_err(|e| format!("{e}"))?
+                    .map_err(|e| format!("{e}"))?;
             }
             other => return Err(format!("unexpected argument {other:?}")),
         }
@@ -379,17 +386,17 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
             "--neurons" => {
                 neurons = flag_value(&mut iter, a)?
                     .parse()
-                    .map_err(|e| format!("{e}"))?
+                    .map_err(|e| format!("{e}"))?;
             }
             "--epochs" => {
                 epochs = flag_value(&mut iter, a)?
                     .parse()
-                    .map_err(|e| format!("{e}"))?
+                    .map_err(|e| format!("{e}"))?;
             }
             "--seed" => {
                 seed = flag_value(&mut iter, a)?
                     .parse()
-                    .map_err(|e| format!("{e}"))?
+                    .map_err(|e| format!("{e}"))?;
             }
             "--save" => save = Some(flag_value(&mut iter, a)?),
             other if path.is_none() && !other.starts_with('-') => path = Some(other.to_owned()),
@@ -575,6 +582,88 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Guesses the representation stored in a lint input file.
+///
+/// The three text formats are disjoint on their first meaningful line:
+/// table rows contain `->`, column files open with one of the column
+/// keywords, and everything else is an `st-net` netlist.
+fn detect_kind(text: &str) -> &'static str {
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.contains("->") {
+            return "table";
+        }
+        let first = line.split_whitespace().next().unwrap_or("");
+        if matches!(first, "inhibition" | "response" | "neuron") {
+            return "column";
+        }
+        return "net";
+    }
+    "net"
+}
+
+fn cmd_lint(args: &[String]) -> Result<(), String> {
+    let mut path = None;
+    let mut kind: Option<String> = None;
+    let mut json = false;
+    let mut options = spacetime::lint::LintOptions::default();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--kind" => kind = Some(flag_value(&mut iter, a)?),
+            "--json" => json = true,
+            "--max-window" => {
+                options.max_window = flag_value(&mut iter, a)?
+                    .parse()
+                    .map_err(|e| format!("bad window: {e}"))?;
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_owned()),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let path = path.ok_or(
+        "usage: spacetime lint <file> [--kind table|net|column] [--json] [--max-window N]",
+    )?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let kind = match kind.as_deref() {
+        Some(k @ ("table" | "net" | "column")) => k,
+        Some(other) => return Err(format!("unknown kind {other:?}; expected table|net|column")),
+        None => detect_kind(&text),
+    };
+    let report = match kind {
+        "table" => {
+            let table = FunctionTable::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+            spacetime::lint::lint_table(&table, &options)
+        }
+        "net" => {
+            let network =
+                spacetime::net::parse_network(&text).map_err(|e| format!("{path}: {e}"))?;
+            spacetime::net::lint::lint_network_with(&network, &options)
+        }
+        _ => {
+            let column = spacetime::tnn::parse_column(&text).map_err(|e| format!("{path}: {e}"))?;
+            spacetime::tnn::lint::lint_column(&column)
+        }
+    };
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
+    eprintln!("{path} ({kind}): {}", report.summary());
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{path}: lint found {} error(s)",
+            report.error_count()
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -601,6 +690,15 @@ mod tests {
         );
         let err = parse_volleys("0 oops\n", "vf").unwrap_err();
         assert!(err.starts_with("vf:1:"), "{err}");
+    }
+
+    #[test]
+    fn detect_kind_separates_the_three_formats() {
+        assert_eq!(detect_kind("# comment\n0 1 -> 2\n"), "table");
+        assert_eq!(detect_kind("inhibition wta 1\nneuron 3 ...\n"), "column");
+        assert_eq!(detect_kind("response ups 0 downs 5\n"), "column");
+        assert_eq!(detect_kind("g0 = input\noutputs g0\n"), "net");
+        assert_eq!(detect_kind("\n# only comments\n"), "net");
     }
 
     #[test]

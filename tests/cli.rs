@@ -222,6 +222,88 @@ fn generate_train_classify_workflow() {
 }
 
 #[test]
+fn lint_clean_table_exits_zero_with_summary_on_stderr() {
+    let table = fig7_file();
+    let out = bin().args(["lint", table.to_str()]).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    // No findings → nothing on stdout; the summary goes to stderr.
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("(table): 0 error(s)"), "{stderr}");
+}
+
+#[test]
+fn lint_flags_errors_on_stdout_and_exits_nonzero() {
+    // A finite constant feeding a min sits on a timing path: STA004.
+    let net = TempFile::with_content(
+        "bad.net",
+        "g0 = input\ng1 = const 5\ng2 = min g0 g1\noutputs g2\n",
+    );
+    let out = bin().args(["lint", net.to_str()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("error[STA004]"), "{stdout}");
+    assert!(stdout.contains("hint:"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("1 error(s)"), "{stderr}");
+}
+
+#[test]
+fn lint_json_round_trips_through_the_report_parser() {
+    let net = TempFile::with_content(
+        "bad2.net",
+        "g0 = input\ng1 = const 3\ng2 = min g0 g1\noutputs g2\n",
+    );
+    let out = bin()
+        .args(["lint", net.to_str(), "--json"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let report = spacetime::lint::Report::from_json(&stdout).expect("valid JSON");
+    assert_eq!(report.error_count(), 1);
+    assert_eq!(
+        report.diagnostics()[0].code,
+        spacetime::lint::Code::Causality
+    );
+    // The re-rendered JSON is byte-identical to what the CLI printed.
+    assert_eq!(report.to_json(), stdout);
+}
+
+#[test]
+fn lint_kind_override_beats_autodetection() {
+    let table = fig7_file();
+    // Forcing the wrong kind makes the parser reject the file.
+    let out = bin()
+        .args(["lint", table.to_str(), "--kind", "net"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let out = bin()
+        .args(["lint", table.to_str(), "--kind", "bogus"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown kind"));
+}
+
+#[test]
+fn lint_max_window_flag_silences_sta010() {
+    let table = TempFile::with_content("wide.table", "0 -> 20\n");
+    let out = bin().args(["lint", table.to_str()]).output().unwrap();
+    assert!(out.status.success(), "warnings are not errors: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("warning[STA010]"), "{stdout}");
+
+    let out = bin()
+        .args(["lint", table.to_str(), "--max-window", "32"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "");
+}
+
+#[test]
 fn errors_are_reported_with_nonzero_exit() {
     let out = bin().args(["bogus"]).output().unwrap();
     assert!(!out.status.success());

@@ -1,0 +1,295 @@
+//! The verifier's contract, end to end: every construction the
+//! repository generates lints clean (no error-severity findings), while
+//! a seeded mutation of each defect kind is caught with the right code
+//! and location. This is the cross-representation companion to the
+//! per-pass unit tests inside `st-lint` and the crate frontends.
+
+use spacetime::core::{FunctionTable, Time};
+use spacetime::lint::{lint_graph, lint_table, Code, LintGraph, LintOp, LintOptions, Severity};
+use spacetime::net::synth::{synthesize, SynthesisOptions};
+use spacetime::net::{sorting, wta};
+use spacetime::neuron::{srm0_network, ProgrammableSrm0, ResponseFn, Srm0Neuron, Synapse};
+use spacetime::tnn::{Column, Inhibition};
+
+fn t(v: u64) -> Time {
+    Time::finite(v)
+}
+
+fn fig7() -> FunctionTable {
+    FunctionTable::from_rows(
+        3,
+        vec![
+            (vec![t(0), t(1), t(2)], t(3)),
+            (vec![t(1), t(0), Time::INFINITY], t(2)),
+            (vec![t(2), t(2), t(0)], t(2)),
+        ],
+    )
+    .unwrap()
+}
+
+fn codes(report: &spacetime::lint::Report) -> Vec<Code> {
+    report.diagnostics().iter().map(|d| d.code).collect()
+}
+
+// ---------------------------------------------------------------- negative
+
+#[test]
+fn every_generated_network_lints_clean() {
+    let table = fig7();
+    let unit = ResponseFn::fig11_biexponential();
+    let srm0 = Srm0Neuron::new(
+        unit.clone(),
+        vec![Synapse::excitatory(1), Synapse::excitatory(1)],
+        6,
+    );
+    let programmable = ProgrammableSrm0::new(&unit, 2, 2, 6);
+    let networks: Vec<(&str, spacetime::net::Network)> = vec![
+        (
+            "synth default",
+            synthesize(&table, SynthesisOptions::default()),
+        ),
+        ("synth pure", synthesize(&table, SynthesisOptions::pure())),
+        ("sorter 4", sorting::sorting_network(4)),
+        ("sorter 7", sorting::sorting_network(7)),
+        ("wta", wta::wta_network(4, 2)),
+        ("k-wta", wta::k_wta_network(4, 2)),
+        ("srm0", srm0_network(&srm0)),
+        ("micro-weight bank", programmable.network().clone()),
+    ];
+    for (name, net) in &networks {
+        let report = spacetime::net::lint::lint_network(net);
+        assert!(report.is_clean(), "{name}:\n{}", report.render());
+    }
+    // …and their CMOS compilations.
+    for (name, net) in &networks {
+        let report = spacetime::grl::lint::lint_netlist(&spacetime::grl::compile_network(net));
+        assert!(report.is_clean(), "GRL {name}:\n{}", report.render());
+    }
+}
+
+#[test]
+fn tables_and_columns_lint_clean() {
+    let report = lint_table(&fig7(), &LintOptions::default());
+    assert!(report.diagnostics().is_empty(), "{}", report.render());
+
+    let unit = ResponseFn::from_steps(vec![0, 1], vec![3, 5]);
+    let column = Column::new(
+        vec![
+            Srm0Neuron::new(
+                unit.clone(),
+                vec![Synapse::new(0, 2), Synapse::new(1, 1)],
+                3,
+            ),
+            Srm0Neuron::new(unit, vec![Synapse::new(1, 1), Synapse::new(0, 2)], 3),
+        ],
+        Inhibition::Wta { tau: 1 },
+    );
+    let report = spacetime::tnn::lint::lint_column(&column);
+    assert!(report.is_clean(), "{}", report.render());
+}
+
+// ---------------------------------------------------------------- positive
+//
+// Seeded mutations of the *synthesized Fig. 7 network*, lowered to the
+// lint IR where every defect is representable. Each mutation must be
+// caught with the right code.
+
+fn fig7_graph() -> LintGraph {
+    spacetime::net::lint::to_lint_graph(&synthesize(&fig7(), SynthesisOptions::pure()))
+}
+
+/// Index of the first node matching a predicate.
+fn find(graph: &LintGraph, pred: impl Fn(&LintOp) -> bool) -> usize {
+    graph
+        .nodes()
+        .iter()
+        .position(|n| pred(&n.op))
+        .expect("construction contains the gate kind")
+}
+
+#[test]
+fn seeded_cycle_is_caught() {
+    let mut g = fig7_graph();
+    // Feed some min gate its own output.
+    let m = find(&g, |op| matches!(op, LintOp::Min));
+    let mut sources = g.nodes()[m].sources.clone();
+    sources[0] = m;
+    g.set_sources(m, sources);
+    let report = lint_graph(&g, &LintOptions::default());
+    assert!(codes(&report).contains(&Code::Cycle), "{}", report.render());
+}
+
+#[test]
+fn seeded_dangling_reference_is_caught() {
+    let mut g = fig7_graph();
+    let bogus = g.len() + 10;
+    g.set_outputs(vec![bogus]);
+    let report = lint_graph(&g, &LintOptions::default());
+    assert!(
+        codes(&report).contains(&Code::Dangling),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn seeded_arity_mismatch_is_caught() {
+    let mut g = fig7_graph();
+    // Retype a binary lt as inc: wrong source count.
+    let l = find(&g, |op| matches!(op, LintOp::Lt));
+    g.set_op(l, LintOp::Inc(1));
+    let report = lint_graph(&g, &LintOptions::default());
+    assert!(
+        codes(&report).contains(&Code::ArityMismatch),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn seeded_causality_violation_is_caught() {
+    let mut g = fig7_graph();
+    // Replace an input with a finite constant: every min/inc it feeds
+    // now sits on a fixed-time path.
+    let x = find(&g, |op| matches!(op, LintOp::Input(0)));
+    g.set_op(x, LintOp::Const(t(1)));
+    let report = lint_graph(&g, &LintOptions::default());
+    let causality: Vec<_> = report.with_code(Code::Causality).collect();
+    assert!(!causality.is_empty(), "{}", report.render());
+    assert!(causality.iter().all(|d| d.severity == Severity::Error));
+}
+
+#[test]
+fn seeded_invariance_hazard_is_caught() {
+    let mut g = fig7_graph();
+    // A finite constant used only as an lt inhibitor: causal, but the
+    // comparison no longer shifts with the inputs.
+    let k = g.push(LintOp::Const(t(2)), vec![]);
+    let l = find(&g, |op| matches!(op, LintOp::Lt));
+    let a = g.nodes()[l].sources[0];
+    g.set_sources(l, vec![a, k]);
+    let report = lint_graph(&g, &LintOptions::default());
+    assert!(
+        codes(&report).contains(&Code::Invariance),
+        "{}",
+        report.render()
+    );
+    assert!(report.is_clean(), "invariance hazards warn, not error");
+}
+
+#[test]
+fn seeded_saturated_gate_is_caught() {
+    let mut g = fig7_graph();
+    // Gate an lt with a Const 0 inhibitor: it can never fire — the
+    // disabled micro-weight shape, which the hint must name.
+    let zero = g.push(LintOp::Const(Time::ZERO), vec![]);
+    let l = find(&g, |op| matches!(op, LintOp::Lt));
+    let a = g.nodes()[l].sources[0];
+    g.set_sources(l, vec![a, zero]);
+    let report = lint_graph(&g, &LintOptions::default());
+    let dead: Vec<_> = report.with_code(Code::DeadGate).collect();
+    assert!(!dead.is_empty(), "{}", report.render());
+    assert!(
+        dead.iter().any(|d| d
+            .hint
+            .as_deref()
+            .is_some_and(|h| h.contains("micro-weight"))),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn seeded_unreachable_gate_is_caught() {
+    let mut g = fig7_graph();
+    let orphan = g.push(LintOp::Min, vec![0, 1]);
+    let report = lint_graph(&g, &LintOptions::default());
+    let unreachable: Vec<_> = report.with_code(Code::Unreachable).collect();
+    assert!(
+        unreachable
+            .iter()
+            .any(|d| d.location.index() == Some(orphan)),
+        "{}",
+        report.render()
+    );
+}
+
+#[test]
+fn basis_conformance_separates_the_two_syntheses() {
+    let table = fig7();
+    let default =
+        spacetime::net::lint::lint_network(&synthesize(&table, SynthesisOptions::default()));
+    assert_eq!(codes(&default), vec![Code::NonMinimalBasis]);
+    let pure = spacetime::net::lint::lint_network(&synthesize(&table, SynthesisOptions::pure()));
+    assert!(pure.diagnostics().is_empty(), "{}", pure.render());
+}
+
+#[test]
+fn seeded_wta_zero_window_is_caught() {
+    // A real WTA stage whose inhibitor delay is mutated to 0: the
+    // winner now inhibits itself.
+    let mut g = spacetime::net::lint::to_lint_graph(&wta::wta_network(3, 2));
+    let inc = find(&g, |op| matches!(op, LintOp::Inc(_)));
+    g.set_op(inc, LintOp::Inc(0));
+    let report = lint_graph(&g, &LintOptions::default());
+    let shape: Vec<_> = report.with_code(Code::WtaShape).collect();
+    assert_eq!(shape.len(), 1, "{}", report.render());
+    assert_eq!(shape[0].severity, Severity::Error);
+    assert_eq!(shape[0].location.index(), Some(inc));
+}
+
+#[test]
+fn seeded_window_excess_and_shadowed_rows_are_caught() {
+    let wide = FunctionTable::from_rows(1, vec![(vec![t(0)], t(20))]).unwrap();
+    let report = lint_table(&wide, &LintOptions::default());
+    assert_eq!(codes(&report), vec![Code::WindowExceeded]);
+
+    let shadowed = FunctionTable::from_rows(
+        2,
+        vec![(vec![t(0), Time::INFINITY], t(0)), (vec![t(0), t(1)], t(1))],
+    )
+    .unwrap();
+    let report = lint_table(&shadowed, &LintOptions::default());
+    assert_eq!(codes(&report), vec![Code::ShadowedRow]);
+}
+
+#[test]
+fn seeded_column_defects_are_caught() {
+    let unit = ResponseFn::from_steps(vec![0, 1], vec![3, 5]);
+    let neuron = |theta| {
+        Srm0Neuron::new(
+            unit.clone(),
+            vec![Synapse::new(0, 2), Synapse::new(1, 1)],
+            theta,
+        )
+    };
+    // k-WTA that selects nothing: STA012, before lowering could panic.
+    let col = Column::new(vec![neuron(3), neuron(3)], Inhibition::KWta { k: 0 });
+    let report = spacetime::tnn::lint::lint_column(&col);
+    assert_eq!(codes(&report), vec![Code::ColumnParams]);
+
+    // Unreachable threshold: STA013 on the offending neuron.
+    let col = Column::new(vec![neuron(3), neuron(1000)], Inhibition::Wta { tau: 1 });
+    let report = spacetime::tnn::lint::lint_column(&col);
+    let dead: Vec<_> = report.with_code(Code::DeadNeuron).collect();
+    assert_eq!(dead.len(), 1, "{}", report.render());
+    assert_eq!(dead[0].location.index(), Some(1));
+}
+
+// ------------------------------------------------------------- round-trip
+
+#[test]
+fn reports_round_trip_through_json_byte_identically() {
+    // A report exercising several codes, severities, and location kinds.
+    let mut g = fig7_graph();
+    let x = find(&g, |op| matches!(op, LintOp::Input(0)));
+    g.set_op(x, LintOp::Const(t(1)));
+    g.push(LintOp::Min, vec![0, 1]);
+    let report = lint_graph(&g, &LintOptions::default());
+    assert!(!report.diagnostics().is_empty());
+
+    let json = report.to_json();
+    let parsed = spacetime::lint::Report::from_json(&json).expect("own JSON parses");
+    assert_eq!(parsed.to_json(), json, "round-trip must be byte-identical");
+    assert_eq!(codes(&parsed), codes(&report));
+}
