@@ -92,4 +92,14 @@ fn main() {
     verify_space_time(&net.as_function(0), 4, 3, None).unwrap();
     println!("\nverified: causality + invariance over window 4, shifts 1..=3;");
     println!("functional and event-driven evaluators agree on all 216 inputs.");
+
+    if let Some(trace_path) = st_bench::trace_out_arg() {
+        let compiled = sim.compile(&net);
+        let mut recorder = st_obs::Recorder::new();
+        for (index, inputs) in cases.iter().enumerate() {
+            recorder.begin_volley(index);
+            compiled.run_probed(inputs, &mut recorder).unwrap();
+        }
+        st_bench::write_trace(&trace_path, recorder.events());
+    }
 }

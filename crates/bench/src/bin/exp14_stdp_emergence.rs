@@ -64,7 +64,15 @@ fn main() {
     };
     let mut col = fresh_column(2, 24, 0.25, &config);
     let stream = ds.stream(600, 0.8);
-    train_column(&mut col, &stream, &config);
+    if let Some(trace_path) = st_bench::trace_out_arg() {
+        // Traced variant of the same run: WTA decisions and STDP weight
+        // deltas per presentation (bit-identical to the untraced training).
+        let mut recorder = st_obs::Recorder::new();
+        st_tnn::train::train_column_probed(&mut col, &stream, &config, &mut recorder);
+        st_bench::write_trace(&trace_path, recorder.events());
+    } else {
+        train_column(&mut col, &stream, &config);
+    }
     let mut rows = Vec::new();
     for k in 0..2 {
         let sample = ds.present(k);

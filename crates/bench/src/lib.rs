@@ -56,3 +56,35 @@ pub fn banner(id: &str, artifact: &str, claim: &str) {
 pub fn f3(x: f64) -> String {
     format!("{x:.3}")
 }
+
+/// The shared `--trace-out <file>` flag: when an experiment binary is run
+/// with it, the binary records its main workload through an
+/// [`st_obs::Recorder`] and dumps the event stream as a JSONL trace to the
+/// given path (same format as `spacetime trace --format jsonl`). Returns
+/// the path if the flag is present in this process's arguments.
+///
+/// # Panics
+///
+/// Panics if `--trace-out` is passed without a following path.
+#[must_use]
+pub fn trace_out_arg() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace-out" {
+            return Some(args.next().expect("--trace-out needs a file path"));
+        }
+    }
+    None
+}
+
+/// Writes a recorded event stream to `path` as JSONL and reports it on
+/// stderr. Used by experiment binaries honouring [`trace_out_arg`].
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn write_trace(path: &str, events: &[st_obs::ObsEvent]) {
+    std::fs::write(path, st_obs::events_jsonl(events))
+        .unwrap_or_else(|e| panic!("cannot write trace {path}: {e}"));
+    eprintln!("wrote {} events to {path}", events.len());
+}

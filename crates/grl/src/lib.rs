@@ -56,4 +56,4 @@ pub use netlist::{GrlBuilder, GrlGate, GrlNetlist, WireId};
 pub use physical::{divergence_rate, run_physical, PhysicalReport, PhysicalTiming};
 pub use shortest_path::WeightedDag;
 pub use sim::{GrlReport, GrlSim};
-pub use vcd::to_vcd;
+pub use vcd::{to_vcd, try_to_vcd};

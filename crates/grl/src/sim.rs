@@ -14,6 +14,7 @@
 //! cycle-exact equivalence with the algebraic evaluator in `st-net`.
 
 use st_core::{CoreError, Time, Volley};
+use st_obs::{NullProbe, ObsEvent, Probe};
 
 use crate::netlist::{GrlGate, GrlNetlist};
 
@@ -95,7 +96,26 @@ impl GrlSim {
     /// Returns [`CoreError::ArityMismatch`] if `inputs.len()` differs from
     /// the netlist's input count.
     pub fn run(&self, netlist: &GrlNetlist, inputs: &[Time]) -> Result<GrlReport, CoreError> {
-        self.run_with_scratch(netlist, inputs, &mut GrlScratch::default())
+        self.run_with_scratch(netlist, inputs, &mut GrlScratch::default(), &mut NullProbe)
+    }
+
+    /// [`GrlSim::run`] with an observability probe: every wire fall is
+    /// reported as an [`ObsEvent::WireFell`] (in cycle order) and every
+    /// `lt` latch capture as an [`ObsEvent::LatchBlocked`]. With
+    /// [`NullProbe`] this compiles to exactly [`GrlSim::run`]; results
+    /// are identical for any probe.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ArityMismatch`] if `inputs.len()` differs from
+    /// the netlist's input count.
+    pub fn run_probed<P: Probe>(
+        &self,
+        netlist: &GrlNetlist,
+        inputs: &[Time],
+        probe: &mut P,
+    ) -> Result<GrlReport, CoreError> {
+        self.run_with_scratch(netlist, inputs, &mut GrlScratch::default(), probe)
     }
 
     /// Simulates one computation per entry of `volleys`, reusing the
@@ -114,15 +134,16 @@ impl GrlSim {
         let mut scratch = GrlScratch::default();
         volleys
             .iter()
-            .map(|v| self.run_with_scratch(netlist, v.times(), &mut scratch))
+            .map(|v| self.run_with_scratch(netlist, v.times(), &mut scratch, &mut NullProbe))
             .collect()
     }
 
-    fn run_with_scratch(
+    fn run_with_scratch<P: Probe>(
         &self,
         netlist: &GrlNetlist,
         inputs: &[Time],
         scratch: &mut GrlScratch,
+        probe: &mut P,
     ) -> Result<GrlReport, CoreError> {
         if inputs.len() != netlist.input_count() {
             return Err(CoreError::ArityMismatch {
@@ -156,6 +177,9 @@ impl GrlSim {
                         if !level[b.index()] && prev_level[a.index()] && !blocked[i] {
                             blocked[i] = true;
                             lt_latched += 1;
+                            if probe.is_enabled() {
+                                probe.record(ObsEvent::LatchBlocked { wire: i, at: t });
+                            }
                         }
                         level[a.index()] || blocked[i]
                     }
@@ -163,6 +187,9 @@ impl GrlSim {
                 };
                 if level[i] && !new_level {
                     fall[i] = t;
+                    if probe.is_enabled() {
+                        probe.record(ObsEvent::WireFell { wire: i, at: t });
+                    }
                 }
                 level[i] = new_level;
             }
@@ -338,6 +365,46 @@ mod tests {
         let x = b.input();
         let net = b.build([x]);
         assert!(GrlSim::new().run(&net, &[t(0)]).is_err());
+    }
+
+    #[test]
+    fn probed_run_records_falls_and_latch_captures() {
+        use st_obs::Recorder;
+        let mut b = GrlBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let m = b.lt(x, y);
+        let net = b.build([m]);
+        let sim = GrlSim::new();
+        // b falls first: latch captures, two wires fall.
+        let mut recorder = Recorder::new();
+        let probed = sim.run_probed(&net, &[t(5), t(1)], &mut recorder).unwrap();
+        assert_eq!(probed, sim.run(&net, &[t(5), t(1)]).unwrap());
+        let falls: Vec<(usize, Time)> = recorder
+            .events()
+            .iter()
+            .filter_map(|e| match *e {
+                st_obs::ObsEvent::WireFell { wire, at } => Some((wire, at)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(falls.len(), probed.eval_transitions);
+        for (wire, at) in falls {
+            assert_eq!(probed.fall_times[wire], at);
+        }
+        let captures = recorder
+            .events()
+            .iter()
+            .filter(|e| matches!(e, st_obs::ObsEvent::LatchBlocked { .. }))
+            .count();
+        assert_eq!(captures, 1);
+        // Falls arrive in cycle order.
+        let times: Vec<Time> = recorder
+            .events()
+            .iter()
+            .filter_map(st_obs::ObsEvent::model_time)
+            .collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
     }
 
     #[test]

@@ -8,6 +8,8 @@
 
 use std::fmt::Write as _;
 
+use st_core::CoreError;
+
 use crate::netlist::{GrlGate, GrlNetlist};
 use crate::sim::GrlReport;
 
@@ -20,13 +22,25 @@ use crate::sim::GrlReport;
 /// # Panics
 ///
 /// Panics if `report` does not belong to `netlist` (wire counts differ).
+/// Use [`try_to_vcd`] to handle the mismatch as an error instead.
 #[must_use]
 pub fn to_vcd(netlist: &GrlNetlist, report: &GrlReport) -> String {
-    assert_eq!(
-        report.fall_times.len(),
-        netlist.wire_count(),
-        "report does not match this netlist"
-    );
+    try_to_vcd(netlist, report).expect("report does not match this netlist")
+}
+
+/// Non-panicking variant of [`to_vcd`].
+///
+/// # Errors
+///
+/// Returns [`CoreError::ArityMismatch`] when `report` does not belong to
+/// `netlist` — i.e. its fall-time vector covers a different wire count.
+pub fn try_to_vcd(netlist: &GrlNetlist, report: &GrlReport) -> Result<String, CoreError> {
+    if report.fall_times.len() != netlist.wire_count() {
+        return Err(CoreError::ArityMismatch {
+            expected: netlist.wire_count(),
+            actual: report.fall_times.len(),
+        });
+    }
     let mut out = String::new();
     let _ = writeln!(out, "$date space-time algebra GRL run $end");
     let _ = writeln!(out, "$version st-grl $end");
@@ -72,7 +86,7 @@ pub fn to_vcd(netlist: &GrlNetlist, report: &GrlReport) -> String {
         let _ = writeln!(out, "0{}", ident(wire));
     }
     let _ = writeln!(out, "#{}", report.cycles);
-    out
+    Ok(out)
 }
 
 /// Compact printable VCD identifier for a wire index (base-94 over the
@@ -185,5 +199,26 @@ mod tests {
         let other = b.build([x]);
         let report = GrlSim::new().run(&other, &[t(0)]).unwrap();
         let _ = to_vcd(&net, &report);
+    }
+
+    #[test]
+    fn try_to_vcd_reports_mismatch_as_error() {
+        let (net, report) = fixture();
+        assert_eq!(
+            try_to_vcd(&net, &report).as_deref(),
+            Ok(to_vcd(&net, &report).as_str())
+        );
+
+        let mut b = GrlBuilder::new();
+        let x = b.input();
+        let other = b.build([x]);
+        let small = GrlSim::new().run(&other, &[t(0)]).unwrap();
+        assert_eq!(
+            try_to_vcd(&net, &small),
+            Err(st_core::CoreError::ArityMismatch {
+                expected: net.wire_count(),
+                actual: small.fall_times.len(),
+            })
+        );
     }
 }

@@ -26,8 +26,21 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use st_core::{CoreError, Time, Volley};
+use st_obs::{NullProbe, ObsEvent, Probe};
 
 use crate::graph::{GateKind, Network};
+
+/// The observability label for a gate kind.
+fn op_name(kind: GateKind) -> &'static str {
+    match kind {
+        GateKind::Input(_) => "input",
+        GateKind::Const(_) => "const",
+        GateKind::Inc(_) => "inc",
+        GateKind::Min => "min",
+        GateKind::Max => "max",
+        GateKind::Lt => "lt",
+    }
+}
 
 /// Result of an event-driven run: per-output times plus activity counts.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -163,6 +176,24 @@ impl CompiledNetwork {
     /// Returns [`CoreError::ArityMismatch`] if `inputs.len()` differs from
     /// the network's input count.
     pub fn run(&self, inputs: &[Time]) -> Result<EventReport, CoreError> {
+        self.run_probed(inputs, &mut NullProbe)
+    }
+
+    /// [`CompiledNetwork::run`] with an observability probe: every gate
+    /// firing (inputs and constants included) is reported as an
+    /// [`ObsEvent::GateFired`]. With [`NullProbe`] this compiles to
+    /// exactly [`CompiledNetwork::run`]; results are identical for any
+    /// probe.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ArityMismatch`] if `inputs.len()` differs from
+    /// the network's input count.
+    pub fn run_probed<P: Probe>(
+        &self,
+        inputs: &[Time],
+        probe: &mut P,
+    ) -> Result<EventReport, CoreError> {
         if inputs.len() != self.input_count {
             return Err(CoreError::ArityMismatch {
                 expected: self.input_count,
@@ -192,6 +223,13 @@ impl CompiledNetwork {
             if at.is_finite() {
                 fired[i] = at;
                 total_events += 1;
+                if probe.is_enabled() {
+                    probe.record(ObsEvent::GateFired {
+                        gate: i,
+                        op: op_name(*kind),
+                        at,
+                    });
+                }
                 for &consumer in &fanout[i] {
                     let due = match kinds[consumer] {
                         GateKind::Inc(c) => at + c,
@@ -229,6 +267,13 @@ impl CompiledNetwork {
                 fired[gate] = at;
                 total_events += 1;
                 internal_events += 1;
+                if probe.is_enabled() {
+                    probe.record(ObsEvent::GateFired {
+                        gate,
+                        op: op_name(kinds[gate]),
+                        at,
+                    });
+                }
                 for &consumer in &fanout[gate] {
                     let due = match kinds[consumer] {
                         GateKind::Inc(c) => at + c,
@@ -410,6 +455,41 @@ mod tests {
         // A bad volley anywhere fails the whole batch.
         let bad = vec![st_core::Volley::new(vec![t(0), t(1)])];
         assert!(sim.run_batch(&net, &bad).is_err());
+    }
+
+    #[test]
+    fn probed_run_records_every_firing_without_perturbing_results() {
+        use st_obs::Recorder;
+        let net = fig6();
+        let compiled = EventSim::new().compile(&net);
+        for inputs in st_core::enumerate_inputs(3, 3) {
+            let mut recorder = Recorder::new();
+            let probed = compiled.run_probed(&inputs, &mut recorder).unwrap();
+            let plain = compiled.run(&inputs).unwrap();
+            assert_eq!(probed, plain, "at {inputs:?}");
+            // One GateFired event per firing, times matching the report.
+            assert_eq!(recorder.len(), plain.total_events, "at {inputs:?}");
+            for event in recorder.events() {
+                let st_obs::ObsEvent::GateFired { gate, at, .. } = *event else {
+                    panic!("unexpected event {event:?}");
+                };
+                assert_eq!(plain.firings[gate], at);
+            }
+        }
+        // Ops are labelled by kind.
+        let mut recorder = Recorder::new();
+        let _ = compiled
+            .run_probed(&[t(0), t(3), t(2)], &mut recorder)
+            .unwrap();
+        let ops: Vec<&str> = recorder
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                st_obs::ObsEvent::GateFired { op, .. } => Some(*op),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ops, vec!["input", "input", "input", "inc", "min", "lt"]);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! network ("the `θ+i`-th up step occurs *before* the `i`-th down step").
 
 use st_core::{CoreError, SpaceTimeFunction, Time, Volley};
+use st_obs::{NullProbe, ObsEvent, Probe};
 
 use crate::response::ResponseFn;
 
@@ -213,6 +214,16 @@ impl Srm0Neuron {
     /// threshold, or `∞` if it never does.
     #[must_use]
     pub fn eval(&self, inputs: &[Time]) -> Time {
+        self.eval_probed(inputs, 0, &mut NullProbe)
+    }
+
+    /// [`Srm0Neuron::eval`] with observability: records the body potential
+    /// at every distinct step tick ([`ObsEvent::Potential`]) and the output
+    /// spike, if any ([`ObsEvent::NeuronSpike`]). `neuron` is the index the
+    /// caller wants events attributed to (a lone neuron does not know its
+    /// position in a column). With a [`NullProbe`] this compiles to the
+    /// plain evaluation loop.
+    pub fn eval_probed<P: Probe>(&self, inputs: &[Time], neuron: usize, probe: &mut P) -> Time {
         let (mut ups, mut downs) = self.step_events(inputs);
         ups.sort_unstable();
         downs.sort_unstable();
@@ -235,7 +246,17 @@ impl Srm0Neuron {
                 potential -= 1;
                 di += 1;
             }
+            if probe.is_enabled() {
+                probe.record(ObsEvent::Potential {
+                    neuron,
+                    at: t,
+                    potential,
+                });
+            }
             if potential >= theta {
+                if probe.is_enabled() {
+                    probe.record(ObsEvent::NeuronSpike { neuron, at: t });
+                }
                 return t;
             }
         }
@@ -463,6 +484,43 @@ mod tests {
         assert_eq!(n.potential_at(&[t(0)], t(2)), 4);
         assert_eq!(n.potential_at(&[t(0)], t(20)), 0);
         assert_eq!(n.potential_at(&[INF], t(5)), 0);
+    }
+
+    #[test]
+    fn probed_eval_traces_potential_and_spike() {
+        use st_obs::Recorder;
+        let n = fig11_neuron(&[1], 4);
+        let mut recorder = Recorder::new();
+        let out = n.eval_probed(&[t(0)], 7, &mut recorder);
+        assert_eq!(out, n.eval(&[t(0)]));
+        // The potential trajectory matches potential_at at each tick, and
+        // the spike lands at the returned time, attributed to neuron 7.
+        let mut saw_spike = false;
+        for e in recorder.events() {
+            match *e {
+                ObsEvent::Potential {
+                    neuron,
+                    at,
+                    potential,
+                } => {
+                    assert_eq!(neuron, 7);
+                    assert_eq!(potential, n.potential_at(&[t(0)], at));
+                }
+                ObsEvent::NeuronSpike { neuron, at } => {
+                    assert_eq!((neuron, at), (7, out));
+                    saw_spike = true;
+                }
+                ref other => panic!("unexpected event {other:?}"),
+            }
+        }
+        assert!(saw_spike);
+
+        // A silent run records potentials but no spike.
+        let quiet = fig11_neuron(&[1], 6);
+        let mut recorder = Recorder::new();
+        assert_eq!(quiet.eval_probed(&[t(0)], 0, &mut recorder), INF);
+        assert!(!recorder.is_empty());
+        assert!(recorder.events().iter().all(|e| !e.is_spike()));
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! The [`Probe`] trait and its two canonical implementations.
+//!
+//! Engines take a `&mut P where P: Probe` parameter on their `*_probed`
+//! entry points. The default implementation, [`NullProbe`], reports
+//! itself disabled and ignores every event; because both methods are
+//! trivially inlinable, a call site instantiated with `NullProbe`
+//! compiles to exactly the uninstrumented code — observation is free
+//! unless you ask for it. [`Recorder`] is the concrete collector: it
+//! keeps every event in arrival order for export or scoring.
+
+use crate::event::ObsEvent;
+
+/// A sink for engine events.
+///
+/// Implementors decide what to do with each [`ObsEvent`]; engines promise
+/// to call [`Probe::record`] only when [`Probe::is_enabled`] returns
+/// `true`, and to never let the probe influence their results (the
+/// equivalence property suite pins instrumented and uninstrumented runs
+/// bit-identical).
+pub trait Probe {
+    /// Whether this probe wants events at all. Engines guard event
+    /// construction behind this, so a disabled probe pays nothing.
+    fn is_enabled(&self) -> bool;
+
+    /// Accepts one event. Only called when [`Probe::is_enabled`] is
+    /// `true`.
+    fn record(&mut self, event: ObsEvent);
+}
+
+/// The zero-overhead default probe: disabled, ignores everything.
+///
+/// Pass `&mut NullProbe` (or use the non-`_probed` engine entry points,
+/// which do so internally) to run without instrumentation.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NullProbe;
+
+impl Probe for NullProbe {
+    #[inline(always)]
+    fn is_enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn record(&mut self, event: ObsEvent) {
+        let _ = event;
+    }
+}
+
+/// A probe that keeps every event, in arrival order.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Recorder {
+    events: Vec<ObsEvent>,
+}
+
+impl Recorder {
+    /// An empty recorder.
+    #[must_use]
+    pub fn new() -> Recorder {
+        Recorder::default()
+    }
+
+    /// The recorded events, in arrival order.
+    #[must_use]
+    pub fn events(&self) -> &[ObsEvent] {
+        &self.events
+    }
+
+    /// Consumes the recorder, returning its events.
+    #[must_use]
+    pub fn into_events(self) -> Vec<ObsEvent> {
+        self.events
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Records a [`ObsEvent::VolleyStart`] marker: subsequent engine
+    /// events belong to volley `index`. Drivers call this between
+    /// per-volley runs.
+    pub fn begin_volley(&mut self, index: usize) {
+        self.events.push(ObsEvent::VolleyStart { index });
+    }
+}
+
+impl Probe for Recorder {
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn record(&mut self, event: ObsEvent) {
+        self.events.push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_core::Time;
+
+    #[test]
+    fn null_probe_is_disabled() {
+        let mut p = NullProbe;
+        assert!(!p.is_enabled());
+        p.record(ObsEvent::VolleyStart { index: 0 }); // must be a no-op
+    }
+
+    #[test]
+    fn recorder_keeps_arrival_order() {
+        let mut r = Recorder::new();
+        assert!(r.is_enabled());
+        assert!(r.is_empty());
+        r.begin_volley(0);
+        r.record(ObsEvent::GateFired {
+            gate: 3,
+            op: "min",
+            at: Time::finite(1),
+        });
+        r.begin_volley(1);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.events()[0], ObsEvent::VolleyStart { index: 0 });
+        assert_eq!(r.events()[2], ObsEvent::VolleyStart { index: 1 });
+        let events = r.into_events();
+        assert_eq!(events.len(), 3);
+    }
+}

@@ -1,0 +1,286 @@
+//! Run-level summary statistics over a recorded event stream.
+//!
+//! [`RunStats`] condenses a trace into the numbers one checks first when
+//! debugging a temporal code or sizing a hot path: how many events the
+//! run produced, how many spikes per volley, which WTA units win how
+//! often, and the per-volley wall-clock latency distribution. This is the
+//! `--format stats` view of `spacetime trace` and the summary future perf
+//! PRs report through.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::event::ObsEvent;
+
+/// Aggregated statistics of one recorded run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Total events recorded (markers included).
+    pub events: usize,
+    /// Volleys observed (via [`ObsEvent::VolleyStart`] markers, falling
+    /// back to [`ObsEvent::VolleyTimed`] counters).
+    pub volleys: usize,
+    /// Spike-like events ([`ObsEvent::is_spike`]).
+    pub spikes: usize,
+    /// Output spikes counted by the batch engine's volley counters.
+    pub output_spikes: usize,
+    /// Win count per WTA winner index, plus silent decisions.
+    pub winners: BTreeMap<usize, usize>,
+    /// WTA decisions on which no neuron fired.
+    pub silent_decisions: usize,
+    /// Synapse weights changed over the run.
+    pub weight_deltas: usize,
+    /// Median per-volley evaluation latency, if volleys were timed.
+    pub p50_volley_nanos: Option<u64>,
+    /// 95th-percentile per-volley evaluation latency, if timed.
+    pub p95_volley_nanos: Option<u64>,
+    /// Wall-clock per named pipeline stage, in recorded order.
+    pub stages: Vec<(&'static str, u64)>,
+    /// Worker chunks the batch engine split the run into.
+    pub chunks: usize,
+}
+
+impl RunStats {
+    /// Aggregates an event stream into summary statistics.
+    #[must_use]
+    pub fn from_events(events: &[ObsEvent]) -> RunStats {
+        let mut stats = RunStats {
+            events: events.len(),
+            ..RunStats::default()
+        };
+        let mut marked = 0usize;
+        let mut volley_nanos: Vec<u64> = Vec::new();
+        for event in events {
+            if event.is_spike() {
+                stats.spikes += 1;
+            }
+            match *event {
+                ObsEvent::VolleyStart { .. } => marked += 1,
+                ObsEvent::WtaDecision { winner, .. } => match winner {
+                    Some(w) => *stats.winners.entry(w).or_insert(0) += 1,
+                    None => stats.silent_decisions += 1,
+                },
+                ObsEvent::WeightDelta { .. } => stats.weight_deltas += 1,
+                ObsEvent::StageTiming { stage, nanos, .. } => stats.stages.push((stage, nanos)),
+                ObsEvent::ChunkTiming { .. } => stats.chunks += 1,
+                ObsEvent::VolleyTimed { nanos, spikes, .. } => {
+                    volley_nanos.push(nanos);
+                    stats.output_spikes += spikes;
+                }
+                _ => {}
+            }
+        }
+        stats.volleys = marked.max(volley_nanos.len());
+        if !volley_nanos.is_empty() {
+            volley_nanos.sort_unstable();
+            stats.p50_volley_nanos = Some(percentile(&volley_nanos, 50));
+            stats.p95_volley_nanos = Some(percentile(&volley_nanos, 95));
+        }
+        stats
+    }
+
+    /// Mean spike-like events per observed volley (0 when no volleys).
+    #[must_use]
+    pub fn spikes_per_volley(&self) -> f64 {
+        if self.volleys == 0 {
+            0.0
+        } else {
+            self.spikes as f64 / self.volleys as f64
+        }
+    }
+}
+
+/// Nearest-rank percentile over a sorted slice
+/// (`⌈q/100 · n⌉`-th smallest value).
+fn percentile(sorted: &[u64], q: usize) -> u64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = (q * sorted.len()).div_ceil(100).max(1);
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// A human-scaled duration (`ns`, `µs`, `ms`, `s`).
+fn human_nanos(nanos: u64) -> String {
+    if nanos < 1_000 {
+        format!("{nanos}ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.1}µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.1}ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2}s", nanos as f64 / 1e9)
+    }
+}
+
+impl fmt::Display for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "RunStats: {} events over {} volleys",
+            self.events, self.volleys
+        )?;
+        writeln!(
+            f,
+            "  spikes: {} recorded ({:.2}/volley), {} on output lines",
+            self.spikes,
+            self.spikes_per_volley(),
+            self.output_spikes
+        )?;
+        if self.winners.is_empty() && self.silent_decisions == 0 {
+            writeln!(f, "  wta: no decisions recorded")?;
+        } else {
+            let histogram: Vec<String> = self
+                .winners
+                .iter()
+                .map(|(neuron, wins)| format!("n{neuron}\u{d7}{wins}"))
+                .collect();
+            writeln!(
+                f,
+                "  wta: winners {} ({} silent)",
+                if histogram.is_empty() {
+                    "-".to_owned()
+                } else {
+                    histogram.join(" ")
+                },
+                self.silent_decisions
+            )?;
+        }
+        if self.weight_deltas > 0 {
+            writeln!(f, "  stdp: {} synapse weights changed", self.weight_deltas)?;
+        }
+        match (self.p50_volley_nanos, self.p95_volley_nanos) {
+            (Some(p50), Some(p95)) => writeln!(
+                f,
+                "  latency: p50 {} / p95 {} per volley",
+                human_nanos(p50),
+                human_nanos(p95)
+            )?,
+            _ => writeln!(f, "  latency: no per-volley timings recorded")?,
+        }
+        for (stage, nanos) in &self.stages {
+            writeln!(
+                f,
+                "  stage {stage}: {} across {} worker chunk(s)",
+                human_nanos(*nanos),
+                self.chunks.max(1)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_core::Time;
+
+    #[test]
+    fn aggregates_everything() {
+        let events = vec![
+            ObsEvent::VolleyStart { index: 0 },
+            ObsEvent::GateFired {
+                gate: 0,
+                op: "input",
+                at: Time::ZERO,
+            },
+            ObsEvent::NeuronSpike {
+                neuron: 1,
+                at: Time::finite(2),
+            },
+            ObsEvent::WtaDecision {
+                winner: Some(1),
+                tied: 1,
+            },
+            ObsEvent::WtaDecision {
+                winner: Some(1),
+                tied: 2,
+            },
+            ObsEvent::WtaDecision {
+                winner: None,
+                tied: 0,
+            },
+            ObsEvent::WeightDelta {
+                neuron: 1,
+                synapse: 0,
+                before: 3,
+                after: 4,
+            },
+            ObsEvent::StageTiming {
+                stage: "eval",
+                start_nanos: 0,
+                nanos: 9_000,
+            },
+            ObsEvent::ChunkTiming {
+                worker: 0,
+                start: 0,
+                len: 3,
+                start_nanos: 0,
+                nanos: 8_000,
+            },
+            ObsEvent::VolleyTimed {
+                index: 0,
+                nanos: 1_000,
+                spikes: 1,
+            },
+            ObsEvent::VolleyTimed {
+                index: 1,
+                nanos: 3_000,
+                spikes: 0,
+            },
+            ObsEvent::VolleyTimed {
+                index: 2,
+                nanos: 2_000,
+                spikes: 2,
+            },
+        ];
+        let stats = RunStats::from_events(&events);
+        assert_eq!(stats.events, events.len());
+        assert_eq!(stats.volleys, 3); // timed count beats the single marker
+        assert_eq!(stats.spikes, 2);
+        assert_eq!(stats.output_spikes, 3);
+        assert_eq!(stats.winners.get(&1), Some(&2));
+        assert_eq!(stats.silent_decisions, 1);
+        assert_eq!(stats.weight_deltas, 1);
+        assert_eq!(stats.p50_volley_nanos, Some(2_000));
+        assert_eq!(stats.p95_volley_nanos, Some(3_000));
+        assert_eq!(stats.stages, vec![("eval", 9_000)]);
+        assert_eq!(stats.chunks, 1);
+
+        let rendered = stats.to_string();
+        assert!(rendered.contains("12 events over 3 volleys"), "{rendered}");
+        assert!(
+            rendered.contains("winners n1\u{d7}2 (1 silent)"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("p50 2.0µs"), "{rendered}");
+    }
+
+    #[test]
+    fn empty_stream_is_all_zero() {
+        let stats = RunStats::from_events(&[]);
+        assert_eq!(stats.events, 0);
+        assert_eq!(stats.volleys, 0);
+        assert_eq!(stats.spikes_per_volley(), 0.0);
+        assert_eq!(stats.p50_volley_nanos, None);
+        let rendered = stats.to_string();
+        assert!(rendered.contains("no decisions recorded"));
+        assert!(rendered.contains("no per-volley timings"));
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v = [10, 20, 30, 40];
+        assert_eq!(percentile(&v, 50), 20);
+        assert_eq!(percentile(&v, 95), 40);
+        assert_eq!(percentile(&v, 100), 40);
+        assert_eq!(percentile(&[7], 50), 7);
+        assert_eq!(percentile(&[7], 0), 7);
+    }
+
+    #[test]
+    fn human_durations() {
+        assert_eq!(human_nanos(900), "900ns");
+        assert_eq!(human_nanos(1_500), "1.5µs");
+        assert_eq!(human_nanos(2_500_000), "2.5ms");
+        assert_eq!(human_nanos(3_000_000_000), "3.00s");
+    }
+}

@@ -15,6 +15,7 @@ use st_net::wta::{k_wta_into, wta_into};
 use st_net::{Network, NetworkBuilder};
 use st_neuron::structural::srm0_into;
 use st_neuron::Srm0Neuron;
+use st_obs::{ObsEvent, Probe};
 
 /// The lateral-inhibition policy applied across a column's outputs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -145,7 +146,47 @@ impl Column {
     /// Panics if the volley width differs from [`Column::input_width`].
     #[must_use]
     pub fn eval(&self, inputs: &Volley) -> Volley {
-        let raw = self.eval_raw(inputs);
+        self.apply_inhibition(self.eval_raw(inputs))
+    }
+
+    /// [`Column::eval`] with observability: evaluates each neuron through
+    /// [`Srm0Neuron::eval_probed`] (potentials and output spikes,
+    /// attributed by neuron index) and records the column's WTA decision
+    /// ([`ObsEvent::WtaDecision`]) before applying inhibition. With a
+    /// [`st_obs::NullProbe`] this is exactly [`Column::eval`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the volley width differs from [`Column::input_width`].
+    pub fn eval_probed<P: Probe>(&self, inputs: &Volley, probe: &mut P) -> Volley {
+        assert_eq!(
+            inputs.width(),
+            self.input_width(),
+            "volley width must match the column's input width"
+        );
+        let raw: Volley = self
+            .neurons
+            .iter()
+            .enumerate()
+            .map(|(i, n)| n.eval_probed(inputs.times(), i, probe))
+            .collect();
+        if probe.is_enabled() {
+            let first = raw.first_spike();
+            let (winner, tied) = if first.is_infinite() {
+                (None, 0)
+            } else {
+                (
+                    raw.times().iter().position(|&t| t == first),
+                    raw.times().iter().filter(|&&t| t == first).count(),
+                )
+            };
+            probe.record(ObsEvent::WtaDecision { winner, tied });
+        }
+        self.apply_inhibition(raw)
+    }
+
+    /// Applies the column's inhibition policy to raw output spike times.
+    fn apply_inhibition(&self, raw: Volley) -> Volley {
         match self.inhibition {
             Inhibition::None => raw,
             Inhibition::Wta { tau } => {
@@ -430,6 +471,41 @@ mod tests {
                 "at {inputs:?}"
             );
         }
+    }
+
+    #[test]
+    fn probed_eval_matches_and_records_decision() {
+        use st_obs::Recorder;
+        let col = two_detector_column(Inhibition::one_wta());
+        let input = Volley::encode([Some(0), Some(0), None, None]);
+        let mut recorder = Recorder::new();
+        assert_eq!(col.eval_probed(&input, &mut recorder), col.eval(&input));
+        let decisions: Vec<_> = recorder
+            .events()
+            .iter()
+            .filter(|e| matches!(e, ObsEvent::WtaDecision { .. }))
+            .collect();
+        assert_eq!(
+            decisions,
+            vec![&ObsEvent::WtaDecision {
+                winner: Some(0),
+                tied: 1
+            }]
+        );
+        // Spikes are attributed to the winning neuron.
+        assert!(recorder
+            .events()
+            .iter()
+            .any(|e| matches!(e, ObsEvent::NeuronSpike { neuron: 0, .. })));
+
+        // A silent volley records a silent decision.
+        let mut recorder = Recorder::new();
+        let out = col.eval_probed(&Volley::silent(4), &mut recorder);
+        assert_eq!(out, Volley::silent(2));
+        assert!(recorder.events().contains(&ObsEvent::WtaDecision {
+            winner: None,
+            tied: 0
+        }));
     }
 
     #[test]

@@ -64,4 +64,6 @@ pub use network::TnnNetwork;
 pub use patch::PatchLayer;
 pub use stdp::{apply_stdp, StdpParams};
 pub use tempotron::{Tempotron, TempotronParams};
-pub use train::{evaluate_column, fresh_column, train_column, TrainConfig, TrainReport};
+pub use train::{
+    evaluate_column, fresh_column, train_column, train_column_probed, TrainConfig, TrainReport,
+};

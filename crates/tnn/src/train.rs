@@ -9,6 +9,7 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use st_neuron::{ResponseFn, Srm0Neuron, Synapse};
+use st_obs::{NullProbe, ObsEvent, Probe};
 
 use crate::column::{Column, Inhibition};
 use crate::data::LabelledVolley;
@@ -110,6 +111,21 @@ pub fn train_column(
     stream: &[LabelledVolley],
     config: &TrainConfig,
 ) -> TrainReport {
+    train_column_probed(column, stream, config, &mut NullProbe)
+}
+
+/// [`train_column`] with observability: marks each presentation with
+/// [`ObsEvent::VolleyStart`], records the WTA outcome of every volley
+/// ([`ObsEvent::WtaDecision`], silent decisions included) and one
+/// [`ObsEvent::WeightDelta`] per synapse weight an STDP (or rescue) update
+/// actually changed. With a [`NullProbe`] this is exactly [`train_column`]
+/// — the probe never perturbs the RNG, so trained weights are identical.
+pub fn train_column_probed<P: Probe>(
+    column: &mut Column,
+    stream: &[LabelledVolley],
+    config: &TrainConfig,
+    probe: &mut P,
+) -> TrainReport {
     let params = &config.stdp;
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(1));
     let mut report = TrainReport {
@@ -118,12 +134,21 @@ pub fn train_column(
         wins: vec![0; column.output_width()],
         weight_changes: 0,
     };
-    for sample in stream {
+    for (index, sample) in stream.iter().enumerate() {
+        if probe.is_enabled() {
+            probe.record(ObsEvent::VolleyStart { index });
+        }
         report.presentations += 1;
         let tied = column.tied_winners(&sample.volley);
         if tied.is_empty() {
+            if probe.is_enabled() {
+                probe.record(ObsEvent::WtaDecision {
+                    winner: None,
+                    tied: 0,
+                });
+            }
             if config.rescue {
-                rescue_update(column, &sample.volley, params, &mut report);
+                rescue_update(column, &sample.volley, params, &mut report, probe);
             }
             if config.adapt_threshold && sample.volley.spike_count() > 0 {
                 for neuron in column.neurons_mut() {
@@ -136,14 +161,22 @@ pub fn train_column(
             continue;
         }
         let winner = tied[rng.random_range(0..tied.len())];
+        if probe.is_enabled() {
+            probe.record(ObsEvent::WtaDecision {
+                winner: Some(winner),
+                tied: tied.len(),
+            });
+        }
         let output = column.neurons()[winner].eval(sample.volley.times());
         report.updates += 1;
         report.wins[winner] += 1;
-        report.weight_changes += apply_stdp(
+        report.weight_changes += stdp_probed(
             &mut column.neurons_mut()[winner],
+            winner,
             &sample.volley,
             output,
             params,
+            probe,
         );
         if config.adapt_threshold {
             let neuron = &mut column.neurons_mut()[winner];
@@ -154,13 +187,46 @@ pub fn train_column(
     report
 }
 
+/// Applies STDP to one neuron, emitting a [`ObsEvent::WeightDelta`] per
+/// synapse whose weight actually moved. Snapshots weights only when the
+/// probe is live, so the unprobed path stays allocation-free.
+fn stdp_probed<P: Probe>(
+    neuron: &mut Srm0Neuron,
+    index: usize,
+    volley: &st_core::Volley,
+    output: st_core::Time,
+    params: &StdpParams,
+    probe: &mut P,
+) -> usize {
+    let before: Vec<i32> = if probe.is_enabled() {
+        neuron.synapses().iter().map(|s| s.weight).collect()
+    } else {
+        Vec::new()
+    };
+    let changes = apply_stdp(neuron, volley, output, params);
+    if probe.is_enabled() {
+        for (synapse, (&b, s)) in before.iter().zip(neuron.synapses()).enumerate() {
+            if b != s.weight {
+                probe.record(ObsEvent::WeightDelta {
+                    neuron: index,
+                    synapse,
+                    before: b,
+                    after: s.weight,
+                });
+            }
+        }
+    }
+    changes
+}
+
 /// Potentiation-only update for the best-matching neuron of a volley on
 /// which nothing fired.
-fn rescue_update(
+fn rescue_update<P: Probe>(
     column: &mut Column,
     volley: &st_core::Volley,
     params: &StdpParams,
     report: &mut TrainReport,
+    probe: &mut P,
 ) {
     let pseudo_output = volley.last_spike();
     if pseudo_output.is_infinite() {
@@ -176,11 +242,13 @@ fn rescue_update(
             a_minus: 0,
             ..*params
         };
-        report.weight_changes += apply_stdp(
+        report.weight_changes += stdp_probed(
             &mut column.neurons_mut()[best],
+            best,
             volley,
             pseudo_output,
             &potentiate_only,
+            probe,
         );
     }
 }
@@ -290,6 +358,47 @@ mod tests {
             col.neurons()[0].threshold() + col.neurons()[1].threshold(),
             2 * 14 // initial θ = 8 × 7 × 0.25 = 14 each
         );
+    }
+
+    #[test]
+    fn probed_training_matches_and_accounts_every_weight_change() {
+        use st_obs::{ObsEvent, Recorder};
+        let mut ds = PatternDataset::new(2, 12, 6, 0, 0.0, 11);
+        let config = TrainConfig::default();
+        let stream = ds.stream(80, 1.0);
+
+        let mut plain = fresh_column(3, 12, 0.25, &config);
+        let plain_report = train_column(&mut plain, &stream, &config);
+
+        let mut probed = fresh_column(3, 12, 0.25, &config);
+        let mut recorder = Recorder::new();
+        let probed_report = train_column_probed(&mut probed, &stream, &config, &mut recorder);
+
+        // The probe never perturbs training.
+        assert_eq!(probed_report, plain_report);
+        for (a, b) in plain.neurons().iter().zip(probed.neurons()) {
+            assert_eq!(a.synapses(), b.synapses());
+        }
+        // One marker + one decision per presentation, one delta per change.
+        let count = |f: fn(&ObsEvent) -> bool| recorder.events().iter().filter(|e| f(e)).count();
+        assert_eq!(
+            count(|e| matches!(e, ObsEvent::VolleyStart { .. })),
+            stream.len()
+        );
+        assert_eq!(
+            count(|e| matches!(e, ObsEvent::WtaDecision { .. })),
+            stream.len()
+        );
+        assert_eq!(
+            count(|e| matches!(e, ObsEvent::WeightDelta { .. })),
+            plain_report.weight_changes
+        );
+        // Every delta records a genuine change.
+        for e in recorder.events() {
+            if let ObsEvent::WeightDelta { before, after, .. } = e {
+                assert_ne!(before, after);
+            }
+        }
     }
 
     #[test]

@@ -39,10 +39,12 @@
 //! ```
 
 use std::fmt;
+use std::time::Instant;
 
 use st_core::{CompiledTable, CoreError, FunctionTable, Volley};
 use st_grl::{compile_network, GrlNetlist, GrlSim};
 use st_net::{CompiledNetwork, EventSim, Network};
+use st_obs::{NullProbe, ObsEvent, Probe};
 use st_tnn::Column;
 
 /// A specification compiled into its evaluate-many form.
@@ -234,21 +236,76 @@ impl BatchEvaluator {
         artifact: &CompiledArtifact,
         volleys: &[Volley],
     ) -> Result<Vec<Volley>, BatchError> {
+        self.eval_probed(artifact, volleys, &mut NullProbe)
+    }
+
+    /// [`BatchEvaluator::eval`] with observability: on success records one
+    /// [`ObsEvent::VolleyTimed`] per volley (wall-clock latency and output
+    /// spike count), one [`ObsEvent::ChunkTiming`] per worker, and a
+    /// closing `"eval"` [`ObsEvent::StageTiming`]. Workers collect their
+    /// timings locally and the calling thread records them after the join
+    /// (volleys in index order, chunks in worker order), so the event
+    /// stream — like the outputs — is deterministic for a given run.
+    ///
+    /// Timestamps are captured only when the probe is live; with a
+    /// [`NullProbe`] this is exactly [`BatchEvaluator::eval`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-index [`BatchError`] if any volley fails; no
+    /// timing events are recorded for a failed batch.
+    pub fn eval_probed<P: Probe>(
+        &self,
+        artifact: &CompiledArtifact,
+        volleys: &[Volley],
+        probe: &mut P,
+    ) -> Result<Vec<Volley>, BatchError> {
+        let enabled = probe.is_enabled();
+        let stage_start = Instant::now(); // cheap; read only when enabled
         let workers = self.threads.min(volleys.len()).max(1);
         let mut outputs: Vec<Volley> = Vec::with_capacity(volleys.len());
         outputs.resize_with(volleys.len(), || Volley::new(Vec::new()));
 
         if workers == 1 {
+            let mut timings: Vec<(usize, u64, usize)> = Vec::new();
             for (index, (volley, slot)) in volleys.iter().zip(&mut outputs).enumerate() {
+                let t0 = enabled.then(Instant::now);
                 *slot = artifact
                     .eval_one(volley)
                     .map_err(|source| BatchError { index, source })?;
+                if let Some(t0) = t0 {
+                    timings.push((index, t0.elapsed().as_nanos() as u64, slot.spike_count()));
+                }
+            }
+            if enabled {
+                for (index, nanos, spikes) in timings {
+                    probe.record(ObsEvent::VolleyTimed {
+                        index,
+                        nanos,
+                        spikes,
+                    });
+                }
+                let nanos = stage_start.elapsed().as_nanos() as u64;
+                probe.record(ObsEvent::ChunkTiming {
+                    worker: 0,
+                    start: 0,
+                    len: volleys.len(),
+                    start_nanos: 0,
+                    nanos,
+                });
+                probe.record(ObsEvent::StageTiming {
+                    stage: "eval",
+                    start_nanos: 0,
+                    nanos,
+                });
             }
             return Ok(outputs);
         }
 
         let chunk_len = volleys.len().div_ceil(workers);
-        let first_failure = std::thread::scope(|scope| {
+        // (worker, base, len, start_nanos, nanos, per-volley timings).
+        type ChunkTrace = (usize, usize, usize, u64, u64, Vec<(usize, u64, usize)>);
+        let (first_failure, mut traces) = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
             for (w, (in_chunk, out_chunk)) in volleys
                 .chunks(chunk_len)
@@ -256,33 +313,102 @@ impl BatchEvaluator {
                 .enumerate()
             {
                 let base = w * chunk_len;
-                handles.push(scope.spawn(move || -> Option<BatchError> {
-                    for (offset, (volley, slot)) in in_chunk.iter().zip(out_chunk).enumerate() {
-                        match artifact.eval_one(volley) {
-                            Ok(out) => *slot = out,
-                            Err(source) => {
-                                // Stop this chunk at its first failure; the
-                                // lowest index across chunks wins below.
-                                return Some(BatchError {
-                                    index: base + offset,
-                                    source,
-                                });
+                handles.push(
+                    scope.spawn(move || -> (Option<BatchError>, Option<ChunkTrace>) {
+                        let chunk_start = enabled.then(Instant::now);
+                        let mut timings = Vec::new();
+                        if enabled {
+                            timings.reserve_exact(in_chunk.len());
+                        }
+                        for (offset, (volley, slot)) in in_chunk.iter().zip(out_chunk).enumerate() {
+                            let t0 = enabled.then(Instant::now);
+                            match artifact.eval_one(volley) {
+                                Ok(out) => {
+                                    *slot = out;
+                                    if let Some(t0) = t0 {
+                                        timings.push((
+                                            base + offset,
+                                            t0.elapsed().as_nanos() as u64,
+                                            slot.spike_count(),
+                                        ));
+                                    }
+                                }
+                                Err(source) => {
+                                    // Stop this chunk at its first failure;
+                                    // the lowest index across chunks wins
+                                    // below.
+                                    return (
+                                        Some(BatchError {
+                                            index: base + offset,
+                                            source,
+                                        }),
+                                        None,
+                                    );
+                                }
                             }
                         }
-                    }
-                    None
-                }));
+                        let trace = chunk_start.map(|t0| {
+                            (
+                                w,
+                                base,
+                                in_chunk.len(),
+                                (t0 - stage_start).as_nanos() as u64,
+                                t0.elapsed().as_nanos() as u64,
+                                timings,
+                            )
+                        });
+                        (None, trace)
+                    }),
+                );
             }
-            handles
-                .into_iter()
-                .filter_map(|h| h.join().expect("batch worker panicked"))
-                .min_by_key(|e| e.index)
+            let mut failure: Option<BatchError> = None;
+            let mut traces: Vec<ChunkTrace> = Vec::new();
+            for handle in handles {
+                let (error, trace) = handle.join().expect("batch worker panicked");
+                if let Some(e) = error {
+                    failure = match failure.take() {
+                        Some(best) if best.index < e.index => Some(best),
+                        _ => Some(e),
+                    };
+                }
+                traces.extend(trace);
+            }
+            (failure, traces)
         });
 
-        match first_failure {
-            Some(error) => Err(error),
-            None => Ok(outputs),
+        if let Some(error) = first_failure {
+            return Err(error);
         }
+        if enabled {
+            let mut volley_timings: Vec<(usize, u64, usize)> = traces
+                .iter()
+                .flat_map(|trace| trace.5.iter().copied())
+                .collect();
+            volley_timings.sort_unstable_by_key(|&(index, _, _)| index);
+            for (index, nanos, spikes) in volley_timings {
+                probe.record(ObsEvent::VolleyTimed {
+                    index,
+                    nanos,
+                    spikes,
+                });
+            }
+            traces.sort_unstable_by_key(|&(worker, ..)| worker);
+            for (worker, start, len, start_nanos, nanos, _) in traces {
+                probe.record(ObsEvent::ChunkTiming {
+                    worker,
+                    start,
+                    len,
+                    start_nanos,
+                    nanos,
+                });
+            }
+            probe.record(ObsEvent::StageTiming {
+                stage: "eval",
+                start_nanos: 0,
+                nanos: stage_start.elapsed().as_nanos() as u64,
+            });
+        }
+        Ok(outputs)
     }
 }
 
@@ -349,6 +475,62 @@ mod tests {
     #[test]
     fn zero_threads_clamps_to_one() {
         assert_eq!(BatchEvaluator::with_threads(0).threads(), 1);
+    }
+
+    #[test]
+    fn probed_eval_matches_and_times_every_volley() {
+        use st_obs::Recorder;
+        let artifact = CompiledArtifact::from_table(&paper_table());
+        let volleys = volleys3(2);
+        let expected = BatchEvaluator::with_threads(1)
+            .eval(&artifact, &volleys)
+            .unwrap();
+        for threads in [1, 3] {
+            let mut recorder = Recorder::new();
+            let got = BatchEvaluator::with_threads(threads)
+                .eval_probed(&artifact, &volleys, &mut recorder)
+                .unwrap();
+            assert_eq!(got, expected, "threads = {threads}");
+            let timed: Vec<usize> = recorder
+                .events()
+                .iter()
+                .filter_map(|e| match *e {
+                    ObsEvent::VolleyTimed { index, .. } => Some(index),
+                    _ => None,
+                })
+                .collect();
+            // Every volley timed exactly once, in index order.
+            assert_eq!(timed, (0..volleys.len()).collect::<Vec<_>>());
+            let chunks: Vec<(usize, usize, usize)> = recorder
+                .events()
+                .iter()
+                .filter_map(|e| match *e {
+                    ObsEvent::ChunkTiming {
+                        worker, start, len, ..
+                    } => Some((worker, start, len)),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(chunks.len(), threads.min(volleys.len()));
+            assert_eq!(
+                chunks.iter().map(|&(_, _, len)| len).sum::<usize>(),
+                volleys.len()
+            );
+            // The stage timing closes the stream.
+            assert!(matches!(
+                recorder.events().last(),
+                Some(ObsEvent::StageTiming { stage: "eval", .. })
+            ));
+        }
+
+        // A failed batch records nothing.
+        let mut bad = volleys3(1);
+        bad[2] = Volley::silent(1);
+        let mut recorder = Recorder::new();
+        assert!(BatchEvaluator::with_threads(2)
+            .eval_probed(&artifact, &bad, &mut recorder)
+            .is_err());
+        assert!(recorder.is_empty());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! | [`tnn`] | `st-tnn` | columns, STDP, tempotron, workloads, metrics |
 //! | [`grl`] | `st-grl` | race logic: CMOS netlists, simulation, energy |
 //! | [`lint`] | `st-lint` | static diagnostics over all representations |
+//! | [`obs`] | `st-obs` | probes, event traces, rasters, run statistics |
 //! | [`batch`] | (this crate) | compile-once / evaluate-many parallel engine |
 //!
 //! The package also ships the `spacetime` CLI (`src/main.rs`); run
@@ -42,4 +43,5 @@ pub use st_grl as grl;
 pub use st_lint as lint;
 pub use st_net as net;
 pub use st_neuron as neuron;
+pub use st_obs as obs;
 pub use st_tnn as tnn;

@@ -9,9 +9,9 @@
 use std::process::ExitCode;
 
 use spacetime::core::{FunctionTable, Time, Volley};
-use spacetime::grl::{compile_network, to_vcd, GrlSim};
+use spacetime::grl::{compile_network, try_to_vcd, GrlSim};
 use spacetime::net::synth::{synthesize, SynthesisOptions};
-use spacetime::net::{analysis, gate_counts, optimize, Network};
+use spacetime::net::{analysis, gate_counts, optimize, EventSim, Network};
 
 const USAGE: &str = "\
 spacetime — the space-time algebra toolbox
@@ -51,6 +51,16 @@ USAGE:
                                                 the space-time invariants
                                                 (docs/lint.md); exits 1 on
                                                 error-severity findings
+  spacetime trace <file> [--format raster|jsonl|chrome|stats]
+                  [--engine table|net|grl|column] [--volleys <file>]
+                  [--threads N] [--out <file>]   run a traced evaluation and
+                                                export the event stream: a
+                                                spike-raster CSV, a JSONL
+                                                event log, a Chrome
+                                                trace_event JSON (open in
+                                                chrome://tracing or Perfetto),
+                                                or a run-statistics summary
+                                                (docs/observability.md)
   spacetime help                                this text
 
 Times are decimal ticks or `inf`/`∞` for \"no event\". Table files contain
@@ -73,6 +83,7 @@ fn main() -> ExitCode {
         Some("classify") => cmd_classify(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("help") | None => {
             print!("{USAGE}");
             Ok(())
@@ -188,7 +199,7 @@ fn simulate_network(
         report.activity_factor()
     );
     if let Some(path) = vcd_path {
-        let vcd = to_vcd(&netlist, &report);
+        let vcd = try_to_vcd(&netlist, &report).map_err(|e| format!("cannot render VCD: {e}"))?;
         std::fs::write(path, &vcd).map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("wrote {path} ({} signals)", netlist.wire_count());
     }
@@ -662,6 +673,214 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
             report.error_count()
         ))
     }
+}
+
+/// The evaluable form the trace subcommand drives its per-volley spike
+/// pass through (the batch timing pass uses a [`CompiledArtifact`]
+/// alongside it).
+///
+/// [`CompiledArtifact`]: spacetime::batch::CompiledArtifact
+enum TraceForm {
+    /// An event-driven gate network ([`EventSim::compile`]).
+    Net(spacetime::net::CompiledNetwork),
+    /// A race-logic netlist, cycle-accurately simulated.
+    Grl(spacetime::grl::GrlNetlist),
+    /// An SRM0 column with lateral inhibition.
+    Column(spacetime::tnn::Column),
+}
+
+/// The default input sweep for an untraced-volley `spacetime trace` run:
+/// exhaustive over window 3 for narrow inputs, otherwise an all-zeros
+/// volley plus one single-spike volley per line — deterministic either
+/// way, so repeated traces are comparable.
+fn default_sweep(width: usize) -> Vec<Volley> {
+    if width <= 3 {
+        spacetime::core::enumerate_inputs(width, 3)
+            .map(Volley::new)
+            .collect()
+    } else {
+        let mut volleys = vec![Volley::new(vec![Time::ZERO; width])];
+        for i in 0..width {
+            let mut times = vec![Time::INFINITY; width];
+            times[i] = Time::ZERO;
+            volleys.push(Volley::new(times));
+        }
+        volleys
+    }
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    use spacetime::batch::{BatchEvaluator, CompiledArtifact};
+    use spacetime::obs::{chrome_trace, events_jsonl, spike_raster_csv, Recorder, RunStats};
+
+    let mut path = None;
+    let mut format = "stats".to_owned();
+    let mut engine: Option<String> = None;
+    let mut volleys_path: Option<String> = None;
+    let mut threads: Option<usize> = None;
+    let mut out: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--format" => format = flag_value(&mut iter, a)?,
+            "--engine" => engine = Some(flag_value(&mut iter, a)?),
+            "--volleys" => volleys_path = Some(flag_value(&mut iter, a)?),
+            "--threads" => {
+                threads = Some(
+                    flag_value(&mut iter, a)?
+                        .parse::<usize>()
+                        .map_err(|e| format!("bad thread count: {e}"))?,
+                );
+            }
+            "--out" => out = Some(flag_value(&mut iter, a)?),
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_owned()),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let usage = "usage: spacetime trace <file> [--format raster|jsonl|chrome|stats] \
+                 [--engine table|net|grl|column] [--volleys <file>] [--threads N] [--out <file>]";
+    let path = path.ok_or(usage)?;
+    if !matches!(format.as_str(), "raster" | "jsonl" | "chrome" | "stats") {
+        return Err(format!(
+            "unknown format {format:?}; expected raster|jsonl|chrome|stats"
+        ));
+    }
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let kind = detect_kind(&text);
+    let engine = engine.unwrap_or_else(|| {
+        match kind {
+            "table" => "table",
+            "column" => "column",
+            _ => "net",
+        }
+        .to_owned()
+    });
+
+    // Build the spike-pass form and the batch-pass artifact. The table
+    // engine evaluates through the compiled table but takes its gate
+    // events from the Theorem 1 synthesis of the same table.
+    let (form, artifact) = match (kind, engine.as_str()) {
+        ("table", "table" | "net" | "grl") => {
+            let table = FunctionTable::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+            let network = synthesize(&table, SynthesisOptions::default());
+            match engine.as_str() {
+                "table" => (
+                    TraceForm::Net(EventSim::new().compile(&network)),
+                    CompiledArtifact::from_table(&table),
+                ),
+                "net" => (
+                    TraceForm::Net(EventSim::new().compile(&network)),
+                    CompiledArtifact::from_network(&network),
+                ),
+                _ => {
+                    let netlist = compile_network(&network);
+                    (
+                        TraceForm::Grl(netlist.clone()),
+                        CompiledArtifact::from(netlist),
+                    )
+                }
+            }
+        }
+        ("net", "net") => {
+            let network =
+                spacetime::net::parse_network(&text).map_err(|e| format!("{path}: {e}"))?;
+            let artifact = CompiledArtifact::from_network(&network);
+            (TraceForm::Net(EventSim::new().compile(&network)), artifact)
+        }
+        ("net", "grl") => {
+            let network =
+                spacetime::net::parse_network(&text).map_err(|e| format!("{path}: {e}"))?;
+            let netlist = compile_network(&network);
+            (
+                TraceForm::Grl(netlist.clone()),
+                CompiledArtifact::from(netlist),
+            )
+        }
+        ("column", "column") => {
+            let column = spacetime::tnn::parse_column(&text).map_err(|e| format!("{path}: {e}"))?;
+            (
+                TraceForm::Column(column.clone()),
+                CompiledArtifact::from(column),
+            )
+        }
+        (kind, engine) => {
+            return Err(format!(
+                "the {engine} engine cannot trace a {kind} file (try a different --engine)"
+            ))
+        }
+    };
+
+    let volleys = match &volleys_path {
+        Some(vp) => {
+            let vtext =
+                std::fs::read_to_string(vp).map_err(|e| format!("cannot read {vp}: {e}"))?;
+            parse_volleys(&vtext, vp)?
+        }
+        None => default_sweep(artifact.input_width()),
+    };
+
+    // Pass 1 — model-time events: one marked, probed sequential run per
+    // volley (gate firings / wire falls / potentials / WTA decisions).
+    let mut recorder = Recorder::new();
+    for (index, volley) in volleys.iter().enumerate() {
+        recorder.begin_volley(index);
+        match &form {
+            TraceForm::Net(compiled) => {
+                compiled
+                    .run_probed(volley.times(), &mut recorder)
+                    .map_err(|e| format!("volley {index}: {e}"))?;
+            }
+            TraceForm::Grl(netlist) => {
+                GrlSim::new()
+                    .run_probed(netlist, volley.times(), &mut recorder)
+                    .map_err(|e| format!("volley {index}: {e}"))?;
+            }
+            TraceForm::Column(column) => {
+                if volley.width() != column.input_width() {
+                    return Err(format!(
+                        "volley {index}: column expects width {}, got {}",
+                        column.input_width(),
+                        volley.width()
+                    ));
+                }
+                column.eval_probed(volley, &mut recorder);
+            }
+        }
+    }
+
+    // Pass 2 — wall-clock timing: the batch engine appends per-volley,
+    // per-chunk, and stage timings to the same stream.
+    let evaluator = threads.map_or_else(BatchEvaluator::new, BatchEvaluator::with_threads);
+    evaluator
+        .eval_probed(&artifact, &volleys, &mut recorder)
+        .map_err(|e| format!("{path}: {e}"))?;
+
+    let events = recorder.events();
+    let rendered = match format.as_str() {
+        "raster" => spike_raster_csv(events),
+        "jsonl" => events_jsonl(events),
+        "chrome" => chrome_trace(events),
+        _ => RunStats::from_events(events).to_string(),
+    };
+    match out {
+        Some(f) => {
+            std::fs::write(&f, &rendered).map_err(|e| format!("cannot write {f}: {e}"))?;
+            eprintln!(
+                "wrote {f} ({} events from {} volleys through the {engine} engine)",
+                events.len(),
+                volleys.len()
+            );
+        }
+        None => {
+            print!("{rendered}");
+            eprintln!(
+                "({} events from {} volleys through the {engine} engine)",
+                events.len(),
+                volleys.len()
+            );
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

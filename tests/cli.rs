@@ -325,3 +325,109 @@ fn help_prints_usage() {
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"));
 }
+
+fn fig6_net_file() -> TempFile {
+    TempFile::with_content(
+        "fig6.net",
+        "g0 = input\ng1 = input\ng2 = input\ng3 = inc 1 g0\ng4 = min g3 g1\ng5 = lt g4 g2\noutputs g5\n",
+    )
+}
+
+#[test]
+fn trace_exports_all_four_formats() {
+    let net = fig6_net_file();
+
+    // stats: non-empty RunStats with volleys and a latency line.
+    let out = bin()
+        .args(["trace", net.to_str(), "--format", "stats"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("RunStats:"), "{stdout}");
+    assert!(stdout.contains("volleys"), "{stdout}");
+    assert!(stdout.contains("latency"), "{stdout}");
+
+    // raster: CSV header plus at least one net spike row.
+    let out = bin()
+        .args(["trace", net.to_str(), "--format", "raster"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let mut lines = stdout.lines();
+    assert_eq!(lines.next(), Some("volley,time,source,unit"));
+    assert!(lines.any(|l| l.contains(",net,gate")), "{stdout}");
+
+    // jsonl: every line is one JSON object with a kind tag.
+    let out = bin()
+        .args(["trace", net.to_str(), "--format", "jsonl"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!stdout.is_empty());
+    for line in stdout.lines() {
+        assert!(
+            line.starts_with("{\"kind\":\"") && line.ends_with('}'),
+            "not a JSONL event: {line}"
+        );
+    }
+
+    // chrome: the trace_event envelope, written via --out.
+    let chrome = TempFile::with_content("trace.json", "");
+    let out = bin()
+        .args([
+            "trace",
+            net.to_str(),
+            "--format",
+            "chrome",
+            "--threads",
+            "2",
+            "--out",
+            chrome.to_str(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let written = std::fs::read_to_string(chrome.to_str()).unwrap();
+    assert!(written.starts_with("{\"traceEvents\":["), "{written}");
+    assert!(written.contains("\"ph\":\"X\""), "{written}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("wrote"));
+}
+
+#[test]
+fn trace_engine_and_volley_overrides() {
+    let table = fig7_file();
+    let volleys = TempFile::with_content("volleys.txt", "3 4 5\n0 0 0\ninf inf inf\n");
+
+    // A table traced through the GRL engine over explicit volleys.
+    let out = bin()
+        .args([
+            "trace",
+            table.to_str(),
+            "--engine",
+            "grl",
+            "--format",
+            "stats",
+            "--volleys",
+            volleys.to_str(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("over 3 volleys"), "{stdout}");
+
+    // Impossible engine/file pairings and bad formats are flat errors.
+    let out = bin()
+        .args(["trace", table.to_str(), "--engine", "column"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let out = bin()
+        .args(["trace", table.to_str(), "--format", "yaml"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}

@@ -1,0 +1,216 @@
+//! Observability equivalence properties: instrumenting any engine with a
+//! live [`Recorder`] produces **bit-identical outputs** to the uninstrumented
+//! ([`NullProbe`]) run — across all four engines and at 1 and N batch worker
+//! threads. This is the zero-perturbation contract of `st-obs`: a probe may
+//! watch a computation, never steer it.
+
+use proptest::prelude::*;
+use spacetime::batch::{BatchEvaluator, CompiledArtifact};
+use spacetime::core::{Time, Volley};
+use spacetime::grl::{compile_network, GrlSim};
+use spacetime::net::EventSim;
+use spacetime::neuron::structural::srm0_network;
+use spacetime::neuron::{ResponseFn, Srm0Neuron, Synapse};
+use spacetime::obs::{ObsEvent, Recorder};
+use spacetime::tnn::data::PatternDataset;
+use spacetime::tnn::train::{fresh_column, train_column, train_column_probed, TrainConfig};
+use spacetime::tnn::{Column, Inhibition};
+
+fn arb_response() -> impl Strategy<Value = ResponseFn> {
+    prop_oneof![
+        Just(ResponseFn::fig11_biexponential()),
+        (1u32..3, 1u64..3, 1u64..4).prop_map(|(p, r, f)| ResponseFn::piecewise_linear(p, r, f)),
+        (1u32..3).prop_map(ResponseFn::step),
+    ]
+}
+
+fn arb_neuron() -> impl Strategy<Value = Srm0Neuron> {
+    (
+        arb_response(),
+        prop::collection::vec((0u64..3, 0i32..3), 1..=3),
+        1u32..5,
+    )
+        .prop_map(|(r, syn, theta)| {
+            Srm0Neuron::new(
+                r,
+                syn.into_iter().map(|(d, w)| Synapse::new(d, w)).collect(),
+                theta,
+            )
+        })
+}
+
+fn arb_volley(width: usize) -> impl Strategy<Value = Vec<Time>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => (0u64..6).prop_map(Time::finite),
+            1 => Just(Time::INFINITY),
+        ],
+        width,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Event-driven network simulation: the probed run returns the same
+    /// report as the plain run, and records one gate firing per event the
+    /// report counts.
+    #[test]
+    fn net_probed_run_is_identical(
+        neuron in arb_neuron(),
+        inputs in arb_volley(3),
+    ) {
+        let width = neuron.synapses().len();
+        let inputs = &inputs[..width];
+        let compiled = EventSim::new().compile(&srm0_network(&neuron));
+        let plain = compiled.run(inputs).unwrap();
+        let mut recorder = Recorder::new();
+        let probed = compiled.run_probed(inputs, &mut recorder).unwrap();
+        prop_assert_eq!(&probed, &plain);
+        prop_assert_eq!(recorder.len(), plain.total_events);
+    }
+
+    /// Cycle-accurate GRL simulation: probed ≡ plain, and the recorded
+    /// wire falls are exactly the report's eval transitions.
+    #[test]
+    fn grl_probed_run_is_identical(
+        neuron in arb_neuron(),
+        inputs in arb_volley(3),
+    ) {
+        let width = neuron.synapses().len();
+        let inputs = &inputs[..width];
+        let netlist = compile_network(&srm0_network(&neuron));
+        let sim = GrlSim::new();
+        let plain = sim.run(&netlist, inputs).unwrap();
+        let mut recorder = Recorder::new();
+        let probed = sim.run_probed(&netlist, inputs, &mut recorder).unwrap();
+        prop_assert_eq!(&probed, &plain);
+        let falls = recorder
+            .events()
+            .iter()
+            .filter(|e| matches!(e, ObsEvent::WireFell { .. }))
+            .count();
+        prop_assert_eq!(falls, plain.eval_transitions);
+    }
+
+    /// Behavioral SRM0 evaluation: probed ≡ plain, and a spike event is
+    /// recorded iff the neuron fires.
+    #[test]
+    fn srm0_probed_eval_is_identical(
+        neuron in arb_neuron(),
+        inputs in arb_volley(3),
+    ) {
+        let width = neuron.synapses().len();
+        let inputs = &inputs[..width];
+        let plain = neuron.eval(inputs);
+        let mut recorder = Recorder::new();
+        let probed = neuron.eval_probed(inputs, 0, &mut recorder);
+        prop_assert_eq!(probed, plain);
+        let spiked = recorder.events().iter().any(ObsEvent::is_spike);
+        prop_assert_eq!(spiked, plain.is_finite());
+    }
+
+    /// Column evaluation (SRM0 + WTA): probed ≡ plain.
+    #[test]
+    fn column_probed_eval_is_identical(
+        neurons in prop::collection::vec(arb_neuron(), 2..4),
+        inputs in arb_volley(3),
+    ) {
+        let width = neurons.iter().map(|n| n.synapses().len()).min().unwrap();
+        let neurons: Vec<Srm0Neuron> = neurons
+            .into_iter()
+            .map(|n| Srm0Neuron::new(
+                n.unit_response().clone(),
+                n.synapses()[..width].to_vec(),
+                n.threshold(),
+            ))
+            .collect();
+        let column = Column::new(neurons, Inhibition::one_wta());
+        let volley = Volley::new(inputs[..width].to_vec());
+        let plain = column.eval(&volley);
+        let mut recorder = Recorder::new();
+        let probed = column.eval_probed(&volley, &mut recorder);
+        prop_assert_eq!(probed, plain);
+        // Exactly one WTA decision per evaluation.
+        let decisions = recorder
+            .events()
+            .iter()
+            .filter(|e| matches!(e, ObsEvent::WtaDecision { .. }))
+            .count();
+        prop_assert_eq!(decisions, 1);
+    }
+
+    /// The batch engine at 1 and N threads: a live recorder never changes
+    /// any output volley, and the timing stream covers the whole batch.
+    #[test]
+    fn batch_probed_eval_is_identical_across_thread_counts(
+        neuron in arb_neuron(),
+        raw_volleys in prop::collection::vec(arb_volley(3), 1..24),
+        threads in 2usize..8,
+    ) {
+        let width = neuron.synapses().len();
+        let volleys: Vec<Volley> = raw_volleys
+            .iter()
+            .map(|v| Volley::new(v[..width].to_vec()))
+            .collect();
+        let network = srm0_network(&neuron);
+        for artifact in [
+            CompiledArtifact::from_network(&network),
+            CompiledArtifact::from_grl_network(&network),
+        ] {
+            let plain = BatchEvaluator::with_threads(1)
+                .eval(&artifact, &volleys)
+                .unwrap();
+            for workers in [1, threads] {
+                let mut recorder = Recorder::new();
+                let probed = BatchEvaluator::with_threads(workers)
+                    .eval_probed(&artifact, &volleys, &mut recorder)
+                    .unwrap();
+                prop_assert_eq!(&probed, &plain, "workers = {}", workers);
+                let timed = recorder
+                    .events()
+                    .iter()
+                    .filter(|e| matches!(e, ObsEvent::VolleyTimed { .. }))
+                    .count();
+                prop_assert_eq!(timed, volleys.len());
+            }
+        }
+    }
+}
+
+/// STDP training with a live recorder is bit-identical to plain training —
+/// same report, same trained weights, same thresholds — because the probe
+/// never touches the tie-breaking RNG.
+#[test]
+fn probed_training_is_bit_identical() {
+    for seed in 0..4u64 {
+        let mut ds = PatternDataset::new(3, 16, 7, 1, 0.2, seed);
+        let config = TrainConfig {
+            seed: seed.wrapping_mul(31),
+            ..TrainConfig::default()
+        };
+        let stream = ds.stream(150, 0.85);
+
+        let mut plain = fresh_column(3, 16, 0.25, &config);
+        let plain_report = train_column(&mut plain, &stream, &config);
+
+        let mut probed = fresh_column(3, 16, 0.25, &config);
+        let mut recorder = Recorder::new();
+        let probed_report = train_column_probed(&mut probed, &stream, &config, &mut recorder);
+
+        assert_eq!(probed_report, plain_report, "seed {seed}");
+        for (a, b) in plain.neurons().iter().zip(probed.neurons()) {
+            assert_eq!(a.synapses(), b.synapses(), "seed {seed}");
+            assert_eq!(a.threshold(), b.threshold(), "seed {seed}");
+        }
+        assert_eq!(
+            recorder
+                .events()
+                .iter()
+                .filter(|e| matches!(e, ObsEvent::WeightDelta { .. }))
+                .count(),
+            plain_report.weight_changes,
+            "seed {seed}"
+        );
+    }
+}
