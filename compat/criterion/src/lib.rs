@@ -12,8 +12,16 @@
 //! per-iteration time (plus elements/second when a throughput was set).
 //! There is no statistical analysis, HTML output, or baseline comparison.
 //! Set `BENCH_QUICK=1` to shrink measurement time for smoke runs.
+//!
+//! Set `CRITERION_JSON=<path>` to additionally dump a machine-readable
+//! summary of every benchmark run: schema `spacetime-criterion/1`, whose
+//! scenario shape matches the `spacetime bench` report
+//! (`spacetime-bench/1`, see `docs/metrics.md`) so the same tooling can
+//! compare either. The file is written when [`criterion_main!`]'s entry
+//! point finishes (or on an explicit [`flush_json`] call).
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -119,6 +127,7 @@ impl From<BenchmarkId> for BenchId {
 pub struct Bencher {
     iters: u64,
     elapsed: Duration,
+    per_iter_nanos: u64,
 }
 
 impl Bencher {
@@ -129,6 +138,15 @@ impl Bencher {
             black_box(f());
         }
         self.elapsed = start.elapsed();
+        self.per_iter_nanos =
+            u64::try_from(self.elapsed.as_nanos() / u128::from(self.iters)).unwrap_or(u64::MAX);
+    }
+
+    /// Mean nanoseconds per iteration of the most recent [`Bencher::iter`]
+    /// call — the sample the JSON summary aggregates.
+    #[must_use]
+    pub fn per_iter_nanos(&self) -> u64 {
+        self.per_iter_nanos
     }
 }
 
@@ -147,6 +165,7 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Through
         let mut b = Bencher {
             iters,
             elapsed: Duration::ZERO,
+            per_iter_nanos: 0,
         };
         f(&mut b);
         if b.elapsed >= Duration::from_millis(2) || iters >= 1 << 30 {
@@ -159,18 +178,19 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Through
     let budget = measurement_budget();
     let samples = 11usize;
     let sample_iters = ((budget.as_secs_f64() / samples as f64 / per_iter).ceil() as u64).max(1);
-    let mut times: Vec<f64> = (0..samples)
+    let mut nanos: Vec<u64> = (0..samples)
         .map(|_| {
             let mut b = Bencher {
                 iters: sample_iters,
                 elapsed: Duration::ZERO,
+                per_iter_nanos: 0,
             };
             f(&mut b);
-            b.elapsed.as_secs_f64() / sample_iters as f64
+            b.per_iter_nanos()
         })
         .collect();
-    times.sort_by(f64::total_cmp);
-    let median = times[samples / 2];
+    nanos.sort_unstable();
+    let median = nanos[samples / 2] as f64 / 1e9;
 
     let rate = throughput.map(|t| match t {
         Throughput::Elements(n) => format!("  ({:.3e} elem/s)", n as f64 / median),
@@ -181,6 +201,127 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Through
         format_duration(median),
         rate.unwrap_or_default()
     );
+
+    if std::env::var_os(JSON_ENV).is_some() {
+        RECORDS.lock().expect("record lock").push(Record {
+            label: label.to_owned(),
+            sample_iters,
+            per_iter_nanos: nanos,
+            throughput,
+        });
+    }
+}
+
+/// Environment variable naming the JSON summary output file. When set,
+/// every benchmark's per-sample nanos are recorded and
+/// [`flush_json`] writes the `spacetime-criterion/1` report there.
+pub const JSON_ENV: &str = "CRITERION_JSON";
+
+/// The schema identifier of the JSON summary. The scenario shape is
+/// field-compatible with `spacetime-bench/1`, so `spacetime bench
+/// --compare` tooling can parse either after adjusting the id.
+pub const JSON_SCHEMA: &str = "spacetime-criterion/1";
+
+struct Record {
+    label: String,
+    sample_iters: u64,
+    per_iter_nanos: Vec<u64>,
+    throughput: Option<Throughput>,
+}
+
+static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Nearest-rank percentile over an ascending sample list.
+fn percentile(sorted: &[u64], q: u64) -> u64 {
+    let rank = ((q * sorted.len() as u64).div_ceil(100)).max(1) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+fn scenario_json(r: &Record) -> String {
+    let n = &r.per_iter_nanos; // already ascending
+    let mean = n.iter().sum::<u64>() as f64 / n.len() as f64;
+    let p50 = percentile(n, 50);
+    let throughput = match r.throughput {
+        Some(Throughput::Elements(e) | Throughput::Bytes(e)) if p50 > 0 => {
+            e as f64 * 1e9 / p50 as f64
+        }
+        _ if p50 > 0 => 1e9 / p50 as f64,
+        _ => 0.0,
+    };
+    let volleys = match r.throughput {
+        Some(Throughput::Elements(e) | Throughput::Bytes(e)) => e,
+        None => 1,
+    };
+    format!(
+        concat!(
+            "{{\"name\": \"{}\", \"engine\": \"criterion\", \"size\": 0, ",
+            "\"threads\": 1, \"warmup\": 0, \"iterations\": {}, ",
+            "\"volleys_per_iter\": {}, \"wall_nanos\": {{\"min\": {}, ",
+            "\"p50\": {}, \"p95\": {}, \"max\": {}, \"mean\": {}}}, ",
+            "\"throughput_volleys_per_sec\": {}, \"counters\": {{}}, ",
+            "\"histograms\": {{}}}}"
+        ),
+        escape_json(&r.label),
+        r.sample_iters,
+        volleys,
+        n[0],
+        p50,
+        percentile(n, 95),
+        n[n.len() - 1],
+        mean,
+        throughput,
+    )
+}
+
+/// Writes the `spacetime-criterion/1` JSON summary to the path named by
+/// [`JSON_ENV`] and clears the recorded samples. A no-op when the
+/// variable is unset or no benchmarks recorded samples; called
+/// automatically by [`criterion_main!`].
+pub fn flush_json() {
+    let Some(path) = std::env::var_os(JSON_ENV) else {
+        return;
+    };
+    let records = std::mem::take(&mut *RECORDS.lock().expect("record lock"));
+    if records.is_empty() {
+        return;
+    }
+    let created = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let scenarios: Vec<String> = records.iter().map(scenario_json).collect();
+    let body = format!(
+        concat!(
+            "{{\"schema\": \"{}\", \"label\": \"criterion\", ",
+            "\"created_unix\": {}, \"git_rev\": \"unknown\", ",
+            "\"machine\": {{\"os\": \"{}\", \"arch\": \"{}\", \"cpus\": {}}}, ",
+            "\"scenarios\": [{}]}}\n"
+        ),
+        JSON_SCHEMA,
+        created,
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+        std::thread::available_parallelism().map_or(1, usize::from),
+        scenarios.join(", "),
+    );
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("criterion: cannot write {}: {e}", path.to_string_lossy());
+    }
 }
 
 fn format_duration(seconds: f64) -> String {
@@ -206,12 +347,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the bench entry point running each group in order.
+/// Declares the bench entry point running each group in order, then
+/// flushing the JSON summary (if `CRITERION_JSON` is set).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::flush_json();
         }
     };
 }
@@ -232,5 +375,31 @@ mod tests {
         group.bench_function("plain", |b| b.iter(|| black_box(1u64 + 1)));
         group.finish();
         c.bench_function("top_level", |b| b.iter(|| black_box(2u64 * 2)));
+    }
+
+    #[test]
+    fn json_summary_is_dumped_when_env_set() {
+        let path = std::env::temp_dir().join(format!("criterion-json-{}.json", std::process::id()));
+        std::env::set_var("BENCH_QUICK", "1");
+        std::env::set_var(JSON_ENV, &path);
+        let mut c = Criterion::default();
+        c.bench_function("json_smoke", |b| b.iter(|| black_box(3u64 * 3)));
+        flush_json();
+        std::env::remove_var(JSON_ENV);
+        let text = std::fs::read_to_string(&path).expect("summary written");
+        std::fs::remove_file(&path).ok();
+        assert!(
+            text.contains("\"schema\": \"spacetime-criterion/1\""),
+            "{text}"
+        );
+        assert!(text.contains("\"name\": \"json_smoke\""), "{text}");
+        assert!(text.contains("\"wall_nanos\""), "{text}");
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[10], 50), 10);
+        assert_eq!(percentile(&[1, 2, 3, 4], 50), 2);
+        assert_eq!(percentile(&[1, 2, 3, 4], 95), 4);
     }
 }

@@ -57,4 +57,17 @@ fn main() {
          survive; k-WTA passes the k earliest (ties included), matching the \
          paper's parameterized notion of \"first\"."
     );
+
+    if let Some(trace_path) = st_bench::trace_out_arg() {
+        // One probed event-driven run per τ on the Fig. 15 volley.
+        let sim = st_net::EventSim::new();
+        let mut recorder = st_obs::Recorder::new();
+        for (index, tau) in (1..=4u64).enumerate() {
+            recorder.begin_volley(index);
+            sim.compile(&wta_network(5, tau))
+                .run_probed(&volley, &mut recorder)
+                .unwrap();
+        }
+        st_bench::write_trace(&trace_path, recorder.events());
+    }
 }

@@ -156,4 +156,27 @@ fn main() {
          grows with word width regardless of sparsity — the crossover \
          favours GRL exactly in the paper's low-resolution, sparse regime."
     );
+
+    if let Some(trace_path) = st_bench::trace_out_arg() {
+        // Probed cycle-accurate runs of the three § V.B workloads: the
+        // wire-fall events are the transitions the tables above count.
+        let mut recorder = st_obs::Recorder::new();
+        for (index, inputs) in [
+            vec![Time::ZERO, Time::finite(1), Time::finite(2), Time::ZERO],
+            vec![
+                Time::INFINITY,
+                Time::finite(1),
+                Time::INFINITY,
+                Time::INFINITY,
+            ],
+            vec![Time::INFINITY; 4],
+        ]
+        .iter()
+        .enumerate()
+        {
+            recorder.begin_volley(index);
+            sim.run_probed(&netlist, inputs, &mut recorder).unwrap();
+        }
+        st_bench::write_trace(&trace_path, recorder.events());
+    }
 }

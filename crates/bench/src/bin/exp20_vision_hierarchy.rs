@@ -105,4 +105,24 @@ fn main() {
          Translation costs accuracy, as expected for a shallow hierarchy \
          without the deeper pooling stages of the full architectures."
     );
+
+    if let Some(trace_path) = st_bench::trace_out_arg() {
+        // Probe the classifier column of a freshly trained hierarchy on a
+        // handful of test images: potentials, spikes, and WTA decisions.
+        let mut ds = OrientedBarDataset::new(size, 0, 0.05, 3, 99);
+        let mut layer1 = PatchLayer::tiled_image(size, size, 4, 8, 0.15, &config);
+        let mut layer2 = fresh_column(4, layer1.output_width(), 0.05, &config);
+        let stream = ds.stream(300);
+        layer1.train(&stream, &config);
+        let transformed = layer1.transform(&stream);
+        for _ in 0..2 {
+            train_column(&mut layer2, &transformed, &config);
+        }
+        let mut recorder = st_obs::Recorder::new();
+        for (index, s) in ds.stream(8).iter().enumerate() {
+            recorder.begin_volley(index);
+            layer2.eval_probed(&layer1.eval(&s.volley), &mut recorder);
+        }
+        st_bench::write_trace(&trace_path, recorder.events());
+    }
 }

@@ -14,6 +14,7 @@
 //! cycle-exact equivalence with the algebraic evaluator in `st-net`.
 
 use st_core::{CoreError, Time, Volley};
+use st_metrics::{MetricSink, NullMetrics};
 use st_obs::{NullProbe, ObsEvent, Probe};
 
 use crate::netlist::{GrlGate, GrlNetlist};
@@ -96,7 +97,38 @@ impl GrlSim {
     /// Returns [`CoreError::ArityMismatch`] if `inputs.len()` differs from
     /// the netlist's input count.
     pub fn run(&self, netlist: &GrlNetlist, inputs: &[Time]) -> Result<GrlReport, CoreError> {
-        self.run_with_scratch(netlist, inputs, &mut GrlScratch::default(), &mut NullProbe)
+        self.run_with_scratch(
+            netlist,
+            inputs,
+            &mut GrlScratch::default(),
+            &mut NullProbe,
+            &mut NullMetrics,
+        )
+    }
+
+    /// [`GrlSim::run`] with a metric sink: accumulates the `grl.*`
+    /// counters — simulated cycles, wire transitions (the paper's § VI
+    /// energy proxy), reset transitions, and latch captures. With
+    /// [`NullMetrics`] this compiles to exactly [`GrlSim::run`]; results
+    /// are identical for any sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ArityMismatch`] if `inputs.len()` differs from
+    /// the netlist's input count.
+    pub fn run_metered<M: MetricSink>(
+        &self,
+        netlist: &GrlNetlist,
+        inputs: &[Time],
+        sink: &mut M,
+    ) -> Result<GrlReport, CoreError> {
+        self.run_with_scratch(
+            netlist,
+            inputs,
+            &mut GrlScratch::default(),
+            &mut NullProbe,
+            sink,
+        )
     }
 
     /// [`GrlSim::run`] with an observability probe: every wire fall is
@@ -115,7 +147,13 @@ impl GrlSim {
         inputs: &[Time],
         probe: &mut P,
     ) -> Result<GrlReport, CoreError> {
-        self.run_with_scratch(netlist, inputs, &mut GrlScratch::default(), probe)
+        self.run_with_scratch(
+            netlist,
+            inputs,
+            &mut GrlScratch::default(),
+            probe,
+            &mut NullMetrics,
+        )
     }
 
     /// Simulates one computation per entry of `volleys`, reusing the
@@ -134,16 +172,25 @@ impl GrlSim {
         let mut scratch = GrlScratch::default();
         volleys
             .iter()
-            .map(|v| self.run_with_scratch(netlist, v.times(), &mut scratch, &mut NullProbe))
+            .map(|v| {
+                self.run_with_scratch(
+                    netlist,
+                    v.times(),
+                    &mut scratch,
+                    &mut NullProbe,
+                    &mut NullMetrics,
+                )
+            })
             .collect()
     }
 
-    fn run_with_scratch<P: Probe>(
+    fn run_with_scratch<P: Probe, M: MetricSink>(
         &self,
         netlist: &GrlNetlist,
         inputs: &[Time],
         scratch: &mut GrlScratch,
         probe: &mut P,
+        sink: &mut M,
     ) -> Result<GrlReport, CoreError> {
         if inputs.len() != netlist.input_count() {
             return Err(CoreError::ArityMismatch {
@@ -197,6 +244,16 @@ impl GrlSim {
         }
 
         let eval_transitions = fall.iter().filter(|f| f.is_finite()).count();
+        if sink.is_live() {
+            sink.incr("grl.runs", 1);
+            sink.incr("grl.cycles", horizon + 1);
+            sink.incr("grl.wire_transitions", eval_transitions as u64);
+            sink.incr(
+                "grl.reset_transitions",
+                (eval_transitions + lt_latched) as u64,
+            );
+            sink.incr("grl.latch_captures", lt_latched as u64);
+        }
         let outputs = netlist.outputs().iter().map(|o| fall[o.index()]).collect();
         Ok(GrlReport {
             outputs,
@@ -405,6 +462,40 @@ mod tests {
             .filter_map(st_obs::ObsEvent::model_time)
             .collect();
         assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
+    }
+
+    #[test]
+    fn metered_run_counts_transitions_without_perturbing_results() {
+        use st_metrics::MetricsRegistry;
+        let mut b = GrlBuilder::new();
+        let x = b.input();
+        let y = b.input();
+        let m = b.lt(x, y);
+        let net = b.build([m]);
+        let sim = GrlSim::new();
+        // b falls first: latch captures, two wires fall.
+        let mut sink = MetricsRegistry::new();
+        let metered = sim.run_metered(&net, &[t(5), t(1)], &mut sink).unwrap();
+        let plain = sim.run(&net, &[t(5), t(1)]).unwrap();
+        assert_eq!(metered, plain);
+        assert_eq!(sink.counter("grl.runs"), 1);
+        assert_eq!(sink.counter("grl.cycles"), plain.cycles);
+        assert_eq!(
+            sink.counter("grl.wire_transitions"),
+            plain.eval_transitions as u64
+        );
+        assert_eq!(
+            sink.counter("grl.reset_transitions"),
+            plain.reset_transitions as u64
+        );
+        assert_eq!(sink.counter("grl.latch_captures"), 1);
+        // Counters accumulate across runs into the same sink.
+        let _ = sim.run_metered(&net, &[t(5), t(1)], &mut sink).unwrap();
+        assert_eq!(sink.counter("grl.runs"), 2);
+        assert_eq!(
+            sink.counter("grl.wire_transitions"),
+            2 * plain.eval_transitions as u64
+        );
     }
 
     #[test]

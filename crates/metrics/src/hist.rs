@@ -1,0 +1,269 @@
+//! Fixed-bucket histograms and nearest-rank percentiles.
+//!
+//! [`Histogram`] uses 65 power-of-two buckets over the full `u64` range —
+//! bucket `b` holds values whose bit length is `b` (so bucket 0 is exactly
+//! `{0}`, bucket 1 is `{1}`, bucket 2 is `{2, 3}`, …). The bucket layout is
+//! fixed, never resized, and identical in every process, which is what
+//! makes histograms **mergeable**: merging is a bucket-wise sum plus
+//! min/max/total bookkeeping, and is associative and commutative (the
+//! property suite pins both), so per-worker histograms can be folded in
+//! any deterministic order after a parallel run.
+//!
+//! Exact percentiles over small raw-sample sets (the bench harness's
+//! per-iteration wall clocks) use [`nearest_rank`]; [`Histogram`] offers
+//! the bucket-resolution approximation [`Histogram::approx_percentile`].
+
+/// Number of buckets: one per possible `u64` bit length (0..=64).
+pub const BUCKET_COUNT: usize = 65;
+
+/// The bucket index a value lands in: its bit length.
+#[inline]
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// The largest value bucket `index` can hold (its inclusive upper bound).
+#[must_use]
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        64.. => u64::MAX,
+        b => (1u64 << b) - 1,
+    }
+}
+
+/// A mergeable fixed-bucket value/latency histogram.
+///
+/// Tracks exact `count`, `sum`, `min`, and `max` alongside the bucketed
+/// distribution, so means and extremes never lose resolution; only the
+/// percentile estimate is bucket-granular.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKET_COUNT],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: [0; BUCKET_COUNT],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation, or `None` when empty.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, or `None` when empty.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean observation, or `None` when empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// `true` if nothing has been observed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The per-bucket counts (index = value bit length).
+    #[must_use]
+    pub fn buckets(&self) -> &[u64; BUCKET_COUNT] {
+        &self.buckets
+    }
+
+    /// Folds another histogram into this one (bucket-wise sum).
+    ///
+    /// Merging is associative and commutative, so per-worker histograms
+    /// can be combined in any order with the same result.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Bucket-resolution nearest-rank percentile: the upper bound of the
+    /// bucket containing the `⌈q/100 · count⌉`-th smallest observation.
+    /// `None` when empty. Exact for values that saturate their bucket
+    /// (0 and 1), otherwise an over-estimate by at most 2×.
+    #[must_use]
+    pub fn approx_percentile(&self, q: u8) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (u64::from(q) * self.count).div_ceil(100).max(1);
+        let mut seen = 0u64;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Never report past the true extremes.
+                return Some(bucket_upper_bound(index).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+}
+
+/// Exact nearest-rank percentile over a **sorted** slice: the
+/// `⌈q/100 · n⌉`-th smallest value (clamped to the first for `q = 0`).
+/// `None` when empty.
+#[must_use]
+pub fn nearest_rank(sorted: &[u64], q: u8) -> Option<u64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let rank = (u64::from(q) * sorted.len() as u64).div_ceil(100).max(1) as usize;
+    Some(sorted[rank.min(sorted.len()) - 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_bit_length() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+        // Every value is inside its bucket's bound.
+        for v in [0u64, 1, 2, 3, 4, 5, 1000, u64::MAX] {
+            assert!(v <= bucket_upper_bound(bucket_index(v)), "{v}");
+        }
+    }
+
+    #[test]
+    fn observe_tracks_exact_aggregates() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        for v in [5u64, 3, 10, 0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 18);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(10));
+        assert_eq!(h.mean(), Some(4.5));
+    }
+
+    #[test]
+    fn merge_is_bucket_wise_sum() {
+        let mut a = Histogram::new();
+        a.observe(1);
+        a.observe(100);
+        let mut b = Histogram::new();
+        b.observe(7);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), 3);
+        assert_eq!(ab.sum(), 108);
+        assert_eq!(ab.min(), Some(1));
+        assert_eq!(ab.max(), Some(100));
+        // Merging an empty histogram changes nothing.
+        let mut c = a.clone();
+        c.merge(&Histogram::new());
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn approx_percentile_edge_cases() {
+        // Empty → None.
+        assert_eq!(Histogram::new().approx_percentile(50), None);
+        // Single sample: every percentile is that sample's bucket, clamped
+        // to the true value.
+        let mut h = Histogram::new();
+        h.observe(7);
+        assert_eq!(h.approx_percentile(0), Some(7));
+        assert_eq!(h.approx_percentile(50), Some(7));
+        assert_eq!(h.approx_percentile(100), Some(7));
+        // All-equal samples: ditto.
+        let mut h = Histogram::new();
+        for _ in 0..10 {
+            h.observe(6);
+        }
+        assert_eq!(h.approx_percentile(50), Some(6));
+        assert_eq!(h.approx_percentile(95), Some(6));
+    }
+
+    #[test]
+    fn nearest_rank_edge_cases() {
+        // Empty → None.
+        assert_eq!(nearest_rank(&[], 50), None);
+        // Single sample: all percentiles return it.
+        assert_eq!(nearest_rank(&[7], 0), Some(7));
+        assert_eq!(nearest_rank(&[7], 50), Some(7));
+        assert_eq!(nearest_rank(&[7], 100), Some(7));
+        // All-equal samples.
+        assert_eq!(nearest_rank(&[4, 4, 4, 4], 95), Some(4));
+        // The classic nearest-rank fixture.
+        let v = [10, 20, 30, 40];
+        assert_eq!(nearest_rank(&v, 50), Some(20));
+        assert_eq!(nearest_rank(&v, 95), Some(40));
+        assert_eq!(nearest_rank(&v, 100), Some(40));
+        assert_eq!(nearest_rank(&v, 25), Some(10));
+    }
+}

@@ -1,0 +1,149 @@
+//! Prometheus text-format export.
+//!
+//! [`MetricsSnapshot`] freezes a [`MetricsRegistry`](crate::MetricsRegistry)
+//! into an ordered, render-ready form; [`MetricsSnapshot::to_prom_text`]
+//! emits the Prometheus exposition format (text version 0.0.4): one
+//! `counter` family per counter and one `histogram` family (cumulative
+//! `_bucket{le=...}` series plus `_sum`/`_count`) per histogram. Metric
+//! names are the registry names with `.` mapped to `_` and a `spacetime_`
+//! prefix, so `net.gate_evals` becomes `spacetime_net_gate_evals`.
+//!
+//! Output is deterministic: families appear in registry (name) order and
+//! bucket series stop at the first bucket covering the observed maximum,
+//! followed by the mandatory `+Inf` series.
+
+use std::fmt::Write as _;
+
+use crate::hist::{bucket_upper_bound, Histogram, BUCKET_COUNT};
+use crate::registry::MetricsRegistry;
+
+/// A frozen, render-ready view of a registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    counters: Vec<(String, u64)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+/// Maps a registry metric name to a Prometheus metric name.
+#[must_use]
+pub fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 10);
+    out.push_str("spacetime_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+impl MetricsSnapshot {
+    /// Captures the current contents of a registry.
+    #[must_use]
+    pub fn from_registry(registry: &MetricsRegistry) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: registry
+                .counters()
+                .map(|(name, value)| (name.to_owned(), value))
+                .collect(),
+            histograms: registry
+                .histograms()
+                .map(|(name, h)| (name.to_owned(), h.clone()))
+                .collect(),
+        }
+    }
+
+    /// `true` if the snapshot holds no metrics at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format.
+    #[must_use]
+    pub fn to_prom_text(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let prom = prom_name(name);
+            let _ = writeln!(out, "# TYPE {prom} counter");
+            let _ = writeln!(out, "{prom} {value}");
+        }
+        for (name, h) in &self.histograms {
+            let prom = prom_name(name);
+            let _ = writeln!(out, "# TYPE {prom} histogram");
+            let last = last_used_bucket(h);
+            let mut cumulative = 0u64;
+            for (index, &n) in h.buckets().iter().enumerate().take(last + 1) {
+                cumulative += n;
+                let _ = writeln!(
+                    out,
+                    "{prom}_bucket{{le=\"{}\"}} {cumulative}",
+                    bucket_upper_bound(index)
+                );
+            }
+            let _ = writeln!(out, "{prom}_bucket{{le=\"+Inf\"}} {}", h.count());
+            let _ = writeln!(out, "{prom}_sum {}", h.sum());
+            let _ = writeln!(out, "{prom}_count {}", h.count());
+        }
+        out
+    }
+}
+
+/// The highest bucket index with any observations (0 for empty histograms).
+fn last_used_bucket(h: &Histogram) -> usize {
+    h.buckets()
+        .iter()
+        .rposition(|&n| n > 0)
+        .unwrap_or(0)
+        .min(BUCKET_COUNT - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricSink;
+
+    #[test]
+    fn prom_name_sanitizes() {
+        assert_eq!(prom_name("net.gate_evals"), "spacetime_net_gate_evals");
+        assert_eq!(prom_name("a-b c"), "spacetime_a_b_c");
+    }
+
+    #[test]
+    fn renders_counters_and_histograms() {
+        let mut r = MetricsRegistry::new();
+        r.incr("net.gate_evals", 12);
+        r.observe("batch.volley_nanos", 3);
+        r.observe("batch.volley_nanos", 5);
+        let text = MetricsSnapshot::from_registry(&r).to_prom_text();
+        assert!(text.contains("# TYPE spacetime_net_gate_evals counter"));
+        assert!(text.contains("spacetime_net_gate_evals 12"));
+        assert!(text.contains("# TYPE spacetime_batch_volley_nanos histogram"));
+        // 3 and 5 both have bit length 3 → bucket le="7" is cumulative 2.
+        assert!(text.contains("spacetime_batch_volley_nanos_bucket{le=\"7\"} 2"));
+        assert!(text.contains("spacetime_batch_volley_nanos_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("spacetime_batch_volley_nanos_sum 8"));
+        assert!(text.contains("spacetime_batch_volley_nanos_count 2"));
+    }
+
+    #[test]
+    fn buckets_are_cumulative() {
+        let mut r = MetricsRegistry::new();
+        r.observe("h", 0); // bucket 0
+        r.observe("h", 1); // bucket 1
+        r.observe("h", 2); // bucket 2
+        let text = MetricsSnapshot::from_registry(&r).to_prom_text();
+        assert!(text.contains("spacetime_h_bucket{le=\"0\"} 1"));
+        assert!(text.contains("spacetime_h_bucket{le=\"1\"} 2"));
+        assert!(text.contains("spacetime_h_bucket{le=\"3\"} 3"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_nothing() {
+        let snap = MetricsSnapshot::from_registry(&MetricsRegistry::new());
+        assert!(snap.is_empty());
+        assert_eq!(snap.to_prom_text(), "");
+    }
+}

@@ -26,6 +26,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use st_core::{CoreError, Time, Volley};
+use st_metrics::{MetricSink, NullMetrics};
 use st_obs::{NullProbe, ObsEvent, Probe};
 
 use crate::graph::{GateKind, Network};
@@ -194,6 +195,40 @@ impl CompiledNetwork {
         inputs: &[Time],
         probe: &mut P,
     ) -> Result<EventReport, CoreError> {
+        self.run_instrumented(inputs, probe, &mut NullMetrics)
+    }
+
+    /// [`CompiledNetwork::run`] with a metric sink: accumulates the
+    /// `net.*` counters (gate evaluations, firings, queue pushes/pops)
+    /// and the `net.queue_peak_depth` histogram. With [`NullMetrics`]
+    /// this compiles to exactly [`CompiledNetwork::run`]; results are
+    /// identical for any sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ArityMismatch`] if `inputs.len()` differs from
+    /// the network's input count.
+    pub fn run_metered<M: MetricSink>(
+        &self,
+        inputs: &[Time],
+        sink: &mut M,
+    ) -> Result<EventReport, CoreError> {
+        self.run_instrumented(inputs, &mut NullProbe, sink)
+    }
+
+    /// The fully instrumented evaluator behind [`CompiledNetwork::run`],
+    /// [`CompiledNetwork::run_probed`], and [`CompiledNetwork::run_metered`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ArityMismatch`] if `inputs.len()` differs from
+    /// the network's input count.
+    pub fn run_instrumented<P: Probe, M: MetricSink>(
+        &self,
+        inputs: &[Time],
+        probe: &mut P,
+        sink: &mut M,
+    ) -> Result<EventReport, CoreError> {
         if inputs.len() != self.input_count {
             return Err(CoreError::ArityMismatch {
                 expected: self.input_count,
@@ -212,6 +247,13 @@ impl CompiledNetwork {
         // order. Duplicate tokens are harmless (re-evaluation is
         // idempotent once a gate has fired).
         let mut queue: BinaryHeap<Reverse<(Time, usize)>> = BinaryHeap::new();
+        // Metric bookkeeping is guarded by one hoisted liveness bool; with
+        // a dead sink every branch below constant-folds away.
+        let metered = sink.is_live();
+        let mut queue_pushes = 0u64;
+        let mut queue_pops = 0u64;
+        let mut gate_evals = 0u64;
+        let mut peak_depth = 0usize;
 
         // Seed: inputs and constants fire unconditionally at their times.
         for (i, kind) in kinds.iter().enumerate() {
@@ -236,13 +278,23 @@ impl CompiledNetwork {
                         _ => at,
                     };
                     queue.push(Reverse((due, consumer)));
+                    if metered {
+                        queue_pushes += 1;
+                        peak_depth = peak_depth.max(queue.len());
+                    }
                 }
             }
         }
 
         while let Some(Reverse((now, gate))) = queue.pop() {
+            if metered {
+                queue_pops += 1;
+            }
             if fired[gate].is_finite() {
                 continue;
+            }
+            if metered {
+                gate_evals += 1;
             }
             let decision: Option<Time> = match kinds[gate] {
                 GateKind::Input(_) | GateKind::Const(_) => None,
@@ -280,10 +332,22 @@ impl CompiledNetwork {
                         _ => at,
                     };
                     queue.push(Reverse((due, consumer)));
+                    if metered {
+                        queue_pushes += 1;
+                        peak_depth = peak_depth.max(queue.len());
+                    }
                 }
             }
         }
 
+        if metered {
+            sink.incr("net.runs", 1);
+            sink.incr("net.gate_evals", gate_evals);
+            sink.incr("net.gate_firings", total_events as u64);
+            sink.incr("net.queue_pushes", queue_pushes);
+            sink.incr("net.queue_pops", queue_pops);
+            sink.observe("net.queue_peak_depth", peak_depth as u64);
+        }
         let outputs = self.outputs.iter().map(|&o| fired[o]).collect();
         Ok(EventReport {
             outputs,
@@ -490,6 +554,40 @@ mod tests {
             })
             .collect();
         assert_eq!(ops, vec!["input", "input", "input", "inc", "min", "lt"]);
+    }
+
+    #[test]
+    fn metered_run_counts_activity_without_perturbing_results() {
+        use st_metrics::{MetricSink, MetricsRegistry};
+        let net = fig6();
+        let compiled = EventSim::new().compile(&net);
+        let mut sink = MetricsRegistry::new();
+        let mut runs = 0u64;
+        for inputs in st_core::enumerate_inputs(3, 3) {
+            let metered = compiled.run_metered(&inputs, &mut sink).unwrap();
+            assert_eq!(metered, compiled.run(&inputs).unwrap(), "at {inputs:?}");
+            runs += 1;
+        }
+        assert_eq!(sink.counter("net.runs"), runs);
+        assert!(sink.counter("net.gate_firings") > 0);
+        assert!(sink.counter("net.queue_pushes") >= sink.counter("net.gate_evals"));
+        assert_eq!(
+            sink.counter("net.queue_pops"),
+            sink.counter("net.queue_pushes")
+        );
+        let depth = sink.histogram("net.queue_peak_depth").unwrap();
+        assert_eq!(depth.count(), runs);
+        // A single all-finite volley: 3 seeds + 3 internal firings, and
+        // every push is eventually popped.
+        let mut one = MetricsRegistry::new();
+        let report = compiled.run_metered(&[t(0), t(3), t(2)], &mut one).unwrap();
+        assert_eq!(report.total_events, 6);
+        assert_eq!(one.counter("net.gate_firings"), 6);
+        assert_eq!(one.counter("net.runs"), 1);
+        // The sink never influences results even when pre-populated.
+        one.incr("net.gate_firings", 1000);
+        let again = compiled.run_metered(&[t(0), t(3), t(2)], &mut one).unwrap();
+        assert_eq!(again, report);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! network ("the `θ+i`-th up step occurs *before* the `i`-th down step").
 
 use st_core::{CoreError, SpaceTimeFunction, Time, Volley};
+use st_metrics::{MetricSink, NullMetrics};
 use st_obs::{NullProbe, ObsEvent, Probe};
 
 use crate::response::ResponseFn;
@@ -224,7 +225,33 @@ impl Srm0Neuron {
     /// position in a column). With a [`NullProbe`] this compiles to the
     /// plain evaluation loop.
     pub fn eval_probed<P: Probe>(&self, inputs: &[Time], neuron: usize, probe: &mut P) -> Time {
+        self.eval_instrumented(inputs, neuron, probe, &mut NullMetrics)
+    }
+
+    /// [`Srm0Neuron::eval`] with a metric sink: accumulates the `srm0.*`
+    /// counters — step events generated, body-potential updates (distinct
+    /// ticks swept), and output spikes. With [`NullMetrics`] this compiles
+    /// to exactly [`Srm0Neuron::eval`]; results are identical for any sink.
+    pub fn eval_metered<M: MetricSink>(&self, inputs: &[Time], sink: &mut M) -> Time {
+        self.eval_instrumented(inputs, 0, &mut NullProbe, sink)
+    }
+
+    /// The fully instrumented evaluator behind [`Srm0Neuron::eval`],
+    /// [`Srm0Neuron::eval_probed`], and [`Srm0Neuron::eval_metered`].
+    pub fn eval_instrumented<P: Probe, M: MetricSink>(
+        &self,
+        inputs: &[Time],
+        neuron: usize,
+        probe: &mut P,
+        sink: &mut M,
+    ) -> Time {
+        let metered = sink.is_live();
+        let mut potential_updates = 0u64;
         let (mut ups, mut downs) = self.step_events(inputs);
+        if metered {
+            sink.incr("srm0.evals", 1);
+            sink.incr("srm0.step_events", (ups.len() + downs.len()) as u64);
+        }
         ups.sort_unstable();
         downs.sort_unstable();
         let theta = i64::from(self.threshold);
@@ -233,6 +260,7 @@ impl Srm0Neuron {
         let mut ui = 0usize;
         let mut di = 0usize;
         let mut potential = 0i64;
+        let mut fired = Time::INFINITY;
         while ui < ups.len() {
             let t = match downs.get(di) {
                 Some(&d) if d < ups[ui] => d,
@@ -246,6 +274,9 @@ impl Srm0Neuron {
                 potential -= 1;
                 di += 1;
             }
+            if metered {
+                potential_updates += 1;
+            }
             if probe.is_enabled() {
                 probe.record(ObsEvent::Potential {
                     neuron,
@@ -257,10 +288,17 @@ impl Srm0Neuron {
                 if probe.is_enabled() {
                     probe.record(ObsEvent::NeuronSpike { neuron, at: t });
                 }
-                return t;
+                fired = t;
+                break;
             }
         }
-        Time::INFINITY
+        if metered {
+            sink.incr("srm0.potential_updates", potential_updates);
+            if fired.is_finite() {
+                sink.incr("srm0.spikes", 1);
+            }
+        }
+        fired
     }
 
     /// Evaluates one input volley per entry of `volleys`.
@@ -521,6 +559,26 @@ mod tests {
         assert_eq!(quiet.eval_probed(&[t(0)], 0, &mut recorder), INF);
         assert!(!recorder.is_empty());
         assert!(recorder.events().iter().all(|e| !e.is_spike()));
+    }
+
+    #[test]
+    fn metered_eval_counts_updates_without_perturbing_results() {
+        use st_metrics::MetricsRegistry;
+        let n = fig11_neuron(&[1], 4);
+        let mut sink = MetricsRegistry::new();
+        let out = n.eval_metered(&[t(0)], &mut sink);
+        assert_eq!(out, n.eval(&[t(0)]));
+        assert_eq!(sink.counter("srm0.evals"), 1);
+        assert_eq!(sink.counter("srm0.spikes"), 1);
+        // fig11 unit response has 5 up + 5 down steps.
+        assert_eq!(sink.counter("srm0.step_events"), 10);
+        assert!(sink.counter("srm0.potential_updates") > 0);
+        // A silent run spikes nothing but still sweeps ticks.
+        let quiet = fig11_neuron(&[1], 6);
+        let mut sink = MetricsRegistry::new();
+        assert_eq!(quiet.eval_metered(&[t(0)], &mut sink), INF);
+        assert_eq!(sink.counter("srm0.spikes"), 0);
+        assert!(sink.counter("srm0.potential_updates") > 0);
     }
 
     #[test]

@@ -11,11 +11,12 @@
 //! is available via [`Column::to_network`] and cross-checked in tests.
 
 use st_core::Volley;
+use st_metrics::{MetricSink, NullMetrics};
 use st_net::wta::{k_wta_into, wta_into};
 use st_net::{Network, NetworkBuilder};
 use st_neuron::structural::srm0_into;
 use st_neuron::Srm0Neuron;
-use st_obs::{ObsEvent, Probe};
+use st_obs::{NullProbe, ObsEvent, Probe};
 
 /// The lateral-inhibition policy applied across a column's outputs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -159,17 +160,54 @@ impl Column {
     ///
     /// Panics if the volley width differs from [`Column::input_width`].
     pub fn eval_probed<P: Probe>(&self, inputs: &Volley, probe: &mut P) -> Volley {
+        self.eval_instrumented(inputs, probe, &mut NullMetrics)
+    }
+
+    /// [`Column::eval`] with a metric sink: accumulates the `tnn.*`
+    /// counters — volleys evaluated, WTA decisions with a winner, and
+    /// silent (no-spike) decisions — on top of the per-neuron `srm0.*`
+    /// counters. With [`NullMetrics`] this compiles to exactly
+    /// [`Column::eval`]; results are identical for any sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the volley width differs from [`Column::input_width`].
+    pub fn eval_metered<M: MetricSink>(&self, inputs: &Volley, sink: &mut M) -> Volley {
+        self.eval_instrumented(inputs, &mut NullProbe, sink)
+    }
+
+    /// The fully instrumented evaluator behind [`Column::eval`],
+    /// [`Column::eval_probed`], and [`Column::eval_metered`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the volley width differs from [`Column::input_width`].
+    pub fn eval_instrumented<P: Probe, M: MetricSink>(
+        &self,
+        inputs: &Volley,
+        probe: &mut P,
+        sink: &mut M,
+    ) -> Volley {
         assert_eq!(
             inputs.width(),
             self.input_width(),
             "volley width must match the column's input width"
         );
+        let metered = sink.is_live();
         let raw: Volley = self
             .neurons
             .iter()
             .enumerate()
-            .map(|(i, n)| n.eval_probed(inputs.times(), i, probe))
+            .map(|(i, n)| n.eval_instrumented(inputs.times(), i, probe, sink))
             .collect();
+        if metered {
+            sink.incr("tnn.volleys", 1);
+            if raw.first_spike().is_infinite() {
+                sink.incr("tnn.silent_decisions", 1);
+            } else {
+                sink.incr("tnn.wta_decisions", 1);
+            }
+        }
         if probe.is_enabled() {
             let first = raw.first_spike();
             let (winner, tied) = if first.is_infinite() {
@@ -506,6 +544,25 @@ mod tests {
             winner: None,
             tied: 0
         }));
+    }
+
+    #[test]
+    fn metered_eval_counts_decisions_without_perturbing_results() {
+        use st_metrics::MetricsRegistry;
+        let col = two_detector_column(Inhibition::one_wta());
+        let mut sink = MetricsRegistry::new();
+        let input = Volley::encode([Some(0), Some(0), None, None]);
+        assert_eq!(col.eval_metered(&input, &mut sink), col.eval(&input));
+        assert_eq!(sink.counter("tnn.volleys"), 1);
+        assert_eq!(sink.counter("tnn.wta_decisions"), 1);
+        assert_eq!(sink.counter("tnn.silent_decisions"), 0);
+        // Per-neuron srm0 counters flow into the same sink.
+        assert_eq!(sink.counter("srm0.evals"), 2);
+        // A silent volley counts as a silent decision.
+        let silent = Volley::silent(4);
+        assert_eq!(col.eval_metered(&silent, &mut sink), col.eval(&silent));
+        assert_eq!(sink.counter("tnn.volleys"), 2);
+        assert_eq!(sink.counter("tnn.silent_decisions"), 1);
     }
 
     #[test]

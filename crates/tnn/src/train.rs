@@ -8,6 +8,7 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use st_metrics::{MetricSink, NullMetrics};
 use st_neuron::{ResponseFn, Srm0Neuron, Synapse};
 use st_obs::{NullProbe, ObsEvent, Probe};
 
@@ -126,8 +127,35 @@ pub fn train_column_probed<P: Probe>(
     config: &TrainConfig,
     probe: &mut P,
 ) -> TrainReport {
+    train_column_instrumented(column, stream, config, probe, &mut NullMetrics)
+}
+
+/// [`train_column`] with a metric sink: accumulates the `stdp.*` counters
+/// — presentations, winner STDP updates, individual weight deltas, and
+/// homeostatic rescues. With [`NullMetrics`] this compiles to exactly
+/// [`train_column`] — the sink never touches the RNG, so trained weights
+/// are identical.
+pub fn train_column_metered<M: MetricSink>(
+    column: &mut Column,
+    stream: &[LabelledVolley],
+    config: &TrainConfig,
+    sink: &mut M,
+) -> TrainReport {
+    train_column_instrumented(column, stream, config, &mut NullProbe, sink)
+}
+
+/// The fully instrumented trainer behind [`train_column`],
+/// [`train_column_probed`], and [`train_column_metered`].
+pub fn train_column_instrumented<P: Probe, M: MetricSink>(
+    column: &mut Column,
+    stream: &[LabelledVolley],
+    config: &TrainConfig,
+    probe: &mut P,
+    sink: &mut M,
+) -> TrainReport {
     let params = &config.stdp;
     let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(1));
+    let mut rescues = 0u64;
     let mut report = TrainReport {
         presentations: 0,
         updates: 0,
@@ -148,7 +176,11 @@ pub fn train_column_probed<P: Probe>(
                 });
             }
             if config.rescue {
+                let before = report.weight_changes;
                 rescue_update(column, &sample.volley, params, &mut report, probe);
+                if sink.is_live() && report.weight_changes > before {
+                    rescues += 1;
+                }
             }
             if config.adapt_threshold && sample.volley.spike_count() > 0 {
                 for neuron in column.neurons_mut() {
@@ -183,6 +215,12 @@ pub fn train_column_probed<P: Probe>(
             let theta = neuron.threshold();
             neuron.set_threshold(theta + 1);
         }
+    }
+    if sink.is_live() {
+        sink.incr("stdp.presentations", report.presentations as u64);
+        sink.incr("stdp.updates", report.updates as u64);
+        sink.incr("stdp.weight_deltas", report.weight_changes as u64);
+        sink.incr("stdp.rescues", rescues);
     }
     report
 }
@@ -399,6 +437,36 @@ mod tests {
                 assert_ne!(before, after);
             }
         }
+    }
+
+    #[test]
+    fn metered_training_matches_and_counts_updates() {
+        use st_metrics::MetricsRegistry;
+        let mut ds = PatternDataset::new(2, 12, 6, 0, 0.0, 11);
+        let config = TrainConfig::default();
+        let stream = ds.stream(80, 1.0);
+
+        let mut plain = fresh_column(3, 12, 0.25, &config);
+        let plain_report = train_column(&mut plain, &stream, &config);
+
+        let mut metered = fresh_column(3, 12, 0.25, &config);
+        let mut sink = MetricsRegistry::new();
+        let metered_report = train_column_metered(&mut metered, &stream, &config, &mut sink);
+
+        // The sink never perturbs training (RNG untouched).
+        assert_eq!(metered_report, plain_report);
+        for (a, b) in plain.neurons().iter().zip(metered.neurons()) {
+            assert_eq!(a.synapses(), b.synapses());
+        }
+        assert_eq!(
+            sink.counter("stdp.presentations"),
+            plain_report.presentations as u64
+        );
+        assert_eq!(sink.counter("stdp.updates"), plain_report.updates as u64);
+        assert_eq!(
+            sink.counter("stdp.weight_deltas"),
+            plain_report.weight_changes as u64
+        );
     }
 
     #[test]

@@ -43,6 +43,7 @@ use std::time::Instant;
 
 use st_core::{CompiledTable, CoreError, FunctionTable, Volley};
 use st_grl::{compile_network, GrlNetlist, GrlSim};
+use st_metrics::{MetricSink, MetricsRegistry, NullMetrics};
 use st_net::{CompiledNetwork, EventSim, Network};
 use st_obs::{NullProbe, ObsEvent, Probe};
 use st_tnn::Column;
@@ -116,9 +117,35 @@ impl CompiledArtifact {
     /// Returns [`CoreError::ArityMismatch`] if the volley's width differs
     /// from [`CompiledArtifact::input_width`].
     pub fn eval_one(&self, volley: &Volley) -> Result<Volley, CoreError> {
+        self.eval_one_metered(volley, &mut NullMetrics)
+    }
+
+    /// [`CompiledArtifact::eval_one`] with a metric sink: routes to the
+    /// engine's metered entry point (`net.*`, `grl.*`, `srm0.*`/`tnn.*`
+    /// counters) or, for function tables, counts `table.lookups`. With
+    /// [`NullMetrics`] this compiles to exactly
+    /// [`CompiledArtifact::eval_one`]; results are identical for any sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ArityMismatch`] if the volley's width differs
+    /// from [`CompiledArtifact::input_width`].
+    pub fn eval_one_metered<M: MetricSink>(
+        &self,
+        volley: &Volley,
+        sink: &mut M,
+    ) -> Result<Volley, CoreError> {
         match self {
-            CompiledArtifact::Table(t) => t.eval(volley.times()).map(|out| Volley::new(vec![out])),
-            CompiledArtifact::Network(n) => n.run(volley.times()).map(|r| Volley::new(r.outputs)),
+            CompiledArtifact::Table(t) => {
+                let out = t.eval(volley.times()).map(|out| Volley::new(vec![out]))?;
+                if sink.is_live() {
+                    sink.incr("table.lookups", 1);
+                }
+                Ok(out)
+            }
+            CompiledArtifact::Network(n) => n
+                .run_metered(volley.times(), sink)
+                .map(|r| Volley::new(r.outputs)),
             CompiledArtifact::Column(c) => {
                 if volley.width() != c.input_width() {
                     return Err(CoreError::ArityMismatch {
@@ -126,10 +153,10 @@ impl CompiledArtifact {
                         actual: volley.width(),
                     });
                 }
-                Ok(c.eval(volley))
+                Ok(c.eval_metered(volley, sink))
             }
             CompiledArtifact::Grl(g) => GrlSim::new()
-                .run(g, volley.times())
+                .run_metered(g, volley.times(), sink)
                 .map(|r| Volley::new(r.outputs)),
         }
     }
@@ -260,22 +287,88 @@ impl BatchEvaluator {
         volleys: &[Volley],
         probe: &mut P,
     ) -> Result<Vec<Volley>, BatchError> {
+        self.eval_instrumented(artifact, volleys, probe, &mut NullMetrics)
+    }
+
+    /// [`BatchEvaluator::eval`] with a metric sink: on success absorbs the
+    /// per-volley engine counters (via
+    /// [`CompiledArtifact::eval_one_metered`]) plus the `batch.*` metrics —
+    /// `batch.volleys` / `batch.chunks` counters and the
+    /// `batch.volley_nanos` / `batch.chunk_nanos` wall-clock histograms.
+    /// Workers aggregate into private registries which the calling thread
+    /// absorbs post-join in worker order, so engine counters are identical
+    /// for every thread count. A failed batch records no metrics.
+    ///
+    /// With [`NullMetrics`] this is exactly [`BatchEvaluator::eval`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-index [`BatchError`] if any volley fails.
+    pub fn eval_metered<M: MetricSink>(
+        &self,
+        artifact: &CompiledArtifact,
+        volleys: &[Volley],
+        sink: &mut M,
+    ) -> Result<Vec<Volley>, BatchError> {
+        self.eval_instrumented(artifact, volleys, &mut NullProbe, sink)
+    }
+
+    /// The fully instrumented evaluator behind [`BatchEvaluator::eval`],
+    /// [`BatchEvaluator::eval_probed`], and [`BatchEvaluator::eval_metered`].
+    ///
+    /// Timestamps are captured only when the probe or the sink is live;
+    /// with [`NullProbe`] and [`NullMetrics`] this is exactly
+    /// [`BatchEvaluator::eval`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-index [`BatchError`] if any volley fails; no
+    /// timing events or metrics are recorded for a failed batch.
+    pub fn eval_instrumented<P: Probe, M: MetricSink>(
+        &self,
+        artifact: &CompiledArtifact,
+        volleys: &[Volley],
+        probe: &mut P,
+        sink: &mut M,
+    ) -> Result<Vec<Volley>, BatchError> {
         let enabled = probe.is_enabled();
-        let stage_start = Instant::now(); // cheap; read only when enabled
+        let metered = sink.is_live();
+        let timed = enabled || metered;
+        let stage_start = Instant::now(); // cheap; read only when timed
         let workers = self.threads.min(volleys.len()).max(1);
         let mut outputs: Vec<Volley> = Vec::with_capacity(volleys.len());
         outputs.resize_with(volleys.len(), || Volley::new(Vec::new()));
 
         if workers == 1 {
+            // Engine counters go into a local registry first so a failed
+            // batch leaves the caller's sink untouched (matching the
+            // multi-worker path and the probe contract).
+            let mut local = metered.then(MetricsRegistry::new);
             let mut timings: Vec<(usize, u64, usize)> = Vec::new();
             for (index, (volley, slot)) in volleys.iter().zip(&mut outputs).enumerate() {
-                let t0 = enabled.then(Instant::now);
-                *slot = artifact
-                    .eval_one(volley)
-                    .map_err(|source| BatchError { index, source })?;
+                let t0 = timed.then(Instant::now);
+                let result = match local.as_mut() {
+                    Some(registry) => artifact.eval_one_metered(volley, registry),
+                    None => artifact.eval_one(volley),
+                };
+                *slot = result.map_err(|source| BatchError { index, source })?;
                 if let Some(t0) = t0 {
                     timings.push((index, t0.elapsed().as_nanos() as u64, slot.spike_count()));
                 }
+            }
+            let stage_nanos = if timed {
+                stage_start.elapsed().as_nanos() as u64
+            } else {
+                0
+            };
+            if let Some(mut registry) = local {
+                registry.incr("batch.volleys", volleys.len() as u64);
+                registry.incr("batch.chunks", 1);
+                for &(_, nanos, _) in &timings {
+                    registry.observe("batch.volley_nanos", nanos);
+                }
+                registry.observe("batch.chunk_nanos", stage_nanos);
+                sink.absorb(&registry);
             }
             if enabled {
                 for (index, nanos, spikes) in timings {
@@ -285,18 +378,17 @@ impl BatchEvaluator {
                         spikes,
                     });
                 }
-                let nanos = stage_start.elapsed().as_nanos() as u64;
                 probe.record(ObsEvent::ChunkTiming {
                     worker: 0,
                     start: 0,
                     len: volleys.len(),
                     start_nanos: 0,
-                    nanos,
+                    nanos: stage_nanos,
                 });
                 probe.record(ObsEvent::StageTiming {
                     stage: "eval",
                     start_nanos: 0,
-                    nanos,
+                    nanos: stage_nanos,
                 });
             }
             return Ok(outputs);
@@ -305,7 +397,12 @@ impl BatchEvaluator {
         let chunk_len = volleys.len().div_ceil(workers);
         // (worker, base, len, start_nanos, nanos, per-volley timings).
         type ChunkTrace = (usize, usize, usize, u64, u64, Vec<(usize, u64, usize)>);
-        let (first_failure, mut traces) = std::thread::scope(|scope| {
+        type WorkerYield = (
+            Option<BatchError>,
+            Option<ChunkTrace>,
+            Option<MetricsRegistry>,
+        );
+        let (first_failure, mut traces, registries) = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
             for (w, (in_chunk, out_chunk)) in volleys
                 .chunks(chunk_len)
@@ -313,58 +410,65 @@ impl BatchEvaluator {
                 .enumerate()
             {
                 let base = w * chunk_len;
-                handles.push(
-                    scope.spawn(move || -> (Option<BatchError>, Option<ChunkTrace>) {
-                        let chunk_start = enabled.then(Instant::now);
-                        let mut timings = Vec::new();
-                        if enabled {
-                            timings.reserve_exact(in_chunk.len());
-                        }
-                        for (offset, (volley, slot)) in in_chunk.iter().zip(out_chunk).enumerate() {
-                            let t0 = enabled.then(Instant::now);
-                            match artifact.eval_one(volley) {
-                                Ok(out) => {
-                                    *slot = out;
-                                    if let Some(t0) = t0 {
-                                        timings.push((
-                                            base + offset,
-                                            t0.elapsed().as_nanos() as u64,
-                                            slot.spike_count(),
-                                        ));
-                                    }
-                                }
-                                Err(source) => {
-                                    // Stop this chunk at its first failure;
-                                    // the lowest index across chunks wins
-                                    // below.
-                                    return (
-                                        Some(BatchError {
-                                            index: base + offset,
-                                            source,
-                                        }),
-                                        None,
-                                    );
+                handles.push(scope.spawn(move || -> WorkerYield {
+                    let chunk_start = timed.then(Instant::now);
+                    let mut local = metered.then(MetricsRegistry::new);
+                    let mut timings = Vec::new();
+                    if timed {
+                        timings.reserve_exact(in_chunk.len());
+                    }
+                    for (offset, (volley, slot)) in in_chunk.iter().zip(out_chunk).enumerate() {
+                        let t0 = timed.then(Instant::now);
+                        let result = match local.as_mut() {
+                            Some(registry) => artifact.eval_one_metered(volley, registry),
+                            None => artifact.eval_one(volley),
+                        };
+                        match result {
+                            Ok(out) => {
+                                *slot = out;
+                                if let Some(t0) = t0 {
+                                    timings.push((
+                                        base + offset,
+                                        t0.elapsed().as_nanos() as u64,
+                                        slot.spike_count(),
+                                    ));
                                 }
                             }
+                            Err(source) => {
+                                // Stop this chunk at its first failure;
+                                // the lowest index across chunks wins
+                                // below.
+                                return (
+                                    Some(BatchError {
+                                        index: base + offset,
+                                        source,
+                                    }),
+                                    None,
+                                    None,
+                                );
+                            }
                         }
-                        let trace = chunk_start.map(|t0| {
-                            (
-                                w,
-                                base,
-                                in_chunk.len(),
-                                (t0 - stage_start).as_nanos() as u64,
-                                t0.elapsed().as_nanos() as u64,
-                                timings,
-                            )
-                        });
-                        (None, trace)
-                    }),
-                );
+                    }
+                    let trace = chunk_start.map(|t0| {
+                        (
+                            w,
+                            base,
+                            in_chunk.len(),
+                            (t0 - stage_start).as_nanos() as u64,
+                            t0.elapsed().as_nanos() as u64,
+                            timings,
+                        )
+                    });
+                    (None, trace, local)
+                }));
             }
             let mut failure: Option<BatchError> = None;
             let mut traces: Vec<ChunkTrace> = Vec::new();
+            // Worker-order collection keeps the post-join merge
+            // deterministic regardless of which worker finished first.
+            let mut registries: Vec<MetricsRegistry> = Vec::new();
             for handle in handles {
-                let (error, trace) = handle.join().expect("batch worker panicked");
+                let (error, trace, registry) = handle.join().expect("batch worker panicked");
                 if let Some(e) = error {
                     failure = match failure.take() {
                         Some(best) if best.index < e.index => Some(best),
@@ -372,28 +476,47 @@ impl BatchEvaluator {
                     };
                 }
                 traces.extend(trace);
+                registries.extend(registry);
             }
-            (failure, traces)
+            (failure, traces, registries)
         });
 
         if let Some(error) = first_failure {
             return Err(error);
         }
-        if enabled {
-            let mut volley_timings: Vec<(usize, u64, usize)> = traces
+        let mut volley_timings: Vec<(usize, u64, usize)> = Vec::new();
+        if timed {
+            volley_timings = traces
                 .iter()
                 .flat_map(|trace| trace.5.iter().copied())
                 .collect();
             volley_timings.sort_unstable_by_key(|&(index, _, _)| index);
-            for (index, nanos, spikes) in volley_timings {
+            traces.sort_unstable_by_key(|&(worker, ..)| worker);
+        }
+        if metered {
+            let mut merged = MetricsRegistry::new();
+            for registry in &registries {
+                merged.absorb(registry);
+            }
+            merged.incr("batch.volleys", volleys.len() as u64);
+            merged.incr("batch.chunks", traces.len() as u64);
+            for &(_, nanos, _) in &volley_timings {
+                merged.observe("batch.volley_nanos", nanos);
+            }
+            for &(_, _, _, _, nanos, _) in &traces {
+                merged.observe("batch.chunk_nanos", nanos);
+            }
+            sink.absorb(&merged);
+        }
+        if enabled {
+            for &(index, nanos, spikes) in &volley_timings {
                 probe.record(ObsEvent::VolleyTimed {
                     index,
                     nanos,
                     spikes,
                 });
             }
-            traces.sort_unstable_by_key(|&(worker, ..)| worker);
-            for (worker, start, len, start_nanos, nanos, _) in traces {
+            for &(worker, start, len, start_nanos, nanos, _) in &traces {
                 probe.record(ObsEvent::ChunkTiming {
                     worker,
                     start,
@@ -531,6 +654,61 @@ mod tests {
             .eval_probed(&artifact, &bad, &mut recorder)
             .is_err());
         assert!(recorder.is_empty());
+    }
+
+    #[test]
+    fn metered_eval_merges_worker_registries_deterministically() {
+        let artifact = CompiledArtifact::from_table(&paper_table());
+        let volleys = volleys3(2);
+        let expected = BatchEvaluator::with_threads(1)
+            .eval(&artifact, &volleys)
+            .unwrap();
+        let mut baseline: Option<MetricsRegistry> = None;
+        for threads in [1, 2, 3, 8] {
+            let mut sink = MetricsRegistry::new();
+            let got = BatchEvaluator::with_threads(threads)
+                .eval_metered(&artifact, &volleys, &mut sink)
+                .unwrap();
+            assert_eq!(got, expected, "threads = {threads}");
+            assert_eq!(sink.counter("batch.volleys"), volleys.len() as u64);
+            assert_eq!(
+                sink.counter("batch.chunks"),
+                threads.min(volleys.len()) as u64
+            );
+            assert_eq!(sink.counter("table.lookups"), volleys.len() as u64);
+            let volley_hist = sink.histogram("batch.volley_nanos").unwrap();
+            assert_eq!(volley_hist.count(), volleys.len() as u64);
+            assert_eq!(
+                sink.histogram("batch.chunk_nanos").unwrap().count(),
+                threads.min(volleys.len()) as u64
+            );
+            // Engine counters (everything except wall-clock noise) are
+            // identical at every thread count.
+            if let Some(base) = &baseline {
+                let base_counts: Vec<_> = base
+                    .counters()
+                    .filter(|(n, _)| *n != "batch.chunks")
+                    .collect();
+                let these: Vec<_> = sink
+                    .counters()
+                    .filter(|(n, _)| *n != "batch.chunks")
+                    .collect();
+                assert_eq!(these, base_counts, "threads = {threads}");
+            } else {
+                baseline = Some(sink.clone());
+            }
+        }
+
+        // A failed batch records no metrics at any thread count.
+        let mut bad = volleys3(1);
+        bad[2] = Volley::silent(1);
+        for threads in [1, 4] {
+            let mut sink = MetricsRegistry::new();
+            assert!(BatchEvaluator::with_threads(threads)
+                .eval_metered(&artifact, &bad, &mut sink)
+                .is_err());
+            assert!(sink.is_empty(), "threads = {threads}");
+        }
     }
 
     #[test]

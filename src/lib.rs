@@ -37,10 +37,12 @@
 //! ```
 
 pub mod batch;
+pub mod bench;
 
 pub use st_core as core;
 pub use st_grl as grl;
 pub use st_lint as lint;
+pub use st_metrics as metrics;
 pub use st_net as net;
 pub use st_neuron as neuron;
 pub use st_obs as obs;

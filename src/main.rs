@@ -51,7 +51,7 @@ USAGE:
                                                 the space-time invariants
                                                 (docs/lint.md); exits 1 on
                                                 error-severity findings
-  spacetime trace <file> [--format raster|jsonl|chrome|stats]
+  spacetime trace <file> [--format raster|jsonl|chrome|stats|prom]
                   [--engine table|net|grl|column] [--volleys <file>]
                   [--threads N] [--out <file>]   run a traced evaluation and
                                                 export the event stream: a
@@ -59,8 +59,24 @@ USAGE:
                                                 event log, a Chrome
                                                 trace_event JSON (open in
                                                 chrome://tracing or Perfetto),
-                                                or a run-statistics summary
-                                                (docs/observability.md)
+                                                a run-statistics summary
+                                                (docs/observability.md), or a
+                                                Prometheus text exposition of
+                                                the engine counters
+                                                (docs/metrics.md)
+  spacetime bench [--quick|--full] [--label L] [--threads T1,T2,…]
+                  [--out <file>]                time the engine scenario
+                                                matrix and emit a
+                                                schema-versioned JSON report
+                                                with counters and latency
+                                                percentiles (docs/metrics.md)
+  spacetime bench --compare <old.json> <new.json> [--threshold R]
+                                                diff two bench reports on
+                                                median wall-clock; exits
+                                                non-zero past the threshold
+                                                (default 1.5×)
+  spacetime bench --check <report.json>         validate a bench report
+                                                against the JSON schema
   spacetime help                                this text
 
 Times are decimal ticks or `inf`/`∞` for \"no event\". Table files contain
@@ -84,6 +100,7 @@ fn main() -> ExitCode {
         Some("batch") => cmd_batch(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("help") | None => {
             print!("{USAGE}");
             Ok(())
@@ -737,12 +754,15 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
             other => return Err(format!("unexpected argument {other:?}")),
         }
     }
-    let usage = "usage: spacetime trace <file> [--format raster|jsonl|chrome|stats] \
+    let usage = "usage: spacetime trace <file> [--format raster|jsonl|chrome|stats|prom] \
                  [--engine table|net|grl|column] [--volleys <file>] [--threads N] [--out <file>]";
     let path = path.ok_or(usage)?;
-    if !matches!(format.as_str(), "raster" | "jsonl" | "chrome" | "stats") {
+    if !matches!(
+        format.as_str(),
+        "raster" | "jsonl" | "chrome" | "stats" | "prom"
+    ) {
         return Err(format!(
-            "unknown format {format:?}; expected raster|jsonl|chrome|stats"
+            "unknown format {format:?}; expected raster|jsonl|chrome|stats|prom"
         ));
     }
     let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -819,6 +839,32 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
         None => default_sweep(artifact.input_width()),
     };
 
+    // The prom format skips the event passes entirely: it runs the batch
+    // engine with a metrics sink attached and renders the counter
+    // snapshot in the Prometheus text exposition format.
+    if format == "prom" {
+        use spacetime::metrics::{MetricsRegistry, MetricsSnapshot};
+        let evaluator = threads.map_or_else(BatchEvaluator::new, BatchEvaluator::with_threads);
+        let mut registry = MetricsRegistry::new();
+        evaluator
+            .eval_metered(&artifact, &volleys, &mut registry)
+            .map_err(|e| format!("{path}: {e}"))?;
+        let families = registry.counters().count() + registry.histograms().count();
+        let rendered = MetricsSnapshot::from_registry(&registry).to_prom_text();
+        match out {
+            Some(f) => {
+                std::fs::write(&f, &rendered).map_err(|e| format!("cannot write {f}: {e}"))?;
+                eprintln!(
+                    "wrote {f} ({families} metric families from {} volleys through the \
+                     {engine} engine)",
+                    volleys.len()
+                );
+            }
+            None => print!("{rendered}"),
+        }
+        return Ok(());
+    }
+
     // Pass 1 — model-time events: one marked, probed sequential run per
     // volley (gate firings / wire falls / potentials / WTA decisions).
     let mut recorder = Recorder::new();
@@ -879,6 +925,137 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
                 volleys.len()
             );
         }
+    }
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    use spacetime::bench::{full_matrix, quick_matrix, run_matrix};
+    use spacetime::metrics::{compare, BenchReport};
+
+    let mut tier = "quick";
+    let mut label: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut threads: Option<Vec<usize>> = None;
+    let mut compare_with: Option<(String, String)> = None;
+    let mut threshold = 1.5f64;
+    let mut check: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--quick" => tier = "quick",
+            "--full" => tier = "full",
+            "--label" => label = Some(flag_value(&mut iter, a)?),
+            "--out" => out = Some(flag_value(&mut iter, a)?),
+            "--threads" => {
+                let list = flag_value(&mut iter, a)?
+                    .split(',')
+                    .map(|t| {
+                        t.trim()
+                            .parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or_else(|| format!("bad thread count {t:?}"))
+                    })
+                    .collect::<Result<Vec<usize>, String>>()?;
+                if list.is_empty() {
+                    return Err("--threads needs at least one count".into());
+                }
+                threads = Some(list);
+            }
+            "--compare" => {
+                let old = flag_value(&mut iter, a)?;
+                let new = iter
+                    .next()
+                    .ok_or("--compare needs two report files: <old.json> <new.json>")?
+                    .clone();
+                compare_with = Some((old, new));
+            }
+            "--threshold" => {
+                threshold = flag_value(&mut iter, a)?
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| t.is_finite() && *t >= 1.0)
+                    .ok_or("--threshold must be a finite ratio >= 1.0")?;
+            }
+            "--check" => check = Some(flag_value(&mut iter, a)?),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+
+    let load = |path: &str| -> Result<BenchReport, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        BenchReport::from_json(&text).map_err(|e| format!("{path}: {e}"))
+    };
+
+    if let Some(path) = check {
+        let report = load(&path)?;
+        println!(
+            "{path}: valid {} report ({} scenarios, label {:?}, rev {})",
+            report.schema,
+            report.scenarios.len(),
+            report.label,
+            report.git_rev
+        );
+        return Ok(());
+    }
+
+    if let Some((old_path, new_path)) = compare_with {
+        let old = load(&old_path)?;
+        let new = load(&new_path)?;
+        let outcome = compare(&old, &new, threshold);
+        print!("{}", outcome.render_table());
+        if outcome.regressed {
+            return Err(format!(
+                "performance regression: at least one scenario exceeded {threshold}x \
+                 the baseline median"
+            ));
+        }
+        return Ok(());
+    }
+
+    let mut specs = if tier == "full" {
+        full_matrix()
+    } else {
+        quick_matrix()
+    };
+    if let Some(list) = threads {
+        let sized: Vec<(&'static str, usize)> = {
+            let mut seen = Vec::new();
+            for s in &specs {
+                if !seen.contains(&(s.engine, s.size)) {
+                    seen.push((s.engine, s.size));
+                }
+            }
+            seen
+        };
+        let template = specs[0].clone();
+        specs = sized
+            .into_iter()
+            .flat_map(|(engine, size)| {
+                let template = template.clone();
+                list.iter().map(move |&t| spacetime::bench::ScenarioSpec {
+                    engine,
+                    size,
+                    threads: t,
+                    ..template.clone()
+                })
+            })
+            .collect();
+    }
+    let label = label.unwrap_or_else(|| tier.to_owned());
+    let report = run_matrix(&specs, &label)?;
+    let json = report.to_json();
+    match out {
+        Some(f) => {
+            std::fs::write(&f, &json).map_err(|e| format!("cannot write {f}: {e}"))?;
+            eprintln!(
+                "wrote {f} ({} scenarios, label {label:?}, rev {})",
+                report.scenarios.len(),
+                report.git_rev
+            );
+        }
+        None => print!("{json}"),
     }
     Ok(())
 }

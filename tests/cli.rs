@@ -431,3 +431,132 @@ fn trace_engine_and_volley_overrides() {
         .unwrap();
     assert!(!out.status.success());
 }
+
+#[test]
+fn trace_prom_format_exports_counter_families() {
+    let table = fig7_file();
+    let out = bin()
+        .args(["trace", table.to_str(), "--format", "prom"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("# TYPE spacetime_table_lookups counter"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("spacetime_batch_volley_nanos_bucket{le=\"+Inf\"}"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn bench_quick_emits_a_valid_schema_versioned_report() {
+    let report_file = TempFile::with_content("bench.json", "");
+    let out = bin()
+        .env("SPACETIME_BENCH_ITERS", "1")
+        .args([
+            "bench",
+            "--quick",
+            "--label",
+            "cli-test",
+            "--out",
+            report_file.to_str(),
+        ])
+        .output()
+        .expect("run bench");
+    assert!(out.status.success(), "{out:?}");
+    let text = std::fs::read_to_string(report_file.to_str()).unwrap();
+    assert!(text.contains("\"schema\": \"spacetime-bench/1\""), "{text}");
+    // All four engines at two thread counts each.
+    for name in [
+        "table/3/t1",
+        "table/3/t2",
+        "net/8/t1",
+        "net/8/t2",
+        "grl/4/t1",
+        "grl/4/t2",
+        "tnn/8/t1",
+        "tnn/8/t2",
+    ] {
+        assert!(text.contains(&format!("\"name\": \"{name}\"")), "{name}");
+    }
+
+    // The emitted report validates under --check.
+    let out = bin()
+        .args(["bench", "--check", report_file.to_str()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("valid spacetime-bench/1 report"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn bench_compare_passes_self_and_fails_injected_slowdown() {
+    let report_file = TempFile::with_content("base.json", "");
+    let out = bin()
+        .env("SPACETIME_BENCH_ITERS", "1")
+        .args(["bench", "--quick", "--out", report_file.to_str()])
+        .output()
+        .expect("run bench");
+    assert!(out.status.success(), "{out:?}");
+    let base = std::fs::read_to_string(report_file.to_str()).unwrap();
+
+    // Self-comparison is always within threshold.
+    let out = bin()
+        .args([
+            "bench",
+            "--compare",
+            report_file.to_str(),
+            report_file.to_str(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ok"), "{stdout}");
+
+    // Inject a 10x slowdown into every scenario's p50 and watch the gate
+    // trip: non-zero exit, REGRESSED rows in the table.
+    let mut slow = spacetime::metrics::BenchReport::from_json(&base).unwrap();
+    for s in &mut slow.scenarios {
+        s.wall_nanos.p50 = s.wall_nanos.p50.saturating_mul(10).max(10);
+    }
+    let slow_file = TempFile::with_content("slow.json", &slow.to_json());
+    let out = bin()
+        .args([
+            "bench",
+            "--compare",
+            report_file.to_str(),
+            slow_file.to_str(),
+            "--threshold",
+            "2.0",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("performance regression"), "{stderr}");
+}
+
+#[test]
+fn bench_rejects_bad_flags_and_reports() {
+    let out = bin()
+        .args(["bench", "--threshold", "0.5"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let bad = TempFile::with_content("bad.json", "{\"schema\": \"other/9\"}");
+    let out = bin()
+        .args(["bench", "--check", bad.to_str()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}

@@ -214,3 +214,181 @@ fn probed_training_is_bit_identical() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// The same contract for st-metrics: a live MetricsRegistry never changes any
+// output — across all four engines, training, and the batch evaluator at
+// every thread count (where the engine counters must also be thread-count
+// invariant).
+
+use spacetime::metrics::MetricsRegistry;
+use spacetime::tnn::train::train_column_metered;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Event-driven network simulation: metered ≡ plain, and the firing
+    /// counter matches the report.
+    #[test]
+    fn net_metered_run_is_identical(
+        neuron in arb_neuron(),
+        inputs in arb_volley(3),
+    ) {
+        let width = neuron.synapses().len();
+        let inputs = &inputs[..width];
+        let compiled = EventSim::new().compile(&srm0_network(&neuron));
+        let plain = compiled.run(inputs).unwrap();
+        let mut registry = MetricsRegistry::new();
+        let metered = compiled.run_metered(inputs, &mut registry).unwrap();
+        prop_assert_eq!(&metered, &plain);
+        prop_assert_eq!(registry.counter("net.runs"), 1);
+        prop_assert_eq!(registry.counter("net.gate_firings"), plain.total_events as u64);
+    }
+
+    /// Cycle-accurate GRL simulation: metered ≡ plain, and the transition
+    /// counter is exactly the report's eval transitions.
+    #[test]
+    fn grl_metered_run_is_identical(
+        neuron in arb_neuron(),
+        inputs in arb_volley(3),
+    ) {
+        let width = neuron.synapses().len();
+        let inputs = &inputs[..width];
+        let netlist = compile_network(&srm0_network(&neuron));
+        let sim = GrlSim::new();
+        let plain = sim.run(&netlist, inputs).unwrap();
+        let mut registry = MetricsRegistry::new();
+        let metered = sim.run_metered(&netlist, inputs, &mut registry).unwrap();
+        prop_assert_eq!(&metered, &plain);
+        prop_assert_eq!(
+            registry.counter("grl.wire_transitions"),
+            plain.eval_transitions as u64
+        );
+    }
+
+    /// Behavioral SRM0 evaluation: metered ≡ plain, and the spike counter
+    /// fires iff the neuron does.
+    #[test]
+    fn srm0_metered_eval_is_identical(
+        neuron in arb_neuron(),
+        inputs in arb_volley(3),
+    ) {
+        let width = neuron.synapses().len();
+        let inputs = &inputs[..width];
+        let plain = neuron.eval(inputs);
+        let mut registry = MetricsRegistry::new();
+        let metered = neuron.eval_metered(inputs, &mut registry);
+        prop_assert_eq!(metered, plain);
+        prop_assert_eq!(registry.counter("srm0.spikes"), u64::from(plain.is_finite()));
+    }
+
+    /// Column evaluation (SRM0 + WTA): metered ≡ plain, and exactly one
+    /// decision counter ticks per volley.
+    #[test]
+    fn column_metered_eval_is_identical(
+        neurons in prop::collection::vec(arb_neuron(), 2..4),
+        inputs in arb_volley(3),
+    ) {
+        let width = neurons.iter().map(|n| n.synapses().len()).min().unwrap();
+        let neurons: Vec<Srm0Neuron> = neurons
+            .into_iter()
+            .map(|n| Srm0Neuron::new(
+                n.unit_response().clone(),
+                n.synapses()[..width].to_vec(),
+                n.threshold(),
+            ))
+            .collect();
+        let column = Column::new(neurons, Inhibition::one_wta());
+        let volley = Volley::new(inputs[..width].to_vec());
+        let plain = column.eval(&volley);
+        let mut registry = MetricsRegistry::new();
+        let metered = column.eval_metered(&volley, &mut registry);
+        prop_assert_eq!(metered, plain);
+        prop_assert_eq!(
+            registry.counter("tnn.wta_decisions") + registry.counter("tnn.silent_decisions"),
+            1
+        );
+    }
+
+    /// The batch engine: a live metrics sink never changes any output
+    /// volley, and the engine counters (everything except the
+    /// chunking-dependent `batch.chunks`) are identical at every thread
+    /// count — the deterministic-merge contract.
+    #[test]
+    fn batch_metered_eval_is_identical_across_thread_counts(
+        neuron in arb_neuron(),
+        raw_volleys in prop::collection::vec(arb_volley(3), 1..24),
+        threads in 2usize..8,
+    ) {
+        let width = neuron.synapses().len();
+        let volleys: Vec<Volley> = raw_volleys
+            .iter()
+            .map(|v| Volley::new(v[..width].to_vec()))
+            .collect();
+        let network = srm0_network(&neuron);
+        for artifact in [
+            CompiledArtifact::from_network(&network),
+            CompiledArtifact::from_grl_network(&network),
+        ] {
+            let plain = BatchEvaluator::with_threads(1)
+                .eval(&artifact, &volleys)
+                .unwrap();
+            let mut baseline: Option<Vec<(&'static str, u64)>> = None;
+            for workers in [1, threads] {
+                let mut registry = MetricsRegistry::new();
+                let metered = BatchEvaluator::with_threads(workers)
+                    .eval_metered(&artifact, &volleys, &mut registry)
+                    .unwrap();
+                prop_assert_eq!(&metered, &plain, "workers = {}", workers);
+                prop_assert_eq!(registry.counter("batch.volleys"), volleys.len() as u64);
+                let counters: Vec<(&'static str, u64)> = registry
+                    .counters()
+                    .filter(|(name, _)| *name != "batch.chunks")
+                    .collect();
+                match &baseline {
+                    None => baseline = Some(counters),
+                    Some(expected) => prop_assert_eq!(
+                        &counters, expected, "workers = {}", workers
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// STDP training with a live metrics sink is bit-identical to plain
+/// training, and the stdp.* counters mirror the report.
+#[test]
+fn metered_training_is_bit_identical() {
+    for seed in 0..4u64 {
+        let mut ds = PatternDataset::new(3, 16, 7, 1, 0.2, seed);
+        let config = TrainConfig {
+            seed: seed.wrapping_mul(31),
+            ..TrainConfig::default()
+        };
+        let stream = ds.stream(150, 0.85);
+
+        let mut plain = fresh_column(3, 16, 0.25, &config);
+        let plain_report = train_column(&mut plain, &stream, &config);
+
+        let mut metered = fresh_column(3, 16, 0.25, &config);
+        let mut registry = MetricsRegistry::new();
+        let metered_report = train_column_metered(&mut metered, &stream, &config, &mut registry);
+
+        assert_eq!(metered_report, plain_report, "seed {seed}");
+        for (a, b) in plain.neurons().iter().zip(metered.neurons()) {
+            assert_eq!(a.synapses(), b.synapses(), "seed {seed}");
+            assert_eq!(a.threshold(), b.threshold(), "seed {seed}");
+        }
+        assert_eq!(
+            registry.counter("stdp.presentations"),
+            plain_report.presentations as u64,
+            "seed {seed}"
+        );
+        assert_eq!(
+            registry.counter("stdp.weight_deltas"),
+            plain_report.weight_changes as u64,
+            "seed {seed}"
+        );
+    }
+}
