@@ -97,10 +97,26 @@ pub enum Code {
     /// STA013: a neuron's threshold exceeds its maximum achievable
     /// membrane potential, so it can never spike.
     DeadNeuron,
+    /// STA101: the artifact's behavior differs from its `FunctionTable`
+    /// spec on a concrete in-window input volley (semantic verification,
+    /// `st-verify`).
+    SpecMismatch,
+    /// STA102: two lowerings of the same artifact (net ↔ GRL ↔ table ↔
+    /// column) disagree on a concrete in-window input volley.
+    LoweringMismatch,
+    /// STA103: the verification window is smaller than the window the
+    /// spec or artifact needs, so bounded equivalence is inconclusive
+    /// beyond it.
+    VerifyWindow,
+    /// STA104: an `--against` spec is structurally incompatible with the
+    /// artifact (input or output width mismatch); nothing was compared.
+    SpecShape,
 }
 
-/// All codes, in numbering order.
-pub const ALL_CODES: [Code; 13] = [
+/// All codes, in numbering order. `STA001`–`STA013` are the structural
+/// and shape lints; the `STA1xx` tier carries the semantic verification
+/// findings emitted by `st-verify`.
+pub const ALL_CODES: [Code; 17] = [
     Code::Cycle,
     Code::Dangling,
     Code::ArityMismatch,
@@ -114,6 +130,10 @@ pub const ALL_CODES: [Code; 13] = [
     Code::ShadowedRow,
     Code::ColumnParams,
     Code::DeadNeuron,
+    Code::SpecMismatch,
+    Code::LoweringMismatch,
+    Code::VerifyWindow,
+    Code::SpecShape,
 ];
 
 impl Code {
@@ -134,6 +154,10 @@ impl Code {
             Code::ShadowedRow => "STA011",
             Code::ColumnParams => "STA012",
             Code::DeadNeuron => "STA013",
+            Code::SpecMismatch => "STA101",
+            Code::LoweringMismatch => "STA102",
+            Code::VerifyWindow => "STA103",
+            Code::SpecShape => "STA104",
         }
     }
 
@@ -160,6 +184,10 @@ impl Code {
             Code::ShadowedRow => "no table row is shadowed by another",
             Code::ColumnParams => "column inhibition parameters are in range",
             Code::DeadNeuron => "every neuron's threshold is reachable",
+            Code::SpecMismatch => "the artifact implements its table spec",
+            Code::LoweringMismatch => "all lowerings compute the same function (Theorem 1, § V)",
+            Code::VerifyWindow => "the verification window covers the spec",
+            Code::SpecShape => "artifact and spec have compatible shapes",
         }
     }
 
@@ -376,6 +404,22 @@ impl Report {
             .any(|d| d.severity == Severity::Error && d.code.is_structural())
     }
 
+    /// Applies CLI severity overrides: findings whose code is listed in
+    /// `allow` are demoted to [`Severity::Info`], findings listed in
+    /// `deny` are promoted to [`Severity::Error`]. A code listed in both
+    /// is denied — deny wins, so a broad `--allow` cannot silently mask
+    /// a targeted `--deny`.
+    pub fn apply_overrides(&mut self, deny: &[Code], allow: &[Code]) {
+        for d in &mut self.diagnostics {
+            if allow.contains(&d.code) {
+                d.severity = Severity::Info;
+            }
+            if deny.contains(&d.code) {
+                d.severity = Severity::Error;
+            }
+        }
+    }
+
     /// Renders every diagnostic human-readably, one per line (hints
     /// indented below their diagnostic). Empty reports render as nothing.
     #[must_use]
@@ -415,10 +459,44 @@ mod tests {
     #[test]
     fn codes_are_stable_and_round_trip() {
         for (i, code) in ALL_CODES.iter().enumerate() {
-            assert_eq!(code.as_str(), format!("STA{:03}", i + 1));
+            // STA001–013 are the lint tier; the verify tier starts at
+            // STA101. Numbering is append-only within each tier.
+            let expected = if i < 13 {
+                format!("STA{:03}", i + 1)
+            } else {
+                format!("STA{}", 101 + (i - 13))
+            };
+            assert_eq!(code.as_str(), expected);
             assert_eq!(Code::parse(code.as_str()), Some(*code));
         }
         assert_eq!(Code::parse("STA999"), None);
+    }
+
+    #[test]
+    fn overrides_promote_demote_and_deny_wins() {
+        let mut r = Report::new();
+        r.push(Diagnostic::new(
+            Code::DeadGate,
+            Severity::Warning,
+            Location::Gate(0),
+            "dead",
+        ));
+        r.push(Diagnostic::new(
+            Code::Causality,
+            Severity::Error,
+            Location::Gate(1),
+            "constant",
+        ));
+        let mut promoted = r.clone();
+        promoted.apply_overrides(&[Code::DeadGate], &[]);
+        assert_eq!(promoted.error_count(), 2);
+        let mut demoted = r.clone();
+        demoted.apply_overrides(&[], &[Code::Causality]);
+        assert_eq!(demoted.error_count(), 0);
+        assert_eq!(demoted.count(Severity::Info), 1);
+        let mut both = r;
+        both.apply_overrides(&[Code::Causality], &[Code::Causality]);
+        assert_eq!(both.error_count(), 1, "deny wins over allow");
     }
 
     #[test]

@@ -19,6 +19,13 @@
 //! lowers columns; [`LintGraph::from_exprs`] lowers expression DAGs
 //! here), and tests seed violations directly in the IR.
 //!
+//! The semantic passes run on the [`interval`] engine — sound spike-time
+//! bounds over the `N0^∞` lattice. The engine is hosted here (the bottom
+//! of the stack) and re-exported by `st-verify`, whose boundedness
+//! certificates interpret the same transfer functions; a bound the
+//! linter proves is therefore *by construction* the bound the verifier
+//! certifies.
+//!
 //! Findings are [`Diagnostic`]s with a stable code (`STA001`..), a
 //! severity, a location, and a fix hint, collected into a [`Report`]
 //! that renders human-readably ([`Report::render`]) or as JSON
@@ -29,12 +36,14 @@
 
 mod diag;
 mod graph;
+pub mod interval;
 mod json;
 mod passes;
 mod table;
 
 pub use diag::{Code, Diagnostic, Location, Report, Severity, ALL_CODES};
 pub use graph::{LintGraph, LintNode, LintOp};
+pub use interval::Interval;
 pub use passes::{lint_graph, LintOptions};
 pub use table::lint_table;
 

@@ -7,16 +7,17 @@
 //! well-formed DAG.
 //!
 //! Phase two proves or refutes the paper's invariants from structure
-//! alone, with a single abstract-interpretation sweep in topological
-//! order. Each node gets three facts:
+//! alone, with a single sweep of the shared [interval
+//! engine](crate::interval): every node gets a sound spike-time
+//! [`Interval`] (firing bounds plus a possible-silence flag) under the
+//! free input model. Saturation (STA006) is then `Interval::is_never` —
+//! provable not only through constant propagation but through any
+//! non-constant path whose bounds separate, e.g. an `lt` whose data
+//! side provably arrives no earlier than its inhibitor's deadline.
+//! `st-verify` runs the *same* engine for its boundedness certificates,
+//! so lint and verify can never disagree on bounds.
 //!
-//! * `inf` — provably saturated at `∞` (never fires), the algebraic
-//!   bottom that `lt` produces when its inhibitor statically wins;
-//! * `lo` — a lower bound on the node's firing time given that all
-//!   primary inputs fire at `t ≥ 0`;
-//! * `val` — the exact value, when the node is input-independent.
-//!
-//! Causality (§ III-B) is then a reachability property: a *finite
+//! Causality (§ III-B) is a reachability property: a *finite
 //! constant* with a timing path to an output lets the output fire at a
 //! fixed clock time regardless of the inputs — the static witness of an
 //! output "preceding its inputs". Timing paths follow `min`/`max`
@@ -32,6 +33,7 @@ use st_core::Time;
 
 use crate::diag::{Code, Diagnostic, Location, Report, Severity};
 use crate::graph::{LintGraph, LintOp};
+use crate::interval::{self, Interval};
 
 /// Tunable thresholds for the passes.
 #[derive(Debug, Clone)]
@@ -64,10 +66,9 @@ pub fn lint_graph(graph: &LintGraph, options: &LintOptions) -> Report {
     if report.has_structural_errors() {
         return report;
     }
-    let order = topological_order(graph);
-    let facts = compute_facts(graph, &order);
+    let intervals = interval::analyze(graph, Interval::free());
     let reachable = reachable_set(graph);
-    check_dead_gates(graph, &facts, &reachable, &mut report);
+    check_dead_gates(graph, &intervals, &reachable, &mut report);
     check_unreachable(graph, &reachable, &mut report);
     check_constants(graph, &reachable, &mut report);
     if options.check_basis {
@@ -209,104 +210,6 @@ fn check_cycles(graph: &LintGraph, report: &mut Report) {
 // Phase two helpers
 // ---------------------------------------------------------------------------
 
-/// Topological order of an (already verified) acyclic graph. Nodes are not
-/// required to be defined before use in the IR, so definition order is not
-/// good enough.
-fn topological_order(graph: &LintGraph) -> Vec<usize> {
-    let n = graph.len();
-    let mut order = Vec::with_capacity(n);
-    let mut state = vec![0u8; n]; // 0 unvisited, 1 in progress, 2 done
-    for root in 0..n {
-        if state[root] != 0 {
-            continue;
-        }
-        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
-        state[root] = 1;
-        while let Some(&(node, next)) = stack.last() {
-            let sources = &graph.nodes()[node].sources;
-            if next >= sources.len() {
-                state[node] = 2;
-                order.push(node);
-                stack.pop();
-                continue;
-            }
-            stack.last_mut().expect("just peeked").1 += 1;
-            let s = sources[next];
-            if state[s] == 0 {
-                state[s] = 1;
-                stack.push((s, 0));
-            }
-        }
-    }
-    order
-}
-
-/// Per-node abstract facts (see the module docs).
-struct Facts {
-    /// Provably never fires.
-    inf: Vec<bool>,
-    /// Exact value when input-independent.
-    val: Vec<Option<Time>>,
-}
-
-fn compute_facts(graph: &LintGraph, order: &[usize]) -> Facts {
-    let n = graph.len();
-    const NEVER: u64 = u64::MAX;
-    let mut inf = vec![false; n];
-    let mut lo = vec![0u64; n];
-    let mut val: Vec<Option<Time>> = vec![None; n];
-    for &id in order {
-        let node = &graph.nodes()[id];
-        let srcs = &node.sources;
-        match node.op {
-            LintOp::Input(_) => {}
-            LintOp::Const(t) => {
-                val[id] = Some(t);
-                inf[id] = t.is_infinite();
-                lo[id] = t.value().unwrap_or(NEVER);
-            }
-            LintOp::Min => {
-                inf[id] = srcs.iter().all(|&s| inf[s]);
-                lo[id] = srcs.iter().map(|&s| lo[s]).min().unwrap_or(NEVER);
-                val[id] = srcs
-                    .iter()
-                    .map(|&s| val[s])
-                    .collect::<Option<Vec<_>>>()
-                    .map(Time::min_of);
-            }
-            LintOp::Max => {
-                inf[id] = srcs.iter().any(|&s| inf[s]);
-                lo[id] = srcs.iter().map(|&s| lo[s]).max().unwrap_or(0);
-                val[id] = srcs
-                    .iter()
-                    .map(|&s| val[s])
-                    .collect::<Option<Vec<_>>>()
-                    .map(Time::max_of);
-            }
-            LintOp::Lt => {
-                let (a, b) = (srcs[0], srcs[1]);
-                // Fires only when a fires: a's saturation propagates, and
-                // an inhibitor that provably arrives no later than a's
-                // earliest possible event suppresses everything.
-                inf[id] = inf[a] || val[b].and_then(Time::value).is_some_and(|vb| lo[a] >= vb);
-                if let (Some(va), Some(vb)) = (val[a], val[b]) {
-                    let v = va.lt_gate(vb);
-                    val[id] = Some(v);
-                    inf[id] = v.is_infinite();
-                }
-                lo[id] = if inf[id] { NEVER } else { lo[a] };
-            }
-            LintOp::Inc(c) => {
-                let a = srcs[0];
-                inf[id] = inf[a];
-                lo[id] = lo[a].saturating_add(c);
-                val[id] = val[a].map(|v| v.inc(c));
-            }
-        }
-    }
-    Facts { inf, val }
-}
-
 /// Nodes with a path to at least one output (following every source edge).
 fn reachable_set(graph: &LintGraph) -> Vec<bool> {
     let mut reachable = vec![false; graph.len()];
@@ -344,9 +247,14 @@ fn timing_set(graph: &LintGraph) -> Vec<bool> {
 // STA006: dead gates and dead output lines
 // ---------------------------------------------------------------------------
 
-fn check_dead_gates(graph: &LintGraph, facts: &Facts, reachable: &[bool], report: &mut Report) {
+fn check_dead_gates(
+    graph: &LintGraph,
+    intervals: &[Interval],
+    reachable: &[bool],
+    report: &mut Report,
+) {
     for (id, node) in graph.nodes().iter().enumerate() {
-        if !reachable[id] || !node.op.is_operator() || !facts.inf[id] {
+        if !reachable[id] || !node.op.is_operator() || !intervals[id].is_never() {
             continue;
         }
         let mut diag = Diagnostic::new(
@@ -358,7 +266,7 @@ fn check_dead_gates(graph: &LintGraph, facts: &Facts, reachable: &[bool], report
                 node.op.name()
             ),
         );
-        if node.op == LintOp::Lt && facts.val[node.sources[1]].is_some_and(|v| v == Time::ZERO) {
+        if node.op == LintOp::Lt && intervals[node.sources[1]].as_exact() == Some(Time::ZERO) {
             diag = diag.with_hint(
                 "this is the disabled micro-weight configuration (μ=0, Fig. 13); set μ=∞ to \
                  enable the tap",
@@ -367,7 +275,7 @@ fn check_dead_gates(graph: &LintGraph, facts: &Facts, reachable: &[bool], report
         report.push(diag);
     }
     for (line, &o) in graph.outputs().iter().enumerate() {
-        if facts.inf[o] {
+        if intervals[o].is_never() {
             report.push(Diagnostic::new(
                 Code::DeadGate,
                 Severity::Warning,
@@ -726,6 +634,33 @@ mod tests {
         assert!(dead.contains(&Location::Gate(d)));
         assert!(dead.contains(&Location::Output(0)));
         assert!(!dead.contains(&Location::Gate(mn)));
+    }
+
+    #[test]
+    fn saturation_through_non_constant_paths_is_caught() {
+        // out = lt(x0 + 3, min(x1, 2)): the inhibitor is *not* constant,
+        // but its interval tops out at 2 while the data side starts at 3,
+        // so the lt can never fire. Constant propagation alone (the old
+        // STA006) misses this; the interval engine proves it.
+        let mut g = LintGraph::new(2);
+        let x = g.push(LintOp::Input(0), vec![]);
+        let y = g.push(LintOp::Input(1), vec![]);
+        let k = g.push(LintOp::Const(t(2)), vec![]);
+        let cap = g.push(LintOp::Min, vec![y, k]);
+        let a = g.push(LintOp::Inc(3), vec![x]);
+        let out = g.push(LintOp::Lt, vec![a, cap]);
+        g.set_outputs(vec![out]);
+        let report = lint_graph(&g, &LintOptions::default());
+        let dead: Vec<Location> = report
+            .with_code(Code::DeadGate)
+            .map(|d| d.location)
+            .collect();
+        assert!(dead.contains(&Location::Gate(out)), "{}", report.render());
+        assert!(dead.contains(&Location::Output(0)));
+        // The finite inhibitor constant still earns its invariance
+        // warning; nothing is misclassified as a causality error.
+        assert_eq!(report.with_code(Code::Invariance).count(), 1);
+        assert_eq!(report.error_count(), 0);
     }
 
     #[test]

@@ -1,0 +1,261 @@
+//! JSON rendering for certificates, counterexamples, and verify
+//! outcomes.
+//!
+//! Same constraints as `st_lint::json`: no serde in the build
+//! environment, so the emitters are hand-written for the one stable
+//! document shape each type needs. Spike times map `∞ → null` and
+//! finite ticks to plain numbers, so consumers never parse the `∞`
+//! glyph. The embedded diagnostics object is exactly
+//! [`st_lint::Report::to_json`]'s document, so one parser handles both
+//! `spacetime lint --json` and `spacetime verify --json` findings.
+
+use st_core::Time;
+
+use crate::cert::Certificate;
+use crate::equiv::{Counterexample, EquivProof};
+use crate::VerifyOutcome;
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// One spike time as a JSON scalar: a number, or `null` for `∞`.
+fn time_json(t: Time) -> String {
+    t.value()
+        .map_or_else(|| "null".to_owned(), |v| v.to_string())
+}
+
+/// A volley as a JSON array of scalars.
+fn times_json(times: &[Time]) -> String {
+    let cells: Vec<String> = times.iter().map(|&t| time_json(t)).collect();
+    format!("[{}]", cells.join(", "))
+}
+
+/// Indents every line after the first by `pad` spaces (for embedding a
+/// multi-line JSON document as an object field).
+fn indent_tail(text: &str, pad: usize) -> String {
+    let padding = " ".repeat(pad);
+    let mut lines = text.trim_end().lines();
+    let mut out = lines.next().unwrap_or("").to_owned();
+    for line in lines {
+        out.push('\n');
+        out.push_str(&padding);
+        out.push_str(line);
+    }
+    out
+}
+
+impl Certificate {
+    /// Renders the certificate as a JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\n");
+        let _ = write!(out, "  \"kind\": \"");
+        escape_into(&mut out, &self.kind);
+        let _ = writeln!(out, "\",");
+        let _ = writeln!(out, "  \"window\": {},", self.window);
+        let _ = writeln!(out, "  \"input_width\": {},", self.input_width);
+        let _ = writeln!(out, "  \"output_width\": {},", self.output_width);
+        let _ = writeln!(out, "  \"gate_count\": {},", self.gate_count);
+        let _ = writeln!(out, "  \"depth\": {},", self.depth);
+        let _ = writeln!(out, "  \"bounded\": {},", self.bounded);
+        let _ = writeln!(
+            out,
+            "  \"worst_case_delay\": {},",
+            self.worst_case_delay
+                .map_or_else(|| "null".to_owned(), |d| d.to_string())
+        );
+        out.push_str("  \"outputs\": [");
+        for (i, b) in self.outputs.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                out,
+                "    {{ \"line\": {}, \"lo\": {}, \"hi\": {}, \"maybe_silent\": {} }}",
+                b.line,
+                time_json(b.lo),
+                time_json(b.hi),
+                b.maybe_silent
+            );
+        }
+        out.push_str(if self.outputs.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        let _ = writeln!(out, "  \"dead_gates\": {},", usize_list(&self.dead_gates));
+        let _ = writeln!(
+            out,
+            "  \"dead_outputs\": {}",
+            usize_list(&self.dead_outputs)
+        );
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn usize_list(items: &[usize]) -> String {
+    let cells: Vec<String> = items.iter().map(ToString::to_string).collect();
+    format!("[{}]", cells.join(", "))
+}
+
+impl EquivProof {
+    /// Renders the proof as a single-line JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{ \"left\": \"");
+        escape_into(&mut out, &self.left);
+        out.push_str("\", \"right\": \"");
+        escape_into(&mut out, &self.right);
+        out.push_str(&format!(
+            "\", \"window\": {}, \"volleys\": {} }}",
+            self.window, self.volleys
+        ));
+        out
+    }
+}
+
+impl Counterexample {
+    /// Renders the counterexample as a JSON object, including the
+    /// replayable whitespace `volley` form.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\n");
+        out.push_str("  \"left\": \"");
+        escape_into(&mut out, &self.left);
+        out.push_str("\",\n  \"right\": \"");
+        escape_into(&mut out, &self.right);
+        let _ = writeln!(out, "\",");
+        let _ = writeln!(out, "  \"inputs\": {},", times_json(&self.inputs));
+        let _ = writeln!(
+            out,
+            "  \"left_outputs\": {},",
+            times_json(&self.left_outputs)
+        );
+        let _ = writeln!(
+            out,
+            "  \"right_outputs\": {},",
+            times_json(&self.right_outputs)
+        );
+        let _ = writeln!(out, "  \"output\": {},", self.output);
+        out.push_str("  \"volley\": \"");
+        escape_into(&mut out, &self.volley_line());
+        out.push_str("\"\n}\n");
+        out
+    }
+}
+
+impl VerifyOutcome {
+    /// Renders the whole outcome — certificate, proofs, counterexamples,
+    /// and the diagnostics report — as one JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\n  \"version\": 1,\n");
+        out.push_str("  \"kind\": \"");
+        escape_into(&mut out, &self.kind);
+        let _ = writeln!(out, "\",");
+        let _ = writeln!(out, "  \"window\": {},", self.window);
+        let _ = writeln!(
+            out,
+            "  \"certificate\": {},",
+            indent_tail(&self.certificate.to_json(), 2)
+        );
+        out.push_str("  \"proofs\": [");
+        for (i, p) in self.proofs.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(out, "    {}", p.to_json());
+        }
+        out.push_str(if self.proofs.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        out.push_str("  \"counterexamples\": [");
+        for (i, c) in self.counterexamples.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(out, "    {}", indent_tail(&c.to_json(), 4));
+        }
+        out.push_str(if self.counterexamples.is_empty() {
+            "],\n"
+        } else {
+            "\n  ],\n"
+        });
+        let _ = writeln!(
+            out,
+            "  \"report\": {}",
+            indent_tail(&self.report.to_json(), 2)
+        );
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cert::OutputBound;
+
+    #[test]
+    fn certificate_json_maps_infinity_to_null() {
+        let cert = Certificate {
+            kind: "net".to_owned(),
+            window: 3,
+            input_width: 2,
+            output_width: 2,
+            gate_count: 5,
+            depth: 2,
+            outputs: vec![
+                OutputBound {
+                    line: 0,
+                    lo: Time::ZERO,
+                    hi: Time::finite(4),
+                    maybe_silent: true,
+                },
+                OutputBound {
+                    line: 1,
+                    lo: Time::INFINITY,
+                    hi: Time::INFINITY,
+                    maybe_silent: true,
+                },
+            ],
+            worst_case_delay: Some(4),
+            bounded: true,
+            dead_gates: vec![3],
+            dead_outputs: vec![1],
+        };
+        let json = cert.to_json();
+        assert!(json.contains("\"lo\": null"), "{json}");
+        assert!(json.contains("\"worst_case_delay\": 4"), "{json}");
+        assert!(json.contains("\"dead_gates\": [3]"), "{json}");
+        assert!(json.contains("\"dead_outputs\": [1]"), "{json}");
+    }
+
+    #[test]
+    fn counterexample_json_carries_the_replay_volley() {
+        let cex = Counterexample {
+            left: "net".to_owned(),
+            right: "grl".to_owned(),
+            inputs: vec![Time::ZERO, Time::INFINITY],
+            left_outputs: vec![Time::finite(2)],
+            right_outputs: vec![Time::finite(3)],
+            output: 0,
+        };
+        let json = cex.to_json();
+        assert!(json.contains("\"inputs\": [0, null]"), "{json}");
+        assert!(json.contains("\"volley\": \"0 ∞\""), "{json}");
+    }
+}

@@ -1,0 +1,82 @@
+//! The committed-artifact sweep: every file in `examples/data` must
+//! verify clean — all of its lowerings provably agree over the default
+//! window, and its boundedness certificate must hold. This is the same
+//! property the CI verify-gate enforces through the CLI; failing here
+//! means a committed example is semantically broken.
+
+use st_core::FunctionTable;
+use st_verify::{verify_artifact, Artifact, VerifyOptions};
+
+fn data_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples/data")
+}
+
+fn load(path: &std::path::Path) -> Artifact {
+    let text = std::fs::read_to_string(path).unwrap();
+    match path.extension().and_then(|e| e.to_str()) {
+        Some("table") => Artifact::Table(FunctionTable::parse(&text).unwrap()),
+        Some("net") => Artifact::Net(st_net::parse_network(&text).unwrap()),
+        Some("tnn") => Artifact::Column(st_tnn::parse_column(&text).unwrap()),
+        other => panic!(
+            "unexpected artifact extension {other:?} at {}",
+            path.display()
+        ),
+    }
+}
+
+#[test]
+fn every_committed_artifact_verifies_clean() {
+    let mut seen = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(data_dir())
+        .expect("examples/data exists")
+        .map(|e| e.unwrap().path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let artifact = load(&path);
+        let outcome = verify_artifact(&artifact, None, &VerifyOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(
+            outcome.is_verified(),
+            "{}:\n{}",
+            path.display(),
+            outcome.report.render()
+        );
+        assert!(
+            !outcome.proofs.is_empty(),
+            "{}: at least one lowering pair must be proved",
+            path.display()
+        );
+        assert!(
+            outcome.counterexamples.is_empty(),
+            "{}: {:?}",
+            path.display(),
+            outcome.counterexamples
+        );
+        assert!(
+            outcome.certificate.bounded,
+            "{}: certificate must prove boundedness",
+            path.display()
+        );
+        seen += 1;
+    }
+    assert!(
+        seen >= 5,
+        "expected the five committed artifacts, saw {seen}"
+    );
+}
+
+#[test]
+fn the_table_artifact_also_verifies_against_itself_as_spec() {
+    let path = data_dir().join("fig7.table");
+    let table = FunctionTable::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    let outcome = verify_artifact(
+        &Artifact::Table(table.clone()),
+        Some(&table),
+        &VerifyOptions::default(),
+    )
+    .unwrap();
+    assert!(outcome.is_verified(), "{}", outcome.report.render());
+    // table ↔ net, net ↔ grl, table ↔ spec.
+    assert_eq!(outcome.proofs.len(), 3, "{:?}", outcome.proofs);
+}

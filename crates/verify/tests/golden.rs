@@ -1,0 +1,55 @@
+//! Golden-file tests pinning the JSON document shapes.
+//!
+//! The verify JSON is a machine interface (CI gates and editors parse
+//! it), so its exact shape is contract: these tests compare emitted
+//! documents byte-for-byte against committed golden files. When a
+//! deliberate format change invalidates one, regenerate it with
+//! `spacetime verify examples/data/fig6.net --window 3 --json` (the CLI
+//! prints exactly [`VerifyOutcome::to_json`]).
+//!
+//! [`VerifyOutcome::to_json`]: st_verify::VerifyOutcome::to_json
+
+use st_core::FunctionTable;
+use st_verify::{verify_artifact, Artifact, VerifyOptions};
+
+fn data(name: &str) -> String {
+    let path = format!("{}/../../examples/data/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+#[test]
+fn fig6_outcome_json_matches_golden() {
+    let net = st_net::parse_network(&data("fig6.net")).unwrap();
+    let outcome = verify_artifact(
+        &Artifact::Net(net),
+        None,
+        &VerifyOptions { window: Some(3) },
+    )
+    .unwrap();
+    let expected = include_str!("golden/fig6_outcome.json");
+    assert_eq!(outcome.to_json(), expected);
+}
+
+#[test]
+fn fig7_counterexample_json_matches_golden() {
+    let table = FunctionTable::parse(&data("fig7.table")).unwrap();
+    // The spec disagrees with the artifact on the first row's output.
+    let spec = FunctionTable::parse("0 1 2 -> 4\n1 0 ∞ -> 2\n2 2 0 -> 2\n").unwrap();
+    let outcome = verify_artifact(
+        &Artifact::Table(table),
+        Some(&spec),
+        &VerifyOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(outcome.counterexamples.len(), 1);
+    let expected = include_str!("golden/fig7_counterexample.json");
+    assert_eq!(outcome.counterexamples[0].to_json(), expected);
+    // The refutation also lands in the report as an STA101 error.
+    assert_eq!(
+        outcome
+            .report
+            .with_code(st_verify::Code::SpecMismatch)
+            .count(),
+        1
+    );
+}

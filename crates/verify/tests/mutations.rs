@@ -1,0 +1,240 @@
+//! Mutation testing of the bounded equivalence checker.
+//!
+//! For every committed example artifact, this suite injects single-gate
+//! edits (min ↔ max swap, `inc` delta bump, `lt` operand swap, table
+//! output bump) and asserts that the checker refutes each semantically
+//! differing mutant with a **replayable** counterexample: re-evaluating
+//! both sides on the witness volley reproduces exactly the disagreement
+//! the checker reported. Mutants the checker *proves* equivalent are
+//! legitimate (edits to dead gates, symmetric operand swaps) — the suite
+//! asserts that each mutation campaign catches a healthy majority and
+//! never mislabels a true change as equivalent on its own witness.
+
+use st_core::{FunctionTable, Time};
+use st_net::{parse_network, Network};
+use st_tnn::parse_column;
+use st_verify::equiv::{check_equiv, Counterexample, EquivResult};
+use st_verify::eval::{ColumnEvaluator, Evaluator, NetEvaluator, TableEvaluator};
+
+const WINDOW: u64 = 4;
+
+fn data(name: &str) -> String {
+    let path = format!("{}/../../examples/data/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+/// All single-gate text edits of a netlist: `(label, mutated text)`.
+fn net_mutants(text: &str) -> Vec<(String, String)> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut out = Vec::new();
+    let mut push = |label: String, index: usize, new_line: String| {
+        let mut mutated: Vec<String> = lines.iter().map(|&l| l.to_owned()).collect();
+        mutated[index] = new_line;
+        out.push((label, mutated.join("\n") + "\n"));
+    };
+    for (i, line) in lines.iter().enumerate() {
+        if let Some(rest) = line.strip_prefix('#') {
+            let _ = rest;
+            continue;
+        }
+        if line.contains("= min ") {
+            push(
+                format!("line {}: min -> max", i + 1),
+                i,
+                line.replacen("= min ", "= max ", 1),
+            );
+        } else if line.contains("= max ") {
+            push(
+                format!("line {}: max -> min", i + 1),
+                i,
+                line.replacen("= max ", "= min ", 1),
+            );
+        }
+        if let Some(pos) = line.find("= inc ") {
+            let tail = &line[pos + 6..];
+            if let Some(delta) = tail.split_whitespace().next() {
+                if let Ok(d) = delta.parse::<u64>() {
+                    push(
+                        format!("line {}: inc {d} -> inc {}", i + 1, d + 1),
+                        i,
+                        line.replacen(&format!("= inc {d} "), &format!("= inc {} ", d + 1), 1),
+                    );
+                }
+            }
+        }
+        if let Some(pos) = line.find("= lt ") {
+            let args: Vec<&str> = line[pos + 5..].split_whitespace().collect();
+            if let [a, b] = args[..] {
+                push(
+                    format!("line {}: lt {a} {b} -> lt {b} {a}", i + 1),
+                    i,
+                    format!("{}= lt {b} {a}", &line[..pos]),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Asserts a counterexample is an honest, replayable witness: both
+/// evaluators reproduce exactly the outputs the checker recorded, and
+/// they differ on the named line.
+fn assert_replays(cex: &Counterexample, left: &dyn Evaluator, right: &dyn Evaluator) {
+    let l = left.eval(&cex.inputs).expect("left replay");
+    let r = right.eval(&cex.inputs).expect("right replay");
+    assert_eq!(
+        l,
+        cex.left_outputs,
+        "left replay of `{}`",
+        cex.volley_line()
+    );
+    assert_eq!(
+        r,
+        cex.right_outputs,
+        "right replay of `{}`",
+        cex.volley_line()
+    );
+    assert_ne!(
+        l[cex.output],
+        r[cex.output],
+        "witness `{}` must separate output {}",
+        cex.volley_line(),
+        cex.output
+    );
+}
+
+/// Runs a mutation campaign of `original` against its text mutants and
+/// returns `(caught, survived)` counts, validating every witness.
+fn campaign(original: &Network, text: &str, max_mutants: usize) -> (usize, usize) {
+    let orig_eval = NetEvaluator::new(original);
+    let mut caught = 0;
+    let mut survived = 0;
+    for (label, mutated_text) in net_mutants(text).into_iter().take(max_mutants) {
+        let mutant = parse_network(&mutated_text)
+            .unwrap_or_else(|e| panic!("mutant {label} must stay parseable: {e}"));
+        let mutant_eval = NetEvaluator::new(&mutant);
+        match check_equiv(&orig_eval, &mutant_eval, WINDOW).expect(&label) {
+            EquivResult::Refuted(cex) => {
+                assert_replays(&cex, &orig_eval, &mutant_eval);
+                caught += 1;
+            }
+            EquivResult::Proved(_) => survived += 1,
+        }
+    }
+    (caught, survived)
+}
+
+#[test]
+fn fig6_net_mutants_are_caught_with_replayable_witnesses() {
+    let text = data("fig6.net");
+    let original = parse_network(&text).unwrap();
+    let (caught, survived) = campaign(&original, &text, usize::MAX);
+    // fig6 has one min, one inc, one lt — every edit changes the
+    // function.
+    assert_eq!(caught, 3, "caught {caught}, survived {survived}");
+    assert_eq!(survived, 0);
+}
+
+#[test]
+fn wta3_net_mutants_are_caught_with_replayable_witnesses() {
+    let text = data("wta3.net");
+    let original = parse_network(&text).unwrap();
+    let (caught, survived) = campaign(&original, &text, usize::MAX);
+    assert!(caught >= 4, "caught {caught}, survived {survived}");
+}
+
+#[test]
+fn sorter4_net_mutants_are_caught_with_replayable_witnesses() {
+    let text = data("sorter4.net");
+    let original = parse_network(&text).unwrap();
+    let (caught, survived) = campaign(&original, &text, usize::MAX);
+    // Every comparator half (min or max) is load-bearing in a sorting
+    // network; lt does not occur.
+    assert!(caught >= 8, "caught {caught}, survived {survived}");
+    assert_eq!(survived, 0, "no sorter comparator edit is equivalent");
+}
+
+#[test]
+fn fig7_table_mutants_are_refuted_against_the_original_spec() {
+    let text = data("fig7.table");
+    let original = FunctionTable::parse(&text).unwrap();
+    let spec = TableEvaluator::spec(&original);
+    let mut caught = 0;
+    for (i, line) in text.lines().enumerate() {
+        let Some((inputs, output)) = line.split_once("->") else {
+            continue;
+        };
+        let Ok(out_time) = output.trim().parse::<u64>() else {
+            continue;
+        };
+        let mutated: String = text
+            .lines()
+            .enumerate()
+            .map(|(j, l)| {
+                if j == i {
+                    format!("{inputs}-> {}", out_time + 1)
+                } else {
+                    l.to_owned()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n";
+        let mutant = FunctionTable::parse(&mutated).unwrap();
+        let mutant_eval = TableEvaluator::new(&mutant);
+        match check_equiv(&mutant_eval, &spec, WINDOW).unwrap() {
+            EquivResult::Refuted(cex) => {
+                assert_replays(&cex, &mutant_eval, &spec);
+                // The minimal witness needs no tick beyond the mutated
+                // row's own pattern.
+                let extent = cex.inputs.iter().filter_map(|t| t.value()).max();
+                assert!(extent <= Some(2), "row {i}: witness {cex}");
+                caught += 1;
+            }
+            EquivResult::Proved(p) => panic!("row {i} output bump survived: {p}"),
+        }
+    }
+    assert_eq!(caught, 3, "one refutation per mutated row");
+}
+
+#[test]
+fn column2_lowering_mutants_are_caught_against_the_behavioral_column() {
+    let column = parse_column(&data("column2.tnn")).unwrap();
+    let lowered = column.to_network();
+    let text = st_net::network_to_text(&lowered);
+    let col_eval = ColumnEvaluator::new(&column);
+    let mut caught = 0;
+    let mut survived = 0;
+    // The lowering is large and deliberately carries dead micro-weight
+    // gates, so some mutants are genuinely equivalent; a healthy
+    // campaign still catches plenty.
+    for (label, mutated_text) in net_mutants(&text).into_iter().take(60) {
+        let mutant = parse_network(&mutated_text)
+            .unwrap_or_else(|e| panic!("mutant {label} must stay parseable: {e}"));
+        let mutant_eval = NetEvaluator::new(&mutant);
+        match check_equiv(&col_eval, &mutant_eval, WINDOW).expect(&label) {
+            EquivResult::Refuted(cex) => {
+                assert_replays(&cex, &col_eval, &mutant_eval);
+                caught += 1;
+            }
+            EquivResult::Proved(_) => survived += 1,
+        }
+    }
+    assert!(caught >= 5, "caught {caught}, survived {survived}");
+}
+
+#[test]
+fn witnesses_use_infinity_for_silent_lines() {
+    // A mutant whose only difference needs a silent input still gets a
+    // witness, and the witness renders ∞ in the replay form.
+    let original = parse_network("g0 = input\ng1 = input\ng2 = min g0 g1\noutputs g2\n").unwrap();
+    let mutant = parse_network("g0 = input\ng1 = input\ng2 = max g0 g1\noutputs g2\n").unwrap();
+    let left = NetEvaluator::new(&original);
+    let right = NetEvaluator::new(&mutant);
+    let result = check_equiv(&left, &right, 2).unwrap();
+    let cex = result.counterexample().expect("min ≠ max").clone();
+    assert_replays(&cex, &left, &right);
+    // min ≠ max first shows up when exactly one side is silent.
+    assert!(cex.inputs.contains(&Time::INFINITY), "{cex}");
+    assert!(cex.volley_line().contains('∞'), "{}", cex.volley_line());
+}

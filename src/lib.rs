@@ -13,6 +13,7 @@
 //! | [`tnn`] | `st-tnn` | columns, STDP, tempotron, workloads, metrics |
 //! | [`grl`] | `st-grl` | race logic: CMOS netlists, simulation, energy |
 //! | [`lint`] | `st-lint` | static diagnostics over all representations |
+//! | [`verify`] | `st-verify` | boundedness certificates + bounded equivalence |
 //! | [`obs`] | `st-obs` | probes, event traces, rasters, run statistics |
 //! | [`batch`] | (this crate) | compile-once / evaluate-many parallel engine |
 //!
@@ -47,3 +48,4 @@ pub use st_net as net;
 pub use st_neuron as neuron;
 pub use st_obs as obs;
 pub use st_tnn as tnn;
+pub use st_verify as verify;

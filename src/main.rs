@@ -46,11 +46,21 @@ USAGE:
                                                 worker threads; one output
                                                 volley per line)
   spacetime lint <file> [--kind table|net|column] [--json] [--max-window N]
-                                                statically check a table,
+                  [--deny CODE] [--allow CODE]  statically check a table,
                                                 netlist, or column against
                                                 the space-time invariants
-                                                (docs/lint.md); exits 1 on
-                                                error-severity findings
+                                                (docs/lint.md); --deny/--allow
+                                                promote or demote findings by
+                                                STA code
+  spacetime verify <file> [--against <spec.table>] [--kind table|net|column]
+                  [--window N] [--json] [--deny CODE] [--allow CODE]
+                                                prove bounded equivalence of
+                                                every lowering (table ↔ net ↔
+                                                GRL ↔ column, § IV/§ V), emit
+                                                an interval boundedness
+                                                certificate, and report any
+                                                counterexample volley as an
+                                                STA1xx finding (docs/verify.md)
   spacetime trace <file> [--format raster|jsonl|chrome|stats|prom]
                   [--engine table|net|grl|column] [--volleys <file>]
                   [--threads N] [--out <file>]   run a traced evaluation and
@@ -81,10 +91,22 @@ USAGE:
 
 Times are decimal ticks or `inf`/`∞` for \"no event\". Table files contain
 one `x1 x2 … -> y` row per line (`#` comments allowed); see docs/THEORY.md.
+
+`lint` and `verify` exit 0 when clean, 1 on error-severity findings (after
+--deny/--allow overrides), and 2 on operational errors (unreadable file,
+bad flag, unverifiable domain).
 ";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // lint and verify own a three-way exit contract — 0 = clean, 1 =
+    // error-severity findings, 2 = operational error — so CI gates can
+    // tell "the artifact is bad" from "the check could not run".
+    match args.first().map(String::as_str) {
+        Some("lint") => return gate_exit(cmd_lint(&args[1..])),
+        Some("verify") => return gate_exit(cmd_verify(&args[1..])),
+        _ => {}
+    }
     let result = match args.first().map(String::as_str) {
         Some("eval") => cmd_eval(&args[1..]),
         Some("synth") => cmd_synth(&args[1..]),
@@ -98,7 +120,6 @@ fn main() -> ExitCode {
         Some("train") => cmd_train(&args[1..]),
         Some("classify") => cmd_classify(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
-        Some("lint") => cmd_lint(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("help") | None => {
@@ -633,10 +654,38 @@ fn detect_kind(text: &str) -> &'static str {
     "net"
 }
 
-fn cmd_lint(args: &[String]) -> Result<(), String> {
+/// Maps a lint/verify result to the documented exit contract: `Ok(true)`
+/// (clean) → 0, `Ok(false)` (error-severity findings) → 1, `Err`
+/// (operational failure) → 2.
+fn gate_exit(result: Result<bool, String>) -> ExitCode {
+    match result {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Parses one `--deny`/`--allow` value: a comma-separated list of
+/// `STAnnn` codes, appended to `into`.
+fn parse_code_list(value: &str, into: &mut Vec<spacetime::lint::Code>) -> Result<(), String> {
+    for token in value.split(',') {
+        let token = token.trim();
+        let code = spacetime::lint::Code::parse(token)
+            .ok_or_else(|| format!("unknown diagnostic code {token:?} (expected STAnnn)"))?;
+        into.push(code);
+    }
+    Ok(())
+}
+
+fn cmd_lint(args: &[String]) -> Result<bool, String> {
     let mut path = None;
     let mut kind: Option<String> = None;
     let mut json = false;
+    let mut deny = Vec::new();
+    let mut allow = Vec::new();
     let mut options = spacetime::lint::LintOptions::default();
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
@@ -648,12 +697,15 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
                     .parse()
                     .map_err(|e| format!("bad window: {e}"))?;
             }
+            "--deny" => parse_code_list(&flag_value(&mut iter, a)?, &mut deny)?,
+            "--allow" => parse_code_list(&flag_value(&mut iter, a)?, &mut allow)?,
             other if path.is_none() && !other.starts_with('-') => path = Some(other.to_owned()),
             other => return Err(format!("unexpected argument {other:?}")),
         }
     }
     let path = path.ok_or(
-        "usage: spacetime lint <file> [--kind table|net|column] [--json] [--max-window N]",
+        "usage: spacetime lint <file> [--kind table|net|column] [--json] [--max-window N] \
+         [--deny CODE] [--allow CODE]",
     )?;
     let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let kind = match kind.as_deref() {
@@ -661,7 +713,7 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
         Some(other) => return Err(format!("unknown kind {other:?}; expected table|net|column")),
         None => detect_kind(&text),
     };
-    let report = match kind {
+    let mut report = match kind {
         "table" => {
             let table = FunctionTable::parse(&text).map_err(|e| format!("{path}: {e}"))?;
             spacetime::lint::lint_table(&table, &options)
@@ -676,20 +728,81 @@ fn cmd_lint(args: &[String]) -> Result<(), String> {
             spacetime::tnn::lint::lint_column(&column)
         }
     };
+    report.apply_overrides(&deny, &allow);
     if json {
         print!("{}", report.to_json());
     } else {
         print!("{}", report.render());
     }
     eprintln!("{path} ({kind}): {}", report.summary());
-    if report.is_clean() {
-        Ok(())
-    } else {
-        Err(format!(
-            "{path}: lint found {} error(s)",
-            report.error_count()
-        ))
+    Ok(report.is_clean())
+}
+
+fn cmd_verify(args: &[String]) -> Result<bool, String> {
+    use spacetime::verify::{verify_artifact, Artifact, VerifyOptions};
+
+    let mut path = None;
+    let mut against: Option<String> = None;
+    let mut kind: Option<String> = None;
+    let mut json = false;
+    let mut deny = Vec::new();
+    let mut allow = Vec::new();
+    let mut options = VerifyOptions::default();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--against" => against = Some(flag_value(&mut iter, a)?),
+            "--kind" => kind = Some(flag_value(&mut iter, a)?),
+            "--json" => json = true,
+            "--window" => {
+                options.window = Some(
+                    flag_value(&mut iter, a)?
+                        .parse()
+                        .map_err(|e| format!("bad window: {e}"))?,
+                );
+            }
+            "--deny" => parse_code_list(&flag_value(&mut iter, a)?, &mut deny)?,
+            "--allow" => parse_code_list(&flag_value(&mut iter, a)?, &mut allow)?,
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_owned()),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
     }
+    let path = path.ok_or(
+        "usage: spacetime verify <file> [--against <spec.table>] [--kind table|net|column] \
+         [--window N] [--json] [--deny CODE] [--allow CODE]",
+    )?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let kind = match kind.as_deref() {
+        Some(k @ ("table" | "net" | "column")) => k,
+        Some(other) => return Err(format!("unknown kind {other:?}; expected table|net|column")),
+        None => detect_kind(&text),
+    };
+    let artifact = match kind {
+        "table" => {
+            Artifact::Table(FunctionTable::parse(&text).map_err(|e| format!("{path}: {e}"))?)
+        }
+        "net" => {
+            Artifact::Net(spacetime::net::parse_network(&text).map_err(|e| format!("{path}: {e}"))?)
+        }
+        _ => Artifact::Column(
+            spacetime::tnn::parse_column(&text).map_err(|e| format!("{path}: {e}"))?,
+        ),
+    };
+    let spec = against.as_deref().map(load_table).transpose()?;
+    let mut outcome = verify_artifact(&artifact, spec.as_ref(), &options)?;
+    outcome.report.apply_overrides(&deny, &allow);
+    if json {
+        print!("{}", outcome.to_json());
+    } else {
+        print!("{}", outcome.render());
+    }
+    eprintln!(
+        "{path} ({kind}): {} proof(s), {} counterexample(s); {}",
+        outcome.proofs.len(),
+        outcome.counterexamples.len(),
+        outcome.report.summary()
+    );
+    Ok(outcome.report.is_clean())
 }
 
 /// The evaluable form the trace subcommand drives its per-volley spike

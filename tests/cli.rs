@@ -560,3 +560,148 @@ fn bench_rejects_bad_flags_and_reports() {
         .unwrap();
     assert!(!out.status.success());
 }
+
+#[test]
+fn verify_clean_table_exits_zero_with_proofs() {
+    let table = fig7_file();
+    let out = bin().args(["verify", table.to_str()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("certificate (table)"), "{stdout}");
+    assert!(stdout.contains("proved: table ≡ net"), "{stdout}");
+    assert!(stdout.contains("proved: net ≡ grl"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("2 proof(s), 0 counterexample(s)"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn verify_against_wrong_spec_exits_one_with_replayable_counterexample() {
+    let table = fig7_file();
+    let spec = TempFile::with_content("spec.table", "0 1 2 -> 4\n1 0 inf -> 2\n2 2 0 -> 2\n");
+    let out = bin()
+        .args(["verify", table.to_str(), "--against", spec.to_str()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("error[STA101]"), "{stdout}");
+    assert!(stdout.contains("on input [0 1 2]"), "{stdout}");
+    assert!(stdout.contains("spacetime batch"), "{stdout}");
+
+    // The counterexample volley replays through `spacetime batch` and
+    // reproduces the disagreement: the artifact says 3, the spec says 4.
+    let volley = TempFile::with_content("cex.volleys", "0 1 2\n");
+    let replay = |spec_file: &str| {
+        let out = bin()
+            .args(["batch", spec_file, volley.to_str()])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{out:?}");
+        String::from_utf8_lossy(&out.stdout).trim().to_string()
+    };
+    assert_eq!(replay(table.to_str()), "[3]");
+    assert_eq!(replay(spec.to_str()), "[4]");
+}
+
+#[test]
+fn verify_json_emits_certificate_and_report() {
+    let net = fig6_net_file();
+    let out = bin()
+        .args(["verify", net.to_str(), "--json", "--window", "3"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"version\": 1"), "{stdout}");
+    assert!(stdout.contains("\"certificate\": {"), "{stdout}");
+    assert!(stdout.contains("\"worst_case_delay\": 4"), "{stdout}");
+    assert!(stdout.contains("\"proofs\": ["), "{stdout}");
+    assert!(stdout.contains("\"report\": {"), "{stdout}");
+}
+
+#[test]
+fn verify_small_window_warns_sta103_and_deny_promotes_it() {
+    let table = fig7_file();
+    let out = bin()
+        .args(["verify", table.to_str(), "--window", "1"])
+        .output()
+        .unwrap();
+    // A warning alone stays exit 0.
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("warning[STA103]"),
+        "{out:?}"
+    );
+
+    // --deny STA103 promotes the warning to an error: exit 1.
+    let out = bin()
+        .args([
+            "verify",
+            table.to_str(),
+            "--window",
+            "1",
+            "--deny",
+            "STA103",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("error[STA103]"),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn lint_deny_and_allow_override_severities_with_stable_exits() {
+    // STA010 is a warning by default: exit 0. --deny STA010 → exit 1.
+    let wide = TempFile::with_content("deny.table", "0 -> 20\n");
+    let out = bin().args(["lint", wide.to_str()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let out = bin()
+        .args(["lint", wide.to_str(), "--deny", "STA010"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+
+    // STA004 is an error by default: exit 1. --allow STA004 → exit 0.
+    let bad = TempFile::with_content(
+        "allow.net",
+        "g0 = input\ng1 = const 5\ng2 = min g0 g1\noutputs g2\n",
+    );
+    let out = bin().args(["lint", bad.to_str()]).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let out = bin()
+        .args(["lint", bad.to_str(), "--allow", "STA004"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("info[STA004]"),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn lint_and_verify_exit_two_on_operational_errors() {
+    let out = bin().args(["lint", "/nonexistent.table"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let out = bin()
+        .args(["verify", "/nonexistent.table"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let table = fig7_file();
+    let out = bin()
+        .args(["lint", table.to_str(), "--deny", "NOTACODE"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown diagnostic code"),
+        "{out:?}"
+    );
+}
