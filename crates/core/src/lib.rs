@@ -23,6 +23,7 @@
 //! | Module | Contents |
 //! |---|---|
 //! | [`time`] | the domain: [`Time`] with `∞`, order, and arithmetic |
+//! | [`lane`] | u8 lane packing and branch-free SWAR primitives |
 //! | [`ops`] | the primitives and derived operations as free functions |
 //! | [`lattice`] | executable statements of the lattice laws |
 //! | [`function`] | the [`SpaceTimeFunction`] trait and property checkers |
@@ -62,6 +63,7 @@ pub mod compiled;
 pub mod error;
 pub mod expr;
 pub mod function;
+pub mod lane;
 pub mod lattice;
 pub mod ops;
 pub mod parse;

@@ -102,6 +102,12 @@ impl GrlNetlist {
         self.gates[id.0]
     }
 
+    /// Iterates every gate with its [`WireId`], in topological order —
+    /// the traversal plan extractors (e.g. `st-kernel`) flatten from.
+    pub fn iter_gates(&self) -> impl Iterator<Item = (WireId, GrlGate)> + '_ {
+        self.gates.iter().enumerate().map(|(i, &g)| (WireId(i), g))
+    }
+
     /// Census: `(and, or, lt_latches, flipflops)` — the CMOS cost of the
     /// design.
     #[must_use]

@@ -1,0 +1,53 @@
+//! # st-kernel — flattened SWAR volley kernels
+//!
+//! The raw-speed engine for the space-time algebra: a gate network (or a
+//! race-logic netlist) is compiled **once** into a flattened
+//! [`Plan`] — topological order precomputed, struct-of-arrays gate
+//! storage, fan-ins in one contiguous arena — and volleys are then
+//! evaluated **eight at a time**, each input line's spike times packed
+//! into the u8 lanes of a `u64` (see [`st_core::lane`]). The four
+//! primitives `min`/`max`/`lt`/`inc` become a handful of branch-free
+//! SWAR instructions per packet, and an ∞-dominance early-out skips any
+//! gate whose fan-in is all-silent across the whole packet.
+//!
+//! Correctness rides on two facts, both pinned by exhaustive and
+//! differential tests:
+//!
+//! * the lane encoding is an order isomorphism, so unsigned byte ops
+//!   equal the algebra's ops on encoded values;
+//! * a plan-level bound (computed by a one-pass dataflow analysis over
+//!   delays and constants, [`Plan::lane_input_limit`]) tells exactly
+//!   which batches can be lane-packed without saturating; everything
+//!   else takes the scalar path ([`Plan::eval`]), which is bit-identical
+//!   to [`st_net::Network::eval`] at full `u64` precision.
+//!
+//! ```
+//! use st_core::{Time, Volley};
+//! use st_kernel::{Plan, Scratch};
+//! use st_net::sorting::sorting_network;
+//!
+//! let plan = Plan::from_network(&sorting_network(4));
+//! let t = Time::finite;
+//! let volley = Volley::new(vec![t(3), Time::INFINITY, t(0), t(2)]);
+//!
+//! // Scalar path: one volley at full u64 precision.
+//! assert_eq!(
+//!     plan.eval(volley.times())?,
+//!     vec![t(0), t(2), t(3), Time::INFINITY]
+//! );
+//!
+//! // Lane path: up to eight volleys per packet.
+//! let batch = vec![volley.clone(), volley];
+//! let mut out = vec![Volley::new(Vec::new()); 2];
+//! let mut scratch = Scratch::default();
+//! assert!(plan.lane_capable(&batch));
+//! plan.eval_packet(&mut scratch, &batch, &mut out);
+//! assert_eq!(out[0].times(), &[t(0), t(2), t(3), Time::INFINITY]);
+//! # Ok::<(), st_core::CoreError>(())
+//! ```
+
+pub mod packet;
+pub mod plan;
+
+pub use packet::{PacketStats, Scratch};
+pub use plan::{Op, Plan};

@@ -1,0 +1,225 @@
+//! The lane-packed packet executor: eight volleys per pass.
+//!
+//! A *packet* is up to [`lane::LANES`] volleys evaluated together: each
+//! input line's eight spike times are packed into one `u64` word, every
+//! gate computes its SWAR op on whole words in the plan's flattened
+//! topological order, and the output words are unpacked back into
+//! per-volley output volleys. The per-gate inner loop is branch-free
+//! except for the **∞-dominance early-out**: a gate whose entire fan-in
+//! is all-silent (`∞` in every lane of every source) is skipped — its
+//! output is all-silent by the algebra's absorption laws — which pays
+//! off on sparse volleys where silence dominates whole subgraphs.
+
+use st_core::{lane, Volley};
+
+use crate::plan::{Op, Plan};
+
+/// Reusable per-worker buffers for packet evaluation, so the hot loop
+/// never allocates: one word per gate, one word per input line, one
+/// word per output line.
+#[derive(Debug, Default, Clone)]
+pub struct Scratch {
+    values: Vec<u64>,
+    inputs: Vec<u64>,
+    outputs: Vec<u64>,
+}
+
+/// What one [`Plan::eval_packet`] call did — deterministic counts, the
+/// raw material for the `kernel.*` metrics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PacketStats {
+    /// Gates evaluated with SWAR ops.
+    pub gates_swar: u64,
+    /// Gates skipped by the ∞-dominance early-out.
+    pub gates_skipped: u64,
+}
+
+impl PacketStats {
+    /// Accumulates another packet's counts into this one.
+    pub fn absorb(&mut self, other: PacketStats) {
+        self.gates_swar += other.gates_swar;
+        self.gates_skipped += other.gates_skipped;
+    }
+}
+
+impl Plan {
+    /// Evaluates one packet of up to eight volleys through the lane
+    /// path, writing one output [`Volley`] per input volley into `out`.
+    ///
+    /// Callers must pre-check the batch with [`Plan::lane_capable`] and
+    /// volley widths with [`Plan::input_count`]; within that contract
+    /// the results are bit-identical to [`Plan::eval`] on each volley.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `volleys` is empty or longer than [`lane::LANES`], if
+    /// `out` is shorter than `volleys`, or if a volley violates the
+    /// width/bound contract above.
+    pub fn eval_packet(
+        &self,
+        scratch: &mut Scratch,
+        volleys: &[Volley],
+        out: &mut [Volley],
+    ) -> PacketStats {
+        let members = volleys.len();
+        assert!(
+            (1..=lane::LANES).contains(&members),
+            "1..=8 volleys per packet"
+        );
+        assert!(out.len() >= members, "output slice too short");
+
+        // Transpose the volleys into one packed word per input line.
+        scratch.inputs.clear();
+        scratch.inputs.resize(self.input_count(), lane::ALL_INF);
+        for (j, volley) in volleys.iter().enumerate() {
+            let times = volley.times();
+            assert!(
+                times.len() == self.input_count(),
+                "volley width pre-checked"
+            );
+            for (line, &t) in times.iter().enumerate() {
+                let byte = lane::encode(t).expect("lane bound pre-checked");
+                let shift = 8 * j;
+                scratch.inputs[line] =
+                    (scratch.inputs[line] & !(0xFF << shift)) | (u64::from(byte) << shift);
+            }
+        }
+
+        let mut stats = PacketStats::default();
+        let ops = self.ops();
+        let args = self.args();
+        scratch.values.clear();
+        scratch.values.reserve(ops.len());
+        for g in 0..ops.len() {
+            let word = match ops[g] {
+                Op::Input => scratch.inputs[args[g] as usize],
+                Op::Const => self.lane_consts()[args[g] as usize],
+                op => {
+                    let srcs = self.fan_in(g);
+                    let silent = !srcs.is_empty()
+                        && srcs
+                            .iter()
+                            .all(|&s| scratch.values[s as usize] == lane::ALL_INF);
+                    if silent {
+                        // ∞-dominance: an all-silent fan-in forces an
+                        // all-silent output for every op (∧, ∨, ≺, +c
+                        // all map ∞ to ∞), so skip the SWAR work.
+                        stats.gates_skipped += 1;
+                        lane::ALL_INF
+                    } else {
+                        stats.gates_swar += 1;
+                        match op {
+                            Op::Min => srcs[1..]
+                                .iter()
+                                .fold(scratch.values[srcs[0] as usize], |acc, &s| {
+                                    lane::min(acc, scratch.values[s as usize])
+                                }),
+                            Op::Max => srcs[1..]
+                                .iter()
+                                .fold(scratch.values[srcs[0] as usize], |acc, &s| {
+                                    lane::max(acc, scratch.values[s as usize])
+                                }),
+                            Op::Lt => lane::lt_gate(
+                                scratch.values[srcs[0] as usize],
+                                scratch.values[srcs[1] as usize],
+                            ),
+                            Op::Inc => lane::inc(
+                                scratch.values[srcs[0] as usize],
+                                self.lane_delays()[args[g] as usize],
+                            ),
+                            Op::Input | Op::Const => unreachable!("handled above"),
+                        }
+                    }
+                }
+            };
+            scratch.values.push(word);
+        }
+
+        // Untranspose: one output word per line → one volley per lane.
+        scratch.outputs.clear();
+        scratch
+            .outputs
+            .extend(self.outputs().iter().map(|&o| scratch.values[o as usize]));
+        for (j, slot) in out.iter_mut().enumerate().take(members) {
+            let times = scratch
+                .outputs
+                .iter()
+                .map(|&word| lane::decode(lane::get(word, j)))
+                .collect();
+            *slot = Volley::new(times);
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_core::Time;
+    use st_net::sorting::sorting_network;
+
+    fn t(v: u64) -> Time {
+        Time::finite(v)
+    }
+
+    #[test]
+    fn packet_matches_scalar_on_a_sorter() {
+        let plan = Plan::from_network(&sorting_network(4));
+        let volleys: Vec<Volley> = (0..8)
+            .map(|i| {
+                Volley::new(vec![
+                    t(7 - i % 8),
+                    if i % 3 == 0 { Time::INFINITY } else { t(i) },
+                    t(i * 31 % 254),
+                    t(3),
+                ])
+            })
+            .collect();
+        assert!(plan.lane_capable(&volleys));
+        let mut out = vec![Volley::new(Vec::new()); volleys.len()];
+        let mut scratch = Scratch::default();
+        plan.eval_packet(&mut scratch, &volleys, &mut out);
+        for (volley, got) in volleys.iter().zip(&out) {
+            let scalar = plan.eval(volley.times()).unwrap();
+            assert_eq!(got.times(), &scalar[..], "volley {volley}");
+        }
+    }
+
+    #[test]
+    fn partial_packets_pad_with_silence() {
+        let plan = Plan::from_network(&sorting_network(2));
+        let volleys = vec![Volley::new(vec![t(5), t(1)])];
+        let mut out = vec![Volley::new(Vec::new())];
+        let mut scratch = Scratch::default();
+        plan.eval_packet(&mut scratch, &volleys, &mut out);
+        assert_eq!(out[0].times(), &[t(1), t(5)]);
+    }
+
+    #[test]
+    fn all_silent_batch_skips_every_gate() {
+        let plan = Plan::from_network(&sorting_network(4));
+        let volleys = vec![Volley::silent(4); 8];
+        let mut out = vec![Volley::new(Vec::new()); 8];
+        let mut scratch = Scratch::default();
+        let stats = plan.eval_packet(&mut scratch, &volleys, &mut out);
+        assert_eq!(stats.gates_swar, 0);
+        assert!(stats.gates_skipped > 0);
+        for volley in &out {
+            assert!(volley.times().iter().all(|t| t.is_infinite()));
+        }
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_plans() {
+        let small = Plan::from_network(&sorting_network(2));
+        let big = Plan::from_network(&sorting_network(6));
+        let mut scratch = Scratch::default();
+        let v_small = vec![Volley::new(vec![t(2), t(0)]); 3];
+        let v_big = vec![Volley::new(vec![t(5), t(4), t(3), t(2), t(1), t(0)]); 3];
+        let mut out = vec![Volley::new(Vec::new()); 3];
+        big.eval_packet(&mut scratch, &v_big, &mut out);
+        assert_eq!(out[1].times(), &[t(0), t(1), t(2), t(3), t(4), t(5)]);
+        small.eval_packet(&mut scratch, &v_small, &mut out);
+        assert_eq!(out[2].times(), &[t(0), t(2)]);
+    }
+}

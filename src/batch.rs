@@ -8,9 +8,10 @@
 //! hoists compilation out of the hot path and fans evaluation out across
 //! worker threads.
 //!
-//! [`CompiledArtifact`] is the compile-once half: one enum over the four
+//! [`CompiledArtifact`] is the compile-once half: one enum over the five
 //! evaluable forms (normalized function table, gate network, SRM0/WTA
-//! column, GRL netlist), each stored in its pre-indexed representation.
+//! column, GRL netlist, flattened SWAR kernel plan), each stored in its
+//! pre-indexed representation.
 //! [`BatchEvaluator`] is the evaluate-many half: it splits a volley batch
 //! into contiguous chunks, one per worker thread (`std::thread::scope`, no
 //! dependencies), and evaluates each chunk against the shared artifact.
@@ -41,8 +42,9 @@
 use std::fmt;
 use std::time::Instant;
 
-use st_core::{CompiledTable, CoreError, FunctionTable, Volley};
+use st_core::{lane, CompiledTable, CoreError, FunctionTable, Volley};
 use st_grl::{compile_network, GrlNetlist, GrlSim};
+use st_kernel::{PacketStats, Plan, Scratch};
 use st_metrics::{MetricSink, MetricsRegistry, NullMetrics};
 use st_net::{CompiledNetwork, EventSim, Network};
 use st_obs::{NullProbe, ObsEvent, Probe};
@@ -65,6 +67,11 @@ pub enum CompiledArtifact {
     Column(Column),
     /// A race-logic netlist, cycle-accurately simulated ([`GrlSim`]).
     Grl(GrlNetlist),
+    /// A flattened SWAR execution plan ([`Plan`]). Batches whose inputs
+    /// fit the plan's lane bound take the eight-volleys-per-packet SWAR
+    /// path; everything else falls back to the bit-identical scalar
+    /// plan evaluator.
+    Kernel(Plan),
 }
 
 impl CompiledArtifact {
@@ -87,6 +94,20 @@ impl CompiledArtifact {
         CompiledArtifact::Grl(compile_network(network))
     }
 
+    /// Flattens a network into a SWAR execution plan (see
+    /// [`Plan::from_network`]).
+    #[must_use]
+    pub fn from_kernel_network(network: &Network) -> CompiledArtifact {
+        CompiledArtifact::Kernel(Plan::from_network(network))
+    }
+
+    /// Flattens a race-logic netlist into a SWAR execution plan (see
+    /// [`Plan::from_grl`]).
+    #[must_use]
+    pub fn from_kernel_grl(netlist: &GrlNetlist) -> CompiledArtifact {
+        CompiledArtifact::Kernel(Plan::from_grl(netlist))
+    }
+
     /// The input width every volley must have.
     #[must_use]
     pub fn input_width(&self) -> usize {
@@ -95,6 +116,7 @@ impl CompiledArtifact {
             CompiledArtifact::Network(n) => n.input_count(),
             CompiledArtifact::Column(c) => c.input_width(),
             CompiledArtifact::Grl(g) => g.input_count(),
+            CompiledArtifact::Kernel(p) => p.input_count(),
         }
     }
 
@@ -106,6 +128,7 @@ impl CompiledArtifact {
             CompiledArtifact::Network(n) => n.output_count(),
             CompiledArtifact::Column(c) => c.output_width(),
             CompiledArtifact::Grl(g) => g.outputs().len(),
+            CompiledArtifact::Kernel(p) => p.output_width(),
         }
     }
 
@@ -158,6 +181,7 @@ impl CompiledArtifact {
             CompiledArtifact::Grl(g) => GrlSim::new()
                 .run_metered(g, volley.times(), sink)
                 .map(|r| Volley::new(r.outputs)),
+            CompiledArtifact::Kernel(p) => p.eval_metered(volley.times(), sink).map(Volley::new),
         }
     }
 }
@@ -183,6 +207,12 @@ impl From<Column> for CompiledArtifact {
 impl From<GrlNetlist> for CompiledArtifact {
     fn from(netlist: GrlNetlist) -> CompiledArtifact {
         CompiledArtifact::Grl(netlist)
+    }
+}
+
+impl From<Plan> for CompiledArtifact {
+    fn from(plan: Plan) -> CompiledArtifact {
+        CompiledArtifact::Kernel(plan)
     }
 }
 
@@ -331,6 +361,16 @@ impl BatchEvaluator {
         probe: &mut P,
         sink: &mut M,
     ) -> Result<Vec<Volley>, BatchError> {
+        if let CompiledArtifact::Kernel(plan) = artifact {
+            let widths_ok = volleys.iter().all(|v| v.width() == plan.input_count());
+            if !volleys.is_empty() && widths_ok && plan.lane_capable(volleys) {
+                return Ok(self.eval_kernel_packets(plan, volleys, probe, sink));
+            }
+            // Otherwise fall through: the generic per-volley path below
+            // runs the scalar plan evaluator (bit-identical at full u64
+            // precision) and reports the lowest failing index on a
+            // width mismatch, exactly like every other engine.
+        }
         let enabled = probe.is_enabled();
         let metered = sink.is_live();
         let timed = enabled || metered;
@@ -532,6 +572,167 @@ impl BatchEvaluator {
             });
         }
         Ok(outputs)
+    }
+
+    /// The lane-packed fast path behind [`BatchEvaluator::eval_instrumented`]
+    /// for [`CompiledArtifact::Kernel`] batches within the plan's lane
+    /// bound (so it cannot fail — arity and bounds are pre-checked).
+    ///
+    /// Volleys are evaluated eight per packet; worker chunks are
+    /// **packet-aligned** (a multiple of eight volleys), so the packet
+    /// partition — and with it every deterministic `kernel.*` counter —
+    /// is identical at every thread count, exactly as the generic path's
+    /// engine counters are. Per-volley [`ObsEvent::VolleyTimed`] events
+    /// report each volley's even share of its packet's wall-clock time.
+    fn eval_kernel_packets<P: Probe, M: MetricSink>(
+        &self,
+        plan: &Plan,
+        volleys: &[Volley],
+        probe: &mut P,
+        sink: &mut M,
+    ) -> Vec<Volley> {
+        let enabled = probe.is_enabled();
+        let metered = sink.is_live();
+        let timed = enabled || metered;
+        let stage_start = Instant::now(); // cheap; read only when timed
+        let packets = volleys.len().div_ceil(lane::LANES);
+        let workers = self.threads.min(packets).max(1);
+        let mut outputs: Vec<Volley> = Vec::with_capacity(volleys.len());
+        outputs.resize_with(volleys.len(), || Volley::new(Vec::new()));
+
+        // One worker's packet loop over a contiguous chunk of volleys.
+        let run_chunk = |base: usize,
+                         in_chunk: &[Volley],
+                         out_chunk: &mut [Volley]|
+         -> (PacketStats, Vec<(usize, u64, usize)>) {
+            let mut scratch = Scratch::default();
+            let mut stats = PacketStats::default();
+            let mut timings = Vec::new();
+            for (p, (p_in, p_out)) in in_chunk
+                .chunks(lane::LANES)
+                .zip(out_chunk.chunks_mut(lane::LANES))
+                .enumerate()
+            {
+                let t0 = timed.then(Instant::now);
+                stats.absorb(plan.eval_packet(&mut scratch, p_in, p_out));
+                if let Some(t0) = t0 {
+                    let share = t0.elapsed().as_nanos() as u64 / p_in.len() as u64;
+                    let packet_base = base + p * lane::LANES;
+                    for (k, slot) in p_out.iter().enumerate().take(p_in.len()) {
+                        timings.push((packet_base + k, share, slot.spike_count()));
+                    }
+                }
+            }
+            (stats, timings)
+        };
+
+        // (worker, base, len, start_nanos, nanos, packets, stats, timings).
+        type KernelChunkTrace = (usize, usize, usize, u64, u64, u64, PacketStats);
+        let (stats, chunk_count, mut traces, mut volley_timings) = if workers == 1 {
+            let (stats, timings) = run_chunk(0, volleys, &mut outputs);
+            let nanos = if timed {
+                stage_start.elapsed().as_nanos() as u64
+            } else {
+                0
+            };
+            let trace = (0, 0, volleys.len(), 0, nanos, packets as u64, stats);
+            (stats, 1u64, vec![trace], timings)
+        } else {
+            // Packet-aligned chunking: every chunk but the last is a
+            // multiple of eight volleys.
+            let chunk_len = packets.div_ceil(workers) * lane::LANES;
+            let (traces, timings) = std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(workers);
+                for (w, (in_chunk, out_chunk)) in volleys
+                    .chunks(chunk_len)
+                    .zip(outputs.chunks_mut(chunk_len))
+                    .enumerate()
+                {
+                    let base = w * chunk_len;
+                    let run_chunk = &run_chunk;
+                    handles.push(scope.spawn(move || {
+                        let chunk_start = timed.then(Instant::now);
+                        let (stats, timings) = run_chunk(base, in_chunk, out_chunk);
+                        let (start_nanos, nanos) = chunk_start.map_or((0, 0), |t0| {
+                            (
+                                (t0 - stage_start).as_nanos() as u64,
+                                t0.elapsed().as_nanos() as u64,
+                            )
+                        });
+                        let chunk_packets = in_chunk.len().div_ceil(lane::LANES) as u64;
+                        let trace: KernelChunkTrace = (
+                            w,
+                            base,
+                            in_chunk.len(),
+                            start_nanos,
+                            nanos,
+                            chunk_packets,
+                            stats,
+                        );
+                        (trace, timings)
+                    }));
+                }
+                let mut traces: Vec<KernelChunkTrace> = Vec::new();
+                let mut timings: Vec<(usize, u64, usize)> = Vec::new();
+                // Worker-order collection keeps the merge deterministic.
+                for handle in handles {
+                    let (trace, chunk_timings) = handle.join().expect("kernel worker panicked");
+                    traces.push(trace);
+                    timings.extend(chunk_timings);
+                }
+                (traces, timings)
+            });
+            let mut stats = PacketStats::default();
+            for &(.., s) in &traces {
+                stats.absorb(s);
+            }
+            let chunks = traces.len() as u64;
+            (stats, chunks, traces, timings)
+        };
+
+        if timed {
+            volley_timings.sort_unstable_by_key(|&(index, _, _)| index);
+            traces.sort_unstable_by_key(|&(worker, ..)| worker);
+        }
+        if metered {
+            let mut merged = MetricsRegistry::new();
+            merged.incr("batch.volleys", volleys.len() as u64);
+            merged.incr("batch.chunks", chunk_count);
+            merged.incr("kernel.packets", packets as u64);
+            merged.incr("kernel.gates_swar", stats.gates_swar);
+            merged.incr("kernel.gates_skipped", stats.gates_skipped);
+            for &(_, nanos, _) in &volley_timings {
+                merged.observe("batch.volley_nanos", nanos);
+            }
+            for &(_, _, _, _, nanos, _, _) in &traces {
+                merged.observe("batch.chunk_nanos", nanos);
+            }
+            sink.absorb(&merged);
+        }
+        if enabled {
+            for &(index, nanos, spikes) in &volley_timings {
+                probe.record(ObsEvent::VolleyTimed {
+                    index,
+                    nanos,
+                    spikes,
+                });
+            }
+            for &(worker, start, len, start_nanos, nanos, _, _) in &traces {
+                probe.record(ObsEvent::ChunkTiming {
+                    worker,
+                    start,
+                    len,
+                    start_nanos,
+                    nanos,
+                });
+            }
+            probe.record(ObsEvent::StageTiming {
+                stage: "eval",
+                start_nanos: 0,
+                nanos: stage_start.elapsed().as_nanos() as u64,
+            });
+        }
+        outputs
     }
 }
 

@@ -1,8 +1,9 @@
 //! The `spacetime bench` harness: a deterministic scenario matrix over the
-//! four evaluation engines, timed through the batch evaluator with the
+//! five evaluation engines, timed through the batch evaluator with the
 //! st-metrics counters attached.
 //!
-//! Each [`ScenarioSpec`] names an engine (`table`, `net`, `grl`, `tnn`), a
+//! Each [`ScenarioSpec`] names an engine (`table`, `net`, `grl`, `tnn`,
+//! `kernel`), a
 //! size parameter, and a thread count. Running a spec builds the artifact,
 //! generates a deterministic volley workload, performs warmup iterations,
 //! then times the measured iterations while a [`MetricsRegistry`]
@@ -78,7 +79,13 @@ fn matrix(sizes: &[(&'static str, usize)], threads: &[usize], iters: u64) -> Vec
 #[must_use]
 pub fn quick_matrix() -> Vec<ScenarioSpec> {
     matrix(
-        &[("table", 3), ("net", 8), ("grl", 4), ("tnn", 8)],
+        &[
+            ("table", 3),
+            ("net", 8),
+            ("grl", 4),
+            ("tnn", 8),
+            ("kernel", 8),
+        ],
         &[1, 2],
         10,
     )
@@ -98,6 +105,8 @@ pub fn full_matrix() -> Vec<ScenarioSpec> {
             ("grl", 8),
             ("tnn", 8),
             ("tnn", 16),
+            ("kernel", 8),
+            ("kernel", 16),
         ],
         &[1, 2, 4],
         30,
@@ -111,6 +120,9 @@ pub fn full_matrix() -> Vec<ScenarioSpec> {
 /// - `net`: a `size`-wide bitonic sorting network under the event sim.
 /// - `grl`: the same sorting network lowered to a race-logic netlist.
 /// - `tnn`: a fresh `size`×`size` SRM0 column with 1-WTA inhibition.
+/// - `kernel`: the `net` sorting network flattened into a lane-packed
+///   SWAR plan — the same computation as `net`, so the two rows read as
+///   a direct engine-vs-engine speedup.
 ///
 /// # Errors
 ///
@@ -127,6 +139,9 @@ pub fn build_artifact(engine: &str, size: usize) -> Result<CompiledArtifact, Str
         }
         "net" => Ok(CompiledArtifact::from_network(&sorting_network(size))),
         "grl" => Ok(CompiledArtifact::from_grl_network(&sorting_network(size))),
+        "kernel" => Ok(CompiledArtifact::from_kernel_network(&sorting_network(
+            size,
+        ))),
         "tnn" => Ok(CompiledArtifact::Column(fresh_column(
             size,
             size,
@@ -134,7 +149,7 @@ pub fn build_artifact(engine: &str, size: usize) -> Result<CompiledArtifact, Str
             &TrainConfig::default(),
         ))),
         other => Err(format!(
-            "unknown engine {other:?} (expected table, net, grl, or tnn)"
+            "unknown engine {other:?} (expected table, net, grl, tnn, or kernel)"
         )),
     }
 }
@@ -281,7 +296,7 @@ mod tests {
     #[test]
     fn quick_matrix_covers_all_engines_at_two_thread_counts() {
         let specs = quick_matrix();
-        for engine in ["table", "net", "grl", "tnn"] {
+        for engine in ["table", "net", "grl", "tnn", "kernel"] {
             let threads: Vec<usize> = specs
                 .iter()
                 .filter(|s| s.engine == engine)
@@ -309,7 +324,13 @@ mod tests {
 
     #[test]
     fn every_engine_builds_and_runs_one_scenario() {
-        for (engine, size) in [("table", 3), ("net", 8), ("grl", 4), ("tnn", 8)] {
+        for (engine, size) in [
+            ("table", 3),
+            ("net", 8),
+            ("grl", 4),
+            ("tnn", 8),
+            ("kernel", 8),
+        ] {
             let spec = ScenarioSpec {
                 engine,
                 size,

@@ -12,6 +12,7 @@
 //! | [`neuron`] | `st-neuron` | SRM0 neurons, responses, RBF units |
 //! | [`tnn`] | `st-tnn` | columns, STDP, tempotron, workloads, metrics |
 //! | [`grl`] | `st-grl` | race logic: CMOS netlists, simulation, energy |
+//! | [`kernel`] | `st-kernel` | flattened SWAR volley kernels, 8 lanes per word |
 //! | [`lint`] | `st-lint` | static diagnostics over all representations |
 //! | [`verify`] | `st-verify` | boundedness certificates + bounded equivalence |
 //! | [`obs`] | `st-obs` | probes, event traces, rasters, run statistics |
@@ -42,6 +43,7 @@ pub mod bench;
 
 pub use st_core as core;
 pub use st_grl as grl;
+pub use st_kernel as kernel;
 pub use st_lint as lint;
 pub use st_metrics as metrics;
 pub use st_net as net;

@@ -40,7 +40,7 @@ USAGE:
                   [--save <column-file>]        unsupervised WTA+STDP training
   spacetime classify <column-file> <t1> <t2> …  run a trained column on one
                                                 volley
-  spacetime batch <spec-file> <volleys-file> [--engine table|net|grl|column]
+  spacetime batch <spec-file> <volleys-file> [--engine table|net|grl|column|kernel]
                   [--threads N]                 evaluate a whole volley file
                                                 (compile once, fan out over
                                                 worker threads; one output
@@ -569,7 +569,7 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         }
     }
     let usage =
-        "usage: spacetime batch <spec-file> <volleys-file> [--engine table|net|grl|column] [--threads N]";
+        "usage: spacetime batch <spec-file> <volleys-file> [--engine table|net|grl|column|kernel] [--threads N]";
     let spec = spec.ok_or(usage)?;
     let volleys_path = volleys_path.ok_or(usage)?;
 
@@ -583,6 +583,10 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
             let network = synthesize(&load_table(&spec)?, SynthesisOptions::default());
             CompiledArtifact::from_grl_network(&network)
         }
+        "kernel" => {
+            let network = synthesize(&load_table(&spec)?, SynthesisOptions::default());
+            CompiledArtifact::from_kernel_network(&network)
+        }
         "column" => {
             let text =
                 std::fs::read_to_string(&spec).map_err(|e| format!("cannot read {spec}: {e}"))?;
@@ -591,7 +595,7 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
         }
         other => {
             return Err(format!(
-                "unknown engine {other:?}; expected table|net|grl|column"
+                "unknown engine {other:?}; expected table|net|grl|column|kernel"
             ))
         }
     };

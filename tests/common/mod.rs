@@ -1,0 +1,3 @@
+//! Shared helpers for the top-level integration test suites.
+
+pub mod arbitrary;

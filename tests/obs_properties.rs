@@ -4,50 +4,20 @@
 //! threads. This is the zero-perturbation contract of `st-obs`: a probe may
 //! watch a computation, never steer it.
 
+mod common;
+
+use common::arbitrary::{arb_neuron, arb_volley};
 use proptest::prelude::*;
 use spacetime::batch::{BatchEvaluator, CompiledArtifact};
-use spacetime::core::{Time, Volley};
+use spacetime::core::Volley;
 use spacetime::grl::{compile_network, GrlSim};
 use spacetime::net::EventSim;
 use spacetime::neuron::structural::srm0_network;
-use spacetime::neuron::{ResponseFn, Srm0Neuron, Synapse};
+use spacetime::neuron::Srm0Neuron;
 use spacetime::obs::{ObsEvent, Recorder};
 use spacetime::tnn::data::PatternDataset;
 use spacetime::tnn::train::{fresh_column, train_column, train_column_probed, TrainConfig};
 use spacetime::tnn::{Column, Inhibition};
-
-fn arb_response() -> impl Strategy<Value = ResponseFn> {
-    prop_oneof![
-        Just(ResponseFn::fig11_biexponential()),
-        (1u32..3, 1u64..3, 1u64..4).prop_map(|(p, r, f)| ResponseFn::piecewise_linear(p, r, f)),
-        (1u32..3).prop_map(ResponseFn::step),
-    ]
-}
-
-fn arb_neuron() -> impl Strategy<Value = Srm0Neuron> {
-    (
-        arb_response(),
-        prop::collection::vec((0u64..3, 0i32..3), 1..=3),
-        1u32..5,
-    )
-        .prop_map(|(r, syn, theta)| {
-            Srm0Neuron::new(
-                r,
-                syn.into_iter().map(|(d, w)| Synapse::new(d, w)).collect(),
-                theta,
-            )
-        })
-}
-
-fn arb_volley(width: usize) -> impl Strategy<Value = Vec<Time>> {
-    prop::collection::vec(
-        prop_oneof![
-            3 => (0u64..6).prop_map(Time::finite),
-            1 => Just(Time::INFINITY),
-        ],
-        width,
-    )
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]

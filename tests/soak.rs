@@ -3,26 +3,16 @@
 //! Run with `cargo test --release --test soak -- --ignored` when you want
 //! heavyweight assurance (a few minutes) rather than CI latency.
 
+mod common;
+
+use common::arbitrary::random_volley;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use spacetime::core::Time;
 use spacetime::grl::{compile_network, GrlSim};
 use spacetime::net::sorting::sorting_network;
 use spacetime::net::EventSim;
 use spacetime::neuron::structural::srm0_network;
 use spacetime::neuron::{ResponseFn, Srm0Neuron, Synapse};
-
-fn random_volley(n: usize, rng: &mut StdRng) -> Vec<Time> {
-    (0..n)
-        .map(|_| {
-            if rng.random_bool(0.2) {
-                Time::INFINITY
-            } else {
-                Time::finite(rng.random_range(0..64))
-            }
-        })
-        .collect()
-}
 
 #[test]
 #[ignore = "soak: ~minutes in release"]
@@ -31,7 +21,7 @@ fn wide_sorters_match_std_sort() {
     for &n in &[64usize, 128, 200] {
         let net = sorting_network(n);
         for _ in 0..50 {
-            let inputs = random_volley(n, &mut rng);
+            let inputs = random_volley(n, 64, &mut rng);
             let mut expected = inputs.clone();
             expected.sort();
             assert_eq!(net.eval(&inputs).unwrap(), expected);
@@ -53,15 +43,7 @@ fn big_neuron_four_way_agreement() {
     let event = EventSim::new();
     let cmos = GrlSim::new();
     for _ in 0..300 {
-        let inputs: Vec<Time> = (0..6)
-            .map(|_| {
-                if rng.random_bool(0.25) {
-                    Time::INFINITY
-                } else {
-                    Time::finite(rng.random_range(0..10))
-                }
-            })
-            .collect();
+        let inputs = random_volley(6, 10, &mut rng);
         let behavioral = neuron.eval(&inputs);
         assert_eq!(network.eval(&inputs).unwrap()[0], behavioral);
         assert_eq!(event.run(&network, &inputs).unwrap().outputs[0], behavioral);
