@@ -2,7 +2,8 @@
 //! precomputed topological order, plus the scalar reference evaluator.
 
 use st_core::{lane, CoreError, Time};
-use st_grl::{GrlGate, GrlNetlist};
+use st_grl::GrlNetlist;
+use st_lint::{LintGraph, LintOp};
 use st_metrics::MetricSink;
 use st_net::{GateKind, Network};
 use st_obs::{ObsEvent, Probe};
@@ -107,41 +108,36 @@ impl Plan {
     /// `lt` latch computes `≺`, a flip-flop stage is `+1`, a tied-high
     /// wire is `∞`, and a configuration fall is a finite constant.
     ///
-    /// Flip-flop **delay chains are fused**: a `Delay` whose source is
-    /// itself an `Inc` is emitted as one `Inc` with the summed delay,
-    /// and the dead intermediate stages are swept out of the plan, so an
+    /// Flip-flop **delay chains are fused** through the shared `st-opt`
+    /// rewrites ([`st_opt::graphopt::fuse_delay_chains`] followed by
+    /// [`st_opt::graphopt::sweep_unreachable`]): a `Delay` whose source
+    /// is itself a delay is emitted as one `Inc` with the summed delay,
+    /// and the dead intermediate stages never reach the plan, so an
     /// `N`-cycle chain costs one gate instead of `N`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the netlist uses a gate this crate does not know (none
-    /// exist today; `GrlGate` is `#[non_exhaustive]`).
     #[must_use]
     pub fn from_grl(netlist: &GrlNetlist) -> Plan {
-        let mut b = Builder::new(netlist.input_count());
-        for (_, gate) in netlist.iter_gates() {
-            match gate {
-                GrlGate::Input(n) => b.push_input(n),
-                GrlGate::High => b.push_const(Time::INFINITY),
-                GrlGate::FallAt(c) => b.push_const(Time::finite(c)),
-                GrlGate::And(a, x) => {
-                    let srcs = [gate_index(a.index()), gate_index(x.index())];
-                    b.push(Op::Min, 0, &srcs);
-                }
-                GrlGate::Or(a, x) => {
-                    let srcs = [gate_index(a.index()), gate_index(x.index())];
-                    b.push(Op::Max, 0, &srcs);
-                }
-                GrlGate::LtLatch { a, b: blocker } => {
-                    let srcs = [gate_index(a.index()), gate_index(blocker.index())];
-                    b.push(Op::Lt, 0, &srcs);
-                }
-                GrlGate::Delay(w) => b.push_fused_delay(gate_index(w.index())),
-                other => unreachable!("unsupported GRL gate {other:?}"),
+        let graph = st_grl::lint::to_lint_graph(netlist);
+        let (fused, _) = st_opt::graphopt::fuse_delay_chains(&graph);
+        let (swept, _) = st_opt::graphopt::sweep_unreachable(&fused);
+        Plan::from_lint_graph(&swept)
+    }
+
+    /// Flattens a lint-IR graph (already in definition-before-use order,
+    /// as the `st-opt` rewrites guarantee) into a plan.
+    fn from_lint_graph(graph: &LintGraph) -> Plan {
+        let mut b = Builder::new(graph.input_count());
+        for node in graph.nodes() {
+            let srcs: Vec<u32> = node.sources.iter().map(|&s| gate_index(s)).collect();
+            match node.op {
+                LintOp::Input(n) => b.push_input(n),
+                LintOp::Const(t) => b.push_const(t),
+                LintOp::Min => b.push(Op::Min, 0, &srcs),
+                LintOp::Max => b.push(Op::Max, 0, &srcs),
+                LintOp::Lt => b.push(Op::Lt, 0, &srcs),
+                LintOp::Inc(d) => b.push_inc(d, srcs[0]),
             }
         }
-        let plan = b.finish(netlist.outputs().iter().map(|o| gate_index(o.index())));
-        plan.sweep_dead_gates()
+        b.finish(graph.outputs().iter().map(|&o| gate_index(o)))
     }
 
     /// The input width every volley must have.
@@ -314,40 +310,6 @@ impl Plan {
     pub(crate) fn lane_delays(&self) -> &[u8] {
         &self.lane_delays
     }
-
-    /// Removes gates unreachable from any output and compacts every
-    /// arena; used after GRL delay-chain fusion strands the intermediate
-    /// flip-flop stages.
-    fn sweep_dead_gates(self) -> Plan {
-        let n = self.ops.len();
-        let mut live = vec![false; n];
-        let mut stack: Vec<usize> = self.outputs.iter().map(|&o| o as usize).collect();
-        while let Some(g) = stack.pop() {
-            if std::mem::replace(&mut live[g], true) {
-                continue;
-            }
-            stack.extend(self.fan_in(g).iter().map(|&s| s as usize));
-        }
-        if live.iter().all(|&l| l) {
-            return self;
-        }
-        let mut remap = vec![u32::MAX; n];
-        let mut b = Builder::new(self.input_count);
-        for g in 0..n {
-            if !live[g] {
-                continue;
-            }
-            remap[g] = gate_index(b.ops.len());
-            let srcs: Vec<u32> = self.fan_in(g).iter().map(|&s| remap[s as usize]).collect();
-            match self.ops[g] {
-                Op::Input => b.push_input(self.args[g] as usize),
-                Op::Const => b.push_const(self.consts[self.args[g] as usize]),
-                Op::Inc => b.push_inc(self.delays[self.args[g] as usize], srcs[0]),
-                op => b.push(op, 0, &srcs),
-            }
-        }
-        b.finish(self.outputs.iter().map(|&o| remap[o as usize]))
-    }
 }
 
 /// Converts a gate index to the plan's `u32` arena index.
@@ -401,20 +363,6 @@ impl Builder {
         let index = gate_index(self.delays.len());
         self.delays.push(delay);
         self.push(Op::Inc, index, &[src]);
-    }
-
-    /// Pushes a one-cycle delay of `src`, fusing into `src`'s own delay
-    /// when `src` is itself an `Inc` — the chain collapses left, and the
-    /// stranded intermediates are swept after the build.
-    fn push_fused_delay(&mut self, src: u32) {
-        let g = src as usize;
-        if self.ops[g] == Op::Inc {
-            let upstream = self.sources[self.src_start[g] as usize];
-            let total = self.delays[self.args[g] as usize].saturating_add(1);
-            self.push_inc(total, upstream);
-        } else {
-            self.push_inc(1, src);
-        }
     }
 
     fn finish<I: IntoIterator<Item = u32>>(self, outputs: I) -> Plan {
@@ -507,6 +455,106 @@ mod tests {
 
     fn t(v: u64) -> Time {
         Time::finite(v)
+    }
+
+    /// A canonical one-line-per-gate rendering of a plan's structure,
+    /// used by the refactor pin tests below.
+    fn dump(plan: &Plan) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for g in 0..plan.gate_count() {
+            let srcs: Vec<String> = plan.fan_in(g).iter().map(|s| format!("g{s}")).collect();
+            let arg = match plan.ops[g] {
+                Op::Input => format!("line {}", plan.args[g]),
+                Op::Const => format!("{}", plan.consts[plan.args[g] as usize]),
+                Op::Inc => format!("+{}", plan.delays[plan.args[g] as usize]),
+                _ => String::new(),
+            };
+            let _ = writeln!(
+                out,
+                "g{g}: {} {arg} [{}]",
+                plan.ops[g].tag(),
+                srcs.join(", ")
+            );
+        }
+        let outs: Vec<String> = plan.outputs.iter().map(|o| format!("g{o}")).collect();
+        let _ = writeln!(out, "-> {}", outs.join(", "));
+        out
+    }
+
+    /// The three pin netlists: a pure delay chain, a mixed network with
+    /// every gate kind, and a comparator sorter.
+    fn pin_netlists() -> Vec<(&'static str, st_grl::GrlNetlist)> {
+        let mut b = NetworkBuilder::new();
+        let input = b.input();
+        let d = b.inc(input, 9);
+        let chain = st_grl::compile_network(&b.build([d]));
+
+        let mut b = NetworkBuilder::new();
+        let ins = b.inputs(3);
+        let d = b.inc(ins[0], 2);
+        let m = b.min2(d, ins[1]);
+        let x = b.max2(m, ins[2]);
+        let c = b.constant(Time::INFINITY);
+        let l = b.lt(x, c);
+        let d2 = b.inc(l, 3);
+        let mixed = st_grl::compile_network(&b.build([m, d2]));
+
+        let sorter = st_grl::compile_network(&st_net::sorting::sorting_network(4));
+        vec![("chain", chain), ("mixed", mixed), ("sorter", sorter)]
+    }
+
+    /// Regression pin for the delay-fusion refactor: `from_grl` now
+    /// lowers through the shared `st-opt` fusion pass, and these dumps
+    /// were captured from the pre-refactor builder-local fusion — the
+    /// two paths must produce byte-identical plans.
+    #[test]
+    fn from_grl_plans_are_pinned_across_the_fusion_refactor() {
+        let expected = [
+            (
+                "chain",
+                "g0: input line 0 []\n\
+                 g1: inc +9 [g0]\n\
+                 -> g1\n",
+            ),
+            (
+                "mixed",
+                "g0: input line 0 []\n\
+                 g1: input line 1 []\n\
+                 g2: input line 2 []\n\
+                 g3: inc +2 [g0]\n\
+                 g4: min  [g3, g1]\n\
+                 g5: max  [g4, g2]\n\
+                 g6: const ∞ []\n\
+                 g7: lt  [g5, g6]\n\
+                 g8: inc +3 [g7]\n\
+                 -> g4, g8\n",
+            ),
+            (
+                "sorter",
+                "g0: input line 0 []\n\
+                 g1: input line 1 []\n\
+                 g2: input line 2 []\n\
+                 g3: input line 3 []\n\
+                 g4: min  [g0, g1]\n\
+                 g5: max  [g0, g1]\n\
+                 g6: min  [g2, g3]\n\
+                 g7: max  [g2, g3]\n\
+                 g8: min  [g4, g7]\n\
+                 g9: max  [g4, g7]\n\
+                 g10: min  [g5, g6]\n\
+                 g11: max  [g5, g6]\n\
+                 g12: min  [g8, g10]\n\
+                 g13: max  [g8, g10]\n\
+                 g14: min  [g9, g11]\n\
+                 g15: max  [g9, g11]\n\
+                 -> g12, g13, g14, g15\n",
+            ),
+        ];
+        for ((name, netlist), (ename, egolden)) in pin_netlists().iter().zip(expected) {
+            assert_eq!(*name, ename);
+            assert_eq!(dump(&Plan::from_grl(netlist)), egolden, "netlist {name}");
+        }
     }
 
     #[test]

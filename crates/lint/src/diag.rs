@@ -111,12 +111,24 @@ pub enum Code {
     /// STA104: an `--against` spec is structurally incompatible with the
     /// artifact (input or output width mismatch); nothing was compared.
     SpecShape,
+    /// STA201: a gate's output interval is a singleton under free inputs,
+    /// so the gate computes a constant and can be folded (st-opt).
+    ConstantGate,
+    /// STA202: a gate recomputes the same value as an earlier gate
+    /// (identical operation over identical sources); the two can be
+    /// shared (st-opt).
+    SharedSubexpression,
+    /// STA203: an `inc` feeds directly into another `inc`; the delay
+    /// chain can be fused into a single `inc` with the summed delay
+    /// (st-opt).
+    FusibleDelayChain,
 }
 
 /// All codes, in numbering order. `STA001`–`STA013` are the structural
 /// and shape lints; the `STA1xx` tier carries the semantic verification
-/// findings emitted by `st-verify`.
-pub const ALL_CODES: [Code; 17] = [
+/// findings emitted by `st-verify`; the `STA2xx` tier carries the
+/// optimization-opportunity findings emitted by `st-opt`.
+pub const ALL_CODES: [Code; 20] = [
     Code::Cycle,
     Code::Dangling,
     Code::ArityMismatch,
@@ -134,6 +146,9 @@ pub const ALL_CODES: [Code; 17] = [
     Code::LoweringMismatch,
     Code::VerifyWindow,
     Code::SpecShape,
+    Code::ConstantGate,
+    Code::SharedSubexpression,
+    Code::FusibleDelayChain,
 ];
 
 impl Code {
@@ -158,6 +173,9 @@ impl Code {
             Code::LoweringMismatch => "STA102",
             Code::VerifyWindow => "STA103",
             Code::SpecShape => "STA104",
+            Code::ConstantGate => "STA201",
+            Code::SharedSubexpression => "STA202",
+            Code::FusibleDelayChain => "STA203",
         }
     }
 
@@ -188,6 +206,9 @@ impl Code {
             Code::LoweringMismatch => "all lowerings compute the same function (Theorem 1, § V)",
             Code::VerifyWindow => "the verification window covers the spec",
             Code::SpecShape => "artifact and spec have compatible shapes",
+            Code::ConstantGate => "a gate provably computes a constant and can be folded",
+            Code::SharedSubexpression => "identical gates can be shared (hash-consing)",
+            Code::FusibleDelayChain => "consecutive incs can be fused into one delay",
         }
     }
 
@@ -459,12 +480,15 @@ mod tests {
     #[test]
     fn codes_are_stable_and_round_trip() {
         for (i, code) in ALL_CODES.iter().enumerate() {
-            // STA001–013 are the lint tier; the verify tier starts at
-            // STA101. Numbering is append-only within each tier.
+            // STA001–013 are the lint tier, the verify tier starts at
+            // STA101, the optimizer tier at STA201. Numbering is
+            // append-only within each tier.
             let expected = if i < 13 {
                 format!("STA{:03}", i + 1)
-            } else {
+            } else if i < 17 {
                 format!("STA{}", 101 + (i - 13))
+            } else {
+                format!("STA{}", 201 + (i - 17))
             };
             assert_eq!(code.as_str(), expected);
             assert_eq!(Code::parse(code.as_str()), Some(*code));

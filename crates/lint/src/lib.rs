@@ -38,6 +38,7 @@ mod diag;
 mod graph;
 pub mod interval;
 mod json;
+pub mod liveness;
 mod passes;
 mod table;
 

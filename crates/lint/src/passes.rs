@@ -34,6 +34,7 @@ use st_core::Time;
 use crate::diag::{Code, Diagnostic, Location, Report, Severity};
 use crate::graph::{LintGraph, LintOp};
 use crate::interval::{self, Interval};
+use crate::liveness;
 
 /// Tunable thresholds for the passes.
 #[derive(Debug, Clone)]
@@ -67,7 +68,7 @@ pub fn lint_graph(graph: &LintGraph, options: &LintOptions) -> Report {
         return report;
     }
     let intervals = interval::analyze(graph, Interval::free());
-    let reachable = reachable_set(graph);
+    let reachable = liveness::live_set(graph);
     check_dead_gates(graph, &intervals, &reachable, &mut report);
     check_unreachable(graph, &reachable, &mut report);
     check_constants(graph, &reachable, &mut report);
@@ -207,43 +208,6 @@ fn check_cycles(graph: &LintGraph, report: &mut Report) {
 }
 
 // ---------------------------------------------------------------------------
-// Phase two helpers
-// ---------------------------------------------------------------------------
-
-/// Nodes with a path to at least one output (following every source edge).
-fn reachable_set(graph: &LintGraph) -> Vec<bool> {
-    let mut reachable = vec![false; graph.len()];
-    let mut stack: Vec<usize> = graph.outputs().to_vec();
-    while let Some(id) = stack.pop() {
-        if reachable[id] {
-            continue;
-        }
-        reachable[id] = true;
-        stack.extend(graph.nodes()[id].sources.iter().copied());
-    }
-    reachable
-}
-
-/// Nodes with a *timing* path to at least one output: the edges along
-/// which an event can be scheduled (everything except `lt`'s inhibitor).
-fn timing_set(graph: &LintGraph) -> Vec<bool> {
-    let mut timing = vec![false; graph.len()];
-    let mut stack: Vec<usize> = graph.outputs().to_vec();
-    while let Some(id) = stack.pop() {
-        if timing[id] {
-            continue;
-        }
-        timing[id] = true;
-        let node = &graph.nodes()[id];
-        match node.op {
-            LintOp::Lt => stack.push(node.sources[0]),
-            _ => stack.extend(node.sources.iter().copied()),
-        }
-    }
-    timing
-}
-
-// ---------------------------------------------------------------------------
 // STA006: dead gates and dead output lines
 // ---------------------------------------------------------------------------
 
@@ -335,7 +299,7 @@ fn check_constants(graph: &LintGraph, reachable: &[bool], report: &mut Report) {
         // are relative to inputs it does not have.
         return;
     }
-    let timing = timing_set(graph);
+    let timing = liveness::timing_live_set(graph);
     for (id, node) in graph.nodes().iter().enumerate() {
         let LintOp::Const(t) = node.op else { continue };
         let Some(v) = t.value() else { continue }; // ∞ is always fine

@@ -1,0 +1,191 @@
+//! The STA2xx analysis tier: optimization opportunities as diagnostics.
+//!
+//! Where `st-lint`'s STA0xx codes refute paper invariants and
+//! `st-verify`'s STA1xx codes report semantic disagreements, the STA2xx
+//! codes are *advisory*: each names a rewrite one of the verified
+//! passes in [`crate::passes`] can perform. They are emitted through
+//! the same [`Report`] pipeline, so `--json`, `--deny`/`--allow`, and
+//! the golden-file machinery all apply unchanged.
+//!
+//! | code | finding | pass |
+//! |------|---------|------|
+//! | STA201 | gate provably computes a constant | `constant_fold` |
+//! | STA202 | gate recomputes an earlier gate's value | `share_subexpressions` |
+//! | STA203 | `inc` feeds an `inc` (fusible chain) | `fuse_delay_chains` |
+//!
+//! A gate saturated at `∞` is *also* foldable, but that is already
+//! STA006 (`DeadGate`) territory; STA201 is reserved for finite
+//! singletons so one finding never appears under two codes.
+
+use std::collections::HashMap;
+
+use st_lint::{Code, Diagnostic, LintGraph, LintOp, Location, Report, Severity};
+use st_net::Network;
+
+use crate::dataflow::{solve, IntervalDomain, LivenessDomain, ValueNumberDomain};
+
+/// Runs every STA2xx analysis over a lint graph and reports the
+/// opportunities, all at [`Severity::Info`].
+#[must_use]
+pub fn analyze_graph(graph: &LintGraph) -> Report {
+    let mut report = Report::new();
+    let live = solve(&LivenessDomain, graph).facts;
+    let intervals = solve(&IntervalDomain::free_inputs(), graph).facts;
+    let numbers = solve(&ValueNumberDomain::new(), graph).facts;
+
+    // STA201: live operator gates with a finite singleton interval.
+    for (id, node) in graph.nodes().iter().enumerate() {
+        if !live[id] || !node.op.is_operator() {
+            continue;
+        }
+        if let Some(t) = intervals[id].as_exact() {
+            if t.is_finite() {
+                report.push(
+                    Diagnostic::new(
+                        Code::ConstantGate,
+                        Severity::Info,
+                        Location::Gate(id),
+                        format!(
+                            "{} gate provably fires at {t} for every input volley",
+                            node.op.name()
+                        ),
+                    )
+                    .with_hint("run the constant_fold pass to replace it with a const"),
+                );
+            }
+        }
+    }
+
+    // STA202: live operator gates whose congruence class has an earlier
+    // live representative.
+    let mut first_of_class: HashMap<usize, usize> = HashMap::new();
+    for (id, node) in graph.nodes().iter().enumerate() {
+        if !live[id] {
+            continue;
+        }
+        let rep = *first_of_class.entry(numbers[id]).or_insert(id);
+        if rep != id && node.op.is_operator() {
+            report.push(
+                Diagnostic::new(
+                    Code::SharedSubexpression,
+                    Severity::Info,
+                    Location::Gate(id),
+                    format!(
+                        "{} gate recomputes the value of g{rep} (congruent expression)",
+                        node.op.name()
+                    ),
+                )
+                .with_hint("run the share_subexpressions pass to reuse the earlier gate"),
+            );
+        }
+    }
+
+    // STA203: live incs reading live incs.
+    for (id, node) in graph.nodes().iter().enumerate() {
+        if !live[id] || !matches!(node.op, LintOp::Inc(_)) || node.sources.len() != 1 {
+            continue;
+        }
+        let s = node.sources[0];
+        if s < graph.len() && matches!(graph.nodes()[s].op, LintOp::Inc(_)) {
+            report.push(
+                Diagnostic::new(
+                    Code::FusibleDelayChain,
+                    Severity::Info,
+                    Location::Gate(id),
+                    format!("inc gate reads inc gate g{s}: the delay chain can be fused"),
+                )
+                .with_hint("run the fuse_delay_chains pass to sum the delays into one inc"),
+            );
+        }
+    }
+    report
+}
+
+/// [`analyze_graph`] over a gate network's lint lowering (gate ids and
+/// node ids coincide, so locations point at real gates).
+#[must_use]
+pub fn analyze_network(network: &Network) -> Report {
+    analyze_graph(&st_net::lint::to_lint_graph(network))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_core::Time;
+    use st_net::NetworkBuilder;
+
+    fn codes(report: &Report) -> Vec<Code> {
+        report.diagnostics().iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_networks_report_nothing() {
+        let mut b = NetworkBuilder::new();
+        let ins = b.inputs(2);
+        let m = b.min2(ins[0], ins[1]);
+        let report = analyze_network(&b.build([m]));
+        assert!(report.diagnostics().is_empty(), "{}", report.render());
+    }
+
+    #[test]
+    fn constant_gates_earn_sta201() {
+        // min(const 3, const 5) provably fires at 3.
+        let mut b = NetworkBuilder::new();
+        let _in = b.input();
+        let c3 = b.constant(Time::finite(3));
+        let c5 = b.constant(Time::finite(5));
+        let m = b.min2(c3, c5);
+        let report = analyze_network(&b.build([m]));
+        assert_eq!(codes(&report), vec![Code::ConstantGate]);
+        assert_eq!(report.diagnostics()[0].location, Location::Gate(3));
+        assert_eq!(report.diagnostics()[0].severity, Severity::Info);
+    }
+
+    #[test]
+    fn saturated_gates_are_sta006_territory_not_sta201() {
+        let mut b = NetworkBuilder::new();
+        let x = b.input();
+        let inf = b.constant(Time::INFINITY);
+        let m = b.max2(x, inf);
+        let report = analyze_network(&b.build([m]));
+        assert!(codes(&report).is_empty(), "{}", report.render());
+    }
+
+    #[test]
+    fn congruent_gates_earn_sta202_once() {
+        let mut b = NetworkBuilder::new();
+        let ins = b.inputs(2);
+        let m1 = b.min2(ins[0], ins[1]);
+        let m2 = b.min2(ins[1], ins[0]);
+        let x = b.max2(m1, m2);
+        let report = analyze_network(&b.build([x]));
+        assert_eq!(codes(&report), vec![Code::SharedSubexpression]);
+        assert_eq!(report.diagnostics()[0].location, Location::Gate(3));
+        assert!(report.diagnostics()[0].message.contains("g2"));
+    }
+
+    #[test]
+    fn delay_chains_earn_sta203_per_link() {
+        let mut b = NetworkBuilder::new();
+        let x = b.input();
+        let d1 = b.inc(x, 1);
+        let d2 = b.inc(d1, 2);
+        let d3 = b.inc(d2, 3);
+        let report = analyze_network(&b.build([d3]));
+        assert_eq!(
+            codes(&report),
+            vec![Code::FusibleDelayChain, Code::FusibleDelayChain]
+        );
+    }
+
+    #[test]
+    fn dead_gates_report_no_opportunities() {
+        // The duplicate min is unreachable: no STA202.
+        let mut b = NetworkBuilder::new();
+        let ins = b.inputs(2);
+        let m1 = b.min2(ins[0], ins[1]);
+        let _m2 = b.min2(ins[1], ins[0]);
+        let report = analyze_network(&b.build([m1]));
+        assert!(report.diagnostics().is_empty(), "{}", report.render());
+    }
+}

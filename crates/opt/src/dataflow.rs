@@ -1,0 +1,408 @@
+//! The generic monotone dataflow framework over [`LintGraph`]s.
+//!
+//! A [`Domain`] supplies an abstract fact per node and a transfer
+//! function; [`solve`] runs a worklist seeded in topological order
+//! (forward domains) or reverse topological order (backward domains),
+//! so on the feedforward DAGs the algebra mandates every node is
+//! transferred exactly once and the solver is a single linear sweep.
+//! Malformed or cyclic graphs — representable in the deliberately
+//! unchecked lint IR — are still handled: the worklist re-queues
+//! dependents of changed facts and a fuel bound guarantees termination,
+//! trading precision (facts may rest above their fixpoint) for safety,
+//! exactly as [`st_lint::interval::analyze`] degrades malformed nodes
+//! to `free()`.
+//!
+//! Three domains ship with the framework:
+//!
+//! * [`IntervalDomain`] — forward spike-time bounds, transfer-function
+//!   identical to [`st_lint::interval::analyze`] (tested to agree
+//!   node-for-node), powering constant folding;
+//! * [`LivenessDomain`] — backward reachability from the output lines,
+//!   agreeing with [`st_lint::liveness::live_set`], powering dead-gate
+//!   elimination and subsuming the STA006/STA007 traversals;
+//! * [`ValueNumberDomain`] — forward congruence classes (hash-consing
+//!   keys over operator and source classes, commutative operands
+//!   sorted), powering common-subexpression sharing.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+
+use st_lint::interval::{self, Interval};
+use st_lint::{LintGraph, LintOp};
+
+/// Which way facts flow through the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow from sources to users (e.g. intervals, value numbers).
+    Forward,
+    /// Facts flow from users to sources (e.g. liveness).
+    Backward,
+}
+
+/// Everything a transfer function may consult besides the facts: the
+/// graph itself and the precomputed user (reverse-edge) lists.
+#[derive(Debug)]
+pub struct Context<'a> {
+    /// The graph under analysis.
+    pub graph: &'a LintGraph,
+    /// `users[id]` lists every node with `id` among its sources.
+    pub users: Vec<Vec<usize>>,
+    /// `is_output[id]` is true when some output line reads node `id`.
+    pub is_output: Vec<bool>,
+}
+
+impl<'a> Context<'a> {
+    /// Builds the reverse-edge and output-membership indexes.
+    #[must_use]
+    pub fn new(graph: &'a LintGraph) -> Context<'a> {
+        let n = graph.len();
+        let mut users: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (id, node) in graph.nodes().iter().enumerate() {
+            for &s in &node.sources {
+                if s < n {
+                    users[s].push(id);
+                }
+            }
+        }
+        let mut is_output = vec![false; n];
+        for &o in graph.outputs() {
+            if o < n {
+                is_output[o] = true;
+            }
+        }
+        Context {
+            graph,
+            users,
+            is_output,
+        }
+    }
+}
+
+/// A pluggable abstract domain for [`solve`].
+pub trait Domain {
+    /// The per-node abstract fact.
+    type Fact: Clone + PartialEq + core::fmt::Debug;
+
+    /// Which way this domain's facts flow.
+    fn direction(&self) -> Direction;
+
+    /// The initial fact for a node, before any transfer has run.
+    fn bottom(&self, ctx: &Context<'_>, id: usize) -> Self::Fact;
+
+    /// Recomputes the fact for `id` from the current fact vector.
+    fn transfer(&self, ctx: &Context<'_>, id: usize, facts: &[Self::Fact]) -> Self::Fact;
+}
+
+/// The result of a dataflow run.
+#[derive(Debug, Clone)]
+pub struct Solution<F> {
+    /// One fact per node, indexed like the graph.
+    pub facts: Vec<F>,
+    /// How many transfer applications the worklist performed. On a
+    /// well-formed DAG this equals the node count.
+    pub iterations: u64,
+}
+
+/// Runs the worklist solver for a domain over a graph.
+#[must_use]
+pub fn solve<D: Domain>(domain: &D, graph: &LintGraph) -> Solution<D::Fact> {
+    let ctx = Context::new(graph);
+    let n = graph.len();
+    let order = interval::topological_order(graph);
+    let mut facts: Vec<D::Fact> = (0..n).map(|id| domain.bottom(&ctx, id)).collect();
+    let mut queue: VecDeque<usize> = match domain.direction() {
+        Direction::Forward => order.iter().copied().collect(),
+        Direction::Backward => order.iter().rev().copied().collect(),
+    };
+    let mut queued = vec![true; n];
+    // On a DAG the seed order means one transfer per node; the fuel
+    // bound only matters for cyclic (structurally invalid) graphs,
+    // where it trades precision for guaranteed termination.
+    let fuel = (n as u64 + 1) * 8;
+    let mut iterations = 0;
+    while let Some(id) = queue.pop_front() {
+        queued[id] = false;
+        if iterations >= fuel {
+            break;
+        }
+        iterations += 1;
+        let new = domain.transfer(&ctx, id, &facts);
+        if new == facts[id] {
+            continue;
+        }
+        facts[id] = new;
+        let requeue = |queue: &mut VecDeque<usize>, queued: &mut Vec<bool>, d: usize| {
+            if d < n && !queued[d] {
+                queued[d] = true;
+                queue.push_back(d);
+            }
+        };
+        match domain.direction() {
+            Direction::Forward => {
+                for &u in &ctx.users[id] {
+                    requeue(&mut queue, &mut queued, u);
+                }
+            }
+            Direction::Backward => {
+                for &s in &ctx.graph.nodes()[id].sources {
+                    requeue(&mut queue, &mut queued, s);
+                }
+            }
+        }
+    }
+    Solution { facts, iterations }
+}
+
+// ---------------------------------------------------------------------------
+// Interval domain
+// ---------------------------------------------------------------------------
+
+/// Forward spike-time bounds under a given abstract input, with the
+/// exact transfer functions of [`st_lint::interval::analyze`].
+#[derive(Debug, Clone)]
+pub struct IntervalDomain {
+    /// The abstract value every primary input starts with.
+    pub input: Interval,
+}
+
+impl IntervalDomain {
+    /// The usual configuration: inputs may fire at any time or never
+    /// ([`Interval::free`]).
+    #[must_use]
+    pub fn free_inputs() -> IntervalDomain {
+        IntervalDomain {
+            input: Interval::free(),
+        }
+    }
+}
+
+impl Domain for IntervalDomain {
+    type Fact = Interval;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn bottom(&self, _ctx: &Context<'_>, _id: usize) -> Interval {
+        Interval::free()
+    }
+
+    fn transfer(&self, ctx: &Context<'_>, id: usize, facts: &[Interval]) -> Interval {
+        let node = &ctx.graph.nodes()[id];
+        let srcs = &node.sources;
+        let get = |s: usize| facts.get(s).copied().unwrap_or_else(Interval::free);
+        match node.op {
+            LintOp::Input(_) => self.input,
+            LintOp::Const(t) => Interval::exact(t),
+            LintOp::Min => {
+                let vs: Vec<Interval> = srcs.iter().map(|&s| get(s)).collect();
+                if vs.is_empty() {
+                    Interval::free()
+                } else {
+                    Interval::min_of(&vs)
+                }
+            }
+            LintOp::Max => {
+                let vs: Vec<Interval> = srcs.iter().map(|&s| get(s)).collect();
+                if vs.is_empty() {
+                    Interval::free()
+                } else {
+                    Interval::max_of(&vs)
+                }
+            }
+            LintOp::Lt => {
+                if srcs.len() == 2 {
+                    Interval::lt_gate(get(srcs[0]), get(srcs[1]))
+                } else {
+                    Interval::free()
+                }
+            }
+            LintOp::Inc(c) => {
+                if srcs.len() == 1 {
+                    get(srcs[0]).inc(c)
+                } else {
+                    Interval::free()
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Liveness domain
+// ---------------------------------------------------------------------------
+
+/// Backward liveness: a node is live when an output line reads it or a
+/// live node does. Agrees with [`st_lint::liveness::live_set`].
+#[derive(Debug, Clone, Default)]
+pub struct LivenessDomain;
+
+impl Domain for LivenessDomain {
+    type Fact = bool;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn bottom(&self, _ctx: &Context<'_>, _id: usize) -> bool {
+        false
+    }
+
+    fn transfer(&self, ctx: &Context<'_>, id: usize, facts: &[bool]) -> bool {
+        ctx.is_output[id] || ctx.users[id].iter().any(|&u| facts[u])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value-numbering domain
+// ---------------------------------------------------------------------------
+
+/// The hash-consing key of a node: its operator over its sources'
+/// value numbers, with commutative (`min`/`max`) operand lists sorted.
+/// `Time` is keyed through `Time::value()` (`None` = `∞`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum VnKey {
+    Input(usize),
+    Const(Option<u64>),
+    Min(Vec<usize>),
+    Max(Vec<usize>),
+    Lt(usize, usize),
+    Inc(u64, usize),
+    /// Malformed nodes get a unique class and never share.
+    Opaque(usize),
+}
+
+/// Forward value numbering: two nodes get the same class exactly when
+/// they compute syntactically congruent expressions, so sharing either
+/// for the other is semantics-preserving by construction.
+#[derive(Debug, Default)]
+pub struct ValueNumberDomain {
+    classes: RefCell<HashMap<VnKey, usize>>,
+}
+
+impl ValueNumberDomain {
+    /// A fresh interner.
+    #[must_use]
+    pub fn new() -> ValueNumberDomain {
+        ValueNumberDomain::default()
+    }
+
+    fn intern(&self, key: VnKey) -> usize {
+        let mut classes = self.classes.borrow_mut();
+        let next = classes.len();
+        *classes.entry(key).or_insert(next)
+    }
+}
+
+/// The sentinel fact for a node the solver has not transferred yet.
+pub const VN_UNKNOWN: usize = usize::MAX;
+
+impl Domain for ValueNumberDomain {
+    type Fact = usize;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn bottom(&self, _ctx: &Context<'_>, _id: usize) -> usize {
+        VN_UNKNOWN
+    }
+
+    fn transfer(&self, ctx: &Context<'_>, id: usize, facts: &[usize]) -> usize {
+        let node = &ctx.graph.nodes()[id];
+        let vn = |s: usize| facts.get(s).copied().unwrap_or(VN_UNKNOWN);
+        let srcs = &node.sources;
+        // A node whose sources are not numbered yet (cyclic graph) stays
+        // opaque rather than spuriously matching another node.
+        if srcs.iter().any(|&s| vn(s) == VN_UNKNOWN) {
+            return self.intern(VnKey::Opaque(id));
+        }
+        let key = match node.op {
+            LintOp::Input(line) => VnKey::Input(line),
+            LintOp::Const(t) => VnKey::Const(t.value()),
+            LintOp::Min => {
+                let mut vs: Vec<usize> = srcs.iter().map(|&s| vn(s)).collect();
+                vs.sort_unstable();
+                vs.dedup();
+                VnKey::Min(vs)
+            }
+            LintOp::Max => {
+                let mut vs: Vec<usize> = srcs.iter().map(|&s| vn(s)).collect();
+                vs.sort_unstable();
+                vs.dedup();
+                VnKey::Max(vs)
+            }
+            LintOp::Lt if srcs.len() == 2 => VnKey::Lt(vn(srcs[0]), vn(srcs[1])),
+            LintOp::Inc(c) if srcs.len() == 1 => VnKey::Inc(c, vn(srcs[0])),
+            _ => VnKey::Opaque(id),
+        };
+        self.intern(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_core::Time;
+    use st_lint::liveness;
+
+    fn t(v: u64) -> Time {
+        Time::finite(v)
+    }
+
+    /// A graph exercising every operator, one dead gate, one duplicate
+    /// subexpression, and a delay chain.
+    fn sample() -> LintGraph {
+        let mut g = LintGraph::new(2);
+        let a = g.push(LintOp::Input(0), vec![]);
+        let b = g.push(LintOp::Input(1), vec![]);
+        let m1 = g.push(LintOp::Min, vec![a, b]);
+        let m2 = g.push(LintOp::Min, vec![b, a]); // congruent to m1
+        let x = g.push(LintOp::Max, vec![m1, m2]);
+        let d1 = g.push(LintOp::Inc(2), vec![x]);
+        let d2 = g.push(LintOp::Inc(3), vec![d1]);
+        let _dead = g.push(LintOp::Lt, vec![a, b]);
+        let k = g.push(LintOp::Const(t(7)), vec![]);
+        let out = g.push(LintOp::Min, vec![d2, k]);
+        g.set_outputs(vec![out]);
+        g
+    }
+
+    #[test]
+    fn interval_domain_agrees_with_the_interval_engine() {
+        let g = sample();
+        let solution = solve(&IntervalDomain::free_inputs(), &g);
+        let reference = interval::analyze(&g, Interval::free());
+        assert_eq!(solution.facts, reference);
+        assert_eq!(solution.iterations, g.len() as u64);
+    }
+
+    #[test]
+    fn liveness_domain_agrees_with_live_set() {
+        let g = sample();
+        let solution = solve(&LivenessDomain, &g);
+        assert_eq!(solution.facts, liveness::live_set(&g));
+    }
+
+    #[test]
+    fn value_numbering_groups_commutative_congruences_only() {
+        let g = sample();
+        let vns = solve(&ValueNumberDomain::new(), &g).facts;
+        assert_eq!(vns[2], vns[3], "min(a,b) ≡ min(b,a)");
+        assert_ne!(vns[2], vns[4], "min and max differ");
+        assert_ne!(vns[5], vns[6], "different delays differ");
+        assert!(vns.iter().all(|&v| v != VN_UNKNOWN));
+    }
+
+    #[test]
+    fn cyclic_graphs_terminate() {
+        let mut g = LintGraph::new(1);
+        let a = g.push(LintOp::Inc(1), vec![1]);
+        let b = g.push(LintOp::Inc(1), vec![a]);
+        g.set_outputs(vec![b]);
+        let solution = solve(&IntervalDomain::free_inputs(), &g);
+        assert_eq!(solution.facts.len(), 2);
+        let live = solve(&LivenessDomain, &g);
+        assert!(live.facts.iter().all(|&l| l), "both nodes reach the output");
+    }
+}

@@ -1,0 +1,625 @@
+//! The verified pass manager.
+//!
+//! A pass is a *candidate generator*: it proposes a rewritten artifact,
+//! and the manager only commits it after `st-verify` bounded
+//! equivalence proves the candidate agrees with the current artifact on
+//! every normalized volley in the window. A refuted candidate is
+//! dropped on the floor — the pipeline continues from the last accepted
+//! artifact — and the refutation (with its minimal counterexample
+//! volley) lands in the outcome's [`Report`] as an error, so
+//! `spacetime opt --check` fails loudly instead of shipping a miscompile.
+//!
+//! When the exhaustive domain `(window + 2)^width` would exceed the
+//! checker's ceiling, the manager first shrinks the window, and if even
+//! window 0 is infeasible it falls back to a deterministic seeded
+//! differential sample. Sampled acceptance is recorded as such in the
+//! [`PassRecord`], never silently conflated with a proof.
+
+use std::time::Instant;
+
+use st_core::FunctionTable;
+use st_lint::{Code, Diagnostic, Location, Report, Severity};
+use st_metrics::MetricSink;
+use st_net::{network_to_text, Network};
+use st_verify::equiv::{check_equiv, EquivResult};
+use st_verify::eval::{Evaluator, NetEvaluator, TableEvaluator};
+use st_verify::{required_window, Artifact};
+
+use crate::analyze;
+use crate::passes;
+
+/// The default bounded-equivalence window, matching `st-verify`'s.
+const DEFAULT_WINDOW: u64 = 4;
+
+/// The exhaustive checker's volley ceiling (mirrors `st-verify`'s).
+const MAX_VOLLEYS: u64 = 4_000_000;
+
+/// Volleys drawn by the seeded differential fallback when even an
+/// exhaustive window-0 sweep is infeasible.
+const SAMPLE_VOLLEYS: usize = 4096;
+
+/// One optimization pass, by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pass {
+    /// Interval-driven constant folding (`constant_fold`).
+    ConstantFold,
+    /// Delay-chain fusion (`fuse_delay_chains`).
+    FuseDelayChains,
+    /// Hash-consed common-subexpression sharing
+    /// (`share_subexpressions`).
+    ShareSubexpressions,
+    /// Dead-gate elimination (`eliminate_dead`).
+    EliminateDead,
+    /// Theorem-1 minterm minimization (`minimize_table`).
+    MinimizeTable,
+}
+
+/// Every pass, in the order the default network pipeline runs them
+/// (minimization last; it only applies to tables).
+pub const ALL_PASSES: [Pass; 5] = [
+    Pass::ConstantFold,
+    Pass::FuseDelayChains,
+    Pass::ShareSubexpressions,
+    Pass::EliminateDead,
+    Pass::MinimizeTable,
+];
+
+impl Pass {
+    /// The CLI/metrics name of the pass.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::ConstantFold => "constant_fold",
+            Pass::FuseDelayChains => "fuse_delay_chains",
+            Pass::ShareSubexpressions => "share_subexpressions",
+            Pass::EliminateDead => "eliminate_dead",
+            Pass::MinimizeTable => "minimize_table",
+        }
+    }
+
+    /// Parses a pass name as written on the CLI.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Pass> {
+        ALL_PASSES.iter().copied().find(|p| p.name() == name)
+    }
+
+    /// The per-pass wall-time histogram name.
+    fn nanos_metric(self) -> &'static str {
+        match self {
+            Pass::ConstantFold => "opt.pass.constant_fold.nanos",
+            Pass::FuseDelayChains => "opt.pass.fuse_delay_chains.nanos",
+            Pass::ShareSubexpressions => "opt.pass.share_subexpressions.nanos",
+            Pass::EliminateDead => "opt.pass.eliminate_dead.nanos",
+            Pass::MinimizeTable => "opt.pass.minimize_table.nanos",
+        }
+    }
+}
+
+/// Knobs for one optimization run.
+#[derive(Debug, Clone, Default)]
+pub struct OptOptions {
+    /// The passes to run, in order. `None` runs the default pipeline
+    /// for the artifact kind: fold → fuse → share → sweep for networks,
+    /// minimize for tables.
+    pub passes: Option<Vec<Pass>>,
+    /// The bounded-equivalence window gating every pass. `None` picks
+    /// `max(4, window the artifact's rows require)`.
+    pub window: Option<u64>,
+}
+
+/// How a pass's candidate was checked before acceptance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The pass proposed no change; nothing to verify.
+    Unchanged,
+    /// Exhaustively proved equivalent over the recorded window.
+    Proved(u64),
+    /// Accepted on a seeded differential sample (domain too large to
+    /// exhaust even at window 0).
+    Sampled(usize),
+    /// Refuted or failed; the candidate was discarded. Carries the
+    /// counterexample (or error) text.
+    Rejected(String),
+}
+
+/// What one pass did, and how its candidate fared.
+#[derive(Debug, Clone)]
+pub struct PassRecord {
+    /// Which pass ran.
+    pub pass: Pass,
+    /// Gate (or row) count going in.
+    pub before: usize,
+    /// Gate (or row) count of whatever survived the gate — the
+    /// candidate's if accepted, `before` if rejected.
+    pub after: usize,
+    /// How the candidate was checked.
+    pub verdict: Verdict,
+    /// Wall-clock nanoseconds spent in the pass plus its check.
+    pub wall_nanos: u64,
+}
+
+impl PassRecord {
+    /// Whether the candidate was committed.
+    #[must_use]
+    pub fn accepted(&self) -> bool {
+        !matches!(self.verdict, Verdict::Rejected(_))
+    }
+}
+
+/// Everything one optimization run produced.
+#[derive(Debug, Clone)]
+pub struct OptOutcome {
+    /// The kind of the artifact that came in ("table", "net", "column").
+    pub kind: String,
+    /// The optimized artifact (a column comes back as its optimized
+    /// network lowering).
+    pub artifact: Artifact,
+    /// Gate (or row) count before any pass ran.
+    pub before: usize,
+    /// Gate (or row) count after the last accepted pass.
+    pub after: usize,
+    /// The verification window the run gated against.
+    pub window: u64,
+    /// One record per pass, in execution order.
+    pub records: Vec<PassRecord>,
+    /// STA2xx opportunities found on the *original* artifact, plus one
+    /// error per rejected pass.
+    pub report: Report,
+}
+
+impl OptOutcome {
+    /// How many passes were rejected by the verifier.
+    #[must_use]
+    pub fn rejected(&self) -> usize {
+        self.records.iter().filter(|r| !r.accepted()).count()
+    }
+
+    /// Whether the run is clean: every pass that changed something was
+    /// verified and accepted.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.rejected() == 0 && self.report.is_clean()
+    }
+
+    /// Renders the outcome human-readably: one line per pass, then the
+    /// totals, then the diagnostics.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for r in &self.records {
+            let verdict = match &r.verdict {
+                Verdict::Unchanged => "no change".to_owned(),
+                Verdict::Proved(w) => format!("accepted (proved, window {w})"),
+                Verdict::Sampled(n) => format!("accepted (sampled, {n} volleys)"),
+                Verdict::Rejected(why) => format!("REJECTED: {why}"),
+            };
+            let _ = writeln!(
+                out,
+                "{:<22} {:>4} -> {:<4} {}",
+                r.pass.name(),
+                r.before,
+                r.after,
+                verdict
+            );
+        }
+        let unit = if self.kind == "table" {
+            "rows"
+        } else {
+            "gates"
+        };
+        let _ = writeln!(
+            out,
+            "{}: {} -> {} {unit} over window {} ({} rejection(s))",
+            self.kind,
+            self.before,
+            self.after,
+            self.window,
+            self.rejected()
+        );
+        out.push_str(&self.report.render());
+        out
+    }
+}
+
+/// Records the run into a metric sink under the `opt.*` names the bench
+/// matrix and `docs/metrics.md` catalogue.
+pub fn record_metrics<M: MetricSink>(outcome: &OptOutcome, sink: &mut M) {
+    if !sink.is_live() {
+        return;
+    }
+    sink.incr("opt.gates_before", outcome.before as u64);
+    sink.incr("opt.gates_after", outcome.after as u64);
+    sink.incr(
+        "opt.gates_saved",
+        (outcome.before.saturating_sub(outcome.after)) as u64,
+    );
+    sink.incr("opt.passes_run", outcome.records.len() as u64);
+    sink.incr("opt.passes_rejected", outcome.rejected() as u64);
+    for r in &outcome.records {
+        sink.observe(r.pass.nanos_metric(), r.wall_nanos);
+    }
+}
+
+/// The largest window `<= requested` whose exhaustive domain fits the
+/// checker's ceiling, or `None` when even window 0 is too large.
+fn feasible_window(requested: u64, width: usize) -> Option<u64> {
+    let fits = |w: u64| {
+        (w + 2)
+            .checked_pow(u32::try_from(width).unwrap_or(u32::MAX))
+            .is_some_and(|total| total <= MAX_VOLLEYS)
+    };
+    (0..=requested).rev().find(|&w| fits(w))
+}
+
+/// A deterministic xorshift64* stream for the sampled fallback.
+struct SampleRng(u64);
+
+impl SampleRng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Gates one candidate behind the current artifact: exhaustive when
+/// feasible, seeded differential sample otherwise.
+fn gate(current: &dyn Evaluator, candidate: &dyn Evaluator, window: u64) -> Verdict {
+    if let Some(w) = feasible_window(window, current.input_width()) {
+        return match check_equiv(current, candidate, w) {
+            Ok(EquivResult::Proved(_)) => Verdict::Proved(w),
+            Ok(EquivResult::Refuted(c)) => Verdict::Rejected(format!(
+                "{c}; replay: put the volley `{}` in a file and run `spacetime batch`",
+                c.volley_line()
+            )),
+            Err(e) => Verdict::Rejected(e),
+        };
+    }
+    let width = current.input_width();
+    let mut rng = SampleRng(0x5EED_0007 ^ ((width as u64) << 8) ^ window);
+    for _ in 0..SAMPLE_VOLLEYS {
+        let inputs: Vec<st_core::Time> = (0..width)
+            .map(|_| {
+                let r = rng.next() % (window + 2);
+                if r == window + 1 {
+                    st_core::Time::INFINITY
+                } else {
+                    st_core::Time::finite(r)
+                }
+            })
+            .collect();
+        let l = match current.eval(&inputs) {
+            Ok(v) => v,
+            Err(e) => return Verdict::Rejected(e),
+        };
+        let r = match candidate.eval(&inputs) {
+            Ok(v) => v,
+            Err(e) => return Verdict::Rejected(e),
+        };
+        if l != r {
+            let cells: Vec<String> = inputs.iter().map(ToString::to_string).collect();
+            return Verdict::Rejected(format!(
+                "sampled differential check diverged on input [{}]",
+                cells.join(" ")
+            ));
+        }
+    }
+    Verdict::Sampled(SAMPLE_VOLLEYS)
+}
+
+fn rejection_diagnostic(pass: Pass, why: &str) -> Diagnostic {
+    Diagnostic::new(
+        Code::LoweringMismatch,
+        Severity::Error,
+        Location::Module,
+        format!(
+            "pass {} produced a non-equivalent artifact: {why}",
+            pass.name()
+        ),
+    )
+    .with_hint("the candidate was discarded; the artifact on disk is untouched")
+}
+
+/// Runs the pipeline over a gate network, gating every pass.
+///
+/// # Errors
+///
+/// Currently infallible in practice (kept `Result` for parity with the
+/// other drivers); rejections come back inside the outcome, not as
+/// errors.
+pub fn optimize_network(network: &Network, options: &OptOptions) -> Result<OptOutcome, String> {
+    let window = options.window.unwrap_or(DEFAULT_WINDOW);
+    let default = vec![
+        Pass::ConstantFold,
+        Pass::FuseDelayChains,
+        Pass::ShareSubexpressions,
+        Pass::EliminateDead,
+    ];
+    let pipeline = options.passes.clone().unwrap_or(default);
+
+    let mut report = analyze::analyze_network(network);
+    let mut current = network.clone();
+    let mut current_text = network_to_text(&current);
+    let mut records = Vec::new();
+
+    for pass in pipeline {
+        let start = Instant::now();
+        let before = current.gate_count();
+        let candidate = match pass {
+            Pass::ConstantFold => passes::constant_fold(&current),
+            Pass::FuseDelayChains => passes::fuse_delay_chains(&current),
+            Pass::ShareSubexpressions => passes::share_subexpressions(&current),
+            Pass::EliminateDead => passes::eliminate_dead(&current),
+            // Minimization is a table pass; on a network it proposes
+            // nothing.
+            Pass::MinimizeTable => current.clone(),
+        };
+        let candidate_text = network_to_text(&candidate);
+        let (verdict, after) = if candidate_text == current_text {
+            (Verdict::Unchanged, before)
+        } else {
+            let v = gate(
+                &NetEvaluator::new(&current),
+                &NetEvaluator::new(&candidate),
+                window,
+            );
+            let after = if matches!(v, Verdict::Rejected(_)) {
+                before
+            } else {
+                candidate.gate_count()
+            };
+            (v, after)
+        };
+        match &verdict {
+            Verdict::Rejected(why) => report.push(rejection_diagnostic(pass, why)),
+            Verdict::Unchanged => {}
+            _ => {
+                current = candidate;
+                current_text = candidate_text;
+            }
+        }
+        records.push(PassRecord {
+            pass,
+            before,
+            after,
+            verdict,
+            wall_nanos: u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        });
+    }
+
+    Ok(OptOutcome {
+        kind: "net".to_owned(),
+        before: network.gate_count(),
+        after: current.gate_count(),
+        window,
+        artifact: Artifact::Net(current),
+        records,
+        report,
+    })
+}
+
+/// Runs the pipeline over a function table (minimization only), gating
+/// the result table-vs-table.
+///
+/// # Errors
+///
+/// Currently infallible in practice; see [`optimize_network`].
+pub fn optimize_table(table: &FunctionTable, options: &OptOptions) -> Result<OptOutcome, String> {
+    let window = options
+        .window
+        .unwrap_or_else(|| required_window(table).max(DEFAULT_WINDOW));
+    let pipeline = options.passes.clone().unwrap_or(vec![Pass::MinimizeTable]);
+
+    let mut report = Report::new();
+    let mut current = table.clone();
+    let mut records = Vec::new();
+
+    for pass in pipeline {
+        let start = Instant::now();
+        let before = current.len();
+        let (candidate, dropped) = match pass {
+            Pass::MinimizeTable => passes::minimize_table(&current),
+            // Network passes propose nothing on a table.
+            _ => (current.clone(), 0),
+        };
+        let (verdict, after) = if dropped == 0 {
+            (Verdict::Unchanged, before)
+        } else {
+            let v = gate(
+                &TableEvaluator::new(&current),
+                &TableEvaluator::spec(&candidate),
+                window,
+            );
+            let after = if matches!(v, Verdict::Rejected(_)) {
+                before
+            } else {
+                candidate.len()
+            };
+            (v, after)
+        };
+        match &verdict {
+            Verdict::Rejected(why) => report.push(rejection_diagnostic(pass, why)),
+            Verdict::Unchanged => {}
+            _ => current = candidate,
+        }
+        records.push(PassRecord {
+            pass,
+            before,
+            after,
+            verdict,
+            wall_nanos: u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        });
+    }
+
+    Ok(OptOutcome {
+        kind: "table".to_owned(),
+        before: table.len(),
+        after: current.len(),
+        window,
+        artifact: Artifact::Table(current),
+        records,
+        report,
+    })
+}
+
+/// Runs the pipeline over any parsed artifact. A column is lowered to
+/// its Fig. 12/15 network first and comes back as an optimized network.
+///
+/// # Errors
+///
+/// Propagates the per-kind drivers' operational errors.
+pub fn optimize_artifact(artifact: &Artifact, options: &OptOptions) -> Result<OptOutcome, String> {
+    match artifact {
+        Artifact::Table(t) => optimize_table(t, options),
+        Artifact::Net(n) => optimize_network(n, options),
+        Artifact::Column(c) => {
+            let mut outcome = optimize_network(&c.to_network(), options)?;
+            outcome.kind = "column".to_owned();
+            Ok(outcome)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_core::Time;
+    use st_metrics::MetricsRegistry;
+    use st_net::NetworkBuilder;
+
+    fn redundant_network() -> Network {
+        // Foldable inner min, duplicated min, a 3-stage delay chain,
+        // and a dead branch: every default pass has work.
+        let mut b = NetworkBuilder::new();
+        let ins = b.inputs(2);
+        let c3 = b.constant(Time::finite(3));
+        let c5 = b.constant(Time::finite(5));
+        let folded = b.min2(c3, c5);
+        let m1 = b.min2(ins[0], ins[1]);
+        let m2 = b.min2(ins[1], ins[0]);
+        let d1 = b.inc(m1, 1);
+        let d2 = b.inc(d1, 2);
+        let d3 = b.inc(d2, 1);
+        let _dead = b.max2(m2, folded);
+        let keep = b.min2(d3, folded);
+        b.build([keep, m2])
+    }
+
+    #[test]
+    fn the_default_pipeline_shrinks_and_verifies() {
+        let network = redundant_network();
+        let outcome = optimize_network(&network, &OptOptions::default()).unwrap();
+        assert_eq!(outcome.rejected(), 0, "{}", outcome.render());
+        assert!(outcome.after < outcome.before, "{}", outcome.render());
+        // Every changed pass was exhaustively proved at the full window.
+        for r in &outcome.records {
+            match &r.verdict {
+                Verdict::Proved(w) => assert_eq!(*w, 4),
+                Verdict::Unchanged => {}
+                other => panic!("unexpected verdict {other:?}"),
+            }
+        }
+        // The optimized network still evaluates identically (spot
+        // check beyond the proof window).
+        let Artifact::Net(optimized) = &outcome.artifact else {
+            panic!("network in, network out");
+        };
+        let probe = [Time::finite(9), Time::finite(7)];
+        assert_eq!(
+            network.eval(&probe).unwrap(),
+            optimized.eval(&probe).unwrap()
+        );
+    }
+
+    #[test]
+    fn optimization_is_idempotent_at_fixpoint() {
+        let outcome = optimize_network(&redundant_network(), &OptOptions::default()).unwrap();
+        let Artifact::Net(once) = &outcome.artifact else {
+            panic!("network in, network out");
+        };
+        let again = optimize_network(once, &OptOptions::default()).unwrap();
+        assert_eq!(again.before, again.after, "{}", again.render());
+        assert!(
+            again
+                .records
+                .iter()
+                .all(|r| r.verdict == Verdict::Unchanged),
+            "{}",
+            again.render()
+        );
+    }
+
+    #[test]
+    fn explicit_pass_lists_run_in_order() {
+        let outcome = optimize_network(
+            &redundant_network(),
+            &OptOptions {
+                passes: Some(vec![Pass::EliminateDead]),
+                window: Some(3),
+            },
+        )
+        .unwrap();
+        assert_eq!(outcome.records.len(), 1);
+        assert_eq!(outcome.records[0].pass, Pass::EliminateDead);
+        assert_eq!(outcome.window, 3);
+    }
+
+    #[test]
+    fn tables_minimize_under_their_required_window() {
+        let table = FunctionTable::from_rows(
+            2,
+            vec![
+                (vec![Time::finite(0), Time::INFINITY], Time::finite(1)),
+                (vec![Time::finite(0), Time::finite(3)], Time::finite(3)),
+                (vec![Time::finite(2), Time::finite(0)], Time::finite(3)),
+            ],
+        )
+        .unwrap();
+        let outcome = optimize_table(&table, &OptOptions::default()).unwrap();
+        assert_eq!(outcome.before, 3);
+        assert_eq!(outcome.after, 2);
+        assert_eq!(outcome.window, 4, "max(required 2, default 4)");
+        assert_eq!(outcome.rejected(), 0, "{}", outcome.render());
+        assert!(outcome.is_clean());
+    }
+
+    #[test]
+    fn infeasible_windows_shrink_before_sampling() {
+        // Width 8 at window 4: 6^8 ≈ 1.7M fits; 7^8 ≈ 5.8M does not,
+        // so a window-9 request shrinks to 4.
+        assert_eq!(feasible_window(9, 8), Some(4));
+        assert_eq!(feasible_window(4, 8), Some(4));
+        // Width 30: even window 0 needs 2^30 volleys — sample instead.
+        assert_eq!(feasible_window(4, 30), None);
+    }
+
+    #[test]
+    fn pass_names_round_trip_through_parse() {
+        for pass in ALL_PASSES {
+            assert_eq!(Pass::parse(pass.name()), Some(pass));
+        }
+        assert_eq!(Pass::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn metrics_record_the_run_under_opt_names() {
+        let outcome = optimize_network(&redundant_network(), &OptOptions::default()).unwrap();
+        let mut registry = MetricsRegistry::new();
+        record_metrics(&outcome, &mut registry);
+        let counters: std::collections::HashMap<_, _> = registry.counters().collect();
+        assert_eq!(counters["opt.gates_before"], outcome.before as u64);
+        assert_eq!(counters["opt.gates_after"], outcome.after as u64);
+        assert_eq!(counters["opt.passes_run"], 4);
+        assert_eq!(counters["opt.passes_rejected"], 0);
+        assert!(
+            registry
+                .histograms()
+                .any(|(name, _)| name == "opt.pass.constant_fold.nanos"),
+            "per-pass timing histogram"
+        );
+    }
+}

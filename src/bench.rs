@@ -19,6 +19,8 @@ use st_metrics::{
     BenchReport, HistSummary, MachineInfo, MetricsRegistry, Scenario, WallStats, SCHEMA,
 };
 use st_net::sorting::sorting_network;
+use st_net::{Network, NetworkBuilder};
+use st_opt::{optimize_network, OptOptions, OptOutcome};
 use st_tnn::train::{fresh_column, TrainConfig};
 
 use crate::batch::{BatchEvaluator, CompiledArtifact};
@@ -85,6 +87,10 @@ pub fn quick_matrix() -> Vec<ScenarioSpec> {
             ("grl", 4),
             ("tnn", 8),
             ("kernel", 8),
+            ("rawnet", 4),
+            ("optnet", 4),
+            ("rawkernel", 4),
+            ("optkernel", 4),
         ],
         &[1, 2],
         10,
@@ -107,10 +113,69 @@ pub fn full_matrix() -> Vec<ScenarioSpec> {
             ("tnn", 16),
             ("kernel", 8),
             ("kernel", 16),
+            ("rawnet", 4),
+            ("optnet", 4),
+            ("rawkernel", 4),
+            ("optkernel", 4),
         ],
         &[1, 2, 4],
         30,
     )
+}
+
+/// The deliberately redundant network behind the `rawnet`/`rawkernel`
+/// scenarios: per input, two *separate* four-stage unit-delay chains
+/// `min`-ed together. Semantically each output is just `input + 4`, but
+/// spelled this way the network carries fusible delay chains, congruent
+/// duplicate subexpressions, and (after those collapse) dead gates —
+/// exactly the redundancy the `st-opt` default pipeline removes. The
+/// `optnet`/`optkernel` rows run the verified-optimized form of the
+/// same network, so raw-vs-opt scenario pairs read as a direct measure
+/// of what optimization buys at evaluation time.
+#[must_use]
+pub fn redundant_bench_network(size: usize) -> Network {
+    let mut b = NetworkBuilder::new();
+    let ins = b.inputs(size);
+    let mut outs = Vec::with_capacity(size);
+    for &input in &ins {
+        let mut chain = |mut w| {
+            for _ in 0..4 {
+                w = b.inc(w, 1);
+            }
+            w
+        };
+        let a = chain(input);
+        let c = chain(input);
+        outs.push(b.min2(a, c));
+    }
+    b.build(outs)
+}
+
+/// Runs the default verified pipeline over
+/// [`redundant_bench_network`], returning the outcome (whose artifact
+/// is the optimized network and whose records feed the `opt.*`
+/// counters).
+///
+/// # Errors
+///
+/// Returns a message if a pass or its verification fails operationally.
+pub fn optimized_bench_outcome(size: usize) -> Result<OptOutcome, String> {
+    let raw = redundant_bench_network(size);
+    let outcome = optimize_network(&raw, &OptOptions::default())?;
+    if outcome.rejected() > 0 {
+        return Err(format!(
+            "the bench network's optimization was rejected:\n{}",
+            outcome.render()
+        ));
+    }
+    Ok(outcome)
+}
+
+fn optimized_bench_network(size: usize) -> Result<Network, String> {
+    match optimized_bench_outcome(size)?.artifact {
+        st_verify::Artifact::Net(n) => Ok(n),
+        other => Err(format!("expected a network back, got {}", other.kind())),
+    }
 }
 
 /// Compiles the artifact a scenario times.
@@ -123,6 +188,10 @@ pub fn full_matrix() -> Vec<ScenarioSpec> {
 /// - `kernel`: the `net` sorting network flattened into a lane-packed
 ///   SWAR plan — the same computation as `net`, so the two rows read as
 ///   a direct engine-vs-engine speedup.
+/// - `rawnet` / `rawkernel`: the deliberately redundant
+///   [`redundant_bench_network`] under the event sim / SWAR plan.
+/// - `optnet` / `optkernel`: the verified-optimized form of the same
+///   network — raw-vs-opt row pairs measure what `st-opt` buys.
 ///
 /// # Errors
 ///
@@ -148,8 +217,21 @@ pub fn build_artifact(engine: &str, size: usize) -> Result<CompiledArtifact, Str
             0.5,
             &TrainConfig::default(),
         ))),
+        "rawnet" => Ok(CompiledArtifact::from_network(&redundant_bench_network(
+            size,
+        ))),
+        "optnet" => Ok(CompiledArtifact::from_network(&optimized_bench_network(
+            size,
+        )?)),
+        "rawkernel" => Ok(CompiledArtifact::from_kernel_network(
+            &redundant_bench_network(size),
+        )),
+        "optkernel" => Ok(CompiledArtifact::from_kernel_network(
+            &optimized_bench_network(size)?,
+        )),
         other => Err(format!(
-            "unknown engine {other:?} (expected table, net, grl, tnn, or kernel)"
+            "unknown engine {other:?} (expected table, net, grl, tnn, kernel, \
+             rawnet, optnet, rawkernel, or optkernel)"
         )),
     }
 }
@@ -206,6 +288,13 @@ pub fn run_scenario(spec: &ScenarioSpec) -> Result<Scenario, String> {
     }
     let iterations = effective_iterations(spec);
     let mut registry = MetricsRegistry::new();
+    // The optimized scenarios carry their optimization's `opt.*`
+    // counters (gates before/after, passes run/rejected, per-pass
+    // timing histograms) alongside the engine counters, so a bench
+    // report shows what the pipeline did to the artifact it timed.
+    if spec.engine.starts_with("opt") {
+        st_opt::record_metrics(&optimized_bench_outcome(spec.size)?, &mut registry);
+    }
     let mut samples = Vec::with_capacity(iterations as usize);
     for _ in 0..iterations {
         let start = Instant::now();
@@ -296,7 +385,17 @@ mod tests {
     #[test]
     fn quick_matrix_covers_all_engines_at_two_thread_counts() {
         let specs = quick_matrix();
-        for engine in ["table", "net", "grl", "tnn", "kernel"] {
+        for engine in [
+            "table",
+            "net",
+            "grl",
+            "tnn",
+            "kernel",
+            "rawnet",
+            "optnet",
+            "rawkernel",
+            "optkernel",
+        ] {
             let threads: Vec<usize> = specs
                 .iter()
                 .filter(|s| s.engine == engine)
@@ -330,6 +429,10 @@ mod tests {
             ("grl", 4),
             ("tnn", 8),
             ("kernel", 8),
+            ("rawnet", 4),
+            ("optnet", 4),
+            ("rawkernel", 4),
+            ("optkernel", 4),
         ] {
             let spec = ScenarioSpec {
                 engine,
@@ -351,6 +454,40 @@ mod tests {
     #[test]
     fn unknown_engine_is_rejected() {
         assert!(build_artifact("quantum", 4).is_err());
+    }
+
+    #[test]
+    fn optimization_shrinks_the_bench_network_and_preserves_semantics() {
+        let raw = redundant_bench_network(4);
+        let outcome = optimized_bench_outcome(4).expect("clean optimization");
+        assert_eq!(outcome.rejected(), 0, "{}", outcome.render());
+        assert!(
+            outcome.after * 2 <= outcome.before,
+            "expected at least 2x gate reduction, got {} -> {}",
+            outcome.before,
+            outcome.after
+        );
+        let optimized = optimized_bench_network(4).expect("network back");
+        for volley in generate_volleys(4, 16, 7, 99) {
+            assert_eq!(
+                raw.eval(volley.times()).unwrap(),
+                optimized.eval(volley.times()).unwrap()
+            );
+        }
+        // The opt scenarios surface the pipeline's counters in their
+        // bench rows.
+        let spec = ScenarioSpec {
+            engine: "optnet",
+            size: 4,
+            threads: 1,
+            warmup: 1,
+            iterations: 2,
+            volleys_per_iter: 8,
+        };
+        let scenario = run_scenario(&spec).expect("optnet scenario");
+        assert_eq!(scenario.counters["opt.gates_before"], outcome.before as u64);
+        assert!(scenario.counters["opt.gates_after"] < scenario.counters["opt.gates_before"]);
+        assert_eq!(scenario.counters["opt.passes_rejected"], 0);
     }
 
     #[test]

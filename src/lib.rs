@@ -15,6 +15,7 @@
 //! | [`kernel`] | `st-kernel` | flattened SWAR volley kernels, 8 lanes per word |
 //! | [`lint`] | `st-lint` | static diagnostics over all representations |
 //! | [`verify`] | `st-verify` | boundedness certificates + bounded equivalence |
+//! | [`opt`] | `st-opt` | dataflow analyses + verified optimization passes |
 //! | [`obs`] | `st-obs` | probes, event traces, rasters, run statistics |
 //! | [`batch`] | (this crate) | compile-once / evaluate-many parallel engine |
 //!
@@ -49,5 +50,6 @@ pub use st_metrics as metrics;
 pub use st_net as net;
 pub use st_neuron as neuron;
 pub use st_obs as obs;
+pub use st_opt as opt;
 pub use st_tnn as tnn;
 pub use st_verify as verify;

@@ -61,6 +61,17 @@ USAGE:
                                                 certificate, and report any
                                                 counterexample volley as an
                                                 STA1xx finding (docs/verify.md)
+  spacetime opt <file> [--kind table|net|column] [--passes p1,p2,…]
+                  [--window N] [--check] [--json] [--emit <out>]
+                                                run the verified optimization
+                                                pipeline (docs/opt.md): every
+                                                pass is gated by bounded
+                                                equivalence and a rejected
+                                                rewrite is reported with its
+                                                counterexample volley; --check
+                                                exits non-zero on any
+                                                rejection, --emit writes the
+                                                optimized artifact
   spacetime trace <file> [--format raster|jsonl|chrome|stats|prom]
                   [--engine table|net|grl|column] [--volleys <file>]
                   [--threads N] [--out <file>]   run a traced evaluation and
@@ -105,6 +116,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => return gate_exit(cmd_lint(&args[1..])),
         Some("verify") => return gate_exit(cmd_verify(&args[1..])),
+        Some("opt") => return gate_exit(cmd_opt(&args[1..])),
         _ => {}
     }
     let result = match args.first().map(String::as_str) {
@@ -809,6 +821,99 @@ fn cmd_verify(args: &[String]) -> Result<bool, String> {
     Ok(outcome.report.is_clean())
 }
 
+fn cmd_opt(args: &[String]) -> Result<bool, String> {
+    use spacetime::opt::{optimize_artifact, OptOptions, Pass};
+    use spacetime::verify::Artifact;
+
+    let mut path = None;
+    let mut kind: Option<String> = None;
+    let mut json = false;
+    let mut check = false;
+    let mut emit: Option<String> = None;
+    let mut options = OptOptions::default();
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--kind" => kind = Some(flag_value(&mut iter, a)?),
+            "--json" => json = true,
+            "--check" => check = true,
+            "--emit" => emit = Some(flag_value(&mut iter, a)?),
+            "--window" => {
+                options.window = Some(
+                    flag_value(&mut iter, a)?
+                        .parse()
+                        .map_err(|e| format!("bad window: {e}"))?,
+                );
+            }
+            "--passes" => {
+                let mut passes = Vec::new();
+                for token in flag_value(&mut iter, a)?.split(',') {
+                    let token = token.trim();
+                    passes.push(Pass::parse(token).ok_or_else(|| {
+                        format!(
+                            "unknown pass {token:?}; expected one of {}",
+                            spacetime::opt::ALL_PASSES
+                                .iter()
+                                .map(|p| p.name())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        )
+                    })?);
+                }
+                options.passes = Some(passes);
+            }
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_owned()),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let path = path.ok_or(
+        "usage: spacetime opt <file> [--kind table|net|column] [--passes p1,p2,…] \
+         [--window N] [--check] [--json] [--emit <out>]",
+    )?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let kind = match kind.as_deref() {
+        Some(k @ ("table" | "net" | "column")) => k,
+        Some(other) => return Err(format!("unknown kind {other:?}; expected table|net|column")),
+        None => detect_kind(&text),
+    };
+    let artifact = match kind {
+        "table" => {
+            Artifact::Table(FunctionTable::parse(&text).map_err(|e| format!("{path}: {e}"))?)
+        }
+        "net" => {
+            Artifact::Net(spacetime::net::parse_network(&text).map_err(|e| format!("{path}: {e}"))?)
+        }
+        _ => Artifact::Column(
+            spacetime::tnn::parse_column(&text).map_err(|e| format!("{path}: {e}"))?,
+        ),
+    };
+    let outcome = optimize_artifact(&artifact, &options)?;
+    if json {
+        print!("{}", outcome.report.to_json());
+    } else {
+        print!("{}", outcome.render());
+    }
+    if let Some(f) = emit {
+        let rendered = match &outcome.artifact {
+            Artifact::Table(t) => t.to_text(),
+            Artifact::Net(n) => spacetime::net::network_to_text(n),
+            Artifact::Column(_) => unreachable!("opt never returns a column"),
+        };
+        std::fs::write(&f, rendered).map_err(|e| format!("cannot write {f}: {e}"))?;
+        eprintln!("wrote the optimized artifact to {f}");
+    }
+    eprintln!(
+        "{path} ({kind}): {} -> {} over window {}; {} rejection(s)",
+        outcome.before,
+        outcome.after,
+        outcome.window,
+        outcome.rejected()
+    );
+    // Without --check the run reports; with it, any rejection (or other
+    // error-severity finding) fails the gate.
+    Ok(!check || outcome.is_clean())
+}
+
 /// The evaluable form the trace subcommand drives its per-volley spike
 /// pass through (the batch timing pass uses a [`CompiledArtifact`]
 /// alongside it).
@@ -1122,6 +1227,20 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         let new = load(&new_path)?;
         let outcome = compare(&old, &new, threshold);
         print!("{}", outcome.render_table());
+        // Coverage drift warns but never gates: a scenario present on
+        // only one side has no ratio to threshold.
+        for name in &outcome.missing {
+            eprintln!(
+                "warning: scenario {name} is in the baseline {old_path} but not in \
+                 {new_path}; it was not compared"
+            );
+        }
+        for name in &outcome.added {
+            eprintln!(
+                "warning: scenario {name} is new in {new_path} (no baseline row in \
+                 {old_path}); it was not compared"
+            );
+        }
         if outcome.regressed {
             return Err(format!(
                 "performance regression: at least one scenario exceeded {threshold}x \

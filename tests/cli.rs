@@ -547,6 +547,86 @@ fn bench_compare_passes_self_and_fails_injected_slowdown() {
 }
 
 #[test]
+fn opt_check_shrinks_a_redundant_network_and_reports_sta2xx() {
+    let net = TempFile::with_content(
+        "redundant.net",
+        "g0 = input\ng1 = input\ng2 = min g0 g1\ng3 = min g1 g0\n\
+         g4 = inc 1 g2\ng5 = inc 2 g4\ng6 = max g3 g3\noutputs g5 g6\n",
+    );
+    let out = bin()
+        .args(["opt", net.to_str(), "--check"])
+        .output()
+        .expect("run opt");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("STA202"), "{stdout}");
+    assert!(stdout.contains("STA203"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("0 rejection(s)"), "{stderr}");
+
+    // --json emits the machine report; a rejected-pass-free run has no
+    // errors and the run is accepted end to end.
+    let out = bin()
+        .args(["opt", net.to_str(), "--json"])
+        .output()
+        .expect("run opt --json");
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"errors\": 0"), "{stdout}");
+    assert!(stdout.contains("STA202"), "{stdout}");
+
+    // An unknown pass name is a usage error, not a silent no-op.
+    let out = bin()
+        .args(["opt", net.to_str(), "--passes", "nonsense"])
+        .output()
+        .expect("run opt bad pass");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown pass"), "{stderr}");
+}
+
+#[test]
+fn bench_compare_warns_but_passes_on_missing_and_added_scenarios() {
+    let report_file = TempFile::with_content("rows-base.json", "");
+    let out = bin()
+        .env("SPACETIME_BENCH_ITERS", "1")
+        .args(["bench", "--quick", "--out", report_file.to_str()])
+        .output()
+        .expect("run bench");
+    assert!(out.status.success(), "{out:?}");
+    let base = std::fs::read_to_string(report_file.to_str()).unwrap();
+
+    // Rename one scenario in the new report: its old name is now missing
+    // from the comparison and its new name has no baseline row. Neither
+    // may gate — uncomparable rows warn and are skipped.
+    let mut renamed = spacetime::metrics::BenchReport::from_json(&base).unwrap();
+    let old_name = renamed.scenarios[0].name.clone();
+    renamed.scenarios[0].name = format!("{old_name}-renamed");
+    let renamed_file = TempFile::with_content("rows-renamed.json", &renamed.to_json());
+    let out = bin()
+        .args([
+            "bench",
+            "--compare",
+            report_file.to_str(),
+            renamed_file.to_str(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains(&format!("warning: scenario {old_name} is in the baseline"))
+            && stderr.contains("it was not compared"),
+        "{stderr}"
+    );
+    assert!(
+        stderr.contains(&format!("warning: scenario {old_name}-renamed is new in"))
+            && stderr.contains("no baseline row"),
+        "{stderr}"
+    );
+}
+
+#[test]
 fn bench_rejects_bad_flags_and_reports() {
     let out = bin()
         .args(["bench", "--threshold", "0.5"])

@@ -91,6 +91,42 @@ proptest! {
         }
     }
 
+    /// The st-opt verified pipeline joins the battery: optimizing a
+    /// synthesized network must not change what any engine computes —
+    /// the optimized network and its SWAR kernel plan agree with the
+    /// raw source on random volleys at every thread count.
+    #[test]
+    fn optimized_networks_join_the_differential_battery(
+        neuron in arb_neuron(),
+        raw_volleys in prop::collection::vec(arb_volley(3), 1..24),
+    ) {
+        let table = FunctionTable::from_fn(&neuron, 3).unwrap();
+        let network = synthesize(&table, SynthesisOptions::default());
+        let outcome = spacetime::opt::optimize_network(
+            &network,
+            &spacetime::opt::OptOptions::default(),
+        ).unwrap();
+        prop_assert_eq!(outcome.rejected(), 0, "report:\n{}", outcome.render());
+        let spacetime::verify::Artifact::Net(optimized) = &outcome.artifact else {
+            panic!("network optimized into a non-net");
+        };
+        let volleys = to_volleys(&raw_volleys, network.input_count());
+        let reference = BatchEvaluator::with_threads(1)
+            .eval(&CompiledArtifact::from_network(&network), &volleys)
+            .unwrap();
+        for artifact in [
+            CompiledArtifact::from_network(optimized),
+            CompiledArtifact::from_kernel_network(optimized),
+        ] {
+            for threads in [1usize, 2, 7] {
+                let got = BatchEvaluator::with_threads(threads)
+                    .eval(&artifact, &volleys)
+                    .unwrap();
+                prop_assert_eq!(&got, &reference, "{} threads", threads);
+            }
+        }
+    }
+
     /// The kernel's metered and probed batch entry points return exactly
     /// the plain outputs; the probe stream has the batch shape (every
     /// volley timed once, in order; a closing `"eval"` stage) and the
