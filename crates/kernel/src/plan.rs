@@ -7,6 +7,7 @@ use st_lint::{LintGraph, LintOp};
 use st_metrics::MetricSink;
 use st_net::{GateKind, Network};
 use st_obs::{ObsEvent, Probe};
+use st_trace::{SpanId, Tracer};
 
 /// One flattened gate operation.
 ///
@@ -103,6 +104,23 @@ impl Plan {
         b.finish(network.outputs().iter().map(|o| gate_index(o.index())))
     }
 
+    /// [`Plan::from_network`] under a `plan.build` span, so profiles
+    /// attribute flattening cost separately from evaluation. With a
+    /// `NullTracer` this is exactly [`Plan::from_network`].
+    ///
+    /// # Panics
+    ///
+    /// See [`Plan::from_network`].
+    #[must_use]
+    pub fn from_network_traced<T: Tracer>(
+        network: &Network,
+        tracer: &mut T,
+        parent: SpanId,
+    ) -> Plan {
+        let _span = tracer.span("plan.build", parent);
+        Plan::from_network(network)
+    }
+
     /// Lowers a race-logic netlist into a plan via the Fig. 16
     /// correspondence: falling-edge `AND`/`OR` compute `min`/`max`, the
     /// `lt` latch computes `≺`, a flip-flop stage is `+1`, a tied-high
@@ -120,6 +138,18 @@ impl Plan {
         let (fused, _) = st_opt::graphopt::fuse_delay_chains(&graph);
         let (swept, _) = st_opt::graphopt::sweep_unreachable(&fused);
         Plan::from_lint_graph(&swept)
+    }
+
+    /// [`Plan::from_grl`] under a `plan.build` span; see
+    /// [`Plan::from_network_traced`].
+    #[must_use]
+    pub fn from_grl_traced<T: Tracer>(
+        netlist: &GrlNetlist,
+        tracer: &mut T,
+        parent: SpanId,
+    ) -> Plan {
+        let _span = tracer.span("plan.build", parent);
+        Plan::from_grl(netlist)
     }
 
     /// Flattens a lint-IR graph (already in definition-before-use order,

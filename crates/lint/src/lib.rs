@@ -45,7 +45,7 @@ mod table;
 pub use diag::{Code, Diagnostic, Location, Report, Severity, ALL_CODES};
 pub use graph::{LintGraph, LintNode, LintOp};
 pub use interval::Interval;
-pub use passes::{lint_graph, LintOptions};
+pub use passes::{lint_graph, lint_graph_traced, LintOptions};
 pub use table::lint_table;
 
 use st_core::Expr;

@@ -30,6 +30,7 @@
 //! paths (on timing paths STA004 already fires, strictly stronger).
 
 use st_core::Time;
+use st_trace::{NullTracer, SpanId, Tracer};
 
 use crate::diag::{Code, Diagnostic, Location, Report, Severity};
 use crate::graph::{LintGraph, LintOp};
@@ -62,20 +63,51 @@ impl Default for LintOptions {
 /// Runs every graph pass and returns the combined report.
 #[must_use]
 pub fn lint_graph(graph: &LintGraph, options: &LintOptions) -> Report {
+    lint_graph_traced(graph, options, &mut NullTracer, SpanId::NONE)
+}
+
+/// [`lint_graph`] with a span per pass recorded under `parent`
+/// (`lint.pass.structure`, `lint.pass.intervals`, ...). With a
+/// [`NullTracer`] this is exactly `lint_graph`.
+#[must_use]
+pub fn lint_graph_traced<T: Tracer>(
+    graph: &LintGraph,
+    options: &LintOptions,
+    tracer: &mut T,
+    parent: SpanId,
+) -> Report {
     let mut report = Report::new();
-    check_structure(graph, &mut report);
+    {
+        let _span = tracer.span("lint.pass.structure", parent);
+        check_structure(graph, &mut report);
+    }
     if report.has_structural_errors() {
         return report;
     }
+    let span = tracer.begin("lint.pass.intervals", parent);
     let intervals = interval::analyze(graph, Interval::free());
     let reachable = liveness::live_set(graph);
-    check_dead_gates(graph, &intervals, &reachable, &mut report);
-    check_unreachable(graph, &reachable, &mut report);
-    check_constants(graph, &reachable, &mut report);
+    tracer.end(span);
+    {
+        let _span = tracer.span("lint.pass.dead_gates", parent);
+        check_dead_gates(graph, &intervals, &reachable, &mut report);
+    }
+    {
+        let _span = tracer.span("lint.pass.unreachable", parent);
+        check_unreachable(graph, &reachable, &mut report);
+    }
+    {
+        let _span = tracer.span("lint.pass.constants", parent);
+        check_constants(graph, &reachable, &mut report);
+    }
     if options.check_basis {
+        let _span = tracer.span("lint.pass.basis", parent);
         check_basis(graph, &reachable, &mut report);
     }
-    check_wta_shape(graph, &mut report);
+    {
+        let _span = tracer.span("lint.pass.wta_shape", parent);
+        check_wta_shape(graph, &mut report);
+    }
     report
 }
 

@@ -32,11 +32,13 @@ pub mod json;
 pub mod prom;
 pub mod registry;
 pub mod report;
+pub mod trend;
 
 pub use hist::{bucket_index, bucket_upper_bound, nearest_rank, Histogram, BUCKET_COUNT};
-pub use prom::{prom_name, MetricsSnapshot};
+pub use prom::{prom_help, prom_name, MetricsSnapshot};
 pub use registry::{MetricSink, MetricsRegistry, NullMetrics};
 pub use report::{
     compare, BenchReport, CompareOutcome, CompareRow, HistSummary, MachineInfo, Scenario,
     WallStats, SCHEMA,
 };
+pub use trend::{parse_history, render_trend, TrendRow, TREND_SCHEMA};

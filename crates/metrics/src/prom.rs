@@ -24,6 +24,47 @@ pub struct MetricsSnapshot {
     histograms: Vec<(String, Histogram)>,
 }
 
+/// One-line help text for a registry metric name, mirroring the
+/// catalogue tables in `docs/metrics.md`. Returns `None` for names
+/// outside the documented catalogue (ad-hoc or test metrics), which
+/// then render without a `# HELP` line.
+#[must_use]
+pub fn prom_help(name: &str) -> Option<&'static str> {
+    Some(match name {
+        "table.lookups" => "compiled-table evaluations",
+        "net.runs" => "event-driven network evaluations",
+        "net.gate_evals" => "gate evaluations popped and processed",
+        "net.gate_firings" => "gates that produced a finite firing time",
+        "net.queue_pushes" => "events pushed onto the priority queue",
+        "net.queue_pops" => "events popped (stale pops included)",
+        "net.queue_peak_depth" => "peak priority-queue depth per run",
+        "grl.runs" => "cycle-accurate netlist evaluations",
+        "grl.cycles" => "simulated cycles (horizon + 1 per run)",
+        "grl.wire_transitions" => "1->0 wire falls during evaluation (energy proxy)",
+        "grl.reset_transitions" => "0->1 reset-phase transitions",
+        "grl.latch_captures" => "lt latches that captured during evaluation",
+        "srm0.evals" => "neuron evaluations",
+        "srm0.step_events" => "response up/down steps scheduled",
+        "srm0.potential_updates" => "membrane-potential recomputations",
+        "srm0.spikes" => "evaluations that crossed threshold",
+        "tnn.volleys" => "column evaluations",
+        "tnn.wta_decisions" => "volleys where WTA picked a winner",
+        "tnn.silent_decisions" => "volleys where no neuron reached threshold",
+        "stdp.presentations" => "training presentations",
+        "stdp.updates" => "presentations that applied an STDP update",
+        "stdp.weight_deltas" => "individual synapse weight changes",
+        "stdp.rescues" => "rescue updates that changed at least one weight",
+        "batch.volleys" => "volleys evaluated (successful batches only)",
+        "batch.chunks" => "worker chunks processed (varies with thread count)",
+        "batch.volley_nanos" => "wall-clock nanos per volley",
+        "batch.chunk_nanos" => "wall-clock nanos per worker chunk",
+        "kernel.packets" => "SWAR packets evaluated by the kernel engine",
+        "kernel.gates_swar" => "gate evaluations taken on the SWAR path",
+        "kernel.gates_skipped" => "gate evaluations skipped as all-silent",
+        _ => return None,
+    })
+}
+
 /// Maps a registry metric name to a Prometheus metric name.
 #[must_use]
 pub fn prom_name(name: &str) -> String {
@@ -67,11 +108,17 @@ impl MetricsSnapshot {
         let mut out = String::new();
         for (name, value) in &self.counters {
             let prom = prom_name(name);
+            if let Some(help) = prom_help(name) {
+                let _ = writeln!(out, "# HELP {prom} {help}");
+            }
             let _ = writeln!(out, "# TYPE {prom} counter");
             let _ = writeln!(out, "{prom} {value}");
         }
         for (name, h) in &self.histograms {
             let prom = prom_name(name);
+            if let Some(help) = prom_help(name) {
+                let _ = writeln!(out, "# HELP {prom} {help}");
+            }
             let _ = writeln!(out, "# TYPE {prom} histogram");
             let last = last_used_bucket(h);
             let mut cumulative = 0u64;
@@ -118,7 +165,11 @@ mod tests {
         r.observe("batch.volley_nanos", 3);
         r.observe("batch.volley_nanos", 5);
         let text = MetricsSnapshot::from_registry(&r).to_prom_text();
+        assert!(
+            text.contains("# HELP spacetime_net_gate_evals gate evaluations popped and processed")
+        );
         assert!(text.contains("# TYPE spacetime_net_gate_evals counter"));
+        assert!(text.contains("# HELP spacetime_batch_volley_nanos wall-clock nanos per volley"));
         assert!(text.contains("spacetime_net_gate_evals 12"));
         assert!(text.contains("# TYPE spacetime_batch_volley_nanos histogram"));
         // 3 and 5 both have bit length 3 → bucket le="7" is cumulative 2.

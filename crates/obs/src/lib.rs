@@ -13,6 +13,12 @@
 //! | [`export`] | spike-raster CSV, JSONL, Chrome `trace_event` exporters |
 //! | [`stats`] | [`RunStats`] run summaries (spikes/volley, winner histograms, latency percentiles) |
 //!
+//! Two sibling crates apply the same zero-overhead pattern to the other
+//! observability axes: `st-metrics` (counters and histograms behind
+//! `MetricSink`) and `st-trace` (hierarchical wall-clock spans behind
+//! `Tracer`, rendered as flamegraphs and Chrome timelines by
+//! `spacetime profile`).
+//!
 //! ## The zero-overhead contract
 //!
 //! Engines expose `*_probed` entry points generic over `P: Probe` and

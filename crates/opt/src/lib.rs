@@ -33,6 +33,7 @@ pub mod passes;
 
 pub use analyze::{analyze_graph, analyze_network};
 pub use manager::{
-    optimize_artifact, optimize_network, optimize_table, record_metrics, OptOptions, OptOutcome,
-    Pass, PassRecord, Verdict, ALL_PASSES,
+    optimize_artifact, optimize_artifact_traced, optimize_network, optimize_network_traced,
+    optimize_table, optimize_table_traced, record_metrics, OptOptions, OptOutcome, Pass,
+    PassRecord, Verdict, ALL_PASSES,
 };

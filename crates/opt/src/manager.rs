@@ -21,7 +21,8 @@ use st_core::FunctionTable;
 use st_lint::{Code, Diagnostic, Location, Report, Severity};
 use st_metrics::MetricSink;
 use st_net::{network_to_text, Network};
-use st_verify::equiv::{check_equiv, EquivResult};
+use st_trace::{NullTracer, SpanId, Tracer};
+use st_verify::equiv::{check_equiv_traced, EquivResult};
 use st_verify::eval::{Evaluator, NetEvaluator, TableEvaluator};
 use st_verify::{required_window, Artifact};
 
@@ -91,6 +92,17 @@ impl Pass {
             Pass::ShareSubexpressions => "opt.pass.share_subexpressions.nanos",
             Pass::EliminateDead => "opt.pass.eliminate_dead.nanos",
             Pass::MinimizeTable => "opt.pass.minimize_table.nanos",
+        }
+    }
+
+    /// The per-pass span name recorded by the traced pipeline.
+    fn span_name(self) -> &'static str {
+        match self {
+            Pass::ConstantFold => "opt.pass.constant_fold",
+            Pass::FuseDelayChains => "opt.pass.fuse_delay_chains",
+            Pass::ShareSubexpressions => "opt.pass.share_subexpressions",
+            Pass::EliminateDead => "opt.pass.eliminate_dead",
+            Pass::MinimizeTable => "opt.pass.minimize_table",
         }
     }
 }
@@ -267,10 +279,21 @@ impl SampleRng {
 }
 
 /// Gates one candidate behind the current artifact: exhaustive when
-/// feasible, seeded differential sample otherwise.
-fn gate(current: &dyn Evaluator, candidate: &dyn Evaluator, window: u64) -> Verdict {
+/// feasible, seeded differential sample otherwise. The proof obligation
+/// is recorded as a `verify.check_equiv` span under the pass span, with
+/// the prover's own `verify.window` sub-spans below it.
+fn gate<T: Tracer>(
+    current: &dyn Evaluator,
+    candidate: &dyn Evaluator,
+    window: u64,
+    tracer: &mut T,
+    parent: SpanId,
+) -> Verdict {
     if let Some(w) = feasible_window(window, current.input_width()) {
-        return match check_equiv(current, candidate, w) {
+        let span = tracer.begin("verify.check_equiv", parent);
+        let result = check_equiv_traced(current, candidate, w, tracer, span);
+        tracer.end(span);
+        return match result {
             Ok(EquivResult::Proved(_)) => Verdict::Proved(w),
             Ok(EquivResult::Refuted(c)) => Verdict::Rejected(format!(
                 "{c}; replay: put the volley `{}` in a file and run `spacetime batch`",
@@ -332,6 +355,23 @@ fn rejection_diagnostic(pass: Pass, why: &str) -> Diagnostic {
 /// other drivers); rejections come back inside the outcome, not as
 /// errors.
 pub fn optimize_network(network: &Network, options: &OptOptions) -> Result<OptOutcome, String> {
+    optimize_network_traced(network, options, &mut NullTracer, SpanId::NONE)
+}
+
+/// [`optimize_network`] with one `opt.pass.*` span per pass recorded
+/// under `parent`, each nesting its `verify.check_equiv` proof
+/// obligation. With a [`NullTracer`] this is exactly
+/// [`optimize_network`].
+///
+/// # Errors
+///
+/// See [`optimize_network`].
+pub fn optimize_network_traced<T: Tracer>(
+    network: &Network,
+    options: &OptOptions,
+    tracer: &mut T,
+    parent: SpanId,
+) -> Result<OptOutcome, String> {
     let window = options.window.unwrap_or(DEFAULT_WINDOW);
     let default = vec![
         Pass::ConstantFold,
@@ -348,6 +388,7 @@ pub fn optimize_network(network: &Network, options: &OptOptions) -> Result<OptOu
 
     for pass in pipeline {
         let start = Instant::now();
+        let span = tracer.begin(pass.span_name(), parent);
         let before = current.gate_count();
         let candidate = match pass {
             Pass::ConstantFold => passes::constant_fold(&current),
@@ -366,6 +407,8 @@ pub fn optimize_network(network: &Network, options: &OptOptions) -> Result<OptOu
                 &NetEvaluator::new(&current),
                 &NetEvaluator::new(&candidate),
                 window,
+                tracer,
+                span,
             );
             let after = if matches!(v, Verdict::Rejected(_)) {
                 before
@@ -374,6 +417,7 @@ pub fn optimize_network(network: &Network, options: &OptOptions) -> Result<OptOu
             };
             (v, after)
         };
+        tracer.end(span);
         match &verdict {
             Verdict::Rejected(why) => report.push(rejection_diagnostic(pass, why)),
             Verdict::Unchanged => {}
@@ -409,6 +453,21 @@ pub fn optimize_network(network: &Network, options: &OptOptions) -> Result<OptOu
 ///
 /// Currently infallible in practice; see [`optimize_network`].
 pub fn optimize_table(table: &FunctionTable, options: &OptOptions) -> Result<OptOutcome, String> {
+    optimize_table_traced(table, options, &mut NullTracer, SpanId::NONE)
+}
+
+/// [`optimize_table`] with per-pass spans; see
+/// [`optimize_network_traced`].
+///
+/// # Errors
+///
+/// See [`optimize_table`].
+pub fn optimize_table_traced<T: Tracer>(
+    table: &FunctionTable,
+    options: &OptOptions,
+    tracer: &mut T,
+    parent: SpanId,
+) -> Result<OptOutcome, String> {
     let window = options
         .window
         .unwrap_or_else(|| required_window(table).max(DEFAULT_WINDOW));
@@ -420,6 +479,7 @@ pub fn optimize_table(table: &FunctionTable, options: &OptOptions) -> Result<Opt
 
     for pass in pipeline {
         let start = Instant::now();
+        let span = tracer.begin(pass.span_name(), parent);
         let before = current.len();
         let (candidate, dropped) = match pass {
             Pass::MinimizeTable => passes::minimize_table(&current),
@@ -433,6 +493,8 @@ pub fn optimize_table(table: &FunctionTable, options: &OptOptions) -> Result<Opt
                 &TableEvaluator::new(&current),
                 &TableEvaluator::spec(&candidate),
                 window,
+                tracer,
+                span,
             );
             let after = if matches!(v, Verdict::Rejected(_)) {
                 before
@@ -441,6 +503,7 @@ pub fn optimize_table(table: &FunctionTable, options: &OptOptions) -> Result<Opt
             };
             (v, after)
         };
+        tracer.end(span);
         match &verdict {
             Verdict::Rejected(why) => report.push(rejection_diagnostic(pass, why)),
             Verdict::Unchanged => {}
@@ -473,11 +536,26 @@ pub fn optimize_table(table: &FunctionTable, options: &OptOptions) -> Result<Opt
 ///
 /// Propagates the per-kind drivers' operational errors.
 pub fn optimize_artifact(artifact: &Artifact, options: &OptOptions) -> Result<OptOutcome, String> {
+    optimize_artifact_traced(artifact, options, &mut NullTracer, SpanId::NONE)
+}
+
+/// [`optimize_artifact`] with per-pass spans; see
+/// [`optimize_network_traced`].
+///
+/// # Errors
+///
+/// Propagates the per-kind drivers' operational errors.
+pub fn optimize_artifact_traced<T: Tracer>(
+    artifact: &Artifact,
+    options: &OptOptions,
+    tracer: &mut T,
+    parent: SpanId,
+) -> Result<OptOutcome, String> {
     match artifact {
-        Artifact::Table(t) => optimize_table(t, options),
-        Artifact::Net(n) => optimize_network(n, options),
+        Artifact::Table(t) => optimize_table_traced(t, options, tracer, parent),
+        Artifact::Net(n) => optimize_network_traced(n, options, tracer, parent),
         Artifact::Column(c) => {
-            let mut outcome = optimize_network(&c.to_network(), options)?;
+            let mut outcome = optimize_network_traced(&c.to_network(), options, tracer, parent)?;
             outcome.kind = "column".to_owned();
             Ok(outcome)
         }

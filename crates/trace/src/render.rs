@@ -1,0 +1,443 @@
+//! Renderers over recorded spans: collapsed-stack flamegraph text,
+//! properly-nested Chrome `trace_event` JSON, a self-time "top" table,
+//! and a JSONL dump — plus the aggregation helpers the property suite
+//! and the `spacetime profile` subcommand share.
+//!
+//! All renderers are pure functions of a `&[SpanRecord]` slice, so
+//! goldens can pin their output from hand-built fixtures with fixed
+//! timestamps.
+
+use crate::span::{SpanId, SpanRecord};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Index of the forest structure: children grouped by parent, roots
+/// first. Spans whose parent id is unknown (e.g. the parent was
+/// truncated away) are treated as roots rather than dropped.
+struct Forest<'a> {
+    records: &'a [SpanRecord],
+    by_id: BTreeMap<SpanId, usize>,
+    children: Vec<Vec<usize>>,
+    roots: Vec<usize>,
+}
+
+impl<'a> Forest<'a> {
+    fn new(records: &'a [SpanRecord]) -> Forest<'a> {
+        let by_id: BTreeMap<SpanId, usize> = records
+            .iter()
+            .enumerate()
+            .map(|(index, record)| (record.id, index))
+            .collect();
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); records.len()];
+        let mut roots = Vec::new();
+        for (index, record) in records.iter().enumerate() {
+            match by_id.get(&record.parent) {
+                Some(&parent) if !record.parent.is_none() => children[parent].push(index),
+                _ => roots.push(index),
+            }
+        }
+        let by_start = |&index: &usize| (records[index].start_nanos, records[index].id);
+        for list in &mut children {
+            list.sort_by_key(by_start);
+        }
+        roots.sort_by_key(by_start);
+        Forest {
+            records,
+            by_id,
+            children,
+            roots,
+        }
+    }
+
+    /// Wall-clock self time of span `index`: its own duration minus the
+    /// (clamped) durations of its direct children.
+    fn self_nanos(&self, index: usize) -> u64 {
+        let record = &self.records[index];
+        let child_total: u64 = self.children[index]
+            .iter()
+            .map(|&child| {
+                self.records[child]
+                    .duration_nanos()
+                    .min(record.duration_nanos())
+            })
+            .sum();
+        record.duration_nanos().saturating_sub(child_total)
+    }
+
+    /// `name;name;...` path from the root to span `index`.
+    fn stack(&self, index: usize) -> String {
+        let mut names = vec![self.records[index].name];
+        let mut cursor = self.records[index].parent;
+        // Parent chains are acyclic by construction (ids are minted in
+        // begin order), but cap the walk anyway so a corrupt fixture
+        // cannot hang a renderer.
+        for _ in 0..self.records.len() {
+            let Some(&parent) = self.by_id.get(&cursor) else {
+                break;
+            };
+            names.push(self.records[parent].name);
+            cursor = self.records[parent].parent;
+        }
+        names.reverse();
+        names.join(";")
+    }
+}
+
+/// Renders collapsed-stack flamegraph text: one `root;child;leaf N`
+/// line per distinct stack, where `N` is the aggregate *self* time in
+/// nanoseconds. The format is what `inferno-flamegraph` and Brendan
+/// Gregg's `flamegraph.pl` consume directly. Lines are sorted, open
+/// spans are skipped.
+#[must_use]
+pub fn collapsed_stacks(records: &[SpanRecord]) -> String {
+    let forest = Forest::new(records);
+    let mut stacks: BTreeMap<String, u64> = BTreeMap::new();
+    for (index, record) in records.iter().enumerate() {
+        if !record.is_closed() {
+            continue;
+        }
+        *stacks.entry(forest.stack(index)).or_insert(0) += forest.self_nanos(index);
+    }
+    let mut out = String::new();
+    for (stack, self_nanos) in stacks {
+        let _ = writeln!(out, "{stack} {self_nanos}");
+    }
+    out
+}
+
+/// Fixed-point microseconds with three decimals, matching the obs
+/// exporter's formatting so the two Chrome traces diff cleanly.
+fn micros(nanos: u64) -> String {
+    format!("{}.{:03}", nanos / 1_000, nanos % 1_000)
+}
+
+fn chrome_event(out: &mut String, name: &str, ph: char, ts: u64, tid: u32) {
+    let ts = micros(ts);
+    let _ = write!(
+        out,
+        "    {{\"name\":\"{name}\",\"cat\":\"span\",\"ph\":\"{ph}\",\"ts\":{ts},\"pid\":0,\"tid\":{tid}}}"
+    );
+}
+
+fn chrome_emit(forest: &Forest<'_>, index: usize, lo: u64, hi: u64, out: &mut String) {
+    let record = &forest.records[index];
+    if !record.is_closed() {
+        return;
+    }
+    // Clamp children into their parent's interval so the B/E pairs
+    // nest properly even when cross-thread clock reads race by a
+    // nanosecond.
+    let start = record.start_nanos.clamp(lo, hi);
+    let end = record.end_nanos.clamp(start, hi);
+    out.push_str(",\n");
+    chrome_event(out, record.name, 'B', start, record.tid);
+    for &child in &forest.children[index] {
+        chrome_emit(forest, child, start, end, out);
+    }
+    out.push_str(",\n");
+    chrome_event(out, record.name, 'E', end, record.tid);
+}
+
+/// Renders a properly-nested Chrome `trace_event` document (B/E pairs
+/// with pid/tid), loadable in `chrome://tracing` and Perfetto. Thread 0
+/// is the calling thread; scoped batch workers appear as threads 1..=N
+/// with their chunk and packet spans nested under them.
+#[must_use]
+pub fn chrome_spans(records: &[SpanRecord]) -> String {
+    let forest = Forest::new(records);
+    let mut out = String::from("{\"traceEvents\":[\n");
+    out.push_str(
+        "    {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"spacetime profile\"}}",
+    );
+    let mut tids: Vec<u32> = records.iter().map(|record| record.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for tid in tids {
+        let name = if tid == 0 {
+            "main".to_owned()
+        } else {
+            format!("worker {tid}")
+        };
+        let _ = write!(
+            out,
+            ",\n    {{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"args\":{{\"name\":\"{name}\"}}}}"
+        );
+    }
+    for &root in &forest.roots {
+        chrome_emit(&forest, root, 0, u64::MAX - 1, &mut out);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// One row of the self-time table: per-name aggregates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopRow {
+    /// Span name.
+    pub name: &'static str,
+    /// How many spans carried this name.
+    pub count: u64,
+    /// Aggregate wall-clock duration in nanoseconds.
+    pub total_nanos: u64,
+    /// Aggregate self time (duration minus direct children).
+    pub self_nanos: u64,
+}
+
+/// Per-name aggregates, sorted by self time descending (name ascending
+/// on ties).
+#[must_use]
+pub fn top_rows(records: &[SpanRecord]) -> Vec<TopRow> {
+    let forest = Forest::new(records);
+    let mut by_name: BTreeMap<&'static str, TopRow> = BTreeMap::new();
+    for (index, record) in records.iter().enumerate() {
+        if !record.is_closed() {
+            continue;
+        }
+        let row = by_name.entry(record.name).or_insert(TopRow {
+            name: record.name,
+            count: 0,
+            total_nanos: 0,
+            self_nanos: 0,
+        });
+        row.count += 1;
+        row.total_nanos += record.duration_nanos();
+        row.self_nanos += forest.self_nanos(index);
+    }
+    let mut rows: Vec<TopRow> = by_name.into_values().collect();
+    rows.sort_by(|a, b| b.self_nanos.cmp(&a.self_nanos).then(a.name.cmp(b.name)));
+    rows
+}
+
+fn millis(nanos: u64) -> String {
+    format!("{}.{:03}", nanos / 1_000_000, (nanos / 1_000) % 1_000)
+}
+
+/// Renders the self-time "top" table: one row per span name with count,
+/// total, self, and self share of the run, hottest first.
+#[must_use]
+pub fn top_table(records: &[SpanRecord]) -> String {
+    let rows = top_rows(records);
+    let total_self: u64 = rows.iter().map(|row| row.self_nanos).sum();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<28} {:>8} {:>12} {:>12} {:>7}",
+        "SPAN", "COUNT", "TOTAL(ms)", "SELF(ms)", "SELF%"
+    );
+    for row in rows {
+        let share = if total_self == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            let share = row.self_nanos as f64 * 100.0 / total_self as f64;
+            share
+        };
+        let _ = writeln!(
+            out,
+            "{:<28} {:>8} {:>12} {:>12} {:>6.1}%",
+            row.name,
+            row.count,
+            millis(row.total_nanos),
+            millis(row.self_nanos),
+            share
+        );
+    }
+    out
+}
+
+/// Renders one JSON object per span, in slice order: the raw causal
+/// timeline for downstream tooling.
+#[must_use]
+pub fn spans_jsonl(records: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for record in records {
+        let _ = writeln!(
+            out,
+            "{{\"id\":{},\"parent\":{},\"name\":\"{}\",\"tid\":{},\"start_nanos\":{},\"end_nanos\":{}}}",
+            record.id.raw(),
+            record.parent.raw(),
+            record.name,
+            record.tid,
+            record.start_nanos,
+            record.end_nanos
+        );
+    }
+    out
+}
+
+/// How many spans carry each name — the thread-count-invariant shape of
+/// a trace (modulo `batch.chunk`, whose count tracks the worker count
+/// the same way the `batch.chunks` metric does).
+#[must_use]
+pub fn span_counts(records: &[SpanRecord]) -> BTreeMap<&'static str, u64> {
+    let mut counts = BTreeMap::new();
+    for record in records {
+        *counts.entry(record.name).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Aggregate self time per span name, in nanoseconds.
+#[must_use]
+pub fn self_times(records: &[SpanRecord]) -> BTreeMap<&'static str, u64> {
+    top_rows(records)
+        .into_iter()
+        .map(|row| (row.name, row.self_nanos))
+        .collect()
+}
+
+/// Checks the structural invariants every trace must satisfy: all spans
+/// closed, parent edges resolvable, children enclosed by their parents
+/// (strictly on the same thread, allowing equal boundary reads across
+/// threads). Returns the first violation found.
+pub fn well_formed(records: &[SpanRecord]) -> Result<(), String> {
+    let by_id: BTreeMap<SpanId, &SpanRecord> =
+        records.iter().map(|record| (record.id, record)).collect();
+    if by_id.len() != records.len() {
+        return Err("duplicate span ids".to_owned());
+    }
+    for record in records {
+        if record.id.is_none() {
+            return Err(format!("span {:?} has the NONE id", record.name));
+        }
+        if !record.is_closed() {
+            return Err(format!(
+                "span {:?} ({:?}) never closed",
+                record.name, record.id
+            ));
+        }
+        if record.end_nanos < record.start_nanos {
+            return Err(format!("span {:?} ends before it starts", record.name));
+        }
+        if record.parent.is_none() {
+            continue;
+        }
+        let Some(parent) = by_id.get(&record.parent) else {
+            return Err(format!(
+                "span {:?} has unknown parent {:?}",
+                record.name, record.parent
+            ));
+        };
+        let strict = record.tid == parent.tid;
+        let starts_inside = if strict {
+            parent.start_nanos < record.start_nanos
+        } else {
+            parent.start_nanos <= record.start_nanos
+        };
+        let ends_inside = if strict {
+            record.end_nanos < parent.end_nanos
+        } else {
+            record.end_nanos <= parent.end_nanos
+        };
+        if !starts_inside || !ends_inside {
+            return Err(format!(
+                "span {:?} [{}, {}] escapes parent {:?} [{}, {}]",
+                record.name,
+                record.start_nanos,
+                record.end_nanos,
+                parent.name,
+                parent.start_nanos,
+                parent.end_nanos
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::OPEN;
+
+    fn span(
+        id: u64,
+        parent: u64,
+        name: &'static str,
+        tid: u32,
+        start: u64,
+        end: u64,
+    ) -> SpanRecord {
+        SpanRecord {
+            id: SpanId::from_raw(id),
+            parent: SpanId::from_raw(parent),
+            name,
+            tid,
+            start_nanos: start,
+            end_nanos: end,
+        }
+    }
+
+    fn fixture() -> Vec<SpanRecord> {
+        vec![
+            span(1, 0, "profile", 0, 0, 1000),
+            span(2, 1, "compile", 0, 10, 110),
+            span(3, 1, "batch.eval", 0, 200, 900),
+            span(4, 3, "batch.chunk", 1, 210, 500),
+            span(5, 4, "kernel.packet", 1, 220, 320),
+            span(6, 3, "batch.chunk", 2, 210, 600),
+        ]
+    }
+
+    #[test]
+    fn collapsed_stacks_aggregate_self_time() {
+        let text = collapsed_stacks(&fixture());
+        assert_eq!(
+            text,
+            "profile 200\n\
+             profile;batch.eval 20\n\
+             profile;batch.eval;batch.chunk 580\n\
+             profile;batch.eval;batch.chunk;kernel.packet 100\n\
+             profile;compile 100\n"
+        );
+    }
+
+    #[test]
+    fn chrome_spans_nest_b_e_pairs() {
+        let text = chrome_spans(&fixture());
+        assert!(text.starts_with("{\"traceEvents\":["));
+        assert!(text.contains("\"ph\":\"B\""));
+        assert!(text.contains("\"ph\":\"E\""));
+        assert!(text.contains("\"name\":\"worker 2\""));
+        // The profile B event comes before compile's, and compile's E
+        // before batch.eval's B — proper nesting in document order.
+        let profile_b = text
+            .find("\"name\":\"profile\",\"cat\":\"span\",\"ph\":\"B\"")
+            .unwrap();
+        let compile_b = text
+            .find("\"name\":\"compile\",\"cat\":\"span\",\"ph\":\"B\"")
+            .unwrap();
+        let profile_e = text
+            .find("\"name\":\"profile\",\"cat\":\"span\",\"ph\":\"E\"")
+            .unwrap();
+        assert!(profile_b < compile_b && compile_b < profile_e);
+    }
+
+    #[test]
+    fn top_table_sorts_by_self_time() {
+        let rows = top_rows(&fixture());
+        assert_eq!(rows[0].name, "batch.chunk");
+        assert_eq!(rows[0].count, 2);
+        assert_eq!(rows[0].self_nanos, 580);
+        let table = top_table(&fixture());
+        assert!(table.starts_with("SPAN"));
+        assert!(table.contains("kernel.packet"));
+    }
+
+    #[test]
+    fn well_formed_accepts_the_fixture_and_rejects_leaks() {
+        well_formed(&fixture()).unwrap();
+        let mut leaked = fixture();
+        leaked[2].end_nanos = OPEN;
+        assert!(well_formed(&leaked).unwrap_err().contains("never closed"));
+        let mut escaped = fixture();
+        escaped[1].end_nanos = 5000;
+        assert!(well_formed(&escaped).unwrap_err().contains("escapes"));
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_span() {
+        let text = spans_jsonl(&fixture());
+        assert_eq!(text.lines().count(), 6);
+        assert!(text.starts_with("{\"id\":1,\"parent\":0,\"name\":\"profile\""));
+    }
+}

@@ -1,0 +1,104 @@
+//! Golden-file tests for the three span renderers: a fixed synthetic
+//! span forest must render byte-for-byte to the checked-in files under
+//! `tests/golden/`. If a renderer changes intentionally, regenerate
+//! (`REGENERATE_GOLDEN=1 cargo test -p st-trace --test golden`) and
+//! review the diff — flamegraph tooling and Chrome's trace viewer parse
+//! these bytes.
+
+use st_trace::{chrome_spans, collapsed_stacks, top_table, well_formed, SpanId, SpanRecord};
+
+fn span(id: u64, parent: u64, name: &'static str, tid: u32, start: u64, end: u64) -> SpanRecord {
+    SpanRecord {
+        id: SpanId::from_raw(id),
+        parent: if parent == 0 {
+            SpanId::NONE
+        } else {
+            SpanId::from_raw(parent)
+        },
+        name,
+        tid,
+        start_nanos: start,
+        end_nanos: end,
+    }
+}
+
+/// A deterministic miniature profile touching every rendering path: a
+/// root pipeline span, a single-child stage, a cross-thread stage whose
+/// worker chunks nest packets, and sibling order by start time.
+fn fixture() -> Vec<SpanRecord> {
+    let records = vec![
+        span(1, 0, "compile", 0, 0, 1_000),
+        span(2, 0, "opt", 0, 1_200, 7_000),
+        span(3, 2, "opt.pass.constant_fold", 0, 1_300, 4_000),
+        span(4, 3, "verify.check_equiv", 0, 1_500, 3_800),
+        span(5, 4, "verify.window", 0, 1_600, 2_500),
+        span(6, 4, "verify.window", 0, 2_600, 3_700),
+        span(7, 0, "plan.build", 0, 7_100, 8_000),
+        span(8, 0, "batch.eval", 0, 8_200, 20_000),
+        // Two worker chunks parented across threads to the stage span.
+        span((1 << 40) + 1, 8, "batch.chunk", 1, 8_400, 14_000),
+        span(
+            (1 << 40) + 2,
+            (1 << 40) + 1,
+            "kernel.packet",
+            1,
+            8_500,
+            11_000,
+        ),
+        span(
+            (1 << 40) + 3,
+            (1 << 40) + 1,
+            "kernel.packet",
+            1,
+            11_100,
+            13_900,
+        ),
+        span((2 << 40) + 1, 8, "batch.chunk", 2, 8_600, 19_000),
+        span(
+            (2 << 40) + 2,
+            (2 << 40) + 1,
+            "kernel.packet",
+            2,
+            8_700,
+            18_500,
+        ),
+    ];
+    well_formed(&records).expect("fixture must be well-formed");
+    records
+}
+
+fn check(rendered: &str, golden_name: &str, committed: &str) {
+    if std::env::var_os("REGENERATE_GOLDEN").is_some() {
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(golden_name), rendered).unwrap();
+    }
+    assert_eq!(rendered, committed, "{golden_name} is stale");
+}
+
+#[test]
+fn collapsed_stacks_match_golden() {
+    check(
+        &collapsed_stacks(&fixture()),
+        "flame.txt",
+        include_str!("golden/flame.txt"),
+    );
+}
+
+#[test]
+fn chrome_trace_matches_golden() {
+    check(
+        &chrome_spans(&fixture()),
+        "chrome.json",
+        include_str!("golden/chrome.json"),
+    );
+}
+
+#[test]
+fn top_table_matches_golden() {
+    check(
+        &top_table(&fixture()),
+        "top.txt",
+        include_str!("golden/top.txt"),
+    );
+}

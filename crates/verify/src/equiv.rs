@@ -11,6 +11,7 @@
 use core::fmt;
 
 use st_core::{enumerate_inputs, Time};
+use st_trace::{NullTracer, SpanId, Tracer};
 
 use crate::eval::Evaluator;
 
@@ -132,6 +133,24 @@ pub fn check_equiv(
     right: &dyn Evaluator,
     window: u64,
 ) -> Result<EquivResult, String> {
+    check_equiv_traced(left, right, window, &mut NullTracer, SpanId::NONE)
+}
+
+/// [`check_equiv`] with one `verify.window` span recorded under `parent`
+/// per enumerated extent, so profiles show how proof cost grows with
+/// temporal extent. With a [`NullTracer`] this is exactly
+/// [`check_equiv`].
+///
+/// # Errors
+///
+/// Exactly the operational failures [`check_equiv`] reports.
+pub fn check_equiv_traced<T: Tracer>(
+    left: &dyn Evaluator,
+    right: &dyn Evaluator,
+    window: u64,
+    tracer: &mut T,
+    parent: SpanId,
+) -> Result<EquivResult, String> {
     if left.input_width() != right.input_width() {
         return Err(format!(
             "input width mismatch: {} has {}, {} has {}",
@@ -162,6 +181,7 @@ pub fn check_equiv(
     }
     let mut volleys = 0u64;
     for extent in 0..=window {
+        let _span = tracer.span("verify.window", parent);
         for inputs in enumerate_inputs(width, extent) {
             // Volleys already covered at a smaller extent are skipped:
             // only those that actually use tick `extent` are new.

@@ -49,6 +49,7 @@ use st_metrics::{MetricSink, MetricsRegistry, NullMetrics};
 use st_net::{CompiledNetwork, EventSim, Network};
 use st_obs::{NullProbe, ObsEvent, Probe};
 use st_tnn::Column;
+use st_trace::{NullTracer, SpanId, Tracer};
 
 /// A specification compiled into its evaluate-many form.
 ///
@@ -317,7 +318,14 @@ impl BatchEvaluator {
         volleys: &[Volley],
         probe: &mut P,
     ) -> Result<Vec<Volley>, BatchError> {
-        self.eval_instrumented(artifact, volleys, probe, &mut NullMetrics)
+        self.eval_instrumented(
+            artifact,
+            volleys,
+            probe,
+            &mut NullMetrics,
+            &mut NullTracer,
+            SpanId::NONE,
+        )
     }
 
     /// [`BatchEvaluator::eval`] with a metric sink: on success absorbs the
@@ -340,31 +348,73 @@ impl BatchEvaluator {
         volleys: &[Volley],
         sink: &mut M,
     ) -> Result<Vec<Volley>, BatchError> {
-        self.eval_instrumented(artifact, volleys, &mut NullProbe, sink)
+        self.eval_instrumented(
+            artifact,
+            volleys,
+            &mut NullProbe,
+            sink,
+            &mut NullTracer,
+            SpanId::NONE,
+        )
+    }
+
+    /// [`BatchEvaluator::eval`] with hierarchical spans: records one
+    /// `batch.chunk` span per worker (and, on the SWAR fast path, one
+    /// `kernel.packet` span per packet under its chunk), all parented to
+    /// `parent` — the dispatching stage span whose id the caller carries
+    /// across the `std::thread::scope` boundary. Workers append into
+    /// private per-thread buffers minted by [`Tracer::worker`]; the
+    /// calling thread absorbs them post-join in worker order.
+    ///
+    /// With a [`NullTracer`] this is exactly [`BatchEvaluator::eval`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the lowest-index [`BatchError`] if any volley fails; a
+    /// failed batch records no spans (the trace is truncated back to its
+    /// state at entry).
+    pub fn eval_traced<T: Tracer>(
+        &self,
+        artifact: &CompiledArtifact,
+        volleys: &[Volley],
+        tracer: &mut T,
+        parent: SpanId,
+    ) -> Result<Vec<Volley>, BatchError> {
+        self.eval_instrumented(
+            artifact,
+            volleys,
+            &mut NullProbe,
+            &mut NullMetrics,
+            tracer,
+            parent,
+        )
     }
 
     /// The fully instrumented evaluator behind [`BatchEvaluator::eval`],
-    /// [`BatchEvaluator::eval_probed`], and [`BatchEvaluator::eval_metered`].
+    /// [`BatchEvaluator::eval_probed`], [`BatchEvaluator::eval_metered`],
+    /// and [`BatchEvaluator::eval_traced`].
     ///
-    /// Timestamps are captured only when the probe or the sink is live;
-    /// with [`NullProbe`] and [`NullMetrics`] this is exactly
-    /// [`BatchEvaluator::eval`].
+    /// Timestamps are captured only when the probe, the sink, or the
+    /// tracer is live; with [`NullProbe`], [`NullMetrics`], and
+    /// [`NullTracer`] this is exactly [`BatchEvaluator::eval`].
     ///
     /// # Errors
     ///
     /// Returns the lowest-index [`BatchError`] if any volley fails; no
-    /// timing events or metrics are recorded for a failed batch.
-    pub fn eval_instrumented<P: Probe, M: MetricSink>(
+    /// timing events, metrics, or spans are recorded for a failed batch.
+    pub fn eval_instrumented<P: Probe, M: MetricSink, T: Tracer>(
         &self,
         artifact: &CompiledArtifact,
         volleys: &[Volley],
         probe: &mut P,
         sink: &mut M,
+        tracer: &mut T,
+        parent: SpanId,
     ) -> Result<Vec<Volley>, BatchError> {
         if let CompiledArtifact::Kernel(plan) = artifact {
             let widths_ok = volleys.iter().all(|v| v.width() == plan.input_count());
             if !volleys.is_empty() && widths_ok && plan.lane_capable(volleys) {
-                return Ok(self.eval_kernel_packets(plan, volleys, probe, sink));
+                return Ok(self.eval_kernel_packets(plan, volleys, probe, sink, tracer, parent));
             }
             // Otherwise fall through: the generic per-volley path below
             // runs the scalar plan evaluator (bit-identical at full u64
@@ -373,7 +423,9 @@ impl BatchEvaluator {
         }
         let enabled = probe.is_enabled();
         let metered = sink.is_live();
-        let timed = enabled || metered;
+        let traced = tracer.is_enabled();
+        let timed = enabled || metered || traced;
+        let trace_mark = tracer.mark();
         let stage_start = Instant::now(); // cheap; read only when timed
         let workers = self.threads.min(volleys.len()).max(1);
         let mut outputs: Vec<Volley> = Vec::with_capacity(volleys.len());
@@ -385,17 +437,26 @@ impl BatchEvaluator {
             // multi-worker path and the probe contract).
             let mut local = metered.then(MetricsRegistry::new);
             let mut timings: Vec<(usize, u64, usize)> = Vec::new();
+            let chunk_span = tracer.begin("batch.chunk", parent);
             for (index, (volley, slot)) in volleys.iter().zip(&mut outputs).enumerate() {
                 let t0 = timed.then(Instant::now);
                 let result = match local.as_mut() {
                     Some(registry) => artifact.eval_one_metered(volley, registry),
                     None => artifact.eval_one(volley),
                 };
-                *slot = result.map_err(|source| BatchError { index, source })?;
+                match result {
+                    Ok(out) => *slot = out,
+                    Err(source) => {
+                        tracer.end(chunk_span);
+                        tracer.truncate(trace_mark);
+                        return Err(BatchError { index, source });
+                    }
+                }
                 if let Some(t0) = t0 {
                     timings.push((index, t0.elapsed().as_nanos() as u64, slot.spike_count()));
                 }
             }
+            tracer.end(chunk_span);
             let stage_nanos = if timed {
                 stage_start.elapsed().as_nanos() as u64
             } else {
@@ -437,10 +498,11 @@ impl BatchEvaluator {
         let chunk_len = volleys.len().div_ceil(workers);
         // (worker, base, len, start_nanos, nanos, per-volley timings).
         type ChunkTrace = (usize, usize, usize, u64, u64, Vec<(usize, u64, usize)>);
-        type WorkerYield = (
+        type WorkerYield<W> = (
             Option<BatchError>,
             Option<ChunkTrace>,
             Option<MetricsRegistry>,
+            W,
         );
         let (first_failure, mut traces, registries) = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
@@ -450,8 +512,12 @@ impl BatchEvaluator {
                 .enumerate()
             {
                 let base = w * chunk_len;
-                handles.push(scope.spawn(move || -> WorkerYield {
+                // The chunk span's parent is the dispatching stage span,
+                // carried across the scope boundary by explicit id.
+                let mut wtracer = tracer.worker(w as u32 + 1);
+                handles.push(scope.spawn(move || -> WorkerYield<T::Worker> {
                     let chunk_start = timed.then(Instant::now);
+                    let chunk_span = wtracer.begin("batch.chunk", parent);
                     let mut local = metered.then(MetricsRegistry::new);
                     let mut timings = Vec::new();
                     if timed {
@@ -477,7 +543,9 @@ impl BatchEvaluator {
                             Err(source) => {
                                 // Stop this chunk at its first failure;
                                 // the lowest index across chunks wins
-                                // below.
+                                // below. The whole batch fails, so its
+                                // spans are truncated away post-join.
+                                wtracer.end(chunk_span);
                                 return (
                                     Some(BatchError {
                                         index: base + offset,
@@ -485,10 +553,12 @@ impl BatchEvaluator {
                                     }),
                                     None,
                                     None,
+                                    wtracer,
                                 );
                             }
                         }
                     }
+                    wtracer.end(chunk_span);
                     let trace = chunk_start.map(|t0| {
                         (
                             w,
@@ -499,7 +569,7 @@ impl BatchEvaluator {
                             timings,
                         )
                     });
-                    (None, trace, local)
+                    (None, trace, local, wtracer)
                 }));
             }
             let mut failure: Option<BatchError> = None;
@@ -508,7 +578,8 @@ impl BatchEvaluator {
             // deterministic regardless of which worker finished first.
             let mut registries: Vec<MetricsRegistry> = Vec::new();
             for handle in handles {
-                let (error, trace, registry) = handle.join().expect("batch worker panicked");
+                let (error, trace, registry, wtracer) =
+                    handle.join().expect("batch worker panicked");
                 if let Some(e) = error {
                     failure = match failure.take() {
                         Some(best) if best.index < e.index => Some(best),
@@ -517,11 +588,13 @@ impl BatchEvaluator {
                 }
                 traces.extend(trace);
                 registries.extend(registry);
+                tracer.absorb(wtracer);
             }
             (failure, traces, registries)
         });
 
         if let Some(error) = first_failure {
+            tracer.truncate(trace_mark);
             return Err(error);
         }
         let mut volley_timings: Vec<(usize, u64, usize)> = Vec::new();
@@ -584,27 +657,38 @@ impl BatchEvaluator {
     /// is identical at every thread count, exactly as the generic path's
     /// engine counters are. Per-volley [`ObsEvent::VolleyTimed`] events
     /// report each volley's even share of its packet's wall-clock time.
-    fn eval_kernel_packets<P: Probe, M: MetricSink>(
+    fn eval_kernel_packets<P: Probe, M: MetricSink, T: Tracer>(
         &self,
         plan: &Plan,
         volleys: &[Volley],
         probe: &mut P,
         sink: &mut M,
+        tracer: &mut T,
+        parent: SpanId,
     ) -> Vec<Volley> {
         let enabled = probe.is_enabled();
         let metered = sink.is_live();
-        let timed = enabled || metered;
+        let timed = enabled || metered || tracer.is_enabled();
         let stage_start = Instant::now(); // cheap; read only when timed
         let packets = volleys.len().div_ceil(lane::LANES);
         let workers = self.threads.min(packets).max(1);
         let mut outputs: Vec<Volley> = Vec::with_capacity(volleys.len());
         outputs.resize_with(volleys.len(), || Volley::new(Vec::new()));
 
-        // One worker's packet loop over a contiguous chunk of volleys.
-        let run_chunk = |base: usize,
-                         in_chunk: &[Volley],
-                         out_chunk: &mut [Volley]|
-         -> (PacketStats, Vec<(usize, u64, usize)>) {
+        // One worker's packet loop over a contiguous chunk of volleys,
+        // recording one `kernel.packet` span per packet under the
+        // worker's chunk span. Generic so the inline path runs it on the
+        // calling tracer and the parallel path on per-worker buffers.
+        fn run_chunk<TR: Tracer>(
+            plan: &Plan,
+            timed: bool,
+            base: usize,
+            in_chunk: &[Volley],
+            out_chunk: &mut [Volley],
+            tracer: &mut TR,
+            chunk_span: SpanId,
+        ) -> (PacketStats, Vec<(usize, u64, usize)>) {
+            let traced = tracer.is_enabled();
             let mut scratch = Scratch::default();
             let mut stats = PacketStats::default();
             let mut timings = Vec::new();
@@ -614,7 +698,15 @@ impl BatchEvaluator {
                 .enumerate()
             {
                 let t0 = timed.then(Instant::now);
+                let packet_span = if traced {
+                    tracer.begin("kernel.packet", chunk_span)
+                } else {
+                    SpanId::NONE
+                };
                 stats.absorb(plan.eval_packet(&mut scratch, p_in, p_out));
+                if traced {
+                    tracer.end(packet_span);
+                }
                 if let Some(t0) = t0 {
                     let share = t0.elapsed().as_nanos() as u64 / p_in.len() as u64;
                     let packet_base = base + p * lane::LANES;
@@ -624,12 +716,15 @@ impl BatchEvaluator {
                 }
             }
             (stats, timings)
-        };
+        }
 
         // (worker, base, len, start_nanos, nanos, packets, stats, timings).
         type KernelChunkTrace = (usize, usize, usize, u64, u64, u64, PacketStats);
         let (stats, chunk_count, mut traces, mut volley_timings) = if workers == 1 {
-            let (stats, timings) = run_chunk(0, volleys, &mut outputs);
+            let chunk_span = tracer.begin("batch.chunk", parent);
+            let (stats, timings) =
+                run_chunk(plan, timed, 0, volleys, &mut outputs, tracer, chunk_span);
+            tracer.end(chunk_span);
             let nanos = if timed {
                 stage_start.elapsed().as_nanos() as u64
             } else {
@@ -649,10 +744,22 @@ impl BatchEvaluator {
                     .enumerate()
                 {
                     let base = w * chunk_len;
-                    let run_chunk = &run_chunk;
+                    // Chunk and packet spans nest under the dispatching
+                    // stage span via the explicit parent id.
+                    let mut wtracer = tracer.worker(w as u32 + 1);
                     handles.push(scope.spawn(move || {
                         let chunk_start = timed.then(Instant::now);
-                        let (stats, timings) = run_chunk(base, in_chunk, out_chunk);
+                        let chunk_span = wtracer.begin("batch.chunk", parent);
+                        let (stats, timings) = run_chunk(
+                            plan,
+                            timed,
+                            base,
+                            in_chunk,
+                            out_chunk,
+                            &mut wtracer,
+                            chunk_span,
+                        );
+                        wtracer.end(chunk_span);
                         let (start_nanos, nanos) = chunk_start.map_or((0, 0), |t0| {
                             (
                                 (t0 - stage_start).as_nanos() as u64,
@@ -669,16 +776,18 @@ impl BatchEvaluator {
                             chunk_packets,
                             stats,
                         );
-                        (trace, timings)
+                        (trace, timings, wtracer)
                     }));
                 }
                 let mut traces: Vec<KernelChunkTrace> = Vec::new();
                 let mut timings: Vec<(usize, u64, usize)> = Vec::new();
                 // Worker-order collection keeps the merge deterministic.
                 for handle in handles {
-                    let (trace, chunk_timings) = handle.join().expect("kernel worker panicked");
+                    let (trace, chunk_timings, wtracer) =
+                        handle.join().expect("kernel worker panicked");
                     traces.push(trace);
                     timings.extend(chunk_timings);
+                    tracer.absorb(wtracer);
                 }
                 (traces, timings)
             });
@@ -877,11 +986,21 @@ mod tests {
                 threads.min(volleys.len()) as u64
             );
             assert_eq!(sink.counter("table.lookups"), volleys.len() as u64);
-            let volley_hist = sink.histogram("batch.volley_nanos").unwrap();
-            assert_eq!(volley_hist.count(), volleys.len() as u64);
+            // Histograms are asserted through `map_or` rather than
+            // `unwrap` so a missing stream reads as a count of zero and
+            // fails the equality with a useful message instead of
+            // panicking the whole test.
             assert_eq!(
-                sink.histogram("batch.chunk_nanos").unwrap().count(),
-                threads.min(volleys.len()) as u64
+                sink.histogram("batch.volley_nanos")
+                    .map_or(0, st_metrics::Histogram::count),
+                volleys.len() as u64,
+                "threads = {threads}"
+            );
+            assert_eq!(
+                sink.histogram("batch.chunk_nanos")
+                    .map_or(0, st_metrics::Histogram::count),
+                threads.min(volleys.len()) as u64,
+                "threads = {threads}"
             );
             // Engine counters (everything except wall-clock noise) are
             // identical at every thread count.

@@ -17,6 +17,8 @@
 //! | [`verify`] | `st-verify` | boundedness certificates + bounded equivalence |
 //! | [`opt`] | `st-opt` | dataflow analyses + verified optimization passes |
 //! | [`obs`] | `st-obs` | probes, event traces, rasters, run statistics |
+//! | [`metrics`] | `st-metrics` | counters, histograms, Prometheus, bench reports |
+//! | [`trace`] | `st-trace` | hierarchical spans, flamegraphs, Chrome timelines |
 //! | [`batch`] | (this crate) | compile-once / evaluate-many parallel engine |
 //!
 //! The package also ships the `spacetime` CLI (`src/main.rs`); run
@@ -52,4 +54,5 @@ pub use st_neuron as neuron;
 pub use st_obs as obs;
 pub use st_opt as opt;
 pub use st_tnn as tnn;
+pub use st_trace as trace;
 pub use st_verify as verify;

@@ -85,17 +85,40 @@ USAGE:
                                                 Prometheus text exposition of
                                                 the engine counters
                                                 (docs/metrics.md)
+  spacetime profile <file> [--format flame|chrome|top|json]
+                  [--engine table|net|grl|column|kernel] [--volleys <file>]
+                  [--threads N] [--out <file>]   run the whole pipeline —
+                                                compile, lint, verified
+                                                optimization, kernel plan
+                                                build, batch evaluation —
+                                                under the hierarchical span
+                                                profiler and export the
+                                                causal timeline: a collapsed
+                                                -stack flamegraph (feed to
+                                                inferno / flamegraph.pl), a
+                                                Chrome trace_event JSON, a
+                                                self-time top table, or raw
+                                                span JSONL
+                                                (docs/observability.md)
   spacetime bench [--quick|--full] [--label L] [--threads T1,T2,…]
-                  [--out <file>]                time the engine scenario
+                  [--out <file>] [--history <f>] time the engine scenario
                                                 matrix and emit a
                                                 schema-versioned JSON report
                                                 with counters and latency
-                                                percentiles (docs/metrics.md)
+                                                percentiles (docs/metrics.md);
+                                                --history also appends one
+                                                compact trend row to a JSONL
+                                                perf ledger
   spacetime bench --compare <old.json> <new.json> [--threshold R]
                                                 diff two bench reports on
                                                 median wall-clock; exits
                                                 non-zero past the threshold
                                                 (default 1.5×)
+  spacetime bench --trend <history.jsonl> [--baseline <report.json>]
+                                                render the perf-trend ledger
+                                                as per-scenario p50 deltas
+                                                against a baseline report
+                                                (default BENCH_seed.json)
   spacetime bench --check <report.json>         validate a bench report
                                                 against the JSON schema
   spacetime help                                this text
@@ -133,6 +156,7 @@ fn main() -> ExitCode {
         Some("classify") => cmd_classify(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("help") | None => {
             print!("{USAGE}");
@@ -1151,9 +1175,178 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    use spacetime::batch::{BatchEvaluator, CompiledArtifact};
+    use spacetime::kernel::Plan;
+    use spacetime::trace::{
+        chrome_spans, collapsed_stacks, spans_jsonl, top_table, SpanId, TraceBuffer, Tracer,
+    };
+
+    let mut path = None;
+    let mut format = "flame".to_owned();
+    let mut engine = "kernel".to_owned();
+    let mut volleys_path: Option<String> = None;
+    let mut threads: Option<usize> = None;
+    let mut out: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--format" => format = flag_value(&mut iter, a)?,
+            "--engine" => engine = flag_value(&mut iter, a)?,
+            "--volleys" => volleys_path = Some(flag_value(&mut iter, a)?),
+            "--threads" => {
+                threads = Some(
+                    flag_value(&mut iter, a)?
+                        .parse::<usize>()
+                        .map_err(|e| format!("bad thread count: {e}"))?,
+                );
+            }
+            "--out" => out = Some(flag_value(&mut iter, a)?),
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_owned()),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let usage = "usage: spacetime profile <file> [--format flame|chrome|top|json] \
+                 [--engine table|net|grl|column|kernel] [--volleys <file>] [--threads N] \
+                 [--out <file>]";
+    let path = path.ok_or(usage)?;
+    if !matches!(format.as_str(), "flame" | "chrome" | "top" | "json") {
+        return Err(format!(
+            "unknown format {format:?}; expected flame|chrome|top|json"
+        ));
+    }
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let kind = detect_kind(&text);
+    let mut tracer = TraceBuffer::new();
+
+    // Stage 1 — compile: parse the artifact and lower it to a gate
+    // network, the representation the rest of the pipeline profiles.
+    let compile_span = tracer.begin("compile", SpanId::NONE);
+    let (table, column, network) = match kind {
+        "table" => {
+            let table = FunctionTable::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+            let network = synthesize(&table, SynthesisOptions::default());
+            (Some(table), None, network)
+        }
+        "column" => {
+            let column = spacetime::tnn::parse_column(&text).map_err(|e| format!("{path}: {e}"))?;
+            let network = column.to_network();
+            (None, Some(column), network)
+        }
+        _ => {
+            let network =
+                spacetime::net::parse_network(&text).map_err(|e| format!("{path}: {e}"))?;
+            (None, None, network)
+        }
+    };
+    tracer.end(compile_span);
+
+    // Stage 2 — lint: the STA diagnostic passes over the lowered graph.
+    let lint_span = tracer.begin("lint", SpanId::NONE);
+    let lint_report = spacetime::lint::lint_graph_traced(
+        &spacetime::net::lint::to_lint_graph(&network),
+        &spacetime::lint::LintOptions::default(),
+        &mut tracer,
+        lint_span,
+    );
+    tracer.end(lint_span);
+
+    // Stage 3 — verified optimization: every pass span nests its
+    // bounded-equivalence proof obligation (`verify.check_equiv` over
+    // per-extent `verify.window` sub-spans).
+    let opt_span = tracer.begin("opt", SpanId::NONE);
+    let outcome = spacetime::opt::optimize_network_traced(
+        &network,
+        &spacetime::opt::OptOptions::default(),
+        &mut tracer,
+        opt_span,
+    )?;
+    tracer.end(opt_span);
+    let optimized = match &outcome.artifact {
+        spacetime::verify::Artifact::Net(n) => n.clone(),
+        _ => network.clone(),
+    };
+
+    // Stage 4 — evaluation artifact. The default kernel engine records a
+    // `plan.build` span for the SWAR lowering; the other engines reuse
+    // the batch evaluator's compiled forms directly.
+    let artifact = match engine.as_str() {
+        "kernel" => CompiledArtifact::from(Plan::from_network_traced(
+            &optimized,
+            &mut tracer,
+            SpanId::NONE,
+        )),
+        "net" => CompiledArtifact::from_network(&optimized),
+        "grl" => CompiledArtifact::from_grl_network(&optimized),
+        "table" => {
+            let table = table.ok_or_else(|| {
+                format!("the table engine cannot profile a {kind} file (try --engine kernel)")
+            })?;
+            CompiledArtifact::from_table(&table)
+        }
+        "column" => {
+            let column = column.ok_or_else(|| {
+                format!("the column engine cannot profile a {kind} file (try --engine kernel)")
+            })?;
+            CompiledArtifact::from(column)
+        }
+        other => {
+            return Err(format!(
+                "unknown engine {other:?}; expected table|net|grl|column|kernel"
+            ))
+        }
+    };
+
+    let volleys = match &volleys_path {
+        Some(vp) => {
+            let vtext =
+                std::fs::read_to_string(vp).map_err(|e| format!("cannot read {vp}: {e}"))?;
+            parse_volleys(&vtext, vp)?
+        }
+        None => default_sweep(artifact.input_width()),
+    };
+
+    // Stage 5 — batch evaluation: worker chunk spans (and, on the kernel
+    // engine, per-packet spans) nest under this stage span via explicit
+    // parent ids carried across the thread scope.
+    let evaluator = threads.map_or_else(BatchEvaluator::new, BatchEvaluator::with_threads);
+    let eval_span = tracer.begin("batch.eval", SpanId::NONE);
+    evaluator
+        .eval_traced(&artifact, &volleys, &mut tracer, eval_span)
+        .map_err(|e| format!("{path}: {e}"))?;
+    tracer.end(eval_span);
+
+    let records = tracer.into_records();
+    let rendered = match format.as_str() {
+        "flame" => collapsed_stacks(&records),
+        "chrome" => chrome_spans(&records),
+        "top" => top_table(&records),
+        _ => spans_jsonl(&records),
+    };
+    let summary = format!(
+        "{} spans from {} volleys through the {engine} engine; lint {}, opt {} -> {}",
+        records.len(),
+        volleys.len(),
+        lint_report.summary(),
+        outcome.before,
+        outcome.after
+    );
+    match out {
+        Some(f) => {
+            std::fs::write(&f, &rendered).map_err(|e| format!("cannot write {f}: {e}"))?;
+            eprintln!("wrote {f} ({summary})");
+        }
+        None => {
+            print!("{rendered}");
+            eprintln!("({summary})");
+        }
+    }
+    Ok(())
+}
+
 fn cmd_bench(args: &[String]) -> Result<(), String> {
     use spacetime::bench::{full_matrix, quick_matrix, run_matrix};
-    use spacetime::metrics::{compare, BenchReport};
+    use spacetime::metrics::{compare, parse_history, render_trend, BenchReport, TrendRow};
 
     let mut tier = "quick";
     let mut label: Option<String> = None;
@@ -1162,6 +1355,9 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let mut compare_with: Option<(String, String)> = None;
     let mut threshold = 1.5f64;
     let mut check: Option<String> = None;
+    let mut history: Option<String> = None;
+    let mut trend: Option<String> = None;
+    let mut baseline: Option<String> = None;
     let mut iter = args.iter();
     while let Some(a) = iter.next() {
         match a.as_str() {
@@ -1169,6 +1365,9 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             "--full" => tier = "full",
             "--label" => label = Some(flag_value(&mut iter, a)?),
             "--out" => out = Some(flag_value(&mut iter, a)?),
+            "--history" => history = Some(flag_value(&mut iter, a)?),
+            "--trend" => trend = Some(flag_value(&mut iter, a)?),
+            "--baseline" => baseline = Some(flag_value(&mut iter, a)?),
             "--threads" => {
                 let list = flag_value(&mut iter, a)?
                     .split(',')
@@ -1219,6 +1418,16 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             report.label,
             report.git_rev
         );
+        return Ok(());
+    }
+
+    if let Some(history_path) = trend {
+        let baseline_path = baseline.as_deref().unwrap_or("BENCH_seed.json");
+        let base = load(baseline_path)?;
+        let text = std::fs::read_to_string(&history_path)
+            .map_err(|e| format!("cannot read {history_path}: {e}"))?;
+        let rows = parse_history(&text).map_err(|e| format!("{history_path}: {e}"))?;
+        print!("{}", render_trend(&base, &rows));
         return Ok(());
     }
 
@@ -1292,6 +1501,22 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             );
         }
         None => print!("{json}"),
+    }
+    if let Some(f) = history {
+        // Append-only ledger: one compact trend row per bench run, so
+        // medians can be read over time (`spacetime bench --trend`).
+        use std::io::Write as _;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&f)
+            .map_err(|e| format!("cannot open {f}: {e}"))?;
+        let row = TrendRow::from_report(&report);
+        writeln!(file, "{}", row.to_json_line()).map_err(|e| format!("cannot write {f}: {e}"))?;
+        eprintln!(
+            "appended a trend row ({} scenarios, label {label:?}) to {f}",
+            row.p50s.len()
+        );
     }
     Ok(())
 }

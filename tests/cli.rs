@@ -785,3 +785,176 @@ fn lint_and_verify_exit_two_on_operational_errors() {
         "{out:?}"
     );
 }
+
+#[test]
+fn profile_exports_all_four_formats_with_full_pipeline_spans() {
+    let table = fig7_file();
+
+    // flame: collapsed stacks covering every pipeline stage, with the
+    // verified-optimization proof sub-spans nested under their passes.
+    let out = bin()
+        .args(["profile", table.to_str(), "--format", "flame"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let flame = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "compile ",
+        "lint;lint.pass.",
+        "opt;opt.pass.",
+        "verify.check_equiv;verify.window",
+        "plan.build ",
+        "batch.eval;batch.chunk;kernel.packet",
+    ] {
+        assert!(flame.contains(needle), "missing {needle:?} in:\n{flame}");
+    }
+
+    // chrome: a trace_event document with named threads.
+    let out = bin()
+        .args([
+            "profile",
+            table.to_str(),
+            "--format",
+            "chrome",
+            "--threads",
+            "2",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let chrome = String::from_utf8_lossy(&out.stdout);
+    assert!(chrome.contains("\"traceEvents\""), "{chrome}");
+    assert!(chrome.contains("\"ph\":\"B\""), "{chrome}");
+    assert!(chrome.contains("\"ph\":\"E\""), "{chrome}");
+    assert!(chrome.contains("spacetime profile"), "{chrome}");
+
+    // top: the self-time table, spans sorted by self time.
+    let out = bin()
+        .args(["profile", table.to_str(), "--format", "top"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let top = String::from_utf8_lossy(&out.stdout);
+    assert!(top.starts_with("SPAN"), "{top}");
+    assert!(top.contains("SELF%"), "{top}");
+    assert!(top.contains("verify.window"), "{top}");
+
+    // json: one span record per line, --out writes to a file instead.
+    let json_file = TempFile::with_content("profile.jsonl", "");
+    let out = bin()
+        .args([
+            "profile",
+            table.to_str(),
+            "--format",
+            "json",
+            "--out",
+            json_file.to_str(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let jsonl = std::fs::read_to_string(json_file.to_str()).unwrap();
+    let first = jsonl.lines().next().unwrap();
+    assert!(first.starts_with("{\"id\":"), "{first}");
+    assert!(jsonl.contains("\"name\":\"compile\""), "{jsonl}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("spans"),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn profile_rejects_bad_flags() {
+    let table = fig7_file();
+    let out = bin()
+        .args(["profile", table.to_str(), "--format", "svg"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown format"),
+        "{out:?}"
+    );
+    let out = bin()
+        .args(["profile", table.to_str(), "--engine", "quantum"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown engine"),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn bench_history_appends_and_trend_renders_deltas() {
+    let report_file = TempFile::with_content("trend-report.json", "");
+    let history_file = TempFile::with_content("trend-history.jsonl", "");
+
+    // Two runs append two schema-versioned rows to the ledger.
+    for label in ["run-a", "run-b"] {
+        let out = bin()
+            .env("SPACETIME_BENCH_ITERS", "1")
+            .args([
+                "bench",
+                "--quick",
+                "--label",
+                label,
+                "--out",
+                report_file.to_str(),
+                "--history",
+                history_file.to_str(),
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{out:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("appended a trend row"),
+            "{out:?}"
+        );
+    }
+    let ledger = std::fs::read_to_string(history_file.to_str()).unwrap();
+    assert_eq!(ledger.lines().count(), 2, "{ledger}");
+    assert!(
+        ledger
+            .lines()
+            .all(|l| l.contains("\"schema\":\"spacetime-trend/1\"")),
+        "{ledger}"
+    );
+
+    // The trend view diffs every row against the baseline report.
+    let out = bin()
+        .args([
+            "bench",
+            "--trend",
+            history_file.to_str(),
+            "--baseline",
+            report_file.to_str(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let table = String::from_utf8_lossy(&out.stdout);
+    assert!(table.contains("trend vs baseline"), "{table}");
+    assert!(table.contains("run-a"), "{table}");
+    assert!(table.contains("run-b"), "{table}");
+    assert!(table.contains('x'), "{table}");
+
+    // A malformed ledger line is reported with its line number.
+    let bad = TempFile::with_content("trend-bad.jsonl", "not json\n");
+    let out = bin()
+        .args([
+            "bench",
+            "--trend",
+            bad.to_str(),
+            "--baseline",
+            report_file.to_str(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("line 1"),
+        "{out:?}"
+    );
+}

@@ -326,6 +326,111 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The same contract a third time for st-trace: a live span tracer never
+// changes any output volley, every trace is structurally well-formed (all
+// spans closed, parents enclose children), and the span profile — every name
+// except the chunking-dependent `batch.chunk` — is identical at every thread
+// count.
+
+use spacetime::trace::{span_counts, well_formed, SpanId, TraceBuffer, Tracer};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The batch engine under the span profiler: traced ≡ plain on the
+    /// event-driven, race-logic, and SWAR kernel engines at 1 and N
+    /// worker threads; the trace passes the structural invariants; and
+    /// per-name span counts are thread-count invariant except
+    /// `batch.chunk` (which mirrors the `batch.chunks` metric).
+    #[test]
+    fn batch_traced_eval_is_identical_across_thread_counts(
+        neuron in arb_neuron(),
+        raw_volleys in prop::collection::vec(arb_volley(3), 1..24),
+        threads in 2usize..8,
+    ) {
+        let width = neuron.synapses().len();
+        let volleys: Vec<Volley> = raw_volleys
+            .iter()
+            .map(|v| Volley::new(v[..width].to_vec()))
+            .collect();
+        let network = srm0_network(&neuron);
+        for artifact in [
+            CompiledArtifact::from_network(&network),
+            CompiledArtifact::from_grl_network(&network),
+            CompiledArtifact::from_kernel_network(&network),
+        ] {
+            let plain = BatchEvaluator::with_threads(1)
+                .eval(&artifact, &volleys)
+                .unwrap();
+            let mut baseline: Option<Vec<(&'static str, u64)>> = None;
+            for workers in [1, threads] {
+                let mut tracer = TraceBuffer::new();
+                let stage = tracer.begin("batch.eval", SpanId::NONE);
+                let traced = BatchEvaluator::with_threads(workers)
+                    .eval_traced(&artifact, &volleys, &mut tracer, stage)
+                    .unwrap();
+                tracer.end(stage);
+                prop_assert_eq!(&traced, &plain, "workers = {}", workers);
+
+                let records = tracer.into_records();
+                // Every opened span closed, ids unique, parent edges
+                // resolvable, children enclosed by their parents.
+                if let Err(violation) = well_formed(&records) {
+                    return Err(TestCaseError::fail(
+                        format!("workers = {workers}: {violation}")
+                    ));
+                }
+                // Every chunk (and through it every packet) nests under
+                // the dispatching stage span.
+                prop_assert!(
+                    records
+                        .iter()
+                        .filter(|r| r.name == "batch.chunk")
+                        .all(|r| r.parent == stage),
+                    "workers = {}", workers
+                );
+                let counts: Vec<(&'static str, u64)> = span_counts(&records)
+                    .into_iter()
+                    .filter(|(name, _)| *name != "batch.chunk")
+                    .collect();
+                match &baseline {
+                    None => baseline = Some(counts),
+                    Some(expected) => prop_assert_eq!(
+                        &counts, expected, "workers = {}", workers
+                    ),
+                }
+            }
+        }
+    }
+
+    /// A failed batch records no trace at any thread count: every span
+    /// opened inside the evaluator is truncated away, leaving only the
+    /// caller's own stage span.
+    #[test]
+    fn failed_batch_traces_nothing(
+        neuron in arb_neuron(),
+        threads in 1usize..6,
+    ) {
+        let width = neuron.synapses().len();
+        let artifact = CompiledArtifact::from_network(&srm0_network(&neuron));
+        // One good volley, then one with the wrong width.
+        let volleys = vec![
+            Volley::new(vec![spacetime::core::Time::ZERO; width]),
+            Volley::new(vec![spacetime::core::Time::ZERO; width + 1]),
+        ];
+        let mut tracer = TraceBuffer::new();
+        let stage = tracer.begin("batch.eval", SpanId::NONE);
+        prop_assert!(BatchEvaluator::with_threads(threads)
+            .eval_traced(&artifact, &volleys, &mut tracer, stage)
+            .is_err());
+        tracer.end(stage);
+        let records = tracer.into_records();
+        prop_assert_eq!(records.len(), 1);
+        prop_assert_eq!(records[0].name, "batch.eval");
+    }
+}
+
 /// STDP training with a live metrics sink is bit-identical to plain
 /// training, and the stdp.* counters mirror the report.
 #[test]
