@@ -143,11 +143,35 @@ fn event_json(event: &ObsEvent) -> String {
     }
 }
 
+/// The schema identifier the JSONL exporter stamps on its first line,
+/// following the `spacetime-bench/1` / `spacetime-trend/1` convention.
+/// Readers (`st-insight`, external tooling) validate it before trusting
+/// the event lines.
+pub const JSONL_SCHEMA: &str = "spacetime-obs/1";
+
+/// The `spacetime-obs/1` header line: schema id, event count, and the
+/// number of events the producing [`crate::Recorder`] dropped at its
+/// capacity cap (0 for a complete trace).
+fn jsonl_header(events: usize, dropped: u64) -> String {
+    format!("{{\"schema\":\"{JSONL_SCHEMA}\",\"events\":{events},\"dropped\":{dropped}}}")
+}
+
 /// Renders every event as one JSON object per line (JSONL) — the
-/// lossless interchange format.
+/// lossless interchange format. The first line is a `spacetime-obs/1`
+/// schema header declaring the event count; the trace it describes is
+/// complete (`"dropped":0`). For a capacity-truncated recording use
+/// [`events_jsonl_with_dropped`] (or [`crate::Recorder::to_jsonl`]).
 #[must_use]
 pub fn events_jsonl(events: &[ObsEvent]) -> String {
-    let mut out = String::new();
+    events_jsonl_with_dropped(events, 0)
+}
+
+/// [`events_jsonl`] with an explicit dropped-event count in the header,
+/// for traces recorded through a capacity-bounded [`crate::Recorder`].
+#[must_use]
+pub fn events_jsonl_with_dropped(events: &[ObsEvent], dropped: u64) -> String {
+    let mut out = jsonl_header(events.len(), dropped);
+    out.push('\n');
     for event in events {
         out.push_str(&event_json(event));
         out.push('\n');
@@ -312,8 +336,17 @@ mod tests {
     #[test]
     fn jsonl_is_one_valid_object_per_line() {
         let jsonl = events_jsonl(&sample_events());
-        assert_eq!(jsonl.lines().count(), sample_events().len());
-        for line in jsonl.lines() {
+        // Header line plus one line per event.
+        assert_eq!(jsonl.lines().count(), sample_events().len() + 1);
+        let header = jsonl.lines().next().unwrap();
+        assert_eq!(
+            header,
+            format!(
+                "{{\"schema\":\"spacetime-obs/1\",\"events\":{},\"dropped\":0}}",
+                sample_events().len()
+            )
+        );
+        for line in jsonl.lines().skip(1) {
             assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
             assert!(line.contains("\"kind\":\""), "{line}");
             // Balanced braces (no nested objects except args-free ones).

@@ -54,6 +54,8 @@ pub mod probe;
 pub mod stats;
 
 pub use event::ObsEvent;
-pub use export::{chrome_trace, events_jsonl, spike_raster_csv};
+pub use export::{
+    chrome_trace, events_jsonl, events_jsonl_with_dropped, spike_raster_csv, JSONL_SCHEMA,
+};
 pub use probe::{NullProbe, Probe, Recorder};
 pub use stats::RunStats;

@@ -47,9 +47,18 @@ impl Probe for NullProbe {
 }
 
 /// A probe that keeps every event, in arrival order.
+///
+/// By default the recorder grows without bound. Long-running drivers can
+/// cap it with [`Recorder::with_capacity`]: once the cap is reached,
+/// further events are counted in [`Recorder::dropped`] instead of stored,
+/// so memory stays bounded and the truncation is *visible* — consumers
+/// that need a complete causal window (`st-insight` provenance queries)
+/// check [`Recorder::is_truncated`] and refuse rather than answer wrong.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct Recorder {
     events: Vec<ObsEvent>,
+    capacity: Option<usize>,
+    dropped: u64,
 }
 
 impl Recorder {
@@ -57,6 +66,39 @@ impl Recorder {
     #[must_use]
     pub fn new() -> Recorder {
         Recorder::default()
+    }
+
+    /// An empty recorder that stores at most `capacity` events. Events
+    /// recorded past the cap are dropped (and counted) rather than kept,
+    /// so a long run cannot grow memory without bound.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Recorder {
+        Recorder {
+            events: Vec::new(),
+            capacity: Some(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// How many events were dropped because the capacity was reached.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// `true` when at least one event was dropped — the recorded window
+    /// is incomplete and causal queries over it would be unsound.
+    #[must_use]
+    pub fn is_truncated(&self) -> bool {
+        self.dropped > 0
+    }
+
+    /// Renders the recording as versioned JSONL (schema header line
+    /// first, then one event per line), carrying the dropped-event count
+    /// so readers can detect truncation. See [`crate::export`].
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        crate::export::events_jsonl_with_dropped(&self.events, self.dropped)
     }
 
     /// The recorded events, in arrival order.
@@ -85,9 +127,9 @@ impl Recorder {
 
     /// Records a [`ObsEvent::VolleyStart`] marker: subsequent engine
     /// events belong to volley `index`. Drivers call this between
-    /// per-volley runs.
+    /// per-volley runs. Subject to the capacity cap like any event.
     pub fn begin_volley(&mut self, index: usize) {
-        self.events.push(ObsEvent::VolleyStart { index });
+        self.record(ObsEvent::VolleyStart { index });
     }
 }
 
@@ -99,7 +141,11 @@ impl Probe for Recorder {
 
     #[inline]
     fn record(&mut self, event: ObsEvent) {
-        self.events.push(event);
+        if self.capacity.is_some_and(|cap| self.events.len() >= cap) {
+            self.dropped += 1;
+        } else {
+            self.events.push(event);
+        }
     }
 }
 
@@ -132,5 +178,35 @@ mod tests {
         assert_eq!(r.events()[2], ObsEvent::VolleyStart { index: 1 });
         let events = r.into_events();
         assert_eq!(events.len(), 3);
+    }
+
+    #[test]
+    fn capacity_bounds_memory_and_counts_drops() {
+        let mut r = Recorder::with_capacity(2);
+        assert!(!r.is_truncated());
+        r.begin_volley(0);
+        r.record(ObsEvent::GateFired {
+            gate: 0,
+            op: "min",
+            at: Time::ZERO,
+        });
+        // The cap is reached: further events (markers included) drop.
+        r.record(ObsEvent::GateFired {
+            gate: 1,
+            op: "max",
+            at: Time::finite(1),
+        });
+        r.begin_volley(1);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 2);
+        assert!(r.is_truncated());
+        // The JSONL header carries the truncation for readers.
+        let jsonl = r.to_jsonl();
+        let header = jsonl.lines().next().unwrap();
+        assert!(
+            header.contains("\"schema\":\"spacetime-obs/1\""),
+            "{header}"
+        );
+        assert!(header.contains("\"dropped\":2"), "{header}");
     }
 }

@@ -30,6 +30,7 @@ pub mod cert;
 pub mod equiv;
 pub mod eval;
 mod json;
+pub mod mutate;
 
 pub use st_lint::interval;
 pub use st_lint::{Code, Diagnostic, Interval, Location, Report, Severity};

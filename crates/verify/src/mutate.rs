@@ -1,0 +1,162 @@
+//! Text-level mutation operators for verification and diffing.
+//!
+//! A *mutant* is a single-gate edit of an artifact's on-disk text that
+//! stays parseable but (usually) changes the computed function:
+//! min ↔ max swap, `inc` delta bump, `lt` operand swap, table output
+//! bump. They serve two consumers: the mutation-testing suite, which
+//! asserts [`crate::equiv::check_equiv`] refutes every semantically
+//! differing mutant with a replayable witness, and `st-insight`'s
+//! divergence diffing, which must localize the first divergent event a
+//! mutant introduces. Operating on text (not the parsed `Network`)
+//! keeps gate indices aligned between original and mutant — exactly
+//! the property gate-level diffing relies on.
+
+/// One single-edit mutant of an artifact's text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mutant {
+    /// What was edited, human-readably (`"line 4: min -> max"`).
+    pub label: String,
+    /// The full mutated artifact text, still parseable.
+    pub text: String,
+}
+
+/// All single-gate text edits of an `st-net` netlist.
+///
+/// Every mutant preserves the line count and gate order, so the mutant
+/// parses to a network with the same shape and aligned gate indices.
+#[must_use]
+pub fn net_mutants(text: &str) -> Vec<Mutant> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut out = Vec::new();
+    let mut push = |label: String, index: usize, new_line: String| {
+        let mut mutated: Vec<String> = lines.iter().map(|&l| l.to_owned()).collect();
+        mutated[index] = new_line;
+        out.push(Mutant {
+            label,
+            text: mutated.join("\n") + "\n",
+        });
+    };
+    for (i, line) in lines.iter().enumerate() {
+        if line.starts_with('#') {
+            continue;
+        }
+        if line.contains("= min ") {
+            push(
+                format!("line {}: min -> max", i + 1),
+                i,
+                line.replacen("= min ", "= max ", 1),
+            );
+        } else if line.contains("= max ") {
+            push(
+                format!("line {}: max -> min", i + 1),
+                i,
+                line.replacen("= max ", "= min ", 1),
+            );
+        }
+        if let Some(pos) = line.find("= inc ") {
+            let tail = &line[pos + 6..];
+            if let Some(delta) = tail.split_whitespace().next() {
+                if let Ok(d) = delta.parse::<u64>() {
+                    push(
+                        format!("line {}: inc {d} -> inc {}", i + 1, d + 1),
+                        i,
+                        line.replacen(&format!("= inc {d} "), &format!("= inc {} ", d + 1), 1),
+                    );
+                }
+            }
+        }
+        if let Some(pos) = line.find("= lt ") {
+            let args: Vec<&str> = line[pos + 5..].split_whitespace().collect();
+            if let [a, b] = args[..] {
+                push(
+                    format!("line {}: lt {a} {b} -> lt {b} {a}", i + 1),
+                    i,
+                    format!("{}= lt {b} {a}", &line[..pos]),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// All single-row output bumps of a function table's text: each `-> t`
+/// row becomes `-> t+1`.
+#[must_use]
+pub fn table_mutants(text: &str) -> Vec<Mutant> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let Some((inputs, output)) = line.split_once("->") else {
+            continue;
+        };
+        let Ok(out_time) = output.trim().parse::<u64>() else {
+            continue;
+        };
+        let mutated: String = text
+            .lines()
+            .enumerate()
+            .map(|(j, l)| {
+                if j == i {
+                    format!("{inputs}-> {}", out_time + 1)
+                } else {
+                    l.to_owned()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+            + "\n";
+        out.push(Mutant {
+            label: format!("row {}: output {out_time} -> {}", i + 1, out_time + 1),
+            text: mutated,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG6: &str = "g0 = input\ng1 = input\ng2 = input\ng3 = inc 1 g0\n\
+                        g4 = min g3 g1\ng5 = lt g4 g2\noutputs g5\n";
+
+    #[test]
+    fn net_mutants_cover_every_operator_and_stay_parseable() {
+        let mutants = net_mutants(FIG6);
+        let labels: Vec<&str> = mutants.iter().map(|m| m.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "line 4: inc 1 -> inc 2",
+                "line 5: min -> max",
+                "line 6: lt g4 g2 -> lt g2 g4",
+            ]
+        );
+        for m in &mutants {
+            let net = st_net::parse_network(&m.text).unwrap_or_else(|e| panic!("{}: {e}", m.label));
+            assert_eq!(net.gate_count(), 6, "{}: shape must be preserved", m.label);
+        }
+    }
+
+    #[test]
+    fn comments_are_left_alone() {
+        let text = format!("# g9 = min g0 g1\n{FIG6}");
+        assert_eq!(net_mutants(&text).len(), 3);
+    }
+
+    #[test]
+    fn table_mutants_bump_one_row_each() {
+        let text = "0 0 -> 0\n0 inf -> 1\n";
+        let mutants = table_mutants(text);
+        assert_eq!(mutants.len(), 2);
+        assert!(
+            mutants[0].text.starts_with("0 0 -> 1\n"),
+            "{}",
+            mutants[0].text
+        );
+        assert!(
+            mutants[1].text.ends_with("0 inf -> 2\n"),
+            "{}",
+            mutants[1].text
+        );
+    }
+}

@@ -15,65 +15,13 @@ use st_net::{parse_network, Network};
 use st_tnn::parse_column;
 use st_verify::equiv::{check_equiv, Counterexample, EquivResult};
 use st_verify::eval::{ColumnEvaluator, Evaluator, NetEvaluator, TableEvaluator};
+use st_verify::mutate::{net_mutants, table_mutants};
 
 const WINDOW: u64 = 4;
 
 fn data(name: &str) -> String {
     let path = format!("{}/../../examples/data/{name}", env!("CARGO_MANIFEST_DIR"));
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
-}
-
-/// All single-gate text edits of a netlist: `(label, mutated text)`.
-fn net_mutants(text: &str) -> Vec<(String, String)> {
-    let lines: Vec<&str> = text.lines().collect();
-    let mut out = Vec::new();
-    let mut push = |label: String, index: usize, new_line: String| {
-        let mut mutated: Vec<String> = lines.iter().map(|&l| l.to_owned()).collect();
-        mutated[index] = new_line;
-        out.push((label, mutated.join("\n") + "\n"));
-    };
-    for (i, line) in lines.iter().enumerate() {
-        if let Some(rest) = line.strip_prefix('#') {
-            let _ = rest;
-            continue;
-        }
-        if line.contains("= min ") {
-            push(
-                format!("line {}: min -> max", i + 1),
-                i,
-                line.replacen("= min ", "= max ", 1),
-            );
-        } else if line.contains("= max ") {
-            push(
-                format!("line {}: max -> min", i + 1),
-                i,
-                line.replacen("= max ", "= min ", 1),
-            );
-        }
-        if let Some(pos) = line.find("= inc ") {
-            let tail = &line[pos + 6..];
-            if let Some(delta) = tail.split_whitespace().next() {
-                if let Ok(d) = delta.parse::<u64>() {
-                    push(
-                        format!("line {}: inc {d} -> inc {}", i + 1, d + 1),
-                        i,
-                        line.replacen(&format!("= inc {d} "), &format!("= inc {} ", d + 1), 1),
-                    );
-                }
-            }
-        }
-        if let Some(pos) = line.find("= lt ") {
-            let args: Vec<&str> = line[pos + 5..].split_whitespace().collect();
-            if let [a, b] = args[..] {
-                push(
-                    format!("line {}: lt {a} {b} -> lt {b} {a}", i + 1),
-                    i,
-                    format!("{}= lt {b} {a}", &line[..pos]),
-                );
-            }
-        }
-    }
-    out
 }
 
 /// Asserts a counterexample is an honest, replayable witness: both
@@ -109,11 +57,11 @@ fn campaign(original: &Network, text: &str, max_mutants: usize) -> (usize, usize
     let orig_eval = NetEvaluator::new(original);
     let mut caught = 0;
     let mut survived = 0;
-    for (label, mutated_text) in net_mutants(text).into_iter().take(max_mutants) {
-        let mutant = parse_network(&mutated_text)
-            .unwrap_or_else(|e| panic!("mutant {label} must stay parseable: {e}"));
+    for m in net_mutants(text).into_iter().take(max_mutants) {
+        let mutant = parse_network(&m.text)
+            .unwrap_or_else(|e| panic!("mutant {} must stay parseable: {e}", m.label));
         let mutant_eval = NetEvaluator::new(&mutant);
-        match check_equiv(&orig_eval, &mutant_eval, WINDOW).expect(&label) {
+        match check_equiv(&orig_eval, &mutant_eval, WINDOW).expect(&m.label) {
             EquivResult::Refuted(cex) => {
                 assert_replays(&cex, &orig_eval, &mutant_eval);
                 caught += 1;
@@ -159,28 +107,10 @@ fn fig7_table_mutants_are_refuted_against_the_original_spec() {
     let text = data("fig7.table");
     let original = FunctionTable::parse(&text).unwrap();
     let spec = TableEvaluator::spec(&original);
-    let mut caught = 0;
-    for (i, line) in text.lines().enumerate() {
-        let Some((inputs, output)) = line.split_once("->") else {
-            continue;
-        };
-        let Ok(out_time) = output.trim().parse::<u64>() else {
-            continue;
-        };
-        let mutated: String = text
-            .lines()
-            .enumerate()
-            .map(|(j, l)| {
-                if j == i {
-                    format!("{inputs}-> {}", out_time + 1)
-                } else {
-                    l.to_owned()
-                }
-            })
-            .collect::<Vec<_>>()
-            .join("\n")
-            + "\n";
-        let mutant = FunctionTable::parse(&mutated).unwrap();
+    let mutants = table_mutants(&text);
+    assert_eq!(mutants.len(), 3, "one mutant per table row");
+    for m in &mutants {
+        let mutant = FunctionTable::parse(&m.text).unwrap();
         let mutant_eval = TableEvaluator::new(&mutant);
         match check_equiv(&mutant_eval, &spec, WINDOW).unwrap() {
             EquivResult::Refuted(cex) => {
@@ -188,13 +118,11 @@ fn fig7_table_mutants_are_refuted_against_the_original_spec() {
                 // The minimal witness needs no tick beyond the mutated
                 // row's own pattern.
                 let extent = cex.inputs.iter().filter_map(|t| t.value()).max();
-                assert!(extent <= Some(2), "row {i}: witness {cex}");
-                caught += 1;
+                assert!(extent <= Some(2), "{}: witness {cex}", m.label);
             }
-            EquivResult::Proved(p) => panic!("row {i} output bump survived: {p}"),
+            EquivResult::Proved(p) => panic!("{} survived: {p}", m.label),
         }
     }
-    assert_eq!(caught, 3, "one refutation per mutated row");
 }
 
 #[test]
@@ -208,11 +136,11 @@ fn column2_lowering_mutants_are_caught_against_the_behavioral_column() {
     // The lowering is large and deliberately carries dead micro-weight
     // gates, so some mutants are genuinely equivalent; a healthy
     // campaign still catches plenty.
-    for (label, mutated_text) in net_mutants(&text).into_iter().take(60) {
-        let mutant = parse_network(&mutated_text)
-            .unwrap_or_else(|e| panic!("mutant {label} must stay parseable: {e}"));
+    for m in net_mutants(&text).into_iter().take(60) {
+        let mutant = parse_network(&m.text)
+            .unwrap_or_else(|e| panic!("mutant {} must stay parseable: {e}", m.label));
         let mutant_eval = NetEvaluator::new(&mutant);
-        match check_equiv(&col_eval, &mutant_eval, WINDOW).expect(&label) {
+        match check_equiv(&col_eval, &mutant_eval, WINDOW).expect(&m.label) {
             EquivResult::Refuted(cex) => {
                 assert_replays(&cex, &col_eval, &mutant_eval);
                 caught += 1;

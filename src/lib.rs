@@ -17,6 +17,7 @@
 //! | [`verify`] | `st-verify` | boundedness certificates + bounded equivalence |
 //! | [`opt`] | `st-opt` | dataflow analyses + verified optimization passes |
 //! | [`obs`] | `st-obs` | probes, event traces, rasters, run statistics |
+//! | [`insight`] | `st-insight` | provenance queries, run diffing, volley analytics |
 //! | [`metrics`] | `st-metrics` | counters, histograms, Prometheus, bench reports |
 //! | [`trace`] | `st-trace` | hierarchical spans, flamegraphs, Chrome timelines |
 //! | [`batch`] | (this crate) | compile-once / evaluate-many parallel engine |
@@ -46,6 +47,7 @@ pub mod bench;
 
 pub use st_core as core;
 pub use st_grl as grl;
+pub use st_insight as insight;
 pub use st_kernel as kernel;
 pub use st_lint as lint;
 pub use st_metrics as metrics;

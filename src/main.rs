@@ -44,7 +44,9 @@ USAGE:
                   [--threads N]                 evaluate a whole volley file
                                                 (compile once, fan out over
                                                 worker threads; one output
-                                                volley per line)
+                                                volley per line; the net/grl/
+                                                kernel engines accept a table
+                                                or an st-net netlist spec)
   spacetime lint <file> [--kind table|net|column] [--json] [--max-window N]
                   [--deny CODE] [--allow CODE]  statically check a table,
                                                 netlist, or column against
@@ -100,6 +102,26 @@ USAGE:
                                                 self-time top table, or raw
                                                 span JSONL
                                                 (docs/observability.md)
+  spacetime inspect <file> [--stats] [--raster-summary] [--why <gate>@<t>]
+                  [--volley N] [--witness <prefix>] [--diff <other-file>]
+                  [--engine net|grl|column|table] [--volleys <file>]
+                  [--threads N] [--trace <run.jsonl>] [--json] [--dot]
+                  [--out <file>]                 semantic queries over a
+                                                recorded run
+                                                (docs/observability.md):
+                                                volley-coding statistics and
+                                                spike summaries; causal
+                                                provenance of one (gate, time)
+                                                event (--why, with a
+                                                `spacetime batch`-replayable
+                                                witness volley via --witness);
+                                                first-divergence localization
+                                                between two artifacts' runs
+                                                (--diff; exits 1 on
+                                                divergence); --trace analyses
+                                                a recorded spacetime-obs/1
+                                                JSONL export instead of
+                                                re-running
   spacetime bench [--quick|--full] [--label L] [--threads T1,T2,…]
                   [--out <file>] [--history <f>] time the engine scenario
                                                 matrix and emit a
@@ -128,7 +150,9 @@ one `x1 x2 … -> y` row per line (`#` comments allowed); see docs/THEORY.md.
 
 `lint` and `verify` exit 0 when clean, 1 on error-severity findings (after
 --deny/--allow overrides), and 2 on operational errors (unreadable file,
-bad flag, unverifiable domain).
+bad flag, unverifiable domain). `inspect --diff` follows the same contract:
+0 when the runs agree, 1 on a localized divergence, 2 when the comparison
+could not run.
 ";
 
 fn main() -> ExitCode {
@@ -140,6 +164,7 @@ fn main() -> ExitCode {
         Some("lint") => return gate_exit(cmd_lint(&args[1..])),
         Some("verify") => return gate_exit(cmd_verify(&args[1..])),
         Some("opt") => return gate_exit(cmd_opt(&args[1..])),
+        Some("inspect") => return gate_exit(cmd_inspect(&args[1..])),
         _ => {}
     }
     let result = match args.first().map(String::as_str) {
@@ -184,6 +209,23 @@ fn parse_times(args: &[String]) -> Result<Vec<Time>, String> {
 fn load_table(path: &str) -> Result<FunctionTable, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     FunctionTable::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Loads a gate-network spec that is either a function table (run through
+/// the Theorem 1 synthesis) or an `st-net` netlist, detected from the
+/// text — the accepted spec forms for the batch net/grl/kernel engines.
+fn load_netlike(path: &str) -> Result<Network, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    match detect_kind(&text) {
+        "table" => {
+            let table = FunctionTable::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+            Ok(synthesize(&table, SynthesisOptions::default()))
+        }
+        "net" => spacetime::net::parse_network(&text).map_err(|e| format!("{path}: {e}")),
+        kind => Err(format!(
+            "{path}: a {kind} file cannot drive the net/grl/kernel engines"
+        )),
+    }
 }
 
 fn cmd_eval(args: &[String]) -> Result<(), String> {
@@ -611,18 +653,9 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
 
     let artifact = match engine.as_str() {
         "table" => CompiledArtifact::from_table(&load_table(&spec)?),
-        "net" => {
-            let network = synthesize(&load_table(&spec)?, SynthesisOptions::default());
-            CompiledArtifact::from_network(&network)
-        }
-        "grl" => {
-            let network = synthesize(&load_table(&spec)?, SynthesisOptions::default());
-            CompiledArtifact::from_grl_network(&network)
-        }
-        "kernel" => {
-            let network = synthesize(&load_table(&spec)?, SynthesisOptions::default());
-            CompiledArtifact::from_kernel_network(&network)
-        }
+        "net" => CompiledArtifact::from_network(&load_netlike(&spec)?),
+        "grl" => CompiledArtifact::from_grl_network(&load_netlike(&spec)?),
+        "kernel" => CompiledArtifact::from_kernel_network(&load_netlike(&spec)?),
         "column" => {
             let text =
                 std::fs::read_to_string(&spec).map_err(|e| format!("cannot read {spec}: {e}"))?;
@@ -972,6 +1005,41 @@ fn default_sweep(width: usize) -> Vec<Volley> {
     }
 }
 
+/// Runs a volley batch through a [`TraceForm`] sequentially, marking
+/// each volley and collecting the probed model-time events.
+fn record_probed(
+    form: &TraceForm,
+    volleys: &[Volley],
+    recorder: &mut spacetime::obs::Recorder,
+) -> Result<(), String> {
+    for (index, volley) in volleys.iter().enumerate() {
+        recorder.begin_volley(index);
+        match form {
+            TraceForm::Net(compiled) => {
+                compiled
+                    .run_probed(volley.times(), recorder)
+                    .map_err(|e| format!("volley {index}: {e}"))?;
+            }
+            TraceForm::Grl(netlist) => {
+                GrlSim::new()
+                    .run_probed(netlist, volley.times(), recorder)
+                    .map_err(|e| format!("volley {index}: {e}"))?;
+            }
+            TraceForm::Column(column) => {
+                if volley.width() != column.input_width() {
+                    return Err(format!(
+                        "volley {index}: column expects width {}, got {}",
+                        column.input_width(),
+                        volley.width()
+                    ));
+                }
+                column.eval_probed(volley, recorder);
+            }
+        }
+    }
+    Ok(())
+}
+
 fn cmd_trace(args: &[String]) -> Result<(), String> {
     use spacetime::batch::{BatchEvaluator, CompiledArtifact};
     use spacetime::obs::{chrome_trace, events_jsonl, spike_raster_csv, Recorder, RunStats};
@@ -1114,31 +1182,7 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
     // Pass 1 — model-time events: one marked, probed sequential run per
     // volley (gate firings / wire falls / potentials / WTA decisions).
     let mut recorder = Recorder::new();
-    for (index, volley) in volleys.iter().enumerate() {
-        recorder.begin_volley(index);
-        match &form {
-            TraceForm::Net(compiled) => {
-                compiled
-                    .run_probed(volley.times(), &mut recorder)
-                    .map_err(|e| format!("volley {index}: {e}"))?;
-            }
-            TraceForm::Grl(netlist) => {
-                GrlSim::new()
-                    .run_probed(netlist, volley.times(), &mut recorder)
-                    .map_err(|e| format!("volley {index}: {e}"))?;
-            }
-            TraceForm::Column(column) => {
-                if volley.width() != column.input_width() {
-                    return Err(format!(
-                        "volley {index}: column expects width {}, got {}",
-                        column.input_width(),
-                        volley.width()
-                    ));
-                }
-                column.eval_probed(volley, &mut recorder);
-            }
-        }
-    }
+    record_probed(&form, &volleys, &mut recorder)?;
 
     // Pass 2 — wall-clock timing: the batch engine appends per-volley,
     // per-chunk, and stage timings to the same stream.
@@ -1173,6 +1217,404 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Parses a `--why` query of the form `<gate>@<time>` — `g5@3`,
+/// `gate12@inf`, or a bare index like `7@0`.
+fn parse_why(spec: &str) -> Result<(usize, Time), String> {
+    let Some((gate, at)) = spec.rsplit_once('@') else {
+        return Err(format!(
+            "bad --why query {spec:?}; expected <gate>@<time> like g5@3 or g5@inf"
+        ));
+    };
+    let digits = gate.trim_start_matches("gate").trim_start_matches('g');
+    let gate = digits
+        .parse::<usize>()
+        .map_err(|_| format!("bad gate {gate:?} in --why query (use g<N>)"))?;
+    let at = at
+        .parse::<Time>()
+        .map_err(|e| format!("bad time {at:?} in --why query: {e}"))?;
+    Ok((gate, at))
+}
+
+/// Loads an inspect operand as a gate network: tables go through the
+/// Theorem 1 synthesis, columns through their behavioral lowering,
+/// netlists parse as-is. Also returns the raw text and detected kind so
+/// engine-specific forms (the column simulator) can reuse them.
+fn inspect_load(path: &str) -> Result<(String, &'static str, Network), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let kind = detect_kind(&text);
+    let network = match kind {
+        "table" => synthesize(
+            &FunctionTable::parse(&text).map_err(|e| format!("{path}: {e}"))?,
+            SynthesisOptions::default(),
+        ),
+        "column" => spacetime::tnn::parse_column(&text)
+            .map_err(|e| format!("{path}: {e}"))?
+            .to_network(),
+        _ => spacetime::net::parse_network(&text).map_err(|e| format!("{path}: {e}"))?,
+    };
+    Ok((text, kind, network))
+}
+
+/// Records a probed event-simulation run of `network` over `volleys`
+/// into an indexed spike database.
+fn record_net_run(
+    network: &Network,
+    volleys: &[Volley],
+) -> Result<spacetime::insight::SpikeDb, String> {
+    let mut recorder = spacetime::obs::Recorder::new();
+    let form = TraceForm::Net(EventSim::new().compile(network));
+    record_probed(&form, volleys, &mut recorder)?;
+    Ok(spacetime::insight::SpikeDb::from_events_with_dropped(
+        recorder.events(),
+        recorder.dropped(),
+    ))
+}
+
+/// Writes a `--witness` replay pair: `<prefix>.net` (the inspected
+/// network with the queried gate exposed as an output) and
+/// `<prefix>.volleys` (the witness volley). Returns the output column
+/// the queried gate lands on under `spacetime batch`.
+fn write_witness(
+    prefix: &str,
+    network: &Network,
+    prov: &spacetime::insight::Provenance,
+) -> Result<usize, String> {
+    let token = format!("g{}", prov.gate);
+    let mut column = None;
+    let mut lines: Vec<String> = spacetime::net::network_to_text(network)
+        .lines()
+        .map(str::to_owned)
+        .collect();
+    for line in &mut lines {
+        let Some(rest) = line.strip_prefix("outputs") else {
+            continue;
+        };
+        let outs: Vec<String> = rest.split_whitespace().map(str::to_owned).collect();
+        column = Some(match outs.iter().position(|o| *o == token) {
+            Some(k) => k,
+            None => {
+                line.push(' ');
+                line.push_str(&token);
+                outs.len()
+            }
+        });
+    }
+    let column = column.unwrap_or_else(|| {
+        lines.push(format!("outputs {token}"));
+        0
+    });
+    let net_path = format!("{prefix}.net");
+    std::fs::write(&net_path, lines.join("\n") + "\n")
+        .map_err(|e| format!("cannot write {net_path}: {e}"))?;
+    let volleys_path = format!("{prefix}.volleys");
+    std::fs::write(&volleys_path, prov.witness_line() + "\n")
+        .map_err(|e| format!("cannot write {volleys_path}: {e}"))?;
+    Ok(column)
+}
+
+fn cmd_inspect(args: &[String]) -> Result<bool, String> {
+    use spacetime::batch::{BatchEvaluator, CompiledArtifact};
+    use spacetime::insight::{
+        diff_gate_runs, diff_output_runs, eval_graph, parse_trace, why, InsightStats, SpikeDb, Unit,
+    };
+    use spacetime::lint::LintOp;
+    use spacetime::net::lint::to_lint_graph;
+    use std::fmt::Write as _;
+
+    let mut path: Option<String> = None;
+    let mut stats = false;
+    let mut raster = false;
+    let mut why_query: Option<String> = None;
+    let mut diff_path: Option<String> = None;
+    let mut volley_index: Option<usize> = None;
+    let mut witness: Option<String> = None;
+    let mut engine: Option<String> = None;
+    let mut volleys_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut threads: Option<usize> = None;
+    let mut json = false;
+    let mut dot = false;
+    let mut out: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        match a.as_str() {
+            "--stats" => stats = true,
+            "--raster-summary" => raster = true,
+            "--why" => why_query = Some(flag_value(&mut iter, a)?),
+            "--diff" => diff_path = Some(flag_value(&mut iter, a)?),
+            "--volley" => {
+                volley_index = Some(
+                    flag_value(&mut iter, a)?
+                        .parse::<usize>()
+                        .map_err(|e| format!("bad volley index: {e}"))?,
+                );
+            }
+            "--witness" => witness = Some(flag_value(&mut iter, a)?),
+            "--engine" => engine = Some(flag_value(&mut iter, a)?),
+            "--volleys" => volleys_path = Some(flag_value(&mut iter, a)?),
+            "--trace" => trace_path = Some(flag_value(&mut iter, a)?),
+            "--threads" => {
+                threads = Some(
+                    flag_value(&mut iter, a)?
+                        .parse::<usize>()
+                        .map_err(|e| format!("bad thread count: {e}"))?,
+                );
+            }
+            "--json" => json = true,
+            "--dot" => dot = true,
+            "--out" => out = Some(flag_value(&mut iter, a)?),
+            other if path.is_none() && !other.starts_with('-') => path = Some(other.to_owned()),
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    let usage = "usage: spacetime inspect <file> [--stats|--raster-summary|--why <gate>@<t>|\
+                 --diff <other-file>] [--volley N] [--witness <prefix>] \
+                 [--engine table|net|grl|column] [--volleys <file>] [--trace <run.jsonl>] \
+                 [--threads N] [--json] [--dot] [--out <file>]";
+    let path = path.ok_or(usage)?;
+    let (text, kind, network) = inspect_load(&path)?;
+
+    let emit = |rendered: String| -> Result<(), String> {
+        match &out {
+            Some(f) => {
+                std::fs::write(f, &rendered).map_err(|e| format!("cannot write {f}: {e}"))?;
+                eprintln!("wrote {f}");
+            }
+            None => print!("{rendered}"),
+        }
+        Ok(())
+    };
+
+    let volleys = match &volleys_path {
+        Some(vp) => {
+            let vtext =
+                std::fs::read_to_string(vp).map_err(|e| format!("cannot read {vp}: {e}"))?;
+            parse_volleys(&vtext, vp)?
+        }
+        None => default_sweep(network.input_count()),
+    };
+
+    let load_trace_db = |tp: &String| -> Result<SpikeDb, String> {
+        let ttext = std::fs::read_to_string(tp).map_err(|e| format!("cannot read {tp}: {e}"))?;
+        Ok(parse_trace(&ttext)
+            .map_err(|e| format!("{tp}: {e}"))?
+            .to_db())
+    };
+
+    // --diff: first-divergence localization between the two files' runs.
+    if let Some(other) = &diff_path {
+        let (_, _, network_b) = inspect_load(other)?;
+        if network.input_count() != network_b.input_count() {
+            return Err(format!(
+                "{path} has {} input line(s), {other} has {} — the runs cannot be aligned",
+                network.input_count(),
+                network_b.input_count()
+            ));
+        }
+        let (divergence_text, divergence_json);
+        if network.gate_count() == network_b.gate_count() {
+            // Same shape ⇒ aligned gate indices: localize at gate level,
+            // with the root cause's agreed source times as context.
+            let db_a = record_net_run(&network, &volleys)?;
+            let db_b = record_net_run(&network_b, &volleys)?;
+            let graph = to_lint_graph(&network);
+            match diff_gate_runs(&graph, &db_a, &db_b).map_err(|e| e.to_string())? {
+                None => {
+                    emit(format!(
+                        "runs agree: {} volley(s), {} gate(s), no divergence\n",
+                        volleys.len(),
+                        graph.len()
+                    ))?;
+                    return Ok(true);
+                }
+                Some(d) => (divergence_text, divergence_json) = (d.render(), d.to_json()),
+            }
+        } else {
+            // Different lowerings ⇒ gate indices are incomparable:
+            // project to the observable output lines.
+            let evaluator = threads.map_or_else(BatchEvaluator::new, BatchEvaluator::with_threads);
+            let run = |network: &Network, label: &str| -> Result<Vec<Vec<Time>>, String> {
+                let artifact = CompiledArtifact::from_network(network);
+                Ok(evaluator
+                    .eval(&artifact, &volleys)
+                    .map_err(|e| format!("{label}: {e}"))?
+                    .into_iter()
+                    .map(|v| v.times().to_vec())
+                    .collect())
+            };
+            let outs_a = run(&network, &path)?;
+            let outs_b = run(&network_b, other)?;
+            match diff_output_runs(&outs_a, &outs_b).map_err(|e| e.to_string())? {
+                None => {
+                    emit(format!(
+                        "runs agree: {} volley(s), {} output line(s), no divergence\n",
+                        volleys.len(),
+                        outs_a.first().map_or(0, Vec::len)
+                    ))?;
+                    return Ok(true);
+                }
+                Some(d) => (divergence_text, divergence_json) = (d.render(), d.to_json()),
+            }
+        }
+        emit(if json {
+            divergence_json + "\n"
+        } else {
+            divergence_text
+        })?;
+        return Ok(false);
+    }
+
+    // --why: the backward cone of influence of one (gate, time) event.
+    // Always answered over the net lowering, whose gate indices the lint
+    // graph shares.
+    if let Some(query) = &why_query {
+        let (gate, at) = parse_why(query)?;
+        let graph = to_lint_graph(&network);
+        if gate >= graph.len() {
+            return Err(format!(
+                "gate g{gate} is out of range: {path} lowers to {} gate(s)",
+                graph.len()
+            ));
+        }
+        let db = match &trace_path {
+            Some(tp) => load_trace_db(tp)?,
+            None => record_net_run(&network, &volleys)?,
+        };
+        if db.is_truncated() {
+            return Err(format!(
+                "the recording dropped {} event(s); provenance over a truncated window would \
+                 fabricate silences (re-record with a larger capacity)",
+                db.dropped()
+            ));
+        }
+        let vt = match volley_index {
+            Some(n) => db.volley(n).ok_or_else(|| {
+                format!(
+                    "volley {n} is not in the recording ({} volley(s))",
+                    db.volleys().len()
+                )
+            })?,
+            None => db
+                .volleys()
+                .iter()
+                .find(|v| v.time_of(Unit::Gate(gate)) == at)
+                .ok_or_else(|| {
+                    let mut seen: Vec<String> = db
+                        .volleys()
+                        .iter()
+                        .map(|v| v.time_of(Unit::Gate(gate)).to_string())
+                        .collect();
+                    seen.sort();
+                    seen.dedup();
+                    format!(
+                        "no recorded volley has g{gate} at {at}; observed times: {}",
+                        seen.join(", ")
+                    )
+                })?,
+        };
+        let waveform = vt.gate_waveform(graph.len());
+        if waveform[gate] != at {
+            return Err(format!(
+                "in volley {}, g{gate} is at {} (queried {at}); pick another --volley",
+                vt.index, waveform[gate]
+            ));
+        }
+        if trace_path.is_some() {
+            // A loaded trace may come from anywhere — cross-check it
+            // against the artifact before explaining it.
+            let mut inputs = vec![Time::INFINITY; graph.input_count()];
+            for (i, node) in graph.nodes().iter().enumerate() {
+                if let LintOp::Input(n) = &node.op {
+                    inputs[*n] = waveform[i];
+                }
+            }
+            let expect = eval_graph(&graph, &inputs).map_err(|e| e.to_string())?;
+            if expect != waveform {
+                return Err(format!(
+                    "the recorded trace does not match {path} (volley {}): it was recorded \
+                     from a different artifact or engine",
+                    vt.index
+                ));
+            }
+        }
+        let prov = why(&graph, &waveform, vt.index, gate, at).map_err(|e| e.to_string())?;
+        let rendered = if dot {
+            prov.to_dot()
+        } else if json {
+            prov.to_json() + "\n"
+        } else {
+            prov.render()
+        };
+        emit(rendered)?;
+        if let Some(prefix) = &witness {
+            let column = write_witness(prefix, &network, &prov)?;
+            eprintln!(
+                "replay: spacetime batch {prefix}.net {prefix}.volleys --engine net   \
+                 # expect output column {column} = {at}"
+            );
+        }
+        return Ok(true);
+    }
+
+    // Default: volley-coding analytics (--stats) and/or a compact
+    // per-volley spike summary (--raster-summary).
+    let want_stats = stats || !raster;
+    let db = match &trace_path {
+        Some(tp) => load_trace_db(tp)?,
+        None => {
+            let engine = engine
+                .unwrap_or_else(|| if kind == "column" { "column" } else { "net" }.to_owned());
+            let form = match engine.as_str() {
+                "net" | "table" => TraceForm::Net(EventSim::new().compile(&network)),
+                "grl" => TraceForm::Grl(compile_network(&network)),
+                "column" => {
+                    if kind != "column" {
+                        return Err(format!("the column engine cannot inspect a {kind} file"));
+                    }
+                    TraceForm::Column(
+                        spacetime::tnn::parse_column(&text).map_err(|e| format!("{path}: {e}"))?,
+                    )
+                }
+                other => {
+                    return Err(format!(
+                        "unknown engine {other:?}; expected table|net|grl|column"
+                    ))
+                }
+            };
+            let mut recorder = spacetime::obs::Recorder::new();
+            record_probed(&form, &volleys, &mut recorder)?;
+            SpikeDb::from_events_with_dropped(recorder.events(), recorder.dropped())
+        }
+    };
+    let mut rendered = String::new();
+    if want_stats {
+        let s = InsightStats::from_db(&db);
+        if json {
+            rendered.push_str(&s.to_json());
+            rendered.push('\n');
+        } else {
+            rendered.push_str(&s.render());
+        }
+    }
+    if raster {
+        for vt in db.volleys() {
+            let spikes: Vec<String> = vt
+                .spikes
+                .iter()
+                .map(|&(u, at)| format!("{u}@{at}"))
+                .collect();
+            let line = if spikes.is_empty() {
+                "-".to_owned()
+            } else {
+                spikes.join(" ")
+            };
+            let _ = writeln!(rendered, "volley {}: {line}", vt.index);
+        }
+    }
+    emit(rendered)?;
+    Ok(true)
 }
 
 fn cmd_profile(args: &[String]) -> Result<(), String> {

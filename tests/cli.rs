@@ -359,15 +359,20 @@ fn trace_exports_all_four_formats() {
     assert_eq!(lines.next(), Some("volley,time,source,unit"));
     assert!(lines.any(|l| l.contains(",net,gate")), "{stdout}");
 
-    // jsonl: every line is one JSON object with a kind tag.
+    // jsonl: a schema header line, then one JSON object per event.
     let out = bin()
         .args(["trace", net.to_str(), "--format", "jsonl"])
         .output()
         .unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(!stdout.is_empty());
-    for line in stdout.lines() {
+    let mut lines = stdout.lines();
+    let header = lines.next().expect("header line");
+    assert!(
+        header.starts_with("{\"schema\":\"spacetime-obs/1\""),
+        "not a versioned trace header: {header}"
+    );
+    for line in lines {
         assert!(
             line.starts_with("{\"kind\":\"") && line.ends_with('}'),
             "not a JSONL event: {line}"
@@ -955,6 +960,222 @@ fn bench_history_appends_and_trend_renders_deltas() {
     assert!(!out.status.success(), "{out:?}");
     assert!(
         String::from_utf8_lossy(&out.stderr).contains("line 1"),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn inspect_stats_and_raster_summary() {
+    let net = fig6_net_file();
+
+    let out = bin().args(["inspect", net.to_str()]).output().unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("volleys:"), "{stdout}");
+    assert!(stdout.contains("gate5"), "{stdout}");
+    assert!(stdout.contains("volley extent"), "{stdout}");
+
+    let out = bin()
+        .args(["inspect", net.to_str(), "--stats", "--json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("{\"volleys\":"), "{stdout}");
+    assert!(stdout.contains("\"histogram\":{"), "{stdout}");
+
+    let out = bin()
+        .args(["inspect", net.to_str(), "--raster-summary"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("volley 0:"), "{stdout}");
+    assert!(stdout.contains("gate0@"), "{stdout}");
+}
+
+#[test]
+fn inspect_why_emits_provenance_and_a_batch_replayable_witness() {
+    let net = fig6_net_file();
+    let prefix = std::env::temp_dir().join(format!("spacetime-cli-witness-{}", std::process::id()));
+    let prefix = prefix.to_str().expect("utf-8 path").to_owned();
+
+    // Query a firing: lt fires at 1 when min(inc1(x0), x1) = 1 beats x2.
+    let out = bin()
+        .args([
+            "inspect",
+            net.to_str(),
+            "--why",
+            "g5@1",
+            "--witness",
+            &prefix,
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("gate 5 fired at 1"), "{stdout}");
+    assert!(stdout.contains("(inhibitor)"), "{stdout}");
+    assert!(stdout.contains("witness volley"), "{stdout}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("spacetime batch"),
+        "{out:?}"
+    );
+
+    // The acceptance criterion: the written witness pair replays through
+    // `spacetime batch` to reproduce the exact queried spike.
+    let out = bin()
+        .args([
+            "batch",
+            &format!("{prefix}.net"),
+            &format!("{prefix}.volleys"),
+            "--engine",
+            "net",
+        ])
+        .output()
+        .unwrap();
+    let _ = std::fs::remove_file(format!("{prefix}.net"));
+    let _ = std::fs::remove_file(format!("{prefix}.volleys"));
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // fig6's output *is* g5, so the replay's existing column 0 carries
+    // the queried spike.
+    assert_eq!(stdout.lines().next(), Some("[1]"), "{stdout}");
+
+    // Silence is queryable too: with all-zero inputs the inhibitor wins.
+    let out = bin()
+        .args(["inspect", net.to_str(), "--why", "g5@inf"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("stayed silent"), "{stdout}");
+
+    // JSON and dot renderings.
+    let out = bin()
+        .args(["inspect", net.to_str(), "--why", "g5@1", "--json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("{\"volley\":"), "{stdout}");
+    assert!(stdout.contains("\"witness\":["), "{stdout}");
+
+    let out = bin()
+        .args(["inspect", net.to_str(), "--why", "g5@1", "--dot"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("digraph provenance"), "{stdout}");
+    assert!(stdout.contains("doublecircle"), "{stdout}");
+
+    // A time the gate never takes is an operational error (exit 2).
+    let out = bin()
+        .args(["inspect", net.to_str(), "--why", "g5@99"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("observed times"),
+        "{out:?}"
+    );
+}
+
+#[test]
+fn inspect_diff_follows_the_gate_exit_contract() {
+    let net = fig6_net_file();
+
+    // Self-diff: agreement, exit 0.
+    let out = bin()
+        .args(["inspect", net.to_str(), "--diff", net.to_str()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("runs agree"),
+        "{out:?}"
+    );
+
+    // A min→max mutant: localized gate-level divergence, exit 1.
+    let mutant = TempFile::with_content(
+        "fig6-mut.net",
+        "g0 = input\ng1 = input\ng2 = input\ng3 = inc 1 g0\ng4 = max g3 g1\ng5 = lt g4 g2\noutputs g5\n",
+    );
+    let out = bin()
+        .args(["inspect", net.to_str(), "--diff", mutant.to_str(), "--json"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"gate\":4"), "{stdout}");
+    assert!(stdout.contains("\"op\":\"min\""), "{stdout}");
+
+    // Incomparable widths: operational error, exit 2.
+    let narrow = TempFile::with_content("narrow.net", "g0 = input\noutputs g0\n");
+    let out = bin()
+        .args(["inspect", net.to_str(), "--diff", narrow.to_str()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn inspect_trace_mode_validates_the_export_schema() {
+    let net = fig6_net_file();
+
+    // A recorded run round-trips: trace → JSONL → inspect --trace.
+    let jsonl = TempFile::with_content("run.jsonl", "");
+    let out = bin()
+        .args([
+            "trace",
+            net.to_str(),
+            "--format",
+            "jsonl",
+            "--out",
+            jsonl.to_str(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    let out = bin()
+        .args(["inspect", net.to_str(), "--trace", jsonl.to_str()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("gate5"),
+        "{out:?}"
+    );
+    let out = bin()
+        .args([
+            "inspect",
+            net.to_str(),
+            "--trace",
+            jsonl.to_str(),
+            "--why",
+            "g5@1",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("gate 5 fired at 1"),
+        "{out:?}"
+    );
+
+    // A foreign or missing schema header is refused with a clear error.
+    let bad = TempFile::with_content(
+        "bad.jsonl",
+        "{\"schema\":\"someone-elses/9\",\"events\":0,\"dropped\":0}\n",
+    );
+    let out = bin()
+        .args(["inspect", net.to_str(), "--trace", bad.to_str()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("spacetime-obs/1"),
         "{out:?}"
     );
 }
