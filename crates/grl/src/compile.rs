@@ -21,6 +21,32 @@ use st_net::{GateKind, Network};
 
 use crate::netlist::{GrlBuilder, GrlNetlist, WireId};
 
+/// Why a network could not be lowered to CMOS.
+///
+/// `GateKind` is `#[non_exhaustive]`, so a future algebraic gate can
+/// reach the compiler before anyone has written its CMOS mapping; the
+/// error names the offending gate instead of crashing the caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrlCompileError {
+    /// Index of the gate with no CMOS realization.
+    pub gate: usize,
+    /// Debug rendering of the unsupported gate kind.
+    pub kind: String,
+}
+
+impl std::fmt::Display for GrlCompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "gate g{} has no GRL mapping (unsupported kind {}); \
+             the § V.C table covers min/max/lt/inc/const only",
+            self.gate, self.kind
+        )
+    }
+}
+
+impl std::error::Error for GrlCompileError {}
+
 /// Compiles an algebraic network into a gate-level GRL netlist.
 ///
 /// # Examples
@@ -46,8 +72,27 @@ use crate::netlist::{GrlBuilder, GrlNetlist, WireId};
 /// assert_eq!(report.outputs, net.eval(&inputs)?);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
+/// # Panics
+///
+/// Panics if the network contains a gate kind with no CMOS mapping (see
+/// [`try_compile_network`] for the fallible form). Every kind `st-net`
+/// can build today compiles, so in-workspace callers never hit this.
 #[must_use]
 pub fn compile_network(network: &Network) -> GrlNetlist {
+    match try_compile_network(network) {
+        Ok(netlist) => netlist,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible [`compile_network`]: an unsupported gate kind comes back as
+/// a [`GrlCompileError`] naming the gate instead of a panic.
+///
+/// # Errors
+///
+/// [`GrlCompileError`] when a gate has no entry in the § V.C mapping
+/// table.
+pub fn try_compile_network(network: &Network) -> Result<GrlNetlist, GrlCompileError> {
     let mut b = GrlBuilder::new();
     let mut wires: Vec<WireId> = Vec::with_capacity(network.gate_count());
     for (id, kind) in network.iter_gates() {
@@ -65,7 +110,12 @@ pub fn compile_network(network: &Network) -> GrlNetlist {
             GateKind::Inc(c) => b.shift_register(srcs[0], c),
             // GateKind is #[non_exhaustive]; any future algebraic gate
             // needs an explicit CMOS mapping here.
-            other => unimplemented!("no GRL mapping for gate kind {other:?}"),
+            other => {
+                return Err(GrlCompileError {
+                    gate: id.index(),
+                    kind: format!("{other:?}"),
+                })
+            }
         };
         wires.push(wire);
     }
@@ -82,7 +132,7 @@ pub fn compile_network(network: &Network) -> GrlNetlist {
             report.render()
         );
     }
-    netlist
+    Ok(netlist)
 }
 
 #[cfg(test)]
@@ -173,6 +223,24 @@ mod tests {
         let capped = b.min([x, k]).unwrap();
         let net = b.build([gated, capped]);
         assert_cycle_exact(&net, 5);
+    }
+
+    #[test]
+    fn every_buildable_network_compiles_fallibly() {
+        // st-net can only express the § V.C-mapped kinds today, so the
+        // fallible path always succeeds on built networks; the error
+        // type itself renders the gate it names.
+        let mut b = NetworkBuilder::new();
+        let x = b.input();
+        let y = b.inc(x, 2);
+        let net = b.build([y]);
+        assert!(crate::compile::try_compile_network(&net).is_ok());
+        let e = crate::compile::GrlCompileError {
+            gate: 7,
+            kind: "Widget".to_owned(),
+        };
+        assert!(e.to_string().contains("g7"), "{e}");
+        assert!(e.to_string().contains("Widget"), "{e}");
     }
 
     #[test]

@@ -40,9 +40,17 @@ pub fn to_lint_graph(netlist: &GrlNetlist) -> LintGraph {
 /// module docs).
 #[must_use]
 pub fn lint_netlist(netlist: &GrlNetlist) -> Report {
+    lint_netlist_with(netlist, &LintOptions::default())
+}
+
+/// Lints a netlist with caller-supplied options. The minimal-basis check
+/// is forced off regardless (see the module docs); everything else —
+/// window width, the relational tier — flows through.
+#[must_use]
+pub fn lint_netlist_with(netlist: &GrlNetlist, options: &LintOptions) -> Report {
     let options = LintOptions {
         check_basis: false,
-        ..LintOptions::default()
+        ..options.clone()
     };
     lint_graph(&to_lint_graph(netlist), &options)
 }

@@ -122,13 +122,35 @@ pub enum Code {
     /// chain can be fused into a single `inc` with the summed delay
     /// (st-opt).
     FusibleDelayChain,
+    /// STA301: the zone (difference-bound) analysis statically decides an
+    /// `lt` gate — its data input provably precedes (or provably never
+    /// precedes) its inhibitor — so the gate is relationally
+    /// constant-foldable even though the per-gate intervals overlap.
+    DecidedLt,
+    /// STA302: in a recognized τ-WTA structure (Fig. 15), two competing
+    /// lines can tie for the win — the relational analysis cannot bound
+    /// their skew away from zero, so multiple "winners" can spike inside
+    /// each other's inhibition window and sequential implementations
+    /// decide the tie by evaluation order.
+    WtaMargin,
+    /// STA303: an `lt` gate's data and inhibitor edges can arrive in the
+    /// same cycle under some admissible volley. In the GRL lowering
+    /// (§ V) the gate becomes an `LtLatch` whose capture and data edges
+    /// then coincide — a latch race the algebra's strict `≺` hides.
+    GrlRace,
+    /// STA304: a `min`/`max` merge reads operands whose provable skew
+    /// exceeds the § IV coding-window premise, so the merge compares
+    /// events that can never belong to the same wave.
+    UnsyncMerge,
 }
 
 /// All codes, in numbering order. `STA001`–`STA013` are the structural
 /// and shape lints; the `STA1xx` tier carries the semantic verification
 /// findings emitted by `st-verify`; the `STA2xx` tier carries the
-/// optimization-opportunity findings emitted by `st-opt`.
-pub const ALL_CODES: [Code; 20] = [
+/// optimization-opportunity findings emitted by `st-opt`; the `STA3xx`
+/// tier carries the temporal-safety findings of the relational (zone)
+/// analysis, emitted under `spacetime lint --relational`.
+pub const ALL_CODES: [Code; 24] = [
     Code::Cycle,
     Code::Dangling,
     Code::ArityMismatch,
@@ -149,6 +171,10 @@ pub const ALL_CODES: [Code; 20] = [
     Code::ConstantGate,
     Code::SharedSubexpression,
     Code::FusibleDelayChain,
+    Code::DecidedLt,
+    Code::WtaMargin,
+    Code::GrlRace,
+    Code::UnsyncMerge,
 ];
 
 impl Code {
@@ -176,6 +202,10 @@ impl Code {
             Code::ConstantGate => "STA201",
             Code::SharedSubexpression => "STA202",
             Code::FusibleDelayChain => "STA203",
+            Code::DecidedLt => "STA301",
+            Code::WtaMargin => "STA302",
+            Code::GrlRace => "STA303",
+            Code::UnsyncMerge => "STA304",
         }
     }
 
@@ -209,6 +239,10 @@ impl Code {
             Code::ConstantGate => "a gate provably computes a constant and can be folded",
             Code::SharedSubexpression => "identical gates can be shared (hash-consing)",
             Code::FusibleDelayChain => "consecutive incs can be fused into one delay",
+            Code::DecidedLt => "an lt gate's outcome is relationally decided",
+            Code::WtaMargin => "WTA competitors can tie at zero inhibition margin",
+            Code::GrlRace => "lt data and inhibitor edges can race in the GRL latch",
+            Code::UnsyncMerge => "merge operands stay within the coding window (§ IV)",
         }
     }
 
@@ -481,14 +515,17 @@ mod tests {
     fn codes_are_stable_and_round_trip() {
         for (i, code) in ALL_CODES.iter().enumerate() {
             // STA001–013 are the lint tier, the verify tier starts at
-            // STA101, the optimizer tier at STA201. Numbering is
-            // append-only within each tier.
+            // STA101, the optimizer tier at STA201, the temporal-safety
+            // (relational) tier at STA301. Numbering is append-only
+            // within each tier.
             let expected = if i < 13 {
                 format!("STA{:03}", i + 1)
             } else if i < 17 {
                 format!("STA{}", 101 + (i - 13))
-            } else {
+            } else if i < 20 {
                 format!("STA{}", 201 + (i - 17))
+            } else {
+                format!("STA{}", 301 + (i - 20))
             };
             assert_eq!(code.as_str(), expected);
             assert_eq!(Code::parse(code.as_str()), Some(*code));

@@ -80,8 +80,25 @@ impl Interval {
     pub fn within(window: u64) -> Interval {
         Interval {
             lo: Time::ZERO,
-            hi: Time::finite(window.min(Time::MAX_FINITE.value().expect("finite"))),
+            hi: Time::finite(window.min(Time::MAX_FINITE.value().unwrap_or(0))),
             maybe_silent: true,
+        }
+    }
+
+    /// A general abstract value: fires within `[lo, hi]`, or possibly
+    /// never when `maybe_silent`. An empty finite part (an infinite
+    /// bound, or `lo > hi`) collapses to [`Interval::never`]. The zone
+    /// domain uses this to report its refined per-node intervals.
+    #[must_use]
+    pub fn bounded(lo: Time, hi: Time, maybe_silent: bool) -> Interval {
+        if lo.is_infinite() || hi.is_infinite() || lo > hi {
+            Interval::never()
+        } else {
+            Interval {
+                lo,
+                hi,
+                maybe_silent,
+            }
         }
     }
 
@@ -148,7 +165,7 @@ impl Interval {
         if firing.is_empty() {
             return Interval::never();
         }
-        let lo = firing.iter().map(|s| s.lo).min().expect("non-empty");
+        let lo = firing.iter().map(|s| s.lo).min().unwrap_or(Time::INFINITY);
         // Sources that cannot be silent always contribute an event, so
         // the result is no later than the earliest such deadline. If
         // every source may be silent, the worst finite outcome is a lone
@@ -158,7 +175,7 @@ impl Interval {
             .filter(|s| !s.maybe_silent)
             .map(|s| s.hi)
             .min()
-            .unwrap_or_else(|| firing.iter().map(|s| s.hi).max().expect("non-empty"));
+            .unwrap_or_else(|| firing.iter().map(|s| s.hi).max().unwrap_or(Time::INFINITY));
         Interval {
             lo,
             hi,
@@ -174,8 +191,8 @@ impl Interval {
             return Interval::never();
         }
         Interval {
-            lo: sources.iter().map(|s| s.lo).max().expect("non-empty"),
-            hi: sources.iter().map(|s| s.hi).max().expect("non-empty"),
+            lo: sources.iter().map(|s| s.lo).max().unwrap_or(Time::INFINITY),
+            hi: sources.iter().map(|s| s.hi).max().unwrap_or(Time::INFINITY),
             maybe_silent: sources.iter().any(|s| s.maybe_silent),
         }
     }
@@ -191,13 +208,11 @@ impl Interval {
             return Interval::never();
         }
         // When the result fires it is a's event; if b always fires by
-        // b.hi, the data event must land strictly below that.
-        let hi = if b.maybe_silent {
-            a.hi
-        } else {
-            a.hi.min(Time::finite(
-                b.hi.value().expect("b fires, so b.hi is finite") - 1,
-            ))
+        // b.hi, the data event must land strictly below that (`can_fire`
+        // already established a.lo < b.hi, so b.hi ≥ 1 here).
+        let hi = match b.hi.value() {
+            Some(v) if !b.maybe_silent => a.hi.min(Time::finite(v.saturating_sub(1))),
+            _ => a.hi,
         };
         // Can a >= b happen (suppression), or can a itself be silent?
         let maybe_silent = a.maybe_silent || (!b.is_never() && a.hi >= b.lo);
@@ -254,7 +269,8 @@ pub fn topological_order(graph: &LintGraph) -> Vec<usize> {
         }
         let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
         state[root] = 1;
-        while let Some(&(node, next)) = stack.last() {
+        while let Some(top) = stack.last_mut() {
+            let (node, next) = *top;
             let sources = &graph.nodes()[node].sources;
             if next >= sources.len() {
                 state[node] = 2;
@@ -262,7 +278,7 @@ pub fn topological_order(graph: &LintGraph) -> Vec<usize> {
                 stack.pop();
                 continue;
             }
-            stack.last_mut().expect("just peeked").1 += 1;
+            top.1 += 1;
             let s = sources[next];
             if s < n && state[s] == 0 {
                 state[s] = 1;

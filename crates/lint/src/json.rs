@@ -290,7 +290,8 @@ impl<'a> Parser<'a> {
         while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
             self.pos += 1;
         }
-        let digits = core::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        let digits = core::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("bad number at byte {start}: not ascii"))?;
         digits
             .parse()
             .map(Value::Number)

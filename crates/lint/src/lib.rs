@@ -34,6 +34,11 @@
 //! enforces; the `spacetime lint` CLI subcommand runs the passes over
 //! table, netlist, and column files.
 
+// An analysis crate must not crash on the artifacts it analyzes:
+// library code reports through `Report`/`Result`, never by panicking
+// (tests are exempt via clippy.toml).
+#![warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 mod diag;
 mod graph;
 pub mod interval;
@@ -41,12 +46,14 @@ mod json;
 pub mod liveness;
 mod passes;
 mod table;
+pub mod zone;
 
 pub use diag::{Code, Diagnostic, Location, Report, Severity, ALL_CODES};
 pub use graph::{LintGraph, LintNode, LintOp};
 pub use interval::Interval;
 pub use passes::{lint_graph, lint_graph_traced, LintOptions};
 pub use table::lint_table;
+pub use zone::{Zone, MAX_RELATIONAL_NODES};
 
 use st_core::Expr;
 

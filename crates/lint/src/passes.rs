@@ -49,6 +49,11 @@ pub struct LintOptions {
     /// conformance themselves (e.g. via `GateCounts::is_minimal_basis`)
     /// disable this to avoid duplicate findings.
     pub check_basis: bool,
+    /// Whether to run the relational (zone/DBM) temporal-safety tier
+    /// (STA301–STA304). Off by default: the closure is cubic in graph
+    /// size, and the findings are advisory rather than structural. The
+    /// CLI enables it with `spacetime lint --relational`.
+    pub relational: bool,
 }
 
 impl Default for LintOptions {
@@ -56,6 +61,7 @@ impl Default for LintOptions {
         LintOptions {
             max_window: 16,
             check_basis: true,
+            relational: false,
         }
     }
 }
@@ -107,6 +113,10 @@ pub fn lint_graph_traced<T: Tracer>(
     {
         let _span = tracer.span("lint.pass.wta_shape", parent);
         check_wta_shape(graph, &mut report);
+    }
+    if options.relational {
+        let _span = tracer.span("lint.pass.relational", parent);
+        check_relational(graph, &intervals, &reachable, options, &mut report);
     }
     report
 }
@@ -195,14 +205,15 @@ fn check_cycles(graph: &LintGraph, report: &mut Report) {
         // Stack of (node, next-source-index); GRAY nodes form the path.
         let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
         color[root] = GRAY;
-        while let Some(&(node, next)) = stack.last() {
+        while let Some(top) = stack.last_mut() {
+            let (node, next) = *top;
             let sources = &graph.nodes()[node].sources;
             if next >= sources.len() {
                 color[node] = BLACK;
                 stack.pop();
                 continue;
             }
-            stack.last_mut().expect("just peeked").1 += 1;
+            top.1 += 1;
             let s = sources[next];
             if s >= n {
                 continue; // dangling: reported by check_structure
@@ -400,42 +411,78 @@ fn check_basis(graph: &LintGraph, reachable: &[bool], report: &mut Report) {
 // STA009: WTA mutual-exclusion wiring shape (Fig. 15)
 // ---------------------------------------------------------------------------
 
-/// Recognizes the Fig. 15 1-WTA idiom — every output is `lt(xᵢ, d)` with a
-/// shared inhibitor `d = inc(m, τ)` where `m` is a `min` over the
-/// competing lines — and checks it for mutual-exclusion soundness.
-fn check_wta_shape(graph: &LintGraph, report: &mut Report) {
+/// The Fig. 15 1-WTA idiom, as found by [`recognize_wta`]: every output
+/// is `lt(xᵢ, d)` with a shared inhibitor `d = inc(m, τ)` where `m` is
+/// a `min` over the competing lines.
+pub(crate) struct WtaIdiom {
+    /// The competing data lines `xᵢ`, one per output.
+    pub data: Vec<usize>,
+    /// The shared inhibitor gate `d = inc(m, τ)`.
+    pub inhibitor: usize,
+    /// The inhibition window τ.
+    pub tau: u64,
+    /// The first-spike `min` gate `m`.
+    pub min_gate: usize,
+}
+
+/// Recognizes the Fig. 15 1-WTA wiring shape on a structurally clean
+/// graph. The candidate is confirmed only if the min really is a
+/// first-spike detector over the competing lines (k-WTA's sorter
+/// outputs are internal gates, which correctly escapes this
+/// recognizer). Shared by the shape check (STA011) and the relational
+/// margin check (STA302).
+pub(crate) fn recognize_wta(graph: &LintGraph) -> Option<WtaIdiom> {
     let outputs = graph.outputs();
     if outputs.len() < 2 {
-        return;
+        return None;
     }
-    let node = |id: usize| &graph.nodes()[id];
+    let n = graph.len();
     // Every output must be an lt sharing one inhibitor.
-    let mut lines: Vec<usize> = Vec::with_capacity(outputs.len()); // data inputs xᵢ
+    let mut data: Vec<usize> = Vec::with_capacity(outputs.len());
     let mut shared: Option<usize> = None;
     for &o in outputs {
-        let n = node(o);
-        if n.op != LintOp::Lt {
-            return;
+        let node = graph.nodes().get(o)?;
+        if node.op != LintOp::Lt || node.sources.len() != 2 {
+            return None;
         }
         match shared {
-            None => shared = Some(n.sources[1]),
-            Some(d) if d == n.sources[1] => {}
-            Some(_) => return,
+            None => shared = Some(node.sources[1]),
+            Some(d) if d == node.sources[1] => {}
+            Some(_) => return None,
         }
-        lines.push(n.sources[0]);
+        data.push(node.sources[0]);
     }
-    let d = shared.expect("at least two outputs");
-    let LintOp::Inc(tau) = node(d).op else { return };
-    let m = node(d).sources[0];
-    if node(m).op != LintOp::Min {
+    let inhibitor = shared?;
+    let inh = graph.nodes().get(inhibitor)?;
+    let LintOp::Inc(tau) = inh.op else {
+        return None;
+    };
+    let min_gate = *inh.sources.first()?;
+    if min_gate >= n || graph.nodes()[min_gate].op != LintOp::Min {
+        return None;
+    }
+    if !graph.nodes()[min_gate]
+        .sources
+        .iter()
+        .all(|s| data.contains(s))
+    {
+        return None;
+    }
+    Some(WtaIdiom {
+        data,
+        inhibitor,
+        tau,
+        min_gate,
+    })
+}
+
+/// Checks the Fig. 15 1-WTA idiom for mutual-exclusion soundness.
+fn check_wta_shape(graph: &LintGraph, report: &mut Report) {
+    let Some(wta) = recognize_wta(graph) else {
         return;
-    }
-    // Candidate confirmed only if the min really is a first-spike
-    // detector over the competing lines (k-WTA's sorter outputs are
-    // internal gates, which correctly escapes this recognizer).
-    if !node(m).sources.iter().all(|s| lines.contains(s)) {
-        return;
-    }
+    };
+    let (d, tau, m, lines) = (wta.inhibitor, wta.tau, wta.min_gate, &wta.data);
+    let node = |id: usize| &graph.nodes()[id];
     if tau == 0 {
         report.push(
             Diagnostic::new(
@@ -464,6 +511,162 @@ fn check_wta_shape(graph: &LintGraph, report: &mut Report) {
             );
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// STA301–STA304: the relational (zone/DBM) temporal-safety tier
+// ---------------------------------------------------------------------------
+
+/// Runs the zone engine under the § IV window premise (inputs fire
+/// within `max_window` or not at all) and reports what the difference
+/// bounds decide that the interval sweep could not: statically-decided
+/// `lt` gates (STA301), tie-capable WTA competitors (STA302), provable
+/// data/inhibitor races in the GRL latch lowering (STA303), and merges
+/// whose operand skew provably exceeds the coding window (STA304).
+fn check_relational(
+    graph: &LintGraph,
+    intervals: &[Interval],
+    reachable: &[bool],
+    options: &LintOptions,
+    report: &mut Report,
+) {
+    let Some(zone) = crate::zone::Zone::analyze(graph, Interval::within(options.max_window)) else {
+        // Graph beyond MAX_RELATIONAL_NODES: the tier is advisory, so
+        // silently fall back to the interval results.
+        return;
+    };
+    let n = graph.len();
+    for (id, node) in graph.nodes().iter().enumerate() {
+        if !reachable[id] || intervals[id].is_never() {
+            // Unreachable gates and interval-dead gates already have
+            // STA007 / STA006 findings; relational claims add nothing.
+            continue;
+        }
+        match node.op {
+            LintOp::Lt if node.sources.len() == 2 => {
+                let (a, b) = (node.sources[0], node.sources[1]);
+                if a >= n || b >= n {
+                    continue;
+                }
+                if !zone.can_fire(id) {
+                    // The zone refined the gate to *never fires* (e.g. a
+                    // retracted infeasible row) — decided, and invisible
+                    // to the interval domain by the guard above.
+                    report.push(decided_lt(id, false));
+                } else if zone.proves_lt(a, b) {
+                    report.push(decided_lt(id, true));
+                } else if zone.proves_le(b, a) && zone.fires_implies(a, b) {
+                    // Whenever the data edge arrives the inhibitor has
+                    // (provably) already arrived, and the inhibitor
+                    // cannot stay silent while the data side fires.
+                    report.push(decided_lt(id, false));
+                }
+                if zone.can_fire(a)
+                    && zone.can_fire(b)
+                    && zone.proves_le(a, b)
+                    && zone.proves_le(b, a)
+                {
+                    report.push(
+                        Diagnostic::new(
+                            Code::GrlRace,
+                            Severity::Warning,
+                            Location::Gate(id),
+                            format!(
+                                "lt data edge g{a} and inhibitor edge g{b} provably arrive \
+                                 in the same cycle whenever both fire: the GRL LtLatch \
+                                 lowering (§ V) races on simultaneous capture"
+                            ),
+                        )
+                        .with_hint(
+                            "separate the edges by at least one tick (inc the inhibitor) or \
+                             latch the decision explicitly",
+                        ),
+                    );
+                }
+            }
+            LintOp::Min | LintOp::Max if node.sources.len() >= 2 => {
+                let window = i128::from(options.max_window);
+                'pairs: for (i, &s1) in node.sources.iter().enumerate() {
+                    for &s2 in &node.sources[i + 1..] {
+                        if s1 >= n || s2 >= n || !zone.can_fire(s1) || !zone.can_fire(s2) {
+                            continue;
+                        }
+                        for (late, early) in [(s1, s2), (s2, s1)] {
+                            let skew = zone.diff_lo(late, early).unwrap_or(0);
+                            if skew > window {
+                                report.push(
+                                    Diagnostic::new(
+                                        Code::UnsyncMerge,
+                                        Severity::Warning,
+                                        Location::Gate(id),
+                                        format!(
+                                            "{} operands are unsynchronized: g{late} provably \
+                                             arrives ≥ {skew} ticks after g{early}, beyond the \
+                                             {window}-tick coding window the § IV premise \
+                                             allows between merged events",
+                                            node.op.name()
+                                        ),
+                                    )
+                                    .with_hint(
+                                        "re-align the operands (delay the early one) or widen \
+                                         --max-window if the volley really is that long",
+                                    ),
+                                );
+                                break 'pairs; // one finding per gate
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(wta) = recognize_wta(graph) {
+        if wta.tau >= 1 {
+            for (i, &xi) in wta.data.iter().enumerate() {
+                for (j, &xj) in wta.data.iter().enumerate().skip(i + 1) {
+                    if xi == xj || xi >= n || xj >= n {
+                        continue;
+                    }
+                    if zone.can_tie(xi, xj) {
+                        report.push(
+                            Diagnostic::new(
+                                Code::WtaMargin,
+                                Severity::Warning,
+                                Location::Output(j),
+                                format!(
+                                    "competing lines {i} and {j} can tie at zero inhibition \
+                                     margin: with τ={} both outputs fire on a tied volley, so \
+                                     the winner is decided by evaluation order (Fig. 15)",
+                                    wta.tau
+                                ),
+                            )
+                            .with_hint(
+                                "stagger the competing lines, or accept multi-winner ties \
+                                 downstream",
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The STA301 finding for an `lt` gate whose outcome the zone decided.
+fn decided_lt(id: usize, passes: bool) -> Diagnostic {
+    let outcome = if passes {
+        "it always passes its data edge through (t_data < t_inhibitor is provable)"
+    } else {
+        "it can never fire (the inhibitor provably arrives no later than the data edge)"
+    };
+    Diagnostic::new(
+        Code::DecidedLt,
+        Severity::Info,
+        Location::Gate(id),
+        format!("lt gate's outcome is relationally decided: {outcome}"),
+    )
+    .with_hint("spacetime opt's relational fold can remove this gate")
 }
 
 #[cfg(test)]
@@ -735,6 +938,130 @@ mod tests {
         assert_eq!(codes(&report), vec![Code::WtaShape]);
         assert_eq!(report.diagnostics()[0].severity, Severity::Warning);
         assert_eq!(report.diagnostics()[0].location, Location::Output(2));
+    }
+
+    fn relational() -> LintOptions {
+        LintOptions {
+            relational: true,
+            ..LintOptions::default()
+        }
+    }
+
+    /// The race2 idiom: lt over two delay chains with equal total delay.
+    /// The interval domain sees both operands as [2, ∞] and decides
+    /// nothing; the zone proves the operands equal.
+    fn race2() -> LintGraph {
+        let mut g = LintGraph::new(1);
+        let x = g.push(LintOp::Input(0), vec![]);
+        let a = g.push(LintOp::Inc(2), vec![x]);
+        let b1 = g.push(LintOp::Inc(1), vec![x]);
+        let b = g.push(LintOp::Inc(1), vec![b1]);
+        let y = g.push(LintOp::Lt, vec![a, b]);
+        g.set_outputs(vec![y]);
+        g
+    }
+
+    #[test]
+    fn relational_tier_is_off_by_default() {
+        let report = lint_graph(&race2(), &LintOptions::default());
+        assert!(
+            !codes(&report).contains(&Code::DecidedLt),
+            "{}",
+            report.render()
+        );
+        assert!(!codes(&report).contains(&Code::GrlRace));
+    }
+
+    #[test]
+    fn equal_delay_race_is_decided_and_flagged() {
+        let report = lint_graph(&race2(), &relational());
+        let cs = codes(&report);
+        // STA301: the gate can never fire. STA303: the edges provably
+        // coincide, so the GRL latch lowering races.
+        assert!(cs.contains(&Code::DecidedLt), "{}", report.render());
+        assert!(cs.contains(&Code::GrlRace), "{}", report.render());
+        // And the interval tier alone says nothing about the gate.
+        assert!(!cs.contains(&Code::DeadGate));
+    }
+
+    #[test]
+    fn provably_ordered_lt_passes_through() {
+        // lt(x, x + 3): the data edge always precedes the inhibitor.
+        let mut g = LintGraph::new(1);
+        let x = g.push(LintOp::Input(0), vec![]);
+        let d = g.push(LintOp::Inc(3), vec![x]);
+        let y = g.push(LintOp::Lt, vec![x, d]);
+        g.set_outputs(vec![y]);
+        let report = lint_graph(&g, &relational());
+        let decided: Vec<_> = report.with_code(Code::DecidedLt).collect();
+        assert_eq!(decided.len(), 1, "{}", report.render());
+        assert!(decided[0].message.contains("passes its data edge"));
+        // Strictly ordered edges cannot race.
+        assert!(!codes(&report).contains(&Code::GrlRace));
+    }
+
+    #[test]
+    fn undecidable_lt_stays_silent() {
+        // fig6's lt depends on genuinely free inputs: no decision, no
+        // race claim.
+        let report = lint_graph(&fig6(), &relational());
+        assert!(report.diagnostics().is_empty(), "{}", report.render());
+    }
+
+    #[test]
+    fn wta_ties_earn_margin_warnings() {
+        let report = lint_graph(&wta(3, 1), &relational());
+        let margins: Vec<_> = report.with_code(Code::WtaMargin).collect();
+        // Three competing raw lines: every pair can tie.
+        assert_eq!(margins.len(), 3, "{}", report.render());
+        assert_eq!(margins[0].severity, Severity::Warning);
+        assert!(margins[0].message.contains("evaluation order"));
+    }
+
+    #[test]
+    fn staggered_wta_lines_cannot_tie() {
+        // Each line is delayed by a distinct amount before competing, so
+        // the zone proves every pair strictly ordered... except that a
+        // shared delay keeps them tied. Use distinct delays: clean.
+        let mut g = LintGraph::new(1);
+        let x = g.push(LintOp::Input(0), vec![]);
+        let a = g.push(LintOp::Inc(1), vec![x]);
+        let b = g.push(LintOp::Inc(3), vec![x]);
+        let m = g.push(LintOp::Min, vec![a, b]);
+        let d = g.push(LintOp::Inc(1), vec![m]);
+        let o1 = g.push(LintOp::Lt, vec![a, d]);
+        let o2 = g.push(LintOp::Lt, vec![b, d]);
+        g.set_outputs(vec![o1, o2]);
+        let report = lint_graph(&g, &relational());
+        assert!(
+            !codes(&report).contains(&Code::WtaMargin),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn skewed_merge_beyond_the_window_is_flagged() {
+        // min(x, x + 20) under the default 16-tick window premise: the
+        // delayed copy provably lands outside any volley containing the
+        // direct one.
+        let mut g = LintGraph::new(1);
+        let x = g.push(LintOp::Input(0), vec![]);
+        let d = g.push(LintOp::Inc(20), vec![x]);
+        let m = g.push(LintOp::Min, vec![x, d]);
+        g.set_outputs(vec![m]);
+        let report = lint_graph(&g, &relational());
+        let merges: Vec<_> = report.with_code(Code::UnsyncMerge).collect();
+        assert_eq!(merges.len(), 1, "{}", report.render());
+        assert_eq!(merges[0].location, Location::Gate(m));
+        // Within the window: clean.
+        let mut g = LintGraph::new(1);
+        let x = g.push(LintOp::Input(0), vec![]);
+        let d = g.push(LintOp::Inc(16), vec![x]);
+        let m = g.push(LintOp::Min, vec![x, d]);
+        g.set_outputs(vec![m]);
+        let report = lint_graph(&g, &relational());
+        assert!(!codes(&report).contains(&Code::UnsyncMerge));
     }
 
     #[test]

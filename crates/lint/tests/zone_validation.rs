@@ -1,0 +1,305 @@
+//! Exhaustive and property-based validation of the zone (DBM) domain.
+//!
+//! The relational tier is only sound if every zone transfer function
+//! over-approximates the concrete [`Time`] operator it abstracts — so,
+//! like the lane-encoding suite, these tests enumerate rather than
+//! sample where enumeration is feasible: all 257 × 257 input pairs
+//! (`0..=255` plus `∞`) through each binary transfer with *exact*
+//! inputs, and the same grid of concrete volleys against one shared
+//! zone for a graph that exercises every relational rule at once.
+//! Property tests then cover what enumeration cannot: random DAG
+//! shapes, volleys at the `MAX_FINITE` boundary, closure idempotence,
+//! and the refinement ordering against the interval engine.
+
+use proptest::prelude::*;
+use st_core::{Expr, Time};
+use st_lint::interval;
+use st_lint::{Interval, LintGraph, LintOp, Zone};
+
+/// Every concrete time in the exhaustive grid: `0..=255` and `∞`.
+fn grid_times() -> impl Iterator<Item = Time> {
+    (0..=255u64).map(Time::finite).chain([Time::INFINITY])
+}
+
+/// Ground truth: run the graph on one concrete volley with the real
+/// `Time` operators (malformed sources read as `∞`, matching the
+/// abstract engines' tolerance).
+fn concrete_eval(g: &LintGraph, inputs: &[Time]) -> Vec<Time> {
+    let mut out = vec![Time::INFINITY; g.len()];
+    for id in interval::topological_order(g) {
+        let node = &g.nodes()[id];
+        let src = |i: usize| {
+            node.sources
+                .get(i)
+                .and_then(|&s| out.get(s))
+                .copied()
+                .unwrap_or(Time::INFINITY)
+        };
+        out[id] = match node.op {
+            LintOp::Input(line) => inputs.get(line).copied().unwrap_or(Time::INFINITY),
+            LintOp::Const(t) => t,
+            LintOp::Min => Time::min_of(node.sources.iter().map(|&s| out[s])),
+            LintOp::Max => Time::max_of(node.sources.iter().map(|&s| out[s])),
+            LintOp::Lt => src(0).lt_gate(src(1)),
+            LintOp::Inc(d) => src(0).inc(d),
+        };
+    }
+    out
+}
+
+/// Checks every claim a zone makes against one concrete execution:
+/// interval membership, firing/silence consistency, difference bounds,
+/// firing implications, and the derived order predicates.
+fn assert_sound(zone: &Zone, times: &[Time], context: &str) {
+    for (i, &t) in times.iter().enumerate() {
+        assert!(
+            zone.interval(i).contains(t),
+            "{context}: node {i} fired at {t} outside {:?}",
+            zone.interval(i)
+        );
+        if t.is_finite() {
+            assert!(
+                zone.can_fire(i),
+                "{context}: node {i} fired but zone says never"
+            );
+        } else {
+            assert!(
+                zone.maybe_silent(i),
+                "{context}: node {i} silent but zone says fires"
+            );
+        }
+    }
+    for (a, &ta) in times.iter().enumerate() {
+        for (b, &tb) in times.iter().enumerate() {
+            if let (Some(va), Some(vb)) = (ta.value(), tb.value()) {
+                let d = i128::from(va) - i128::from(vb);
+                if let Some(hi) = zone.diff_hi(a, b) {
+                    assert!(d <= hi, "{context}: t{a} − t{b} = {d} > proved bound {hi}");
+                }
+                if let Some(lo) = zone.diff_lo(a, b) {
+                    assert!(d >= lo, "{context}: t{a} − t{b} = {d} < proved bound {lo}");
+                }
+                if zone.proves_lt(a, b) {
+                    assert!(va < vb, "{context}: proves_lt({a},{b}) but {va} ≥ {vb}");
+                }
+                if zone.proves_le(a, b) {
+                    assert!(va <= vb, "{context}: proves_le({a},{b}) but {va} > {vb}");
+                }
+                if !zone.can_tie(a, b) && a != b {
+                    assert_ne!(
+                        va, vb,
+                        "{context}: nodes {a},{b} tied but zone rules ties out"
+                    );
+                }
+            }
+            if zone.fires_implies(a, b) && ta.is_finite() {
+                assert!(
+                    tb.is_finite(),
+                    "{context}: fires({a}) ⇒ fires({b}) violated"
+                );
+            }
+        }
+    }
+}
+
+/// A two-input graph touching every relational transfer rule: delay
+/// chains, a min merge, a max merge, an interval-undecidable lt, and a
+/// zone-decided lt.
+fn relational_graph() -> LintGraph {
+    let mut g = LintGraph::new(2);
+    let x0 = g.push(LintOp::Input(0), vec![]);
+    let x1 = g.push(LintOp::Input(1), vec![]);
+    let d0 = g.push(LintOp::Inc(2), vec![x0]);
+    let d1 = g.push(LintOp::Inc(1), vec![x1]);
+    let merge = g.push(LintOp::Min, vec![d0, d1]);
+    let late = g.push(LintOp::Max, vec![x0, x1]);
+    let undecided = g.push(LintOp::Lt, vec![merge, late]);
+    let decided = g.push(LintOp::Lt, vec![x0, d0]);
+    g.set_outputs(vec![undecided, decided]);
+    g
+}
+
+#[test]
+fn binary_transfers_are_exact_on_every_input_pair() {
+    // With exact inputs the abstract min/max/lt must reproduce the
+    // concrete operator bit for bit — any slack here would compound
+    // through deeper graphs.
+    for op in [LintOp::Min, LintOp::Max, LintOp::Lt] {
+        for a in grid_times() {
+            for b in grid_times() {
+                let mut g = LintGraph::new(2);
+                let x0 = g.push(LintOp::Input(0), vec![]);
+                let x1 = g.push(LintOp::Input(1), vec![]);
+                let r = g.push(op, vec![x0, x1]);
+                g.set_outputs(vec![r]);
+                let zone =
+                    Zone::analyze_with(&g, &|line| Interval::exact(if line == 0 { a } else { b }))
+                        .expect("tiny graph fits the relational budget");
+                let concrete = concrete_eval(&g, &[a, b]);
+                assert_sound(&zone, &concrete, &format!("{} {a} {b}", op.name()));
+                let iv = zone.interval(r);
+                match concrete[r].value() {
+                    Some(_) => assert_eq!(
+                        iv.as_exact(),
+                        Some(concrete[r]),
+                        "{} {a} {b}: expected exact {}, got {iv:?}",
+                        op.name(),
+                        concrete[r]
+                    ),
+                    None => assert!(
+                        iv.is_never(),
+                        "{} {a} {b}: expected provable silence, got {iv:?}",
+                        op.name()
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn inc_transfer_is_exact_for_every_time_and_delta() {
+    for delta in [0u64, 1, 3, 16, 255, 1 << 40] {
+        for a in grid_times() {
+            let mut g = LintGraph::new(1);
+            let x0 = g.push(LintOp::Input(0), vec![]);
+            let r = g.push(LintOp::Inc(delta), vec![x0]);
+            g.set_outputs(vec![r]);
+            let zone = Zone::analyze_with(&g, &|_| Interval::exact(a))
+                .expect("tiny graph fits the relational budget");
+            let concrete = concrete_eval(&g, &[a]);
+            assert_sound(&zone, &concrete, &format!("inc {delta} {a}"));
+            match concrete[r].value() {
+                Some(_) => assert_eq!(zone.interval(r).as_exact(), Some(concrete[r])),
+                None => assert!(zone.interval(r).is_never()),
+            }
+        }
+    }
+}
+
+#[test]
+fn one_zone_is_sound_for_every_volley_on_the_grid() {
+    // One analysis under the free-ish input model `[0, 255] ∪ silent`,
+    // checked against all 257 × 257 concrete volleys it abstracts —
+    // the relational claims (difference bounds, implications, decided
+    // lt gates) must hold on every single one.
+    let g = relational_graph();
+    let zone = Zone::analyze(&g, Interval::within(255)).expect("graph fits the budget");
+
+    // The two statically-decided facts the sweep must never contradict:
+    // x0 < x0 + 2 always passes through, and the merge stays undecided.
+    assert!(zone.proves_lt(0, 2), "x0 < x0 + 2 must be provable");
+    assert!(zone.can_fire(7), "the decided lt passes its data edge");
+    for a in grid_times() {
+        for b in grid_times() {
+            let concrete = concrete_eval(&g, &[a, b]);
+            assert_sound(&zone, &concrete, &format!("volley ({a}, {b})"));
+        }
+    }
+}
+
+#[test]
+fn zone_intervals_refine_interval_engine_results_on_the_grid_graph() {
+    let g = relational_graph();
+    for input in [
+        Interval::within(16),
+        Interval::within(255),
+        Interval::free(),
+    ] {
+        let zone = Zone::analyze(&g, input).expect("graph fits the budget");
+        let base = interval::analyze(&g, input);
+        for (i, iv) in base.iter().enumerate() {
+            let z = zone.interval(i);
+            assert!(
+                z.lo() >= iv.lo(),
+                "node {i}: zone lo {} < interval lo {}",
+                z.lo(),
+                iv.lo()
+            );
+            assert!(
+                z.hi() <= iv.hi(),
+                "node {i}: zone hi {} > interval hi {}",
+                z.hi(),
+                iv.hi()
+            );
+            assert!(
+                iv.maybe_silent() || !z.maybe_silent(),
+                "node {i}: interval proves firing but the zone forgot it"
+            );
+        }
+    }
+}
+
+/// Random expression DAGs over two inputs, lowered through the same
+/// path the production frontends use.
+fn arb_graph() -> impl Strategy<Value = LintGraph> {
+    let leaf = prop_oneof![
+        6 => (0usize..2).prop_map(Expr::input),
+        1 => Just(Expr::constant(Time::INFINITY)),
+        1 => (0u64..4).prop_map(|c| Expr::constant(Time::finite(c))),
+    ]
+    .boxed();
+    let expr = leaf.prop_recursive(4, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.min(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.max(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.lt(b)),
+            (inner, 0u64..4).prop_map(|(a, c)| a.inc(c)),
+        ]
+    });
+    proptest::collection::vec(expr, 1..3).prop_map(|es| LintGraph::from_exprs(&es, 2))
+}
+
+/// Concrete volley times including the domain edges the grid omits:
+/// the very top of the finite range, where `inc` saturates.
+fn boundary_time() -> impl Strategy<Value = Time> {
+    prop_oneof![
+        4 => (0u64..20).prop_map(Time::finite),
+        1 => (0u64..4).prop_map(|d| {
+            Time::finite(Time::MAX_FINITE.value().unwrap_or(0).saturating_sub(d))
+        }),
+        1 => Just(Time::INFINITY),
+    ]
+}
+
+proptest! {
+    /// Soundness on random DAGs under the free input model, with
+    /// volleys that reach the `MAX_FINITE` saturation boundary.
+    #[test]
+    fn zones_are_sound_on_random_graphs(
+        g in arb_graph(),
+        t0 in boundary_time(),
+        t1 in boundary_time(),
+    ) {
+        let zone = Zone::analyze(&g, Interval::free()).expect("small graphs fit the budget");
+        let concrete = concrete_eval(&g, &[t0, t1]);
+        assert_sound(&zone, &concrete, &format!("volley ({t0}, {t1})"));
+    }
+
+    /// The incremental closure maintained during analysis is already a
+    /// fixpoint: one more full Floyd–Warshall sweep changes nothing.
+    #[test]
+    fn closure_is_idempotent(g in arb_graph()) {
+        let zone = Zone::analyze(&g, Interval::within(16)).expect("fits the budget");
+        let mut reclosed = zone.clone();
+        reclosed.close();
+        prop_assert_eq!(zone, reclosed);
+    }
+
+    /// Refinement on random DAGs: every zone interval is contained in
+    /// the corresponding interval-engine result, and the zone never
+    /// loses a firing proof the simpler domain found.
+    #[test]
+    fn zones_refine_intervals_on_random_graphs(g in arb_graph()) {
+        for input in [Interval::within(16), Interval::free()] {
+            let zone = Zone::analyze(&g, input).expect("fits the budget");
+            let base = interval::analyze(&g, input);
+            for (i, iv) in base.iter().enumerate() {
+                let z = zone.interval(i);
+                prop_assert!(z.lo() >= iv.lo(), "node {}: {:?} ⊄ {:?}", i, z, iv);
+                prop_assert!(z.hi() <= iv.hi(), "node {}: {:?} ⊄ {:?}", i, z, iv);
+                prop_assert!(iv.maybe_silent() || !z.maybe_silent(), "node {}", i);
+            }
+        }
+    }
+}

@@ -25,6 +25,11 @@
 //! wrappers over [`optimize_artifact`]; `docs/opt.md` is the user-level
 //! tour.
 
+// An analysis crate must not crash on the artifacts it analyzes:
+// library code reports through `Report`/`Result`, never by panicking
+// (tests are exempt via clippy.toml).
+#![warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 pub mod analyze;
 pub mod dataflow;
 pub mod graphopt;

@@ -44,6 +44,9 @@ const SAMPLE_VOLLEYS: usize = 4096;
 pub enum Pass {
     /// Interval-driven constant folding (`constant_fold`).
     ConstantFold,
+    /// Zone-domain relational folding (`relational_fold`): rewrites
+    /// decided by difference-bound facts over *pairs* of spike times.
+    RelationalFold,
     /// Delay-chain fusion (`fuse_delay_chains`).
     FuseDelayChains,
     /// Hash-consed common-subexpression sharing
@@ -57,8 +60,9 @@ pub enum Pass {
 
 /// Every pass, in the order the default network pipeline runs them
 /// (minimization last; it only applies to tables).
-pub const ALL_PASSES: [Pass; 5] = [
+pub const ALL_PASSES: [Pass; 6] = [
     Pass::ConstantFold,
+    Pass::RelationalFold,
     Pass::FuseDelayChains,
     Pass::ShareSubexpressions,
     Pass::EliminateDead,
@@ -71,6 +75,7 @@ impl Pass {
     pub fn name(self) -> &'static str {
         match self {
             Pass::ConstantFold => "constant_fold",
+            Pass::RelationalFold => "relational_fold",
             Pass::FuseDelayChains => "fuse_delay_chains",
             Pass::ShareSubexpressions => "share_subexpressions",
             Pass::EliminateDead => "eliminate_dead",
@@ -88,6 +93,7 @@ impl Pass {
     fn nanos_metric(self) -> &'static str {
         match self {
             Pass::ConstantFold => "opt.pass.constant_fold.nanos",
+            Pass::RelationalFold => "opt.pass.relational_fold.nanos",
             Pass::FuseDelayChains => "opt.pass.fuse_delay_chains.nanos",
             Pass::ShareSubexpressions => "opt.pass.share_subexpressions.nanos",
             Pass::EliminateDead => "opt.pass.eliminate_dead.nanos",
@@ -99,6 +105,7 @@ impl Pass {
     fn span_name(self) -> &'static str {
         match self {
             Pass::ConstantFold => "opt.pass.constant_fold",
+            Pass::RelationalFold => "opt.pass.relational_fold",
             Pass::FuseDelayChains => "opt.pass.fuse_delay_chains",
             Pass::ShareSubexpressions => "opt.pass.share_subexpressions",
             Pass::EliminateDead => "opt.pass.eliminate_dead",
@@ -375,6 +382,7 @@ pub fn optimize_network_traced<T: Tracer>(
     let window = options.window.unwrap_or(DEFAULT_WINDOW);
     let default = vec![
         Pass::ConstantFold,
+        Pass::RelationalFold,
         Pass::FuseDelayChains,
         Pass::ShareSubexpressions,
         Pass::EliminateDead,
@@ -392,6 +400,7 @@ pub fn optimize_network_traced<T: Tracer>(
         let before = current.gate_count();
         let candidate = match pass {
             Pass::ConstantFold => passes::constant_fold(&current),
+            Pass::RelationalFold => passes::relational_fold(&current),
             Pass::FuseDelayChains => passes::fuse_delay_chains(&current),
             Pass::ShareSubexpressions => passes::share_subexpressions(&current),
             Pass::EliminateDead => passes::eliminate_dead(&current),
@@ -691,7 +700,7 @@ mod tests {
         let counters: std::collections::HashMap<_, _> = registry.counters().collect();
         assert_eq!(counters["opt.gates_before"], outcome.before as u64);
         assert_eq!(counters["opt.gates_after"], outcome.after as u64);
-        assert_eq!(counters["opt.passes_run"], 4);
+        assert_eq!(counters["opt.passes_run"], 5);
         assert_eq!(counters["opt.passes_rejected"], 0);
         assert!(
             registry

@@ -15,6 +15,7 @@
 use std::collections::HashMap;
 
 use st_core::{FunctionTable, Time};
+use st_lint::{Interval, Zone};
 use st_net::{GateId, GateKind, Network, NetworkBuilder};
 
 use crate::dataflow::{solve, IntervalDomain, LivenessDomain, ValueNumberDomain};
@@ -60,6 +61,26 @@ impl Rebuild {
         g
     }
 
+    /// Builds a `min` over `srcs`. Every caller passes a nonempty
+    /// fan-in; should that invariant ever break, the gate degrades to
+    /// min's identity `∞` — a candidate the manager's verify gate would
+    /// reject rather than ship.
+    fn min(&mut self, srcs: Vec<GateId>) -> GateId {
+        match self.b.min(srcs) {
+            Ok(g) => g,
+            Err(_) => self.intern_const(Time::INFINITY),
+        }
+    }
+
+    /// Builds a `max` over `srcs`; see [`Rebuild::min`] for the empty
+    /// fan-in posture.
+    fn max(&mut self, srcs: Vec<GateId>) -> GateId {
+        match self.b.max(srcs) {
+            Ok(g) => g,
+            Err(_) => self.intern_const(Time::INFINITY),
+        }
+    }
+
     fn finish(self, network: &Network) -> Network {
         let rewrite = &self.rewrite;
         self.b
@@ -80,6 +101,9 @@ pub fn constant_fold(network: &Network) -> Network {
     let mut r = Rebuild::new(network);
     for (id, kind) in network.iter_gates() {
         let iv = &intervals[id.index()];
+        let Ok(srcs) = network.sources(id) else {
+            continue; // unreachable: `id` came from `iter_gates`
+        };
         let new = if let GateKind::Input(n) = kind {
             r.inputs[n]
         } else if iv.is_never() {
@@ -87,7 +111,6 @@ pub fn constant_fold(network: &Network) -> Network {
         } else if let Some(t) = iv.as_exact() {
             r.intern_const(t)
         } else {
-            let srcs = network.sources(id).expect("id from iter_gates");
             match kind {
                 GateKind::Const(t) => r.intern_const(t),
                 GateKind::Min => {
@@ -98,11 +121,11 @@ pub fn constant_fold(network: &Network) -> Network {
                         .collect();
                     // All-never sources would make the gate itself
                     // never, so `kept` is nonempty here.
-                    r.b.min(kept).expect("nonempty fan-in")
+                    r.min(kept)
                 }
                 GateKind::Max => {
                     let mapped: Vec<GateId> = srcs.iter().map(|&s| r.src(s)).collect();
-                    r.b.max(mapped).expect("nonempty fan-in")
+                    r.max(mapped)
                 }
                 GateKind::Lt => {
                     if intervals[srcs[1].index()].is_never() {
@@ -110,6 +133,116 @@ pub fn constant_fold(network: &Network) -> Network {
                     } else {
                         let (a, b) = (r.src(srcs[0]), r.src(srcs[1]));
                         r.b.lt(a, b)
+                    }
+                }
+                GateKind::Inc(d) => {
+                    let s = r.src(srcs[0]);
+                    r.b.inc(s, d)
+                }
+                other => unreachable!("unsupported gate kind {other:?}"),
+            }
+        };
+        r.map(id, new);
+    }
+    r.finish(network)
+}
+
+/// Relational constant folding over the [`Zone`] difference-bound
+/// domain: facts about *pairs* of spike times that no per-gate interval
+/// can express. Under free inputs (sound for every volley) the zone
+/// proves three rewrite families:
+///
+/// * `lt(a, b)` where `a ≺ b` whenever both fire — the gate passes its
+///   data edge through unconditionally (a silent inhibitor passes too).
+/// * `lt(a, b)` where `a` firing forces `b` to fire no later — the gate
+///   is statically decided `∞`.
+/// * a `min`/`max` source another source provably dominates on every
+///   volley contributes nothing and is dropped (for `min`, `r ≤ s` with
+///   `s` firing implying `r` fires; for `max`, the mirror image). A
+///   mutually-dominating (provably equal) group keeps its first member.
+///
+/// Every candidate this pass proposes is still gated behind
+/// `st_verify::check_equiv` by the pass manager, like any other pass.
+///
+/// One fold can unlock another — interning two `∞` constants makes a
+/// gate's operands *the same node*, which is a relational fact — so the
+/// pass iterates its single step to a fixpoint (each step only ever
+/// removes gates, so it converges), which also makes it idempotent.
+#[must_use]
+pub fn relational_fold(network: &Network) -> Network {
+    let mut current = network.clone();
+    let mut current_text = st_net::network_to_text(&current);
+    loop {
+        let next = relational_fold_step(&current);
+        let next_text = st_net::network_to_text(&next);
+        if next_text == current_text {
+            return current;
+        }
+        current = next;
+        current_text = next_text;
+    }
+}
+
+fn relational_fold_step(network: &Network) -> Network {
+    let graph = st_net::lint::to_lint_graph(network);
+    // Oversized or degenerate graphs decline relational analysis; the
+    // pass proposes nothing and the manager records "no change".
+    let Some(zone) = Zone::analyze(&graph, Interval::free()) else {
+        return network.clone();
+    };
+    // `s` contributes nothing to a min (resp. max) when some other
+    // source `r` dominates it; ties keep the earliest operand.
+    let dominated = |idxs: &[usize], i: usize, max_gate: bool| {
+        idxs.iter().enumerate().any(|(j, &rj)| {
+            let si = idxs[i];
+            let dominates = |winner: usize, loser: usize| {
+                if max_gate {
+                    // max drops `loser` when its silence forces the
+                    // winner silent and it never fires later.
+                    zone.fires_implies(winner, loser) && zone.proves_le(loser, winner)
+                } else {
+                    zone.fires_implies(loser, winner) && zone.proves_le(winner, loser)
+                }
+            };
+            j != i && dominates(rj, si) && (!dominates(si, rj) || j < i)
+        })
+    };
+    let mut r = Rebuild::new(network);
+    for (id, kind) in network.iter_gates() {
+        let Ok(srcs) = network.sources(id) else {
+            continue; // unreachable: `id` came from `iter_gates`
+        };
+        let new = if let GateKind::Input(n) = kind {
+            r.inputs[n]
+        } else {
+            let idxs: Vec<usize> = srcs.iter().map(|s| s.index()).collect();
+            match kind {
+                GateKind::Const(t) => r.intern_const(t),
+                GateKind::Lt => {
+                    let (a, b) = (idxs[0], idxs[1]);
+                    if zone.proves_lt(a, b) {
+                        // The data edge always wins (a silent inhibitor
+                        // passes it through as well).
+                        r.src(srcs[0])
+                    } else if zone.fires_implies(a, b) && zone.proves_le(b, a) {
+                        // Whenever the data edge fires, the inhibitor
+                        // has already arrived: statically decided ∞.
+                        r.intern_const(Time::INFINITY)
+                    } else {
+                        let (a, b) = (r.src(srcs[0]), r.src(srcs[1]));
+                        r.b.lt(a, b)
+                    }
+                }
+                GateKind::Min | GateKind::Max => {
+                    let max_gate = kind == GateKind::Max;
+                    let kept: Vec<GateId> = (0..idxs.len())
+                        .filter(|&i| !dominated(&idxs, i, max_gate))
+                        .map(|i| r.src(srcs[i]))
+                        .collect();
+                    match (kept.len(), max_gate) {
+                        (1, _) => kept[0],
+                        (_, false) => r.min(kept),
+                        (_, true) => r.max(kept),
                     }
                 }
                 GateKind::Inc(d) => {
@@ -140,12 +273,14 @@ pub fn eliminate_dead(network: &Network) -> Network {
         if !live[id.index()] {
             continue;
         }
-        let srcs = network.sources(id).expect("id from iter_gates");
+        let Ok(srcs) = network.sources(id) else {
+            continue; // unreachable: `id` came from `iter_gates`
+        };
         let mapped: Vec<GateId> = srcs.iter().map(|&s| r.src(s)).collect();
         let new = match kind {
             GateKind::Const(t) => r.b.constant(t),
-            GateKind::Min => r.b.min(mapped).expect("nonempty fan-in"),
-            GateKind::Max => r.b.max(mapped).expect("nonempty fan-in"),
+            GateKind::Min => r.min(mapped),
+            GateKind::Max => r.max(mapped),
             GateKind::Lt => r.b.lt(mapped[0], mapped[1]),
             GateKind::Inc(d) => r.b.inc(mapped[0], d),
             other => unreachable!("unsupported gate kind {other:?}"),
@@ -172,12 +307,14 @@ pub fn share_subexpressions(network: &Network) -> Network {
             let made = if let GateKind::Input(n) = kind {
                 r.inputs[n]
             } else {
-                let srcs = network.sources(id).expect("id from iter_gates");
+                let Ok(srcs) = network.sources(id) else {
+                    continue; // unreachable: `id` came from `iter_gates`
+                };
                 let mapped: Vec<GateId> = srcs.iter().map(|&s| r.src(s)).collect();
                 match kind {
                     GateKind::Const(t) => r.b.constant(t),
-                    GateKind::Min => r.b.min(mapped).expect("nonempty fan-in"),
-                    GateKind::Max => r.b.max(mapped).expect("nonempty fan-in"),
+                    GateKind::Min => r.min(mapped),
+                    GateKind::Max => r.max(mapped),
                     GateKind::Lt => r.b.lt(mapped[0], mapped[1]),
                     GateKind::Inc(d) => r.b.inc(mapped[0], d),
                     other => unreachable!("unsupported gate kind {other:?}"),
@@ -207,7 +344,10 @@ pub fn fuse_delay_chains(network: &Network) -> Network {
             GateKind::Input(n) => r.inputs[n],
             GateKind::Const(t) => r.b.constant(t),
             GateKind::Inc(d) => {
-                let s = network.sources(id).expect("id from iter_gates")[0];
+                let Ok(srcs) = network.sources(id) else {
+                    continue; // unreachable: `id` came from `iter_gates`
+                };
+                let s = srcs[0];
                 let (root, total) = resolved
                     .get(&s.index())
                     .map_or((s, d), |&(root, upstream)| {
@@ -222,11 +362,13 @@ pub fn fuse_delay_chains(network: &Network) -> Network {
                 }
             }
             _ => {
-                let srcs = network.sources(id).expect("id from iter_gates");
+                let Ok(srcs) = network.sources(id) else {
+                    continue; // unreachable: `id` came from `iter_gates`
+                };
                 let mapped: Vec<GateId> = srcs.iter().map(|&s| r.src(s)).collect();
                 match kind {
-                    GateKind::Min => r.b.min(mapped).expect("nonempty fan-in"),
-                    GateKind::Max => r.b.max(mapped).expect("nonempty fan-in"),
+                    GateKind::Min => r.min(mapped),
+                    GateKind::Max => r.max(mapped),
                     GateKind::Lt => r.b.lt(mapped[0], mapped[1]),
                     other => unreachable!("unsupported gate kind {other:?}"),
                 }
@@ -351,6 +493,82 @@ mod tests {
         // Both outputs collapse to the input wire: only the pre-created
         // inputs and the interned ∞ survive as gates.
         assert!(folded.gate_count() <= 3, "got {}", folded.gate_count());
+    }
+
+    #[test]
+    fn relational_fold_decides_equal_delay_races() {
+        // lt(x+2, (x+1)+1): operands provably equal, the data edge can
+        // never strictly win — the interval domain sees [2, ∞] vs
+        // [2, ∞] and proposes nothing.
+        let mut b = NetworkBuilder::new();
+        let x = b.input();
+        let a = b.inc(x, 2);
+        let b1 = b.inc(x, 1);
+        let b2 = b.inc(b1, 1);
+        let l = b.lt(a, b2);
+        let network = b.build([l]);
+        assert_eq!(constant_fold(&network).gate_count(), network.gate_count());
+        let folded = eliminate_dead(&relational_fold(&network));
+        assert_equiv(&network, &folded, 5);
+        // Only the input and the interned ∞ survive.
+        assert_eq!(folded.gate_count(), 2, "{folded:?}");
+    }
+
+    #[test]
+    fn relational_fold_passes_ordered_lt_through() {
+        // lt(x, x+3): the data edge always precedes its inhibitor.
+        let mut b = NetworkBuilder::new();
+        let x = b.input();
+        let d = b.inc(x, 3);
+        let l = b.lt(x, d);
+        let network = b.build([l]);
+        let folded = eliminate_dead(&relational_fold(&network));
+        assert_equiv(&network, &folded, 6);
+        assert_eq!(folded.gate_count(), 1, "just the input wire");
+    }
+
+    #[test]
+    fn relational_fold_drops_dominated_merge_sources() {
+        // min(x, x+1, x+2): the delayed copies never realize the min.
+        // max(x, x+1): the undelayed copy never realizes the max.
+        let mut b = NetworkBuilder::new();
+        let x = b.input();
+        let d1 = b.inc(x, 1);
+        let d2 = b.inc(x, 2);
+        let m = b.min([x, d1, d2]).unwrap();
+        let mx = b.max2(x, d1);
+        let network = b.build([m, mx]);
+        let folded = eliminate_dead(&relational_fold(&network));
+        assert_equiv(&network, &folded, 5);
+        // min collapses to the bare input; max collapses to d1.
+        assert_eq!(folded.gate_count(), 2, "{folded:?}");
+    }
+
+    #[test]
+    fn relational_fold_keeps_one_member_of_an_equal_group() {
+        // min(x+1, x+1) duplicated through distinct gates: mutual
+        // domination keeps exactly the first operand.
+        let mut b = NetworkBuilder::new();
+        let x = b.input();
+        let d1 = b.inc(x, 1);
+        let d2 = b.inc(x, 1);
+        let m = b.min2(d1, d2);
+        let network = b.build([m]);
+        let folded = eliminate_dead(&relational_fold(&network));
+        assert_equiv(&network, &folded, 4);
+        assert_eq!(folded.gate_count(), 2, "input + one inc");
+    }
+
+    #[test]
+    fn relational_fold_leaves_window_bounded_skew_alone() {
+        // min(x, y): genuinely free inputs, nothing provable.
+        let mut b = NetworkBuilder::new();
+        let ins = b.inputs(2);
+        let m = b.min2(ins[0], ins[1]);
+        let network = b.build([m]);
+        let folded = relational_fold(&network);
+        assert_eq!(folded.gate_count(), network.gate_count());
+        assert_equiv(&network, &folded, 4);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! [`st_net::lint::lint_network`], so gate-level findings (WTA shape,
 //! saturation, …) surface here too.
 
-use st_lint::{Code, Diagnostic, Location, Report, Severity};
+use st_lint::{Code, Diagnostic, LintOptions, Location, Report, Severity};
 
 use crate::column::{Column, Inhibition};
 
@@ -26,11 +26,21 @@ use crate::column::{Column, Inhibition};
 /// the parameters permit lowering) every gate-level pass.
 #[must_use]
 pub fn lint_column(column: &Column) -> Report {
+    lint_column_with(column, &LintOptions::default())
+}
+
+/// Lints a column with caller-supplied gate-level options (window width,
+/// the relational tier, …). The column-level parameter checks always run.
+#[must_use]
+pub fn lint_column_with(column: &Column, options: &LintOptions) -> Report {
     let mut report = Report::new();
     check_inhibition(column, &mut report);
     check_thresholds(column, &mut report);
     if report.is_clean() {
-        report.merge(st_net::lint::lint_network(&column.to_network()));
+        report.merge(st_net::lint::lint_network_with(
+            &column.to_network(),
+            options,
+        ));
     }
     report
 }

@@ -10,7 +10,11 @@
 
 use st_core::Time;
 use st_lint::interval::{analyze, Interval};
-use st_lint::{LintGraph, LintOp};
+use st_lint::{LintGraph, LintOp, Zone};
+
+/// Skew pairs are only enumerated up to this output width (the pair
+/// count is quadratic and wide artifacts rarely want all of them).
+const MAX_SKEW_OUTPUTS: usize = 8;
 
 /// Sound spike-time bounds for one output line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,6 +28,21 @@ pub struct OutputBound {
     pub hi: Time,
     /// Whether the line can stay silent for some in-window input.
     pub maybe_silent: bool,
+}
+
+/// A provable bound on the spread between two output lines, from the
+/// relational zone domain: whenever both lines fire, the later minus
+/// the earlier spike time satisfies `lo ≤ t_b − t_a ≤ hi`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkewBound {
+    /// The first output line index.
+    pub a: usize,
+    /// The second output line index.
+    pub b: usize,
+    /// Least possible `t_b − t_a` when both lines fire.
+    pub lo: i64,
+    /// Greatest possible `t_b − t_a` when both lines fire.
+    pub hi: i64,
 }
 
 /// A provable boundedness certificate for one artifact.
@@ -59,6 +78,9 @@ pub struct Certificate {
     pub dead_gates: Vec<usize>,
     /// Output lines proven to never fire.
     pub dead_outputs: Vec<usize>,
+    /// Per-output-pair skew bounds from the zone domain (empty when the
+    /// artifact is too wide or declines relational analysis).
+    pub skews: Vec<SkewBound>,
 }
 
 impl Certificate {
@@ -110,8 +132,46 @@ impl Certificate {
             let gates: Vec<String> = self.dead_gates.iter().map(|g| format!("g{g}")).collect();
             let _ = writeln!(out, "  dead gates: {}", gates.join(", "));
         }
+        for s in &self.skews {
+            let _ = writeln!(
+                out,
+                "  skew: t(out {}) − t(out {}) ∈ [{}, {}] whenever both fire",
+                s.b, s.a, s.lo, s.hi
+            );
+        }
         out
     }
+}
+
+/// Per-output-pair skew bounds from the zone domain. Pairs where either
+/// line provably never fires carry no claim and are skipped, as is
+/// anything the zone cannot bound on both sides.
+fn skew_bounds(graph: &LintGraph, window: u64) -> Vec<SkewBound> {
+    let outputs = graph.outputs();
+    if outputs.len() < 2 || outputs.len() > MAX_SKEW_OUTPUTS {
+        return Vec::new();
+    }
+    let Some(zone) = Zone::analyze(graph, Interval::within(window)) else {
+        return Vec::new();
+    };
+    let mut skews = Vec::new();
+    for (i, &oa) in outputs.iter().enumerate() {
+        for (j, &ob) in outputs.iter().enumerate().skip(i + 1) {
+            if !zone.can_fire(oa) || !zone.can_fire(ob) {
+                continue;
+            }
+            let (Some(lo), Some(hi)) = (zone.diff_lo(ob, oa), zone.diff_hi(ob, oa)) else {
+                continue;
+            };
+            skews.push(SkewBound {
+                a: i,
+                b: j,
+                lo: i64::try_from(lo).unwrap_or(i64::MIN),
+                hi: i64::try_from(hi).unwrap_or(i64::MAX),
+            });
+        }
+    }
+    skews
 }
 
 /// Nodes with a path to at least one output (following every source
@@ -208,6 +268,7 @@ pub fn certify_graph(graph: &LintGraph, window: u64, kind: &str) -> Certificate 
         bounded,
         dead_gates,
         dead_outputs,
+        skews: skew_bounds(graph, window),
     }
 }
 
@@ -249,6 +310,31 @@ mod tests {
         assert!(cert.dead_outputs.is_empty());
         let text = cert.render();
         assert!(text.contains("worst-case delay"), "{text}");
+    }
+
+    #[test]
+    fn skew_bounds_relate_output_pairs() {
+        // out0 = x + 1, out1 = x + 4: the zone proves the pair always
+        // lands exactly 3 ticks apart, which no per-output interval can
+        // express (each alone spans the whole window).
+        let mut g = LintGraph::new(1);
+        let x = g.push(LintOp::Input(0), vec![]);
+        let a = g.push(LintOp::Inc(1), vec![x]);
+        let b = g.push(LintOp::Inc(4), vec![x]);
+        g.set_outputs(vec![a, b]);
+        let cert = certify_graph(&g, 5, "net");
+        assert_eq!(
+            cert.skews,
+            vec![SkewBound {
+                a: 0,
+                b: 1,
+                lo: 3,
+                hi: 3
+            }]
+        );
+        assert!(cert.render().contains("∈ [3, 3]"), "{}", cert.render());
+        // A single-output artifact has no pairs to relate.
+        assert!(certify_graph(&fig6(), 3, "net").skews.is_empty());
     }
 
     #[test]

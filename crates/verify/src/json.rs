@@ -98,9 +98,23 @@ impl Certificate {
         let _ = writeln!(out, "  \"dead_gates\": {},", usize_list(&self.dead_gates));
         let _ = writeln!(
             out,
-            "  \"dead_outputs\": {}",
+            "  \"dead_outputs\": {},",
             usize_list(&self.dead_outputs)
         );
+        out.push_str("  \"skews\": [");
+        for (i, s) in self.skews.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            let _ = write!(
+                out,
+                "    {{ \"a\": {}, \"b\": {}, \"lo\": {}, \"hi\": {} }}",
+                s.a, s.b, s.lo, s.hi
+            );
+        }
+        out.push_str(if self.skews.is_empty() {
+            "]\n"
+        } else {
+            "\n  ]\n"
+        });
         out.push_str("}\n");
         out
     }
@@ -236,9 +250,19 @@ mod tests {
             bounded: true,
             dead_gates: vec![3],
             dead_outputs: vec![1],
+            skews: vec![crate::cert::SkewBound {
+                a: 0,
+                b: 1,
+                lo: -2,
+                hi: 3,
+            }],
         };
         let json = cert.to_json();
         assert!(json.contains("\"lo\": null"), "{json}");
+        assert!(
+            json.contains("{ \"a\": 0, \"b\": 1, \"lo\": -2, \"hi\": 3 }"),
+            "{json}"
+        );
         assert!(json.contains("\"worst_case_delay\": 4"), "{json}");
         assert!(json.contains("\"dead_gates\": [3]"), "{json}");
         assert!(json.contains("\"dead_outputs\": [1]"), "{json}");

@@ -26,6 +26,11 @@
 //! codes (`docs/verify.md` catalogues them). The `spacetime verify` CLI
 //! subcommand and the CI verify-gate are thin wrappers around it.
 
+// An analysis crate must not crash on the artifacts it analyzes:
+// library code reports through `Report`/`Result`, never by panicking
+// (tests are exempt via clippy.toml).
+#![warn(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 pub mod cert;
 pub mod equiv;
 pub mod eval;
@@ -36,7 +41,7 @@ pub use st_lint::interval;
 pub use st_lint::{Code, Diagnostic, Interval, Location, Report, Severity};
 
 use st_core::FunctionTable;
-use st_grl::compile_network;
+use st_grl::try_compile_network;
 use st_net::synth::{synthesize, SynthesisOptions};
 use st_net::Network;
 use st_tnn::Column;
@@ -268,9 +273,7 @@ pub fn verify_artifact(
     }
 
     // Every lowering against every adjacent lowering, native form first.
-    let netlist = compile_network(&lowered);
     let net_eval = NetEvaluator::new(&lowered);
-    let grl_eval = GrlEvaluator::new(&netlist);
     match artifact {
         Artifact::Table(t) => {
             let table_eval = TableEvaluator::new(t);
@@ -294,13 +297,29 @@ pub fn verify_artifact(
             )?;
         }
     }
-    run_check(
-        &net_eval,
-        &grl_eval,
-        window,
-        Code::LoweringMismatch,
-        &mut outcome,
-    )?;
+    match try_compile_network(&lowered) {
+        Ok(netlist) => {
+            let grl_eval = GrlEvaluator::new(&netlist);
+            run_check(
+                &net_eval,
+                &grl_eval,
+                window,
+                Code::LoweringMismatch,
+                &mut outcome,
+            )?;
+        }
+        // A gate with no CMOS mapping is itself a lowering failure; the
+        // remaining checks still run.
+        Err(e) => outcome.report.push(
+            Diagnostic::new(
+                Code::LoweringMismatch,
+                Severity::Error,
+                Location::Gate(e.gate),
+                format!("the GRL lowering does not exist: {e}"),
+            )
+            .with_hint("restrict the artifact to min/max/lt/inc/const gates (§ V.C)"),
+        ),
+    }
 
     // The artifact against its external spec, if one was given.
     if let Some(spec) = spec {

@@ -15,7 +15,10 @@ fn load(path: &std::path::Path) -> Artifact {
     let text = std::fs::read_to_string(path).unwrap();
     match path.extension().and_then(|e| e.to_str()) {
         Some("table") => Artifact::Table(FunctionTable::parse(&text).unwrap()),
-        Some("net") => Artifact::Net(st_net::parse_network(&text).unwrap()),
+        // `.grl` witnesses (race2.grl) are net-text too — the CLI
+        // detects kind from content; the extension records what the
+        // file witnesses (a GRL latch race), not a separate format.
+        Some("net" | "grl") => Artifact::Net(st_net::parse_network(&text).unwrap()),
         Some("tnn") => Artifact::Column(st_tnn::parse_column(&text).unwrap()),
         other => panic!(
             "unexpected artifact extension {other:?} at {}",

@@ -90,9 +90,28 @@ impl CompiledArtifact {
 
     /// Lowers a network to a GRL netlist (see
     /// [`compile_network`](st_grl::compile_network)).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a gate kind with no CMOS mapping; use
+    /// [`CompiledArtifact::try_from_grl_network`] when the network comes
+    /// from outside the workspace builders.
     #[must_use]
     pub fn from_grl_network(network: &Network) -> CompiledArtifact {
         CompiledArtifact::Grl(compile_network(network))
+    }
+
+    /// Fallible [`CompiledArtifact::from_grl_network`]: an unsupported
+    /// gate kind comes back as an error naming the gate.
+    ///
+    /// # Errors
+    ///
+    /// The rendered [`st_grl::GrlCompileError`] when a gate has no CMOS
+    /// mapping.
+    pub fn try_from_grl_network(network: &Network) -> Result<CompiledArtifact, String> {
+        st_grl::try_compile_network(network)
+            .map(CompiledArtifact::Grl)
+            .map_err(|e| e.to_string())
     }
 
     /// Flattens a network into a SWAR execution plan (see

@@ -488,6 +488,13 @@ mod tests {
         assert_eq!(scenario.counters["opt.gates_before"], outcome.before as u64);
         assert!(scenario.counters["opt.gates_after"] < scenario.counters["opt.gates_before"]);
         assert_eq!(scenario.counters["opt.passes_rejected"], 0);
+        assert!(
+            scenario
+                .histograms
+                .contains_key("opt.pass.relational_fold.nanos"),
+            "the relational pass-cost row must ride in opt bench reports: {:?}",
+            scenario.histograms.keys()
+        );
     }
 
     #[test]

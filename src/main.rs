@@ -9,7 +9,7 @@
 use std::process::ExitCode;
 
 use spacetime::core::{FunctionTable, Time, Volley};
-use spacetime::grl::{compile_network, try_to_vcd, GrlSim};
+use spacetime::grl::{try_compile_network, try_to_vcd, GrlSim};
 use spacetime::net::synth::{synthesize, SynthesisOptions};
 use spacetime::net::{analysis, gate_counts, optimize, EventSim, Network};
 
@@ -48,12 +48,14 @@ USAGE:
                                                 kernel engines accept a table
                                                 or an st-net netlist spec)
   spacetime lint <file> [--kind table|net|column] [--json] [--max-window N]
-                  [--deny CODE] [--allow CODE]  statically check a table,
+                  [--relational] [--deny CODE] [--allow CODE]
+                                                statically check a table,
                                                 netlist, or column against
                                                 the space-time invariants
-                                                (docs/lint.md); --deny/--allow
-                                                promote or demote findings by
-                                                STA code
+                                                (docs/lint.md); --relational
+                                                adds the STA3xx zone-domain
+                                                tier; --deny/--allow promote
+                                                or demote findings by STA code
   spacetime verify <file> [--against <spec.table>] [--kind table|net|column]
                   [--window N] [--json] [--deny CODE] [--allow CODE]
                                                 prove bounded equivalence of
@@ -301,7 +303,7 @@ fn simulate_network(
     inputs: &[Time],
     vcd_path: Option<&str>,
 ) -> Result<(), String> {
-    let netlist = compile_network(network);
+    let netlist = try_compile_network(network).map_err(|e| e.to_string())?;
     let report = GrlSim::new()
         .run(&netlist, inputs)
         .map_err(|e| e.to_string())?;
@@ -654,7 +656,7 @@ fn cmd_batch(args: &[String]) -> Result<(), String> {
     let artifact = match engine.as_str() {
         "table" => CompiledArtifact::from_table(&load_table(&spec)?),
         "net" => CompiledArtifact::from_network(&load_netlike(&spec)?),
-        "grl" => CompiledArtifact::from_grl_network(&load_netlike(&spec)?),
+        "grl" => CompiledArtifact::try_from_grl_network(&load_netlike(&spec)?)?,
         "kernel" => CompiledArtifact::from_kernel_network(&load_netlike(&spec)?),
         "column" => {
             let text =
@@ -770,6 +772,7 @@ fn cmd_lint(args: &[String]) -> Result<bool, String> {
                     .parse()
                     .map_err(|e| format!("bad window: {e}"))?;
             }
+            "--relational" => options.relational = true,
             "--deny" => parse_code_list(&flag_value(&mut iter, a)?, &mut deny)?,
             "--allow" => parse_code_list(&flag_value(&mut iter, a)?, &mut allow)?,
             other if path.is_none() && !other.starts_with('-') => path = Some(other.to_owned()),
@@ -778,7 +781,7 @@ fn cmd_lint(args: &[String]) -> Result<bool, String> {
     }
     let path = path.ok_or(
         "usage: spacetime lint <file> [--kind table|net|column] [--json] [--max-window N] \
-         [--deny CODE] [--allow CODE]",
+         [--relational] [--deny CODE] [--allow CODE]",
     )?;
     let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let kind = match kind.as_deref() {
@@ -798,7 +801,7 @@ fn cmd_lint(args: &[String]) -> Result<bool, String> {
         }
         _ => {
             let column = spacetime::tnn::parse_column(&text).map_err(|e| format!("{path}: {e}"))?;
-            spacetime::tnn::lint::lint_column(&column)
+            spacetime::tnn::lint::lint_column_with(&column, &options)
         }
     };
     report.apply_overrides(&deny, &allow);
@@ -1107,7 +1110,7 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
                     CompiledArtifact::from_network(&network),
                 ),
                 _ => {
-                    let netlist = compile_network(&network);
+                    let netlist = try_compile_network(&network).map_err(|e| e.to_string())?;
                     (
                         TraceForm::Grl(netlist.clone()),
                         CompiledArtifact::from(netlist),
@@ -1124,7 +1127,7 @@ fn cmd_trace(args: &[String]) -> Result<(), String> {
         ("net", "grl") => {
             let network =
                 spacetime::net::parse_network(&text).map_err(|e| format!("{path}: {e}"))?;
-            let netlist = compile_network(&network);
+            let netlist = try_compile_network(&network).map_err(|e| e.to_string())?;
             (
                 TraceForm::Grl(netlist.clone()),
                 CompiledArtifact::from(netlist),
@@ -1568,7 +1571,7 @@ fn cmd_inspect(args: &[String]) -> Result<bool, String> {
                 .unwrap_or_else(|| if kind == "column" { "column" } else { "net" }.to_owned());
             let form = match engine.as_str() {
                 "net" | "table" => TraceForm::Net(EventSim::new().compile(&network)),
-                "grl" => TraceForm::Grl(compile_network(&network)),
+                "grl" => TraceForm::Grl(try_compile_network(&network).map_err(|e| e.to_string())?),
                 "column" => {
                     if kind != "column" {
                         return Err(format!("the column engine cannot inspect a {kind} file"));

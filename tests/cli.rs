@@ -1179,3 +1179,103 @@ fn inspect_trace_mode_validates_the_export_schema() {
         "{out:?}"
     );
 }
+
+/// Absolute path of a committed example artifact.
+fn example(name: &str) -> String {
+    format!("{}/examples/data/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn lint_relational_tier_is_opt_in_per_witness() {
+    // Each committed STA3xx witness is clean under the default tier and
+    // earns exactly its documented finding under --relational — and the
+    // relational findings cap at warning severity, so the exit stays 0.
+    for (file, code) in [
+        ("race2.grl", "STA303"),
+        ("wta0.net", "STA302"),
+        ("skew2.net", "STA304"),
+        ("relfold.net", "STA301"),
+    ] {
+        let path = example(file);
+        let out = bin().args(["lint", &path]).output().unwrap();
+        assert_eq!(out.status.code(), Some(0), "{file}: {out:?}");
+        assert!(
+            !String::from_utf8_lossy(&out.stdout).contains("STA3"),
+            "{file} must need --relational to earn STA3xx findings: {out:?}"
+        );
+
+        let out = bin()
+            .args(["lint", &path, "--relational"])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(0), "{file}: {out:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stdout).contains(code),
+            "{file} must earn {code} under --relational: {out:?}"
+        );
+    }
+}
+
+#[test]
+fn lint_relational_json_matches_the_committed_goldens() {
+    for (file, golden) in [
+        ("race2.grl", include_str!("golden/race2_relational.json")),
+        ("wta0.net", include_str!("golden/wta0_relational.json")),
+        ("skew2.net", include_str!("golden/skew2_relational.json")),
+        (
+            "relfold.net",
+            include_str!("golden/relfold_relational.json"),
+        ),
+    ] {
+        let out = bin()
+            .args(["lint", &example(file), "--relational", "--json"])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(0), "{file}: {out:?}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert_eq!(stdout, golden, "{file} drifted from its golden report");
+        let report = spacetime::lint::Report::from_json(&stdout).expect("valid report JSON");
+        assert_eq!(report.to_json(), stdout, "{file} must round-trip");
+    }
+}
+
+#[test]
+fn lint_relational_deny_and_allow_gate_each_sta3xx_code() {
+    // Every STA3xx code is individually promotable to a hard gate
+    // (--deny → exit 1) and demotable to advice (--allow → exit 0).
+    for (file, code) in [
+        ("race2.grl", "STA301"),
+        ("wta0.net", "STA302"),
+        ("race2.grl", "STA303"),
+        ("skew2.net", "STA304"),
+    ] {
+        let path = example(file);
+        let out = bin()
+            .args(["lint", &path, "--relational", "--deny", code])
+            .output()
+            .unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "--deny {code} on {file}: {out:?}"
+        );
+        assert!(
+            String::from_utf8_lossy(&out.stdout).contains(&format!("error[{code}]")),
+            "{out:?}"
+        );
+
+        let out = bin()
+            .args(["lint", &path, "--relational", "--allow", code])
+            .output()
+            .unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "--allow {code} on {file}: {out:?}"
+        );
+        assert!(
+            String::from_utf8_lossy(&out.stdout).contains(&format!("info[{code}]")),
+            "{out:?}"
+        );
+    }
+}

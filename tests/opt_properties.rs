@@ -66,6 +66,7 @@ fn arb_network() -> impl Strategy<Value = Network> {
 fn apply(pass: Pass, network: &Network) -> Network {
     match pass {
         Pass::ConstantFold => passes::constant_fold(network),
+        Pass::RelationalFold => passes::relational_fold(network),
         Pass::FuseDelayChains => passes::fuse_delay_chains(network),
         Pass::ShareSubexpressions => passes::share_subexpressions(network),
         Pass::EliminateDead => passes::eliminate_dead(network),
